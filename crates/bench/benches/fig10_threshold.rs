@@ -1,0 +1,30 @@
+//! Fig. 10 (timing view): query cost against the probability threshold
+//! q ∈ {0.3, 0.5, 0.7, 0.9}.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dsud_bench::{quick_sites, run_algo, Algo};
+use dsud_data::SpatialDistribution;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_threshold");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let sites = quick_sites(10_000, 3, 20, SpatialDistribution::Anticorrelated, 10);
+    for q in [0.3f64, 0.5, 0.7, 0.9] {
+        for algo in [Algo::Dsud, Algo::Edsud] {
+            group.bench_with_input(
+                BenchmarkId::new(algo.label(), format!("q={q}")),
+                &q,
+                |b, &q| {
+                    b.iter(|| run_algo(algo, 3, sites.clone(), q));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

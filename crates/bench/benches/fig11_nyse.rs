@@ -1,0 +1,41 @@
+//! Fig. 11 (timing view): the NYSE workload across site counts and
+//! probability laws (uniform vs gaussian means).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dsud_bench::{run_algo, Algo};
+use dsud_data::nyse::NyseSpec;
+use dsud_data::ProbabilityLaw;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_nyse");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for m in [40usize, 100] {
+        let sites = NyseSpec::new(20_000).seed(11).generate_partitioned(m).unwrap();
+        for algo in [Algo::Dsud, Algo::Edsud] {
+            group.bench_with_input(BenchmarkId::new(algo.label(), format!("m={m}")), &m, |b, _| {
+                b.iter(|| run_algo(algo, 2, sites.clone(), 0.3));
+            });
+        }
+    }
+    for mu in [0.3f64, 0.9] {
+        let sites = NyseSpec::new(20_000)
+            .probability_law(ProbabilityLaw::Gaussian { mean: mu, std_dev: 0.2 })
+            .seed(12)
+            .generate_partitioned(60)
+            .unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("e-DSUD", format!("gaussian mu={mu}")),
+            &mu,
+            |b, _| {
+                b.iter(|| run_algo(Algo::Edsud, 2, sites.clone(), 0.3));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Figs. 12–13 (timing view): time to the first reported skyline tuple and
+//! to the complete answer — the paper's progressiveness headline. The full
+//! bandwidth-vs-reported curves come from `experiments -- fig12 fig13`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dsud_bench::{quick_sites, run_algo, Algo};
+use dsud_data::SpatialDistribution;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_progressiveness");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for dist in [SpatialDistribution::Independent, SpatialDistribution::Anticorrelated] {
+        let sites = quick_sites(10_000, 3, 20, dist, 13);
+        for algo in [Algo::Dsud, Algo::Edsud] {
+            group.bench_with_input(
+                BenchmarkId::new("full_answer", format!("{dist:?}/{}", algo.label())),
+                &dist,
+                |b, _| {
+                    b.iter(|| run_algo(algo, 3, sites.clone(), 0.3));
+                },
+            );
+        }
+        // Time-to-first-result is measured inside one run; expose it as a
+        // throughput-style metric by timing a run that stops logically at
+        // the first report (the run itself cannot stop early, so we time
+        // the run and report the recorded first-report latency instead).
+        let outcome = run_algo(Algo::Edsud, 3, sites.clone(), 0.3);
+        if let Some(first) = outcome.progress.time_to_first() {
+            println!(
+                "[fig12] {dist:?}: e-DSUD first result after {:?} / {} results total",
+                first,
+                outcome.progress.len()
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Fig. 8 (timing view): DSUD vs e-DSUD across dimensionality d ∈ 2..5 on
+//! Independent and Anticorrelated data. The bandwidth series itself is
+//! produced by `experiments -- fig8`; this bench tracks the CPU cost of
+//! the same sweep at bench scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dsud_bench::{quick_sites, run_algo, Algo};
+use dsud_data::SpatialDistribution;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_dimensionality");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for dist in [SpatialDistribution::Independent, SpatialDistribution::Anticorrelated] {
+        for d in [2usize, 3, 4, 5] {
+            let sites = quick_sites(8_000, d, 10, dist, 8);
+            for algo in [Algo::Dsud, Algo::Edsud] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{:?}/{}", dist, algo.label()), d),
+                    &d,
+                    |b, &d| {
+                        b.iter(|| run_algo(algo, d, sites.clone(), 0.3));
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Fig. 9 (timing view): query cost as the site count m grows, paper range
+//! m ∈ {40, 60, 80, 100}.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dsud_bench::{quick_sites, run_algo, Algo};
+use dsud_data::SpatialDistribution;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_sites");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for m in [40usize, 60, 80, 100] {
+        let sites = quick_sites(10_000, 3, m, SpatialDistribution::Independent, 9);
+        for algo in [Algo::Dsud, Algo::Edsud] {
+            group.bench_with_input(BenchmarkId::new(algo.label(), m), &m, |b, _| {
+                b.iter(|| run_algo(algo, 3, sites.clone(), 0.3));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

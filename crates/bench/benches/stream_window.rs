@@ -1,0 +1,48 @@
+//! Extension benchmark: sliding-window continuous skyline throughput —
+//! push cost and answer cost, with and without a useful candidate set.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dsud_data::{SpatialDistribution, WorkloadSpec};
+use dsud_stream::SlidingSkyline;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream_window");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for (dist, label) in [
+        (SpatialDistribution::Independent, "independent"),
+        (SpatialDistribution::Anticorrelated, "anticorrelated"),
+    ] {
+        let tuples = WorkloadSpec::new(20_000, 2).spatial(dist).seed(41).generate().unwrap();
+
+        group.bench_with_input(BenchmarkId::new("push_stream", label), &label, |b, _| {
+            b.iter(|| {
+                let mut sky = SlidingSkyline::new(2, 2_000, 0.3).unwrap();
+                for t in &tuples {
+                    sky.push(t.clone()).unwrap();
+                }
+                sky.stats()
+            });
+        });
+
+        // Answer cost over a warmed window.
+        let mut sky = SlidingSkyline::new(2, 2_000, 0.3).unwrap();
+        for t in &tuples {
+            sky.push(t.clone()).unwrap();
+        }
+        println!(
+            "[stream] {label}: candidate set {} of window {}",
+            sky.candidate_count(),
+            sky.len()
+        );
+        group.bench_with_input(BenchmarkId::new("skyline_query", label), &label, |b, _| {
+            b.iter(|| sky.skyline());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

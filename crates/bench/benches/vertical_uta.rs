@@ -1,0 +1,58 @@
+//! Extension benchmark (the paper's future work): the vertically
+//! partitioned UTA coordinator vs the centralized computation, plus its
+//! access-saving behaviour as data hardness varies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dsud_core::{probabilistic_skyline, SubspaceMask, UncertainDb};
+use dsud_data::{SpatialDistribution, WorkloadSpec};
+use dsud_vertical::{ColumnSite, UtaCoordinator};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vertical_uta");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    // Correlated and clustered data are where sorted access pays off —
+    // UTA's stopping rule fires early. (On independent data vertical
+    // partitioning has no locality to exploit and the coordinator resolves
+    // most of the relation; that regime is covered, at small scale, by the
+    // correctness tests rather than timed here.)
+    for dist in [SpatialDistribution::Correlated, SpatialDistribution::Clustered] {
+        let tuples = WorkloadSpec::new(20_000, 3).spatial(dist).seed(30).generate().unwrap();
+
+        let coordinator = UtaCoordinator::new(0.3).unwrap().check_every(32);
+
+        // Access savings are the headline: print them once per run.
+        let columns = ColumnSite::partition(&tuples).unwrap();
+        let outcome = coordinator.run(&columns).unwrap();
+        println!(
+            "[vertical] {dist:?}: {} answers, sorted={} random={} resolved={} of {}",
+            outcome.skyline.len(),
+            outcome.stats.sorted_accesses,
+            outcome.stats.random_accesses,
+            outcome.stats.resolved,
+            tuples.len()
+        );
+
+        group.bench_with_input(BenchmarkId::new("uta", format!("{dist:?}")), &dist, |b, _| {
+            b.iter(|| {
+                let columns = ColumnSite::partition(&tuples).unwrap();
+                coordinator.run(&columns).unwrap()
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("centralized", format!("{dist:?}")),
+            &dist,
+            |b, _| {
+                let db = UncertainDb::from_tuples(3, tuples.clone()).unwrap();
+                let mask = SubspaceMask::full(3).unwrap();
+                b.iter(|| probabilistic_skyline(&db, 0.3, mask).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,424 @@
+//! Regenerates every table and figure of the paper's evaluation
+//! (Section 7) at harness scale.
+//!
+//! ```sh
+//! cargo run --release -p dsud-bench --bin experiments -- all
+//! cargo run --release -p dsud-bench --bin experiments -- fig8
+//! DSUD_SCALE_N=2000000 DSUD_REPEATS=10 cargo run --release -p dsud-bench --bin experiments -- fig9
+//! ```
+//!
+//! Each experiment prints a paper-style data series and appends a JSON
+//! artifact under `target/experiments/`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+use dsud_bench::{
+    bandwidth_row, progress_curve, repeats, run_algo, scale_n, update_row, verify_against_baseline,
+    Algo, BandwidthRow, ExpSpec,
+};
+use dsud_core::estimate;
+use dsud_data::{ProbabilityLaw, SpatialDistribution};
+
+fn artifact_dir() -> PathBuf {
+    let dir = PathBuf::from("target/experiments");
+    fs::create_dir_all(&dir).expect("can create target/experiments");
+    dir
+}
+
+fn dump_json<T: Serialize>(name: &str, value: &T) {
+    let path = artifact_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("rows serialize");
+    fs::write(&path, json).expect("can write artifact");
+    println!("[artifact] {}", path.display());
+}
+
+fn dump_svg(name: &str, svg: &str) {
+    let path = artifact_dir().join(format!("{name}.svg"));
+    fs::write(&path, svg).expect("can write artifact");
+    println!("[artifact] {}", path.display());
+}
+
+fn print_table(title: &str, rows: &[BandwidthRow], name: &str) {
+    dsud_bench::print_bandwidth_table(title, rows);
+    dump_json(name, &rows);
+    let chart = dsud_plot::CategoryChart::new(title, "configuration", "tuples transmitted")
+        .ticks(rows.iter().map(|r| r.x.clone()))
+        .series("DSUD", rows.iter().map(|r| r.dsud))
+        .series("e-DSUD", rows.iter().map(|r| r.edsud))
+        .series("Ceiling", rows.iter().map(|r| r.ceiling));
+    dump_svg(name, &chart.to_svg());
+}
+
+/// Fig. 8: bandwidth vs dimensionality d ∈ {2,3,4,5}, both distributions.
+fn fig8() {
+    for (dist, label) in [
+        (SpatialDistribution::Independent, "independent"),
+        (SpatialDistribution::Anticorrelated, "anticorrelated"),
+    ] {
+        let rows: Vec<BandwidthRow> = [2usize, 3, 4, 5]
+            .iter()
+            .map(|&d| {
+                let spec = ExpSpec { d, spatial: dist, ..ExpSpec::table3_defaults() };
+                bandwidth_row(&spec, format!("d={d}"), false)
+            })
+            .collect();
+        print_table(
+            &format!("Fig 8 ({label}): bandwidth vs dimensionality"),
+            &rows,
+            &format!("fig8_{label}"),
+        );
+    }
+}
+
+/// Fig. 9: bandwidth vs number of sites m ∈ {40,60,80,100}.
+fn fig9() {
+    for (dist, label) in [
+        (SpatialDistribution::Independent, "independent"),
+        (SpatialDistribution::Anticorrelated, "anticorrelated"),
+    ] {
+        let rows: Vec<BandwidthRow> = [40usize, 60, 80, 100]
+            .iter()
+            .map(|&m| {
+                let spec = ExpSpec { m, spatial: dist, ..ExpSpec::table3_defaults() };
+                bandwidth_row(&spec, format!("m={m}"), false)
+            })
+            .collect();
+        print_table(
+            &format!("Fig 9 ({label}): bandwidth vs number of sites"),
+            &rows,
+            &format!("fig9_{label}"),
+        );
+    }
+}
+
+/// Fig. 10: bandwidth vs threshold q ∈ {0.3,0.5,0.7,0.9}.
+fn fig10() {
+    for (dist, label) in [
+        (SpatialDistribution::Independent, "independent"),
+        (SpatialDistribution::Anticorrelated, "anticorrelated"),
+    ] {
+        let rows: Vec<BandwidthRow> = [0.3f64, 0.5, 0.7, 0.9]
+            .iter()
+            .map(|&q| {
+                let spec = ExpSpec { q, spatial: dist, ..ExpSpec::table3_defaults() };
+                bandwidth_row(&spec, format!("q={q}"), false)
+            })
+            .collect();
+        print_table(
+            &format!("Fig 10 ({label}): bandwidth vs threshold"),
+            &rows,
+            &format!("fig10_{label}"),
+        );
+    }
+}
+
+/// Fig. 11: NYSE — (a) bandwidth vs m, (b) bandwidth vs q (uniform), and
+/// (c,d) bandwidth and answer size vs gaussian mean μ.
+fn fig11() {
+    let rows: Vec<BandwidthRow> = [40usize, 60, 80, 100]
+        .iter()
+        .map(|&m| {
+            let spec = ExpSpec { m, d: 2, ..ExpSpec::table3_defaults() };
+            bandwidth_row(&spec, format!("m={m}"), true)
+        })
+        .collect();
+    print_table("Fig 11a (NYSE, uniform): bandwidth vs sites", &rows, "fig11a");
+
+    let rows: Vec<BandwidthRow> = [0.3f64, 0.5, 0.7, 0.9]
+        .iter()
+        .map(|&q| {
+            let spec = ExpSpec { q, d: 2, ..ExpSpec::table3_defaults() };
+            bandwidth_row(&spec, format!("q={q}"), true)
+        })
+        .collect();
+    print_table("Fig 11b (NYSE, uniform): bandwidth vs threshold", &rows, "fig11b");
+
+    let rows: Vec<BandwidthRow> = [0.3f64, 0.5, 0.7, 0.9]
+        .iter()
+        .map(|&mu| {
+            let spec = ExpSpec {
+                d: 2,
+                prob: ProbabilityLaw::Gaussian { mean: mu, std_dev: 0.2 },
+                ..ExpSpec::table3_defaults()
+            };
+            bandwidth_row(&spec, format!("mu={mu}"), true)
+        })
+        .collect();
+    print_table(
+        "Fig 11c/d (NYSE, gaussian): bandwidth and answer size vs mean",
+        &rows,
+        "fig11cd",
+    );
+}
+
+#[derive(Serialize)]
+struct ProgressSeries {
+    label: String,
+    points: Vec<dsud_bench::ProgressPoint>,
+}
+
+fn progress_experiment(name: &str, title: &str, nyse: bool, specs: Vec<(String, ExpSpec)>) {
+    let mut all = Vec::new();
+    println!("\n== {title} ==");
+    for (label, spec) in specs {
+        for algo in [Algo::Dsud, Algo::Edsud] {
+            let sites = if nyse { spec.generate_nyse(0) } else { spec.generate(0) };
+            let outcome = run_algo(algo, spec.d, sites, spec.q);
+            let points = progress_curve(&outcome, 8);
+            println!("-- {label} / {}:", algo.label());
+            for p in &points {
+                println!(
+                    "   reported={:<6} tuples={:<10} cpu={:.1}ms",
+                    p.reported, p.tuples, p.cpu_ms
+                );
+            }
+            all.push(ProgressSeries {
+                label: format!("{label}/{}", algo.label()),
+                points,
+            });
+        }
+    }
+    dump_json(name, &all);
+    let mut bw = dsud_plot::XyChart::new(
+        format!("{title} — bandwidth"),
+        "skyline tuples reported",
+        "tuples transmitted",
+    );
+    let mut cpu = dsud_plot::XyChart::new(
+        format!("{title} — CPU time"),
+        "skyline tuples reported",
+        "milliseconds",
+    );
+    for series in &all {
+        bw = bw.series(
+            series.label.clone(),
+            series.points.iter().map(|p| (p.reported as f64, p.tuples as f64)),
+        );
+        cpu = cpu.series(
+            series.label.clone(),
+            series.points.iter().map(|p| (p.reported as f64, p.cpu_ms)),
+        );
+    }
+    dump_svg(&format!("{name}_bandwidth"), &bw.to_svg());
+    dump_svg(&format!("{name}_cpu"), &cpu.to_svg());
+}
+
+/// Fig. 12: progressiveness on synthetic data (bandwidth and CPU time as a
+/// function of reported skyline tuples).
+fn fig12() {
+    progress_experiment(
+        "fig12",
+        "Fig 12: progressiveness, synthetic data",
+        false,
+        vec![
+            (
+                "independent".to_string(),
+                ExpSpec { ..ExpSpec::table3_defaults() },
+            ),
+            (
+                "anticorrelated".to_string(),
+                ExpSpec {
+                    spatial: SpatialDistribution::Anticorrelated,
+                    ..ExpSpec::table3_defaults()
+                },
+            ),
+        ],
+    );
+}
+
+/// Fig. 13: progressiveness on NYSE with uniform and gaussian
+/// probabilities.
+fn fig13() {
+    progress_experiment(
+        "fig13",
+        "Fig 13: progressiveness, NYSE data",
+        true,
+        vec![
+            ("uniform".to_string(), ExpSpec { d: 2, ..ExpSpec::table3_defaults() }),
+            (
+                "gaussian".to_string(),
+                ExpSpec {
+                    d: 2,
+                    prob: ProbabilityLaw::Gaussian { mean: 0.5, std_dev: 0.2 },
+                    ..ExpSpec::table3_defaults()
+                },
+            ),
+        ],
+    );
+}
+
+/// Fig. 14: update response time vs update rate, Incremental vs Naive.
+fn fig14() {
+    for (dist, label) in [
+        (SpatialDistribution::Independent, "independent"),
+        (SpatialDistribution::Anticorrelated, "anticorrelated"),
+    ] {
+        let spec = ExpSpec { spatial: dist, ..ExpSpec::table3_defaults() };
+        let rows: Vec<_> = [20usize, 40, 60, 80, 100]
+            .iter()
+            .map(|&rate| update_row(&spec, rate))
+            .collect();
+        println!("\n== Fig 14 ({label}): response time to fresh results vs update rate ==");
+        println!(
+            "{:<8} {:>14} {:>12} {:>18} {:>12} {:>12}",
+            "rate", "Incr resp(ms)", "Naive(ms)", "Incr maint(ms)", "Incr(tuples)", "Naive(tuples)"
+        );
+        for r in &rows {
+            println!(
+                "{:<8} {:>14.2} {:>12.1} {:>18.1} {:>12} {:>12}",
+                format!("{}%", r.rate_pct),
+                r.incremental_response_ms,
+                r.naive_response_ms,
+                r.incremental_maintenance_ms,
+                r.incremental_tuples,
+                r.naive_tuples
+            );
+        }
+        dump_json(&format!("fig14_{label}"), &rows);
+        let chart = dsud_plot::CategoryChart::new(
+            format!("Fig 14 ({label}): response to fresh results"),
+            "update rate",
+            "milliseconds",
+        )
+        .ticks(rows.iter().map(|r| format!("{}%", r.rate_pct)))
+        .series("Incremental", rows.iter().map(|r| r.incremental_response_ms))
+        .series("Naive", rows.iter().map(|r| r.naive_response_ms));
+        dump_svg(&format!("fig14_{label}"), &chart.to_svg());
+    }
+}
+
+/// Eqs. 6–8: estimated vs measured skyline cardinality and the
+/// N_back > N_local comparison that motivates feedback selection.
+fn estimate_experiment() {
+    println!("\n== Eq 6-8: cardinality estimation vs measurement ==");
+    println!(
+        "{:<8} {:>14} {:>14} {:>14} {:>14}",
+        "d", "H(d,N) est", "measured", "N_back", "N_local"
+    );
+    #[derive(Serialize)]
+    struct Row {
+        d: usize,
+        estimated: f64,
+        measured: f64,
+        n_back: f64,
+        n_local: f64,
+    }
+    let mut rows = Vec::new();
+    for d in [2usize, 3, 4, 5] {
+        let spec = ExpSpec { d, ..ExpSpec::table3_defaults() };
+        let analysis = estimate::analyze(spec.m, d, spec.n);
+        // Measure the *certain* skyline of one materialized world, which is
+        // what Eq. 6 models (the kernel is the classic ln^{d-1}(n)/d! law).
+        let sites = spec.generate(0);
+        let mut world: Vec<Vec<f64>> = Vec::new();
+        let mut rng_state = 0x12345678u64;
+        for t in sites.iter().flatten() {
+            // Deterministic per-tuple materialization.
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = ((rng_state >> 11) as f64) / ((1u64 << 53) as f64);
+            if u < t.prob().get() {
+                world.push(t.values().to_vec());
+            }
+        }
+        let mask = dsud_core::SubspaceMask::full(d).expect("valid dims");
+        let measured = dsud_bench::certain_skyline_len(&world, mask) as f64;
+        println!(
+            "{:<8} {:>14.1} {:>14.0} {:>14.0} {:>14.0}",
+            d, analysis.expected_skylines, measured, analysis.n_back, analysis.n_local
+        );
+        rows.push(Row {
+            d,
+            estimated: analysis.expected_skylines,
+            measured,
+            n_back: analysis.n_back,
+            n_local: analysis.n_local,
+        });
+    }
+    dump_json("estimate", &rows);
+}
+
+/// Table 2: the Section 5.3 worked example, end to end.
+fn table2() {
+    use dsud_bench::paper_hotel_sites;
+    use dsud_core::{Cluster, QueryConfig};
+    println!("\n== Table 2: the Section 5.3 hotel example (q = 0.3) ==");
+    let config = QueryConfig::new(0.3).expect("0.3 is a valid threshold");
+    let mut e_cluster = Cluster::local(2, paper_hotel_sites()).expect("example data is valid");
+    let edsud = e_cluster.run_edsud(&config).expect("example query succeeds");
+    let mut d_cluster = Cluster::local(2, paper_hotel_sites()).expect("example data is valid");
+    let dsud = d_cluster.run_dsud(&config).expect("example query succeeds");
+
+    println!("SKY(H):");
+    for entry in &edsud.skyline {
+        println!(
+            "  {:?}  P_gsky = {:.2}",
+            entry.tuple.values(),
+            entry.probability
+        );
+    }
+    println!(
+        "e-DSUD: {} tuples transmitted, {} broadcasts, {} expunged",
+        edsud.tuples_transmitted(),
+        edsud.stats.broadcasts,
+        edsud.stats.expunged
+    );
+    println!(
+        "DSUD  : {} tuples transmitted, {} broadcasts",
+        dsud.tuples_transmitted(),
+        dsud.stats.broadcasts
+    );
+    assert_eq!(edsud.skyline.len(), 3, "the example has exactly three answers");
+}
+
+fn sanity() {
+    let spec = ExpSpec { n: 5_000, m: 10, ..ExpSpec::table3_defaults() };
+    assert!(
+        verify_against_baseline(&spec),
+        "e-DSUD diverged from the centralized baseline — refusing to report numbers"
+    );
+    println!("[sanity] e-DSUD matches the centralized baseline at N=5000, m=10");
+}
+
+fn main() {
+    let which: Vec<String> = std::env::args().skip(1).collect();
+    let all = which.is_empty() || which.iter().any(|a| a == "all");
+    let want = |name: &str| all || which.iter().any(|a| a == name);
+
+    println!(
+        "DSUD experiment harness: N={}, repeats={} (override with DSUD_SCALE_N / DSUD_REPEATS)",
+        scale_n(),
+        repeats()
+    );
+    sanity();
+
+    if want("fig8") {
+        fig8();
+    }
+    if want("fig9") {
+        fig9();
+    }
+    if want("fig10") {
+        fig10();
+    }
+    if want("fig11") {
+        fig11();
+    }
+    if want("fig12") {
+        fig12();
+    }
+    if want("fig13") {
+        fig13();
+    }
+    if want("fig14") {
+        fig14();
+    }
+    if want("estimate") {
+        estimate_experiment();
+    }
+    if want("table2") {
+        table2();
+    }
+}

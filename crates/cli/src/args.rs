@@ -1,0 +1,333 @@
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+use crate::CliError;
+
+/// Which query algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// The DSUD baseline (Section 5.1).
+    Dsud,
+    /// The enhanced e-DSUD (Section 5.2, default).
+    Edsud,
+    /// Ship-everything centralized baseline.
+    Baseline,
+}
+
+/// Spatial distribution for `generate`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Distribution {
+    /// Independent uniform values.
+    Independent,
+    /// Correlated values.
+    Correlated,
+    /// Anticorrelated values.
+    Anticorrelated,
+    /// Synthetic NYSE stock trades (2-d).
+    Nyse,
+}
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Generate a workload file.
+    Generate {
+        /// Number of tuples.
+        n: usize,
+        /// Dimensionality (ignored for `nyse`).
+        dims: usize,
+        /// Spatial distribution.
+        dist: Distribution,
+        /// Gaussian probability mean, if requested (`--gaussian <mu>`);
+        /// uniform otherwise.
+        gaussian_mean: Option<f64>,
+        /// RNG seed.
+        seed: u64,
+        /// Output path (`-` for stdout).
+        out: Option<PathBuf>,
+    },
+    /// Run a distributed (horizontal) skyline query over a workload file.
+    Query {
+        /// Input path.
+        input: PathBuf,
+        /// Number of sites to partition across.
+        sites: usize,
+        /// Probability threshold.
+        q: f64,
+        /// Algorithm choice.
+        algorithm: Algorithm,
+        /// Optional subspace: dimension indices.
+        subspace: Option<Vec<usize>>,
+        /// Optional progressive top-k limit.
+        limit: Option<usize>,
+        /// Partitioning seed.
+        seed: u64,
+    },
+    /// Run the vertically partitioned UTA query over a workload file.
+    Vertical {
+        /// Input path.
+        input: PathBuf,
+        /// Probability threshold.
+        q: f64,
+    },
+    /// Stream a workload file through a sliding window, printing
+    /// checkpoints of the continuous skyline.
+    Stream {
+        /// Input path.
+        input: PathBuf,
+        /// Probability threshold.
+        q: f64,
+        /// Window size (count-based).
+        window: usize,
+        /// Report every this many arrivals.
+        every: usize,
+    },
+    /// Print the Section-4 cardinality/cost analysis.
+    Estimate {
+        /// Cardinality `N`.
+        n: usize,
+        /// Dimensionality `d`.
+        dims: usize,
+        /// Number of sites `m`.
+        sites: usize,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Usage text printed by `dsud help` and on argument errors.
+pub const USAGE: &str = "\
+dsud — distributed skyline queries over uncertain data
+
+USAGE:
+  dsud generate --n <N> [--dims <D>] [--dist independent|correlated|anticorrelated|nyse]
+                [--gaussian <MU>] [--seed <S>] [--out <FILE>]
+  dsud query    --input <FILE> [--sites <M>] [--q <Q>] [--algorithm dsud|edsud|baseline]
+                [--subspace 0,2,...] [--limit <K>] [--seed <S>]
+  dsud vertical --input <FILE> [--q <Q>]
+  dsud stream   --input <FILE> [--q <Q>] [--window <W>] [--every <K>]
+  dsud estimate [--n <N>] [--dims <D>] [--sites <M>]
+  dsud help
+
+Data files hold one JSON tuple per line:
+  {\"id\":{\"site\":0,\"seq\":0},\"values\":[0.1,0.9],\"prob\":0.8}";
+
+/// Parses a command line (without the program name).
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] describing the problem.
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let Some(first) = args.first() else {
+        return Ok(Command::Help);
+    };
+    let flags = parse_flags(&args[1..])?;
+    let get = |key: &str| flags.get(key).map(String::as_str);
+    let parse_num = |key: &str, default: usize| -> Result<usize, CliError> {
+        match get(key) {
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{key} expects an integer, got '{v}'"))),
+            None => Ok(default),
+        }
+    };
+    let parse_f64 = |key: &str, default: f64| -> Result<f64, CliError> {
+        match get(key) {
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{key} expects a number, got '{v}'"))),
+            None => Ok(default),
+        }
+    };
+
+    match first.as_str() {
+        "generate" => {
+            let n = parse_num("n", 0)?;
+            if n == 0 {
+                return Err(CliError::Usage("generate requires --n <N> (> 0)".into()));
+            }
+            let dist = match get("dist").unwrap_or("independent") {
+                "independent" => Distribution::Independent,
+                "correlated" => Distribution::Correlated,
+                "anticorrelated" => Distribution::Anticorrelated,
+                "nyse" => Distribution::Nyse,
+                other => {
+                    return Err(CliError::Usage(format!("unknown distribution '{other}'")))
+                }
+            };
+            let gaussian_mean = match get("gaussian") {
+                Some(v) => Some(v.parse().map_err(|_| {
+                    CliError::Usage(format!("--gaussian expects a mean, got '{v}'"))
+                })?),
+                None => None,
+            };
+            Ok(Command::Generate {
+                n,
+                dims: parse_num("dims", 2)?,
+                dist,
+                gaussian_mean,
+                seed: parse_num("seed", 0)? as u64,
+                out: get("out").filter(|v| *v != "-").map(PathBuf::from),
+            })
+        }
+        "query" => {
+            let input = get("input")
+                .ok_or_else(|| CliError::Usage("query requires --input <FILE>".into()))?;
+            let algorithm = match get("algorithm").unwrap_or("edsud") {
+                "dsud" => Algorithm::Dsud,
+                "edsud" => Algorithm::Edsud,
+                "baseline" => Algorithm::Baseline,
+                other => return Err(CliError::Usage(format!("unknown algorithm '{other}'"))),
+            };
+            let subspace = match get("subspace") {
+                Some(spec) => {
+                    let dims: Result<Vec<usize>, _> =
+                        spec.split(',').map(str::trim).map(str::parse).collect();
+                    Some(dims.map_err(|_| {
+                        CliError::Usage(format!("--subspace expects indices like 0,2 — got '{spec}'"))
+                    })?)
+                }
+                None => None,
+            };
+            let limit = match get("limit") {
+                Some(v) => Some(v.parse().map_err(|_| {
+                    CliError::Usage(format!("--limit expects an integer, got '{v}'"))
+                })?),
+                None => None,
+            };
+            Ok(Command::Query {
+                input: PathBuf::from(input),
+                sites: parse_num("sites", 8)?,
+                q: parse_f64("q", 0.3)?,
+                algorithm,
+                subspace,
+                limit,
+                seed: parse_num("seed", 0)? as u64,
+            })
+        }
+        "vertical" => {
+            let input = get("input")
+                .ok_or_else(|| CliError::Usage("vertical requires --input <FILE>".into()))?;
+            Ok(Command::Vertical { input: PathBuf::from(input), q: parse_f64("q", 0.3)? })
+        }
+        "stream" => {
+            let input = get("input")
+                .ok_or_else(|| CliError::Usage("stream requires --input <FILE>".into()))?;
+            Ok(Command::Stream {
+                input: PathBuf::from(input),
+                q: parse_f64("q", 0.3)?,
+                window: parse_num("window", 1_000)?,
+                every: parse_num("every", 1_000)?,
+            })
+        }
+        "estimate" => Ok(Command::Estimate {
+            n: parse_num("n", 2_000_000)?,
+            dims: parse_num("dims", 3)?,
+            sites: parse_num("sites", 60)?,
+        }),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(CliError::Usage(format!(
+            "unknown command '{other}' — try 'dsud help'"
+        ))),
+    }
+}
+
+/// Splits `--key value` pairs into a map.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let Some(key) = arg.strip_prefix("--") else {
+            return Err(CliError::Usage(format!("expected a --flag, got '{arg}'")));
+        };
+        let value = it
+            .next()
+            .ok_or_else(|| CliError::Usage(format!("--{key} needs a value")))?;
+        flags.insert(key.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_generate() {
+        let cmd = parse(&argv(
+            "generate --n 100 --dims 3 --dist anticorrelated --seed 7 --out data.jsonl",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                n: 100,
+                dims: 3,
+                dist: Distribution::Anticorrelated,
+                gaussian_mean: None,
+                seed: 7,
+                out: Some(PathBuf::from("data.jsonl")),
+            }
+        );
+    }
+
+    #[test]
+    fn parses_query_with_subspace_and_limit() {
+        let cmd = parse(&argv(
+            "query --input d.jsonl --sites 4 --q 0.5 --algorithm dsud --subspace 0,2 --limit 5",
+        ))
+        .unwrap();
+        let Command::Query { sites, q, algorithm, subspace, limit, .. } = cmd else {
+            panic!()
+        };
+        assert_eq!(sites, 4);
+        assert_eq!(q, 0.5);
+        assert_eq!(algorithm, Algorithm::Dsud);
+        assert_eq!(subspace, Some(vec![0, 2]));
+        assert_eq!(limit, Some(5));
+    }
+
+    #[test]
+    fn defaults_are_sensible() {
+        let Command::Query { sites, q, algorithm, subspace, limit, seed, .. } =
+            parse(&argv("query --input d.jsonl")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!((sites, q, algorithm), (8, 0.3, Algorithm::Edsud));
+        assert_eq!((subspace, limit, seed), (None, None, 0));
+    }
+
+    #[test]
+    fn parses_stream() {
+        let Command::Stream { q, window, every, .. } =
+            parse(&argv("stream --input d.jsonl --q 0.5 --window 200 --every 50")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!((q, window, every), (0.5, 200, 50));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse(&argv("generate")).is_err()); // missing --n
+        assert!(parse(&argv("generate --n ten")).is_err());
+        assert!(parse(&argv("query")).is_err()); // missing --input
+        assert!(parse(&argv("query --input f --algorithm magic")).is_err());
+        assert!(parse(&argv("query --input f --subspace a,b")).is_err());
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("generate --n")).is_err()); // dangling flag
+        assert!(parse(&argv("generate n 5")).is_err()); // not a flag
+    }
+
+    #[test]
+    fn empty_and_help_yield_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+    }
+}

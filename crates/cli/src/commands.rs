@@ -1,0 +1,284 @@
+use std::fs;
+use std::io::Write;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dsud_core::{baseline, BandwidthMeter, Cluster, QueryConfig, QueryOutcome, SubspaceMask};
+use dsud_data::nyse::NyseSpec;
+use dsud_data::{partition_uniform, ProbabilityLaw, SpatialDistribution, WorkloadSpec};
+use dsud_uncertain::{Probability, UncertainTuple};
+use dsud_vertical::{ColumnSite, UtaCoordinator};
+
+use crate::args::USAGE;
+use crate::{Algorithm, CliError, Command, Distribution};
+
+/// Executes a parsed command, writing human-readable output to `out`.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing i/o, parse, or library failures.
+pub fn run<W: Write>(cmd: &Command, out: &mut W) -> Result<(), CliError> {
+    match cmd {
+        Command::Help => {
+            writeln!(out, "{USAGE}")?;
+            Ok(())
+        }
+        Command::Generate { n, dims, dist, gaussian_mean, seed, out: path } => {
+            generate(*n, *dims, *dist, *gaussian_mean, *seed, path.as_deref(), out)
+        }
+        Command::Query { input, sites, q, algorithm, subspace, limit, seed } => {
+            query(input, *sites, *q, *algorithm, subspace.as_deref(), *limit, *seed, out)
+        }
+        Command::Vertical { input, q } => vertical(input, *q, out),
+        Command::Stream { input, q, window, every } => stream(input, *q, *window, *every, out),
+        Command::Estimate { n, dims, sites } => {
+            estimate(*n, *dims, *sites, out)?;
+            Ok(())
+        }
+    }
+}
+
+fn probability_law(gaussian_mean: Option<f64>) -> ProbabilityLaw {
+    match gaussian_mean {
+        Some(mean) => ProbabilityLaw::Gaussian { mean, std_dev: 0.2 },
+        None => ProbabilityLaw::Uniform,
+    }
+}
+
+fn generate<W: Write>(
+    n: usize,
+    dims: usize,
+    dist: Distribution,
+    gaussian_mean: Option<f64>,
+    seed: u64,
+    path: Option<&std::path::Path>,
+    out: &mut W,
+) -> Result<(), CliError> {
+    let prob = probability_law(gaussian_mean);
+    let tuples: Vec<UncertainTuple> = match dist {
+        Distribution::Nyse => {
+            let rows = NyseSpec::new(n).probability_law(prob).seed(seed).generate_rows()?;
+            rows.into_iter()
+                .enumerate()
+                .map(|(i, (values, p))| {
+                    UncertainTuple::new(dsud_uncertain::TupleId::new(0, i as u64), values, p)
+                        .expect("generated rows are valid")
+                })
+                .collect()
+        }
+        other => {
+            let spatial = match other {
+                Distribution::Independent => SpatialDistribution::Independent,
+                Distribution::Correlated => SpatialDistribution::Correlated,
+                Distribution::Anticorrelated => SpatialDistribution::Anticorrelated,
+                Distribution::Nyse => unreachable!("handled above"),
+            };
+            WorkloadSpec::new(n, dims)
+                .spatial(spatial)
+                .probability_law(prob)
+                .seed(seed)
+                .generate()?
+        }
+    };
+
+    let mut buffer = String::with_capacity(tuples.len() * 64);
+    for t in &tuples {
+        buffer.push_str(&serde_json::to_string(t).expect("tuples serialize"));
+        buffer.push('\n');
+    }
+    match path {
+        Some(path) => {
+            fs::write(path, buffer)?;
+            writeln!(out, "wrote {} tuples to {}", tuples.len(), path.display())?;
+        }
+        None => out.write_all(buffer.as_bytes())?,
+    }
+    Ok(())
+}
+
+/// Reads a JSONL workload file.
+fn read_tuples(path: &std::path::Path) -> Result<Vec<UncertainTuple>, CliError> {
+    let text = fs::read_to_string(path)?;
+    let mut tuples = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let t: UncertainTuple = serde_json::from_str(line)
+            .map_err(|e| CliError::Parse { line: i + 1, message: e.to_string() })?;
+        tuples.push(t);
+    }
+    if tuples.is_empty() {
+        return Err(CliError::Parse { line: 0, message: "file holds no tuples".into() });
+    }
+    Ok(tuples)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn query<W: Write>(
+    input: &std::path::Path,
+    sites: usize,
+    q: f64,
+    algorithm: Algorithm,
+    subspace: Option<&[usize]>,
+    limit: Option<usize>,
+    seed: u64,
+    out: &mut W,
+) -> Result<(), CliError> {
+    let tuples = read_tuples(input)?;
+    let dims = tuples[0].dims();
+    let rows: Vec<(Vec<f64>, Probability)> =
+        tuples.iter().map(|t| (t.values().to_vec(), t.prob())).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let partitioned = partition_uniform(rows, sites, &mut rng)?;
+
+    let mut config = QueryConfig::new(q)?;
+    if let Some(dims_spec) = subspace {
+        config = config.subspace(SubspaceMask::from_dims(dims_spec)?);
+    }
+    if let Some(k) = limit {
+        config = config.limit(k);
+    }
+
+    let outcome: QueryOutcome = match algorithm {
+        Algorithm::Baseline => {
+            let meter = BandwidthMeter::new();
+            let mask = config.resolve_mask(dims)?;
+            baseline::run(&partitioned, dims, q, mask, &meter)?
+        }
+        Algorithm::Dsud => Cluster::local(dims, partitioned)?.run_dsud(&config)?,
+        Algorithm::Edsud => Cluster::local(dims, partitioned)?.run_edsud(&config)?,
+    };
+
+    writeln!(
+        out,
+        "{} qualified tuples (q = {q}, {} sites, {} tuples transmitted)",
+        outcome.skyline.len(),
+        sites,
+        outcome.tuples_transmitted()
+    )?;
+    for entry in &outcome.skyline {
+        writeln!(
+            out,
+            "  {}  values={:?}  P_gsky={:.4}",
+            entry.tuple.id(),
+            entry.tuple.values(),
+            entry.probability
+        )?;
+    }
+    let t = &outcome.traffic;
+    writeln!(
+        out,
+        "traffic: uploads={} feedback={} maintenance={} bytes={}",
+        t.upload.tuples,
+        t.feedback.tuples,
+        t.maintenance.tuples,
+        t.total().bytes
+    )?;
+    Ok(())
+}
+
+fn vertical<W: Write>(input: &std::path::Path, q: f64, out: &mut W) -> Result<(), CliError> {
+    let tuples = read_tuples(input)?;
+    let columns = ColumnSite::partition(&tuples)?;
+    let outcome = UtaCoordinator::new(q)?.run(&columns)?;
+    writeln!(
+        out,
+        "{} qualified tuples (q = {q}, {} column sites)",
+        outcome.skyline.len(),
+        columns.len()
+    )?;
+    for entry in &outcome.skyline {
+        writeln!(
+            out,
+            "  {}  values={:?}  P_sky={:.4}",
+            entry.tuple.id(),
+            entry.tuple.values(),
+            entry.probability
+        )?;
+    }
+    writeln!(
+        out,
+        "accesses: sorted={} random={} resolved={} of {}",
+        outcome.stats.sorted_accesses,
+        outcome.stats.random_accesses,
+        outcome.stats.resolved,
+        tuples.len()
+    )?;
+    Ok(())
+}
+
+fn stream<W: Write>(
+    input: &std::path::Path,
+    q: f64,
+    window: usize,
+    every: usize,
+    out: &mut W,
+) -> Result<(), CliError> {
+    let tuples = read_tuples(input)?;
+    let dims = tuples[0].dims();
+    let mut sky = dsud_stream::SlidingSkyline::new(dims, window, q)
+        .map_err(|e| CliError::Library(e.to_string()))?;
+    for (i, t) in tuples.iter().enumerate() {
+        sky.push(t.clone()).map_err(|e| CliError::Library(e.to_string()))?;
+        if (i + 1) % every.max(1) == 0 {
+            writeln!(
+                out,
+                "after {:>8} arrivals: {:>4} qualified, candidates {:>5} of window {}",
+                i + 1,
+                sky.skyline().len(),
+                sky.candidate_count(),
+                sky.len()
+            )?;
+        }
+    }
+    let stats = sky.stats();
+    writeln!(
+        out,
+        "final: {} qualified; {} arrivals, {} expirations, {} candidates pruned early",
+        sky.skyline().len(),
+        stats.arrivals,
+        stats.expirations,
+        stats.pruned_candidates
+    )?;
+    Ok(())
+}
+
+fn estimate<W: Write>(n: usize, dims: usize, sites: usize, out: &mut W) -> Result<(), CliError> {
+    let a = dsud_core::estimate::analyze(sites, dims, n);
+    writeln!(out, "expected skyline cardinality H({dims}, {n}) ≈ {:.1}", a.expected_skylines)?;
+    writeln!(out, "naive feedback cost  N_back  ≈ {:.0} tuples (Eq. 7)", a.n_back)?;
+    writeln!(out, "local skyline volume N_local ≈ {:.0} tuples (Eq. 8)", a.n_local)?;
+    writeln!(
+        out,
+        "N_back / N_local ≈ {:.2} — blind feedback costs more than shipping local skylines",
+        a.n_back / a.n_local.max(f64::MIN_POSITIVE)
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_prints_analysis() {
+        let mut buf = Vec::new();
+        estimate(2_000_000, 3, 60, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("N_back"));
+        assert!(text.contains("N_local"));
+    }
+
+    #[test]
+    fn read_tuples_rejects_garbage() {
+        let dir = std::env::temp_dir().join("dsud-cli-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.jsonl");
+        fs::write(&path, "not json\n").unwrap();
+        assert!(matches!(read_tuples(&path), Err(CliError::Parse { line: 1, .. })));
+        fs::write(&path, "").unwrap();
+        assert!(matches!(read_tuples(&path), Err(CliError::Parse { line: 0, .. })));
+    }
+}

@@ -1,0 +1,63 @@
+use std::fmt;
+
+/// Errors surfaced to the command-line user.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CliError {
+    /// Argument parsing failed; the string is a user-facing explanation.
+    Usage(String),
+    /// An input file could not be read or an output file written.
+    Io(std::io::Error),
+    /// An input line was not a valid tuple.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Underlying serde error message.
+        message: String,
+    },
+    /// The library rejected the request (bad threshold, mask, etc.).
+    Library(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::Parse { line, message } => {
+                write!(f, "line {line}: not a valid tuple ({message})")
+            }
+            CliError::Library(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+macro_rules! lib_err {
+    ($t:ty) => {
+        impl From<$t> for CliError {
+            fn from(e: $t) -> Self {
+                CliError::Library(e.to_string())
+            }
+        }
+    };
+}
+
+lib_err!(dsud_uncertain::Error);
+lib_err!(dsud_data::Error);
+lib_err!(dsud_core::Error);
+lib_err!(dsud_vertical::Error);

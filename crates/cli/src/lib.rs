@@ -1,0 +1,25 @@
+//! `dsud` — command-line front end to the distributed uncertain skyline
+//! library.
+//!
+//! ```text
+//! dsud generate --n 10000 --dims 3 --dist anticorrelated --seed 1 --out data.jsonl
+//! dsud query    --input data.jsonl --sites 8 --q 0.3 --algorithm edsud
+//! dsud vertical --input data.jsonl --q 0.3
+//! dsud estimate --n 2000000 --dims 3 --sites 60
+//! ```
+//!
+//! The data format is one JSON-encoded [`UncertainTuple`](dsud_uncertain::UncertainTuple) per line, so
+//! files interoperate with anything that speaks the library's serde
+//! schema. All logic lives in this library crate (the binary is a thin
+//! wrapper) so the test suite can drive every command end-to-end.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+mod commands;
+mod error;
+
+pub use args::{parse, Algorithm, Command, Distribution};
+pub use commands::run;
+pub use error::CliError;

@@ -1,0 +1,139 @@
+//! The ship-everything baseline (paper Section 3.2) and the bandwidth
+//! ceiling used by the evaluation.
+//!
+//! The baseline asks every site to transmit its entire uncertain database
+//! to the server, which then answers the query centrally — correct,
+//! non-progressive, and maximally expensive: exactly `|D|` tuples of
+//! bandwidth. The paper uses it only as a motivation; its experiments plot
+//! DSUD (as baseline) against e-DSUD and against the *ceiling*, the
+//! minimum conceivable bandwidth computed from the answer size.
+
+use std::time::Instant;
+
+use dsud_net::{BandwidthMeter, Message, TupleMsg};
+use dsud_uncertain::{
+    probabilistic_skyline, SkylineEntry, SubspaceMask, UncertainDb, UncertainTuple,
+};
+
+use crate::{Error, ProgressLog, QueryOutcome, RunStats};
+
+/// Runs the centralized baseline: every tuple crosses the network once,
+/// then the global skyline is computed at the server via Eq. (3).
+///
+/// Traffic is recorded on `meter` as one upload per tuple, mirroring what a
+/// real ship-everything deployment would send.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidThreshold`] for a bad `q`,
+/// [`Error::Subspace`] for a mask outside the data space, or
+/// [`Error::DimensionMismatch`] for malformed site data.
+pub fn run(
+    sites: &[Vec<UncertainTuple>],
+    dims: usize,
+    q: f64,
+    mask: SubspaceMask,
+    meter: &BandwidthMeter,
+) -> Result<QueryOutcome, Error> {
+    if !(q > 0.0 && q <= 1.0) {
+        return Err(Error::InvalidThreshold(q));
+    }
+    mask.validate_for(dims)?;
+    let start_traffic = meter.snapshot();
+    let started = Instant::now();
+
+    let mut union = UncertainDb::new(dims)?;
+    for site in sites {
+        for t in site {
+            meter.record(&Message::Upload(Some(TupleMsg::new(t, 0.0))));
+            union.insert(t.clone()).map_err(|e| match e {
+                dsud_uncertain::Error::DimensionMismatch { expected, actual } => {
+                    Error::DimensionMismatch { expected, actual }
+                }
+                other => Error::Subspace(other),
+            })?;
+        }
+    }
+
+    let skyline: Vec<SkylineEntry> = probabilistic_skyline(&union, q, mask)?;
+
+    // The baseline is the anti-progressive extreme: every result appears
+    // only after the full transfer and computation.
+    let mut progress = ProgressLog::new();
+    let transmitted = meter.snapshot().since(&start_traffic).tuples_transmitted();
+    for entry in &skyline {
+        progress.push(entry.tuple.id(), entry.probability, transmitted, started.elapsed());
+    }
+
+    Ok(QueryOutcome {
+        skyline,
+        progress,
+        traffic: meter.snapshot().since(&start_traffic),
+        stats: RunStats::default(),
+    })
+}
+
+/// The evaluation's *Ceiling* (paper Section 7.1): the minimum number of
+/// tuples any algorithm in this framework must transmit — each of the
+/// `answer_size` qualified tuples is uploaded once and must visit the other
+/// `m − 1` sites to have its global probability confirmed.
+pub fn ceiling(answer_size: usize, m: usize) -> u64 {
+    (answer_size as u64) * (m as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsud_uncertain::{Probability, TupleId};
+
+    fn tuple(site: u32, seq: u64, values: Vec<f64>, p: f64) -> UncertainTuple {
+        UncertainTuple::new(TupleId::new(site, seq), values, Probability::new(p).unwrap())
+            .unwrap()
+    }
+
+    #[test]
+    fn transmits_everything_once() {
+        let sites = vec![
+            vec![tuple(0, 0, vec![1.0, 9.0], 0.9), tuple(0, 1, vec![5.0, 5.0], 0.9)],
+            vec![tuple(1, 0, vec![9.0, 1.0], 0.9)],
+        ];
+        let meter = BandwidthMeter::new();
+        let out = run(&sites, 2, 0.3, SubspaceMask::full(2).unwrap(), &meter).unwrap();
+        assert_eq!(out.tuples_transmitted(), 3);
+        assert_eq!(out.skyline.len(), 3);
+        assert_eq!(out.progress.len(), 3);
+    }
+
+    #[test]
+    fn matches_centralized_reference() {
+        let sites = vec![
+            vec![tuple(0, 0, vec![1.0, 5.0], 0.5), tuple(0, 1, vec![2.0, 6.0], 0.8)],
+            vec![tuple(1, 0, vec![1.5, 4.0], 0.6)],
+        ];
+        let meter = BandwidthMeter::new();
+        let mask = SubspaceMask::full(2).unwrap();
+        let out = run(&sites, 2, 0.3, mask, &meter).unwrap();
+        let union = UncertainDb::from_tuples(
+            2,
+            sites.iter().flatten().cloned().collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let expected = probabilistic_skyline(&union, 0.3, mask).unwrap();
+        assert_eq!(out.skyline, expected);
+    }
+
+    #[test]
+    fn ceiling_is_answer_times_sites() {
+        assert_eq!(ceiling(10, 60), 600);
+        assert_eq!(ceiling(0, 60), 0);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let meter = BandwidthMeter::new();
+        let mask = SubspaceMask::full(2).unwrap();
+        assert!(run(&[], 2, 0.0, mask, &meter).is_err());
+        let bad_mask = SubspaceMask::from_dims(&[7]).unwrap();
+        assert!(run(&[], 2, 0.3, bad_mask, &meter).is_err());
+    }
+}

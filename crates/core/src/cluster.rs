@@ -1,0 +1,255 @@
+use serde::{Deserialize, Serialize};
+
+use dsud_net::{
+    tcp, BandwidthMeter, ChannelLink, Link, LocalLink, Message, MeterSnapshot, TupleMsg,
+};
+use dsud_uncertain::{SkylineEntry, UncertainTuple};
+
+use crate::{dsud, edsud, Error, LocalSite, ProgressLog, QueryConfig, SiteOptions};
+
+/// Counters describing how a distributed query run unfolded.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Coordinator iterations executed.
+    pub iterations: u64,
+    /// Candidates broadcast to the other sites (Server-Delivery phases).
+    pub broadcasts: u64,
+    /// Candidates expunged by the e-DSUD bound without any broadcast.
+    pub expunged: u64,
+    /// Local-skyline tuples pruned at the sites by feedback.
+    pub pruned_at_sites: u64,
+}
+
+/// Result of one distributed skyline query.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueryOutcome {
+    /// Qualified global skyline tuples with their exact global
+    /// probabilities, in report (discovery) order.
+    pub skyline: Vec<SkylineEntry>,
+    /// Progressiveness trace.
+    pub progress: ProgressLog,
+    /// Network traffic attributable to this run.
+    pub traffic: MeterSnapshot,
+    /// Coordinator counters.
+    pub stats: RunStats,
+}
+
+impl QueryOutcome {
+    /// The paper's bandwidth measure for this run.
+    pub fn tuples_transmitted(&self) -> u64 {
+        self.traffic.tuples_transmitted()
+    }
+}
+
+/// A full distributed deployment: `m` local sites behind metered links plus
+/// the coordinator logic of the central server `H`.
+///
+/// Two constructors mirror the two transports of `dsud-net`:
+/// [`Cluster::local`] runs every site inline (deterministic; used by tests
+/// and benchmarks), [`Cluster::threaded`] gives every site its own OS
+/// thread.
+pub struct Cluster {
+    dims: usize,
+    links: Vec<Box<dyn Link>>,
+    meter: BandwidthMeter,
+    total_tuples: usize,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("dims", &self.dims)
+            .field("sites", &self.links.len())
+            .field("total_tuples", &self.total_tuples)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Cluster {
+    /// Builds an inline-transport cluster with default site options.
+    ///
+    /// Site `i` of `sites` must contain tuples labelled `TupleId { site: i, .. }`
+    /// (as produced by `dsud_data`'s partitioners).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoSites`] for an empty site list and propagates
+    /// site construction failures.
+    pub fn local(dims: usize, sites: Vec<Vec<UncertainTuple>>) -> Result<Self, Error> {
+        Self::local_with_options(dims, sites, SiteOptions::default())
+    }
+
+    /// Builds an inline-transport cluster with explicit site options
+    /// (ablations).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Cluster::local`].
+    pub fn local_with_options(
+        dims: usize,
+        sites: Vec<Vec<UncertainTuple>>,
+        options: SiteOptions,
+    ) -> Result<Self, Error> {
+        Self::build(dims, sites, options, false)
+    }
+
+    /// Builds a cluster whose sites each run on a dedicated OS thread
+    /// behind crossbeam channels.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Cluster::local`].
+    pub fn threaded(dims: usize, sites: Vec<Vec<UncertainTuple>>) -> Result<Self, Error> {
+        Self::build(dims, sites, SiteOptions::default(), true)
+    }
+
+    /// Builds a cluster whose sites are served over loopback TCP — real
+    /// sockets, the same wire encoding, one server thread per site.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Cluster::local`], plus [`Error::ProtocolViolation`] if a
+    /// socket cannot be bound or connected.
+    pub fn tcp(dims: usize, sites: Vec<Vec<UncertainTuple>>) -> Result<Self, Error> {
+        if sites.is_empty() {
+            return Err(Error::NoSites);
+        }
+        let meter = BandwidthMeter::new();
+        let total_tuples = sites.iter().map(Vec::len).sum();
+        let mut links: Vec<Box<dyn Link>> = Vec::with_capacity(sites.len());
+        for (i, tuples) in sites.into_iter().enumerate() {
+            let site = LocalSite::new(i as u32, dims, tuples, SiteOptions::default())?;
+            let (addr, _server) = tcp::spawn_site(site)
+                .map_err(|_| Error::ProtocolViolation("cannot bind site socket"))?;
+            let link = tcp::TcpLink::connect(addr, meter.clone())
+                .map_err(|_| Error::ProtocolViolation("cannot connect to site socket"))?;
+            links.push(Box::new(link));
+        }
+        Ok(Cluster { dims, links, meter, total_tuples })
+    }
+
+    fn build(
+        dims: usize,
+        sites: Vec<Vec<UncertainTuple>>,
+        options: SiteOptions,
+        threaded: bool,
+    ) -> Result<Self, Error> {
+        if sites.is_empty() {
+            return Err(Error::NoSites);
+        }
+        let meter = BandwidthMeter::new();
+        let total_tuples = sites.iter().map(Vec::len).sum();
+        let mut links: Vec<Box<dyn Link>> = Vec::with_capacity(sites.len());
+        for (i, tuples) in sites.into_iter().enumerate() {
+            let site = LocalSite::new(i as u32, dims, tuples, options)?;
+            if threaded {
+                links.push(Box::new(ChannelLink::spawn(site, meter.clone())));
+            } else {
+                links.push(Box::new(LocalLink::new(site, meter.clone())));
+            }
+        }
+        Ok(Cluster { dims, links, meter, total_tuples })
+    }
+
+    /// Number of local sites `m`.
+    pub fn site_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Dimensionality of the data space.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Total tuples across all local databases at construction time.
+    pub fn total_tuples(&self) -> usize {
+        self.total_tuples
+    }
+
+    /// The shared bandwidth meter.
+    pub fn meter(&self) -> &BandwidthMeter {
+        &self.meter
+    }
+
+    /// Mutable access to the site links (used by the update driver).
+    pub fn links_mut(&mut self) -> &mut [Box<dyn Link>] {
+        &mut self.links
+    }
+
+    /// Runs the DSUD algorithm (Section 5.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Subspace`] for an invalid query mask or
+    /// [`Error::ProtocolViolation`] if a site misbehaves.
+    pub fn run_dsud(&mut self, config: &QueryConfig) -> Result<QueryOutcome, Error> {
+        let mask = config.resolve_mask(self.dims)?;
+        dsud::run(&mut self.links, &self.meter, config.q, mask, config.limit)
+    }
+
+    /// Runs the enhanced e-DSUD algorithm (Section 5.2).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Cluster::run_dsud`].
+    pub fn run_edsud(&mut self, config: &QueryConfig) -> Result<QueryOutcome, Error> {
+        let mask = config.resolve_mask(self.dims)?;
+        edsud::run_with_synopses(
+            &mut self.links,
+            &self.meter,
+            config.q,
+            mask,
+            config.bound,
+            config.limit,
+            config.synopsis,
+        )
+    }
+}
+
+/// Interprets a site reply that must be an upload.
+pub(crate) fn expect_upload(msg: Message) -> Result<Option<TupleMsg>, Error> {
+    match msg {
+        Message::Upload(t) => Ok(t),
+        _ => Err(Error::ProtocolViolation("expected Upload reply")),
+    }
+}
+
+/// Interprets a site reply that must be a survival reply; the survival
+/// product must be a valid probability or the reply is rejected (a
+/// corrupted site must not silently poison global probabilities).
+pub(crate) fn expect_survival(msg: Message) -> Result<(f64, u64), Error> {
+    match msg {
+        Message::SurvivalReply { survival, pruned } => {
+            if survival.is_finite() && (0.0..=1.0).contains(&survival) {
+                Ok((survival, pruned))
+            } else {
+                Err(Error::ProtocolViolation("survival product out of range"))
+            }
+        }
+        _ => Err(Error::ProtocolViolation("expected SurvivalReply")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_cluster() {
+        assert!(matches!(Cluster::local(2, vec![]), Err(Error::NoSites)));
+    }
+
+    #[test]
+    fn expect_helpers_reject_mismatches() {
+        assert!(expect_upload(Message::Ack).is_err());
+        assert!(expect_survival(Message::Ack).is_err());
+        assert_eq!(expect_upload(Message::Upload(None)).unwrap(), None);
+        assert_eq!(
+            expect_survival(Message::SurvivalReply { survival: 0.5, pruned: 2 }).unwrap(),
+            (0.5, 2)
+        );
+        for bad in [f64::NAN, -0.1, 1.5, f64::INFINITY] {
+            assert!(expect_survival(Message::SurvivalReply { survival: bad, pruned: 0 }).is_err());
+        }
+    }
+}

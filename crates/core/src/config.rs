@@ -1,0 +1,169 @@
+use serde::{Deserialize, Serialize};
+
+use dsud_uncertain::SubspaceMask;
+
+use crate::Error;
+
+/// How e-DSUD bounds the global skyline probability of a queued candidate
+/// (the feedback-selection criterion of Section 5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum BoundMode {
+    /// The paper's bound: for each other site, the tighter of (a) the
+    /// accumulated `(1 − P(t))` discounts from already-broadcast dominators
+    /// and (b) the Observation-2 transitive factor
+    /// `P_sky(t', D_x)/P(t') × (1 − P(t'))` of the site's in-queue
+    /// representative `t'` when it dominates the candidate. Reproduces the
+    /// worked example of Table 2 exactly.
+    #[default]
+    Paper,
+    /// Ablation: only the broadcast discounts (a) — a strictly looser
+    /// bound, expunging later and broadcasting more.
+    BroadcastOnly,
+}
+
+/// Configuration of one distributed skyline query.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueryConfig {
+    /// Probability threshold `q ∈ (0, 1]` (Definition 1).
+    pub q: f64,
+    /// Queried subspace; `None` means the full space of the cluster.
+    pub mask: Option<SubspaceMask>,
+    /// Bound mode for e-DSUD feedback selection.
+    pub bound: BoundMode,
+    /// Stop after this many reported results (progressive top-k); `None`
+    /// retrieves the complete answer.
+    pub limit: Option<usize>,
+    /// e-DSUD only: request a grid synopsis of this resolution from every
+    /// site at query start and use it for candidate bounding (the
+    /// Section 5.2 trade-off the paper argues against — measured by the
+    /// ablation benches). `None` uses only the paper's free bounds.
+    pub synopsis: Option<u16>,
+}
+
+impl QueryConfig {
+    /// Creates a full-space query with the paper's default bound mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidThreshold`] if `q` is outside `(0, 1]`.
+    pub fn new(q: f64) -> Result<Self, Error> {
+        if !(q > 0.0 && q <= 1.0) {
+            return Err(Error::InvalidThreshold(q));
+        }
+        Ok(QueryConfig { q, mask: None, bound: BoundMode::Paper, limit: None, synopsis: None })
+    }
+
+    /// Restricts the query to a subspace (Section 4's subspace skylines).
+    pub fn subspace(mut self, mask: SubspaceMask) -> Self {
+        self.mask = Some(mask);
+        self
+    }
+
+    /// Selects the e-DSUD bound mode.
+    pub fn bound_mode(mut self, bound: BoundMode) -> Self {
+        self.bound = bound;
+        self
+    }
+
+    /// Requests per-site grid synopses at this resolution and folds them
+    /// into the e-DSUD candidate bounds.
+    pub fn synopsis(mut self, resolution: u16) -> Self {
+        self.synopsis = Some(resolution);
+        self
+    }
+
+    /// Stops the query after `k` reported results. The progressive
+    /// coordinators report in discovery order, so the result is a prefix of
+    /// the full run's report stream — the "first k answers" a user watching
+    /// the stream would have seen.
+    pub fn limit(mut self, k: usize) -> Self {
+        self.limit = Some(k);
+        self
+    }
+
+    /// Resolves the effective mask for a `dims`-dimensional cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Subspace`] if an explicit mask selects dimensions
+    /// outside the data space.
+    pub fn resolve_mask(&self, dims: usize) -> Result<SubspaceMask, Error> {
+        match self.mask {
+            Some(mask) => {
+                mask.validate_for(dims)?;
+                Ok(mask)
+            }
+            None => Ok(SubspaceMask::full(dims)?),
+        }
+    }
+}
+
+/// How a site decides whether a *deletion* must be reported to the server
+/// (the update-maintenance protocol of Section 5.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum UpdatePolicy {
+    /// Every deletion is reported (one tuple) and the server re-evaluates
+    /// the deleted tuple's dominance region. Keeps the maintained skyline
+    /// *exactly* equal to a from-scratch recomputation.
+    #[default]
+    Exact,
+    /// The paper's heuristic: a deletion is reported only when the tuple is
+    /// in the site's replica of `SKY(H)`. Much cheaper — non-member
+    /// deletions cost zero bandwidth — but promotions of tuples the
+    /// deleted one was suppressing are missed, so the maintained skyline is
+    /// a *sound subset* of the exact answer (every reported member truly
+    /// qualifies; some qualifying tuples may be missing until the next full
+    /// query).
+    Replica,
+}
+
+/// Site-local behaviour switches (ablations and maintenance policy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SiteOptions {
+    /// Whether the Local-Pruning phase is active. Disabling it isolates the
+    /// value of the feedback mechanism (ablation C in DESIGN.md).
+    pub pruning: bool,
+    /// Deletion-reporting policy for update maintenance.
+    pub update_policy: UpdatePolicy,
+}
+
+impl Default for SiteOptions {
+    fn default() -> Self {
+        SiteOptions { pruning: true, update_policy: UpdatePolicy::Exact }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_thresholds() {
+        for q in [0.0, -0.5, 1.5, f64::NAN] {
+            assert!(QueryConfig::new(q).is_err(), "{q}");
+        }
+        assert!(QueryConfig::new(1.0).is_ok());
+    }
+
+    #[test]
+    fn resolves_full_mask_by_default() {
+        let cfg = QueryConfig::new(0.3).unwrap();
+        assert_eq!(cfg.resolve_mask(3).unwrap(), SubspaceMask::full(3).unwrap());
+    }
+
+    #[test]
+    fn validates_explicit_mask() {
+        let cfg = QueryConfig::new(0.3)
+            .unwrap()
+            .subspace(SubspaceMask::from_dims(&[0, 4]).unwrap());
+        assert!(cfg.resolve_mask(5).is_ok());
+        assert!(matches!(cfg.resolve_mask(2), Err(Error::Subspace(_))));
+    }
+
+    #[test]
+    fn defaults_are_paper_faithful() {
+        let cfg = QueryConfig::new(0.3).unwrap();
+        assert_eq!(cfg.bound, BoundMode::Paper);
+        assert!(SiteOptions::default().pruning);
+    }
+}

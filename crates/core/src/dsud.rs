@@ -1,0 +1,151 @@
+//! The DSUD algorithm (paper Section 5.1).
+//!
+//! Each site computes its threshold-qualified local skyline `SKY(D_i)` and
+//! streams it to the server in descending local-probability order, one
+//! representative at a time. The server keeps at most one candidate per
+//! site in a priority queue `L`; each iteration it takes the head (largest
+//! local skyline probability), broadcasts it to the other `m − 1` sites,
+//! multiplies the returned survival products into the exact global
+//! probability (Lemma 1), reports the tuple if it meets `q`, and asks the
+//! head's home site for its next representative. The broadcast doubles as
+//! *feedback*: sites drop pending candidates whose accumulated upper bound
+//! falls below `q` (Local-Pruning phase).
+//!
+//! Termination is safe once `L` empties or its head's local probability
+//! falls below `q`: by Corollary 1 every unfetched tuple is bounded by
+//! that head.
+
+use std::time::Instant;
+
+use dsud_net::{BandwidthMeter, Link, Message, TupleMsg};
+use dsud_uncertain::{SkylineEntry, SubspaceMask};
+
+use crate::cluster::{expect_survival, expect_upload};
+use crate::{Error, ProgressLog, QueryOutcome, RunStats};
+
+/// Runs DSUD over the given site links.
+///
+/// `links[i]` must address site `i`; `q` must lie in `(0, 1]` and `mask`
+/// must fit the sites' data space (both validated by
+/// [`crate::Cluster::run_dsud`], which is the intended entry point).
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidThreshold`] or [`Error::ProtocolViolation`].
+pub fn run(
+    links: &mut [Box<dyn Link>],
+    meter: &BandwidthMeter,
+    q: f64,
+    mask: SubspaceMask,
+    limit: Option<usize>,
+) -> Result<QueryOutcome, Error> {
+    if !(q > 0.0 && q <= 1.0) {
+        return Err(Error::InvalidThreshold(q));
+    }
+    let start_traffic = meter.snapshot();
+    let started = Instant::now();
+    let mut stats = RunStats::default();
+    let mut progress = ProgressLog::new();
+    let mut skyline: Vec<SkylineEntry> = Vec::new();
+
+    // To-Server phase, first iteration: every site sends its best
+    // representative.
+    let mut queue: Vec<TupleMsg> = Vec::with_capacity(links.len());
+    for link in links.iter_mut() {
+        if let Some(t) = expect_upload(link.call(Message::Start { q, mask }))? {
+            queue.push(t);
+        }
+    }
+
+    // Head of L each iteration: the candidate with the largest local
+    // skyline probability (ties broken by id for determinism).
+    while let Some(head_idx) = argmax_local(&queue) {
+        if queue[head_idx].local_prob < q {
+            // Corollary 1: nothing fetched or unfetched can still qualify.
+            break;
+        }
+        let cand = queue.swap_remove(head_idx);
+        stats.iterations += 1;
+        stats.broadcasts += 1;
+
+        // Server-Delivery phase: assemble the exact global probability.
+        // The broadcast is put in flight on every other site at once, so
+        // concurrent transports overlap the survival computations.
+        let mut global = cand.local_prob;
+        let home = cand.id.site.0 as usize;
+        for (_, reply) in
+            dsud_net::broadcast(links, |x| x != home, &Message::Feedback(cand.clone()))
+        {
+            let (survival, pruned) = expect_survival(reply)?;
+            global *= survival;
+            stats.pruned_at_sites += pruned;
+        }
+
+        if global >= q {
+            skyline.push(SkylineEntry { tuple: cand.to_tuple(), probability: global });
+            let transmitted = meter.snapshot().since(&start_traffic).tuples_transmitted();
+            progress.push(cand.id, global, transmitted, started.elapsed());
+            if limit.is_some_and(|k| skyline.len() >= k) {
+                break;
+            }
+        }
+
+        // Next To-Server phase: refill from the consumed site.
+        if let Some(next) = expect_upload(links[home].call(Message::RequestNext))? {
+            queue.push(next);
+        }
+    }
+
+    Ok(QueryOutcome {
+        skyline,
+        progress,
+        traffic: meter.snapshot().since(&start_traffic),
+        stats,
+    })
+}
+
+/// Index of the queue entry with the largest local skyline probability.
+fn argmax_local(queue: &[TupleMsg]) -> Option<usize> {
+    queue
+        .iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| {
+            a.local_prob
+                .partial_cmp(&b.local_prob)
+                .expect("probabilities are finite")
+                .then_with(|| b.id.cmp(&a.id))
+        })
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(site: u32, seq: u64, local_prob: f64) -> TupleMsg {
+        TupleMsg {
+            id: dsud_uncertain::TupleId::new(site, seq),
+            values: vec![1.0, 1.0],
+            prob: 0.5,
+            local_prob,
+        }
+    }
+
+    #[test]
+    fn argmax_prefers_probability_then_lowest_id() {
+        let queue = vec![msg(0, 0, 0.5), msg(1, 0, 0.9), msg(2, 0, 0.9)];
+        assert_eq!(argmax_local(&queue), Some(1));
+        assert_eq!(argmax_local(&[]), None);
+    }
+
+    #[test]
+    fn rejects_bad_threshold() {
+        let mut links: Vec<Box<dyn Link>> = Vec::new();
+        let meter = BandwidthMeter::new();
+        let mask = SubspaceMask::full(2).unwrap();
+        assert!(matches!(
+            run(&mut links, &meter, 0.0, mask, None),
+            Err(Error::InvalidThreshold(_))
+        ));
+    }
+}

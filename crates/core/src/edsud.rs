@@ -1,0 +1,360 @@
+//! The enhanced e-DSUD algorithm (paper Sections 5.2–5.3).
+//!
+//! DSUD ranks candidates by *local* skyline probability, which is usually a
+//! very loose stand-in for the global one: it broadcasts many tuples that
+//! were never going to qualify. e-DSUD instead maintains, for every queued
+//! candidate `s`, an upper bound `P*_gsky(s)` on its global skyline
+//! probability assembled from free information already at the server:
+//!
+//! * for every *broadcast* tuple `t` from another site that dominates `s`,
+//!   the factor `(1 − P(t))` (these are confirmed dominators of `s`);
+//! * for every *in-queue* representative `t'` of another site `x` that
+//!   dominates `s`, the Observation-2 factor
+//!   `P_sky(t', D_x)/P(t') × (1 − P(t'))` — the dominators of `t'` in
+//!   `D_x` transitively dominate `s`, and so does `t'` itself.
+//!
+//! Per site the tighter of the two applicable factors is used (both are
+//! valid upper bounds on `s`'s survival in that site, and they may overlap,
+//! so they must not be multiplied together). This reproduces the paper's
+//! worked example exactly: `P*((6.4,7.5)) = 0.8 × (0.65/0.7) × 0.3 ≈ 0.22`
+//! while `(6,6)` is queued (Table 2b) and `0.8 × 0.3 = 0.24` after it has
+//! been broadcast (Table 2f).
+//!
+//! Candidates whose bound already fails `q` are *expunged* without any
+//! broadcast — the entire bandwidth saving of e-DSUD over DSUD — and their
+//! home site immediately supplies its next representative.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use dsud_net::{BandwidthMeter, Link, Message, TupleMsg};
+use dsud_uncertain::{dominates_in, SkylineEntry, SubspaceMask};
+
+use crate::cluster::{expect_survival, expect_upload};
+use crate::synopsis::SynopsisBound;
+use crate::{BoundMode, Error, ProgressLog, QueryOutcome, RunStats};
+
+/// A queued candidate with its per-site broadcast discounts.
+#[derive(Debug, Clone)]
+struct Candidate {
+    msg: TupleMsg,
+    /// For each other site id: `∏ (1 − P(t))` over already-broadcast tuples
+    /// `t` from that site that dominate this candidate.
+    broadcast_discount: HashMap<u32, f64>,
+}
+
+impl Candidate {
+    fn new(msg: TupleMsg, history: &[TupleMsg], mask: SubspaceMask) -> Self {
+        let mut c = Candidate { msg, broadcast_discount: HashMap::new() };
+        for h in history {
+            c.absorb_broadcast(h, mask);
+        }
+        c
+    }
+
+    /// Accounts for a broadcast tuple: if it is a foreign dominator, its
+    /// non-occurrence probability discounts this candidate forever.
+    fn absorb_broadcast(&mut self, t: &TupleMsg, mask: SubspaceMask) {
+        if t.id.site != self.msg.id.site && dominates_in(&t.values, &self.msg.values, mask) {
+            *self.broadcast_discount.entry(t.id.site.0).or_insert(1.0) *= 1.0 - t.prob;
+        }
+    }
+
+    /// The upper bound `P*_gsky` (Corollary 2) of this candidate given the
+    /// current queue contents, optionally tightened by per-site synopses.
+    fn bound(
+        &self,
+        queue: &[Candidate],
+        mask: SubspaceMask,
+        mode: BoundMode,
+        synopses: &HashMap<u32, SynopsisBound>,
+    ) -> f64 {
+        let mut per_site = self.broadcast_discount.clone();
+        if mode == BoundMode::Paper {
+            for other in queue {
+                if other.msg.id.site == self.msg.id.site
+                    || !dominates_in(&other.msg.values, &self.msg.values, mask)
+                {
+                    continue;
+                }
+                let site = other.msg.id.site.0;
+                let simple = 1.0 - other.msg.prob;
+                let broadcast = per_site.get(&site).copied().unwrap_or(1.0);
+                // Two valid per-site bounds that may double-count each
+                // other's factors — take the tighter, never the product:
+                // (a) confirmed broadcast dominators plus the in-queue
+                //     representative itself (all distinct tuples);
+                // (b) the Observation-2 transitive bound through the
+                //     in-queue representative.
+                let with_simple = broadcast * simple;
+                let obs2 = (other.msg.local_prob / other.msg.prob) * simple;
+                per_site.insert(site, with_simple.min(obs2));
+            }
+        }
+        // Synopsis factors: per site, another valid upper bound on the
+        // candidate's survival there — again min-combined, never
+        // multiplied, to avoid double counting.
+        for (&site, syn) in synopses {
+            if site == self.msg.id.site.0 {
+                continue;
+            }
+            let factor = syn.survival_bound(&self.msg.values, mask);
+            let current = per_site.get(&site).copied().unwrap_or(1.0);
+            per_site.insert(site, current.min(factor));
+        }
+        self.msg.local_prob * per_site.values().product::<f64>()
+    }
+}
+
+/// Runs e-DSUD over the given site links.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidThreshold`] or [`Error::ProtocolViolation`].
+pub fn run(
+    links: &mut [Box<dyn Link>],
+    meter: &BandwidthMeter,
+    q: f64,
+    mask: SubspaceMask,
+    mode: BoundMode,
+    limit: Option<usize>,
+) -> Result<QueryOutcome, Error> {
+    run_with_synopses(links, meter, q, mask, mode, limit, None)
+}
+
+/// [`run`] with optional per-site grid synopses of the given resolution
+/// (requested, and charged, at query start) folded into the candidate
+/// bounds — the Section 5.2 synopsis trade-off made measurable.
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_with_synopses(
+    links: &mut [Box<dyn Link>],
+    meter: &BandwidthMeter,
+    q: f64,
+    mask: SubspaceMask,
+    mode: BoundMode,
+    limit: Option<usize>,
+    synopsis_resolution: Option<u16>,
+) -> Result<QueryOutcome, Error> {
+    if !(q > 0.0 && q <= 1.0) {
+        return Err(Error::InvalidThreshold(q));
+    }
+    let start_traffic = meter.snapshot();
+    let started = Instant::now();
+    let mut stats = RunStats::default();
+    let mut progress = ProgressLog::new();
+    let mut skyline: Vec<SkylineEntry> = Vec::new();
+    let mut history: Vec<TupleMsg> = Vec::new();
+
+    let mut queue: Vec<Candidate> = Vec::with_capacity(links.len());
+    for link in links.iter_mut() {
+        if let Some(t) = expect_upload(link.call(Message::Start { q, mask }))? {
+            queue.push(Candidate::new(t, &history, mask));
+        }
+    }
+
+    // Optional synopsis phase: every site ships its grid, paid for in
+    // tuple-equivalents on the meter.
+    let mut synopses: HashMap<u32, SynopsisBound> = HashMap::new();
+    if let Some(resolution) = synopsis_resolution {
+        for (x, reply) in
+            dsud_net::broadcast(links, |_| true, &Message::SynopsisRequest { resolution })
+        {
+            if let Message::Synopsis(syn) = reply {
+                synopses.insert(x as u32, SynopsisBound::new(syn));
+            }
+        }
+    }
+
+    loop {
+        // Expunge phase: drop every candidate whose bound fails q, pulling
+        // replacements until the picture stabilizes.
+        loop {
+            let bounds: Vec<f64> =
+                queue.iter().map(|c| c.bound(&queue, mask, mode, &synopses)).collect();
+            let mut replaced_any = false;
+            for idx in (0..queue.len()).rev() {
+                if bounds[idx] < q {
+                    let gone = queue.swap_remove(idx);
+                    stats.expunged += 1;
+                    stats.iterations += 1;
+                    let home = gone.msg.id.site.0 as usize;
+                    if let Some(next) = expect_upload(links[home].call(Message::RequestNext))? {
+                        queue.push(Candidate::new(next, &history, mask));
+                        replaced_any = true;
+                    }
+                }
+            }
+            if !replaced_any {
+                // No new arrivals; surviving bounds can only have grown
+                // (fewer in-queue dominators), so one more pass below
+                // suffices for selection.
+                break;
+            }
+        }
+
+        // Selection: broadcast the candidate with the largest bound.
+        let bounds: Vec<f64> =
+            queue.iter().map(|c| c.bound(&queue, mask, mode, &synopses)).collect();
+        let Some(head_idx) = argmax(&bounds, &queue) else { break };
+        if bounds[head_idx] < q {
+            // Can happen when removing a candidate lowered... it cannot:
+            // bounds only grow as the queue shrinks. Defensive continue.
+            continue;
+        }
+        let cand = queue.swap_remove(head_idx);
+        stats.iterations += 1;
+        stats.broadcasts += 1;
+
+        // Concurrent fan-out: every other site computes its survival
+        // product in parallel on concurrent transports.
+        let mut global = cand.msg.local_prob;
+        let home = cand.msg.id.site.0 as usize;
+        for (_, reply) in
+            dsud_net::broadcast(links, |x| x != home, &Message::Feedback(cand.msg.clone()))
+        {
+            let (survival, pruned) = expect_survival(reply)?;
+            global *= survival;
+            stats.pruned_at_sites += pruned;
+        }
+
+        if global >= q {
+            skyline.push(SkylineEntry { tuple: cand.msg.to_tuple(), probability: global });
+            let transmitted = meter.snapshot().since(&start_traffic).tuples_transmitted();
+            progress.push(cand.msg.id, global, transmitted, started.elapsed());
+            if limit.is_some_and(|k| skyline.len() >= k) {
+                break;
+            }
+        }
+
+        // The broadcast tuple permanently discounts everything it
+        // dominates, in the queue and in all future arrivals.
+        for c in &mut queue {
+            c.absorb_broadcast(&cand.msg, mask);
+        }
+        history.push(cand.msg);
+
+        if let Some(next) = expect_upload(links[home].call(Message::RequestNext))? {
+            queue.push(Candidate::new(next, &history, mask));
+        }
+
+        if queue.is_empty() {
+            break;
+        }
+    }
+
+    Ok(QueryOutcome {
+        skyline,
+        progress,
+        traffic: meter.snapshot().since(&start_traffic),
+        stats,
+    })
+}
+
+/// Index of the largest bound, ties broken by tuple id for determinism.
+fn argmax(bounds: &[f64], queue: &[Candidate]) -> Option<usize> {
+    (0..bounds.len()).max_by(|&a, &b| {
+        bounds[a]
+            .partial_cmp(&bounds[b])
+            .expect("bounds are finite")
+            .then_with(|| queue[b].msg.id.cmp(&queue[a].msg.id))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsud_uncertain::TupleId;
+
+    fn msg(site: u32, values: Vec<f64>, prob: f64, local_prob: f64) -> TupleMsg {
+        TupleMsg { id: TupleId::new(site, 0), values, prob, local_prob }
+    }
+
+    fn full2() -> SubspaceMask {
+        SubspaceMask::full(2).unwrap()
+    }
+
+    /// The paper's Table 2(b) state: bounds must come out 0.65, 0.22, 0.18.
+    #[test]
+    fn bound_reproduces_paper_table2b() {
+        let queue = vec![
+            Candidate::new(msg(0, vec![6.0, 6.0], 0.7, 0.65), &[], full2()),
+            Candidate::new(msg(1, vec![6.5, 7.0], 0.8, 0.65), &[], full2()),
+            Candidate::new(msg(2, vec![6.4, 7.5], 0.9, 0.8), &[], full2()),
+        ];
+        let b: Vec<f64> = queue
+            .iter()
+            .map(|c| c.bound(&queue, full2(), BoundMode::Paper, &HashMap::new()))
+            .collect();
+        // (6,6) is undominated in L: bound = its local probability.
+        assert!((b[0] - 0.65).abs() < 1e-12);
+        // (6.5,7) dominated by (6,6): 0.65 × (0.65/0.7) × 0.3 ≈ 0.18.
+        assert!((b[1] - 0.65 * (0.65 / 0.7) * 0.3).abs() < 1e-12);
+        // (6.4,7.5) dominated by (6,6): 0.8 × (0.65/0.7) × 0.3 ≈ 0.22.
+        assert!((b[2] - 0.8 * (0.65 / 0.7) * 0.3).abs() < 1e-12);
+    }
+
+    /// The paper's Table 2(f) state: after (6,6) was broadcast, the bound
+    /// keeps only the (1 − P) discount: 0.8 × 0.3 = 0.24.
+    #[test]
+    fn bound_reproduces_paper_table2f() {
+        let history = vec![msg(0, vec![6.0, 6.0], 0.7, 0.65)];
+        let queue = vec![
+            Candidate::new(msg(1, vec![6.5, 7.0], 0.8, 0.65), &history, full2()),
+            Candidate::new(msg(2, vec![6.4, 7.5], 0.9, 0.8), &history, full2()),
+        ];
+        let b: Vec<f64> = queue
+            .iter()
+            .map(|c| c.bound(&queue, full2(), BoundMode::Paper, &HashMap::new()))
+            .collect();
+        assert!((b[0] - 0.65 * 0.3).abs() < 1e-12, "got {}", b[0]);
+        assert!((b[1] - 0.8 * 0.3).abs() < 1e-12, "got {}", b[1]);
+    }
+
+    #[test]
+    fn broadcast_only_mode_ignores_queue_dominators() {
+        let queue = vec![
+            Candidate::new(msg(0, vec![6.0, 6.0], 0.7, 0.65), &[], full2()),
+            Candidate::new(msg(2, vec![6.4, 7.5], 0.9, 0.8), &[], full2()),
+        ];
+        let b = queue[1].bound(&queue, full2(), BoundMode::BroadcastOnly, &HashMap::new());
+        assert!((b - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_site_queue_entries_never_discount() {
+        // A dominator from the candidate's own site is already priced into
+        // its local probability.
+        let queue = vec![
+            Candidate::new(msg(1, vec![1.0, 1.0], 0.9, 0.9), &[], full2()),
+            Candidate::new(msg(1, vec![2.0, 2.0], 0.9, 0.09), &[], full2()),
+        ];
+        let b = queue[1].bound(&queue, full2(), BoundMode::Paper, &HashMap::new());
+        assert!((b - 0.09).abs() < 1e-12);
+    }
+
+    #[test]
+    fn history_discounts_accumulate_per_site() {
+        let history = vec![
+            msg(0, vec![1.0, 1.0], 0.5, 0.5),
+            msg(0, vec![2.0, 2.0], 0.5, 0.25),
+            msg(1, vec![1.5, 1.5], 0.2, 0.2),
+        ];
+        let c = Candidate::new(msg(2, vec![3.0, 3.0], 0.9, 0.8), &history, full2());
+        let b = c.bound(&[], full2(), BoundMode::Paper, &HashMap::new());
+        // Site 0 contributes 0.5 × 0.5, site 1 contributes 0.8.
+        assert!((b - 0.8 * 0.25 * 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_threshold() {
+        let mut links: Vec<Box<dyn Link>> = Vec::new();
+        let meter = BandwidthMeter::new();
+        assert!(matches!(
+            run(&mut links, &meter, 2.0, full2(), BoundMode::Paper, None),
+            Err(Error::InvalidThreshold(_))
+        ));
+    }
+}

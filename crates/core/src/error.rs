@@ -1,0 +1,73 @@
+use std::fmt;
+
+/// Errors produced by the distributed query algorithms.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The probability threshold `q` was outside `(0, 1]`.
+    InvalidThreshold(f64),
+    /// The cluster was built with zero sites.
+    NoSites,
+    /// A site database disagreed with the cluster's dimensionality.
+    DimensionMismatch {
+        /// Expected dimensionality.
+        expected: usize,
+        /// Offending dimensionality.
+        actual: usize,
+    },
+    /// A site's tuples did not carry that site's id.
+    WrongSiteId {
+        /// Index the cluster assigned to the site.
+        expected: u32,
+        /// Site id found inside a tuple.
+        actual: u32,
+    },
+    /// A subspace mask selected dimensions outside the data space.
+    Subspace(dsud_uncertain::Error),
+    /// An index-level failure (propagated from the PR-tree).
+    Index(dsud_prtree::Error),
+    /// A site answered a protocol request with an unexpected message.
+    ProtocolViolation(&'static str),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidThreshold(q) => {
+                write!(f, "threshold {q} is outside the interval (0, 1]")
+            }
+            Error::NoSites => write!(f, "a cluster needs at least one site"),
+            Error::DimensionMismatch { expected, actual } => {
+                write!(f, "expected {expected} dimensions, got {actual}")
+            }
+            Error::WrongSiteId { expected, actual } => {
+                write!(f, "site {expected} holds tuples labelled for site {actual}")
+            }
+            Error::Subspace(e) => write!(f, "invalid subspace: {e}"),
+            Error::Index(e) => write!(f, "index failure: {e}"),
+            Error::ProtocolViolation(what) => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Subspace(e) => Some(e),
+            Error::Index(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dsud_prtree::Error> for Error {
+    fn from(e: dsud_prtree::Error) -> Self {
+        Error::Index(e)
+    }
+}
+
+impl From<dsud_uncertain::Error> for Error {
+    fn from(e: dsud_uncertain::Error) -> Self {
+        Error::Subspace(e)
+    }
+}

@@ -1,0 +1,114 @@
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use dsud_uncertain::TupleId;
+
+/// One progressively-reported skyline result.
+///
+/// The paper evaluates progressiveness (Section 7.5, Figs. 12–13) by
+/// plotting cumulative bandwidth and CPU time against the number of
+/// skyline tuples already reported; each event is one sample of those
+/// curves.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProgressEvent {
+    /// 1-based rank of this result in report order.
+    pub reported: usize,
+    /// The reported tuple.
+    pub id: TupleId,
+    /// Its exact global skyline probability.
+    pub probability: f64,
+    /// Tuples transmitted over the network up to (and including) this
+    /// report.
+    pub tuples_transmitted: u64,
+    /// Wall-clock time elapsed since the query started.
+    pub elapsed: Duration,
+}
+
+/// The full progressiveness trace of one query run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProgressLog {
+    events: Vec<ProgressEvent>,
+}
+
+impl ProgressLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event. Called by the coordinators; `reported` is filled
+    /// in automatically.
+    pub(crate) fn push(
+        &mut self,
+        id: TupleId,
+        probability: f64,
+        tuples_transmitted: u64,
+        elapsed: Duration,
+    ) {
+        let reported = self.events.len() + 1;
+        self.events.push(ProgressEvent { reported, id, probability, tuples_transmitted, elapsed });
+    }
+
+    /// All events, in report order.
+    pub fn events(&self) -> &[ProgressEvent] {
+        &self.events
+    }
+
+    /// Number of results reported.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was reported.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Time to the first reported result, if any — the paper's headline
+    /// progressiveness indicator.
+    pub fn time_to_first(&self) -> Option<Duration> {
+        self.events.first().map(|e| e.elapsed)
+    }
+
+    /// Bandwidth consumed up to the `k`-th report (1-based), if reached.
+    pub fn bandwidth_at(&self, k: usize) -> Option<u64> {
+        self.events.get(k.checked_sub(1)?).map(|e| e.tuples_transmitted)
+    }
+}
+
+impl<'a> IntoIterator for &'a ProgressLog {
+    type Item = &'a ProgressEvent;
+    type IntoIter = std::slice::Iter<'a, ProgressEvent>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_numbers_events() {
+        let mut log = ProgressLog::new();
+        log.push(TupleId::new(0, 1), 0.9, 10, Duration::from_millis(5));
+        log.push(TupleId::new(1, 2), 0.7, 25, Duration::from_millis(9));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.events()[0].reported, 1);
+        assert_eq!(log.events()[1].reported, 2);
+        assert_eq!(log.time_to_first(), Some(Duration::from_millis(5)));
+        assert_eq!(log.bandwidth_at(2), Some(25));
+        assert_eq!(log.bandwidth_at(3), None);
+        assert_eq!(log.bandwidth_at(0), None);
+    }
+
+    #[test]
+    fn empty_log_behaviour() {
+        let log = ProgressLog::new();
+        assert!(log.is_empty());
+        assert!(log.time_to_first().is_none());
+        assert_eq!((&log).into_iter().count(), 0);
+    }
+}

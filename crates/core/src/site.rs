@@ -1,0 +1,559 @@
+use std::collections::VecDeque;
+
+use dsud_net::{Message, Service, TupleMsg};
+use dsud_prtree::{bbs, PrTree};
+use dsud_uncertain::{dominates_in, SiteId, SubspaceMask, TupleId, UncertainTuple};
+
+use crate::{Error, SiteOptions, UpdatePolicy};
+
+/// A participant `S_i` of the distributed system: owns the uncertain
+/// database `D_i` (indexed by a PR-tree) and implements the site side of
+/// the DSUD / e-DSUD protocol plus update maintenance.
+///
+/// The site is driven entirely through [`Message`]s (it implements
+/// [`Service`]), so the same code runs inline behind a
+/// [`dsud_net::LocalLink`] or on its own thread behind a
+/// [`dsud_net::ChannelLink`].
+#[derive(Debug)]
+pub struct LocalSite {
+    id: SiteId,
+    dims: usize,
+    tree: PrTree,
+    options: SiteOptions,
+    query: Option<ActiveQuery>,
+    /// Replica of the global skyline `SKY(H)` (Section 5.4): lets the site
+    /// decide locally whether an update can affect the global result.
+    replica: Vec<TupleMsg>,
+}
+
+/// Per-query state: the surviving local skyline, in descending local
+/// probability order, with accumulated feedback discounts.
+#[derive(Debug)]
+struct ActiveQuery {
+    q: f64,
+    mask: SubspaceMask,
+    pending: VecDeque<PendingCandidate>,
+    /// Candidates eliminated by feedback, remembered with the discounts
+    /// that killed them. The paper's update protocol "retrieves the skyline
+    /// tuples pruned by t" when a member `t` is deleted — this is that
+    /// memory (used by [`UpdatePolicy::Replica`]).
+    pruned: Vec<PendingCandidate>,
+}
+
+#[derive(Debug)]
+struct PendingCandidate {
+    tuple: UncertainTuple,
+    local_prob: f64,
+    /// Per-feedback discounts: each foreign feedback tuple that dominates
+    /// this candidate contributes `(id, 1 − P(t))`. The product is the
+    /// upper-bound discount on the candidate's global probability used by
+    /// the Local-Pruning phase.
+    discounted_by: Vec<(TupleId, f64)>,
+}
+
+impl PendingCandidate {
+    fn discount(&self) -> f64 {
+        self.discounted_by.iter().map(|(_, f)| f).product()
+    }
+
+    fn bound(&self) -> f64 {
+        self.local_prob * self.discount()
+    }
+
+    /// Removes a deleted feedback tuple's factor; returns whether the
+    /// candidate's bound crossed back over `q`.
+    fn forget(&mut self, id: TupleId, q: f64) -> bool {
+        let before = self.bound();
+        self.discounted_by.retain(|(d, _)| *d != id);
+        before < q && self.bound() >= q
+    }
+}
+
+impl LocalSite {
+    /// Builds a site over its local tuples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::WrongSiteId`] if a tuple is labelled for a
+    /// different site, or [`Error::DimensionMismatch`] /
+    /// [`Error::Index`] for malformed data.
+    pub fn new(
+        site_index: u32,
+        dims: usize,
+        tuples: Vec<UncertainTuple>,
+        options: SiteOptions,
+    ) -> Result<Self, Error> {
+        if let Some(bad) = tuples.iter().find(|t| t.id().site.0 != site_index) {
+            return Err(Error::WrongSiteId { expected: site_index, actual: bad.id().site.0 });
+        }
+        let tree = PrTree::bulk_load(dims, tuples)?;
+        Ok(LocalSite {
+            id: SiteId(site_index),
+            dims,
+            tree,
+            options,
+            query: None,
+            replica: Vec::new(),
+        })
+    }
+
+    /// The site's identifier.
+    pub fn id(&self) -> SiteId {
+        self.id
+    }
+
+    /// Number of tuples currently stored.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Whether the local database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// Read access to the local index (used by tests and examples).
+    pub fn tree(&self) -> &PrTree {
+        &self.tree
+    }
+
+    /// The site's current replica of `SKY(H)`.
+    pub fn replica(&self) -> &[TupleMsg] {
+        &self.replica
+    }
+
+    /// Number of local-skyline candidates not yet uploaded or pruned.
+    pub fn pending_candidates(&self) -> usize {
+        self.query.as_ref().map_or(0, |a| a.pending.len())
+    }
+
+    fn start(&mut self, q: f64, mask: SubspaceMask) -> Message {
+        let sky = match bbs::local_skyline(&self.tree, q, mask) {
+            Ok(sky) => sky,
+            // The coordinator validates q and mask before starting; a
+            // failure here means the two sides disagree on the space.
+            Err(_) => return Message::Upload(None),
+        };
+        let pending = sky
+            .into_iter()
+            .map(|e| PendingCandidate {
+                tuple: e.tuple,
+                local_prob: e.probability,
+                discounted_by: Vec::new(),
+            })
+            .collect();
+        self.query = Some(ActiveQuery { q, mask, pending, pruned: Vec::new() });
+        self.next_candidate()
+    }
+
+    fn next_candidate(&mut self) -> Message {
+        let Some(active) = self.query.as_mut() else {
+            return Message::Upload(None);
+        };
+        match active.pending.pop_front() {
+            Some(c) => Message::Upload(Some(TupleMsg::new(&c.tuple, c.local_prob))),
+            None => Message::Upload(None),
+        }
+    }
+
+    /// The Local-Pruning phase (Section 5.1): a feedback tuple `t` from
+    /// another site multiplies the discount of every dominated candidate
+    /// by `(1 − P(t))`; candidates whose upper bound
+    /// `P_sky(s, D_i) × discount` falls below `q` can never reach the
+    /// global threshold (Corollary 1 applied to the accumulated bound) and
+    /// are dropped.
+    fn feedback(&mut self, msg: &TupleMsg) -> Message {
+        let mask = self
+            .query
+            .as_ref()
+            .map(|a| a.mask)
+            .unwrap_or_else(|| SubspaceMask::full(self.dims).expect("dims validated at build"));
+        let survival = self.tree.survival_product(&msg.values, mask);
+        let mut pruned = 0;
+        if let Some(active) = self.query.as_mut() {
+            if self.options.pruning && msg.id.site != self.id {
+                let q = active.q;
+                let factor = 1.0 - msg.prob;
+                let mut graveyard: Vec<PendingCandidate> = Vec::new();
+                active.pending.retain_mut(|c| {
+                    if dominates_in(&msg.values, c.tuple.values(), mask) {
+                        c.discounted_by.push((msg.id, factor));
+                        if c.bound() < q {
+                            pruned += 1;
+                            graveyard.push(PendingCandidate {
+                                tuple: c.tuple.clone(),
+                                local_prob: c.local_prob,
+                                discounted_by: std::mem::take(&mut c.discounted_by),
+                            });
+                            return false;
+                        }
+                    }
+                    true
+                });
+                active.pruned.append(&mut graveyard);
+            }
+        }
+        Message::SurvivalReply { survival, pruned }
+    }
+
+    fn inject_insert(&mut self, msg: &TupleMsg) -> Message {
+        let tuple = msg.to_tuple();
+        let values = tuple.values().to_vec();
+        let prob = tuple.prob().get();
+        if self.tree.insert(tuple).is_err() {
+            // Duplicate or dimension mismatch: nothing changed locally.
+            return Message::Ack;
+        }
+        let Some(active) = self.query.as_ref() else {
+            return Message::Ack;
+        };
+        let (q, mask) = (active.q, active.mask);
+        let local_prob = prob * self.tree.survival_product(&values, mask);
+        let dominates_member =
+            self.replica.iter().any(|r| dominates_in(&values, &r.values, mask));
+        // Replica-based sound bound on the new tuple's global probability:
+        // foreign replica members dominating it are confirmed dominators.
+        let replica_bound = local_prob
+            * self
+                .replica
+                .iter()
+                .filter(|r| r.id.site != self.id && dominates_in(&r.values, &values, mask))
+                .map(|r| 1.0 - r.prob)
+                .product::<f64>();
+        if (local_prob >= q && replica_bound >= q) || dominates_member {
+            // The insertion can change SKY(H): either the new tuple itself
+            // is a candidate, or it discounts a current member.
+            Message::NotifyInsert(TupleMsg { local_prob, ..msg.clone() })
+        } else {
+            // Purely local: the tuple is provably no member itself and
+            // every tuple it discounts is a non-member whose probability
+            // only decreases.
+            Message::Ack
+        }
+    }
+
+    fn inject_delete(&mut self, msg: &TupleMsg) -> Message {
+        if self.tree.remove(msg.id, &msg.values).is_none() {
+            return Message::Ack;
+        }
+        if self.query.is_none() {
+            return Message::Ack;
+        }
+        match self.options.update_policy {
+            // Deleting t raises the probability of every tuple it dominated
+            // — anywhere in the system — so the server must re-evaluate
+            // t's dominance region (and drop t itself if it was a member).
+            UpdatePolicy::Exact => Message::NotifyDelete(msg.clone()),
+            // Paper heuristic: only member deletions travel; missed
+            // promotions are accepted (see UpdatePolicy docs).
+            UpdatePolicy::Replica => {
+                if self.replica.iter().any(|r| r.id == msg.id) {
+                    Message::NotifyDelete(msg.clone())
+                } else {
+                    Message::Ack
+                }
+            }
+        }
+    }
+
+    fn region_query(&mut self, msg: &TupleMsg) -> Message {
+        let Some(active) = self.query.as_mut() else {
+            return Message::RegionReply(Vec::new());
+        };
+        // At the deleted tuple's home site its removal changed *local*
+        // probabilities, so the region must be re-scanned regardless of
+        // policy. At other sites:
+        //   Exact   — full region scan (dominated tuples gained global
+        //             probability even though local values are unchanged);
+        //   Replica — the paper's cheaper memory: resurrect only candidates
+        //             that the deleted tuple's feedback had pruned.
+        let home = msg.id.site == self.id;
+        if home || self.options.update_policy == UpdatePolicy::Exact {
+            let (q, mask) = (active.q, active.mask);
+            return match bbs::local_skyline_in_region(&self.tree, q, mask, &msg.values) {
+                Ok(entries) => Message::RegionReply(
+                    entries.into_iter().map(|e| TupleMsg::new(&e.tuple, e.probability)).collect(),
+                ),
+                Err(_) => Message::RegionReply(Vec::new()),
+            };
+        }
+        let q = active.q;
+        let mut resurrected = Vec::new();
+        for c in &mut active.pruned {
+            if c.forget(msg.id, q) {
+                resurrected.push(TupleMsg::new(&c.tuple, c.local_prob));
+            }
+        }
+        Message::RegionReply(resurrected)
+    }
+
+    fn replica_remove(&mut self, id: TupleId) {
+        self.replica.retain(|r| r.id != id);
+    }
+}
+
+impl Service for LocalSite {
+    fn handle(&mut self, msg: Message) -> Message {
+        match msg {
+            Message::Start { q, mask } => self.start(q, mask),
+            Message::RequestNext => self.next_candidate(),
+            Message::Feedback(t) => self.feedback(&t),
+            Message::InjectInsert(t) => self.inject_insert(&t),
+            Message::InjectDelete(t) => self.inject_delete(&t),
+            Message::RegionQuery(t) => self.region_query(&t),
+            Message::ReplicaSync(tuples) => {
+                self.replica = tuples;
+                Message::Ack
+            }
+            Message::ReplicaAdd(t) => {
+                self.replica_remove(t.id);
+                self.replica.push(t);
+                Message::Ack
+            }
+            Message::ReplicaRemove(t) => {
+                self.replica_remove(t.id);
+                Message::Ack
+            }
+            Message::SynopsisRequest { resolution } => {
+                let tuples: Vec<_> = self.tree.iter().cloned().collect();
+                match crate::synopsis::build_synopsis(tuples.iter(), self.dims, resolution) {
+                    Some(syn) => Message::Synopsis(syn),
+                    None => Message::Ack, // empty site: nothing to summarize
+                }
+            }
+            // Site-originated messages arriving at a site are protocol
+            // errors by construction; answer inertly rather than panic so a
+            // buggy coordinator cannot take down a site thread.
+            Message::Upload(_)
+            | Message::SurvivalReply { .. }
+            | Message::NotifyInsert(_)
+            | Message::NotifyDelete(_)
+            | Message::RegionReply(_)
+            | Message::Synopsis(_)
+            | Message::Ack => Message::Ack,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsud_uncertain::Probability;
+
+    fn tuple(site: u32, seq: u64, values: Vec<f64>, p: f64) -> UncertainTuple {
+        UncertainTuple::new(TupleId::new(site, seq), values, Probability::new(p).unwrap())
+            .unwrap()
+    }
+
+    fn full(d: usize) -> SubspaceMask {
+        SubspaceMask::full(d).unwrap()
+    }
+
+    /// Site S1 of the paper's Table 2(a): local skyline
+    /// (6,6,0.7,0.65), (8,4,0.8,0.6), (3,8,0.8,0.5).
+    fn paper_site_s1() -> LocalSite {
+        let tuples = vec![
+            tuple(0, 0, vec![6.0, 6.0], 0.7),
+            tuple(0, 1, vec![8.0, 4.0], 0.8),
+            tuple(0, 2, vec![3.0, 8.0], 0.8),
+            tuple(0, 3, vec![5.0, 5.0], 1.0 - 0.65 / 0.7),
+            tuple(0, 4, vec![7.0, 3.0], 0.25),
+            tuple(0, 5, vec![2.0, 7.0], 0.375),
+        ];
+        LocalSite::new(0, 2, tuples, SiteOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn rejects_foreign_tuples() {
+        let err = LocalSite::new(0, 2, vec![tuple(3, 0, vec![1.0, 1.0], 0.5)], SiteOptions::default());
+        assert_eq!(err.unwrap_err(), Error::WrongSiteId { expected: 0, actual: 3 });
+    }
+
+    #[test]
+    fn start_uploads_best_local_candidate() {
+        let mut site = paper_site_s1();
+        let reply = site.handle(Message::Start { q: 0.5, mask: full(2) });
+        let Message::Upload(Some(t)) = reply else { panic!("expected upload, got {reply:?}") };
+        assert_eq!(t.values, vec![6.0, 6.0]);
+        assert!((t.local_prob - 0.65).abs() < 1e-12);
+        assert_eq!(site.pending_candidates(), 2);
+    }
+
+    #[test]
+    fn request_next_streams_in_descending_order() {
+        let mut site = paper_site_s1();
+        site.handle(Message::Start { q: 0.5, mask: full(2) });
+        let Message::Upload(Some(t2)) = site.handle(Message::RequestNext) else { panic!() };
+        assert_eq!(t2.values, vec![8.0, 4.0]);
+        let Message::Upload(Some(t3)) = site.handle(Message::RequestNext) else { panic!() };
+        assert_eq!(t3.values, vec![3.0, 8.0]);
+        assert!(matches!(site.handle(Message::RequestNext), Message::Upload(None)));
+    }
+
+    #[test]
+    fn feedback_returns_survival_and_prunes() {
+        let mut site = paper_site_s1();
+        site.handle(Message::Start { q: 0.5, mask: full(2) });
+        // Feedback (5.5, 5.5) with P = 0.9 from another site: it dominates
+        // the remaining candidates... (6,6) already uploaded; remaining are
+        // (8,4) and (3,8); (5.5,5.5) dominates neither... use (2,2).
+        let foreign = tuple(1, 0, vec![2.0, 2.0], 0.9);
+        let reply = site.handle(Message::Feedback(TupleMsg::new(&foreign, 0.9)));
+        let Message::SurvivalReply { survival, pruned } = reply else { panic!() };
+        // Nothing in the tree dominates (2,2).
+        assert_eq!(survival, 1.0);
+        // (2,2) dominates both pending candidates; bounds 0.6×0.1 and
+        // 0.5×0.1 both fall below q = 0.5.
+        assert_eq!(pruned, 2);
+        assert_eq!(site.pending_candidates(), 0);
+    }
+
+    #[test]
+    fn feedback_survival_matches_definition() {
+        let mut site = paper_site_s1();
+        site.handle(Message::Start { q: 0.5, mask: full(2) });
+        let probe = tuple(1, 0, vec![10.0, 10.0], 0.5);
+        let Message::SurvivalReply { survival, .. } =
+            site.handle(Message::Feedback(TupleMsg::new(&probe, 0.5)))
+        else {
+            panic!()
+        };
+        // All six stored tuples dominate (10,10).
+        let expected: f64 = [0.7, 0.8, 0.8, 1.0 - 0.65 / 0.7, 0.25, 0.375]
+            .iter()
+            .map(|p| 1.0 - p)
+            .product();
+        assert!((survival - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pruning_respects_accumulated_discounts() {
+        let mut site = paper_site_s1();
+        site.handle(Message::Start { q: 0.3, mask: full(2) });
+        // Two weak dominators, each insufficient alone, together push
+        // (8,4) (local 0.6) below 0.3: 0.6 × 0.7 × 0.7 = 0.294.
+        for seq in 0..2 {
+            let weak = tuple(1, seq, vec![7.5, 3.5], 0.3);
+            site.handle(Message::Feedback(TupleMsg::new(&weak, 0.3)));
+        }
+        // (6,6) was uploaded; at q = 0.3 the filler (2,7) with P = 0.375
+        // also qualifies, so the queue was [(8,4), (3,8), (2,7)] and only
+        // (8,4) is pruned.
+        assert_eq!(site.pending_candidates(), 2);
+        let Message::Upload(Some(t)) = site.handle(Message::RequestNext) else { panic!() };
+        assert_eq!(t.values, vec![3.0, 8.0]);
+    }
+
+    #[test]
+    fn pruning_can_be_disabled() {
+        let tuples = vec![
+            tuple(0, 0, vec![6.0, 6.0], 0.7),
+            tuple(0, 1, vec![8.0, 4.0], 0.8),
+        ];
+        let mut site =
+            LocalSite::new(0, 2, tuples, SiteOptions { pruning: false, ..SiteOptions::default() }).unwrap();
+        site.handle(Message::Start { q: 0.3, mask: full(2) });
+        let killer = tuple(1, 0, vec![1.0, 1.0], 0.99);
+        let Message::SurvivalReply { pruned, .. } =
+            site.handle(Message::Feedback(TupleMsg::new(&killer, 0.99)))
+        else {
+            panic!()
+        };
+        assert_eq!(pruned, 0);
+        assert_eq!(site.pending_candidates(), 1);
+    }
+
+    #[test]
+    fn own_site_feedback_does_not_discount() {
+        let mut site = paper_site_s1();
+        site.handle(Message::Start { q: 0.5, mask: full(2) });
+        // A (hypothetical) echo of the site's own tuple must not prune:
+        // same-site dominators are already in the local probabilities.
+        let own = tuple(0, 0, vec![1.0, 1.0], 0.9);
+        let Message::SurvivalReply { pruned, .. } =
+            site.handle(Message::Feedback(TupleMsg::new(&own, 0.9)))
+        else {
+            panic!()
+        };
+        assert_eq!(pruned, 0);
+    }
+
+    #[test]
+    fn insert_classifies_notifications() {
+        let mut site = paper_site_s1();
+        site.handle(Message::Start { q: 0.5, mask: full(2) });
+        // Strong new tuple: must notify.
+        let strong = tuple(0, 100, vec![1.0, 1.0], 0.9);
+        let reply = site.handle(Message::InjectInsert(TupleMsg::new(&strong, 0.0)));
+        assert!(matches!(reply, Message::NotifyInsert(_)));
+        // Weak dominated tuple, empty replica: purely local.
+        let weak = tuple(0, 101, vec![100.0, 100.0], 0.01);
+        let reply = site.handle(Message::InjectInsert(TupleMsg::new(&weak, 0.0)));
+        assert!(matches!(reply, Message::Ack));
+        assert_eq!(site.len(), 8);
+    }
+
+    #[test]
+    fn insert_notifies_when_dominating_replica_member() {
+        let mut site = paper_site_s1();
+        site.handle(Message::Start { q: 0.5, mask: full(2) });
+        let member = tuple(1, 0, vec![50.0, 50.0], 0.9);
+        site.handle(Message::ReplicaSync(vec![TupleMsg::new(&member, 0.9)]));
+        // Weak itself (P small ⇒ local prob < q) but dominates the member.
+        let weak = tuple(0, 102, vec![40.0, 40.0], 0.2);
+        let reply = site.handle(Message::InjectInsert(TupleMsg::new(&weak, 0.0)));
+        assert!(matches!(reply, Message::NotifyInsert(_)));
+    }
+
+    #[test]
+    fn delete_notifies_and_removes() {
+        let mut site = paper_site_s1();
+        site.handle(Message::Start { q: 0.5, mask: full(2) });
+        let victim = tuple(0, 0, vec![6.0, 6.0], 0.7);
+        let reply = site.handle(Message::InjectDelete(TupleMsg::new(&victim, 0.65)));
+        assert!(matches!(reply, Message::NotifyDelete(_)));
+        assert_eq!(site.len(), 5);
+        // Deleting it again is a no-op.
+        let reply = site.handle(Message::InjectDelete(TupleMsg::new(&victim, 0.65)));
+        assert!(matches!(reply, Message::Ack));
+    }
+
+    #[test]
+    fn region_query_returns_dominated_candidates() {
+        let mut site = paper_site_s1();
+        site.handle(Message::Start { q: 0.5, mask: full(2) });
+        // Region dominated by (5,3): contains (8,4) only (6,6 has y=6 > 3? no
+        // wait (5,3) ≺ (6,6)? 5≤6, 3≤6 strict → yes; (5,3) ≺ (8,4) yes;
+        // (5,3) ≺ (3,8) no).
+        let origin = tuple(1, 0, vec![5.0, 3.0], 0.5);
+        let Message::RegionReply(tuples) =
+            site.handle(Message::RegionQuery(TupleMsg::new(&origin, 0.5)))
+        else {
+            panic!()
+        };
+        let mut vals: Vec<Vec<f64>> = tuples.iter().map(|t| t.values.clone()).collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(vals, vec![vec![6.0, 6.0], vec![8.0, 4.0]]);
+    }
+
+    #[test]
+    fn replica_delta_sync() {
+        let mut site = paper_site_s1();
+        let a = TupleMsg::new(&tuple(1, 0, vec![1.0, 1.0], 0.5), 0.5);
+        let b = TupleMsg::new(&tuple(2, 0, vec![2.0, 2.0], 0.5), 0.5);
+        site.handle(Message::ReplicaSync(vec![a.clone()]));
+        assert_eq!(site.replica().len(), 1);
+        site.handle(Message::ReplicaAdd(b.clone()));
+        assert_eq!(site.replica().len(), 2);
+        site.handle(Message::ReplicaRemove(a));
+        assert_eq!(site.replica().len(), 1);
+        assert_eq!(site.replica()[0].id, b.id);
+    }
+
+    #[test]
+    fn unexpected_messages_are_answered_inertly() {
+        let mut site = paper_site_s1();
+        assert!(matches!(site.handle(Message::Ack), Message::Ack));
+        assert!(matches!(site.handle(Message::Upload(None)), Message::Ack));
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based end-to-end validation: for arbitrary small distributed
+//! databases, DSUD and e-DSUD must return exactly the centralized answer.
+
+use proptest::prelude::*;
+
+use dsud_core::{probabilistic_skyline, Cluster, QueryConfig, SubspaceMask};
+use dsud_core::{Probability, TupleId, UncertainDb, UncertainTuple};
+
+fn arb_sites(
+    dims: usize,
+    max_sites: usize,
+    max_per_site: usize,
+) -> impl Strategy<Value = Vec<Vec<UncertainTuple>>> {
+    prop::collection::vec(
+        prop::collection::vec(
+            (prop::collection::vec(0.0f64..10.0, dims), 0.05f64..=1.0),
+            1..=max_per_site,
+        ),
+        1..=max_sites,
+    )
+    .prop_map(move |sites| {
+        sites
+            .into_iter()
+            .enumerate()
+            .map(|(s, rows)| {
+                rows.into_iter()
+                    .enumerate()
+                    .map(|(i, (values, p))| {
+                        UncertainTuple::new(
+                            TupleId::new(s as u32, i as u64),
+                            values,
+                            Probability::new(p).unwrap(),
+                        )
+                        .unwrap()
+                    })
+                    .collect()
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn distributed_equals_centralized(
+        sites in arb_sites(2, 6, 25),
+        q in 0.05f64..=0.95,
+    ) {
+        let union = UncertainDb::from_tuples(
+            2,
+            sites.iter().flatten().cloned().collect::<Vec<_>>(),
+        ).unwrap();
+        let mask = SubspaceMask::full(2).unwrap();
+        let mut expected: Vec<(TupleId, f64)> = probabilistic_skyline(&union, q, mask)
+            .unwrap()
+            .into_iter()
+            .map(|e| (e.tuple.id(), e.probability))
+            .collect();
+        expected.sort_by_key(|(id, _)| *id);
+
+        let config = QueryConfig::new(q).unwrap();
+        for edsud in [false, true] {
+            let mut cluster = Cluster::local(2, sites.clone()).unwrap();
+            let outcome = if edsud {
+                cluster.run_edsud(&config).unwrap()
+            } else {
+                cluster.run_dsud(&config).unwrap()
+            };
+            let mut got: Vec<(TupleId, f64)> = outcome
+                .skyline
+                .iter()
+                .map(|e| (e.tuple.id(), e.probability))
+                .collect();
+            got.sort_by_key(|(id, _)| *id);
+            prop_assert_eq!(
+                got.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+                expected.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+                "algorithm edsud={} diverged", edsud
+            );
+            for ((_, p), (_, e)) in got.iter().zip(&expected) {
+                prop_assert!((p - e).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Bandwidth sanity on arbitrary inputs: never more tuple traffic than
+    /// the framework's worst case (every tuple uploaded once plus one
+    /// broadcast per upload to every other site).
+    #[test]
+    fn traffic_never_exceeds_worst_case(sites in arb_sites(2, 5, 15)) {
+        let n: usize = sites.iter().map(Vec::len).sum();
+        let m = sites.len();
+        let mut cluster = Cluster::local(2, sites).unwrap();
+        let outcome = cluster.run_edsud(&QueryConfig::new(0.3).unwrap()).unwrap();
+        let worst = (n * m) as u64;
+        prop_assert!(outcome.tuples_transmitted() <= worst);
+    }
+}

@@ -1,0 +1,43 @@
+use std::fmt;
+
+/// Errors produced by workload generation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The requested cardinality was zero.
+    EmptyWorkload,
+    /// The requested dimensionality was invalid (zero or above the
+    /// subspace-mask limit).
+    InvalidDimensionality(usize),
+    /// The number of sites was zero or exceeded the cardinality.
+    InvalidSiteCount {
+        /// Requested number of sites.
+        sites: usize,
+        /// Workload cardinality.
+        cardinality: usize,
+    },
+    /// A Gaussian probability law had a non-finite or non-positive spread.
+    InvalidGaussian {
+        /// Requested mean.
+        mean: f64,
+        /// Requested standard deviation.
+        std_dev: f64,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::EmptyWorkload => write!(f, "workload cardinality must be positive"),
+            Error::InvalidDimensionality(d) => write!(f, "dimensionality {d} is not supported"),
+            Error::InvalidSiteCount { sites, cardinality } => {
+                write!(f, "cannot split {cardinality} tuples across {sites} sites")
+            }
+            Error::InvalidGaussian { mean, std_dev } => {
+                write!(f, "invalid gaussian parameters: mean {mean}, std dev {std_dev}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,51 @@
+//! Workload generators for distributed uncertain skyline experiments.
+//!
+//! Reproduces the data sets of the paper's Section 7:
+//!
+//! * **Synthetic** spatial distributions *Independent*, *Correlated* and
+//!   *Anticorrelated* in the style of Börzsönyi et al. (the paper's Fig. 7
+//!   uses the first and last);
+//! * **Existential probability assignment** following a *Uniform* `U(0,1]`
+//!   or *Gaussian* `N(μ, σ)` law (Section 7.4 uses μ ∈ 0.3..0.9, σ = 0.2);
+//! * A **synthetic NYSE** stock-trade generator substituting for the
+//!   proprietary real data set (2M Dell trades, Section 7.4) — see
+//!   [`nyse`];
+//! * **Horizontal partitioning** of the global database into `m`
+//!   equally-sized, randomly-assigned local databases, as the paper
+//!   prescribes ("a local site server keeps a random sample set of the
+//!   underlying data set, and the sample sets are mutually disjoint").
+//!
+//! All generation is deterministic given a seed.
+//!
+//! # Example
+//!
+//! ```
+//! use dsud_data::{ProbabilityLaw, SpatialDistribution, WorkloadSpec};
+//!
+//! # fn main() -> Result<(), dsud_data::Error> {
+//! let spec = WorkloadSpec::new(1_000, 3)
+//!     .spatial(SpatialDistribution::Anticorrelated)
+//!     .probability_law(ProbabilityLaw::Uniform)
+//!     .seed(42);
+//! let sites = spec.generate_partitioned(4)?;
+//! assert_eq!(sites.len(), 4);
+//! assert_eq!(sites.iter().map(Vec::len).sum::<usize>(), 1_000);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod nyse;
+mod partition;
+mod prob;
+mod spatial;
+mod spec;
+
+pub use error::Error;
+pub use partition::partition_uniform;
+pub use prob::ProbabilityLaw;
+pub use spatial::SpatialDistribution;
+pub use spec::WorkloadSpec;

@@ -1,0 +1,220 @@
+//! Synthetic NYSE stock-trade workload.
+//!
+//! The paper's Section 7.4 evaluates on "NYSE", 2 million Dell Inc. stock
+//! transactions from 1/12/2000 to 22/5/2001 (borrowed from Zhang et al.),
+//! with two attributes per trade: average price per share and total volume.
+//! That extract is not publicly distributable, so this module generates a
+//! synthetic equivalent that reproduces the properties the experiments
+//! depend on:
+//!
+//! * prices follow a geometric random walk with a mild downward drift
+//!   (Dell lost roughly half its value over that window), so trades form a
+//!   strongly banded, correlated cloud rather than an anticorrelated one;
+//! * volumes are heavy-tailed (log-normal) with round-lot clustering;
+//! * a "good" trade has *low* price and *high* volume, so the skyline
+//!   orientation flips the volume axis (`value = VOLUME_CAP − volume`) to
+//!   keep the library-wide "smaller is better" convention.
+//!
+//! The result, like the real extract, yields far fewer skyline points than
+//! an anticorrelated synthetic set of the same size — which is exactly the
+//! contrast the paper's Figs. 11 and 13 exercise.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, LogNormal, Normal};
+use serde::{Deserialize, Serialize};
+
+use dsud_uncertain::{Probability, UncertainTuple};
+
+use crate::{partition_uniform, Error, ProbabilityLaw};
+
+/// Upper bound on per-trade volume; used to flip the volume axis into
+/// "smaller is better" orientation.
+pub const VOLUME_CAP: f64 = 1_000_000.0;
+
+/// One synthetic stock trade.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Trade {
+    /// Average price per share, in dollars.
+    pub price: f64,
+    /// Number of shares exchanged.
+    pub volume: f64,
+}
+
+impl Trade {
+    /// Converts the trade into skyline attribute values with the
+    /// "smaller is better" orientation on both dimensions:
+    /// `[price, VOLUME_CAP − volume]`.
+    pub fn to_skyline_values(self) -> Vec<f64> {
+        vec![self.price, VOLUME_CAP - self.volume]
+    }
+}
+
+/// Declarative description of a synthetic NYSE workload.
+///
+/// # Example
+///
+/// ```
+/// use dsud_data::nyse::NyseSpec;
+///
+/// # fn main() -> Result<(), dsud_data::Error> {
+/// let sites = NyseSpec::new(2_000).seed(1).generate_partitioned(4)?;
+/// assert_eq!(sites.iter().map(Vec::len).sum::<usize>(), 2_000);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NyseSpec {
+    n: usize,
+    seed: u64,
+    prob: ProbabilityLaw,
+}
+
+impl NyseSpec {
+    /// Creates a spec for `n` trades with uniform probabilities and seed 0.
+    pub fn new(n: usize) -> Self {
+        NyseSpec { n, seed: 0, prob: ProbabilityLaw::Uniform }
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the probability assignment law (Section 7.4 uses both Uniform
+    /// and Gaussian with μ ∈ 0.3..0.9, σ = 0.2).
+    pub fn probability_law(mut self, prob: ProbabilityLaw) -> Self {
+        self.prob = prob;
+        self
+    }
+
+    /// Number of trades.
+    pub fn cardinality(&self) -> usize {
+        self.n
+    }
+
+    /// Generates the raw trades.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyWorkload`] if `n` is zero.
+    pub fn generate_trades(&self) -> Result<Vec<Trade>, Error> {
+        if self.n == 0 {
+            return Err(Error::EmptyWorkload);
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // Geometric random walk: Dell traded near $25 entering 12/2000 and
+        // drifted to the high teens by 5/2001.
+        let step = Normal::new(-1.5e-7, 2e-4).expect("constant parameters are valid");
+        let volume_law = LogNormal::new(5.8, 1.4).expect("constant parameters are valid");
+        let mut log_price = 25f64.ln();
+        let mut trades = Vec::with_capacity(self.n);
+        for _ in 0..self.n {
+            log_price += step.sample(&mut rng);
+            log_price = log_price.clamp(5f64.ln(), 60f64.ln());
+            // Intra-trade noise around the walk (spread, odd lots).
+            let price = (log_price.exp() * (1.0 + (rng.gen::<f64>() - 0.5) * 0.01) * 100.0)
+                .round()
+                / 100.0;
+            let mut volume: f64 = volume_law.sample(&mut rng);
+            volume = volume.round().clamp(1.0, VOLUME_CAP);
+            // Round-lot clustering: most orders are multiples of 100 shares.
+            if volume >= 100.0 && rng.gen::<f64>() < 0.7 {
+                volume = (volume / 100.0).round() * 100.0;
+            }
+            trades.push(Trade { price, volume });
+        }
+        Ok(trades)
+    }
+
+    /// Generates skyline-oriented `(values, probability)` rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyWorkload`] for `n == 0` or
+    /// [`Error::InvalidGaussian`] for bad probability-law parameters.
+    pub fn generate_rows(&self) -> Result<Vec<(Vec<f64>, Probability)>, Error> {
+        self.prob.validate()?;
+        let trades = self.generate_trades()?;
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x5851_f42d_4c95_7f2d);
+        Ok(trades
+            .into_iter()
+            .map(|t| (t.to_skyline_values(), self.prob.sample(&mut rng)))
+            .collect())
+    }
+
+    /// Generates the workload and partitions it uniformly across `m` sites
+    /// ("The entire NYSE data set is assigned to m local sites equally").
+    ///
+    /// # Errors
+    ///
+    /// Same as [`NyseSpec::generate_rows`], plus
+    /// [`Error::InvalidSiteCount`] for a degenerate `m`.
+    pub fn generate_partitioned(&self, m: usize) -> Result<Vec<Vec<UncertainTuple>>, Error> {
+        let rows = self.generate_rows()?;
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x9e37_79b9_7f4a_7c15);
+        partition_uniform(rows, m, &mut rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsud_uncertain::{certain_skyline, SubspaceMask};
+
+    #[test]
+    fn trades_have_plausible_ranges() {
+        let trades = NyseSpec::new(10_000).seed(2).generate_trades().unwrap();
+        assert_eq!(trades.len(), 10_000);
+        for t in &trades {
+            assert!(t.price >= 5.0 && t.price <= 61.0, "price {}", t.price);
+            assert!(t.volume >= 1.0 && t.volume <= VOLUME_CAP, "volume {}", t.volume);
+        }
+    }
+
+    #[test]
+    fn volumes_are_heavy_tailed() {
+        let trades = NyseSpec::new(20_000).seed(3).generate_trades().unwrap();
+        let mut volumes: Vec<f64> = trades.iter().map(|t| t.volume).collect();
+        volumes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = volumes[volumes.len() / 2];
+        let p99 = volumes[volumes.len() * 99 / 100];
+        assert!(p99 / median > 10.0, "median {median}, p99 {p99}");
+    }
+
+    #[test]
+    fn skyline_is_small_relative_to_anticorrelated() {
+        // The real-data experiments rely on NYSE having a compact skyline.
+        let rows = NyseSpec::new(5_000).seed(4).generate_rows().unwrap();
+        let pts: Vec<Vec<f64>> = rows.iter().map(|(v, _)| v.clone()).collect();
+        let sky = certain_skyline(&pts, SubspaceMask::full(2).unwrap());
+        assert!(
+            sky.len() < 60,
+            "expected a compact certain skyline, got {} of {}",
+            sky.len(),
+            pts.len()
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = NyseSpec::new(100).seed(9).generate_rows().unwrap();
+        let b = NyseSpec::new(100).seed(9).generate_rows().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_empty_and_bad_laws() {
+        assert!(NyseSpec::new(0).generate_trades().is_err());
+        let bad = NyseSpec::new(10)
+            .probability_law(ProbabilityLaw::Gaussian { mean: 0.5, std_dev: -0.2 });
+        assert!(bad.generate_rows().is_err());
+    }
+
+    #[test]
+    fn skyline_orientation_flips_volume() {
+        let t = Trade { price: 20.0, volume: 400.0 };
+        assert_eq!(t.to_skyline_values(), vec![20.0, VOLUME_CAP - 400.0]);
+    }
+}

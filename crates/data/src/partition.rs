@@ -1,0 +1,113 @@
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use dsud_uncertain::{Probability, TupleId, UncertainTuple};
+
+use crate::Error;
+
+/// Splits raw `(values, probability)` rows into `m` equally-sized local
+/// databases by uniform random assignment, re-identifying every tuple as
+/// `(site, seq)`.
+///
+/// This follows the paper's Section 7 setup: "each tuple from the synthetic
+/// uncertain database D is assigned to site S_i chosen uniformly ... every
+/// local server possesses an equal number of points". When `n` is not a
+/// multiple of `m`, the first `n mod m` sites receive one extra tuple.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidSiteCount`] if `m` is zero or exceeds the number
+/// of rows, so that no site is ever empty.
+pub fn partition_uniform<R: Rng + ?Sized>(
+    rows: Vec<(Vec<f64>, Probability)>,
+    m: usize,
+    rng: &mut R,
+) -> Result<Vec<Vec<UncertainTuple>>, Error> {
+    let n = rows.len();
+    if m == 0 || m > n {
+        return Err(Error::InvalidSiteCount { sites: m, cardinality: n });
+    }
+    let mut rows = rows;
+    rows.shuffle(rng);
+    let base = n / m;
+    let extra = n % m;
+    let mut sites = Vec::with_capacity(m);
+    let mut iter = rows.into_iter();
+    for site in 0..m {
+        let take = base + usize::from(site < extra);
+        let tuples = (&mut iter)
+            .take(take)
+            .enumerate()
+            .map(|(seq, (values, prob))| {
+                UncertainTuple::new(TupleId::new(site as u32, seq as u64), values, prob)
+                    .expect("generated rows are valid")
+            })
+            .collect();
+        sites.push(tuples);
+    }
+    Ok(sites)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rows(n: usize) -> Vec<(Vec<f64>, Probability)> {
+        (0..n).map(|i| (vec![i as f64, (n - i) as f64], Probability::new(0.5).unwrap())).collect()
+    }
+
+    #[test]
+    fn splits_evenly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let sites = partition_uniform(rows(100), 4, &mut rng).unwrap();
+        assert_eq!(sites.len(), 4);
+        assert!(sites.iter().all(|s| s.len() == 25));
+    }
+
+    #[test]
+    fn distributes_remainder_to_leading_sites() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let sites = partition_uniform(rows(10), 3, &mut rng).unwrap();
+        assert_eq!(sites.iter().map(Vec::len).collect::<Vec<_>>(), vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn ids_are_unique_and_site_scoped() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let sites = partition_uniform(rows(50), 5, &mut rng).unwrap();
+        for (i, site) in sites.iter().enumerate() {
+            for (seq, t) in site.iter().enumerate() {
+                assert_eq!(t.id(), TupleId::new(i as u32, seq as u64));
+            }
+        }
+    }
+
+    #[test]
+    fn preserves_all_rows() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let input = rows(33);
+        let mut expected: Vec<Vec<f64>> = input.iter().map(|(v, _)| v.clone()).collect();
+        expected.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let sites = partition_uniform(input, 7, &mut rng).unwrap();
+        let mut got: Vec<Vec<f64>> =
+            sites.iter().flatten().map(|t| t.values().to_vec()).collect();
+        got.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn rejects_degenerate_site_counts() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(partition_uniform(rows(5), 0, &mut rng).is_err());
+        assert!(partition_uniform(rows(5), 6, &mut rng).is_err());
+    }
+
+    #[test]
+    fn shuffling_is_seed_deterministic() {
+        let a = partition_uniform(rows(40), 4, &mut StdRng::seed_from_u64(9)).unwrap();
+        let b = partition_uniform(rows(40), 4, &mut StdRng::seed_from_u64(9)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,124 @@
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+use dsud_uncertain::Probability;
+
+use crate::Error;
+
+/// Law used to assign each tuple its existential probability.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum ProbabilityLaw {
+    /// `P(t)` uniform over `(0, 1]` — the default of the paper's Table 3.
+    #[default]
+    Uniform,
+    /// `P(t)` drawn from `N(mean, std_dev)` and clamped into `(0, 1]` —
+    /// used for the NYSE experiments (Section 7.4; μ ∈ 0.3..0.9, σ = 0.2).
+    Gaussian {
+        /// Mean appearance probability μ.
+        mean: f64,
+        /// Standard deviation σ.
+        std_dev: f64,
+    },
+}
+
+impl ProbabilityLaw {
+    /// The paper's Gaussian default `N(0.5, 0.2)` (Section 7.5).
+    pub fn gaussian_default() -> Self {
+        ProbabilityLaw::Gaussian { mean: 0.5, std_dev: 0.2 }
+    }
+
+    /// Validates the law's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidGaussian`] if a Gaussian law has a
+    /// non-finite mean or a non-finite / non-positive standard deviation.
+    pub fn validate(self) -> Result<(), Error> {
+        match self {
+            ProbabilityLaw::Uniform => Ok(()),
+            ProbabilityLaw::Gaussian { mean, std_dev } => {
+                if mean.is_finite() && std_dev.is_finite() && std_dev > 0.0 {
+                    Ok(())
+                } else {
+                    Err(Error::InvalidGaussian { mean, std_dev })
+                }
+            }
+        }
+    }
+
+    /// Samples one probability.
+    ///
+    /// Out-of-range Gaussian draws are clamped into `(0, 1]`, matching the
+    /// paper's "randomly assign a probability value ... following gaussian
+    /// distribution" with valid probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the law fails [`ProbabilityLaw::validate`]; validate at
+    /// configuration time.
+    pub fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> Probability {
+        match self {
+            ProbabilityLaw::Uniform => {
+                // U(0,1]: shift the half-open [0,1) draw away from zero.
+                let raw: f64 = rng.gen::<f64>();
+                Probability::clamped(1.0 - raw)
+            }
+            ProbabilityLaw::Gaussian { mean, std_dev } => {
+                let normal = Normal::new(mean, std_dev).expect("validated parameters");
+                Probability::clamped(normal.sample(rng))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_mean_is_half() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 20_000;
+        let mean: f64 =
+            (0..n).map(|_| ProbabilityLaw::Uniform.sample(&mut rng).get()).sum::<f64>()
+                / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "uniform mean {mean}");
+    }
+
+    #[test]
+    fn gaussian_tracks_requested_mean() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for mu in [0.3, 0.5, 0.7] {
+            let law = ProbabilityLaw::Gaussian { mean: mu, std_dev: 0.2 };
+            let n = 20_000;
+            let mean: f64 =
+                (0..n).map(|_| law.sample(&mut rng).get()).sum::<f64>() / n as f64;
+            // Clamping shifts the mean slightly; allow a loose band.
+            assert!((mean - mu).abs() < 0.05, "gaussian(μ={mu}) mean {mean}");
+        }
+    }
+
+    #[test]
+    fn samples_are_valid_probabilities() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let law = ProbabilityLaw::Gaussian { mean: 0.1, std_dev: 0.5 };
+        for _ in 0..5_000 {
+            let p = law.sample(&mut rng).get();
+            assert!(p > 0.0 && p <= 1.0);
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_gaussians() {
+        assert!(ProbabilityLaw::Uniform.validate().is_ok());
+        assert!(ProbabilityLaw::gaussian_default().validate().is_ok());
+        assert!(ProbabilityLaw::Gaussian { mean: 0.5, std_dev: 0.0 }.validate().is_err());
+        assert!(ProbabilityLaw::Gaussian { mean: f64::NAN, std_dev: 0.2 }.validate().is_err());
+        assert!(ProbabilityLaw::Gaussian { mean: 0.5, std_dev: f64::INFINITY }
+            .validate()
+            .is_err());
+    }
+}

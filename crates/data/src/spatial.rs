@@ -1,0 +1,176 @@
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Spatial distribution of synthetic attribute values, after Börzsönyi
+/// et al.'s classic skyline benchmark generator (the paper's Fig. 7 shows
+/// *Independent* and *Anticorrelated*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum SpatialDistribution {
+    /// Attribute values drawn independently and uniformly from `[0, 1)`.
+    #[default]
+    Independent,
+    /// Values clustered around the diagonal: points good on one dimension
+    /// tend to be good on all. Produces very few skyline points.
+    Correlated,
+    /// Values clustered around the anti-diagonal plane `Σ x_i ≈ d/2`:
+    /// points good on one dimension tend to be bad on the others. Produces
+    /// many skyline points (the hard case in every experiment).
+    Anticorrelated,
+    /// A Gaussian mixture around a handful of fixed cluster centres — the
+    /// "clustered" workload common in the skyline literature, useful for
+    /// stressing the PR-tree's spatial grouping.
+    Clustered,
+}
+
+impl SpatialDistribution {
+    /// Samples one `dims`-dimensional point in `[0, 1]^d`.
+    pub fn sample<R: Rng + ?Sized>(self, dims: usize, rng: &mut R) -> Vec<f64> {
+        match self {
+            SpatialDistribution::Independent => (0..dims).map(|_| rng.gen::<f64>()).collect(),
+            SpatialDistribution::Correlated => {
+                // A common centre drawn from a triangular "peak" law, then
+                // small independent jitter, clamped to the unit cube.
+                let centre = peak_sample(rng);
+                (0..dims)
+                    .map(|_| (centre + (rng.gen::<f64>() - 0.5) * 0.2).clamp(0.0, 1.0))
+                    .collect()
+            }
+            SpatialDistribution::Clustered => {
+                // Five deterministic centres spread across the cube.
+                const CENTRES: [f64; 5] = [0.15, 0.35, 0.55, 0.75, 0.9];
+                let c = CENTRES[rng.gen_range(0..CENTRES.len())];
+                (0..dims)
+                    .map(|_| (c + (rng.gen::<f64>() - 0.5) * 0.18).clamp(0.0, 1.0))
+                    .collect()
+            }
+            SpatialDistribution::Anticorrelated => {
+                // Börzsönyi's procedure: start from a point on the diagonal
+                // plane, then repeatedly shift mass between random pairs of
+                // dimensions, keeping the coordinate sum constant.
+                let centre = peak_sample(rng);
+                let mut v = vec![centre; dims];
+                let span = if centre < 0.5 { centre } else { 1.0 - centre };
+                let rounds = dims * dims * 2;
+                for _ in 0..rounds {
+                    let i = rng.gen_range(0..dims);
+                    let j = rng.gen_range(0..dims);
+                    if i == j {
+                        continue;
+                    }
+                    let delta = (rng.gen::<f64>() * 2.0 - 1.0) * span;
+                    let (a, b) = (v[i] + delta, v[j] - delta);
+                    if (0.0..=1.0).contains(&a) && (0.0..=1.0).contains(&b) {
+                        v[i] = a;
+                        v[j] = b;
+                    }
+                }
+                v
+            }
+        }
+    }
+}
+
+/// Approximately normal sample in `[0, 1]` centred on `0.5` (sum of 12
+/// uniforms, the trick used by the original `randdataset` generator).
+fn peak_sample<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let s: f64 = (0..12).map(|_| rng.gen::<f64>()).sum();
+    (s / 12.0).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean(v: &[f64]) -> f64 {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+
+    #[test]
+    fn samples_stay_in_unit_cube() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for dist in [
+            SpatialDistribution::Independent,
+            SpatialDistribution::Correlated,
+            SpatialDistribution::Anticorrelated,
+            SpatialDistribution::Clustered,
+        ] {
+            for _ in 0..500 {
+                let p = dist.sample(4, &mut rng);
+                assert_eq!(p.len(), 4);
+                assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)), "{dist:?}: {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn anticorrelated_concentrates_coordinate_sums() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = 3;
+        let anti: Vec<f64> = (0..2000)
+            .map(|_| SpatialDistribution::Anticorrelated.sample(d, &mut rng).iter().sum())
+            .collect();
+        let indep: Vec<f64> = (0..2000)
+            .map(|_| SpatialDistribution::Independent.sample(d, &mut rng).iter().sum())
+            .collect();
+        let var = |v: &[f64]| {
+            let m = mean(v);
+            v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64
+        };
+        // Sums cluster tightly around d/2 for anticorrelated data.
+        assert!((mean(&anti) - d as f64 / 2.0).abs() < 0.1);
+        assert!(var(&anti) < var(&indep) / 2.0, "{} vs {}", var(&anti), var(&indep));
+    }
+
+    #[test]
+    fn correlated_coordinates_move_together() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pts: Vec<Vec<f64>> =
+            (0..2000).map(|_| SpatialDistribution::Correlated.sample(2, &mut rng)).collect();
+        let xs: Vec<f64> = pts.iter().map(|p| p[0]).collect();
+        let ys: Vec<f64> = pts.iter().map(|p| p[1]).collect();
+        let (mx, my) = (mean(&xs), mean(&ys));
+        let cov = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum::<f64>()
+            / xs.len() as f64;
+        // Centre variance of the 12-uniform peak law is 1/144 ≈ 0.007;
+        // jitter is independent, so covariance ≈ 0.007.
+        assert!(cov > 0.004, "expected positive covariance, got {cov}");
+    }
+
+    #[test]
+    fn anticorrelated_coordinates_oppose_in_2d() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let pts: Vec<Vec<f64>> =
+            (0..2000).map(|_| SpatialDistribution::Anticorrelated.sample(2, &mut rng)).collect();
+        let xs: Vec<f64> = pts.iter().map(|p| p[0]).collect();
+        let ys: Vec<f64> = pts.iter().map(|p| p[1]).collect();
+        let (mx, my) = (mean(&xs), mean(&ys));
+        let cov = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum::<f64>()
+            / xs.len() as f64;
+        assert!(cov < -0.01, "expected negative covariance, got {cov}");
+    }
+
+    #[test]
+    fn clustered_points_sit_near_centres() {
+        let mut rng = StdRng::seed_from_u64(6);
+        const CENTRES: [f64; 5] = [0.15, 0.35, 0.55, 0.75, 0.9];
+        for _ in 0..500 {
+            let p = SpatialDistribution::Clustered.sample(3, &mut rng);
+            // Each coordinate lies within the jitter radius of some centre.
+            for &x in &p {
+                assert!(
+                    CENTRES.iter().any(|&c| (x - c).abs() <= 0.091),
+                    "coordinate {x} is not near any centre"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = SpatialDistribution::Anticorrelated.sample(3, &mut StdRng::seed_from_u64(9));
+        let b = SpatialDistribution::Anticorrelated.sample(3, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,176 @@
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use dsud_uncertain::{Probability, SubspaceMask, TupleId, UncertainTuple};
+
+use crate::{partition_uniform, Error, ProbabilityLaw, SpatialDistribution};
+
+/// Declarative description of a synthetic workload (the knobs of the
+/// paper's Table 3), with builder-style configuration.
+///
+/// # Example
+///
+/// ```
+/// use dsud_data::{ProbabilityLaw, SpatialDistribution, WorkloadSpec};
+///
+/// # fn main() -> Result<(), dsud_data::Error> {
+/// let tuples = WorkloadSpec::new(500, 2)
+///     .spatial(SpatialDistribution::Independent)
+///     .probability_law(ProbabilityLaw::gaussian_default())
+///     .seed(7)
+///     .generate()?;
+/// assert_eq!(tuples.len(), 500);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    n: usize,
+    dims: usize,
+    spatial: SpatialDistribution,
+    prob: ProbabilityLaw,
+    seed: u64,
+}
+
+impl WorkloadSpec {
+    /// Creates a spec for `n` tuples in `dims` dimensions with the paper's
+    /// defaults: independent values, uniform probabilities, seed 0.
+    pub fn new(n: usize, dims: usize) -> Self {
+        WorkloadSpec {
+            n,
+            dims,
+            spatial: SpatialDistribution::Independent,
+            prob: ProbabilityLaw::Uniform,
+            seed: 0,
+        }
+    }
+
+    /// Sets the spatial distribution.
+    pub fn spatial(mut self, spatial: SpatialDistribution) -> Self {
+        self.spatial = spatial;
+        self
+    }
+
+    /// Sets the probability assignment law.
+    pub fn probability_law(mut self, prob: ProbabilityLaw) -> Self {
+        self.prob = prob;
+        self
+    }
+
+    /// Sets the RNG seed; the same spec always yields the same data.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Cardinality `N`.
+    pub fn cardinality(&self) -> usize {
+        self.n
+    }
+
+    /// Dimensionality `d`.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn validate(&self) -> Result<(), Error> {
+        if self.n == 0 {
+            return Err(Error::EmptyWorkload);
+        }
+        if self.dims == 0 || self.dims > SubspaceMask::MAX_DIMS {
+            return Err(Error::InvalidDimensionality(self.dims));
+        }
+        self.prob.validate()
+    }
+
+    /// Generates raw `(values, probability)` rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns a validation error for empty workloads, bad dimensionality,
+    /// or invalid probability-law parameters.
+    pub fn generate_rows(&self) -> Result<Vec<(Vec<f64>, Probability)>, Error> {
+        self.validate()?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        Ok((0..self.n)
+            .map(|_| {
+                let values = self.spatial.sample(self.dims, &mut rng);
+                let prob = self.prob.sample(&mut rng);
+                (values, prob)
+            })
+            .collect())
+    }
+
+    /// Generates the workload as a single (centralized) list of tuples with
+    /// ids `(site 0, 0..n)`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`WorkloadSpec::generate_rows`].
+    pub fn generate(&self) -> Result<Vec<UncertainTuple>, Error> {
+        Ok(self
+            .generate_rows()?
+            .into_iter()
+            .enumerate()
+            .map(|(seq, (values, prob))| {
+                UncertainTuple::new(TupleId::new(0, seq as u64), values, prob)
+                    .expect("generated rows are valid")
+            })
+            .collect())
+    }
+
+    /// Generates the workload and partitions it uniformly across `m` sites
+    /// (the paper's horizontal partitioning).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`WorkloadSpec::generate_rows`], plus
+    /// [`Error::InvalidSiteCount`] for a degenerate `m`.
+    pub fn generate_partitioned(&self, m: usize) -> Result<Vec<Vec<UncertainTuple>>, Error> {
+        let rows = self.generate_rows()?;
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x9e37_79b9_7f4a_7c15);
+        partition_uniform(rows, m, &mut rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_shape() {
+        let tuples = WorkloadSpec::new(100, 4).seed(3).generate().unwrap();
+        assert_eq!(tuples.len(), 100);
+        assert!(tuples.iter().all(|t| t.dims() == 4));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = WorkloadSpec::new(50, 2).seed(11).generate().unwrap();
+        let b = WorkloadSpec::new(50, 2).seed(11).generate().unwrap();
+        let c = WorkloadSpec::new(50, 2).seed(12).generate().unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn partitioned_covers_everything() {
+        let spec = WorkloadSpec::new(101, 3).seed(5);
+        let sites = spec.generate_partitioned(10).unwrap();
+        assert_eq!(sites.len(), 10);
+        assert_eq!(sites.iter().map(Vec::len).sum::<usize>(), 101);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert_eq!(WorkloadSpec::new(0, 2).generate().unwrap_err(), Error::EmptyWorkload);
+        assert!(matches!(
+            WorkloadSpec::new(10, 0).generate(),
+            Err(Error::InvalidDimensionality(0))
+        ));
+        let bad = WorkloadSpec::new(10, 2)
+            .probability_law(ProbabilityLaw::Gaussian { mean: 0.5, std_dev: -1.0 });
+        assert!(matches!(bad.generate(), Err(Error::InvalidGaussian { .. })));
+    }
+}

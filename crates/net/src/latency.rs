@@ -1,0 +1,82 @@
+use serde::{Deserialize, Serialize};
+
+use crate::MeterSnapshot;
+
+/// Deterministic network-time model.
+///
+/// The paper's update experiment (Fig. 14) reports *response time*, which on
+/// the authors' testbed mixes CPU time with LAN latency. To make the
+/// experiment reproducible on any machine, we charge each metered message a
+/// fixed cost plus per-tuple and per-byte terms and add the result to
+/// measured CPU time. Defaults approximate a LAN: 0.5 ms per round-trip
+/// message, ~1 Gbps effective throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Fixed cost per message, in milliseconds.
+    pub per_message_ms: f64,
+    /// Additional cost per carried tuple, in milliseconds.
+    pub per_tuple_ms: f64,
+    /// Additional cost per wire byte, in milliseconds.
+    pub per_byte_ms: f64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            per_message_ms: 0.5,
+            per_tuple_ms: 0.01,
+            // 1 Gbps ≈ 125 bytes/µs → 8e-6 ms per byte.
+            per_byte_ms: 8e-6,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// A model that charges nothing (pure bandwidth accounting).
+    pub fn zero() -> Self {
+        LatencyModel { per_message_ms: 0.0, per_tuple_ms: 0.0, per_byte_ms: 0.0 }
+    }
+
+    /// Total simulated network time for the given traffic, in milliseconds.
+    ///
+    /// All messages are charged as if serialized — a pessimistic but
+    /// deterministic assumption, documented in DESIGN.md.
+    pub fn network_time_ms(&self, traffic: &MeterSnapshot) -> f64 {
+        let t = traffic.total();
+        t.messages as f64 * self.per_message_ms
+            + t.tuples as f64 * self.per_tuple_ms
+            + t.bytes as f64 * self.per_byte_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BandwidthMeter, Message};
+
+    #[test]
+    fn zero_model_charges_nothing() {
+        let meter = BandwidthMeter::new();
+        meter.record(&Message::RequestNext);
+        assert_eq!(LatencyModel::zero().network_time_ms(&meter.snapshot()), 0.0);
+    }
+
+    #[test]
+    fn cost_grows_with_traffic() {
+        let meter = BandwidthMeter::new();
+        let model = LatencyModel::default();
+        meter.record(&Message::RequestNext);
+        let one = model.network_time_ms(&meter.snapshot());
+        meter.record(&Message::RequestNext);
+        let two = model.network_time_ms(&meter.snapshot());
+        assert!(one > 0.0);
+        assert!((two - 2.0 * one).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_is_lan_like() {
+        let model = LatencyModel::default();
+        assert!(model.per_message_ms > 0.0);
+        assert!(model.per_byte_ms < model.per_tuple_ms);
+    }
+}

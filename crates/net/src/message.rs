@@ -1,0 +1,541 @@
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+use dsud_uncertain::{Probability, SubspaceMask, TupleId, UncertainTuple};
+
+/// A tuple on the wire: the paper's quaternion
+/// `⟨i, j, P(t_ij), P_sky(t_ij, D_i)⟩` plus the attribute values (needed by
+/// remote dominance checks).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TupleMsg {
+    /// Identifier `(i, j)`: home site and per-site sequence number.
+    pub id: TupleId,
+    /// Attribute values of the tuple.
+    pub values: Vec<f64>,
+    /// Existential probability `P(t_ij)`.
+    pub prob: f64,
+    /// Local skyline probability `P_sky(t_ij, D_i)` at the home site.
+    pub local_prob: f64,
+}
+
+impl TupleMsg {
+    /// Builds the wire form of a tuple with its home-site local skyline
+    /// probability.
+    pub fn new(tuple: &UncertainTuple, local_prob: f64) -> Self {
+        TupleMsg {
+            id: tuple.id(),
+            values: tuple.values().to_vec(),
+            prob: tuple.prob().get(),
+            local_prob,
+        }
+    }
+
+    /// Reconstructs the carried [`UncertainTuple`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the message carries an invalid probability or empty
+    /// values; messages built by [`TupleMsg::new`] are always valid.
+    pub fn to_tuple(&self) -> UncertainTuple {
+        UncertainTuple::new(
+            self.id,
+            self.values.clone(),
+            Probability::new(self.prob).expect("wire tuples carry valid probabilities"),
+        )
+        .expect("wire tuples carry valid values")
+    }
+
+    fn encoded_len(&self) -> usize {
+        4 + 8 + 2 + 8 * self.values.len() + 8 + 8
+    }
+
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32(self.id.site.0);
+        buf.put_u64(self.id.seq);
+        buf.put_u16(self.values.len() as u16);
+        for &v in &self.values {
+            buf.put_f64(v);
+        }
+        buf.put_f64(self.prob);
+        buf.put_f64(self.local_prob);
+    }
+
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        if buf.remaining() < 14 {
+            return None;
+        }
+        let site = buf.get_u32();
+        let seq = buf.get_u64();
+        let dims = buf.get_u16() as usize;
+        if buf.remaining() < 8 * dims + 16 {
+            return None;
+        }
+        let values = (0..dims).map(|_| buf.get_f64()).collect();
+        let prob = buf.get_f64();
+        let local_prob = buf.get_f64();
+        Some(TupleMsg { id: TupleId::new(site, seq), values, prob, local_prob })
+    }
+}
+
+/// A per-site grid synopsis: for every cell of a uniform grid over the
+/// site's bounding box, the survival product `∏ (1 − P(t))` of the tuples
+/// inside the cell. Lets the server bound a foreign point's survival
+/// product at that site without any further communication — at the price
+/// of shipping the grid itself (the trade-off the paper's Section 5.2
+/// argues against; `dsud-core` measures it).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynopsisMsg {
+    /// Dimensionality of the grid.
+    pub dims: u16,
+    /// Cells per dimension.
+    pub resolution: u16,
+    /// Lower corner of the gridded bounding box.
+    pub lower: Vec<f64>,
+    /// Upper corner of the gridded bounding box.
+    pub upper: Vec<f64>,
+    /// Row-major `resolution^dims` cell survival products.
+    pub cells: Vec<f64>,
+}
+
+impl SynopsisMsg {
+    /// Wire size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        2 + 2 + 8 * self.lower.len() + 8 * self.upper.len() + 4 + 8 * self.cells.len()
+    }
+
+    /// The synopsis's bandwidth cost in the paper's unit: how many wire
+    /// tuples of the same dimensionality its bytes amount to (rounded up).
+    pub fn tuple_equivalents(&self) -> u64 {
+        let tuple_bytes = 4 + 8 + 2 + 8 * self.dims as usize + 8 + 8;
+        self.encoded_len().div_ceil(tuple_bytes) as u64
+    }
+
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u16(self.dims);
+        buf.put_u16(self.resolution);
+        for &v in self.lower.iter().chain(&self.upper) {
+            buf.put_f64(v);
+        }
+        buf.put_u32(self.cells.len() as u32);
+        for &c in &self.cells {
+            buf.put_f64(c);
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        if buf.remaining() < 4 {
+            return None;
+        }
+        let dims = buf.get_u16();
+        let resolution = buf.get_u16();
+        let d = dims as usize;
+        if buf.remaining() < 16 * d + 4 {
+            return None;
+        }
+        let lower = (0..d).map(|_| buf.get_f64()).collect();
+        let upper = (0..d).map(|_| buf.get_f64()).collect();
+        let n = buf.get_u32() as usize;
+        if buf.remaining() < 8 * n {
+            return None;
+        }
+        let cells = (0..n).map(|_| buf.get_f64()).collect();
+        Some(SynopsisMsg { dims, resolution, lower, upper, cells })
+    }
+}
+
+/// Protocol messages between the central server `H` and local sites.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Message {
+    /// `H → site`: begin a query; compute `SKY(D_i)` for threshold `q` on
+    /// the given subspace and respond with the first representative.
+    Start {
+        /// Probability threshold `q`.
+        q: f64,
+        /// Queried subspace.
+        mask: SubspaceMask,
+    },
+    /// `H → site`: send your next surviving representative tuple.
+    RequestNext,
+    /// `H → site`: candidate broadcast (the feedback of the Server-Delivery
+    /// phase); the site replies with its survival product and prunes its
+    /// local skyline.
+    Feedback(TupleMsg),
+    /// `site → H`: representative upload (`None` when the local skyline is
+    /// exhausted).
+    Upload(Option<TupleMsg>),
+    /// `site → H`: reply to a [`Message::Feedback`] — the survival product
+    /// `P_sky(t, D_x)` of Observation 1, plus how many local candidates the
+    /// feedback pruned (telemetry only).
+    SurvivalReply {
+        /// `∏_{t' ∈ D_x, t' ≺ t} (1 − P(t'))`.
+        survival: f64,
+        /// Number of local skyline tuples this feedback eliminated.
+        pruned: u64,
+    },
+    /// `site → H` (update maintenance): a tuple was inserted locally and
+    /// the global skyline may change.
+    NotifyInsert(TupleMsg),
+    /// `site → H` (update maintenance): a tuple was deleted locally.
+    NotifyDelete(TupleMsg),
+    /// `H → site` (update maintenance): replace the site's replica of the
+    /// current global skyline `SKY(H)`.
+    ReplicaSync(Vec<TupleMsg>),
+    /// `H → site` (update maintenance): add one tuple to the site's replica
+    /// of `SKY(H)` (delta synchronization).
+    ReplicaAdd(TupleMsg),
+    /// `H → site` (update maintenance): remove one tuple from the site's
+    /// replica of `SKY(H)`.
+    ReplicaRemove(TupleMsg),
+    /// `H → site` (update maintenance): return every local tuple strictly
+    /// dominated by the carried point whose local skyline probability still
+    /// meets the active query threshold — the re-evaluation region after a
+    /// deletion.
+    RegionQuery(TupleMsg),
+    /// `site → H`: reply to [`Message::RegionQuery`].
+    RegionReply(Vec<TupleMsg>),
+    /// Simulation scaffolding, `driver → site`: apply this insertion as if
+    /// it originated at the site. Not real network traffic (tuple count 0);
+    /// the site's *reply* is the metered maintenance message.
+    InjectInsert(TupleMsg),
+    /// Simulation scaffolding, `driver → site`: apply this deletion as if
+    /// it originated at the site.
+    InjectDelete(TupleMsg),
+    /// `H → site`: request a grid synopsis at the given resolution.
+    SynopsisRequest {
+        /// Cells per dimension.
+        resolution: u16,
+    },
+    /// `site → H`: the requested synopsis.
+    Synopsis(SynopsisMsg),
+    /// Generic acknowledgement.
+    Ack,
+}
+
+/// Traffic classes used by the [`crate::BandwidthMeter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TrafficClass {
+    /// Representative uploads (site → H).
+    Upload,
+    /// Candidate broadcasts (H → sites).
+    Feedback,
+    /// Scalar replies (site → H).
+    Reply,
+    /// Control traffic (start / request-next / ack).
+    Control,
+    /// Update-maintenance traffic.
+    Maintenance,
+    /// Simulation scaffolding (injected updates): not real network traffic.
+    Scaffold,
+}
+
+impl Message {
+    /// Traffic class of the message.
+    pub fn class(&self) -> TrafficClass {
+        match self {
+            Message::Upload(_) => TrafficClass::Upload,
+            Message::Feedback(_) => TrafficClass::Feedback,
+            Message::SurvivalReply { .. } => TrafficClass::Reply,
+            Message::Start { .. } | Message::RequestNext | Message::Ack => TrafficClass::Control,
+            Message::NotifyInsert(_)
+            | Message::NotifyDelete(_)
+            | Message::ReplicaSync(_)
+            | Message::ReplicaAdd(_)
+            | Message::ReplicaRemove(_)
+            | Message::RegionQuery(_)
+            | Message::RegionReply(_) => TrafficClass::Maintenance,
+            Message::InjectInsert(_) | Message::InjectDelete(_) => TrafficClass::Scaffold,
+            Message::SynopsisRequest { .. } => TrafficClass::Control,
+            Message::Synopsis(_) => TrafficClass::Upload,
+        }
+    }
+
+    /// Number of tuples the message carries — the paper's bandwidth unit.
+    pub fn tuple_count(&self) -> u64 {
+        match self {
+            Message::Upload(Some(_)) | Message::Feedback(_) => 1,
+            Message::NotifyInsert(_) | Message::NotifyDelete(_) => 1,
+            Message::ReplicaAdd(_) | Message::ReplicaRemove(_) | Message::RegionQuery(_) => 1,
+            Message::ReplicaSync(tuples) | Message::RegionReply(tuples) => tuples.len() as u64,
+            // Synopses are charged their tuple-equivalent weight — the
+            // honest cost the paper's Section 5.2 worries about.
+            Message::Synopsis(s) => s.tuple_equivalents(),
+            // Injected updates are simulation scaffolding, not traffic.
+            Message::InjectInsert(_) | Message::InjectDelete(_) => 0,
+            _ => 0,
+        }
+    }
+
+    /// Serializes the message into its binary wire form.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        match self {
+            Message::Start { q, mask } => {
+                buf.put_u8(0);
+                buf.put_f64(*q);
+                buf.put_u64(mask.bits());
+            }
+            Message::RequestNext => buf.put_u8(1),
+            Message::Feedback(t) => {
+                buf.put_u8(2);
+                t.encode(&mut buf);
+            }
+            Message::Upload(None) => buf.put_u8(3),
+            Message::Upload(Some(t)) => {
+                buf.put_u8(4);
+                t.encode(&mut buf);
+            }
+            Message::SurvivalReply { survival, pruned } => {
+                buf.put_u8(5);
+                buf.put_f64(*survival);
+                buf.put_u64(*pruned);
+            }
+            Message::NotifyInsert(t) => {
+                buf.put_u8(6);
+                t.encode(&mut buf);
+            }
+            Message::NotifyDelete(t) => {
+                buf.put_u8(7);
+                t.encode(&mut buf);
+            }
+            Message::ReplicaSync(tuples) => {
+                buf.put_u8(8);
+                buf.put_u32(tuples.len() as u32);
+                for t in tuples {
+                    t.encode(&mut buf);
+                }
+            }
+            Message::Ack => buf.put_u8(9),
+            Message::ReplicaAdd(t) => {
+                buf.put_u8(10);
+                t.encode(&mut buf);
+            }
+            Message::ReplicaRemove(t) => {
+                buf.put_u8(11);
+                t.encode(&mut buf);
+            }
+            Message::RegionQuery(t) => {
+                buf.put_u8(12);
+                t.encode(&mut buf);
+            }
+            Message::RegionReply(tuples) => {
+                buf.put_u8(13);
+                buf.put_u32(tuples.len() as u32);
+                for t in tuples {
+                    t.encode(&mut buf);
+                }
+            }
+            Message::InjectInsert(t) => {
+                buf.put_u8(14);
+                t.encode(&mut buf);
+            }
+            Message::InjectDelete(t) => {
+                buf.put_u8(15);
+                t.encode(&mut buf);
+            }
+            Message::SynopsisRequest { resolution } => {
+                buf.put_u8(16);
+                buf.put_u16(*resolution);
+            }
+            Message::Synopsis(syn) => {
+                buf.put_u8(17);
+                syn.encode(&mut buf);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Size of the binary wire form, in bytes.
+    pub fn encoded_len(&self) -> usize {
+        1 + match self {
+            Message::Start { .. } => 16,
+            Message::RequestNext | Message::Upload(None) | Message::Ack => 0,
+            Message::Feedback(t)
+            | Message::Upload(Some(t))
+            | Message::NotifyInsert(t)
+            | Message::NotifyDelete(t)
+            | Message::ReplicaAdd(t)
+            | Message::ReplicaRemove(t)
+            | Message::RegionQuery(t)
+            | Message::InjectInsert(t)
+            | Message::InjectDelete(t) => t.encoded_len(),
+            Message::SurvivalReply { .. } => 16,
+            Message::ReplicaSync(tuples) | Message::RegionReply(tuples) => {
+                4 + tuples.iter().map(TupleMsg::encoded_len).sum::<usize>()
+            }
+            Message::SynopsisRequest { .. } => 2,
+            Message::Synopsis(syn) => syn.encoded_len(),
+        }
+    }
+
+    /// Deserializes a message from its binary wire form.
+    ///
+    /// Returns `None` for malformed input.
+    pub fn decode(mut buf: Bytes) -> Option<Self> {
+        if buf.is_empty() {
+            return None;
+        }
+        let tag = buf.get_u8();
+        let msg = match tag {
+            0 => {
+                if buf.remaining() < 16 {
+                    return None;
+                }
+                let q = buf.get_f64();
+                let mask = SubspaceMask::try_from_bits(buf.get_u64()).ok()?;
+                Message::Start { q, mask }
+            }
+            1 => Message::RequestNext,
+            2 => Message::Feedback(TupleMsg::decode(&mut buf)?),
+            3 => Message::Upload(None),
+            4 => Message::Upload(Some(TupleMsg::decode(&mut buf)?)),
+            5 => {
+                if buf.remaining() < 16 {
+                    return None;
+                }
+                Message::SurvivalReply { survival: buf.get_f64(), pruned: buf.get_u64() }
+            }
+            6 => Message::NotifyInsert(TupleMsg::decode(&mut buf)?),
+            7 => Message::NotifyDelete(TupleMsg::decode(&mut buf)?),
+            8 => {
+                if buf.remaining() < 4 {
+                    return None;
+                }
+                let n = buf.get_u32() as usize;
+                let mut tuples = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    tuples.push(TupleMsg::decode(&mut buf)?);
+                }
+                Message::ReplicaSync(tuples)
+            }
+            9 => Message::Ack,
+            10 => Message::ReplicaAdd(TupleMsg::decode(&mut buf)?),
+            11 => Message::ReplicaRemove(TupleMsg::decode(&mut buf)?),
+            12 => Message::RegionQuery(TupleMsg::decode(&mut buf)?),
+            13 => {
+                if buf.remaining() < 4 {
+                    return None;
+                }
+                let n = buf.get_u32() as usize;
+                let mut tuples = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    tuples.push(TupleMsg::decode(&mut buf)?);
+                }
+                Message::RegionReply(tuples)
+            }
+            14 => Message::InjectInsert(TupleMsg::decode(&mut buf)?),
+            15 => Message::InjectDelete(TupleMsg::decode(&mut buf)?),
+            16 => {
+                if buf.remaining() < 2 {
+                    return None;
+                }
+                Message::SynopsisRequest { resolution: buf.get_u16() }
+            }
+            17 => Message::Synopsis(SynopsisMsg::decode(&mut buf)?),
+            _ => return None,
+        };
+        if buf.has_remaining() {
+            return None;
+        }
+        Some(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsud_uncertain::Probability;
+
+    fn sample_tuple_msg() -> TupleMsg {
+        let t = UncertainTuple::new(
+            TupleId::new(3, 17),
+            vec![6.0, 6.5, 7.0],
+            Probability::new(0.7).unwrap(),
+        )
+        .unwrap();
+        TupleMsg::new(&t, 0.65)
+    }
+
+    fn all_messages() -> Vec<Message> {
+        vec![
+            Message::Start { q: 0.3, mask: SubspaceMask::full(3).unwrap() },
+            Message::RequestNext,
+            Message::Feedback(sample_tuple_msg()),
+            Message::Upload(None),
+            Message::Upload(Some(sample_tuple_msg())),
+            Message::SurvivalReply { survival: 0.42, pruned: 3 },
+            Message::NotifyInsert(sample_tuple_msg()),
+            Message::NotifyDelete(sample_tuple_msg()),
+            Message::ReplicaSync(vec![sample_tuple_msg(), sample_tuple_msg()]),
+            Message::ReplicaAdd(sample_tuple_msg()),
+            Message::ReplicaRemove(sample_tuple_msg()),
+            Message::RegionQuery(sample_tuple_msg()),
+            Message::RegionReply(vec![sample_tuple_msg()]),
+            Message::InjectInsert(sample_tuple_msg()),
+            Message::InjectDelete(sample_tuple_msg()),
+            Message::SynopsisRequest { resolution: 8 },
+            Message::Synopsis(SynopsisMsg {
+                dims: 2,
+                resolution: 2,
+                lower: vec![0.0, 0.0],
+                upper: vec![1.0, 1.0],
+                cells: vec![0.5, 0.25, 1.0, 0.75],
+            }),
+            Message::Ack,
+        ]
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for msg in all_messages() {
+            let bytes = msg.encode();
+            assert_eq!(bytes.len(), msg.encoded_len(), "{msg:?}");
+            let back = Message::decode(bytes).expect("well-formed message");
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Message::decode(Bytes::new()).is_none());
+        assert!(Message::decode(Bytes::from_static(&[99])).is_none());
+        // Truncated tuple payload.
+        assert!(Message::decode(Bytes::from_static(&[2, 0, 0])).is_none());
+        // Trailing bytes after a valid message.
+        assert!(Message::decode(Bytes::from_static(&[1, 0])).is_none());
+    }
+
+    #[test]
+    fn tuple_counts_follow_paper_convention() {
+        assert_eq!(Message::Upload(Some(sample_tuple_msg())).tuple_count(), 1);
+        assert_eq!(Message::Upload(None).tuple_count(), 0);
+        assert_eq!(Message::Feedback(sample_tuple_msg()).tuple_count(), 1);
+        assert_eq!(Message::SurvivalReply { survival: 0.5, pruned: 0 }.tuple_count(), 0);
+        assert_eq!(Message::RequestNext.tuple_count(), 0);
+        assert_eq!(
+            Message::ReplicaSync(vec![sample_tuple_msg(); 5]).tuple_count(),
+            5
+        );
+    }
+
+    #[test]
+    fn traffic_classes() {
+        assert_eq!(Message::Upload(None).class(), TrafficClass::Upload);
+        assert_eq!(Message::Feedback(sample_tuple_msg()).class(), TrafficClass::Feedback);
+        assert_eq!(
+            Message::SurvivalReply { survival: 1.0, pruned: 0 }.class(),
+            TrafficClass::Reply
+        );
+        assert_eq!(Message::Ack.class(), TrafficClass::Control);
+        assert_eq!(Message::NotifyInsert(sample_tuple_msg()).class(), TrafficClass::Maintenance);
+        assert_eq!(Message::InjectInsert(sample_tuple_msg()).class(), TrafficClass::Scaffold);
+    }
+
+    #[test]
+    fn tuple_msg_roundtrips_to_uncertain_tuple() {
+        let msg = sample_tuple_msg();
+        let t = msg.to_tuple();
+        assert_eq!(t.id(), TupleId::new(3, 17));
+        assert_eq!(t.values(), &[6.0, 6.5, 7.0]);
+        assert_eq!(t.prob().get(), 0.7);
+    }
+}

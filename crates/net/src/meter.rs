@@ -1,0 +1,191 @@
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::{Message, TrafficClass};
+
+/// Message / tuple / byte counters for one traffic class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counters {
+    /// Number of messages observed.
+    pub messages: u64,
+    /// Number of tuples carried (the paper's bandwidth unit).
+    pub tuples: u64,
+    /// Number of wire-encoded bytes.
+    pub bytes: u64,
+}
+
+impl Counters {
+    fn add(&mut self, other: &Counters) {
+        self.messages += other.messages;
+        self.tuples += other.tuples;
+        self.bytes += other.bytes;
+    }
+}
+
+/// Immutable snapshot of a [`BandwidthMeter`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MeterSnapshot {
+    /// Representative uploads (site → H).
+    pub upload: Counters,
+    /// Candidate broadcasts (H → sites).
+    pub feedback: Counters,
+    /// Scalar survival replies (site → H).
+    pub reply: Counters,
+    /// Control traffic.
+    pub control: Counters,
+    /// Update-maintenance traffic.
+    pub maintenance: Counters,
+    /// Simulation scaffolding (injected updates); excluded from network
+    /// cost models.
+    pub scaffold: Counters,
+}
+
+impl MeterSnapshot {
+    /// Sum over all *network* traffic classes (scaffolding excluded).
+    pub fn total(&self) -> Counters {
+        let mut acc = Counters::default();
+        for c in [&self.upload, &self.feedback, &self.reply, &self.control, &self.maintenance] {
+            acc.add(c);
+        }
+        acc
+    }
+
+    /// The paper's bandwidth measure: total tuples transmitted over the
+    /// network (uploads + feedback broadcasts + maintenance payloads).
+    pub fn tuples_transmitted(&self) -> u64 {
+        self.upload.tuples + self.feedback.tuples + self.maintenance.tuples
+    }
+
+    /// Difference of two snapshots, component-wise (`self − earlier`).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is not an earlier snapshot of
+    /// the same meter (counters would underflow).
+    pub fn since(&self, earlier: &MeterSnapshot) -> MeterSnapshot {
+        fn sub(a: &Counters, b: &Counters) -> Counters {
+            Counters {
+                messages: a.messages - b.messages,
+                tuples: a.tuples - b.tuples,
+                bytes: a.bytes - b.bytes,
+            }
+        }
+        MeterSnapshot {
+            upload: sub(&self.upload, &earlier.upload),
+            feedback: sub(&self.feedback, &earlier.feedback),
+            reply: sub(&self.reply, &earlier.reply),
+            control: sub(&self.control, &earlier.control),
+            maintenance: sub(&self.maintenance, &earlier.maintenance),
+            scaffold: sub(&self.scaffold, &earlier.scaffold),
+        }
+    }
+}
+
+/// Shared bandwidth accounting for a whole distributed run.
+///
+/// Cloning is cheap and produces a handle onto the same counters; every
+/// [`crate::Link`] is given one at construction and records each request
+/// and response as it crosses the (simulated) wire.
+#[derive(Debug, Clone, Default)]
+pub struct BandwidthMeter {
+    inner: Arc<Mutex<MeterSnapshot>>,
+}
+
+impl BandwidthMeter {
+    /// Creates a fresh meter with zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one message crossing the wire.
+    pub fn record(&self, msg: &Message) {
+        let mut inner = self.inner.lock();
+        let slot = match msg.class() {
+            TrafficClass::Upload => &mut inner.upload,
+            TrafficClass::Feedback => &mut inner.feedback,
+            TrafficClass::Reply => &mut inner.reply,
+            TrafficClass::Control => &mut inner.control,
+            TrafficClass::Maintenance => &mut inner.maintenance,
+            TrafficClass::Scaffold => &mut inner.scaffold,
+        };
+        slot.messages += 1;
+        slot.tuples += msg.tuple_count();
+        slot.bytes += msg.encoded_len() as u64;
+    }
+
+    /// Takes a snapshot of the current counters.
+    pub fn snapshot(&self) -> MeterSnapshot {
+        *self.inner.lock()
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        *self.inner.lock() = MeterSnapshot::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsud_uncertain::{Probability, TupleId, UncertainTuple};
+
+    use crate::TupleMsg;
+
+    fn sample_msg() -> Message {
+        let t = UncertainTuple::new(
+            TupleId::new(0, 1),
+            vec![1.0, 2.0],
+            Probability::new(0.5).unwrap(),
+        )
+        .unwrap();
+        Message::Feedback(TupleMsg::new(&t, 0.5))
+    }
+
+    #[test]
+    fn records_by_class() {
+        let meter = BandwidthMeter::new();
+        meter.record(&sample_msg());
+        meter.record(&Message::SurvivalReply { survival: 0.9, pruned: 1 });
+        meter.record(&Message::RequestNext);
+        let snap = meter.snapshot();
+        assert_eq!(snap.feedback.messages, 1);
+        assert_eq!(snap.feedback.tuples, 1);
+        assert!(snap.feedback.bytes > 0);
+        assert_eq!(snap.reply.messages, 1);
+        assert_eq!(snap.reply.tuples, 0);
+        assert_eq!(snap.control.messages, 1);
+        assert_eq!(snap.total().messages, 3);
+        assert_eq!(snap.tuples_transmitted(), 1);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let meter = BandwidthMeter::new();
+        let clone = meter.clone();
+        clone.record(&sample_msg());
+        assert_eq!(meter.snapshot().feedback.messages, 1);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let meter = BandwidthMeter::new();
+        meter.record(&sample_msg());
+        meter.reset();
+        assert_eq!(meter.snapshot(), MeterSnapshot::default());
+    }
+
+    #[test]
+    fn since_computes_deltas() {
+        let meter = BandwidthMeter::new();
+        meter.record(&sample_msg());
+        let mid = meter.snapshot();
+        meter.record(&sample_msg());
+        meter.record(&sample_msg());
+        let end = meter.snapshot();
+        let delta = end.since(&mid);
+        assert_eq!(delta.feedback.messages, 2);
+        assert_eq!(delta.feedback.tuples, 2);
+    }
+}

@@ -1,0 +1,432 @@
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+use crate::{BandwidthMeter, Message};
+
+/// A site-side protocol endpoint: consumes one request, produces one reply.
+///
+/// `dsud-core`'s local sites implement this trait; the transports below
+/// decide whether the service runs inline or on its own thread.
+pub trait Service: Send {
+    /// Handles one request and produces the reply.
+    fn handle(&mut self, msg: Message) -> Message;
+}
+
+impl<F> Service for F
+where
+    F: FnMut(Message) -> Message + Send,
+{
+    fn handle(&mut self, msg: Message) -> Message {
+        self(msg)
+    }
+}
+
+/// A metered request/response channel from the central server to one site.
+///
+/// All implementations record every request and reply on the shared
+/// [`BandwidthMeter`], so algorithm code never touches accounting.
+///
+/// Besides the synchronous [`Link::call`], links support a split
+/// [`Link::begin`] / [`Link::complete`] pair so a coordinator can put one
+/// request *per site* in flight and collect the replies afterwards — with
+/// the threaded and TCP transports the sites then compute concurrently,
+/// which is how a real deployment fans out its feedback broadcasts.
+/// At most one request may be outstanding per link.
+pub trait Link {
+    /// Sends a request to the site and waits for its reply.
+    fn call(&mut self, msg: Message) -> Message;
+
+    /// Dispatches a request without waiting for the reply.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if a request is already outstanding.
+    fn begin(&mut self, msg: Message);
+
+    /// Collects the reply to the outstanding request.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if no request is outstanding.
+    fn complete(&mut self) -> Message;
+}
+
+/// Puts `msg` in flight on every link selected by `include`, then collects
+/// the replies in link order. With concurrent transports the selected
+/// sites process the request in parallel.
+pub fn broadcast<F>(
+    links: &mut [Box<dyn Link>],
+    include: F,
+    msg: &Message,
+) -> Vec<(usize, Message)>
+where
+    F: Fn(usize) -> bool,
+{
+    for (i, link) in links.iter_mut().enumerate() {
+        if include(i) {
+            link.begin(msg.clone());
+        }
+    }
+    let mut replies = Vec::new();
+    for (i, link) in links.iter_mut().enumerate() {
+        if include(i) {
+            replies.push((i, link.complete()));
+        }
+    }
+    replies
+}
+
+/// Deterministic in-process transport: the service runs inline on the
+/// caller's stack. Used by tests and the benchmark harness, where
+/// reproducibility matters more than concurrency.
+pub struct LocalLink<S> {
+    service: S,
+    meter: BandwidthMeter,
+    pending: Option<Message>,
+}
+
+impl<S: Service> LocalLink<S> {
+    /// Wraps a service with metering.
+    pub fn new(service: S, meter: BandwidthMeter) -> Self {
+        LocalLink { service, meter, pending: None }
+    }
+
+    /// Consumes the link, returning the wrapped service.
+    pub fn into_inner(self) -> S {
+        self.service
+    }
+}
+
+impl<S: Service> Link for LocalLink<S> {
+    fn call(&mut self, msg: Message) -> Message {
+        assert!(self.pending.is_none(), "request already outstanding");
+        self.meter.record(&msg);
+        let reply = self.service.handle(msg);
+        self.meter.record(&reply);
+        reply
+    }
+
+    // The inline transport has no concurrency to exploit: `begin` computes
+    // eagerly and buffers the reply.
+    fn begin(&mut self, msg: Message) {
+        assert!(self.pending.is_none(), "request already outstanding");
+        self.meter.record(&msg);
+        let reply = self.service.handle(msg);
+        self.meter.record(&reply);
+        self.pending = Some(reply);
+    }
+
+    fn complete(&mut self) -> Message {
+        self.pending.take().expect("no outstanding request")
+    }
+}
+
+impl<S: std::fmt::Debug> std::fmt::Debug for LocalLink<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalLink").field("service", &self.service).finish_non_exhaustive()
+    }
+}
+
+/// Threaded transport: the service runs on its own OS thread and exchanges
+/// messages over bounded crossbeam channels, like a site across a LAN.
+///
+/// Messages cross the thread boundary in their binary wire encoding, so the
+/// transport exercises the same serialization path a socket would.
+#[derive(Debug)]
+pub struct ChannelLink {
+    tx: Option<Sender<bytes::Bytes>>,
+    rx: Receiver<bytes::Bytes>,
+    meter: BandwidthMeter,
+    worker: Option<JoinHandle<()>>,
+    in_flight: bool,
+}
+
+impl ChannelLink {
+    /// Spawns the service on a dedicated thread.
+    pub fn spawn<S: Service + 'static>(mut service: S, meter: BandwidthMeter) -> Self {
+        let (req_tx, req_rx) = bounded::<bytes::Bytes>(1);
+        let (rep_tx, rep_rx) = bounded::<bytes::Bytes>(1);
+        let worker = std::thread::spawn(move || {
+            while let Ok(frame) = req_rx.recv() {
+                let msg = Message::decode(frame).expect("transport frames are well-formed");
+                let reply = service.handle(msg);
+                if rep_tx.send(reply.encode()).is_err() {
+                    break;
+                }
+            }
+        });
+        ChannelLink { tx: Some(req_tx), rx: rep_rx, meter, worker: Some(worker), in_flight: false }
+    }
+}
+
+impl Link for ChannelLink {
+    /// # Panics
+    ///
+    /// Panics if the site thread has died (a bug, not an expected runtime
+    /// condition — the simulated network has no packet loss).
+    fn call(&mut self, msg: Message) -> Message {
+        self.begin(msg);
+        self.complete()
+    }
+
+    fn begin(&mut self, msg: Message) {
+        assert!(!self.in_flight, "request already outstanding");
+        self.meter.record(&msg);
+        self.tx
+            .as_ref()
+            .expect("link is open")
+            .send(msg.encode())
+            .expect("site thread is alive");
+        self.in_flight = true;
+    }
+
+    fn complete(&mut self) -> Message {
+        assert!(self.in_flight, "no outstanding request");
+        self.in_flight = false;
+        let frame = self.rx.recv().expect("site thread is alive");
+        let reply = Message::decode(frame).expect("transport frames are well-formed");
+        self.meter.record(&reply);
+        reply
+    }
+}
+
+impl Drop for ChannelLink {
+    fn drop(&mut self) {
+        // Closing the request channel ends the worker loop.
+        self.tx.take();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Fault-injecting wrapper around any [`Link`], for robustness testing.
+///
+/// After `healthy_calls` successful round-trips the link starts misbehaving
+/// according to its [`FaultMode`]. Coordinators must surface such faults as
+/// protocol errors instead of panicking or hanging.
+#[derive(Debug)]
+pub struct FaultyLink<L> {
+    inner: L,
+    mode: FaultMode,
+    healthy_calls: u64,
+    calls: u64,
+}
+
+/// What a [`FaultyLink`] does once its healthy budget is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Replies `Ack` to everything — a site that lost its state.
+    WrongReply,
+    /// Replies with garbage survival values (NaN) — a corrupted computation.
+    CorruptSurvival,
+}
+
+impl<L: Link> FaultyLink<L> {
+    /// Wraps `inner`, letting `healthy_calls` round-trips through before
+    /// faulting with `mode`.
+    pub fn new(inner: L, mode: FaultMode, healthy_calls: u64) -> Self {
+        FaultyLink { inner, mode, healthy_calls, calls: 0 }
+    }
+
+    /// Round-trips performed so far.
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+}
+
+impl<L: Link> FaultyLink<L> {
+    fn corrupt(&self, reply: Message) -> Option<Message> {
+        if self.calls <= self.healthy_calls {
+            return None;
+        }
+        Some(match self.mode {
+            FaultMode::WrongReply => Message::Ack,
+            FaultMode::CorruptSurvival => match reply {
+                Message::SurvivalReply { pruned, .. } => {
+                    Message::SurvivalReply { survival: f64::NAN, pruned }
+                }
+                other => other,
+            },
+        })
+    }
+}
+
+impl<L: Link> Link for FaultyLink<L> {
+    fn call(&mut self, msg: Message) -> Message {
+        self.calls += 1;
+        if self.calls <= self.healthy_calls {
+            return self.inner.call(msg);
+        }
+        if self.mode == FaultMode::WrongReply {
+            return Message::Ack;
+        }
+        // Still consult the real service (keeps its state moving), then
+        // corrupt the numeric payload.
+        let reply = self.inner.call(msg);
+        self.corrupt(reply.clone()).unwrap_or(reply)
+    }
+
+    fn begin(&mut self, msg: Message) {
+        self.calls += 1;
+        // Always drive the inner link so the outstanding-request state
+        // machine stays consistent; faults apply on completion.
+        self.inner.begin(msg);
+    }
+
+    fn complete(&mut self) -> Message {
+        let reply = self.inner.complete();
+        self.corrupt(reply.clone()).unwrap_or(reply)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TupleMsg;
+    use dsud_uncertain::{Probability, TupleId, UncertainTuple};
+
+    fn echo_service() -> impl Service {
+        |msg: Message| match msg {
+            Message::RequestNext => Message::Upload(None),
+            Message::Feedback(t) => {
+                Message::SurvivalReply { survival: t.local_prob, pruned: 0 }
+            }
+            _ => Message::Ack,
+        }
+    }
+
+    fn feedback_msg(local_prob: f64) -> Message {
+        let t = UncertainTuple::new(
+            TupleId::new(0, 0),
+            vec![1.0, 1.0],
+            Probability::new(0.5).unwrap(),
+        )
+        .unwrap();
+        Message::Feedback(TupleMsg::new(&t, local_prob))
+    }
+
+    #[test]
+    fn local_link_meters_both_directions() {
+        let meter = BandwidthMeter::new();
+        let mut link = LocalLink::new(echo_service(), meter.clone());
+        let reply = link.call(feedback_msg(0.25));
+        assert_eq!(reply, Message::SurvivalReply { survival: 0.25, pruned: 0 });
+        let snap = meter.snapshot();
+        assert_eq!(snap.feedback.messages, 1);
+        assert_eq!(snap.reply.messages, 1);
+        assert_eq!(snap.tuples_transmitted(), 1);
+    }
+
+    #[test]
+    fn channel_link_round_trips() {
+        let meter = BandwidthMeter::new();
+        let mut link = ChannelLink::spawn(echo_service(), meter.clone());
+        for i in 0..10 {
+            let reply = link.call(feedback_msg(i as f64 / 100.0));
+            assert_eq!(reply, Message::SurvivalReply { survival: i as f64 / 100.0, pruned: 0 });
+        }
+        assert_eq!(meter.snapshot().feedback.messages, 10);
+        drop(link); // must join cleanly
+    }
+
+    #[test]
+    fn channel_and_local_links_meter_identically() {
+        let meter_a = BandwidthMeter::new();
+        let meter_b = BandwidthMeter::new();
+        let mut local = LocalLink::new(echo_service(), meter_a.clone());
+        let mut channel = ChannelLink::spawn(echo_service(), meter_b.clone());
+        for _ in 0..5 {
+            local.call(Message::RequestNext);
+            channel.call(Message::RequestNext);
+        }
+        assert_eq!(meter_a.snapshot(), meter_b.snapshot());
+    }
+
+    #[test]
+    fn faulty_link_misbehaves_on_schedule() {
+        let meter = BandwidthMeter::new();
+        let inner = LocalLink::new(echo_service(), meter);
+        let mut link = FaultyLink::new(inner, FaultMode::WrongReply, 2);
+        assert_eq!(link.call(Message::RequestNext), Message::Upload(None));
+        assert_eq!(link.call(Message::RequestNext), Message::Upload(None));
+        assert_eq!(link.call(Message::RequestNext), Message::Ack);
+        assert_eq!(link.calls(), 3);
+    }
+
+    #[test]
+    fn corrupt_survival_produces_nan() {
+        let meter = BandwidthMeter::new();
+        let inner = LocalLink::new(echo_service(), meter);
+        let mut link = FaultyLink::new(inner, FaultMode::CorruptSurvival, 0);
+        match link.call(feedback_msg(0.5)) {
+            Message::SurvivalReply { survival, .. } => assert!(survival.is_nan()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn broadcast_overlaps_slow_sites() {
+        // Each site sleeps 30 ms per request; a parallel broadcast to 8
+        // sites must take far less than the 240 ms a sequential fan-out
+        // would need.
+        let slow_service = || {
+            |msg: Message| {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                match msg {
+                    Message::Feedback(t) => {
+                        Message::SurvivalReply { survival: t.local_prob, pruned: 0 }
+                    }
+                    _ => Message::Ack,
+                }
+            }
+        };
+        let meter = BandwidthMeter::new();
+        let mut links: Vec<Box<dyn Link>> =
+            (0..8).map(|_| Box::new(ChannelLink::spawn(slow_service(), meter.clone())) as _).collect();
+        let started = std::time::Instant::now();
+        let replies = broadcast(&mut links, |_| true, &feedback_msg(0.5));
+        let elapsed = started.elapsed();
+        assert_eq!(replies.len(), 8);
+        for (_, reply) in &replies {
+            assert!(matches!(reply, Message::SurvivalReply { .. }));
+        }
+        assert!(
+            elapsed < std::time::Duration::from_millis(150),
+            "broadcast took {elapsed:?}, expected parallel overlap"
+        );
+    }
+
+    #[test]
+    fn broadcast_respects_include_filter() {
+        let meter = BandwidthMeter::new();
+        let mut links: Vec<Box<dyn Link>> = (0..4)
+            .map(|_| Box::new(LocalLink::new(echo_service(), meter.clone())) as _)
+            .collect();
+        let replies = broadcast(&mut links, |i| i != 2, &Message::RequestNext);
+        let indices: Vec<usize> = replies.iter().map(|(i, _)| *i).collect();
+        assert_eq!(indices, vec![0, 1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "request already outstanding")]
+    fn double_begin_panics() {
+        let meter = BandwidthMeter::new();
+        let mut link = LocalLink::new(echo_service(), meter);
+        link.begin(Message::RequestNext);
+        link.begin(Message::RequestNext);
+    }
+
+    #[test]
+    fn many_concurrent_sites() {
+        let meter = BandwidthMeter::new();
+        let mut links: Vec<ChannelLink> =
+            (0..32).map(|_| ChannelLink::spawn(echo_service(), meter.clone())).collect();
+        for link in &mut links {
+            assert_eq!(link.call(Message::RequestNext), Message::Upload(None));
+        }
+        assert_eq!(meter.snapshot().control.messages, 32);
+        assert_eq!(meter.snapshot().upload.messages, 32);
+    }
+}

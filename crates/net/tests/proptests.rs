@@ -1,0 +1,79 @@
+//! Property-based wire-format validation: encode/decode round-trips for
+//! arbitrary messages, and decoding must never panic on arbitrary bytes
+//! (a malformed or hostile frame yields `None`, not a crash).
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use dsud_net::{Message, TupleMsg};
+use dsud_uncertain::{SubspaceMask, TupleId};
+
+fn arb_tuple_msg() -> impl Strategy<Value = TupleMsg> {
+    (
+        any::<u32>(),
+        any::<u64>(),
+        prop::collection::vec(-1e6f64..1e6, 1..6),
+        0.01f64..=1.0,
+        0.0f64..=1.0,
+    )
+        .prop_map(|(site, seq, values, prob, local_prob)| TupleMsg {
+            id: TupleId::new(site, seq),
+            values,
+            prob,
+            local_prob,
+        })
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (0.01f64..=1.0, 1u64..=64).prop_map(|(q, bits)| Message::Start {
+            q,
+            mask: SubspaceMask::try_from_bits(bits).unwrap(),
+        }),
+        Just(Message::RequestNext),
+        arb_tuple_msg().prop_map(Message::Feedback),
+        Just(Message::Upload(None)),
+        arb_tuple_msg().prop_map(|t| Message::Upload(Some(t))),
+        (0.0f64..=1.0, any::<u64>())
+            .prop_map(|(survival, pruned)| Message::SurvivalReply { survival, pruned }),
+        arb_tuple_msg().prop_map(Message::NotifyInsert),
+        arb_tuple_msg().prop_map(Message::NotifyDelete),
+        prop::collection::vec(arb_tuple_msg(), 0..5).prop_map(Message::ReplicaSync),
+        arb_tuple_msg().prop_map(Message::ReplicaAdd),
+        arb_tuple_msg().prop_map(Message::ReplicaRemove),
+        arb_tuple_msg().prop_map(Message::RegionQuery),
+        prop::collection::vec(arb_tuple_msg(), 0..5).prop_map(Message::RegionReply),
+        arb_tuple_msg().prop_map(Message::InjectInsert),
+        arb_tuple_msg().prop_map(Message::InjectDelete),
+        Just(Message::Ack),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn encode_decode_roundtrips(msg in arb_message()) {
+        let bytes = msg.encode();
+        prop_assert_eq!(bytes.len(), msg.encoded_len());
+        let back = Message::decode(bytes).expect("well-formed frame");
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn decoding_arbitrary_bytes_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        // Must return Some or None, never panic.
+        let _ = Message::decode(Bytes::from(bytes));
+    }
+
+    #[test]
+    fn truncated_valid_frames_are_rejected(msg in arb_message(), cut in 0usize..64) {
+        let bytes = msg.encode();
+        if cut < bytes.len() && bytes.len() > 1 {
+            let truncated = bytes.slice(0..bytes.len() - 1 - (cut % (bytes.len() - 1)));
+            if truncated.len() < bytes.len() {
+                prop_assert!(Message::decode(truncated).is_none());
+            }
+        }
+    }
+}

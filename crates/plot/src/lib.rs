@@ -1,0 +1,441 @@
+//! Minimal, dependency-free SVG line charts.
+//!
+//! The experiment harness regenerates the paper's figures as data series;
+//! this crate turns them into self-contained SVG images so a reproduction
+//! run leaves behind actual plots (`target/experiments/*.svg`), not just
+//! JSON. Two chart shapes cover every figure in the paper:
+//!
+//! * [`CategoryChart`] — series over a shared categorical x-axis
+//!   (`d=2..5`, `m=40..100`, `q=0.3..0.9`): Figs. 8–11, 14;
+//! * [`XyChart`] — series of `(x, y)` points (bandwidth / CPU time versus
+//!   number of reported skylines): Figs. 12–13.
+//!
+//! # Example
+//!
+//! ```
+//! use dsud_plot::CategoryChart;
+//!
+//! let svg = CategoryChart::new("Fig 9", "sites", "tuples")
+//!     .ticks(["m=40", "m=60", "m=80"])
+//!     .series("DSUD", [9187.0, 16540.0, 25413.0])
+//!     .series("e-DSUD", [4138.0, 6027.0, 7950.0])
+//!     .to_svg();
+//! assert!(svg.starts_with("<svg"));
+//! assert!(svg.contains("e-DSUD"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+/// Canvas width in pixels.
+const WIDTH: f64 = 640.0;
+/// Canvas height in pixels.
+const HEIGHT: f64 = 420.0;
+/// Margins: left, right, top, bottom.
+const MARGIN: (f64, f64, f64, f64) = (70.0, 160.0, 40.0, 55.0);
+
+/// Line/marker colors cycled across series.
+const PALETTE: [&str; 6] = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"];
+
+/// One named series of y-values (category charts) or points (xy charts).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    label: String,
+    points: Vec<(f64, f64)>,
+}
+
+/// A chart over a shared categorical x-axis.
+#[derive(Debug, Clone)]
+pub struct CategoryChart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    ticks: Vec<String>,
+    series: Vec<Series>,
+}
+
+impl CategoryChart {
+    /// Creates an empty chart.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        CategoryChart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            ticks: Vec::new(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Sets the x-axis tick labels (one per category).
+    pub fn ticks<I, S>(mut self, ticks: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.ticks = ticks.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Adds a series; values align with the tick labels.
+    pub fn series<I>(mut self, label: impl Into<String>, values: I) -> Self
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        let points =
+            values.into_iter().enumerate().map(|(i, y)| (i as f64, y)).collect();
+        self.series.push(Series { label: label.into(), points });
+        self
+    }
+
+    /// Renders the chart.
+    pub fn to_svg(&self) -> String {
+        let x_max = (self.ticks.len().max(1) - 1) as f64;
+        let tick_positions: Vec<(f64, String)> = self
+            .ticks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i as f64, t.clone()))
+            .collect();
+        render(
+            &self.title,
+            &self.x_label,
+            &self.y_label,
+            &self.series,
+            (0.0, x_max.max(1.0)),
+            &tick_positions,
+        )
+    }
+}
+
+/// A chart of numeric `(x, y)` series.
+#[derive(Debug, Clone)]
+pub struct XyChart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<Series>,
+}
+
+impl XyChart {
+    /// Creates an empty chart.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        XyChart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series of points.
+    pub fn series<I>(mut self, label: impl Into<String>, points: I) -> Self
+    where
+        I: IntoIterator<Item = (f64, f64)>,
+    {
+        self.series.push(Series { label: label.into(), points: points.into_iter().collect() });
+        self
+    }
+
+    /// Renders the chart.
+    pub fn to_svg(&self) -> String {
+        let (lo, hi) = x_range(&self.series);
+        let ticks: Vec<(f64, String)> = nice_ticks(lo, hi)
+            .into_iter()
+            .map(|v| (v, format_tick(v)))
+            .collect();
+        render(&self.title, &self.x_label, &self.y_label, &self.series, (lo, hi), &ticks)
+    }
+}
+
+fn x_range(series: &[Series]) -> (f64, f64) {
+    let xs = series.iter().flat_map(|s| s.points.iter().map(|&(x, _)| x));
+    let lo = xs.clone().fold(f64::INFINITY, f64::min);
+    let hi = xs.fold(f64::NEG_INFINITY, f64::max);
+    if lo.is_finite() && hi.is_finite() && hi > lo {
+        (lo, hi)
+    } else if lo.is_finite() {
+        (lo - 0.5, lo + 0.5)
+    } else {
+        (0.0, 1.0)
+    }
+}
+
+/// Rounds `raw` to a 1/2/5 × 10^k "nice" step.
+fn nice_step(raw: f64) -> f64 {
+    if raw <= 0.0 || !raw.is_finite() {
+        return 1.0;
+    }
+    let mag = 10f64.powf(raw.log10().floor());
+    let frac = raw / mag;
+    let nice = if frac <= 1.0 {
+        1.0
+    } else if frac <= 2.0 {
+        2.0
+    } else if frac <= 5.0 {
+        5.0
+    } else {
+        10.0
+    };
+    nice * mag
+}
+
+/// About five nice tick values covering `[lo, hi]`.
+fn nice_ticks(lo: f64, hi: f64) -> Vec<f64> {
+    let step = nice_step((hi - lo) / 4.0);
+    let start = (lo / step).floor() * step;
+    let mut out = Vec::new();
+    let mut v = start;
+    while v <= hi + step * 0.5 {
+        if v >= lo - step * 0.5 {
+            out.push(v);
+        }
+        v += step;
+    }
+    out
+}
+
+fn format_tick(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1_000_000.0 {
+        format!("{:.1}M", v / 1e6)
+    } else if v.abs() >= 1_000.0 {
+        format!("{:.0}k", v / 1e3)
+    } else if v.abs() >= 1.0 && v.fract() == 0.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Shared renderer: axes, grid, polylines, markers, legend.
+fn render(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    series: &[Series],
+    x_range: (f64, f64),
+    x_ticks: &[(f64, String)],
+) -> String {
+    let (ml, mr, mt, mb) = MARGIN;
+    let plot_w = WIDTH - ml - mr;
+    let plot_h = HEIGHT - mt - mb;
+
+    let ys = series.iter().flat_map(|s| s.points.iter().map(|&(_, y)| y));
+    let y_hi = ys.clone().fold(f64::NEG_INFINITY, f64::max);
+    let y_lo = ys.fold(f64::INFINITY, f64::min).min(0.0);
+    let (y_lo, y_hi) = if y_hi.is_finite() && y_hi > y_lo {
+        (y_lo, y_hi)
+    } else {
+        (0.0, 1.0)
+    };
+    let y_ticks = nice_ticks(y_lo, y_hi);
+    let y_top = y_ticks.last().copied().unwrap_or(y_hi).max(y_hi);
+
+    let sx = |x: f64| -> f64 {
+        let span = (x_range.1 - x_range.0).max(f64::MIN_POSITIVE);
+        ml + (x - x_range.0) / span * plot_w
+    };
+    let sy = |y: f64| -> f64 {
+        let span = (y_top - y_lo).max(f64::MIN_POSITIVE);
+        mt + plot_h - (y - y_lo) / span * plot_h
+    };
+
+    let mut svg = String::with_capacity(8 * 1024);
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">"#
+    );
+    let _ = write!(svg, r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#);
+    // Title and axis labels.
+    let _ = write!(
+        svg,
+        r#"<text x="{}" y="24" text-anchor="middle" font-size="15" font-weight="bold">{}</text>"#,
+        ml + plot_w / 2.0,
+        xml_escape(title)
+    );
+    let _ = write!(
+        svg,
+        r#"<text x="{}" y="{}" text-anchor="middle" font-size="12">{}</text>"#,
+        ml + plot_w / 2.0,
+        HEIGHT - 12.0,
+        xml_escape(x_label)
+    );
+    let _ = write!(
+        svg,
+        r#"<text x="16" y="{}" text-anchor="middle" font-size="12" transform="rotate(-90 16 {})">{}</text>"#,
+        mt + plot_h / 2.0,
+        mt + plot_h / 2.0,
+        xml_escape(y_label)
+    );
+
+    // Grid and y ticks.
+    for &v in &y_ticks {
+        let y = sy(v);
+        let _ = write!(
+            svg,
+            r##"<line x1="{ml}" y1="{y}" x2="{}" y2="{y}" stroke="#ddd" stroke-width="1"/>"##,
+            ml + plot_w
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="{}" text-anchor="end" font-size="11">{}</text>"#,
+            ml - 6.0,
+            y + 4.0,
+            format_tick(v)
+        );
+    }
+    // X ticks.
+    for (x, label) in x_ticks {
+        let px = sx(*x);
+        let _ = write!(
+            svg,
+            r##"<line x1="{px}" y1="{}" x2="{px}" y2="{}" stroke="#999" stroke-width="1"/>"##,
+            mt + plot_h,
+            mt + plot_h + 4.0
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{px}" y="{}" text-anchor="middle" font-size="11">{}</text>"#,
+            mt + plot_h + 18.0,
+            xml_escape(label)
+        );
+    }
+    // Axes.
+    let _ = write!(
+        svg,
+        r#"<line x1="{ml}" y1="{mt}" x2="{ml}" y2="{}" stroke="black"/>"#,
+        mt + plot_h
+    );
+    let _ = write!(
+        svg,
+        r#"<line x1="{ml}" y1="{}" x2="{}" y2="{}" stroke="black"/>"#,
+        mt + plot_h,
+        ml + plot_w,
+        mt + plot_h
+    );
+
+    // Series.
+    for (i, s) in series.iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        if s.points.len() > 1 {
+            let path: Vec<String> =
+                s.points.iter().map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y))).collect();
+            let _ = write!(
+                svg,
+                r#"<polyline fill="none" stroke="{color}" stroke-width="2" points="{}"/>"#,
+                path.join(" ")
+            );
+        }
+        for &(x, y) in &s.points {
+            let _ = write!(
+                svg,
+                r#"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{color}"/>"#,
+                sx(x),
+                sy(y)
+            );
+        }
+        // Legend entry.
+        let ly = mt + 14.0 + i as f64 * 18.0;
+        let lx = ml + plot_w + 14.0;
+        let _ = write!(
+            svg,
+            r#"<line x1="{lx}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="2"/>"#,
+            lx + 20.0
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="{}" font-size="11">{}</text>"#,
+            lx + 26.0,
+            ly + 4.0,
+            xml_escape(&s.label)
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_chart_renders_all_series() {
+        let svg = CategoryChart::new("Fig 8", "dimensionality", "tuples")
+            .ticks(["d=2", "d=3", "d=4"])
+            .series("DSUD", [100.0, 200.0, 300.0])
+            .series("e-DSUD", [50.0, 80.0, 120.0])
+            .to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 6);
+        assert!(svg.contains("DSUD"));
+        assert!(svg.contains("d=3"));
+    }
+
+    #[test]
+    fn xy_chart_scales_points_into_canvas() {
+        let svg = XyChart::new("Fig 12", "reported", "tuples")
+            .series("e-DSUD", [(1.0, 500.0), (50.0, 4000.0), (92.0, 7200.0)])
+            .to_svg();
+        assert!(svg.contains("<polyline"));
+        // Every coordinate must land inside the canvas.
+        for cap in svg.split("cx=\"").skip(1) {
+            let x: f64 = cap.split('"').next().unwrap().parse().unwrap();
+            assert!((0.0..=WIDTH).contains(&x), "x={x}");
+        }
+        for cap in svg.split("cy=\"").skip(1) {
+            let y: f64 = cap.split('"').next().unwrap().parse().unwrap();
+            assert!((0.0..=HEIGHT).contains(&y), "y={y}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_point_charts_do_not_panic() {
+        let empty = CategoryChart::new("empty", "x", "y").to_svg();
+        assert!(empty.starts_with("<svg"));
+        let single = XyChart::new("one", "x", "y").series("s", [(2.0, 5.0)]).to_svg();
+        assert!(single.contains("<circle"));
+        assert!(!single.contains("<polyline")); // a single point draws no line
+    }
+
+    #[test]
+    fn nice_steps_are_1_2_5() {
+        assert_eq!(nice_step(0.7), 1.0);
+        assert_eq!(nice_step(1.3), 2.0);
+        assert_eq!(nice_step(3.9), 5.0);
+        assert_eq!(nice_step(7.2), 10.0);
+        assert_eq!(nice_step(130.0), 200.0);
+        assert_eq!(nice_step(0.0), 1.0);
+    }
+
+    #[test]
+    fn tick_formatting_is_compact() {
+        assert_eq!(format_tick(0.0), "0");
+        assert_eq!(format_tick(2_500_000.0), "2.5M");
+        assert_eq!(format_tick(16_540.0), "17k");
+        assert_eq!(format_tick(42.0), "42");
+        assert_eq!(format_tick(0.3), "0.30");
+    }
+
+    #[test]
+    fn titles_are_escaped() {
+        let svg = CategoryChart::new("a < b & c", "x", "y").to_svg();
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+}

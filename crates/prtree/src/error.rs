@@ -1,0 +1,58 @@
+use std::fmt;
+
+/// Errors produced by PR-tree construction and queries.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A tuple's dimensionality did not match the tree's.
+    DimensionMismatch {
+        /// Dimensionality the tree expects.
+        expected: usize,
+        /// Dimensionality of the offending tuple or point.
+        actual: usize,
+    },
+    /// The tree was created with zero dimensions.
+    InvalidDimensionality(usize),
+    /// The node capacity was too small to form a valid R-tree.
+    InvalidCapacity(usize),
+    /// The query threshold was outside `(0, 1]`.
+    InvalidThreshold(f64),
+    /// A tuple with the same id already exists in the tree.
+    DuplicateId,
+    /// A subspace mask selected dimensions outside the tree's space.
+    Subspace(dsud_uncertain::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DimensionMismatch { expected, actual } => {
+                write!(f, "expected {expected} dimensions, got {actual}")
+            }
+            Error::InvalidDimensionality(d) => write!(f, "dimensionality {d} is not supported"),
+            Error::InvalidCapacity(c) => {
+                write!(f, "node capacity {c} is too small (minimum is 2)")
+            }
+            Error::InvalidThreshold(q) => {
+                write!(f, "threshold {q} is outside the interval (0, 1]")
+            }
+            Error::DuplicateId => write!(f, "a tuple with this id already exists"),
+            Error::Subspace(e) => write!(f, "invalid subspace: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Subspace(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dsud_uncertain::Error> for Error {
+    fn from(e: dsud_uncertain::Error) -> Self {
+        Error::Subspace(e)
+    }
+}

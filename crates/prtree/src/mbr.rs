@@ -1,0 +1,248 @@
+use serde::{Deserialize, Serialize};
+
+use dsud_uncertain::SubspaceMask;
+
+/// A minimum bounding rectangle in `d`-dimensional space.
+///
+/// MBRs are the spatial keys of PR-tree entries. Besides the usual
+/// union/enlargement operations, this type provides the dominance-window
+/// predicates needed by skyline processing: whether every point of the box
+/// is dominated by a query point (the box lies fully inside the dominator
+/// window) and whether the box can contain any dominator at all.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mbr {
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+}
+
+impl Mbr {
+    /// Creates the degenerate MBR of a single point.
+    pub fn point(p: &[f64]) -> Self {
+        Mbr { lower: p.to_vec(), upper: p.to_vec() }
+    }
+
+    /// Creates an MBR from explicit corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if corners have different lengths or
+    /// `lower > upper` on some dimension.
+    pub fn from_corners(lower: Vec<f64>, upper: Vec<f64>) -> Self {
+        debug_assert_eq!(lower.len(), upper.len());
+        debug_assert!(lower.iter().zip(&upper).all(|(l, u)| l <= u));
+        Mbr { lower, upper }
+    }
+
+    /// The corner closest to the origin (componentwise minimum).
+    pub fn lower(&self) -> &[f64] {
+        &self.lower
+    }
+
+    /// The corner farthest from the origin (componentwise maximum).
+    pub fn upper(&self) -> &[f64] {
+        &self.upper
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.lower.len()
+    }
+
+    /// Grows the MBR to include the given point.
+    pub fn expand_point(&mut self, p: &[f64]) {
+        for (i, &v) in p.iter().enumerate() {
+            if v < self.lower[i] {
+                self.lower[i] = v;
+            }
+            if v > self.upper[i] {
+                self.upper[i] = v;
+            }
+        }
+    }
+
+    /// Grows the MBR to include another MBR.
+    pub fn expand_mbr(&mut self, other: &Mbr) {
+        for i in 0..self.lower.len() {
+            if other.lower[i] < self.lower[i] {
+                self.lower[i] = other.lower[i];
+            }
+            if other.upper[i] > self.upper[i] {
+                self.upper[i] = other.upper[i];
+            }
+        }
+    }
+
+    /// The `mindist` key of BBS: L1 distance from the origin to the lower
+    /// corner, restricted to the masked dimensions.
+    pub fn mindist(&self, mask: SubspaceMask) -> f64 {
+        mask.dims().take_while(|&d| d < self.lower.len()).map(|d| self.lower[d]).sum()
+    }
+
+    /// Volume increase required to include `p` (used by choose-subtree).
+    pub fn enlargement_for(&self, p: &[f64]) -> f64 {
+        let mut before = 1.0;
+        let mut after = 1.0;
+        for (i, &v) in p.iter().enumerate() {
+            let lo = self.lower[i].min(v);
+            let hi = self.upper[i].max(v);
+            // Use edge + 1 so flat boxes still produce useful ordering.
+            before *= self.upper[i] - self.lower[i] + 1.0;
+            after *= hi - lo + 1.0;
+        }
+        after - before
+    }
+
+    /// Whether the box could contain a point that strictly dominates `p` on
+    /// the masked dimensions (i.e. the box intersects the dominator window
+    /// of `p`).
+    ///
+    /// A dominator `x ≺ p` needs `x_j <= p_j` on every masked dimension
+    /// and `x_j < p_j` on at least one; the box admits such `x` iff
+    /// `lower_j <= p_j` everywhere and `lower_j < p_j` somewhere.
+    pub fn may_contain_dominator(&self, p: &[f64], mask: SubspaceMask) -> bool {
+        let mut can_be_strict = false;
+        for d in mask.dims() {
+            if d >= self.lower.len() {
+                break;
+            }
+            if self.lower[d] > p[d] {
+                return false;
+            }
+            if self.lower[d] < p[d] {
+                can_be_strict = true;
+            }
+        }
+        can_be_strict
+    }
+
+    /// Whether *every* point of the box strictly dominates `p` on the masked
+    /// dimensions (the box lies fully inside the dominator window).
+    ///
+    /// True iff `upper_j <= p_j` on every masked dimension and
+    /// `upper_j < p_j` on at least one (which makes every contained point
+    /// strictly smaller there).
+    pub fn fully_dominates(&self, p: &[f64], mask: SubspaceMask) -> bool {
+        let mut strict = false;
+        for d in mask.dims() {
+            if d >= self.upper.len() {
+                break;
+            }
+            if self.upper[d] > p[d] {
+                return false;
+            }
+            if self.upper[d] < p[d] {
+                strict = true;
+            }
+        }
+        strict
+    }
+
+    /// Whether the box could contain a point that is strictly *dominated
+    /// by* `p` on the masked dimensions (the mirror of
+    /// [`Mbr::may_contain_dominator`]); used by region-constrained queries
+    /// after a deletion.
+    pub fn may_contain_dominated(&self, p: &[f64], mask: SubspaceMask) -> bool {
+        let mut can_be_strict = false;
+        for d in mask.dims() {
+            if d >= self.upper.len() {
+                break;
+            }
+            if self.upper[d] < p[d] {
+                return false;
+            }
+            if self.upper[d] > p[d] {
+                can_be_strict = true;
+            }
+        }
+        can_be_strict
+    }
+
+    /// Whether the box contains the point (closed box).
+    pub fn contains_point(&self, p: &[f64]) -> bool {
+        self.lower.iter().zip(&self.upper).zip(p).all(|((l, u), v)| l <= v && v <= u)
+    }
+
+    /// Length of the box edge on dimension `d`.
+    pub fn edge(&self, d: usize) -> f64 {
+        self.upper[d] - self.lower[d]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full(d: usize) -> SubspaceMask {
+        SubspaceMask::full(d).unwrap()
+    }
+
+    #[test]
+    fn expand_point_grows_box() {
+        let mut m = Mbr::point(&[1.0, 5.0]);
+        m.expand_point(&[3.0, 2.0]);
+        assert_eq!(m.lower(), &[1.0, 2.0]);
+        assert_eq!(m.upper(), &[3.0, 5.0]);
+    }
+
+    #[test]
+    fn expand_mbr_is_union() {
+        let mut a = Mbr::from_corners(vec![0.0, 0.0], vec![1.0, 1.0]);
+        let b = Mbr::from_corners(vec![2.0, -1.0], vec![3.0, 0.5]);
+        a.expand_mbr(&b);
+        assert_eq!(a.lower(), &[0.0, -1.0]);
+        assert_eq!(a.upper(), &[3.0, 1.0]);
+    }
+
+    #[test]
+    fn mindist_sums_lower_corner() {
+        let m = Mbr::from_corners(vec![2.0, 3.0], vec![5.0, 5.0]);
+        assert_eq!(m.mindist(full(2)), 5.0);
+        let d1 = SubspaceMask::from_dims(&[1]).unwrap();
+        assert_eq!(m.mindist(d1), 3.0);
+    }
+
+    #[test]
+    fn dominator_window_predicates() {
+        let m = Mbr::from_corners(vec![1.0, 1.0], vec![2.0, 2.0]);
+        let f = full(2);
+        // Query point far to the upper-right: box fully dominates it.
+        assert!(m.fully_dominates(&[3.0, 3.0], f));
+        assert!(m.may_contain_dominator(&[3.0, 3.0], f));
+        // Query point at the box's upper corner: partial (points equal to p
+        // do not dominate), so not "fully".
+        assert!(!m.fully_dominates(&[2.0, 2.0], f));
+        assert!(m.may_contain_dominator(&[2.0, 2.0], f));
+        // Query point below the box: no dominator possible.
+        assert!(!m.may_contain_dominator(&[0.5, 0.5], f));
+        // Query point equal to a degenerate box: equality never dominates.
+        let pt = Mbr::point(&[1.0, 1.0]);
+        assert!(!pt.may_contain_dominator(&[1.0, 1.0], f));
+    }
+
+    #[test]
+    fn partial_overlap_detected() {
+        let m = Mbr::from_corners(vec![1.0, 1.0], vec![5.0, 5.0]);
+        let f = full(2);
+        // p inside the box: some contained points dominate, some do not.
+        assert!(m.may_contain_dominator(&[3.0, 3.0], f));
+        assert!(!m.fully_dominates(&[3.0, 3.0], f));
+    }
+
+    #[test]
+    fn subspace_window() {
+        let m = Mbr::from_corners(vec![1.0, 10.0], vec![2.0, 20.0]);
+        let d0 = SubspaceMask::from_dims(&[0]).unwrap();
+        // On dimension 0 alone the box fully dominates p0 = 5.
+        assert!(m.fully_dominates(&[5.0, 0.0], d0));
+        assert!(!m.fully_dominates(&[5.0, 0.0], full(2)));
+    }
+
+    #[test]
+    fn enlargement_prefers_containing_box() {
+        let big = Mbr::from_corners(vec![0.0, 0.0], vec![10.0, 10.0]);
+        let small = Mbr::from_corners(vec![0.0, 0.0], vec![1.0, 1.0]);
+        let p = [5.0, 5.0];
+        assert_eq!(big.enlargement_for(&p), 0.0);
+        assert!(small.enlargement_for(&p) > 0.0);
+    }
+}

@@ -1,0 +1,168 @@
+use serde::{Deserialize, Serialize};
+
+use dsud_uncertain::UncertainTuple;
+
+use crate::Mbr;
+
+/// Aggregate statistics of a PR-tree subtree, stored in the parent entry.
+///
+/// `p_min`/`p_max` are the paper's `P1`/`P2` annotations (Fig. 5). The
+/// `survival` product `∏ (1 − P(t))` over the whole subtree is our
+/// aggregate extension that turns dominator-window queries into partial
+/// tree traversals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Bounding box of the subtree.
+    pub mbr: Mbr,
+    /// Minimum existential probability in the subtree (the paper's `P1`).
+    pub p_min: f64,
+    /// Maximum existential probability in the subtree (the paper's `P2`).
+    pub p_max: f64,
+    /// `∏ (1 − P(t))` over every tuple in the subtree.
+    pub survival: f64,
+    /// Number of tuples in the subtree.
+    pub count: usize,
+}
+
+impl Summary {
+    /// Summary of a single tuple.
+    pub fn of_tuple(t: &UncertainTuple) -> Self {
+        Summary {
+            mbr: Mbr::point(t.values()),
+            p_min: t.prob().get(),
+            p_max: t.prob().get(),
+            survival: t.prob().complement(),
+            count: 1,
+        }
+    }
+
+    /// Merges another summary into this one (subtree union).
+    pub fn merge(&mut self, other: &Summary) {
+        self.mbr.expand_mbr(&other.mbr);
+        self.p_min = self.p_min.min(other.p_min);
+        self.p_max = self.p_max.max(other.p_max);
+        self.survival *= other.survival;
+        self.count += other.count;
+    }
+
+    /// Builds the union summary of a non-empty iterator.
+    ///
+    /// Returns `None` for an empty iterator.
+    pub fn union<'a, I>(mut summaries: I) -> Option<Summary>
+    where
+        I: Iterator<Item = &'a Summary>,
+    {
+        let mut acc = summaries.next()?.clone();
+        for s in summaries {
+            acc.merge(s);
+        }
+        Some(acc)
+    }
+}
+
+/// Body of a PR-tree node.
+#[derive(Debug, Clone)]
+pub(crate) enum NodeBody {
+    /// Leaf node holding tuples directly.
+    Leaf(Vec<UncertainTuple>),
+    /// Internal node holding `(child arena index, child summary)` entries.
+    Internal(Vec<(usize, Summary)>),
+}
+
+/// An arena-allocated PR-tree node.
+#[derive(Debug, Clone)]
+pub(crate) struct Node {
+    pub(crate) body: NodeBody,
+}
+
+impl Node {
+    pub(crate) fn leaf(tuples: Vec<UncertainTuple>) -> Self {
+        Node { body: NodeBody::Leaf(tuples) }
+    }
+
+    pub(crate) fn internal(children: Vec<(usize, Summary)>) -> Self {
+        Node { body: NodeBody::Internal(children) }
+    }
+
+    /// Recomputes the node's own summary from its contents.
+    ///
+    /// Returns `None` for an empty node.
+    pub(crate) fn summary(&self) -> Option<Summary> {
+        match &self.body {
+            NodeBody::Leaf(tuples) => {
+                let mut it = tuples.iter();
+                let mut acc = Summary::of_tuple(it.next()?);
+                for t in it {
+                    acc.merge(&Summary::of_tuple(t));
+                }
+                Some(acc)
+            }
+            NodeBody::Internal(children) => Summary::union(children.iter().map(|(_, s)| s)),
+        }
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn entry_count(&self) -> usize {
+        match &self.body {
+            NodeBody::Leaf(t) => t.len(),
+            NodeBody::Internal(c) => c.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsud_uncertain::{Probability, TupleId};
+
+    fn tuple(seq: u64, values: Vec<f64>, p: f64) -> UncertainTuple {
+        UncertainTuple::new(TupleId::new(0, seq), values, Probability::new(p).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn summary_of_tuple_is_degenerate() {
+        let t = tuple(0, vec![2.0, 3.0], 0.4);
+        let s = Summary::of_tuple(&t);
+        assert_eq!(s.mbr.lower(), &[2.0, 3.0]);
+        assert_eq!(s.p_min, 0.4);
+        assert_eq!(s.p_max, 0.4);
+        assert!((s.survival - 0.6).abs() < 1e-15);
+        assert_eq!(s.count, 1);
+    }
+
+    #[test]
+    fn merge_matches_paper_fig5() {
+        // Fig. 5: entries a, b, c with probabilities 0.6, 0.4, 0.2 yield
+        // P1(E3) = 0.2 and P2(E3) = 0.6.
+        let a = Summary::of_tuple(&tuple(0, vec![1.0, 1.0], 0.6));
+        let b = Summary::of_tuple(&tuple(1, vec![2.0, 2.0], 0.4));
+        let c = Summary::of_tuple(&tuple(2, vec![3.0, 3.0], 0.2));
+        let e3 = Summary::union([a, b, c].iter()).unwrap();
+        assert_eq!(e3.p_min, 0.2);
+        assert_eq!(e3.p_max, 0.6);
+        assert_eq!(e3.count, 3);
+        assert!((e3.survival - 0.4 * 0.6 * 0.8).abs() < 1e-15);
+        assert_eq!(e3.mbr.lower(), &[1.0, 1.0]);
+        assert_eq!(e3.mbr.upper(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn union_of_empty_is_none() {
+        assert!(Summary::union([].iter()).is_none());
+        let empty = Node::leaf(vec![]);
+        assert!(empty.summary().is_none());
+    }
+
+    #[test]
+    fn node_summary_covers_all_tuples() {
+        let n = Node::leaf(vec![
+            tuple(0, vec![0.0, 9.0], 0.5),
+            tuple(1, vec![5.0, 1.0], 0.9),
+        ]);
+        let s = n.summary().unwrap();
+        assert_eq!(s.mbr.lower(), &[0.0, 1.0]);
+        assert_eq!(s.mbr.upper(), &[5.0, 9.0]);
+        assert_eq!(s.count, 2);
+        assert_eq!(n.entry_count(), 2);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based validation of the PR-tree against linear-scan oracles,
+//! across random data sets, node capacities, and mutation sequences.
+
+use proptest::prelude::*;
+
+use dsud_prtree::{bbs, PrTree};
+use dsud_uncertain::{
+    probabilistic_skyline, Probability, SubspaceMask, TupleId, UncertainDb, UncertainTuple,
+};
+
+fn arb_tuples(dims: usize, max_n: usize) -> impl Strategy<Value = Vec<UncertainTuple>> {
+    prop::collection::vec(
+        (prop::collection::vec(0.0f64..100.0, dims), 0.01f64..=1.0),
+        1..=max_n,
+    )
+    .prop_map(move |rows| {
+        rows.into_iter()
+            .enumerate()
+            .map(|(i, (values, p))| {
+                UncertainTuple::new(
+                    TupleId::new(0, i as u64),
+                    values,
+                    Probability::new(p).unwrap(),
+                )
+                .unwrap()
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Window survival products equal the linear-scan definition for any
+    /// probe point and node capacity.
+    #[test]
+    fn survival_product_matches_scan(
+        tuples in arb_tuples(3, 120),
+        probe in prop::collection::vec(0.0f64..100.0, 3),
+        cap in 2usize..12,
+    ) {
+        let db = UncertainDb::from_tuples(3, tuples.clone()).unwrap();
+        let tree = PrTree::bulk_load_with(3, tuples, cap).unwrap();
+        let mask = SubspaceMask::full(3).unwrap();
+        let expected = db.survival_product(&probe);
+        let got = tree.survival_product(&probe, mask);
+        prop_assert!((expected - got).abs() < 1e-9, "{expected} vs {got}");
+    }
+
+    /// BBS local skylines equal the naive threshold skyline.
+    #[test]
+    fn bbs_matches_naive(tuples in arb_tuples(2, 100), q in 0.05f64..=1.0) {
+        let mask = SubspaceMask::full(2).unwrap();
+        let db = UncertainDb::from_tuples(2, tuples.clone()).unwrap();
+        let expected: Vec<TupleId> = probabilistic_skyline(&db, q, mask)
+            .unwrap()
+            .into_iter()
+            .map(|e| e.tuple.id())
+            .collect();
+        let tree = PrTree::bulk_load(2, tuples).unwrap();
+        let got: Vec<TupleId> = bbs::local_skyline(&tree, q, mask)
+            .unwrap()
+            .into_iter()
+            .map(|e| e.tuple.id())
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// A mutation sequence (bulk load, deletes, re-inserts) leaves queries
+    /// consistent with a database holding the same tuples.
+    #[test]
+    fn mutations_preserve_query_semantics(
+        tuples in arb_tuples(2, 80),
+        delete_mask in prop::collection::vec(any::<bool>(), 80),
+        probe in prop::collection::vec(0.0f64..100.0, 2),
+    ) {
+        let mut tree = PrTree::bulk_load(2, tuples.clone()).unwrap();
+        let mut kept: Vec<UncertainTuple> = Vec::new();
+        for (i, t) in tuples.iter().enumerate() {
+            if delete_mask.get(i).copied().unwrap_or(false) {
+                prop_assert!(tree.remove(t.id(), t.values()).is_some());
+            } else {
+                kept.push(t.clone());
+            }
+        }
+        tree.check_invariants();
+        let db = UncertainDb::from_tuples(2, kept).unwrap();
+        let mask = SubspaceMask::full(2).unwrap();
+        let expected = db.survival_product(&probe);
+        let got = tree.survival_product(&probe, mask);
+        prop_assert!((expected - got).abs() < 1e-9);
+        prop_assert_eq!(tree.len(), db.len());
+    }
+
+    /// The tree summary reflects exactly the stored population.
+    #[test]
+    fn summary_aggregates_are_exact(tuples in arb_tuples(3, 60)) {
+        let tree = PrTree::bulk_load(3, tuples.clone()).unwrap();
+        let s = tree.summary().unwrap();
+        prop_assert_eq!(s.count, tuples.len());
+        let p_min = tuples.iter().map(|t| t.prob().get()).fold(f64::INFINITY, f64::min);
+        let p_max = tuples.iter().map(|t| t.prob().get()).fold(0.0, f64::max);
+        prop_assert!((s.p_min - p_min).abs() < 1e-12);
+        prop_assert!((s.p_max - p_max).abs() < 1e-12);
+        let survival: f64 = tuples.iter().map(|t| t.prob().complement()).product();
+        prop_assert!((s.survival - survival).abs() < 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Range queries equal a linear scan for arbitrary boxes.
+    #[test]
+    fn range_query_matches_scan(
+        tuples in arb_tuples(3, 100),
+        corner_a in prop::collection::vec(0.0f64..100.0, 3),
+        corner_b in prop::collection::vec(0.0f64..100.0, 3),
+    ) {
+        let lower: Vec<f64> =
+            corner_a.iter().zip(&corner_b).map(|(a, b)| a.min(*b)).collect();
+        let upper: Vec<f64> =
+            corner_a.iter().zip(&corner_b).map(|(a, b)| a.max(*b)).collect();
+        let tree = PrTree::bulk_load(3, tuples.clone()).unwrap();
+        let mut got: Vec<u64> =
+            tree.range_query(&lower, &upper).iter().map(|t| t.id().seq).collect();
+        got.sort_unstable();
+        let mut expected: Vec<u64> = tuples
+            .iter()
+            .filter(|t| {
+                t.values()
+                    .iter()
+                    .zip(lower.iter().zip(&upper))
+                    .all(|(&v, (&lo, &hi))| lo <= v && v <= hi)
+            })
+            .map(|t| t.id().seq)
+            .collect();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Region-constrained local skylines equal the filtered naive answer.
+    #[test]
+    fn region_skyline_matches_filtered_naive(
+        tuples in arb_tuples(2, 80),
+        origin in prop::collection::vec(0.0f64..100.0, 2),
+        q in 0.05f64..=0.9,
+    ) {
+        use dsud_uncertain::dominates_in;
+        let mask = SubspaceMask::full(2).unwrap();
+        let db = UncertainDb::from_tuples(2, tuples.clone()).unwrap();
+        let expected: Vec<TupleId> = probabilistic_skyline(&db, q, mask)
+            .unwrap()
+            .into_iter()
+            .filter(|e| dominates_in(&origin, e.tuple.values(), mask))
+            .map(|e| e.tuple.id())
+            .collect();
+        let tree = PrTree::bulk_load(2, tuples).unwrap();
+        let got: Vec<TupleId> = bbs::local_skyline_in_region(&tree, q, mask, &origin)
+            .unwrap()
+            .into_iter()
+            .map(|e| e.tuple.id())
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+}

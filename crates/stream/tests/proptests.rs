@@ -1,0 +1,53 @@
+//! Property-based validation of the sliding-window skyline against naive
+//! recomputation over the live window, for arbitrary streams and window
+//! sizes.
+
+use proptest::prelude::*;
+
+use dsud_stream::SlidingSkyline;
+use dsud_uncertain::{
+    probabilistic_skyline, Probability, SubspaceMask, TupleId, UncertainDb, UncertainTuple,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn continuous_answers_match_recomputation(
+        stream in prop::collection::vec(
+            (prop::collection::vec(0.0f64..40.0, 2), 0.05f64..=1.0),
+            1..120,
+        ),
+        window in 1usize..40,
+        q in 0.1f64..=0.9,
+    ) {
+        let mut sky = SlidingSkyline::new(2, window, q).unwrap();
+        for (i, (values, p)) in stream.into_iter().enumerate() {
+            let t = UncertainTuple::new(
+                TupleId::new(0, i as u64),
+                values,
+                Probability::new(p).unwrap(),
+            )
+            .unwrap();
+            sky.push(t).unwrap();
+
+            let db = UncertainDb::from_tuples(
+                2,
+                sky.window_contents().cloned().collect::<Vec<_>>(),
+            )
+            .unwrap();
+            let mut expected: Vec<TupleId> =
+                probabilistic_skyline(&db, q, SubspaceMask::full(2).unwrap())
+                    .unwrap()
+                    .into_iter()
+                    .map(|e| e.tuple.id())
+                    .collect();
+            expected.sort();
+            let mut got: Vec<TupleId> =
+                sky.skyline().into_iter().map(|e| e.tuple.id()).collect();
+            got.sort();
+            prop_assert_eq!(got, expected);
+            prop_assert!(sky.len() <= window);
+        }
+    }
+}

@@ -1,0 +1,284 @@
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{dominance, Error, SubspaceMask, TupleId, UncertainTuple};
+
+/// An in-memory uncertain database: a collection of [`UncertainTuple`]s of a
+/// fixed dimensionality with unique ids (the paper's `D` or `D_i`).
+///
+/// The database offers the *definitional* probability computations of
+/// Section 3 (Eqs. 3, 5, 9). These are linear scans and serve as ground
+/// truth; the `dsud-prtree` crate provides the indexed equivalents used by
+/// the actual query procedures.
+///
+/// # Example
+///
+/// ```
+/// use dsud_uncertain::{Probability, TupleId, UncertainDb, UncertainTuple};
+///
+/// # fn main() -> Result<(), dsud_uncertain::Error> {
+/// let mut db = UncertainDb::new(2)?;
+/// for (seq, (vals, p)) in [
+///     (vec![80.0, 96.0], 0.8),
+///     (vec![85.0, 90.0], 0.6),
+///     (vec![75.0, 95.0], 0.8),
+/// ]
+/// .into_iter()
+/// .enumerate()
+/// {
+///     db.insert(UncertainTuple::new(
+///         TupleId::new(0, seq as u64),
+///         vals,
+///         Probability::new(p)?,
+///     )?)?;
+/// }
+/// assert_eq!(db.len(), 3);
+/// // t3 = (75, 95) is dominated by nobody: P_sky = P(t3) = 0.8.
+/// let t3 = db.get(TupleId::new(0, 2)).unwrap().clone();
+/// assert!((db.skyline_probability(&t3) - 0.8).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct UncertainDb {
+    dims: usize,
+    tuples: Vec<UncertainTuple>,
+    #[serde(skip)]
+    index: HashMap<TupleId, usize>,
+}
+
+impl UncertainDb {
+    /// Creates an empty database of the given dimensionality.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidDimensionality`] if `dims` is zero or greater
+    /// than [`SubspaceMask::MAX_DIMS`].
+    pub fn new(dims: usize) -> Result<Self, Error> {
+        if dims == 0 || dims > SubspaceMask::MAX_DIMS {
+            return Err(Error::InvalidDimensionality(dims));
+        }
+        Ok(UncertainDb { dims, tuples: Vec::new(), index: HashMap::new() })
+    }
+
+    /// Builds a database from an iterator of tuples.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`Error::DimensionMismatch`] or
+    /// [`Error::DuplicateId`] encountered.
+    pub fn from_tuples<I>(dims: usize, tuples: I) -> Result<Self, Error>
+    where
+        I: IntoIterator<Item = UncertainTuple>,
+    {
+        let mut db = UncertainDb::new(dims)?;
+        for t in tuples {
+            db.insert(t)?;
+        }
+        Ok(db)
+    }
+
+    /// Dimensionality of the space.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of tuples stored.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the database holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// All tuples, in insertion order.
+    pub fn tuples(&self) -> &[UncertainTuple] {
+        &self.tuples
+    }
+
+    /// Looks up a tuple by id.
+    pub fn get(&self, id: TupleId) -> Option<&UncertainTuple> {
+        self.index.get(&id).map(|&i| &self.tuples[i])
+    }
+
+    /// Whether a tuple with the given id is stored.
+    pub fn contains(&self, id: TupleId) -> bool {
+        self.index.contains_key(&id)
+    }
+
+    /// Inserts a tuple.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if the tuple's dimensionality
+    /// differs from the database's, or [`Error::DuplicateId`] if a tuple
+    /// with the same id exists.
+    pub fn insert(&mut self, tuple: UncertainTuple) -> Result<(), Error> {
+        if tuple.dims() != self.dims {
+            return Err(Error::DimensionMismatch { expected: self.dims, actual: tuple.dims() });
+        }
+        if self.index.contains_key(&tuple.id()) {
+            return Err(Error::DuplicateId);
+        }
+        self.index.insert(tuple.id(), self.tuples.len());
+        self.tuples.push(tuple);
+        Ok(())
+    }
+
+    /// Removes and returns the tuple with the given id, if present.
+    ///
+    /// Removal is `O(1)` via swap-remove; tuple order is not preserved.
+    pub fn remove(&mut self, id: TupleId) -> Option<UncertainTuple> {
+        let pos = self.index.remove(&id)?;
+        let tuple = self.tuples.swap_remove(pos);
+        if pos < self.tuples.len() {
+            let moved = self.tuples[pos].id();
+            self.index.insert(moved, pos);
+        }
+        Some(tuple)
+    }
+
+    /// The skyline probability `P_sky(t, D)` of Eq. (3):
+    /// `P(t) × ∏_{t' ∈ D, t' ≺ t} (1 − P(t'))`.
+    ///
+    /// `t` need not be a member of the database; if it is, it never
+    /// dominates itself, so no special handling is required.
+    pub fn skyline_probability(&self, t: &UncertainTuple) -> f64 {
+        t.prob().get() * self.survival_product(t.values())
+    }
+
+    /// Subspace variant of [`UncertainDb::skyline_probability`], restricting
+    /// dominance to the dimensions in `mask`.
+    ///
+    /// When `t` belongs to the database, duplicates of `t`'s projected
+    /// values do not count as dominators (dominance stays strict).
+    pub fn skyline_probability_in(&self, t: &UncertainTuple, mask: SubspaceMask) -> f64 {
+        t.prob().get() * self.survival_product_in(t.values(), mask)
+    }
+
+    /// The survival product `∏_{t' ∈ D, t' ≺ p} (1 − P(t'))` — the paper's
+    /// Observation 1: the "local skyline probability" of a *foreign* point
+    /// `p` against this database (no `P(p)` factor).
+    pub fn survival_product(&self, point: &[f64]) -> f64 {
+        self.tuples
+            .iter()
+            .filter(|t| dominance::dominates(t.values(), point))
+            .map(|t| t.prob().complement())
+            .product()
+    }
+
+    /// Subspace variant of [`UncertainDb::survival_product`].
+    pub fn survival_product_in(&self, point: &[f64], mask: SubspaceMask) -> f64 {
+        self.tuples
+            .iter()
+            .filter(|t| dominance::dominates_in(t.values(), point, mask))
+            .map(|t| t.prob().complement())
+            .product()
+    }
+
+    /// Iterates over the stored tuples.
+    pub fn iter(&self) -> std::slice::Iter<'_, UncertainTuple> {
+        self.tuples.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a UncertainDb {
+    type Item = &'a UncertainTuple;
+    type IntoIter = std::slice::Iter<'a, UncertainTuple>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.tuples.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Probability;
+
+    fn tuple(seq: u64, values: Vec<f64>, p: f64) -> UncertainTuple {
+        UncertainTuple::new(TupleId::new(0, seq), values, Probability::new(p).unwrap()).unwrap()
+    }
+
+    fn fig3_db() -> UncertainDb {
+        UncertainDb::from_tuples(
+            2,
+            [
+                tuple(1, vec![80.0, 96.0], 0.8),
+                tuple(2, vec![85.0, 90.0], 0.6),
+                tuple(3, vec![75.0, 95.0], 0.8),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_fig3_skyline_probabilities() {
+        let db = fig3_db();
+        let t = |seq| db.get(TupleId::new(0, seq)).unwrap().clone();
+        // From the worked possible-world example in the paper's Fig. 3.
+        // Note: the paper's P_sky(t1)=0.16 treats t3=(75,95) as dominating
+        // t1=(80,96), and t1/t2, t2/t3 as incomparable.
+        assert!((db.skyline_probability(&t(1)) - 0.16).abs() < 1e-12);
+        assert!((db.skyline_probability(&t(2)) - 0.6).abs() < 1e-12);
+        assert!((db.skyline_probability(&t(3)) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_mismatched_dimensions() {
+        let mut db = UncertainDb::new(3).unwrap();
+        let err = db.insert(tuple(0, vec![1.0, 2.0], 0.5));
+        assert_eq!(err, Err(Error::DimensionMismatch { expected: 3, actual: 2 }));
+    }
+
+    #[test]
+    fn rejects_duplicate_ids() {
+        let mut db = UncertainDb::new(2).unwrap();
+        db.insert(tuple(7, vec![1.0, 2.0], 0.5)).unwrap();
+        assert_eq!(db.insert(tuple(7, vec![3.0, 4.0], 0.5)), Err(Error::DuplicateId));
+    }
+
+    #[test]
+    fn remove_keeps_index_consistent() {
+        let mut db = fig3_db();
+        let removed = db.remove(TupleId::new(0, 1)).unwrap();
+        assert_eq!(removed.values(), &[80.0, 96.0]);
+        assert_eq!(db.len(), 2);
+        assert!(db.get(TupleId::new(0, 1)).is_none());
+        // Swap-removed tail tuple must still be findable.
+        assert!(db.get(TupleId::new(0, 3)).is_some());
+        assert!(db.get(TupleId::new(0, 2)).is_some());
+        assert!(db.remove(TupleId::new(0, 1)).is_none());
+    }
+
+    #[test]
+    fn survival_product_excludes_non_dominators() {
+        let db = fig3_db();
+        // Point (100, 100) is dominated by all three tuples.
+        let expected = 0.2 * 0.4 * 0.2;
+        assert!((db.survival_product(&[100.0, 100.0]) - expected).abs() < 1e-12);
+        // Origin is dominated by nobody.
+        assert_eq!(db.survival_product(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn subspace_probability_differs_from_full() {
+        let db = fig3_db();
+        let t2 = db.get(TupleId::new(0, 2)).unwrap().clone();
+        // In full space t2=(85,90) is undominated: P_sky = 0.6.
+        assert!((db.skyline_probability(&t2) - 0.6).abs() < 1e-12);
+        // On dimension 0 alone, t2 is dominated by both t1 (80) and t3 (75).
+        let d0 = SubspaceMask::from_dims(&[0]).unwrap();
+        assert!((db.skyline_probability_in(&t2, d0) - 0.6 * 0.2 * 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iteration_yields_all_tuples() {
+        let db = fig3_db();
+        assert_eq!(db.iter().count(), 3);
+        assert_eq!((&db).into_iter().count(), 3);
+    }
+}

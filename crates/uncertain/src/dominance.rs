@@ -1,0 +1,183 @@
+use serde::{Deserialize, Serialize};
+
+use crate::SubspaceMask;
+
+/// Outcome of comparing two points under Pareto dominance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DomRelation {
+    /// The first point dominates the second (`a ≺ b`).
+    Dominates,
+    /// The first point is dominated by the second (`b ≺ a`).
+    DominatedBy,
+    /// The points coincide on every compared dimension.
+    Equal,
+    /// Neither point dominates the other.
+    Incomparable,
+}
+
+/// Tests whether `a` dominates `b` over the full space (`a ≺ b`).
+///
+/// Dominance follows the paper's Section 3.1: `a`'s values must be no larger
+/// than `b`'s on every dimension and strictly smaller on at least one
+/// (smaller is better).
+///
+/// # Panics
+///
+/// Panics in debug builds if the slices have different lengths; in release
+/// builds the shorter length is compared.
+///
+/// # Example
+///
+/// ```
+/// use dsud_uncertain::dominates;
+///
+/// assert!(dominates(&[1.0, 2.0], &[1.0, 3.0]));
+/// assert!(!dominates(&[1.0, 3.0], &[3.0, 1.0])); // incomparable
+/// assert!(!dominates(&[1.0, 2.0], &[1.0, 2.0])); // equal is not dominated
+/// ```
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len(), "dominance requires equal dimensionality");
+    let mut strictly_less = false;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly_less = true;
+        }
+    }
+    strictly_less
+}
+
+/// Tests whether `a` dominates `b` on the dimensions selected by `mask`
+/// (subspace skyline semantics of the paper's Section 4).
+///
+/// Dimensions outside both slices' range are ignored, so a mask validated
+/// with [`SubspaceMask::validate_for`] is always safe to pass.
+///
+/// # Example
+///
+/// ```
+/// use dsud_uncertain::{dominates_in, SubspaceMask};
+///
+/// # fn main() -> Result<(), dsud_uncertain::Error> {
+/// let price_only = SubspaceMask::from_dims(&[0])?;
+/// // (100, 5) does not dominate (200, 1) in full space, but does on price.
+/// assert!(dominates_in(&[100.0, 5.0], &[200.0, 1.0], price_only));
+/// # Ok(())
+/// # }
+/// ```
+pub fn dominates_in(a: &[f64], b: &[f64], mask: SubspaceMask) -> bool {
+    let mut strictly_less = false;
+    for d in mask.dims() {
+        if d >= a.len() || d >= b.len() {
+            break;
+        }
+        if a[d] > b[d] {
+            return false;
+        }
+        if a[d] < b[d] {
+            strictly_less = true;
+        }
+    }
+    strictly_less
+}
+
+/// Full dominance comparison of `a` and `b` on the selected subspace.
+///
+/// # Example
+///
+/// ```
+/// use dsud_uncertain::{relation, DomRelation, SubspaceMask};
+///
+/// # fn main() -> Result<(), dsud_uncertain::Error> {
+/// let full = SubspaceMask::full(2)?;
+/// assert_eq!(relation(&[1.0, 1.0], &[2.0, 2.0], full), DomRelation::Dominates);
+/// assert_eq!(relation(&[2.0, 2.0], &[1.0, 1.0], full), DomRelation::DominatedBy);
+/// assert_eq!(relation(&[1.0, 2.0], &[2.0, 1.0], full), DomRelation::Incomparable);
+/// assert_eq!(relation(&[1.0, 2.0], &[1.0, 2.0], full), DomRelation::Equal);
+/// # Ok(())
+/// # }
+/// ```
+pub fn relation(a: &[f64], b: &[f64], mask: SubspaceMask) -> DomRelation {
+    let mut a_less = false;
+    let mut b_less = false;
+    for d in mask.dims() {
+        if d >= a.len() || d >= b.len() {
+            break;
+        }
+        if a[d] < b[d] {
+            a_less = true;
+        } else if a[d] > b[d] {
+            b_less = true;
+        }
+        if a_less && b_less {
+            return DomRelation::Incomparable;
+        }
+    }
+    match (a_less, b_less) {
+        (true, false) => DomRelation::Dominates,
+        (false, true) => DomRelation::DominatedBy,
+        (false, false) => DomRelation::Equal,
+        (true, true) => DomRelation::Incomparable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strict_dominance_requires_one_strict_dim() {
+        assert!(dominates(&[1.0, 1.0], &[1.0, 2.0]));
+        assert!(dominates(&[0.5, 2.0], &[1.0, 2.0]));
+        assert!(!dominates(&[1.0, 2.0], &[1.0, 2.0]));
+    }
+
+    #[test]
+    fn dominance_is_antisymmetric() {
+        let a = [1.0, 5.0];
+        let b = [2.0, 6.0];
+        assert!(dominates(&a, &b));
+        assert!(!dominates(&b, &a));
+    }
+
+    #[test]
+    fn paper_fig1_hotels() {
+        // P1(2,8), P2(4,6), P3(4,4): P3 dominates P2? values (4,4) vs (4,6):
+        // yes. P1 vs P3 incomparable.
+        assert!(dominates(&[4.0, 4.0], &[4.0, 6.0]));
+        assert!(!dominates(&[2.0, 8.0], &[4.0, 4.0]));
+        assert!(!dominates(&[4.0, 4.0], &[2.0, 8.0]));
+    }
+
+    #[test]
+    fn subspace_changes_outcome() {
+        let full = SubspaceMask::full(2).unwrap();
+        let d0 = SubspaceMask::from_dims(&[0]).unwrap();
+        let d1 = SubspaceMask::from_dims(&[1]).unwrap();
+        let a = [1.0, 9.0];
+        let b = [2.0, 3.0];
+        assert_eq!(relation(&a, &b, full), DomRelation::Incomparable);
+        assert_eq!(relation(&a, &b, d0), DomRelation::Dominates);
+        assert_eq!(relation(&a, &b, d1), DomRelation::DominatedBy);
+    }
+
+    #[test]
+    fn relation_matches_dominates() {
+        let full = SubspaceMask::full(3).unwrap();
+        let pts = [
+            vec![1.0, 2.0, 3.0],
+            vec![1.0, 2.0, 2.0],
+            vec![3.0, 1.0, 1.0],
+            vec![1.0, 2.0, 3.0],
+        ];
+        for a in &pts {
+            for b in &pts {
+                let rel = relation(a, b, full);
+                assert_eq!(rel == DomRelation::Dominates, dominates(a, b));
+                assert_eq!(rel == DomRelation::DominatedBy, dominates(b, a));
+            }
+        }
+    }
+}

@@ -1,0 +1,60 @@
+use std::fmt;
+
+/// Errors produced by the uncertainty data model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A probability value was outside the half-open interval `(0, 1]`.
+    InvalidProbability(f64),
+    /// A database was created with zero dimensions or more than
+    /// [`SubspaceMask::MAX_DIMS`](crate::SubspaceMask::MAX_DIMS).
+    InvalidDimensionality(usize),
+    /// A tuple's value vector length did not match the expected
+    /// dimensionality.
+    DimensionMismatch {
+        /// Dimensionality the container expects.
+        expected: usize,
+        /// Dimensionality of the offending tuple.
+        actual: usize,
+    },
+    /// An attribute value was NaN or infinite.
+    NonFiniteValue(f64),
+    /// A tuple with the same [`TupleId`](crate::TupleId) already exists.
+    DuplicateId,
+    /// Possible-world enumeration was requested for a database too large to
+    /// enumerate (more than [`worlds::MAX_ENUMERABLE`](crate::worlds::MAX_ENUMERABLE) tuples).
+    TooManyWorlds(usize),
+    /// A subspace mask selected a dimension outside the database space.
+    InvalidSubspace {
+        /// Dimensionality of the database.
+        dims: usize,
+        /// Highest dimension index selected by the mask.
+        selected: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidProbability(p) => {
+                write!(f, "probability {p} is outside the interval (0, 1]")
+            }
+            Error::InvalidDimensionality(d) => {
+                write!(f, "dimensionality {d} is not supported")
+            }
+            Error::DimensionMismatch { expected, actual } => {
+                write!(f, "expected {expected} dimensions, tuple has {actual}")
+            }
+            Error::NonFiniteValue(v) => write!(f, "attribute value {v} is not finite"),
+            Error::DuplicateId => write!(f, "a tuple with this id already exists"),
+            Error::TooManyWorlds(n) => {
+                write!(f, "cannot enumerate 2^{n} possible worlds")
+            }
+            Error::InvalidSubspace { dims, selected } => {
+                write!(f, "subspace selects dimension {selected} of a {dims}-dimensional space")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}

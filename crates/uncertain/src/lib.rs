@@ -1,0 +1,64 @@
+//! Uncertainty data model and centralized probabilistic skylines.
+//!
+//! This crate implements the substrate layer of the DSUD system (Ding & Jin,
+//! ICDCS 2010 / TKDE 2011): the tuple-level uncertainty data model of the
+//! paper's Section 3, possible-world semantics (Fig. 3), dominance over full
+//! and sub-spaces, and the centralized probabilistic skyline definitions
+//! (Eqs. 1–5) together with straightforward reference algorithms used as
+//! ground truth by every other crate.
+//!
+//! # Model
+//!
+//! An uncertain database is a set of tuples `t`, each with a vector of
+//! `d` numeric attribute values and an existential probability
+//! `0 < P(t) <= 1`. A *possible world* `W` materializes each tuple
+//! independently. The *skyline probability* of `t` is the total probability
+//! of the worlds in which `t` appears and is not dominated:
+//!
+//! ```text
+//! P_sky(t, D) = P(t) × ∏_{t' ∈ D, t' ≺ t} (1 − P(t'))
+//! ```
+//!
+//! where `≺` is Pareto dominance with "smaller is better" on every
+//! dimension.
+//!
+//! # Example
+//!
+//! ```
+//! use dsud_uncertain::{Probability, UncertainDb, UncertainTuple, TupleId};
+//!
+//! # fn main() -> Result<(), dsud_uncertain::Error> {
+//! let mut db = UncertainDb::new(2)?;
+//! db.insert(UncertainTuple::new(TupleId::new(0, 0), vec![80.0, 96.0], Probability::new(0.8)?)?)?;
+//! db.insert(UncertainTuple::new(TupleId::new(0, 1), vec![85.0, 90.0], Probability::new(0.6)?)?)?;
+//! db.insert(UncertainTuple::new(TupleId::new(0, 2), vec![75.0, 95.0], Probability::new(0.8)?)?)?;
+//!
+//! // Matches the worked example of the paper's Fig. 3.
+//! let p = db.skyline_probability(&db.tuples()[0]);
+//! assert!((p - 0.16).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod db;
+mod dominance;
+mod error;
+mod probability;
+mod skyline;
+mod subspace;
+mod tuple;
+pub mod worlds;
+
+pub use db::UncertainDb;
+pub use dominance::{dominates, dominates_in, relation, DomRelation};
+pub use error::Error;
+pub use probability::Probability;
+pub use skyline::{
+    certain_skyline, probabilistic_skyline, skyline_probabilities, tuple_skyline_probability,
+    SkylineEntry,
+};
+pub use subspace::SubspaceMask;
+pub use tuple::{SiteId, TupleId, UncertainTuple};

@@ -1,0 +1,166 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Error;
+
+/// An existential probability in the half-open interval `(0, 1]`.
+///
+/// The paper's uncertainty model (Section 3) assigns each tuple a
+/// probability `0 < P(t) <= 1` of actually occurring. The newtype makes it
+/// impossible to construct an out-of-range or non-finite value through the
+/// public API.
+///
+/// # Example
+///
+/// ```
+/// use dsud_uncertain::Probability;
+///
+/// # fn main() -> Result<(), dsud_uncertain::Error> {
+/// let p = Probability::new(0.8)?;
+/// assert_eq!(p.get(), 0.8);
+/// assert!((p.complement() - 0.2).abs() < 1e-15);
+/// assert!(Probability::new(0.0).is_err());
+/// assert!(Probability::new(1.5).is_err());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(try_from = "f64", into = "f64")]
+pub struct Probability(f64);
+
+impl Probability {
+    /// The certain probability, `P = 1`.
+    pub const ONE: Probability = Probability(1.0);
+
+    /// Creates a probability, validating that `p` lies in `(0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidProbability`] if `p` is NaN, infinite, not
+    /// positive, or greater than one.
+    pub fn new(p: f64) -> Result<Self, Error> {
+        if p.is_finite() && p > 0.0 && p <= 1.0 {
+            Ok(Probability(p))
+        } else {
+            Err(Error::InvalidProbability(p))
+        }
+    }
+
+    /// Creates a probability by clamping `p` into `(0, 1]`.
+    ///
+    /// Values at or below zero, and NaN, are clamped to
+    /// [`Probability::MIN_POSITIVE`]; values above one are clamped to one.
+    /// Useful for samplers
+    /// (e.g. Gaussian probability assignment in the paper's Section 7.4)
+    /// whose raw draws can stray outside the valid range.
+    pub fn clamped(p: f64) -> Self {
+        if p.is_nan() || p <= 0.0 {
+            Probability(Self::MIN_POSITIVE)
+        } else if p >= 1.0 {
+            Probability(1.0)
+        } else {
+            Probability(p)
+        }
+    }
+
+    /// Smallest probability producible by [`Probability::clamped`].
+    pub const MIN_POSITIVE: f64 = 1e-9;
+
+    /// Returns the raw probability value.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the non-occurrence probability `1 − P`.
+    pub fn complement(self) -> f64 {
+        1.0 - self.0
+    }
+}
+
+impl Eq for Probability {}
+
+// `Probability` is always a finite, non-NaN float, so total order is sound.
+impl Ord for Probability {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("probabilities are finite")
+    }
+}
+
+impl PartialOrd for Probability {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for Probability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl TryFrom<f64> for Probability {
+    type Error = Error;
+
+    fn try_from(p: f64) -> Result<Self, Error> {
+        Probability::new(p)
+    }
+}
+
+impl From<Probability> for f64 {
+    fn from(p: Probability) -> f64 {
+        p.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_range() {
+        assert!(Probability::new(1e-9).is_ok());
+        assert!(Probability::new(0.5).is_ok());
+        assert!(Probability::new(1.0).is_ok());
+    }
+
+    #[test]
+    fn rejects_invalid_values() {
+        for bad in [0.0, -0.1, 1.0001, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(Probability::new(bad).is_err(), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn complement_is_one_minus_p() {
+        let p = Probability::new(0.3).unwrap();
+        assert!((p.complement() - 0.7).abs() < 1e-15);
+        assert_eq!(Probability::ONE.complement(), 0.0);
+    }
+
+    #[test]
+    fn clamped_never_panics() {
+        assert_eq!(Probability::clamped(-3.0).get(), Probability::MIN_POSITIVE);
+        assert_eq!(Probability::clamped(f64::NAN).get(), Probability::MIN_POSITIVE);
+        assert_eq!(Probability::clamped(2.0).get(), 1.0);
+        assert_eq!(Probability::clamped(0.4).get(), 0.4);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = [
+            Probability::new(0.9).unwrap(),
+            Probability::new(0.1).unwrap(),
+            Probability::new(0.5).unwrap(),
+        ];
+        v.sort();
+        assert_eq!(v[0].get(), 0.1);
+        assert_eq!(v[2].get(), 0.9);
+    }
+
+    #[test]
+    fn roundtrips_through_f64() {
+        let p = Probability::try_from(0.25).unwrap();
+        assert_eq!(f64::from(p), 0.25);
+    }
+}

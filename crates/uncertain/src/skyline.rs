@@ -1,0 +1,195 @@
+//! Centralized probabilistic skyline reference algorithms.
+//!
+//! These are the `O(N²)` "baseline approach" computations of the paper's
+//! Section 3.2: compute every tuple's skyline probability by Eq. (3) and
+//! keep those at or above the threshold `q`. They are deliberately simple —
+//! every optimized component in the workspace is tested against them.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{dominance, Error, SubspaceMask, UncertainDb, UncertainTuple};
+
+/// A qualified skyline tuple together with its skyline probability.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SkylineEntry {
+    /// The qualifying tuple.
+    pub tuple: UncertainTuple,
+    /// Its (global or local) skyline probability.
+    pub probability: f64,
+}
+
+/// Computes the skyline probability of every tuple (aligned with
+/// `db.tuples()`) on the given subspace, by direct application of Eq. (3).
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidSubspace`] if `mask` selects a dimension outside
+/// the database space.
+pub fn skyline_probabilities(db: &UncertainDb, mask: SubspaceMask) -> Result<Vec<f64>, Error> {
+    mask.validate_for(db.dims())?;
+    Ok(db.iter().map(|t| db.skyline_probability_in(t, mask)).collect())
+}
+
+/// The centralized probabilistic skyline: all tuples whose skyline
+/// probability is at least `q`, sorted in descending probability order
+/// (ties broken by tuple id for determinism).
+///
+/// This is the answer set the distributed algorithms must reproduce at the
+/// coordinator, per Definition 1 of the paper.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidProbability`] if `q` is outside `(0, 1]`, or
+/// [`Error::InvalidSubspace`] for a bad mask.
+///
+/// # Example
+///
+/// ```
+/// use dsud_uncertain::{
+///     probabilistic_skyline, Probability, SubspaceMask, TupleId, UncertainDb, UncertainTuple,
+/// };
+///
+/// # fn main() -> Result<(), dsud_uncertain::Error> {
+/// let db = UncertainDb::from_tuples(2, [
+///     UncertainTuple::new(TupleId::new(0, 0), vec![80.0, 96.0], Probability::new(0.8)?)?,
+///     UncertainTuple::new(TupleId::new(0, 1), vec![85.0, 90.0], Probability::new(0.6)?)?,
+///     UncertainTuple::new(TupleId::new(0, 2), vec![75.0, 95.0], Probability::new(0.8)?)?,
+/// ])?;
+/// let sky = probabilistic_skyline(&db, 0.3, SubspaceMask::full(2)?)?;
+/// // P_sky = 0.16, 0.6, 0.8 → two qualify at q = 0.3.
+/// assert_eq!(sky.len(), 2);
+/// assert_eq!(sky[0].tuple.id(), TupleId::new(0, 2));
+/// # Ok(())
+/// # }
+/// ```
+pub fn probabilistic_skyline(
+    db: &UncertainDb,
+    q: f64,
+    mask: SubspaceMask,
+) -> Result<Vec<SkylineEntry>, Error> {
+    if !(q > 0.0 && q <= 1.0) {
+        return Err(Error::InvalidProbability(q));
+    }
+    let probs = skyline_probabilities(db, mask)?;
+    let mut out: Vec<SkylineEntry> = db
+        .iter()
+        .zip(probs)
+        .filter(|(_, p)| *p >= q)
+        .map(|(t, p)| SkylineEntry { tuple: t.clone(), probability: p })
+        .collect();
+    out.sort_by(|a, b| {
+        b.probability
+            .partial_cmp(&a.probability)
+            .expect("probabilities are finite")
+            .then_with(|| a.tuple.id().cmp(&b.tuple.id()))
+    });
+    Ok(out)
+}
+
+/// The conventional (certain-data) skyline of a point set: indices of points
+/// not dominated by any other point on the selected subspace.
+///
+/// Used by the skyline-cardinality estimator validation and wherever the
+/// paper reasons about precise data (e.g. its Fig. 1 hotel example).
+pub fn certain_skyline(points: &[Vec<f64>], mask: SubspaceMask) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| {
+            points.iter().enumerate().all(|(j, other)| {
+                j == i || !dominance::dominates_in(other, &points[i], mask)
+            })
+        })
+        .collect()
+}
+
+/// Convenience wrapper returning the skyline entries of a single tuple's
+/// probability, mostly useful in examples.
+///
+/// # Errors
+///
+/// Same as [`skyline_probabilities`].
+pub fn tuple_skyline_probability(
+    db: &UncertainDb,
+    tuple: &UncertainTuple,
+    mask: SubspaceMask,
+) -> Result<f64, Error> {
+    mask.validate_for(db.dims())?;
+    Ok(db.skyline_probability_in(tuple, mask))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Probability, TupleId};
+
+    fn tuple(seq: u64, values: Vec<f64>, p: f64) -> UncertainTuple {
+        UncertainTuple::new(TupleId::new(0, seq), values, Probability::new(p).unwrap()).unwrap()
+    }
+
+    fn full(d: usize) -> SubspaceMask {
+        SubspaceMask::full(d).unwrap()
+    }
+
+    #[test]
+    fn threshold_filters_and_sorts() {
+        let db = UncertainDb::from_tuples(
+            2,
+            [
+                tuple(1, vec![80.0, 96.0], 0.8),
+                tuple(2, vec![85.0, 90.0], 0.6),
+                tuple(3, vec![75.0, 95.0], 0.8),
+            ],
+        )
+        .unwrap();
+        let sky = probabilistic_skyline(&db, 0.3, full(2)).unwrap();
+        assert_eq!(sky.len(), 2);
+        assert!(sky[0].probability >= sky[1].probability);
+        assert!((sky[0].probability - 0.8).abs() < 1e-12);
+
+        let sky_all = probabilistic_skyline(&db, 0.1, full(2)).unwrap();
+        assert_eq!(sky_all.len(), 3);
+
+        let sky_none = probabilistic_skyline(&db, 0.95, full(2)).unwrap();
+        assert!(sky_none.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_threshold() {
+        let db = UncertainDb::new(2).unwrap();
+        assert!(probabilistic_skyline(&db, 0.0, full(2)).is_err());
+        assert!(probabilistic_skyline(&db, 1.5, full(2)).is_err());
+        assert!(probabilistic_skyline(&db, f64::NAN, full(2)).is_err());
+    }
+
+    #[test]
+    fn certain_skyline_matches_paper_fig1() {
+        // Fig. 1: hotels P1..P5; skyline = {P1, P3, P5}.
+        let pts = vec![
+            vec![2.0, 6.0], // P1
+            vec![4.0, 7.0], // P2 (dominated by P1)
+            vec![4.0, 4.0], // P3
+            vec![7.0, 5.0], // P4 (dominated by P3)
+            vec![8.0, 2.0], // P5
+        ];
+        assert_eq!(certain_skyline(&pts, full(2)), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn certain_skyline_with_duplicates_keeps_both() {
+        let pts = vec![vec![1.0, 1.0], vec![1.0, 1.0], vec![2.0, 2.0]];
+        assert_eq!(certain_skyline(&pts, full(2)), vec![0, 1]);
+    }
+
+    #[test]
+    fn probability_one_dominator_zeroes_out() {
+        let db = UncertainDb::from_tuples(
+            2,
+            [tuple(1, vec![1.0, 1.0], 1.0), tuple(2, vec![2.0, 2.0], 0.9)],
+        )
+        .unwrap();
+        let probs = skyline_probabilities(&db, full(2)).unwrap();
+        assert_eq!(probs[0], 1.0);
+        assert_eq!(probs[1], 0.0);
+        let sky = probabilistic_skyline(&db, 0.3, full(2)).unwrap();
+        assert_eq!(sky.len(), 1);
+    }
+}

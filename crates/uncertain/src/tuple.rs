@@ -1,0 +1,176 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Error, Probability};
+
+/// Identifier of a local site in the distributed system.
+///
+/// Site `0..m` are the participants `S_1..S_m` of the paper; the central
+/// server is not a site and has no `SiteId`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct SiteId(pub u32);
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// Globally unique tuple identifier: the home site plus a per-site sequence
+/// number.
+///
+/// The paper assumes tuples across local databases are unique (Section 3.1);
+/// the `(site, seq)` pair encodes that uniqueness structurally.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct TupleId {
+    /// Home site of the tuple.
+    pub site: SiteId,
+    /// Sequence number unique within the home site.
+    pub seq: u64,
+}
+
+impl TupleId {
+    /// Creates a tuple id from a raw site number and sequence number.
+    pub fn new(site: u32, seq: u64) -> Self {
+        TupleId { site: SiteId(site), seq }
+    }
+}
+
+impl fmt::Display for TupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.site, self.seq)
+    }
+}
+
+/// A tuple of the uncertainty data model: attribute values plus an
+/// existential probability (the paper's Fig. 2).
+///
+/// Smaller attribute values are preferable on every dimension (the usual
+/// skyline convention used throughout the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UncertainTuple {
+    id: TupleId,
+    values: Vec<f64>,
+    prob: Probability,
+}
+
+impl UncertainTuple {
+    /// Creates a tuple from its id, attribute values, and existential
+    /// probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NonFiniteValue`] if any attribute is NaN or
+    /// infinite, and [`Error::InvalidDimensionality`] if `values` is empty.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dsud_uncertain::{Probability, TupleId, UncertainTuple};
+    ///
+    /// # fn main() -> Result<(), dsud_uncertain::Error> {
+    /// // The paper's running example: hotel <340, 66> with confidence 0.8.
+    /// let t = UncertainTuple::new(TupleId::new(1, 7), vec![340.0, 66.0], Probability::new(0.8)?)?;
+    /// assert_eq!(t.dims(), 2);
+    /// assert_eq!(t.prob().get(), 0.8);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn new(id: TupleId, values: Vec<f64>, prob: Probability) -> Result<Self, Error> {
+        if values.is_empty() {
+            return Err(Error::InvalidDimensionality(0));
+        }
+        if let Some(&bad) = values.iter().find(|v| !v.is_finite()) {
+            return Err(Error::NonFiniteValue(bad));
+        }
+        Ok(UncertainTuple { id, values, prob })
+    }
+
+    /// The tuple's globally unique identifier.
+    pub fn id(&self) -> TupleId {
+        self.id
+    }
+
+    /// The attribute values; smaller is better on every dimension.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The existential probability `P(t)`.
+    pub fn prob(&self) -> Probability {
+        self.prob
+    }
+
+    /// Number of dimensions of this tuple.
+    pub fn dims(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Sum of coordinates — the L1 distance from the space origin, i.e. the
+    /// `mindist` key used by BBS-style traversal (paper Section 6.2).
+    pub fn mindist(&self) -> f64 {
+        self.values.iter().sum()
+    }
+}
+
+impl fmt::Display for UncertainTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "; P={})", self.prob)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: f64) -> Probability {
+        Probability::new(v).unwrap()
+    }
+
+    #[test]
+    fn rejects_empty_values() {
+        assert_eq!(
+            UncertainTuple::new(TupleId::new(0, 0), vec![], p(0.5)),
+            Err(Error::InvalidDimensionality(0))
+        );
+    }
+
+    #[test]
+    fn rejects_non_finite_values() {
+        let err = UncertainTuple::new(TupleId::new(0, 0), vec![1.0, f64::NAN], p(0.5));
+        assert!(matches!(err, Err(Error::NonFiniteValue(_))));
+        let err = UncertainTuple::new(TupleId::new(0, 0), vec![f64::INFINITY], p(0.5));
+        assert!(matches!(err, Err(Error::NonFiniteValue(_))));
+    }
+
+    #[test]
+    fn mindist_is_coordinate_sum() {
+        let t = UncertainTuple::new(TupleId::new(0, 0), vec![3.0, 8.0], p(0.8)).unwrap();
+        assert_eq!(t.mindist(), 11.0);
+    }
+
+    #[test]
+    fn ids_order_by_site_then_seq() {
+        assert!(TupleId::new(0, 99) < TupleId::new(1, 0));
+        assert!(TupleId::new(1, 0) < TupleId::new(1, 1));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let t = UncertainTuple::new(TupleId::new(2, 5), vec![6.0, 6.0], p(0.7)).unwrap();
+        assert_eq!(t.to_string(), "(6, 6; P=0.7)");
+        assert_eq!(t.id().to_string(), "S2#5");
+    }
+}

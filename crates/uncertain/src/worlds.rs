@@ -1,0 +1,345 @@
+//! Possible-world semantics: exhaustive enumeration used as ground truth.
+//!
+//! An uncertain database of `n` tuples induces `2^n` possible worlds; world
+//! `W` occurs with probability `∏_{t ∈ W} P(t) × ∏_{t ∉ W} (1 − P(t))`
+//! (Eq. 1). The skyline probability of a tuple is the total probability of
+//! the worlds whose skyline contains it (Eq. 2). Enumerating worlds is
+//! exponential and only viable for tiny inputs, which is exactly the role of
+//! this module: an oracle against which the closed-form Eq. 3 computation
+//! and all distributed algorithms are validated.
+
+use crate::{dominance, Error, SubspaceMask, UncertainDb};
+
+/// Largest database size for which world enumeration is permitted (`2^22`
+/// worlds ≈ 4M skyline computations).
+pub const MAX_ENUMERABLE: usize = 22;
+
+/// A single possible world: the subset of tuple indices that materialized,
+/// and the probability of this exact world.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PossibleWorld {
+    /// Bitmask over tuple indices: bit `i` set means tuple `i` appears.
+    pub members: u64,
+    /// Occurrence probability `P(W)` of Eq. (1).
+    pub probability: f64,
+}
+
+impl PossibleWorld {
+    /// Whether tuple index `i` appears in this world.
+    pub fn contains(&self, i: usize) -> bool {
+        i < 64 && self.members & (1u64 << i) != 0
+    }
+}
+
+/// Enumerates every possible world of `db` together with its probability.
+///
+/// # Errors
+///
+/// Returns [`Error::TooManyWorlds`] if `db` has more than
+/// [`MAX_ENUMERABLE`] tuples.
+///
+/// # Example
+///
+/// ```
+/// use dsud_uncertain::{worlds, Probability, TupleId, UncertainDb, UncertainTuple};
+///
+/// # fn main() -> Result<(), dsud_uncertain::Error> {
+/// let db = UncertainDb::from_tuples(2, [
+///     UncertainTuple::new(TupleId::new(0, 0), vec![1.0, 2.0], Probability::new(0.8)?)?,
+/// ])?;
+/// let all = worlds::enumerate(&db)?;
+/// assert_eq!(all.len(), 2);
+/// let total: f64 = all.iter().map(|w| w.probability).sum();
+/// assert!((total - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn enumerate(db: &UncertainDb) -> Result<Vec<PossibleWorld>, Error> {
+    let n = db.len();
+    if n > MAX_ENUMERABLE {
+        return Err(Error::TooManyWorlds(n));
+    }
+    let probs: Vec<f64> = db.iter().map(|t| t.prob().get()).collect();
+    let mut out = Vec::with_capacity(1usize << n);
+    for members in 0u64..(1u64 << n) {
+        let mut p = 1.0;
+        for (i, &pi) in probs.iter().enumerate() {
+            if members & (1u64 << i) != 0 {
+                p *= pi;
+            } else {
+                p *= 1.0 - pi;
+            }
+        }
+        out.push(PossibleWorld { members, probability: p });
+    }
+    Ok(out)
+}
+
+/// Computes the skyline of one world: indices of members not dominated by
+/// any other member, on the dimensions selected by `mask`.
+pub fn world_skyline(db: &UncertainDb, world: &PossibleWorld, mask: SubspaceMask) -> Vec<usize> {
+    let tuples = db.tuples();
+    let members: Vec<usize> = (0..tuples.len()).filter(|&i| world.contains(i)).collect();
+    members
+        .iter()
+        .copied()
+        .filter(|&i| {
+            members.iter().all(|&j| {
+                j == i || !dominance::dominates_in(tuples[j].values(), tuples[i].values(), mask)
+            })
+        })
+        .collect()
+}
+
+/// Exhaustive skyline probabilities for every tuple of `db` (Eq. 2), by
+/// summing `P(W)` over all worlds whose skyline contains the tuple.
+///
+/// The result is aligned with `db.tuples()`.
+///
+/// # Errors
+///
+/// Returns [`Error::TooManyWorlds`] if `db` exceeds [`MAX_ENUMERABLE`]
+/// tuples, or [`Error::InvalidSubspace`] for an out-of-space mask.
+pub fn exhaustive_skyline_probabilities(
+    db: &UncertainDb,
+    mask: SubspaceMask,
+) -> Result<Vec<f64>, Error> {
+    mask.validate_for(db.dims())?;
+    let worlds = enumerate(db)?;
+    let mut acc = vec![0.0; db.len()];
+    for w in &worlds {
+        for i in world_skyline(db, w, mask) {
+            acc[i] += w.probability;
+        }
+    }
+    Ok(acc)
+}
+
+/// A tiny deterministic PRNG (xorshift64*), so Monte Carlo estimation needs
+/// no external dependency and is reproducible from a seed.
+#[derive(Debug, Clone)]
+struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    fn new(seed: u64) -> Self {
+        XorShift64 { state: seed | 1 }
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        let bits = self.state.wrapping_mul(0x2545_f491_4f6c_dd1d);
+        ((bits >> 11) as f64) / ((1u64 << 53) as f64)
+    }
+}
+
+/// Monte Carlo estimate of every tuple's skyline probability: materializes
+/// `samples` independent possible worlds and counts skyline memberships
+/// (Eq. 2 by simulation).
+///
+/// Enumeration ([`exhaustive_skyline_probabilities`]) is exact but limited
+/// to [`MAX_ENUMERABLE`] tuples; sampling works at any cardinality with
+/// standard `O(1/√samples)` error, making it the validation oracle for
+/// databases of realistic size. The result is aligned with `db.tuples()`.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidSubspace`] for a mask outside the database
+/// space, or [`Error::TooManyWorlds`] if `samples` is zero (no estimate is
+/// possible).
+///
+/// # Example
+///
+/// ```
+/// use dsud_uncertain::{worlds, Probability, SubspaceMask, TupleId, UncertainDb, UncertainTuple};
+///
+/// # fn main() -> Result<(), dsud_uncertain::Error> {
+/// let db = UncertainDb::from_tuples(2, [
+///     UncertainTuple::new(TupleId::new(0, 0), vec![1.0, 1.0], Probability::new(0.8)?)?,
+///     UncertainTuple::new(TupleId::new(0, 1), vec![2.0, 2.0], Probability::new(0.6)?)?,
+/// ])?;
+/// let mask = SubspaceMask::full(2)?;
+/// let est = worlds::sample_skyline_probabilities(&db, mask, 20_000, 42)?;
+/// // Exact values are 0.8 and 0.6 × 0.2 = 0.12.
+/// assert!((est[0] - 0.8).abs() < 0.02);
+/// assert!((est[1] - 0.12).abs() < 0.02);
+/// # Ok(())
+/// # }
+/// ```
+pub fn sample_skyline_probabilities(
+    db: &UncertainDb,
+    mask: SubspaceMask,
+    samples: usize,
+    seed: u64,
+) -> Result<Vec<f64>, Error> {
+    mask.validate_for(db.dims())?;
+    if samples == 0 {
+        return Err(Error::TooManyWorlds(0));
+    }
+    let tuples = db.tuples();
+    let n = tuples.len();
+    let mut rng = XorShift64::new(seed);
+    let mut hits = vec![0u64; n];
+    // Scratch buffers reused across worlds.
+    let mut members: Vec<usize> = Vec::with_capacity(n);
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    for _ in 0..samples {
+        members.clear();
+        for (i, t) in tuples.iter().enumerate() {
+            if rng.next_f64() < t.prob().get() {
+                members.push(i);
+            }
+        }
+        // Sort-filter-scan: in ascending masked coordinate sum, a point's
+        // dominators all precede it, so testing against the accepted
+        // skyline suffices.
+        order.clear();
+        order.extend_from_slice(&members);
+        let key = |i: usize| -> f64 {
+            mask.dims()
+                .take_while(|&d| d < tuples[i].values().len())
+                .map(|d| tuples[i].values()[d])
+                .sum()
+        };
+        order.sort_by(|&a, &b| key(a).partial_cmp(&key(b)).expect("finite values"));
+        let mut sky: Vec<usize> = Vec::new();
+        for &i in &order {
+            if !sky
+                .iter()
+                .any(|&s| dominance::dominates_in(tuples[s].values(), tuples[i].values(), mask))
+            {
+                sky.push(i);
+                hits[i] += 1;
+            }
+        }
+    }
+    Ok(hits.into_iter().map(|h| h as f64 / samples as f64).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Probability, TupleId, UncertainTuple};
+
+    fn tuple(seq: u64, values: Vec<f64>, p: f64) -> UncertainTuple {
+        UncertainTuple::new(TupleId::new(0, seq), values, Probability::new(p).unwrap()).unwrap()
+    }
+
+    fn fig3_db() -> UncertainDb {
+        UncertainDb::from_tuples(
+            2,
+            [
+                tuple(1, vec![80.0, 96.0], 0.8),
+                tuple(2, vec![85.0, 90.0], 0.6),
+                tuple(3, vec![75.0, 95.0], 0.8),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fig3_world_probabilities() {
+        let db = fig3_db();
+        let worlds = enumerate(&db).unwrap();
+        assert_eq!(worlds.len(), 8);
+        // W1 = {} : 0.2 × 0.4 × 0.2 = 0.016
+        assert!((worlds[0].probability - 0.016).abs() < 1e-12);
+        // W8 = {t1, t2, t3} : 0.8 × 0.6 × 0.8 = 0.384
+        assert!((worlds[7].probability - 0.384).abs() < 1e-12);
+        let total: f64 = worlds.iter().map(|w| w.probability).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig3_exhaustive_matches_closed_form() {
+        let db = fig3_db();
+        let mask = SubspaceMask::full(2).unwrap();
+        let exhaustive = exhaustive_skyline_probabilities(&db, mask).unwrap();
+        for (i, t) in db.iter().enumerate() {
+            let closed = db.skyline_probability(t);
+            assert!(
+                (exhaustive[i] - closed).abs() < 1e-12,
+                "tuple {i}: exhaustive {} vs closed-form {closed}",
+                exhaustive[i]
+            );
+        }
+        // Paper's reported values.
+        assert!((exhaustive[0] - 0.16).abs() < 1e-12);
+        assert!((exhaustive[1] - 0.6).abs() < 1e-12);
+        assert!((exhaustive[2] - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_world_has_empty_skyline() {
+        let db = fig3_db();
+        let empty = PossibleWorld { members: 0, probability: 0.016 };
+        let mask = SubspaceMask::full(2).unwrap();
+        assert!(world_skyline(&db, &empty, mask).is_empty());
+    }
+
+    #[test]
+    fn rejects_oversized_databases() {
+        let tuples = (0..(MAX_ENUMERABLE as u64 + 1))
+            .map(|i| tuple(i, vec![i as f64, i as f64], 0.5));
+        let db = UncertainDb::from_tuples(2, tuples).unwrap();
+        assert!(matches!(enumerate(&db), Err(Error::TooManyWorlds(_))));
+    }
+
+    #[test]
+    fn sampling_converges_to_closed_form() {
+        // 60 tuples — far beyond enumeration, easy for sampling.
+        let tuples: Vec<UncertainTuple> = (0..60)
+            .map(|i| {
+                let x = ((i * 37) % 61) as f64;
+                let y = ((i * 17) % 53) as f64;
+                let p = 0.05 + 0.9 * (((i * 7) % 11) as f64 / 11.0);
+                tuple(i, vec![x, y], p)
+            })
+            .collect();
+        let db = UncertainDb::from_tuples(2, tuples).unwrap();
+        let mask = SubspaceMask::full(2).unwrap();
+        let est = sample_skyline_probabilities(&db, mask, 8_000, 7).unwrap();
+        for (i, t) in db.iter().enumerate() {
+            let exact = db.skyline_probability(t);
+            assert!(
+                (est[i] - exact).abs() < 0.04,
+                "tuple {i}: sampled {} vs exact {exact}",
+                est[i]
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let db = fig3_db();
+        let mask = SubspaceMask::full(2).unwrap();
+        let a = sample_skyline_probabilities(&db, mask, 1_000, 3).unwrap();
+        let b = sample_skyline_probabilities(&db, mask, 1_000, 3).unwrap();
+        let c = sample_skyline_probabilities(&db, mask, 1_000, 4).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sampling_rejects_degenerate_input() {
+        let db = fig3_db();
+        let mask = SubspaceMask::full(2).unwrap();
+        assert!(sample_skyline_probabilities(&db, mask, 0, 1).is_err());
+        let bad = SubspaceMask::from_dims(&[9]).unwrap();
+        assert!(sample_skyline_probabilities(&db, bad, 10, 1).is_err());
+    }
+
+    #[test]
+    fn subspace_exhaustive_matches_closed_form() {
+        let db = fig3_db();
+        let d1 = SubspaceMask::from_dims(&[1]).unwrap();
+        let exhaustive = exhaustive_skyline_probabilities(&db, d1).unwrap();
+        for (i, t) in db.iter().enumerate() {
+            let closed = db.skyline_probability_in(t, d1);
+            assert!((exhaustive[i] - closed).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based validation of the uncertainty data model: the closed-form
+//! Eq. (3) computation must agree with exhaustive possible-world
+//! enumeration on arbitrary small databases, and dominance must behave like
+//! a strict partial order.
+
+use proptest::prelude::*;
+
+use dsud_uncertain::{
+    dominates, dominates_in, relation, worlds, DomRelation, Probability, SubspaceMask, TupleId,
+    UncertainDb, UncertainTuple,
+};
+
+fn arb_tuple(dims: usize, seq: u64) -> impl Strategy<Value = UncertainTuple> {
+    (
+        prop::collection::vec(0.0f64..100.0, dims),
+        0.01f64..=1.0,
+    )
+        .prop_map(move |(values, p)| {
+            UncertainTuple::new(TupleId::new(0, seq), values, Probability::new(p).unwrap())
+                .unwrap()
+        })
+}
+
+fn arb_db(dims: usize, max_n: usize) -> impl Strategy<Value = UncertainDb> {
+    prop::collection::vec(prop::collection::vec(0.0f64..100.0, dims), 1..=max_n)
+        .prop_flat_map(move |points| {
+            let n = points.len();
+            (Just(points), prop::collection::vec(0.01f64..=1.0, n))
+        })
+        .prop_map(move |(points, probs)| {
+            let tuples = points.into_iter().zip(probs).enumerate().map(|(i, (values, p))| {
+                UncertainTuple::new(
+                    TupleId::new(0, i as u64),
+                    values,
+                    Probability::new(p).unwrap(),
+                )
+                .unwrap()
+            });
+            UncertainDb::from_tuples(dims, tuples.collect::<Vec<_>>()).unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Eq. (3) equals the possible-world summation (Eq. 2) exactly.
+    #[test]
+    fn closed_form_matches_possible_worlds(db in arb_db(2, 10)) {
+        let mask = SubspaceMask::full(2).unwrap();
+        let exhaustive = worlds::exhaustive_skyline_probabilities(&db, mask).unwrap();
+        for (i, t) in db.iter().enumerate() {
+            let closed = db.skyline_probability(t);
+            prop_assert!((closed - exhaustive[i]).abs() < 1e-9,
+                "tuple {i}: closed {closed} vs exhaustive {}", exhaustive[i]);
+        }
+    }
+
+    /// Same property on a subspace.
+    #[test]
+    fn closed_form_matches_possible_worlds_on_subspace(db in arb_db(3, 8)) {
+        let mask = SubspaceMask::from_dims(&[0, 2]).unwrap();
+        let exhaustive = worlds::exhaustive_skyline_probabilities(&db, mask).unwrap();
+        for (i, t) in db.iter().enumerate() {
+            let closed = db.skyline_probability_in(t, mask);
+            prop_assert!((closed - exhaustive[i]).abs() < 1e-9);
+        }
+    }
+
+    /// World probabilities always sum to one.
+    #[test]
+    fn world_probabilities_sum_to_one(db in arb_db(2, 12)) {
+        let total: f64 = worlds::enumerate(&db).unwrap().iter().map(|w| w.probability).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "total {total}");
+    }
+
+    /// Skyline probabilities are valid probabilities, bounded by P(t).
+    #[test]
+    fn skyline_probability_bounded_by_existential(db in arb_db(3, 20)) {
+        for t in db.iter() {
+            let p = db.skyline_probability(t);
+            prop_assert!(p >= 0.0);
+            prop_assert!(p <= t.prob().get() + 1e-12);
+        }
+    }
+
+    /// Dominance is irreflexive and antisymmetric.
+    #[test]
+    fn dominance_is_a_strict_order(
+        a in arb_tuple(3, 0),
+        b in arb_tuple(3, 1),
+        c in arb_tuple(3, 2),
+    ) {
+        prop_assert!(!dominates(a.values(), a.values()));
+        prop_assert!(!(dominates(a.values(), b.values()) && dominates(b.values(), a.values())));
+        // Transitivity.
+        if dominates(a.values(), b.values()) && dominates(b.values(), c.values()) {
+            prop_assert!(dominates(a.values(), c.values()));
+        }
+    }
+
+    /// `relation` is consistent with `dominates_in` on every subspace.
+    #[test]
+    fn relation_consistent_with_dominates(
+        a in arb_tuple(4, 0),
+        b in arb_tuple(4, 1),
+        dims in prop::collection::btree_set(0usize..4, 1..=4),
+    ) {
+        let mask = SubspaceMask::from_dims(&dims.into_iter().collect::<Vec<_>>()).unwrap();
+        let rel = relation(a.values(), b.values(), mask);
+        prop_assert_eq!(rel == DomRelation::Dominates, dominates_in(a.values(), b.values(), mask));
+        prop_assert_eq!(rel == DomRelation::DominatedBy, dominates_in(b.values(), a.values(), mask));
+    }
+
+    /// Adding a tuple never increases anyone else's skyline probability.
+    #[test]
+    fn insert_is_monotone_decreasing(db in arb_db(2, 10), extra in arb_tuple(2, 999)) {
+        let before: Vec<f64> = db.iter().map(|t| db.skyline_probability(t)).collect();
+        let mut bigger = db.clone();
+        let mut extra = extra;
+        // Re-id to avoid collisions.
+        extra = UncertainTuple::new(TupleId::new(1, 0), extra.values().to_vec(), extra.prob()).unwrap();
+        bigger.insert(extra).unwrap();
+        for (i, t) in db.iter().enumerate() {
+            let after = bigger.skyline_probability(t);
+            prop_assert!(after <= before[i] + 1e-12);
+        }
+    }
+}

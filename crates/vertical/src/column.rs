@@ -1,0 +1,189 @@
+use std::cell::Cell;
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use dsud_uncertain::{TupleId, UncertainTuple};
+
+use crate::Error;
+
+/// Access counters of one column site — the cost model of the
+/// threshold-algorithm literature.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessStats {
+    /// Entries served in ascending value order.
+    pub sorted: u64,
+    /// Entries served by tuple id.
+    pub random: u64,
+}
+
+/// One attribute column of a vertically partitioned uncertain relation.
+///
+/// Serves *sorted access* (next entry in ascending value order) and
+/// *random access* (value by tuple id). The tuple's existential
+/// probability is metadata delivered with either access kind.
+#[derive(Debug, Clone)]
+pub struct ColumnSite {
+    /// `(value, id, prob)` ascending by value, ties by id.
+    sorted: Vec<(f64, TupleId, f64)>,
+    by_id: HashMap<TupleId, (f64, f64)>,
+    cursor: Cell<usize>,
+    stats: Cell<AccessStats>,
+}
+
+impl ColumnSite {
+    /// Builds one column from complete tuples, keeping dimension `dim`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidData`] if `tuples` is empty or `dim` is out
+    /// of range for any tuple.
+    pub fn from_tuples(tuples: &[UncertainTuple], dim: usize) -> Result<Self, Error> {
+        if tuples.is_empty() {
+            return Err(Error::InvalidData("no tuples"));
+        }
+        if tuples.iter().any(|t| dim >= t.dims()) {
+            return Err(Error::InvalidData("dimension out of range"));
+        }
+        let mut sorted: Vec<(f64, TupleId, f64)> =
+            tuples.iter().map(|t| (t.values()[dim], t.id(), t.prob().get())).collect();
+        sorted.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0).expect("finite values").then_with(|| a.1.cmp(&b.1))
+        });
+        let by_id = sorted.iter().map(|&(v, id, p)| (id, (v, p))).collect();
+        Ok(ColumnSite { sorted, by_id, cursor: Cell::new(0), stats: Cell::new(AccessStats::default()) })
+    }
+
+    /// Vertically partitions complete tuples into one column per dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidData`] for an empty set or mixed
+    /// dimensionalities.
+    pub fn partition(tuples: &[UncertainTuple]) -> Result<Vec<ColumnSite>, Error> {
+        let Some(first) = tuples.first() else {
+            return Err(Error::InvalidData("no tuples"));
+        };
+        let dims = first.dims();
+        if tuples.iter().any(|t| t.dims() != dims) {
+            return Err(Error::InvalidData("mixed dimensionalities"));
+        }
+        (0..dims).map(|d| ColumnSite::from_tuples(tuples, d)).collect()
+    }
+
+    /// Sorted access: the next `(id, value, prob)` in ascending value
+    /// order, or `None` when the column is exhausted.
+    pub fn sorted_access(&self) -> Option<(TupleId, f64, f64)> {
+        let pos = self.cursor.get();
+        let &(value, id, prob) = self.sorted.get(pos)?;
+        self.cursor.set(pos + 1);
+        let mut s = self.stats.get();
+        s.sorted += 1;
+        self.stats.set(s);
+        Some((id, value, prob))
+    }
+
+    /// Random access: this column's value (and the tuple's probability)
+    /// for `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownId`] if the column has no such tuple.
+    pub fn random_access(&self, id: TupleId) -> Result<(f64, f64), Error> {
+        let mut s = self.stats.get();
+        s.random += 1;
+        self.stats.set(s);
+        self.by_id.get(&id).copied().ok_or(Error::UnknownId)
+    }
+
+    /// The deepest value sorted access has served, if any.
+    pub fn depth(&self) -> Option<f64> {
+        let pos = self.cursor.get();
+        if pos == 0 {
+            None
+        } else {
+            Some(self.sorted[pos - 1].0)
+        }
+    }
+
+    /// Whether sorted access has served every entry.
+    pub fn is_exhausted(&self) -> bool {
+        self.cursor.get() >= self.sorted.len()
+    }
+
+    /// Number of entries in the column.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the column holds no entries (never true for constructed
+    /// columns; exists for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Access counters so far.
+    pub fn stats(&self) -> AccessStats {
+        self.stats.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsud_uncertain::Probability;
+
+    fn tuple(seq: u64, values: Vec<f64>, p: f64) -> UncertainTuple {
+        UncertainTuple::new(TupleId::new(0, seq), values, Probability::new(p).unwrap()).unwrap()
+    }
+
+    fn sample() -> Vec<UncertainTuple> {
+        vec![
+            tuple(0, vec![3.0, 10.0], 0.5),
+            tuple(1, vec![1.0, 30.0], 0.6),
+            tuple(2, vec![2.0, 20.0], 0.7),
+        ]
+    }
+
+    #[test]
+    fn sorted_access_serves_ascending() {
+        let col = ColumnSite::from_tuples(&sample(), 0).unwrap();
+        let order: Vec<f64> =
+            std::iter::from_fn(|| col.sorted_access().map(|(_, v, _)| v)).collect();
+        assert_eq!(order, vec![1.0, 2.0, 3.0]);
+        assert!(col.is_exhausted());
+        assert_eq!(col.stats().sorted, 3);
+        assert!(col.sorted_access().is_none());
+    }
+
+    #[test]
+    fn depth_tracks_last_served_value() {
+        let col = ColumnSite::from_tuples(&sample(), 1).unwrap();
+        assert_eq!(col.depth(), None);
+        col.sorted_access();
+        assert_eq!(col.depth(), Some(10.0));
+        col.sorted_access();
+        assert_eq!(col.depth(), Some(20.0));
+    }
+
+    #[test]
+    fn random_access_by_id() {
+        let col = ColumnSite::from_tuples(&sample(), 1).unwrap();
+        assert_eq!(col.random_access(TupleId::new(0, 2)).unwrap(), (20.0, 0.7));
+        assert_eq!(col.random_access(TupleId::new(9, 9)), Err(Error::UnknownId));
+        assert_eq!(col.stats().random, 2);
+    }
+
+    #[test]
+    fn partition_builds_one_column_per_dim() {
+        let cols = ColumnSite::partition(&sample()).unwrap();
+        assert_eq!(cols.len(), 2);
+        assert_eq!(cols[0].len(), 3);
+        assert!(ColumnSite::partition(&[]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_dimension() {
+        assert!(ColumnSite::from_tuples(&sample(), 5).is_err());
+    }
+}

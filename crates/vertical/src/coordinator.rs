@@ -1,0 +1,322 @@
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use dsud_uncertain::{dominates, Probability, SkylineEntry, TupleId, UncertainTuple};
+
+use crate::{ColumnSite, Error};
+
+/// Cost counters of one UTA run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerticalStats {
+    /// Total sorted accesses across all columns.
+    pub sorted_accesses: u64,
+    /// Total random accesses across all columns.
+    pub random_accesses: u64,
+    /// Tuples fully resolved at the coordinator.
+    pub resolved: u64,
+    /// Round-robin rounds performed.
+    pub rounds: u64,
+}
+
+/// Result of a vertically partitioned probabilistic skyline query.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VerticalOutcome {
+    /// Qualified tuples with exact skyline probabilities, descending.
+    pub skyline: Vec<SkylineEntry>,
+    /// Access-cost counters.
+    pub stats: VerticalStats,
+}
+
+/// The UTA coordinator: answers a threshold probabilistic skyline query
+/// over column sites with bounded sorted/random accesses (see the crate
+/// docs for the algorithm and its correctness argument).
+#[derive(Debug, Clone, Copy)]
+pub struct UtaCoordinator {
+    q: f64,
+    check_every: u64,
+}
+
+impl UtaCoordinator {
+    /// Creates a coordinator for threshold `q`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidThreshold`] if `q` is outside `(0, 1]`.
+    pub fn new(q: f64) -> Result<Self, Error> {
+        if !(q > 0.0 && q <= 1.0) {
+            return Err(Error::InvalidThreshold(q));
+        }
+        Ok(UtaCoordinator { q, check_every: 8 })
+    }
+
+    /// How often (in rounds) the stopping conditions are evaluated; the
+    /// checks cost `O(resolved²)`, so sparser checking trades a few extra
+    /// accesses for less coordinator CPU.
+    pub fn check_every(mut self, rounds: u64) -> Self {
+        self.check_every = rounds.max(1);
+        self
+    }
+
+    /// Runs the query against the column sites.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidData`] for an empty column list and
+    /// propagates [`Error::UnknownId`] if the columns disagree on the tuple
+    /// population (malformed partitioning).
+    pub fn run(&self, columns: &[ColumnSite]) -> Result<VerticalOutcome, Error> {
+        if columns.is_empty() {
+            return Err(Error::InvalidData("no columns"));
+        }
+        let d = columns.len();
+        let mut resolved: HashMap<TupleId, (Vec<f64>, f64)> = HashMap::new();
+        let mut stats = VerticalStats::default();
+
+        loop {
+            stats.rounds += 1;
+            let mut progressed = false;
+            for (j, column) in columns.iter().enumerate() {
+                let Some((id, value, prob)) = column.sorted_access() else { continue };
+                progressed = true;
+                if resolved.contains_key(&id) {
+                    continue;
+                }
+                // TA-style immediate resolution: fetch the missing columns.
+                let mut values = vec![0.0; d];
+                values[j] = value;
+                for (k, other) in columns.iter().enumerate() {
+                    if k != j {
+                        values[k] = other.random_access(id)?.0;
+                    }
+                }
+                resolved.insert(id, (values, prob));
+            }
+            if !progressed {
+                break; // every column exhausted
+            }
+
+            if stats.rounds % self.check_every != 0 {
+                continue;
+            }
+
+            // Unseen tuples exist only while every column still has
+            // unserved entries (each tuple appears in each column).
+            let unseen_possible = columns.iter().all(|c| !c.is_exhausted());
+            if unseen_possible {
+                let depths: Vec<f64> = match columns.iter().map(ColumnSite::depth).collect() {
+                    Some(depths) => depths,
+                    None => continue,
+                };
+                // Bound on any unseen tuple's skyline probability: resolved
+                // tuples strictly inside the depth box dominate everything
+                // unseen; an unseen tuple's own probability can be 1.
+                let mut survival_unseen = 1.0;
+                for (values, prob) in resolved.values() {
+                    if below_depths(values, &depths) {
+                        survival_unseen *= 1.0 - prob;
+                    }
+                }
+                if survival_unseen >= self.q {
+                    continue;
+                }
+            }
+
+            // Candidates: resolved tuples whose probability over *resolved*
+            // dominators (an upper bound on the truth) still meets q. Each
+            // must be covered — depths strictly past its values — so every
+            // dominator is guaranteed resolved.
+            let all_covered = self
+                .candidates(&resolved)
+                .all(|(values, _)| covered(values, columns));
+            if all_covered {
+                break;
+            }
+        }
+
+        // Exact skyline probabilities over the resolved set.
+        let mut skyline: Vec<SkylineEntry> = Vec::new();
+        for (&id, (values, prob)) in &resolved {
+            let p = prob * survival_in(&resolved, values);
+            if p >= self.q {
+                let tuple = UncertainTuple::new(
+                    id,
+                    values.clone(),
+                    Probability::new(*prob).expect("columns carry valid probabilities"),
+                )
+                .expect("columns carry valid values");
+                skyline.push(SkylineEntry { tuple, probability: p });
+            }
+        }
+        skyline.sort_by(|a, b| {
+            b.probability
+                .partial_cmp(&a.probability)
+                .expect("probabilities are finite")
+                .then_with(|| a.tuple.id().cmp(&b.tuple.id()))
+        });
+
+        for c in columns {
+            let s = c.stats();
+            stats.sorted_accesses += s.sorted;
+            stats.random_accesses += s.random;
+        }
+        stats.resolved = resolved.len() as u64;
+        Ok(VerticalOutcome { skyline, stats })
+    }
+
+    /// Resolved tuples that could still qualify, by the resolved-dominator
+    /// upper bound.
+    fn candidates<'a>(
+        &'a self,
+        resolved: &'a HashMap<TupleId, (Vec<f64>, f64)>,
+    ) -> impl Iterator<Item = (&'a Vec<f64>, f64)> {
+        resolved.values().filter_map(move |(values, prob)| {
+            let bound = prob * survival_in(resolved, values);
+            (bound >= self.q).then_some((values, bound))
+        })
+    }
+}
+
+/// `∏ (1 − P)` over resolved tuples strictly dominating `point`.
+fn survival_in(resolved: &HashMap<TupleId, (Vec<f64>, f64)>, point: &[f64]) -> f64 {
+    resolved
+        .values()
+        .filter(|(values, _)| dominates(values, point))
+        .map(|(_, prob)| 1.0 - prob)
+        .product()
+}
+
+/// Whether every value lies strictly inside the depth box with at least
+/// one strict dimension — i.e. the tuple dominates every unseen tuple.
+fn below_depths(values: &[f64], depths: &[f64]) -> bool {
+    let mut strict = false;
+    for (v, depth) in values.iter().zip(depths) {
+        if v > depth {
+            return false;
+        }
+        if v < depth {
+            strict = true;
+        }
+    }
+    strict
+}
+
+/// Whether sorted access has moved strictly past this tuple on every
+/// dimension (exhausted columns count as past everything).
+fn covered(values: &[f64], columns: &[ColumnSite]) -> bool {
+    columns.iter().zip(values).all(|(column, &v)| {
+        column.is_exhausted() || column.depth().is_some_and(|depth| depth > v)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsud_uncertain::{probabilistic_skyline, SubspaceMask, UncertainDb};
+
+    fn tuple(seq: u64, values: Vec<f64>, p: f64) -> UncertainTuple {
+        UncertainTuple::new(TupleId::new(0, seq), values, Probability::new(p).unwrap()).unwrap()
+    }
+
+    fn random_tuples(n: usize, dims: usize, seed: u64) -> Vec<UncertainTuple> {
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        (0..n)
+            .map(|i| {
+                let values = (0..dims).map(|_| (next() * 1000.0).round() / 10.0).collect();
+                let p = (next() * 0.99 + 0.005).clamp(0.005, 1.0);
+                tuple(i as u64, values, p)
+            })
+            .collect()
+    }
+
+    fn assert_matches_centralized(tuples: Vec<UncertainTuple>, dims: usize, q: f64) {
+        let db = UncertainDb::from_tuples(dims, tuples.clone()).unwrap();
+        let expected = probabilistic_skyline(&db, q, SubspaceMask::full(dims).unwrap()).unwrap();
+        let columns = ColumnSite::partition(&tuples).unwrap();
+        let outcome = UtaCoordinator::new(q).unwrap().run(&columns).unwrap();
+        assert_eq!(
+            outcome.skyline.iter().map(|e| e.tuple.id()).collect::<Vec<_>>(),
+            expected.iter().map(|e| e.tuple.id()).collect::<Vec<_>>(),
+            "answer mismatch at q={q}"
+        );
+        for (got, want) in outcome.skyline.iter().zip(&expected) {
+            assert!((got.probability - want.probability).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matches_centralized_across_thresholds() {
+        for q in [0.1, 0.3, 0.6, 0.9] {
+            assert_matches_centralized(random_tuples(300, 2, 1), 2, q);
+        }
+    }
+
+    #[test]
+    fn matches_centralized_across_dimensionalities() {
+        for dims in [2, 3, 4] {
+            assert_matches_centralized(random_tuples(250, dims, dims as u64), dims, 0.3);
+        }
+    }
+
+    #[test]
+    fn saves_accesses_on_easy_inputs() {
+        // A strong near-origin tuple dominates everything: sorted access
+        // should stop long before exhausting the columns.
+        let mut tuples = random_tuples(2_000, 2, 9);
+        tuples.push(tuple(999_999, vec![0.0, 0.0], 0.99));
+        let columns = ColumnSite::partition(&tuples).unwrap();
+        let outcome = UtaCoordinator::new(0.3).unwrap().run(&columns).unwrap();
+        let full = 2 * tuples.len() as u64;
+        assert!(
+            outcome.stats.sorted_accesses < full / 4,
+            "{} sorted accesses of {} possible",
+            outcome.stats.sorted_accesses,
+            full
+        );
+        // And it is still exactly correct.
+        let db = UncertainDb::from_tuples(2, tuples).unwrap();
+        let expected =
+            probabilistic_skyline(&db, 0.3, SubspaceMask::full(2).unwrap()).unwrap();
+        assert_eq!(outcome.skyline.len(), expected.len());
+    }
+
+    #[test]
+    fn handles_duplicate_values_at_the_boundary() {
+        // Ties on the depth boundary must not hide dominators.
+        let tuples = vec![
+            tuple(0, vec![1.0, 1.0], 0.5),
+            tuple(1, vec![1.0, 1.0], 0.5),
+            tuple(2, vec![1.0, 2.0], 0.9),
+            tuple(3, vec![2.0, 1.0], 0.9),
+            tuple(4, vec![2.0, 2.0], 0.9),
+        ];
+        assert_matches_centralized(tuples, 2, 0.2);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(UtaCoordinator::new(0.0).is_err());
+        assert!(UtaCoordinator::new(1.5).is_err());
+        let coord = UtaCoordinator::new(0.3).unwrap();
+        assert!(coord.run(&[]).is_err());
+    }
+
+    #[test]
+    fn check_interval_does_not_change_the_answer() {
+        let tuples = random_tuples(400, 3, 21);
+        let columns_a = ColumnSite::partition(&tuples).unwrap();
+        let a = UtaCoordinator::new(0.3).unwrap().check_every(1).run(&columns_a).unwrap();
+        let columns_b = ColumnSite::partition(&tuples).unwrap();
+        let b = UtaCoordinator::new(0.3).unwrap().check_every(64).run(&columns_b).unwrap();
+        assert_eq!(
+            a.skyline.iter().map(|e| e.tuple.id()).collect::<Vec<_>>(),
+            b.skyline.iter().map(|e| e.tuple.id()).collect::<Vec<_>>()
+        );
+        // Sparser checks may do more accesses, never fewer.
+        assert!(b.stats.sorted_accesses >= a.stats.sorted_accesses);
+    }
+}

@@ -1,0 +1,27 @@
+use std::fmt;
+
+/// Errors produced by vertically partitioned skyline processing.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The tuple set was empty or tuples disagreed on dimensionality.
+    InvalidData(&'static str),
+    /// The probability threshold was outside `(0, 1]`.
+    InvalidThreshold(f64),
+    /// A random access referenced an id the column does not hold.
+    UnknownId,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidData(what) => write!(f, "invalid input data: {what}"),
+            Error::InvalidThreshold(q) => {
+                write!(f, "threshold {q} is outside the interval (0, 1]")
+            }
+            Error::UnknownId => write!(f, "random access to an unknown tuple id"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

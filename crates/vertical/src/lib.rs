@@ -1,0 +1,68 @@
+//! Probabilistic skylines over **vertically partitioned** uncertain data —
+//! the DSUD paper's stated future work (Section 8): "vertical partitioning
+//! between distributed data still exists in the context of uncertain data.
+//! Thus, studying new algorithms to those cases is an important future
+//! work."
+//!
+//! # Setting
+//!
+//! Instead of every site holding complete tuples (horizontal partitioning,
+//! the main DSUD scenario), here each of `d` sites holds **one attribute
+//! column**: a list of `(tuple id, value)` pairs it can serve in ascending
+//! value order (*sorted access*) or by id (*random access*) — the classic
+//! web-source model of Balke et al.'s distributed skyline and Fagin's
+//! Threshold Algorithm. Existential probabilities are tuple-level metadata
+//! returned with a tuple's first access.
+//!
+//! # The UTA algorithm (Uncertain Threshold Algorithm)
+//!
+//! The coordinator performs round-robin sorted accesses and immediately
+//! resolves each newly discovered tuple with random accesses (TA style).
+//! Two facts bound the unseen world, where `depth_j` is the last value
+//! sorted access has returned from column `j`:
+//!
+//! 1. every unseen tuple `u` has `u_j >= depth_j` on every dimension, so a
+//!    resolved tuple `t` with `t_j <= depth_j` everywhere (strictly
+//!    somewhere) dominates *all* unseen tuples; the product of their
+//!    `(1 − P(t))` upper-bounds any unseen tuple's skyline probability;
+//! 2. a candidate `c` is **covered** once `depth_j > c_j` on every
+//!    dimension (or the column is exhausted): any dominator of `c` has
+//!    values below the depths everywhere and has therefore been seen.
+//!
+//! Sorted access stops when (1) falls below the threshold `q` — no unseen
+//! tuple can be an answer — *and* every still-viable candidate is covered —
+//! no unseen tuple can change a reported probability. Skyline probabilities
+//! computed over the resolved set are then **exact**, which the test suite
+//! verifies against the centralized reference on random inputs.
+//!
+//! # Example
+//!
+//! ```
+//! use dsud_uncertain::{Probability, TupleId, UncertainTuple};
+//! use dsud_vertical::{ColumnSite, UtaCoordinator};
+//!
+//! # fn main() -> Result<(), dsud_vertical::Error> {
+//! let tuples = vec![
+//!     UncertainTuple::new(TupleId::new(0, 0), vec![1.0, 4.0], Probability::new(0.9).unwrap()).unwrap(),
+//!     UncertainTuple::new(TupleId::new(0, 1), vec![3.0, 1.0], Probability::new(0.8).unwrap()).unwrap(),
+//!     UncertainTuple::new(TupleId::new(0, 2), vec![4.0, 5.0], Probability::new(0.7).unwrap()).unwrap(),
+//! ];
+//! let columns = ColumnSite::partition(&tuples)?;
+//! let outcome = UtaCoordinator::new(0.3)?.run(&columns)?;
+//! // (1,4) and (3,1) are undominated; (4,5) survives with 0.7 × 0.1 × 0.2.
+//! assert_eq!(outcome.skyline.len(), 2);
+//! assert!(outcome.stats.sorted_accesses > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod column;
+mod coordinator;
+mod error;
+
+pub use column::{AccessStats, ColumnSite};
+pub use coordinator::{UtaCoordinator, VerticalOutcome, VerticalStats};
+pub use error::Error;

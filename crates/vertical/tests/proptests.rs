@@ -1,0 +1,59 @@
+//! Property-based validation of the UTA coordinator against the
+//! centralized reference on arbitrary small inputs.
+
+use proptest::prelude::*;
+
+use dsud_uncertain::{
+    probabilistic_skyline, Probability, SubspaceMask, TupleId, UncertainDb, UncertainTuple,
+};
+use dsud_vertical::{ColumnSite, UtaCoordinator};
+
+fn arb_tuples(dims: usize, max_n: usize) -> impl Strategy<Value = Vec<UncertainTuple>> {
+    prop::collection::vec(
+        (prop::collection::vec(0.0f64..50.0, dims), 0.05f64..=1.0),
+        1..=max_n,
+    )
+    .prop_map(move |rows| {
+        rows.into_iter()
+            .enumerate()
+            .map(|(i, (values, p))| {
+                UncertainTuple::new(
+                    TupleId::new(0, i as u64),
+                    values,
+                    Probability::new(p).unwrap(),
+                )
+                .unwrap()
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn uta_equals_centralized(tuples in arb_tuples(3, 80), q in 0.05f64..=0.95) {
+        let db = UncertainDb::from_tuples(3, tuples.clone()).unwrap();
+        let expected: Vec<TupleId> = probabilistic_skyline(&db, q, SubspaceMask::full(3).unwrap())
+            .unwrap()
+            .into_iter()
+            .map(|e| e.tuple.id())
+            .collect();
+        let columns = ColumnSite::partition(&tuples).unwrap();
+        let outcome = UtaCoordinator::new(q).unwrap().run(&columns).unwrap();
+        let got: Vec<TupleId> = outcome.skyline.iter().map(|e| e.tuple.id()).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn access_counts_are_bounded(tuples in arb_tuples(2, 60)) {
+        let n = tuples.len() as u64;
+        let columns = ColumnSite::partition(&tuples).unwrap();
+        let outcome = UtaCoordinator::new(0.3).unwrap().run(&columns).unwrap();
+        // At most every entry once per column (sorted), plus one random
+        // access per missing column per resolved tuple.
+        prop_assert!(outcome.stats.sorted_accesses <= 2 * n);
+        prop_assert!(outcome.stats.random_accesses <= n);
+        prop_assert!(outcome.stats.resolved <= n);
+    }
+}

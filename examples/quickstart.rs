@@ -1,0 +1,52 @@
+//! Quickstart: generate a synthetic distributed uncertain database, run the
+//! e-DSUD query, and inspect the answer and its communication cost.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dsud_core::{Cluster, QueryConfig};
+use dsud_data::{SpatialDistribution, WorkloadSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 50,000 three-dimensional tuples with uniform existential
+    // probabilities, split uniformly across 20 sites.
+    let sites = WorkloadSpec::new(50_000, 3)
+        .spatial(SpatialDistribution::Anticorrelated)
+        .seed(42)
+        .generate_partitioned(20)?;
+
+    let mut cluster = Cluster::local(3, sites)?;
+    let config = QueryConfig::new(0.3)?;
+    let outcome = cluster.run_edsud(&config)?;
+
+    println!("global skyline (P_gsky >= 0.3): {} tuples", outcome.skyline.len());
+    for entry in outcome.skyline.iter().take(10) {
+        println!(
+            "  {}  values={:?}  P_gsky={:.4}",
+            entry.tuple.id(),
+            entry.tuple.values(),
+            entry.probability
+        );
+    }
+    if outcome.skyline.len() > 10 {
+        println!("  … and {} more", outcome.skyline.len() - 10);
+    }
+
+    let t = &outcome.traffic;
+    println!("\nbandwidth: {} tuples transmitted", outcome.tuples_transmitted());
+    println!("  uploads   : {} tuples in {} messages", t.upload.tuples, t.upload.messages);
+    println!("  feedback  : {} tuples in {} messages", t.feedback.tuples, t.feedback.messages);
+    println!("  wire bytes: {}", t.total().bytes);
+    println!(
+        "stats: {} broadcasts, {} expunged without broadcast, {} pruned at sites",
+        outcome.stats.broadcasts, outcome.stats.expunged, outcome.stats.pruned_at_sites
+    );
+    println!(
+        "versus ship-everything baseline: {} of {} tuples ({:.2}%)",
+        outcome.tuples_transmitted(),
+        cluster.total_tuples(),
+        100.0 * outcome.tuples_transmitted() as f64 / cluster.total_tuples() as f64
+    );
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! Continuous monitoring: a live trade ticker flows through a sliding
+//! window and the "best deals right now" skyline is kept fresh after every
+//! arrival (the `dsud-stream` extension; see the paper's Section 2.2 for
+//! the centralized sliding-window problem it implements).
+//!
+//! ```sh
+//! cargo run --release --example streaming_ticker
+//! ```
+
+use dsud_data::nyse::NyseSpec;
+use dsud_stream::SlidingSkyline;
+use dsud_uncertain::{TupleId, UncertainTuple};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let window = 5_000;
+    let mut sky = SlidingSkyline::new(2, window, 0.3)?;
+
+    // A day of synthetic trades, streamed in arrival order.
+    let rows = NyseSpec::new(50_000).seed(11).generate_rows()?;
+    for (seq, (values, prob)) in rows.into_iter().enumerate() {
+        let t = UncertainTuple::new(TupleId::new(0, seq as u64), values, prob)?;
+        sky.push(t)?;
+        if (seq + 1) % 10_000 == 0 {
+            let answer = sky.skyline();
+            println!(
+                "after {:>6} trades: {:>2} deals qualify, candidate set {:>3} of window {}",
+                seq + 1,
+                answer.len(),
+                sky.candidate_count(),
+                sky.len()
+            );
+        }
+    }
+
+    let stats = sky.stats();
+    println!(
+        "\nstream stats: {} arrivals, {} expirations, {} candidates pruned early",
+        stats.arrivals, stats.expirations, stats.pruned_candidates
+    );
+    println!("final top deals:");
+    for entry in sky.skyline().iter().take(5) {
+        println!(
+            "  trade {}  price=${:.2}  P_sky={:.3}",
+            entry.tuple.id(),
+            entry.tuple.values()[0],
+            entry.probability
+        );
+    }
+    Ok(())
+}

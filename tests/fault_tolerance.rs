@@ -1,0 +1,71 @@
+//! Robustness: a misbehaving site must surface as a protocol error at the
+//! coordinator — never a panic, hang, or silently wrong answer.
+
+use dsud_core::{dsud, edsud, BoundMode, Error, LocalSite, SiteOptions, SubspaceMask};
+use dsud_core::{BandwidthMeter, Link};
+use dsud_net::{FaultMode, FaultyLink, LocalLink};
+use dsud_data::WorkloadSpec;
+
+fn faulty_cluster(
+    fault_site: usize,
+    mode: FaultMode,
+    healthy_calls: u64,
+) -> (Vec<Box<dyn Link>>, BandwidthMeter) {
+    let sites = WorkloadSpec::new(600, 2).seed(10).generate_partitioned(4).unwrap();
+    let meter = BandwidthMeter::new();
+    let mut links: Vec<Box<dyn Link>> = Vec::new();
+    for (i, tuples) in sites.into_iter().enumerate() {
+        let site = LocalSite::new(i as u32, 2, tuples, SiteOptions::default()).unwrap();
+        let inner = LocalLink::new(site, meter.clone());
+        if i == fault_site {
+            links.push(Box::new(FaultyLink::new(inner, mode, healthy_calls)));
+        } else {
+            links.push(Box::new(inner));
+        }
+    }
+    (links, meter)
+}
+
+#[test]
+fn dsud_reports_wrong_reply_as_protocol_violation() {
+    let (mut links, meter) = faulty_cluster(1, FaultMode::WrongReply, 3);
+    let mask = SubspaceMask::full(2).unwrap();
+    let err = dsud::run(&mut links, &meter, 0.3, mask, None);
+    assert!(matches!(err, Err(Error::ProtocolViolation(_))), "got {err:?}");
+}
+
+#[test]
+fn edsud_reports_wrong_reply_as_protocol_violation() {
+    let (mut links, meter) = faulty_cluster(2, FaultMode::WrongReply, 5);
+    let mask = SubspaceMask::full(2).unwrap();
+    let err = edsud::run(&mut links, &meter, 0.3, mask, BoundMode::Paper, None);
+    assert!(matches!(err, Err(Error::ProtocolViolation(_))), "got {err:?}");
+}
+
+#[test]
+fn fault_on_first_contact_is_caught() {
+    let (mut links, meter) = faulty_cluster(0, FaultMode::WrongReply, 0);
+    let mask = SubspaceMask::full(2).unwrap();
+    let err = dsud::run(&mut links, &meter, 0.3, mask, None);
+    assert!(matches!(err, Err(Error::ProtocolViolation(_))));
+}
+
+#[test]
+fn healthy_budget_large_enough_means_success() {
+    // A fault scheduled after the query completes never fires.
+    let (mut links, meter) = faulty_cluster(1, FaultMode::WrongReply, u64::MAX);
+    let mask = SubspaceMask::full(2).unwrap();
+    let outcome = edsud::run(&mut links, &meter, 0.3, mask, BoundMode::Paper, None).unwrap();
+    assert!(!outcome.skyline.is_empty());
+}
+
+#[test]
+fn corrupted_survival_values_are_rejected() {
+    let (mut links, meter) = faulty_cluster(1, FaultMode::CorruptSurvival, 4);
+    let mask = SubspaceMask::full(2).unwrap();
+    let err = edsud::run(&mut links, &meter, 0.3, mask, BoundMode::Paper, None);
+    assert!(
+        matches!(err, Err(Error::ProtocolViolation("survival product out of range"))),
+        "got {err:?}"
+    );
+}

@@ -1,0 +1,134 @@
+//! Progressiveness properties (paper Section 7.5): results must stream out
+//! during execution, monotonically in both bandwidth and time, and e-DSUD's
+//! bandwidth-per-result curve must sit below DSUD's.
+
+use dsud_core::{Cluster, QueryConfig, QueryOutcome};
+use dsud_data::{SpatialDistribution, WorkloadSpec};
+
+fn run(spatial: SpatialDistribution, seed: u64) -> (QueryOutcome, QueryOutcome) {
+    let sites =
+        WorkloadSpec::new(3_000, 3).spatial(spatial).seed(seed).generate_partitioned(10).unwrap();
+    let config = QueryConfig::new(0.3).unwrap();
+    let mut a = Cluster::local(3, sites.clone()).unwrap();
+    let dsud = a.run_dsud(&config).unwrap();
+    let mut b = Cluster::local(3, sites).unwrap();
+    let edsud = b.run_edsud(&config).unwrap();
+    (dsud, edsud)
+}
+
+fn assert_monotone(outcome: &QueryOutcome, label: &str) {
+    let events = outcome.progress.events();
+    assert_eq!(events.len(), outcome.skyline.len(), "{label}: one event per result");
+    for (i, e) in events.iter().enumerate() {
+        assert_eq!(e.reported, i + 1, "{label}: contiguous ranks");
+        assert!(e.probability >= 0.3, "{label}: only qualified results reported");
+    }
+    for w in events.windows(2) {
+        assert!(
+            w[0].tuples_transmitted <= w[1].tuples_transmitted,
+            "{label}: bandwidth must be nondecreasing"
+        );
+        assert!(w[0].elapsed <= w[1].elapsed, "{label}: time must be nondecreasing");
+    }
+}
+
+#[test]
+fn progress_is_monotone_on_independent_data() {
+    let (dsud, edsud) = run(SpatialDistribution::Independent, 1);
+    assert_monotone(&dsud, "DSUD/indep");
+    assert_monotone(&edsud, "e-DSUD/indep");
+}
+
+#[test]
+fn progress_is_monotone_on_anticorrelated_data() {
+    let (dsud, edsud) = run(SpatialDistribution::Anticorrelated, 2);
+    assert_monotone(&dsud, "DSUD/anticorr");
+    assert_monotone(&edsud, "e-DSUD/anticorr");
+}
+
+#[test]
+fn first_result_arrives_early() {
+    let (dsud, edsud) = run(SpatialDistribution::Anticorrelated, 3);
+    for (out, label) in [(&dsud, "DSUD"), (&edsud, "e-DSUD")] {
+        let first = out.progress.bandwidth_at(1).expect("at least one result");
+        let total = out.tuples_transmitted();
+        assert!(
+            first * 4 <= total,
+            "{label}: first result after {first} of {total} tuples is not progressive"
+        );
+    }
+}
+
+#[test]
+fn edsud_curve_dominates_dsud_curve() {
+    let (dsud, edsud) = run(SpatialDistribution::Anticorrelated, 4);
+    let k = dsud.progress.len().min(edsud.progress.len());
+    assert!(k > 5, "need a meaningful number of results, got {k}");
+    // Compare at the quartiles of the shared prefix: for the same number of
+    // reported skylines, e-DSUD must have used no more bandwidth.
+    for frac in [4, 2, 1] {
+        let at = (k / frac).max(1);
+        let d = dsud.progress.bandwidth_at(at).unwrap();
+        let e = edsud.progress.bandwidth_at(at).unwrap();
+        assert!(
+            e <= d,
+            "at {at} results: e-DSUD used {e} tuples, DSUD {d}"
+        );
+    }
+}
+
+#[test]
+fn reported_stream_matches_final_answer() {
+    let (_, edsud) = run(SpatialDistribution::Independent, 5);
+    let from_events: Vec<_> = edsud.progress.events().iter().map(|e| e.id).collect();
+    let from_skyline: Vec<_> = edsud.skyline.iter().map(|e| e.tuple.id()).collect();
+    assert_eq!(from_events, from_skyline);
+}
+
+/// A limited query returns exactly the prefix of the unlimited run's report
+/// stream — progressive top-k.
+#[test]
+fn limit_returns_a_prefix_of_the_full_stream() {
+    let sites = WorkloadSpec::new(2_000, 3)
+        .spatial(SpatialDistribution::Anticorrelated)
+        .seed(6)
+        .generate_partitioned(8)
+        .unwrap();
+    let full_cfg = QueryConfig::new(0.3).unwrap();
+    let mut a = Cluster::local(3, sites.clone()).unwrap();
+    let full = a.run_edsud(&full_cfg).unwrap();
+    assert!(full.skyline.len() > 10, "need a non-trivial answer");
+
+    for k in [1usize, 5, 10] {
+        let mut b = Cluster::local(3, sites.clone()).unwrap();
+        let limited = b.run_edsud(&full_cfg.limit(k)).unwrap();
+        assert_eq!(limited.skyline.len(), k);
+        let expected: Vec<_> = full.skyline[..k].iter().map(|e| e.tuple.id()).collect();
+        let got: Vec<_> = limited.skyline.iter().map(|e| e.tuple.id()).collect();
+        assert_eq!(got, expected, "k={k}");
+        // Early termination must save bandwidth.
+        assert!(limited.tuples_transmitted() <= full.tuples_transmitted());
+    }
+
+    // Same prefix property for DSUD.
+    let mut c = Cluster::local(3, sites.clone()).unwrap();
+    let dsud_full = c.run_dsud(&full_cfg).unwrap();
+    let mut d = Cluster::local(3, sites).unwrap();
+    let dsud_limited = d.run_dsud(&full_cfg.limit(3)).unwrap();
+    assert_eq!(
+        dsud_limited.skyline.iter().map(|e| e.tuple.id()).collect::<Vec<_>>(),
+        dsud_full.skyline[..3].iter().map(|e| e.tuple.id()).collect::<Vec<_>>()
+    );
+}
+
+/// A limit larger than the answer is equivalent to no limit.
+#[test]
+fn oversized_limit_is_harmless() {
+    let sites = WorkloadSpec::new(500, 2).seed(8).generate_partitioned(4).unwrap();
+    let cfg = QueryConfig::new(0.3).unwrap();
+    let mut a = Cluster::local(2, sites.clone()).unwrap();
+    let full = a.run_edsud(&cfg).unwrap();
+    let mut b = Cluster::local(2, sites).unwrap();
+    let limited = b.run_edsud(&cfg.limit(10_000)).unwrap();
+    assert_eq!(full.skyline.len(), limited.skyline.len());
+}

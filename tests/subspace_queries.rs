@@ -1,0 +1,97 @@
+//! Subspace skyline queries (paper Section 4): the framework must answer a
+//! query restricted to any subset of attributes by checking dominance only
+//! on those dimensions — across all algorithms.
+
+use dsud_core::{baseline, BandwidthMeter, Cluster, Error, QueryConfig};
+use dsud_core::{probabilistic_skyline, SubspaceMask, TupleId, UncertainDb};
+use dsud_data::{SpatialDistribution, WorkloadSpec};
+
+fn sites_4d(seed: u64) -> Vec<Vec<dsud_core::UncertainTuple>> {
+    WorkloadSpec::new(1_200, 4)
+        .spatial(SpatialDistribution::Anticorrelated)
+        .seed(seed)
+        .generate_partitioned(6)
+        .unwrap()
+}
+
+fn reference(
+    sites: &[Vec<dsud_core::UncertainTuple>],
+    q: f64,
+    mask: SubspaceMask,
+) -> Vec<(TupleId, f64)> {
+    let union =
+        UncertainDb::from_tuples(4, sites.iter().flatten().cloned().collect::<Vec<_>>()).unwrap();
+    let mut out: Vec<(TupleId, f64)> = probabilistic_skyline(&union, q, mask)
+        .unwrap()
+        .into_iter()
+        .map(|e| (e.tuple.id(), e.probability))
+        .collect();
+    out.sort_by_key(|(id, _)| *id);
+    out
+}
+
+#[test]
+fn subspace_results_match_centralized() {
+    let sites = sites_4d(1);
+    for dims in [vec![0], vec![1, 3], vec![0, 1, 2], vec![0, 1, 2, 3]] {
+        let mask = SubspaceMask::from_dims(&dims).unwrap();
+        let expected = reference(&sites, 0.3, mask);
+        let config = QueryConfig::new(0.3).unwrap().subspace(mask);
+
+        let mut c1 = Cluster::local(4, sites.clone()).unwrap();
+        let edsud = c1.run_edsud(&config).unwrap();
+        let mut got: Vec<(TupleId, f64)> =
+            edsud.skyline.iter().map(|e| (e.tuple.id(), e.probability)).collect();
+        got.sort_by_key(|(id, _)| *id);
+        assert_eq!(
+            got.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+            expected.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+            "e-DSUD on {dims:?}"
+        );
+        for ((_, p), (_, e)) in got.iter().zip(&expected) {
+            assert!((p - e).abs() < 1e-9);
+        }
+
+        let mut c2 = Cluster::local(4, sites.clone()).unwrap();
+        let dsud = c2.run_dsud(&config).unwrap();
+        assert_eq!(dsud.skyline.len(), expected.len(), "DSUD on {dims:?}");
+
+        let meter = BandwidthMeter::new();
+        let base = baseline::run(&sites, 4, 0.3, mask, &meter).unwrap();
+        assert_eq!(base.skyline.len(), expected.len(), "baseline on {dims:?}");
+    }
+}
+
+#[test]
+fn lower_dimensional_subspaces_are_cheaper() {
+    let sites = sites_4d(2);
+    let full = SubspaceMask::full(4).unwrap();
+    let narrow = SubspaceMask::from_dims(&[0, 1]).unwrap();
+    let mut c1 = Cluster::local(4, sites.clone()).unwrap();
+    let wide = c1.run_edsud(&QueryConfig::new(0.3).unwrap().subspace(full)).unwrap();
+    let mut c2 = Cluster::local(4, sites).unwrap();
+    let thin = c2.run_edsud(&QueryConfig::new(0.3).unwrap().subspace(narrow)).unwrap();
+    // Fewer dimensions ⇒ more dominance ⇒ smaller skylines and less traffic.
+    assert!(thin.skyline.len() < wide.skyline.len());
+    assert!(thin.tuples_transmitted() < wide.tuples_transmitted());
+}
+
+#[test]
+fn invalid_subspace_is_rejected_before_any_traffic() {
+    let sites = sites_4d(3);
+    let mut cluster = Cluster::local(4, sites).unwrap();
+    let bad = SubspaceMask::from_dims(&[7]).unwrap();
+    let err = cluster.run_edsud(&QueryConfig::new(0.3).unwrap().subspace(bad));
+    assert!(matches!(err, Err(Error::Subspace(_))));
+    assert_eq!(cluster.meter().snapshot().total().messages, 0);
+}
+
+#[test]
+fn single_dimension_subspace_has_tiny_skyline() {
+    let sites = sites_4d(4);
+    let mask = SubspaceMask::from_dims(&[2]).unwrap();
+    let mut cluster = Cluster::local(4, sites).unwrap();
+    let out = cluster.run_edsud(&QueryConfig::new(0.3).unwrap().subspace(mask)).unwrap();
+    // In one dimension only near-minimum tuples can qualify.
+    assert!(out.skyline.len() < 30, "got {}", out.skyline.len());
+}
