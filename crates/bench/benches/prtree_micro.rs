@@ -3,9 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use dsud_core::{SubspaceMask, UncertainDb};
 use dsud_data::{SpatialDistribution, WorkloadSpec};
 use dsud_prtree::{bbs, PrTree};
-use dsud_core::{SubspaceMask, UncertainDb};
 
 fn bench(c: &mut Criterion) {
     let n = 50_000;
@@ -27,9 +27,7 @@ fn bench(c: &mut Criterion) {
 
     // Ablation B: indexed window product vs linear scan.
     group.bench_function("survival/prtree", |b| {
-        b.iter(|| {
-            probes.iter().map(|p| tree.survival_product(p, mask)).sum::<f64>()
-        });
+        b.iter(|| probes.iter().map(|p| tree.survival_product(p, mask)).sum::<f64>());
     });
     group.bench_function("survival/linear_scan", |b| {
         b.iter(|| probes.iter().map(|p| db.survival_product(p)).sum::<f64>());

@@ -147,11 +147,7 @@ fn fig11() {
             bandwidth_row(&spec, format!("mu={mu}"), true)
         })
         .collect();
-    print_table(
-        "Fig 11c/d (NYSE, gaussian): bandwidth and answer size vs mean",
-        &rows,
-        "fig11cd",
-    );
+    print_table("Fig 11c/d (NYSE, gaussian): bandwidth and answer size vs mean", &rows, "fig11cd");
 }
 
 #[derive(Serialize)]
@@ -175,10 +171,7 @@ fn progress_experiment(name: &str, title: &str, nyse: bool, specs: Vec<(String, 
                     p.reported, p.tuples, p.cpu_ms
                 );
             }
-            all.push(ProgressSeries {
-                label: format!("{label}/{}", algo.label()),
-                points,
-            });
+            all.push(ProgressSeries { label: format!("{label}/{}", algo.label()), points });
         }
     }
     dump_json(name, &all);
@@ -214,10 +207,7 @@ fn fig12() {
         "Fig 12: progressiveness, synthetic data",
         false,
         vec![
-            (
-                "independent".to_string(),
-                ExpSpec { ..ExpSpec::table3_defaults() },
-            ),
+            ("independent".to_string(), ExpSpec { ..ExpSpec::table3_defaults() }),
             (
                 "anticorrelated".to_string(),
                 ExpSpec {
@@ -257,10 +247,8 @@ fn fig14() {
         (SpatialDistribution::Anticorrelated, "anticorrelated"),
     ] {
         let spec = ExpSpec { spatial: dist, ..ExpSpec::table3_defaults() };
-        let rows: Vec<_> = [20usize, 40, 60, 80, 100]
-            .iter()
-            .map(|&rate| update_row(&spec, rate))
-            .collect();
+        let rows: Vec<_> =
+            [20usize, 40, 60, 80, 100].iter().map(|&rate| update_row(&spec, rate)).collect();
         println!("\n== Fig 14 ({label}): response time to fresh results vs update rate ==");
         println!(
             "{:<8} {:>14} {:>12} {:>18} {:>12} {:>12}",
@@ -287,6 +275,42 @@ fn fig14() {
         .series("Incremental", rows.iter().map(|r| r.incremental_response_ms))
         .series("Naive", rows.iter().map(|r| r.naive_response_ms));
         dump_svg(&format!("fig14_{label}"), &chart.to_svg());
+    }
+}
+
+/// Observability trajectories: one fully-instrumented DSUD and e-DSUD run
+/// at Table 3 defaults, each emitting a schema-versioned
+/// [`dsud_core::RunReport`] as `BENCH_<algo>.json` in the working
+/// directory (span timings, cost-model counters, progressive trace).
+fn reports() {
+    use dsud_core::{Cluster, QueryConfig, Recorder, SiteOptions};
+    println!("\n== Run reports: instrumented DSUD / e-DSUD at Table 3 defaults ==");
+    let spec = ExpSpec::table3_defaults();
+    for (algo, name) in [(Algo::Dsud, "dsud"), (Algo::Edsud, "edsud")] {
+        let sites = spec.generate(0);
+        let recorder = Recorder::enabled();
+        let mut cluster =
+            Cluster::local_instrumented(spec.d, sites, SiteOptions::default(), recorder.clone())
+                .expect("experiment clusters are valid");
+        let config = QueryConfig::new(spec.q).expect("experiment thresholds are valid");
+        let outcome = match algo {
+            Algo::Dsud => cluster.run_dsud(&config),
+            _ => cluster.run_edsud(&config),
+        }
+        .expect("experiment queries succeed");
+        let report = recorder.report(name).expect("recorder is enabled");
+        let path = PathBuf::from(format!("BENCH_{name}.json"));
+        let json = serde_json::to_string_pretty(&report).expect("reports serialize");
+        fs::write(&path, json).expect("can write run report");
+        println!(
+            "[artifact] {} — {} answers, {} rounds, {} tuples shipped, {} bytes, {:.1} ms",
+            path.display(),
+            outcome.skyline.len(),
+            report.counters.rounds,
+            report.counters.tuples_shipped,
+            report.counters.bytes_sent,
+            report.wall_ms
+        );
     }
 }
 
@@ -317,7 +341,8 @@ fn estimate_experiment() {
         let mut rng_state = 0x12345678u64;
         for t in sites.iter().flatten() {
             // Deterministic per-tuple materialization.
-            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng_state =
+                rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             let u = ((rng_state >> 11) as f64) / ((1u64 << 53) as f64);
             if u < t.prob().get() {
                 world.push(t.values().to_vec());
@@ -353,11 +378,7 @@ fn table2() {
 
     println!("SKY(H):");
     for entry in &edsud.skyline {
-        println!(
-            "  {:?}  P_gsky = {:.2}",
-            entry.tuple.values(),
-            entry.probability
-        );
+        println!("  {:?}  P_gsky = {:.2}", entry.tuple.values(), entry.probability);
     }
     println!(
         "e-DSUD: {} tuples transmitted, {} broadcasts, {} expunged",
@@ -417,6 +438,9 @@ fn main() {
     }
     if want("estimate") {
         estimate_experiment();
+    }
+    if want("report") {
+        reports();
     }
     if want("table2") {
         table2();

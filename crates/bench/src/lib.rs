@@ -174,7 +174,13 @@ pub fn bandwidth_row(spec: &ExpSpec, x: String, nyse: bool) -> BandwidthRow {
         skylines += e_out.skyline.len() as f64;
     }
     let r = r as f64;
-    BandwidthRow { x, dsud: dsud / r, edsud: edsud / r, ceiling: ceiling / r, skylines: skylines / r }
+    BandwidthRow {
+        x,
+        dsud: dsud / r,
+        edsud: edsud / r,
+        ceiling: ceiling / r,
+        skylines: skylines / r,
+    }
 }
 
 /// One point of a progressiveness curve (Figs. 12–13).
@@ -242,11 +248,7 @@ pub struct UpdateRow {
 
 /// Builds a deterministic update batch touching `rate_pct`% of `N` tuples
 /// (half inserts, half deletes).
-pub fn build_updates(
-    sites: &[Vec<UncertainTuple>],
-    rate_pct: usize,
-    seed: u64,
-) -> Vec<UpdateOp> {
+pub fn build_updates(sites: &[Vec<UncertainTuple>], rate_pct: usize, seed: u64) -> Vec<UpdateOp> {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     let mut rng = StdRng::seed_from_u64(seed);
@@ -290,8 +292,10 @@ pub fn update_row(spec: &ExpSpec, rate_pct: usize) -> UpdateRow {
         // Fig. 14 runs the paper's replica policy: deletions of non-member
         // tuples are resolved locally, which is what makes the incremental
         // curve flat (see UpdatePolicy docs for the soundness trade-off).
-        let options =
-            SiteOptions { update_policy: dsud_core::UpdatePolicy::Replica, ..SiteOptions::default() };
+        let options = SiteOptions {
+            update_policy: dsud_core::UpdatePolicy::Replica,
+            ..SiteOptions::default()
+        };
         let mut cluster = Cluster::local_with_options(spec.d, sites, options)
             .expect("experiment clusters are valid");
         let meter = cluster.meter().clone();
@@ -305,9 +309,7 @@ pub fn update_row(spec: &ExpSpec, rate_pct: usize) -> UpdateRow {
         let started = std::time::Instant::now();
         for op in &ops {
             if incremental {
-                maintainer
-                    .apply_incremental(cluster.links_mut(), op)
-                    .expect("updates succeed");
+                maintainer.apply_incremental(cluster.links_mut(), op).expect("updates succeed");
             } else {
                 Maintainer::apply_local_only(cluster.links_mut(), op).expect("updates succeed");
             }
@@ -323,9 +325,7 @@ pub fn update_row(spec: &ExpSpec, rate_pct: usize) -> UpdateRow {
             // SKY(H) is already maintained; answering costs no traffic.
             let _ = maintainer.skyline();
         } else {
-            maintainer
-                .refresh_naive(cluster.links_mut(), &meter)
-                .expect("refresh succeeds");
+            maintainer.refresh_naive(cluster.links_mut(), &meter).expect("refresh succeeds");
         }
         let response_cpu_ms = started.elapsed().as_secs_f64() * 1e3;
         let traffic = meter.snapshot();
@@ -363,10 +363,7 @@ pub fn quick_sites(
 /// Pretty-prints a bandwidth table and returns the rows for JSON dumping.
 pub fn print_bandwidth_table(title: &str, rows: &[BandwidthRow]) {
     println!("\n== {title} ==");
-    println!(
-        "{:<12} {:>12} {:>12} {:>12} {:>10}",
-        "x", "DSUD", "e-DSUD", "Ceiling", "|SKY|"
-    );
+    println!("{:<12} {:>12} {:>12} {:>12} {:>10}", "x", "DSUD", "e-DSUD", "Ceiling", "|SKY|");
     for r in rows {
         println!(
             "{:<12} {:>12.0} {:>12.0} {:>12.0} {:>10.1}",
@@ -439,8 +436,8 @@ pub fn verify_against_baseline(spec: &ExpSpec) -> bool {
     let sites = spec.generate(0);
     let mask = SubspaceMask::full(spec.d).expect("dims are valid");
     let meter = BandwidthMeter::new();
-    let reference = baseline::run(&sites, spec.d, spec.q, mask, &meter)
-        .expect("baseline runs succeed");
+    let reference =
+        baseline::run(&sites, spec.d, spec.q, mask, &meter).expect("baseline runs succeed");
     let outcome = run_algo(Algo::Edsud, spec.d, sites, spec.q);
     let mut a: Vec<TupleId> = reference.skyline.iter().map(|e| e.tuple.id()).collect();
     let mut b: Vec<TupleId> = outcome.skyline.iter().map(|e| e.tuple.id()).collect();

@@ -62,6 +62,8 @@ pub enum Command {
         limit: Option<usize>,
         /// Partitioning seed.
         seed: u64,
+        /// Optional path for a JSON observability run report.
+        report: Option<PathBuf>,
     },
     /// Run the vertically partitioned UTA query over a workload file.
     Vertical {
@@ -103,7 +105,7 @@ USAGE:
   dsud generate --n <N> [--dims <D>] [--dist independent|correlated|anticorrelated|nyse]
                 [--gaussian <MU>] [--seed <S>] [--out <FILE>]
   dsud query    --input <FILE> [--sites <M>] [--q <Q>] [--algorithm dsud|edsud|baseline]
-                [--subspace 0,2,...] [--limit <K>] [--seed <S>]
+                [--subspace 0,2,...] [--limit <K>] [--seed <S>] [--report <FILE>]
   dsud vertical --input <FILE> [--q <Q>]
   dsud stream   --input <FILE> [--q <Q>] [--window <W>] [--every <K>]
   dsud estimate [--n <N>] [--dims <D>] [--sites <M>]
@@ -151,9 +153,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 "correlated" => Distribution::Correlated,
                 "anticorrelated" => Distribution::Anticorrelated,
                 "nyse" => Distribution::Nyse,
-                other => {
-                    return Err(CliError::Usage(format!("unknown distribution '{other}'")))
-                }
+                other => return Err(CliError::Usage(format!("unknown distribution '{other}'"))),
             };
             let gaussian_mean = match get("gaussian") {
                 Some(v) => Some(v.parse().map_err(|_| {
@@ -184,7 +184,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     let dims: Result<Vec<usize>, _> =
                         spec.split(',').map(str::trim).map(str::parse).collect();
                     Some(dims.map_err(|_| {
-                        CliError::Usage(format!("--subspace expects indices like 0,2 — got '{spec}'"))
+                        CliError::Usage(format!(
+                            "--subspace expects indices like 0,2 — got '{spec}'"
+                        ))
                     })?)
                 }
                 None => None,
@@ -203,6 +205,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 subspace,
                 limit,
                 seed: parse_num("seed", 0)? as u64,
+                report: get("report").map(PathBuf::from),
             })
         }
         "vertical" => {
@@ -226,9 +229,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             sites: parse_num("sites", 60)?,
         }),
         "help" | "--help" | "-h" => Ok(Command::Help),
-        other => Err(CliError::Usage(format!(
-            "unknown command '{other}' — try 'dsud help'"
-        ))),
+        other => Err(CliError::Usage(format!("unknown command '{other}' — try 'dsud help'"))),
     }
 }
 
@@ -240,9 +241,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
         let Some(key) = arg.strip_prefix("--") else {
             return Err(CliError::Usage(format!("expected a --flag, got '{arg}'")));
         };
-        let value = it
-            .next()
-            .ok_or_else(|| CliError::Usage(format!("--{key} needs a value")))?;
+        let value = it.next().ok_or_else(|| CliError::Usage(format!("--{key} needs a value")))?;
         flags.insert(key.to_string(), value.clone());
     }
     Ok(flags)
@@ -281,9 +280,7 @@ mod tests {
             "query --input d.jsonl --sites 4 --q 0.5 --algorithm dsud --subspace 0,2 --limit 5",
         ))
         .unwrap();
-        let Command::Query { sites, q, algorithm, subspace, limit, .. } = cmd else {
-            panic!()
-        };
+        let Command::Query { sites, q, algorithm, subspace, limit, .. } = cmd else { panic!() };
         assert_eq!(sites, 4);
         assert_eq!(q, 0.5);
         assert_eq!(algorithm, Algorithm::Dsud);
@@ -293,13 +290,24 @@ mod tests {
 
     #[test]
     fn defaults_are_sensible() {
-        let Command::Query { sites, q, algorithm, subspace, limit, seed, .. } =
+        let Command::Query { sites, q, algorithm, subspace, limit, seed, report, .. } =
             parse(&argv("query --input d.jsonl")).unwrap()
         else {
             panic!()
         };
         assert_eq!((sites, q, algorithm), (8, 0.3, Algorithm::Edsud));
         assert_eq!((subspace, limit, seed), (None, None, 0));
+        assert_eq!(report, None);
+    }
+
+    #[test]
+    fn parses_report_path() {
+        let Command::Query { report, .. } =
+            parse(&argv("query --input d.jsonl --report run.json")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(report, Some(PathBuf::from("run.json")));
     }
 
     #[test]

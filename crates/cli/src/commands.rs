@@ -4,7 +4,10 @@ use std::io::Write;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use dsud_core::{baseline, BandwidthMeter, Cluster, QueryConfig, QueryOutcome, SubspaceMask};
+use dsud_core::{
+    baseline, BandwidthMeter, Cluster, QueryConfig, QueryOutcome, Recorder, SiteOptions,
+    SubspaceMask,
+};
 use dsud_data::nyse::NyseSpec;
 use dsud_data::{partition_uniform, ProbabilityLaw, SpatialDistribution, WorkloadSpec};
 use dsud_uncertain::{Probability, UncertainTuple};
@@ -27,9 +30,17 @@ pub fn run<W: Write>(cmd: &Command, out: &mut W) -> Result<(), CliError> {
         Command::Generate { n, dims, dist, gaussian_mean, seed, out: path } => {
             generate(*n, *dims, *dist, *gaussian_mean, *seed, path.as_deref(), out)
         }
-        Command::Query { input, sites, q, algorithm, subspace, limit, seed } => {
-            query(input, *sites, *q, *algorithm, subspace.as_deref(), *limit, *seed, out)
-        }
+        Command::Query { input, sites, q, algorithm, subspace, limit, seed, report } => query(
+            input,
+            *sites,
+            *q,
+            *algorithm,
+            subspace.as_deref(),
+            *limit,
+            *seed,
+            report.as_deref(),
+            out,
+        ),
         Command::Vertical { input, q } => vertical(input, *q, out),
         Command::Stream { input, q, window, every } => stream(input, *q, *window, *every, out),
         Command::Estimate { n, dims, sites } => {
@@ -124,6 +135,7 @@ fn query<W: Write>(
     subspace: Option<&[usize]>,
     limit: Option<usize>,
     seed: u64,
+    report: Option<&std::path::Path>,
     out: &mut W,
 ) -> Result<(), CliError> {
     let tuples = read_tuples(input)?;
@@ -141,15 +153,44 @@ fn query<W: Write>(
         config = config.limit(k);
     }
 
+    // Observability is pay-for-what-you-ask: without --report the recorder
+    // is the disabled no-op.
+    let recorder = if report.is_some() { Recorder::enabled() } else { Recorder::disabled() };
+    let algo_name = match algorithm {
+        Algorithm::Baseline => "baseline",
+        Algorithm::Dsud => "dsud",
+        Algorithm::Edsud => "edsud",
+    };
+
     let outcome: QueryOutcome = match algorithm {
         Algorithm::Baseline => {
-            let meter = BandwidthMeter::new();
+            let meter = BandwidthMeter::with_recorder(recorder.clone());
             let mask = config.resolve_mask(dims)?;
             baseline::run(&partitioned, dims, q, mask, &meter)?
         }
-        Algorithm::Dsud => Cluster::local(dims, partitioned)?.run_dsud(&config)?,
-        Algorithm::Edsud => Cluster::local(dims, partitioned)?.run_edsud(&config)?,
+        Algorithm::Dsud => Cluster::local_instrumented(
+            dims,
+            partitioned,
+            SiteOptions::default(),
+            recorder.clone(),
+        )?
+        .run_dsud(&config)?,
+        Algorithm::Edsud => Cluster::local_instrumented(
+            dims,
+            partitioned,
+            SiteOptions::default(),
+            recorder.clone(),
+        )?
+        .run_edsud(&config)?,
     };
+
+    if let Some(path) = report {
+        let run_report = recorder.report(algo_name).expect("recorder is enabled");
+        let json = serde_json::to_string_pretty(&run_report)
+            .map_err(|e| CliError::Library(format!("cannot serialize run report: {e}")))?;
+        fs::write(path, json)?;
+        writeln!(out, "run report written to {}", path.display())?;
+    }
 
     writeln!(
         out,
@@ -269,6 +310,28 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("N_back"));
         assert!(text.contains("N_local"));
+    }
+
+    #[test]
+    fn query_with_report_writes_a_parseable_run_report() {
+        let dir = std::env::temp_dir().join("dsud-cli-report-test");
+        fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("workload.jsonl");
+        let mut buf = Vec::new();
+        generate(300, 2, Distribution::Independent, None, 7, Some(&data), &mut buf).unwrap();
+        for algorithm in [Algorithm::Dsud, Algorithm::Edsud] {
+            let path = dir.join("report.json");
+            let mut out = Vec::new();
+            query(&data, 4, 0.3, algorithm, None, None, 0, Some(&path), &mut out).unwrap();
+            let text = String::from_utf8(out).unwrap();
+            assert!(text.contains("run report written to"));
+            let report: dsud_core::RunReport =
+                serde_json::from_str(&fs::read_to_string(&path).unwrap()).unwrap();
+            assert_eq!(report.schema_version, 1);
+            assert!(report.counters.bytes_sent > 0);
+            assert!(report.counters.rounds >= 1);
+            fs::remove_file(&path).unwrap();
+        }
     }
 
     #[test]

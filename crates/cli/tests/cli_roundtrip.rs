@@ -62,15 +62,7 @@ fn all_algorithms_agree_on_the_same_file() {
         )))
         .unwrap();
         let report = run_to_string(&cmd);
-        report
-            .lines()
-            .next()
-            .unwrap()
-            .split_whitespace()
-            .next()
-            .unwrap()
-            .parse()
-            .unwrap()
+        report.lines().next().unwrap().split_whitespace().next().unwrap().parse().unwrap()
     };
     let (d, e, b) = (count("dsud"), count("edsud"), count("baseline"));
     assert_eq!(d, e);
@@ -98,9 +90,7 @@ fn vertical_command_matches_horizontal() {
     let vertical = run_to_string(
         &parse(&argv(&format!("vertical --input {} --q 0.3", path.display()))).unwrap(),
     );
-    let first_number = |s: &str| -> usize {
-        s.split_whitespace().next().unwrap().parse().unwrap()
-    };
+    let first_number = |s: &str| -> usize { s.split_whitespace().next().unwrap().parse().unwrap() };
     assert_eq!(
         first_number(&horizontal),
         first_number(&vertical),
@@ -120,11 +110,8 @@ fn subspace_and_limit_flags_work() {
         .unwrap(),
     );
     let limited = run_to_string(
-        &parse(&argv(&format!(
-            "query --input {} --sites 4 --q 0.3 --limit 2",
-            path.display()
-        )))
-        .unwrap(),
+        &parse(&argv(&format!("query --input {} --sites 4 --q 0.3 --limit 2", path.display())))
+            .unwrap(),
     );
     assert!(limited.starts_with("2 qualified"));
 

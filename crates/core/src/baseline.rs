@@ -87,8 +87,7 @@ mod tests {
     use dsud_uncertain::{Probability, TupleId};
 
     fn tuple(site: u32, seq: u64, values: Vec<f64>, p: f64) -> UncertainTuple {
-        UncertainTuple::new(TupleId::new(site, seq), values, Probability::new(p).unwrap())
-            .unwrap()
+        UncertainTuple::new(TupleId::new(site, seq), values, Probability::new(p).unwrap()).unwrap()
     }
 
     #[test]
@@ -113,11 +112,9 @@ mod tests {
         let meter = BandwidthMeter::new();
         let mask = SubspaceMask::full(2).unwrap();
         let out = run(&sites, 2, 0.3, mask, &meter).unwrap();
-        let union = UncertainDb::from_tuples(
-            2,
-            sites.iter().flatten().cloned().collect::<Vec<_>>(),
-        )
-        .unwrap();
+        let union =
+            UncertainDb::from_tuples(2, sites.iter().flatten().cloned().collect::<Vec<_>>())
+                .unwrap();
         let expected = probabilistic_skyline(&union, 0.3, mask).unwrap();
         assert_eq!(out.skyline, expected);
     }

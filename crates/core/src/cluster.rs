@@ -1,8 +1,19 @@
+//! Deployment assembly: `m` sites behind metered links plus the server.
+//!
+//! [`Cluster`] builds the whole distributed system of the paper's
+//! Section 3.1 — one [`LocalSite`] per horizontal partition, each behind a
+//! [`dsud_net::Link`] (inline, threaded, or TCP), all sharing one
+//! [`BandwidthMeter`] — and exposes [`Cluster::run_dsud`] /
+//! [`Cluster::run_edsud`] as the coordinator entry points. The
+//! [`QueryOutcome`] / [`RunStats`] types returned by every run carry the
+//! paper's two evaluation measures (bandwidth and progressiveness).
+
 use serde::{Deserialize, Serialize};
 
 use dsud_net::{
     tcp, BandwidthMeter, ChannelLink, Link, LocalLink, Message, MeterSnapshot, TupleMsg,
 };
+use dsud_obs::Recorder;
 use dsud_uncertain::{SkylineEntry, UncertainTuple};
 
 use crate::{dsud, edsud, Error, LocalSite, ProgressLog, QueryConfig, SiteOptions};
@@ -90,7 +101,24 @@ impl Cluster {
         sites: Vec<Vec<UncertainTuple>>,
         options: SiteOptions,
     ) -> Result<Self, Error> {
-        Self::build(dims, sites, options, false)
+        Self::build(dims, sites, options, false, Recorder::default())
+    }
+
+    /// Builds an inline-transport cluster whose meter and sites all report
+    /// to the given observability [`Recorder`], so a subsequent
+    /// [`Cluster::run_dsud`] / [`Cluster::run_edsud`] produces a complete
+    /// [`dsud_obs::RunReport`] via [`Recorder::report`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Cluster::local`].
+    pub fn local_instrumented(
+        dims: usize,
+        sites: Vec<Vec<UncertainTuple>>,
+        options: SiteOptions,
+        recorder: Recorder,
+    ) -> Result<Self, Error> {
+        Self::build(dims, sites, options, false, recorder)
     }
 
     /// Builds a cluster whose sites each run on a dedicated OS thread
@@ -100,7 +128,7 @@ impl Cluster {
     ///
     /// Same as [`Cluster::local`].
     pub fn threaded(dims: usize, sites: Vec<Vec<UncertainTuple>>) -> Result<Self, Error> {
-        Self::build(dims, sites, SiteOptions::default(), true)
+        Self::build(dims, sites, SiteOptions::default(), true, Recorder::default())
     }
 
     /// Builds a cluster whose sites are served over loopback TCP — real
@@ -133,15 +161,17 @@ impl Cluster {
         sites: Vec<Vec<UncertainTuple>>,
         options: SiteOptions,
         threaded: bool,
+        recorder: Recorder,
     ) -> Result<Self, Error> {
         if sites.is_empty() {
             return Err(Error::NoSites);
         }
-        let meter = BandwidthMeter::new();
+        let meter = BandwidthMeter::with_recorder(recorder.clone());
         let total_tuples = sites.iter().map(Vec::len).sum();
         let mut links: Vec<Box<dyn Link>> = Vec::with_capacity(sites.len());
         for (i, tuples) in sites.into_iter().enumerate() {
-            let site = LocalSite::new(i as u32, dims, tuples, options)?;
+            let mut site = LocalSite::new(i as u32, dims, tuples, options)?;
+            site.set_recorder(recorder.clone());
             if threaded {
                 links.push(Box::new(ChannelLink::spawn(site, meter.clone())));
             } else {
@@ -169,6 +199,12 @@ impl Cluster {
     /// The shared bandwidth meter.
     pub fn meter(&self) -> &BandwidthMeter {
         &self.meter
+    }
+
+    /// The observability recorder this cluster reports to (disabled
+    /// unless built with [`Cluster::local_instrumented`]).
+    pub fn recorder(&self) -> &Recorder {
+        self.meter.recorder()
     }
 
     /// Mutable access to the site links (used by the update driver).

@@ -1,3 +1,8 @@
+//! Query configuration: the probability threshold `q` (Definition 1), the
+//! optional subspace mask, the progressive top-k `limit`, and the e-DSUD
+//! feedback-selection [`BoundMode`] (Section 5.2, Observation 2) plus the
+//! optional grid-synopsis ablation the paper argues against.
+
 use serde::{Deserialize, Serialize};
 
 use dsud_uncertain::SubspaceMask;
@@ -153,9 +158,8 @@ mod tests {
 
     #[test]
     fn validates_explicit_mask() {
-        let cfg = QueryConfig::new(0.3)
-            .unwrap()
-            .subspace(SubspaceMask::from_dims(&[0, 4]).unwrap());
+        let cfg =
+            QueryConfig::new(0.3).unwrap().subspace(SubspaceMask::from_dims(&[0, 4]).unwrap());
         assert!(cfg.resolve_mask(5).is_ok());
         assert!(matches!(cfg.resolve_mask(2), Err(Error::Subspace(_))));
     }

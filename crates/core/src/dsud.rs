@@ -18,6 +18,7 @@
 use std::time::Instant;
 
 use dsud_net::{BandwidthMeter, Link, Message, TupleMsg};
+use dsud_obs::Counter;
 use dsud_uncertain::{SkylineEntry, SubspaceMask};
 
 use crate::cluster::{expect_survival, expect_upload};
@@ -44,6 +45,8 @@ pub fn run(
     }
     let start_traffic = meter.snapshot();
     let started = Instant::now();
+    let rec = meter.recorder().clone();
+    let query_span = rec.span("query:dsud");
     let mut stats = RunStats::default();
     let mut progress = ProgressLog::new();
     let mut skyline: Vec<SkylineEntry> = Vec::new();
@@ -51,9 +54,12 @@ pub fn run(
     // To-Server phase, first iteration: every site sends its best
     // representative.
     let mut queue: Vec<TupleMsg> = Vec::with_capacity(links.len());
-    for link in links.iter_mut() {
-        if let Some(t) = expect_upload(link.call(Message::Start { q, mask }))? {
-            queue.push(t);
+    {
+        let _span = rec.span("to-server:start");
+        for link in links.iter_mut() {
+            if let Some(t) = expect_upload(link.call(Message::Start { q, mask }))? {
+                queue.push(t);
+            }
         }
     }
 
@@ -64,44 +70,50 @@ pub fn run(
             // Corollary 1: nothing fetched or unfetched can still qualify.
             break;
         }
+        let round_span = rec.span("round");
+        rec.incr(Counter::Rounds);
         let cand = queue.swap_remove(head_idx);
         stats.iterations += 1;
         stats.broadcasts += 1;
+        rec.incr(Counter::FeedbackBroadcasts);
 
         // Server-Delivery phase: assemble the exact global probability.
         // The broadcast is put in flight on every other site at once, so
         // concurrent transports overlap the survival computations.
         let mut global = cand.local_prob;
         let home = cand.id.site.0 as usize;
-        for (_, reply) in
-            dsud_net::broadcast(links, |x| x != home, &Message::Feedback(cand.clone()))
         {
-            let (survival, pruned) = expect_survival(reply)?;
-            global *= survival;
-            stats.pruned_at_sites += pruned;
+            let _span = rec.span("server-delivery");
+            for (_, reply) in
+                dsud_net::broadcast(links, |x| x != home, &Message::Feedback(cand.clone()))
+            {
+                let (survival, pruned) = expect_survival(reply)?;
+                global *= survival;
+                stats.pruned_at_sites += pruned;
+                rec.add(Counter::PrunedAtSites, pruned);
+            }
         }
 
         if global >= q {
             skyline.push(SkylineEntry { tuple: cand.to_tuple(), probability: global });
             let transmitted = meter.snapshot().since(&start_traffic).tuples_transmitted();
+            rec.progressive(cand.id.site.0, cand.id.seq, global, transmitted);
             progress.push(cand.id, global, transmitted, started.elapsed());
             if limit.is_some_and(|k| skyline.len() >= k) {
+                drop(round_span);
                 break;
             }
         }
 
         // Next To-Server phase: refill from the consumed site.
+        let _span = rec.span("to-server");
         if let Some(next) = expect_upload(links[home].call(Message::RequestNext))? {
             queue.push(next);
         }
     }
+    drop(query_span);
 
-    Ok(QueryOutcome {
-        skyline,
-        progress,
-        traffic: meter.snapshot().since(&start_traffic),
-        stats,
-    })
+    Ok(QueryOutcome { skyline, progress, traffic: meter.snapshot().since(&start_traffic), stats })
 }
 
 /// Index of the queue entry with the largest local skyline probability.

@@ -28,6 +28,7 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use dsud_net::{BandwidthMeter, Link, Message, TupleMsg};
+use dsud_obs::Counter;
 use dsud_uncertain::{dominates_in, SkylineEntry, SubspaceMask};
 
 use crate::cluster::{expect_survival, expect_upload};
@@ -143,15 +144,20 @@ pub fn run_with_synopses(
     }
     let start_traffic = meter.snapshot();
     let started = Instant::now();
+    let rec = meter.recorder().clone();
+    let query_span = rec.span("query:edsud");
     let mut stats = RunStats::default();
     let mut progress = ProgressLog::new();
     let mut skyline: Vec<SkylineEntry> = Vec::new();
     let mut history: Vec<TupleMsg> = Vec::new();
 
     let mut queue: Vec<Candidate> = Vec::with_capacity(links.len());
-    for link in links.iter_mut() {
-        if let Some(t) = expect_upload(link.call(Message::Start { q, mask }))? {
-            queue.push(Candidate::new(t, &history, mask));
+    {
+        let _span = rec.span("to-server:start");
+        for link in links.iter_mut() {
+            if let Some(t) = expect_upload(link.call(Message::Start { q, mask }))? {
+                queue.push(Candidate::new(t, &history, mask));
+            }
         }
     }
 
@@ -159,6 +165,7 @@ pub fn run_with_synopses(
     // tuple-equivalents on the meter.
     let mut synopses: HashMap<u32, SynopsisBound> = HashMap::new();
     if let Some(resolution) = synopsis_resolution {
+        let _span = rec.span("synopsis");
         for (x, reply) in
             dsud_net::broadcast(links, |_| true, &Message::SynopsisRequest { resolution })
         {
@@ -169,29 +176,35 @@ pub fn run_with_synopses(
     }
 
     loop {
+        let round_span = rec.span("round");
+        rec.incr(Counter::Rounds);
         // Expunge phase: drop every candidate whose bound fails q, pulling
         // replacements until the picture stabilizes.
-        loop {
-            let bounds: Vec<f64> =
-                queue.iter().map(|c| c.bound(&queue, mask, mode, &synopses)).collect();
-            let mut replaced_any = false;
-            for idx in (0..queue.len()).rev() {
-                if bounds[idx] < q {
-                    let gone = queue.swap_remove(idx);
-                    stats.expunged += 1;
-                    stats.iterations += 1;
-                    let home = gone.msg.id.site.0 as usize;
-                    if let Some(next) = expect_upload(links[home].call(Message::RequestNext))? {
-                        queue.push(Candidate::new(next, &history, mask));
-                        replaced_any = true;
+        {
+            let _span = rec.span("expunge");
+            loop {
+                let bounds: Vec<f64> =
+                    queue.iter().map(|c| c.bound(&queue, mask, mode, &synopses)).collect();
+                let mut replaced_any = false;
+                for idx in (0..queue.len()).rev() {
+                    if bounds[idx] < q {
+                        let gone = queue.swap_remove(idx);
+                        stats.expunged += 1;
+                        stats.iterations += 1;
+                        rec.incr(Counter::Expunged);
+                        let home = gone.msg.id.site.0 as usize;
+                        if let Some(next) = expect_upload(links[home].call(Message::RequestNext))? {
+                            queue.push(Candidate::new(next, &history, mask));
+                            replaced_any = true;
+                        }
                     }
                 }
-            }
-            if !replaced_any {
-                // No new arrivals; surviving bounds can only have grown
-                // (fewer in-queue dominators), so one more pass below
-                // suffices for selection.
-                break;
+                if !replaced_any {
+                    // No new arrivals; surviving bounds can only have grown
+                    // (fewer in-queue dominators), so one more pass below
+                    // suffices for selection.
+                    break;
+                }
             }
         }
 
@@ -207,24 +220,31 @@ pub fn run_with_synopses(
         let cand = queue.swap_remove(head_idx);
         stats.iterations += 1;
         stats.broadcasts += 1;
+        rec.incr(Counter::FeedbackBroadcasts);
 
         // Concurrent fan-out: every other site computes its survival
         // product in parallel on concurrent transports.
         let mut global = cand.msg.local_prob;
         let home = cand.msg.id.site.0 as usize;
-        for (_, reply) in
-            dsud_net::broadcast(links, |x| x != home, &Message::Feedback(cand.msg.clone()))
         {
-            let (survival, pruned) = expect_survival(reply)?;
-            global *= survival;
-            stats.pruned_at_sites += pruned;
+            let _span = rec.span("server-delivery");
+            for (_, reply) in
+                dsud_net::broadcast(links, |x| x != home, &Message::Feedback(cand.msg.clone()))
+            {
+                let (survival, pruned) = expect_survival(reply)?;
+                global *= survival;
+                stats.pruned_at_sites += pruned;
+                rec.add(Counter::PrunedAtSites, pruned);
+            }
         }
 
         if global >= q {
             skyline.push(SkylineEntry { tuple: cand.msg.to_tuple(), probability: global });
             let transmitted = meter.snapshot().since(&start_traffic).tuples_transmitted();
+            rec.progressive(cand.msg.id.site.0, cand.msg.id.seq, global, transmitted);
             progress.push(cand.msg.id, global, transmitted, started.elapsed());
             if limit.is_some_and(|k| skyline.len() >= k) {
+                drop(round_span);
                 break;
             }
         }
@@ -236,21 +256,20 @@ pub fn run_with_synopses(
         }
         history.push(cand.msg);
 
-        if let Some(next) = expect_upload(links[home].call(Message::RequestNext))? {
-            queue.push(Candidate::new(next, &history, mask));
+        {
+            let _span = rec.span("to-server");
+            if let Some(next) = expect_upload(links[home].call(Message::RequestNext))? {
+                queue.push(Candidate::new(next, &history, mask));
+            }
         }
 
         if queue.is_empty() {
             break;
         }
     }
+    drop(query_span);
 
-    Ok(QueryOutcome {
-        skyline,
-        progress,
-        traffic: meter.snapshot().since(&start_traffic),
-        stats,
-    })
+    Ok(QueryOutcome { skyline, progress, traffic: meter.snapshot().since(&start_traffic), stats })
 }
 
 /// Index of the largest bound, ties broken by tuple id for determinism.

@@ -1,3 +1,7 @@
+//! Error type of the distributed query layer: invalid thresholds, cluster
+//! construction faults (dimension/site-id mismatches), subspace and PR-tree
+//! failures, and protocol violations observed by the coordinator.
+
 use std::fmt;
 
 /// Errors produced by the distributed query algorithms.

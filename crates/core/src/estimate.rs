@@ -141,10 +141,7 @@ mod tests {
         for d in 2..=5 {
             let smeared = expected_skyline_count(d, n);
             let point = kernel(d, n as f64 / 2.0);
-            assert!(
-                (smeared - point).abs() / point < 0.01,
-                "d={d}: {smeared} vs {point}"
-            );
+            assert!((smeared - point).abs() / point < 0.01, "d={d}: {smeared} vs {point}");
         }
     }
 

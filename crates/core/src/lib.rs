@@ -74,6 +74,7 @@ pub use site::LocalSite;
 
 // Re-export the workspace API surface so `dsud_core` works as a facade.
 pub use dsud_net::{BandwidthMeter, LatencyModel, Link, MeterSnapshot};
+pub use dsud_obs::{Counter, CounterSnapshot, ProgressSample, Recorder, RunReport, SpanRecord};
 pub use dsud_uncertain::{
     certain_skyline, dominates, dominates_in, probabilistic_skyline, Probability, SkylineEntry,
     SubspaceMask, TupleId, UncertainDb, UncertainTuple,

@@ -1,3 +1,8 @@
+//! Progressiveness trace: one [`ProgressEvent`] per skyline tuple the
+//! coordinator reports, stamped with cumulative bandwidth and elapsed time —
+//! the samples behind the paper's progressiveness curves (Section 7.5,
+//! Figs. 12–13).
+
 use std::time::Duration;
 
 use serde::{Deserialize, Serialize};

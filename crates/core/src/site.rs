@@ -1,6 +1,18 @@
+//! The site side of the protocol: `S_i`'s query and update handlers.
+//!
+//! [`LocalSite`] owns one uncertain database `D_i` behind a PR-tree and
+//! answers every coordinator [`Message`]: local-skyline extraction and
+//! streaming (the To-Server phase, Section 5.1), survival products and
+//! Local-Pruning on feedback (Server-Delivery phase), dominance-region
+//! re-evaluation and replica bookkeeping for update maintenance
+//! (Section 5.4), and grid synopses (Section 5.2). Because it implements
+//! [`dsud_net::Service`], the identical code runs inline, on a thread, or
+//! behind a TCP socket.
+
 use std::collections::VecDeque;
 
 use dsud_net::{Message, Service, TupleMsg};
+use dsud_obs::Recorder;
 use dsud_prtree::{bbs, PrTree};
 use dsud_uncertain::{dominates_in, SiteId, SubspaceMask, TupleId, UncertainTuple};
 
@@ -95,6 +107,12 @@ impl LocalSite {
             query: None,
             replica: Vec::new(),
         })
+    }
+
+    /// Attaches an observability recorder to this site's PR-tree so its
+    /// BBS traversals are counted in run reports.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.tree.set_recorder(recorder);
     }
 
     /// The site's identifier.
@@ -209,8 +227,7 @@ impl LocalSite {
         };
         let (q, mask) = (active.q, active.mask);
         let local_prob = prob * self.tree.survival_product(&values, mask);
-        let dominates_member =
-            self.replica.iter().any(|r| dominates_in(&values, &r.values, mask));
+        let dominates_member = self.replica.iter().any(|r| dominates_in(&values, &r.values, mask));
         // Replica-based sound bound on the new tuple's global probability:
         // foreign replica members dominating it are confirmed dominators.
         let replica_bound = local_prob
@@ -341,8 +358,7 @@ mod tests {
     use dsud_uncertain::Probability;
 
     fn tuple(site: u32, seq: u64, values: Vec<f64>, p: f64) -> UncertainTuple {
-        UncertainTuple::new(TupleId::new(site, seq), values, Probability::new(p).unwrap())
-            .unwrap()
+        UncertainTuple::new(TupleId::new(site, seq), values, Probability::new(p).unwrap()).unwrap()
     }
 
     fn full(d: usize) -> SubspaceMask {
@@ -365,7 +381,8 @@ mod tests {
 
     #[test]
     fn rejects_foreign_tuples() {
-        let err = LocalSite::new(0, 2, vec![tuple(3, 0, vec![1.0, 1.0], 0.5)], SiteOptions::default());
+        let err =
+            LocalSite::new(0, 2, vec![tuple(3, 0, vec![1.0, 1.0], 0.5)], SiteOptions::default());
         assert_eq!(err.unwrap_err(), Error::WrongSiteId { expected: 0, actual: 3 });
     }
 
@@ -419,10 +436,8 @@ mod tests {
             panic!()
         };
         // All six stored tuples dominate (10,10).
-        let expected: f64 = [0.7, 0.8, 0.8, 1.0 - 0.65 / 0.7, 0.25, 0.375]
-            .iter()
-            .map(|p| 1.0 - p)
-            .product();
+        let expected: f64 =
+            [0.7, 0.8, 0.8, 1.0 - 0.65 / 0.7, 0.25, 0.375].iter().map(|p| 1.0 - p).product();
         assert!((survival - expected).abs() < 1e-12);
     }
 
@@ -446,12 +461,10 @@ mod tests {
 
     #[test]
     fn pruning_can_be_disabled() {
-        let tuples = vec![
-            tuple(0, 0, vec![6.0, 6.0], 0.7),
-            tuple(0, 1, vec![8.0, 4.0], 0.8),
-        ];
+        let tuples = vec![tuple(0, 0, vec![6.0, 6.0], 0.7), tuple(0, 1, vec![8.0, 4.0], 0.8)];
         let mut site =
-            LocalSite::new(0, 2, tuples, SiteOptions { pruning: false, ..SiteOptions::default() }).unwrap();
+            LocalSite::new(0, 2, tuples, SiteOptions { pruning: false, ..SiteOptions::default() })
+                .unwrap();
         site.handle(Message::Start { q: 0.3, mask: full(2) });
         let killer = tuple(1, 0, vec![1.0, 1.0], 0.99);
         let Message::SurvivalReply { pruned, .. } =

@@ -68,13 +68,7 @@ where
         }
         cells[idx] *= t.prob().complement();
     }
-    Some(SynopsisMsg {
-        dims: dims as u16,
-        resolution: resolution as u16,
-        lower,
-        upper,
-        cells,
-    })
+    Some(SynopsisMsg { dims: dims as u16, resolution: resolution as u16, lower, upper, cells })
 }
 
 /// Server-side view of one site's synopsis with a precomputed prefix
@@ -280,10 +274,7 @@ mod tests {
             // fewer boundary cell row; both must stay valid upper bounds
             // and agree within the boundary-row factor. Exact agreement
             // holds off-boundary, which random data is almost surely.
-            assert!(
-                (fast - slow).abs() < 1e-9 || fast >= slow,
-                "fast {fast} vs slow {slow}"
-            );
+            assert!((fast - slow).abs() < 1e-9 || fast >= slow, "fast {fast} vs slow {slow}");
         }
     }
 

@@ -99,10 +99,7 @@ impl Maintainer {
         let members: Vec<Member> = outcome
             .skyline
             .iter()
-            .map(|e| Member {
-                msg: TupleMsg::new(&e.tuple, e.probability),
-                prob: e.probability,
-            })
+            .map(|e| Member { msg: TupleMsg::new(&e.tuple, e.probability), prob: e.probability })
             .collect();
         let replica: Vec<TupleMsg> = members.iter().map(|m| m.msg.clone()).collect();
         for link in links.iter_mut() {
@@ -153,10 +150,7 @@ impl Maintainer {
     /// # Errors
     ///
     /// Returns [`Error::ProtocolViolation`] only if the link fails.
-    pub fn apply_local_only(
-        links: &mut [Box<dyn Link>],
-        op: &UpdateOp,
-    ) -> Result<(), Error> {
+    pub fn apply_local_only(links: &mut [Box<dyn Link>], op: &UpdateOp) -> Result<(), Error> {
         let home = op.site() as usize;
         let inject = match op {
             UpdateOp::Insert(t) => Message::InjectInsert(TupleMsg::new(t, 0.0)),
@@ -192,11 +186,7 @@ impl Maintainer {
         Ok(outcome)
     }
 
-    fn handle_insert(
-        &mut self,
-        links: &mut [Box<dyn Link>],
-        t: TupleMsg,
-    ) -> Result<(), Error> {
+    fn handle_insert(&mut self, links: &mut [Box<dyn Link>], t: TupleMsg) -> Result<(), Error> {
         // Discount members the new tuple dominates; evict those that sink
         // below the threshold. Evicted tuples still *exist* in the data, so
         // the site replicas are deliberately left stale: a superset replica
@@ -262,11 +252,7 @@ impl Maintainer {
         self.seen.push_back(t);
     }
 
-    fn handle_delete(
-        &mut self,
-        links: &mut [Box<dyn Link>],
-        t: TupleMsg,
-    ) -> Result<(), Error> {
+    fn handle_delete(&mut self, links: &mut [Box<dyn Link>], t: TupleMsg) -> Result<(), Error> {
         // Drop the tuple itself if it was a member, and purge it from the
         // site replicas if it still sits there (it may be an
         // evicted-but-still-replicated tuple).
@@ -321,8 +307,7 @@ impl Maintainer {
     fn evaluate(&self, links: &mut [Box<dyn Link>], t: &TupleMsg) -> Result<f64, Error> {
         let mut global = t.local_prob;
         let home = t.id.site.0 as usize;
-        for (_, reply) in dsud_net::broadcast(links, |x| x != home, &Message::Feedback(t.clone()))
-        {
+        for (_, reply) in dsud_net::broadcast(links, |x| x != home, &Message::Feedback(t.clone())) {
             let (survival, _) = expect_survival(reply)?;
             global *= survival;
         }
@@ -376,8 +361,7 @@ mod tests {
     use dsud_uncertain::{Probability, TupleId};
 
     fn tuple(site: u32, seq: u64, values: Vec<f64>, p: f64) -> UncertainTuple {
-        UncertainTuple::new(TupleId::new(site, seq), values, Probability::new(p).unwrap())
-            .unwrap()
+        UncertainTuple::new(TupleId::new(site, seq), values, Probability::new(p).unwrap()).unwrap()
     }
 
     #[test]

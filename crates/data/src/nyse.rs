@@ -114,9 +114,8 @@ impl NyseSpec {
             log_price += step.sample(&mut rng);
             log_price = log_price.clamp(5f64.ln(), 60f64.ln());
             // Intra-trade noise around the walk (spread, odd lots).
-            let price = (log_price.exp() * (1.0 + (rng.gen::<f64>() - 0.5) * 0.01) * 100.0)
-                .round()
-                / 100.0;
+            let price =
+                (log_price.exp() * (1.0 + (rng.gen::<f64>() - 0.5) * 0.01) * 100.0).round() / 100.0;
             let mut volume: f64 = volume_law.sample(&mut rng);
             volume = volume.round().clamp(1.0, VOLUME_CAP);
             // Round-lot clustering: most orders are multiples of 100 shares.

@@ -91,8 +91,7 @@ mod tests {
         let mut expected: Vec<Vec<f64>> = input.iter().map(|(v, _)| v.clone()).collect();
         expected.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let sites = partition_uniform(input, 7, &mut rng).unwrap();
-        let mut got: Vec<Vec<f64>> =
-            sites.iter().flatten().map(|t| t.values().to_vec()).collect();
+        let mut got: Vec<Vec<f64>> = sites.iter().flatten().map(|t| t.values().to_vec()).collect();
         got.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert_eq!(got, expected);
     }

@@ -83,8 +83,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let n = 20_000;
         let mean: f64 =
-            (0..n).map(|_| ProbabilityLaw::Uniform.sample(&mut rng).get()).sum::<f64>()
-                / n as f64;
+            (0..n).map(|_| ProbabilityLaw::Uniform.sample(&mut rng).get()).sum::<f64>() / n as f64;
         assert!((mean - 0.5).abs() < 0.01, "uniform mean {mean}");
     }
 
@@ -94,8 +93,7 @@ mod tests {
         for mu in [0.3, 0.5, 0.7] {
             let law = ProbabilityLaw::Gaussian { mean: mu, std_dev: 0.2 };
             let n = 20_000;
-            let mean: f64 =
-                (0..n).map(|_| law.sample(&mut rng).get()).sum::<f64>() / n as f64;
+            let mean: f64 = (0..n).map(|_| law.sample(&mut rng).get()).sum::<f64>() / n as f64;
             // Clamping shifts the mean slightly; allow a loose band.
             assert!((mean - mu).abs() < 0.05, "gaussian(μ={mu}) mean {mean}");
         }
@@ -117,8 +115,6 @@ mod tests {
         assert!(ProbabilityLaw::gaussian_default().validate().is_ok());
         assert!(ProbabilityLaw::Gaussian { mean: 0.5, std_dev: 0.0 }.validate().is_err());
         assert!(ProbabilityLaw::Gaussian { mean: f64::NAN, std_dev: 0.2 }.validate().is_err());
-        assert!(ProbabilityLaw::Gaussian { mean: 0.5, std_dev: f64::INFINITY }
-            .validate()
-            .is_err());
+        assert!(ProbabilityLaw::Gaussian { mean: 0.5, std_dev: f64::INFINITY }.validate().is_err());
     }
 }

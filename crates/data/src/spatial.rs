@@ -39,9 +39,7 @@ impl SpatialDistribution {
                 // Five deterministic centres spread across the cube.
                 const CENTRES: [f64; 5] = [0.15, 0.35, 0.55, 0.75, 0.9];
                 let c = CENTRES[rng.gen_range(0..CENTRES.len())];
-                (0..dims)
-                    .map(|_| (c + (rng.gen::<f64>() - 0.5) * 0.18).clamp(0.0, 1.0))
-                    .collect()
+                (0..dims).map(|_| (c + (rng.gen::<f64>() - 0.5) * 0.18).clamp(0.0, 1.0)).collect()
             }
             SpatialDistribution::Anticorrelated => {
                 // Börzsönyi's procedure: start from a point on the diagonal
@@ -131,8 +129,8 @@ mod tests {
         let xs: Vec<f64> = pts.iter().map(|p| p[0]).collect();
         let ys: Vec<f64> = pts.iter().map(|p| p[1]).collect();
         let (mx, my) = (mean(&xs), mean(&ys));
-        let cov = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum::<f64>()
-            / xs.len() as f64;
+        let cov =
+            xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum::<f64>() / xs.len() as f64;
         // Centre variance of the 12-uniform peak law is 1/144 ≈ 0.007;
         // jitter is independent, so covariance ≈ 0.007.
         assert!(cov > 0.004, "expected positive covariance, got {cov}");
@@ -146,8 +144,8 @@ mod tests {
         let xs: Vec<f64> = pts.iter().map(|p| p[0]).collect();
         let ys: Vec<f64> = pts.iter().map(|p| p[1]).collect();
         let (mx, my) = (mean(&xs), mean(&ys));
-        let cov = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum::<f64>()
-            / xs.len() as f64;
+        let cov =
+            xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum::<f64>() / xs.len() as f64;
         assert!(cov < -0.01, "expected negative covariance, got {cov}");
     }
 

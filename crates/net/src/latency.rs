@@ -1,3 +1,7 @@
+//! Deterministic latency model that converts a metered traffic snapshot into
+//! reproducible network time, so the paper's response-time experiment
+//! (Fig. 14) does not depend on the machine it reruns on.
+
 use serde::{Deserialize, Serialize};
 
 use crate::MeterSnapshot;

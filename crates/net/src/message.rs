@@ -1,3 +1,8 @@
+//! Wire protocol of the DSUD/e-DSUD server–site conversation: the tuple
+//! quaternion `⟨i, j, P(t_ij), P_sky(t_ij, D_i)⟩` of Section 5.1, the
+//! request/reply [`Message`] variants for upload, feedback, expunge, and
+//! maintenance, and their binary encoding used for byte accounting.
+
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use serde::{Deserialize, Serialize};
 
@@ -511,10 +516,7 @@ mod tests {
         assert_eq!(Message::Feedback(sample_tuple_msg()).tuple_count(), 1);
         assert_eq!(Message::SurvivalReply { survival: 0.5, pruned: 0 }.tuple_count(), 0);
         assert_eq!(Message::RequestNext.tuple_count(), 0);
-        assert_eq!(
-            Message::ReplicaSync(vec![sample_tuple_msg(); 5]).tuple_count(),
-            5
-        );
+        assert_eq!(Message::ReplicaSync(vec![sample_tuple_msg(); 5]).tuple_count(), 5);
     }
 
     #[test]

@@ -1,5 +1,17 @@
+//! Bandwidth accounting (the paper's Section 3.2 cost measure).
+//!
+//! The paper charges a distributed algorithm by the tuples it transmits;
+//! [`BandwidthMeter`] keeps message / tuple / byte counters per
+//! [`TrafficClass`] so uploads, feedback, replies, control traffic, and
+//! update maintenance can be reported separately (Figs. 8–11, 14). Every
+//! [`crate::Link`] records both directions of each exchange here. The
+//! meter is also the single chokepoint through which all traffic flows,
+//! so it forwards the same observations to an optional
+//! [`dsud_obs::Recorder`] for structured run reports.
+
 use std::sync::Arc;
 
+use dsud_obs::{Counter, Recorder};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
@@ -91,28 +103,57 @@ impl MeterSnapshot {
 #[derive(Debug, Clone, Default)]
 pub struct BandwidthMeter {
     inner: Arc<Mutex<MeterSnapshot>>,
+    recorder: Recorder,
 }
 
 impl BandwidthMeter {
-    /// Creates a fresh meter with zeroed counters.
+    /// Creates a fresh meter with zeroed counters and no recorder.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Creates a fresh meter that forwards every observation to the given
+    /// [`Recorder`] (in addition to its own per-class counters).
+    pub fn with_recorder(recorder: Recorder) -> Self {
+        BandwidthMeter { inner: Arc::default(), recorder }
+    }
+
+    /// The recorder this meter forwards to (disabled by default).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
     /// Records one message crossing the wire.
     pub fn record(&self, msg: &Message) {
-        let mut inner = self.inner.lock();
-        let slot = match msg.class() {
-            TrafficClass::Upload => &mut inner.upload,
-            TrafficClass::Feedback => &mut inner.feedback,
-            TrafficClass::Reply => &mut inner.reply,
-            TrafficClass::Control => &mut inner.control,
-            TrafficClass::Maintenance => &mut inner.maintenance,
-            TrafficClass::Scaffold => &mut inner.scaffold,
-        };
-        slot.messages += 1;
-        slot.tuples += msg.tuple_count();
-        slot.bytes += msg.encoded_len() as u64;
+        let class = msg.class();
+        let tuples = msg.tuple_count();
+        let bytes = msg.encoded_len() as u64;
+        {
+            let mut inner = self.inner.lock();
+            let slot = match class {
+                TrafficClass::Upload => &mut inner.upload,
+                TrafficClass::Feedback => &mut inner.feedback,
+                TrafficClass::Reply => &mut inner.reply,
+                TrafficClass::Control => &mut inner.control,
+                TrafficClass::Maintenance => &mut inner.maintenance,
+                TrafficClass::Scaffold => &mut inner.scaffold,
+            };
+            slot.messages += 1;
+            slot.tuples += tuples;
+            slot.bytes += bytes;
+        }
+        // Scaffold traffic (simulation-injected updates) is excluded from
+        // the network cost model, and therefore from run reports too.
+        if self.recorder.is_enabled() && class != TrafficClass::Scaffold {
+            self.recorder.incr(Counter::Messages);
+            self.recorder.add(Counter::BytesSent, bytes);
+            if matches!(
+                class,
+                TrafficClass::Upload | TrafficClass::Feedback | TrafficClass::Maintenance
+            ) {
+                self.recorder.add(Counter::TuplesShipped, tuples);
+            }
+        }
     }
 
     /// Takes a snapshot of the current counters.
@@ -134,12 +175,9 @@ mod tests {
     use crate::TupleMsg;
 
     fn sample_msg() -> Message {
-        let t = UncertainTuple::new(
-            TupleId::new(0, 1),
-            vec![1.0, 2.0],
-            Probability::new(0.5).unwrap(),
-        )
-        .unwrap();
+        let t =
+            UncertainTuple::new(TupleId::new(0, 1), vec![1.0, 2.0], Probability::new(0.5).unwrap())
+                .unwrap();
         Message::Feedback(TupleMsg::new(&t, 0.5))
     }
 
@@ -174,6 +212,19 @@ mod tests {
         meter.record(&sample_msg());
         meter.reset();
         assert_eq!(meter.snapshot(), MeterSnapshot::default());
+    }
+
+    #[test]
+    fn forwards_to_recorder() {
+        let rec = Recorder::enabled();
+        let meter = BandwidthMeter::with_recorder(rec.clone());
+        meter.record(&sample_msg()); // feedback: one tuple payload
+        meter.record(&Message::RequestNext); // control: no payload
+        assert_eq!(rec.counter(Counter::Messages), 2);
+        assert_eq!(rec.counter(Counter::TuplesShipped), 1);
+        assert!(rec.counter(Counter::BytesSent) > 0);
+        assert!(meter.recorder().is_enabled());
+        assert!(!BandwidthMeter::new().recorder().is_enabled());
     }
 
     #[test]

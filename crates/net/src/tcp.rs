@@ -193,10 +193,7 @@ mod tests {
         let mut link = TcpLink::connect(addr, meter.clone()).unwrap();
         for i in 1..=20 {
             let reply = link.call(feedback(i as f64 / 100.0));
-            assert_eq!(
-                reply,
-                Message::SurvivalReply { survival: i as f64 / 100.0, pruned: 1 }
-            );
+            assert_eq!(reply, Message::SurvivalReply { survival: i as f64 / 100.0, pruned: 1 });
         }
         drop(link);
         handle.join().unwrap().unwrap();

@@ -1,3 +1,9 @@
+//! Server-to-site transports: the [`Service`] trait a site implements and
+//! the metered [`Link`] request/reply channel the coordinator talks through,
+//! with in-process and per-site-thread implementations. Every call is
+//! recorded on the shared [`BandwidthMeter`], so algorithm code never
+//! touches traffic accounting.
+
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
@@ -55,11 +61,7 @@ pub trait Link {
 /// Puts `msg` in flight on every link selected by `include`, then collects
 /// the replies in link order. With concurrent transports the selected
 /// sites process the request in parallel.
-pub fn broadcast<F>(
-    links: &mut [Box<dyn Link>],
-    include: F,
-    msg: &Message,
-) -> Vec<(usize, Message)>
+pub fn broadcast<F>(links: &mut [Box<dyn Link>], include: F, msg: &Message) -> Vec<(usize, Message)>
 where
     F: Fn(usize) -> bool,
 {
@@ -173,11 +175,7 @@ impl Link for ChannelLink {
     fn begin(&mut self, msg: Message) {
         assert!(!self.in_flight, "request already outstanding");
         self.meter.record(&msg);
-        self.tx
-            .as_ref()
-            .expect("link is open")
-            .send(msg.encode())
-            .expect("site thread is alive");
+        self.tx.as_ref().expect("link is open").send(msg.encode()).expect("site thread is alive");
         self.in_flight = true;
     }
 
@@ -290,20 +288,15 @@ mod tests {
     fn echo_service() -> impl Service {
         |msg: Message| match msg {
             Message::RequestNext => Message::Upload(None),
-            Message::Feedback(t) => {
-                Message::SurvivalReply { survival: t.local_prob, pruned: 0 }
-            }
+            Message::Feedback(t) => Message::SurvivalReply { survival: t.local_prob, pruned: 0 },
             _ => Message::Ack,
         }
     }
 
     fn feedback_msg(local_prob: f64) -> Message {
-        let t = UncertainTuple::new(
-            TupleId::new(0, 0),
-            vec![1.0, 1.0],
-            Probability::new(0.5).unwrap(),
-        )
-        .unwrap();
+        let t =
+            UncertainTuple::new(TupleId::new(0, 0), vec![1.0, 1.0], Probability::new(0.5).unwrap())
+                .unwrap();
         Message::Feedback(TupleMsg::new(&t, local_prob))
     }
 
@@ -383,8 +376,9 @@ mod tests {
             }
         };
         let meter = BandwidthMeter::new();
-        let mut links: Vec<Box<dyn Link>> =
-            (0..8).map(|_| Box::new(ChannelLink::spawn(slow_service(), meter.clone())) as _).collect();
+        let mut links: Vec<Box<dyn Link>> = (0..8)
+            .map(|_| Box::new(ChannelLink::spawn(slow_service(), meter.clone())) as _)
+            .collect();
         let started = std::time::Instant::now();
         let replies = broadcast(&mut links, |_| true, &feedback_msg(0.5));
         let elapsed = started.elapsed();
@@ -401,9 +395,8 @@ mod tests {
     #[test]
     fn broadcast_respects_include_filter() {
         let meter = BandwidthMeter::new();
-        let mut links: Vec<Box<dyn Link>> = (0..4)
-            .map(|_| Box::new(LocalLink::new(echo_service(), meter.clone())) as _)
-            .collect();
+        let mut links: Vec<Box<dyn Link>> =
+            (0..4).map(|_| Box::new(LocalLink::new(echo_service(), meter.clone())) as _).collect();
         let replies = broadcast(&mut links, |i| i != 2, &Message::RequestNext);
         let indices: Vec<usize> = replies.iter().map(|(i, _)| *i).collect();
         assert_eq!(indices, vec![0, 1, 3]);

@@ -1,0 +1,457 @@
+//! Protocol observability for DSUD / e-DSUD runs.
+//!
+//! The paper evaluates its algorithms along two axes: *bandwidth* (tuples
+//! transmitted over the network, Section 3.2) and *progressiveness* (when
+//! each skyline answer is reported, Section 7.5). This crate makes those
+//! measures — plus the index-level work the paper's Section 6 cost model
+//! talks about — observable on every run without changing any algorithm:
+//!
+//! * [`Recorder`] — a cheaply-cloneable handle threaded through the
+//!   coordinator, the sites, the network meter, and the PR-tree. The
+//!   default ([`Recorder::disabled`]) is a no-op whose every operation is
+//!   one `Option` branch, so instrumented hot paths cost nothing when
+//!   observability is off.
+//! * [`Counter`] — the typed counters of the paper's cost model: tuples
+//!   shipped, messages, bytes, feedback broadcasts, PR-tree nodes visited
+//!   and subtrees pruned, candidates expunged, and so on.
+//! * Hierarchical spans (`query → round → site-phase`) with wall-clock
+//!   timing, recorded via [`Recorder::span`] RAII guards.
+//! * [`RunReport`] — a schema-versioned, serde-serializable summary (one
+//!   JSON file per run) assembled by [`Recorder::report`]; the `dsud` CLI
+//!   (`--report`) and the bench harness (`BENCH_*.json`) both emit it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+/// Version of the [`RunReport`] JSON schema. Bump on any breaking change
+/// to the report layout so downstream tooling can dispatch on it.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Typed counters of the paper's cost model.
+///
+/// Traffic counters ([`Counter::BytesSent`], [`Counter::Messages`],
+/// [`Counter::TuplesShipped`]) are fed by the network meter; coordinator
+/// counters ([`Counter::Rounds`], [`Counter::FeedbackBroadcasts`],
+/// [`Counter::Expunged`], [`Counter::PrunedAtSites`],
+/// [`Counter::ProgressiveResults`]) by the DSUD / e-DSUD server loops;
+/// index counters ([`Counter::PrTreeNodesVisited`],
+/// [`Counter::PrTreePrunedSubtrees`], [`Counter::LocalSkylineSize`]) by
+/// the PR-tree BBS traversals at the sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Counter {
+    /// Wire-encoded bytes crossing the (simulated) network.
+    BytesSent,
+    /// Messages crossing the network (requests and responses).
+    Messages,
+    /// Tuple payloads transmitted — the paper's bandwidth unit
+    /// (uploads + feedback + maintenance; control traffic carries none).
+    TuplesShipped,
+    /// Candidate broadcasts issued by the server (one per Server-Delivery
+    /// phase, regardless of the number of receiving sites).
+    FeedbackBroadcasts,
+    /// Coordinator rounds (one queue-head selection each).
+    Rounds,
+    /// Candidates expunged by the e-DSUD bound without any broadcast.
+    Expunged,
+    /// Local-skyline candidates pruned at the sites by feedback
+    /// (the Local-Pruning phase, Section 5.1).
+    PrunedAtSites,
+    /// PR-tree nodes expanded by BBS local-skyline traversals.
+    PrTreeNodesVisited,
+    /// PR-tree subtrees pruned by the BBS probability bound.
+    PrTreePrunedSubtrees,
+    /// Total size of the threshold-qualified local skylines `SKY(D_i)`.
+    LocalSkylineSize,
+    /// Skyline answers reported progressively to the user.
+    ProgressiveResults,
+}
+
+const COUNTER_COUNT: usize = 11;
+
+impl Counter {
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// One timed span of the `query → round → site-phase` hierarchy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Span label, e.g. `"query:dsud"`, `"round"`, `"server-delivery"`.
+    pub name: String,
+    /// Index (into [`RunReport::spans`]) of the enclosing span, if any.
+    pub parent: Option<usize>,
+    /// Microseconds from recorder creation to span start.
+    pub start_us: u64,
+    /// Microseconds from recorder creation to span end; `None` if the
+    /// span was still open when the report was taken.
+    pub end_us: Option<u64>,
+}
+
+/// One progressively-reported skyline answer, timestamped.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProgressSample {
+    /// Home site of the reported tuple.
+    pub site: u32,
+    /// Sequence number of the reported tuple within its home site.
+    pub seq: u64,
+    /// Exact global skyline probability of the answer.
+    pub probability: f64,
+    /// Tuples transmitted over the network up to this report.
+    pub tuples_transmitted: u64,
+    /// Microseconds from recorder creation to the report.
+    pub at_us: u64,
+}
+
+/// Final values of every [`Counter`], with stable JSON field names.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Final value of [`Counter::BytesSent`].
+    pub bytes_sent: u64,
+    /// Final value of [`Counter::Messages`].
+    pub messages: u64,
+    /// Final value of [`Counter::TuplesShipped`].
+    pub tuples_shipped: u64,
+    /// Final value of [`Counter::FeedbackBroadcasts`].
+    pub feedback_broadcasts: u64,
+    /// Final value of [`Counter::Rounds`].
+    pub rounds: u64,
+    /// Final value of [`Counter::Expunged`].
+    pub expunged: u64,
+    /// Final value of [`Counter::PrunedAtSites`].
+    pub pruned_at_sites: u64,
+    /// Final value of [`Counter::PrTreeNodesVisited`].
+    pub prtree_nodes_visited: u64,
+    /// Final value of [`Counter::PrTreePrunedSubtrees`].
+    pub prtree_pruned_subtrees: u64,
+    /// Final value of [`Counter::LocalSkylineSize`].
+    pub local_skyline_size: u64,
+    /// Final value of [`Counter::ProgressiveResults`].
+    pub progressive_results: u64,
+}
+
+impl CounterSnapshot {
+    fn from_array(c: &[u64; COUNTER_COUNT]) -> Self {
+        CounterSnapshot {
+            bytes_sent: c[Counter::BytesSent.index()],
+            messages: c[Counter::Messages.index()],
+            tuples_shipped: c[Counter::TuplesShipped.index()],
+            feedback_broadcasts: c[Counter::FeedbackBroadcasts.index()],
+            rounds: c[Counter::Rounds.index()],
+            expunged: c[Counter::Expunged.index()],
+            pruned_at_sites: c[Counter::PrunedAtSites.index()],
+            prtree_nodes_visited: c[Counter::PrTreeNodesVisited.index()],
+            prtree_pruned_subtrees: c[Counter::PrTreePrunedSubtrees.index()],
+            local_skyline_size: c[Counter::LocalSkylineSize.index()],
+            progressive_results: c[Counter::ProgressiveResults.index()],
+        }
+    }
+
+    /// The final value of one counter.
+    pub fn get(&self, counter: Counter) -> u64 {
+        match counter {
+            Counter::BytesSent => self.bytes_sent,
+            Counter::Messages => self.messages,
+            Counter::TuplesShipped => self.tuples_shipped,
+            Counter::FeedbackBroadcasts => self.feedback_broadcasts,
+            Counter::Rounds => self.rounds,
+            Counter::Expunged => self.expunged,
+            Counter::PrunedAtSites => self.pruned_at_sites,
+            Counter::PrTreeNodesVisited => self.prtree_nodes_visited,
+            Counter::PrTreePrunedSubtrees => self.prtree_pruned_subtrees,
+            Counter::LocalSkylineSize => self.local_skyline_size,
+            Counter::ProgressiveResults => self.progressive_results,
+        }
+    }
+}
+
+/// Schema-versioned summary of one instrumented run, serialized to one
+/// JSON file per run by the CLI (`--report`) and the bench harness.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Layout version of this report ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Which algorithm produced the run (`"dsud"`, `"edsud"`, ...).
+    pub algorithm: String,
+    /// Wall-clock milliseconds from recorder creation to report time.
+    pub wall_ms: f64,
+    /// Final counter values.
+    pub counters: CounterSnapshot,
+    /// Every recorded span, in start order. `parent` indices point into
+    /// this same vector, encoding the `query → round → site-phase` tree.
+    pub spans: Vec<SpanRecord>,
+    /// Progressive answer trace, in report order (timestamps are
+    /// monotonically non-decreasing).
+    pub progressive: Vec<ProgressSample>,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    counters: [u64; COUNTER_COUNT],
+    spans: Vec<SpanRecord>,
+    /// Stack of indices into `spans` for the currently-open spans; the top
+    /// is the parent of the next span started.
+    open: Vec<usize>,
+    progressive: Vec<ProgressSample>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    started: Instant,
+    state: Mutex<State>,
+}
+
+impl Inner {
+    fn elapsed_us(&self) -> u64 {
+        self.started.elapsed().as_micros() as u64
+    }
+
+    fn state(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Shared handle onto one run's observations.
+///
+/// Cloning is cheap and produces a handle onto the same state, so the same
+/// recorder can be threaded through the coordinator, the network meter,
+/// and every site's PR-tree. The disabled recorder (the [`Default`]) holds
+/// no state at all: every operation short-circuits on one `Option` branch.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Recorder {
+    /// A recorder that observes nothing, at near-zero cost.
+    pub fn disabled() -> Self {
+        Recorder::default()
+    }
+
+    /// A live recorder; its clock starts now.
+    pub fn enabled() -> Self {
+        Recorder {
+            inner: Some(Arc::new(Inner {
+                started: Instant::now(),
+                state: Mutex::new(State::default()),
+            })),
+        }
+    }
+
+    /// Whether observations are being collected.
+    ///
+    /// Use this to skip *preparing* expensive observations (e.g. summing a
+    /// batch before [`Recorder::add`]); the recording calls themselves are
+    /// already no-ops when disabled.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Adds `n` to a counter.
+    pub fn add(&self, counter: Counter, n: u64) {
+        if let Some(inner) = &self.inner {
+            inner.state().counters[counter.index()] += n;
+        }
+    }
+
+    /// Adds 1 to a counter.
+    pub fn incr(&self, counter: Counter) {
+        self.add(counter, 1);
+    }
+
+    /// Current value of a counter (0 when disabled).
+    pub fn counter(&self, counter: Counter) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.state().counters[counter.index()],
+            None => 0,
+        }
+    }
+
+    /// Opens a timed span; it closes when the returned guard drops. Spans
+    /// opened while another is open become its children, yielding the
+    /// `query → round → site-phase` hierarchy in [`RunReport::spans`].
+    pub fn span(&self, name: &str) -> SpanGuard {
+        let index = self.inner.as_ref().map(|inner| {
+            let at = inner.elapsed_us();
+            let mut state = inner.state();
+            let index = state.spans.len();
+            let parent = state.open.last().copied();
+            state.spans.push(SpanRecord {
+                name: name.to_string(),
+                parent,
+                start_us: at,
+                end_us: None,
+            });
+            state.open.push(index);
+            index
+        });
+        SpanGuard { recorder: self.clone(), index }
+    }
+
+    /// Records one progressively-reported skyline answer (and bumps
+    /// [`Counter::ProgressiveResults`]).
+    pub fn progressive(&self, site: u32, seq: u64, probability: f64, tuples_transmitted: u64) {
+        if let Some(inner) = &self.inner {
+            let at_us = inner.elapsed_us();
+            let mut state = inner.state();
+            state.counters[Counter::ProgressiveResults.index()] += 1;
+            state.progressive.push(ProgressSample {
+                site,
+                seq,
+                probability,
+                tuples_transmitted,
+                at_us,
+            });
+        }
+    }
+
+    /// Assembles the run report; `None` when the recorder is disabled.
+    ///
+    /// Taking a report does not consume the recorder: it snapshots the
+    /// current state, so mid-run reports are valid (open spans simply have
+    /// `end_us: None`).
+    pub fn report(&self, algorithm: &str) -> Option<RunReport> {
+        let inner = self.inner.as_ref()?;
+        let wall_ms = inner.started.elapsed().as_secs_f64() * 1e3;
+        let state = inner.state();
+        Some(RunReport {
+            schema_version: SCHEMA_VERSION,
+            algorithm: algorithm.to_string(),
+            wall_ms,
+            counters: CounterSnapshot::from_array(&state.counters),
+            spans: state.spans.clone(),
+            progressive: state.progressive.clone(),
+        })
+    }
+}
+
+/// RAII guard closing a span opened by [`Recorder::span`].
+#[derive(Debug)]
+pub struct SpanGuard {
+    recorder: Recorder,
+    index: Option<usize>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let (Some(inner), Some(index)) = (&self.recorder.inner, self.index) else {
+            return;
+        };
+        let at = inner.elapsed_us();
+        let mut state = inner.state();
+        state.spans[index].end_us = Some(at);
+        // Usually the top of the open stack; guards dropped out of order
+        // (e.g. a span held across an early return) are still removed.
+        if let Some(pos) = state.open.iter().rposition(|&i| i == index) {
+            state.open.remove(pos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_observes_nothing() {
+        let rec = Recorder::disabled();
+        assert!(!rec.is_enabled());
+        rec.incr(Counter::Rounds);
+        rec.add(Counter::BytesSent, 100);
+        rec.progressive(0, 1, 0.5, 10);
+        let _span = rec.span("query");
+        assert_eq!(rec.counter(Counter::Rounds), 0);
+        assert!(rec.report("dsud").is_none());
+    }
+
+    #[test]
+    fn counters_accumulate_across_clones() {
+        let rec = Recorder::enabled();
+        let clone = rec.clone();
+        rec.incr(Counter::Rounds);
+        clone.add(Counter::Rounds, 2);
+        clone.add(Counter::BytesSent, 42);
+        assert_eq!(rec.counter(Counter::Rounds), 3);
+        assert_eq!(rec.counter(Counter::BytesSent), 42);
+        let report = rec.report("dsud").unwrap();
+        assert_eq!(report.counters.rounds, 3);
+        assert_eq!(report.counters.get(Counter::BytesSent), 42);
+    }
+
+    #[test]
+    fn spans_nest_by_parent_index() {
+        let rec = Recorder::enabled();
+        {
+            let _query = rec.span("query:dsud");
+            for _ in 0..2 {
+                let _round = rec.span("round");
+                let _phase = rec.span("server-delivery");
+            }
+        }
+        let report = rec.report("dsud").unwrap();
+        assert_eq!(report.spans.len(), 5);
+        assert_eq!(report.spans[0].parent, None);
+        assert_eq!(report.spans[1].parent, Some(0)); // round 1 under query
+        assert_eq!(report.spans[2].parent, Some(1)); // phase under round 1
+        assert_eq!(report.spans[3].parent, Some(0)); // round 2 under query
+        assert_eq!(report.spans[4].parent, Some(3));
+        for span in &report.spans {
+            let end = span.end_us.expect("all spans closed");
+            assert!(end >= span.start_us);
+        }
+    }
+
+    #[test]
+    fn open_spans_survive_mid_run_reports() {
+        let rec = Recorder::enabled();
+        let _query = rec.span("query:edsud");
+        let report = rec.report("edsud").unwrap();
+        assert_eq!(report.spans.len(), 1);
+        assert_eq!(report.spans[0].end_us, None);
+    }
+
+    #[test]
+    fn progressive_samples_are_timestamped_in_order() {
+        let rec = Recorder::enabled();
+        rec.progressive(0, 1, 0.9, 10);
+        rec.progressive(1, 4, 0.7, 25);
+        rec.progressive(2, 2, 0.5, 31);
+        let report = rec.report("dsud").unwrap();
+        assert_eq!(report.counters.progressive_results, 3);
+        assert_eq!(report.progressive.len(), 3);
+        for pair in report.progressive.windows(2) {
+            assert!(pair[0].at_us <= pair[1].at_us);
+            assert!(pair[0].tuples_transmitted <= pair[1].tuples_transmitted);
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let rec = Recorder::enabled();
+        {
+            let _query = rec.span("query:dsud");
+            let _round = rec.span("round");
+            rec.incr(Counter::Rounds);
+            rec.add(Counter::BytesSent, 1234);
+            rec.progressive(3, 7, 0.625, 19);
+        }
+        let report = rec.report("dsud").unwrap();
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn schema_version_is_stamped_into_the_json() {
+        let report = Recorder::enabled().report("edsud").unwrap();
+        assert_eq!(report.schema_version, SCHEMA_VERSION);
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"schema_version\""));
+        assert!(json.contains("\"algorithm\""));
+    }
+}

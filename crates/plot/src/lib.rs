@@ -87,8 +87,7 @@ impl CategoryChart {
     where
         I: IntoIterator<Item = f64>,
     {
-        let points =
-            values.into_iter().enumerate().map(|(i, y)| (i as f64, y)).collect();
+        let points = values.into_iter().enumerate().map(|(i, y)| (i as f64, y)).collect();
         self.series.push(Series { label: label.into(), points });
         self
     }
@@ -96,12 +95,8 @@ impl CategoryChart {
     /// Renders the chart.
     pub fn to_svg(&self) -> String {
         let x_max = (self.ticks.len().max(1) - 1) as f64;
-        let tick_positions: Vec<(f64, String)> = self
-            .ticks
-            .iter()
-            .enumerate()
-            .map(|(i, t)| (i as f64, t.clone()))
-            .collect();
+        let tick_positions: Vec<(f64, String)> =
+            self.ticks.iter().enumerate().map(|(i, t)| (i as f64, t.clone())).collect();
         render(
             &self.title,
             &self.x_label,
@@ -149,10 +144,8 @@ impl XyChart {
     /// Renders the chart.
     pub fn to_svg(&self) -> String {
         let (lo, hi) = x_range(&self.series);
-        let ticks: Vec<(f64, String)> = nice_ticks(lo, hi)
-            .into_iter()
-            .map(|v| (v, format_tick(v)))
-            .collect();
+        let ticks: Vec<(f64, String)> =
+            nice_ticks(lo, hi).into_iter().map(|v| (v, format_tick(v))).collect();
         render(&self.title, &self.x_label, &self.y_label, &self.series, (lo, hi), &ticks)
     }
 }
@@ -238,11 +231,7 @@ fn render(
     let ys = series.iter().flat_map(|s| s.points.iter().map(|&(_, y)| y));
     let y_hi = ys.clone().fold(f64::NEG_INFINITY, f64::max);
     let y_lo = ys.fold(f64::INFINITY, f64::min).min(0.0);
-    let (y_lo, y_hi) = if y_hi.is_finite() && y_hi > y_lo {
-        (y_lo, y_hi)
-    } else {
-        (0.0, 1.0)
-    };
+    let (y_lo, y_hi) = if y_hi.is_finite() && y_hi > y_lo { (y_lo, y_hi) } else { (0.0, 1.0) };
     let y_ticks = nice_ticks(y_lo, y_hi);
     let y_top = y_ticks.last().copied().unwrap_or(y_hi).max(y_hi);
 
@@ -316,11 +305,8 @@ fn render(
         );
     }
     // Axes.
-    let _ = write!(
-        svg,
-        r#"<line x1="{ml}" y1="{mt}" x2="{ml}" y2="{}" stroke="black"/>"#,
-        mt + plot_h
-    );
+    let _ =
+        write!(svg, r#"<line x1="{ml}" y1="{mt}" x2="{ml}" y2="{}" stroke="black"/>"#, mt + plot_h);
     let _ = write!(
         svg,
         r#"<line x1="{ml}" y1="{}" x2="{}" y2="{}" stroke="black"/>"#,

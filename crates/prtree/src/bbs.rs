@@ -21,6 +21,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use dsud_obs::Counter;
 use dsud_uncertain::{SkylineEntry, SubspaceMask};
 
 use crate::node::NodeBody;
@@ -88,13 +89,13 @@ pub fn local_skyline(
     };
 
     let mut heap: BinaryHeap<Reverse<(MinDist, usize)>> = BinaryHeap::new();
-    let root_mindist = tree
-        .summary()
-        .map(|s| s.mbr.mindist(mask))
-        .unwrap_or(0.0);
+    let root_mindist = tree.summary().map(|s| s.mbr.mindist(mask)).unwrap_or(0.0);
     heap.push(Reverse((MinDist(root_mindist), root)));
 
+    let mut visited = 0u64;
+    let mut pruned = 0u64;
     while let Some(Reverse((_, idx))) = heap.pop() {
+        visited += 1;
         match &tree.node(idx).body {
             NodeBody::Leaf(tuples) => {
                 for t in tuples {
@@ -109,10 +110,19 @@ pub fn local_skyline(
                     let bound = s.p_max * tree.survival_product(s.mbr.lower(), mask);
                     if bound >= q {
                         heap.push(Reverse((MinDist(s.mbr.mindist(mask)), *child)));
+                    } else {
+                        pruned += 1;
                     }
                 }
             }
         }
+    }
+
+    let rec = tree.recorder();
+    if rec.is_enabled() {
+        rec.add(Counter::PrTreeNodesVisited, visited);
+        rec.add(Counter::PrTreePrunedSubtrees, pruned);
+        rec.add(Counter::LocalSkylineSize, out.len() as u64);
     }
 
     out.sort_by(|a, b| {
@@ -152,7 +162,10 @@ pub fn local_skyline_in_region(
         return Ok(out);
     };
     let mut stack = vec![root];
+    let mut visited = 0u64;
+    let mut pruned = 0u64;
     while let Some(idx) = stack.pop() {
+        visited += 1;
         match &tree.node(idx).body {
             NodeBody::Leaf(tuples) => {
                 for t in tuples {
@@ -173,10 +186,17 @@ pub fn local_skyline_in_region(
                     let bound = s.p_max * tree.survival_product(s.mbr.lower(), mask);
                     if bound >= q {
                         stack.push(*child);
+                    } else {
+                        pruned += 1;
                     }
                 }
             }
         }
+    }
+    let rec = tree.recorder();
+    if rec.is_enabled() {
+        rec.add(Counter::PrTreeNodesVisited, visited);
+        rec.add(Counter::PrTreePrunedSubtrees, pruned);
     }
     out.sort_by(|a, b| {
         b.probability
@@ -269,10 +289,7 @@ mod tests {
         let tree = PrTree::new(2).unwrap();
         assert!(matches!(local_skyline(&tree, 0.0, full(2)), Err(Error::InvalidThreshold(_))));
         assert!(matches!(local_skyline(&tree, 1.1, full(2)), Err(Error::InvalidThreshold(_))));
-        assert!(matches!(
-            local_skyline(&tree, f64::NAN, full(2)),
-            Err(Error::InvalidThreshold(_))
-        ));
+        assert!(matches!(local_skyline(&tree, f64::NAN, full(2)), Err(Error::InvalidThreshold(_))));
     }
 
     #[test]
@@ -332,6 +349,20 @@ mod tests {
     fn region_query_rejects_bad_threshold() {
         let tree = PrTree::new(2).unwrap();
         assert!(local_skyline_in_region(&tree, 0.0, full(2), &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn traversal_counters_reach_the_recorder() {
+        use dsud_obs::Recorder;
+        let mut tree = PrTree::bulk_load(2, random_tuples(200, 2, 99)).unwrap();
+        let rec = Recorder::enabled();
+        tree.set_recorder(rec.clone());
+        let sky = local_skyline(&tree, 0.3, full(2)).unwrap();
+        assert!(rec.counter(Counter::PrTreeNodesVisited) >= 1);
+        assert_eq!(rec.counter(Counter::LocalSkylineSize), sky.len() as u64);
+        // The region variant counts traversal work but not skyline size.
+        local_skyline_in_region(&tree, 0.3, full(2), &[-1.0, -1.0]).unwrap();
+        assert_eq!(rec.counter(Counter::LocalSkylineSize), sky.len() as u64);
     }
 
     #[test]

@@ -1,3 +1,6 @@
+//! Error type of the PR-tree index: construction parameter faults,
+//! dimension mismatches, duplicate tuple ids, and invalid query thresholds.
+
 use std::fmt;
 
 /// Errors produced by PR-tree construction and queries.

@@ -1,3 +1,8 @@
+//! Minimum bounding rectangles — the spatial keys of PR-tree entries —
+//! extended with the dominance-window predicates (fully-dominated /
+//! may-contain-dominator) that drive skyline pruning during BBS traversal
+//! (Section 6.2).
+
 use serde::{Deserialize, Serialize};
 
 use dsud_uncertain::SubspaceMask;

@@ -1,3 +1,8 @@
+//! PR-tree nodes and their aggregate [`Summary`] annotations: the paper's
+//! `P1`/`P2` min/max probabilities per subtree (Section 6.1, Fig. 5) plus
+//! our survival-product extension `∏ (1 − P(t))` that lets dominator-window
+//! queries stop at whole subtrees.
+
 use serde::{Deserialize, Serialize};
 
 use dsud_uncertain::UncertainTuple;
@@ -155,10 +160,7 @@ mod tests {
 
     #[test]
     fn node_summary_covers_all_tuples() {
-        let n = Node::leaf(vec![
-            tuple(0, vec![0.0, 9.0], 0.5),
-            tuple(1, vec![5.0, 1.0], 0.9),
-        ]);
+        let n = Node::leaf(vec![tuple(0, vec![0.0, 9.0], 0.5), tuple(1, vec![5.0, 1.0], 0.9)]);
         let s = n.summary().unwrap();
         assert_eq!(s.mbr.lower(), &[0.0, 1.0]);
         assert_eq!(s.mbr.upper(), &[5.0, 9.0]);

@@ -1,3 +1,14 @@
+//! The PR-tree proper (paper Section 6.1, Fig. 5).
+//!
+//! An arena-allocated R-tree whose entries carry probability summaries
+//! (`P1`/`P2` plus the subtree survival product). Construction is either
+//! STR bulk loading or incremental insert/delete with quadratic splits —
+//! the latter is what the Section 5.4 update maintenance relies on. Query
+//! procedures: [`PrTree::survival_product`] (the dominator-window product
+//! of Section 6.3, Fig. 6), [`PrTree::dominators`], and range scans; the
+//! BBS local-skyline traversal lives in [`crate::bbs`].
+
+use dsud_obs::Recorder;
 use dsud_uncertain::{dominates_in, SubspaceMask, TupleId, UncertainTuple};
 
 use crate::node::{Node, NodeBody};
@@ -25,6 +36,7 @@ pub struct PrTree {
     free: Vec<usize>,
     root: Option<usize>,
     len: usize,
+    recorder: Recorder,
 }
 
 impl PrTree {
@@ -51,7 +63,15 @@ impl PrTree {
         if max_entries < 2 {
             return Err(Error::InvalidCapacity(max_entries));
         }
-        Ok(PrTree { dims, max_entries, nodes: Vec::new(), free: Vec::new(), root: None, len: 0 })
+        Ok(PrTree {
+            dims,
+            max_entries,
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: None,
+            len: 0,
+            recorder: Recorder::default(),
+        })
     }
 
     /// Bulk loads a tree from tuples using Sort-Tile-Recursive packing.
@@ -109,6 +129,18 @@ impl PrTree {
         Ok(tree)
     }
 
+    /// Attaches an observability recorder: BBS traversals over this tree
+    /// will count visited nodes, pruned subtrees, and local-skyline sizes
+    /// against it. The default recorder is disabled (no-op).
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
+    /// The recorder attached to this tree (disabled by default).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
     /// Dimensionality of the indexed space.
     pub fn dims(&self) -> usize {
         self.dims
@@ -151,8 +183,7 @@ impl PrTree {
             Some(root) => {
                 if let Some((split_idx, split_summary)) = self.insert_rec(root, tuple) {
                     // Root split: grow the tree by one level.
-                    let old_summary =
-                        self.node(root).summary().expect("split roots are non-empty");
+                    let old_summary = self.node(root).summary().expect("split roots are non-empty");
                     let new_root =
                         Node::internal(vec![(root, old_summary), (split_idx, split_summary)]);
                     let idx = self.alloc(new_root);
@@ -371,9 +402,7 @@ impl PrTree {
             // Refresh the chosen child's summary.
             let child_summary = self.node(child_idx).summary().expect("child is non-empty");
             let max = self.max_entries;
-            let NodeBody::Internal(children) = &mut self.node_mut(idx).body else {
-                unreachable!()
-            };
+            let NodeBody::Internal(children) = &mut self.node_mut(idx).body else { unreachable!() };
             children[chosen].1 = child_summary;
             if let Some(entry) = split {
                 children.push(entry);
@@ -391,9 +420,7 @@ impl PrTree {
                 ca.partial_cmp(&cb).expect("finite values")
             });
             let right = moved.split_off(moved.len() / 2);
-            let NodeBody::Internal(children) = &mut self.node_mut(idx).body else {
-                unreachable!()
-            };
+            let NodeBody::Internal(children) = &mut self.node_mut(idx).body else { unreachable!() };
             *children = moved;
             let right_node = Node::internal(right);
             let right_summary = right_node.summary().expect("split halves are non-empty");
@@ -486,9 +513,7 @@ impl PrTree {
     ) {
         match &self.node(idx).body {
             NodeBody::Leaf(tuples) => {
-                out.extend(
-                    tuples.iter().filter(|t| dominates_in(t.values(), point, mask)),
-                );
+                out.extend(tuples.iter().filter(|t| dominates_in(t.values(), point, mask)));
             }
             NodeBody::Internal(children) => {
                 for (child, s) in children {
@@ -604,10 +629,7 @@ fn str_tiles(
     }
     items.sort_by(|a, b| a.values()[dim].partial_cmp(&b.values()[dim]).expect("finite values"));
     if dim + 1 == dims {
-        return items
-            .chunks(cap)
-            .map(|c| c.to_vec())
-            .collect();
+        return items.chunks(cap).map(|c| c.to_vec()).collect();
     }
     let n_groups = items.len().div_ceil(cap);
     let remaining = (dims - dim) as f64;
@@ -708,10 +730,7 @@ mod tests {
             for probe in random_tuples(50, dims, 99) {
                 let expected = db.survival_product(probe.values());
                 let got = tree.survival_product(probe.values(), mask);
-                assert!(
-                    (expected - got).abs() < 1e-9,
-                    "dims {dims}: {expected} vs {got}"
-                );
+                assert!((expected - got).abs() < 1e-9, "dims {dims}: {expected} vs {got}");
             }
         }
     }
@@ -861,11 +880,8 @@ mod tests {
         let probe = [500.0, 500.0];
         let mut got: Vec<u64> = tree.dominators(&probe, mask).iter().map(|t| t.id().seq).collect();
         got.sort_unstable();
-        let mut expected: Vec<u64> = tuples
-            .iter()
-            .filter(|t| dominates(t.values(), &probe))
-            .map(|t| t.id().seq)
-            .collect();
+        let mut expected: Vec<u64> =
+            tuples.iter().filter(|t| dominates(t.values(), &probe)).map(|t| t.id().seq).collect();
         expected.sort_unstable();
         assert_eq!(got, expected);
     }

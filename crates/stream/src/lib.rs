@@ -273,10 +273,9 @@ impl SlidingSkyline {
             .candidates
             .iter()
             .filter_map(|c| {
-                let p = c.tuple.prob().get()
-                    * self.tree.survival_product(c.tuple.values(), self.mask);
-                (p >= self.q)
-                    .then(|| SkylineEntry { tuple: c.tuple.clone(), probability: p })
+                let p =
+                    c.tuple.prob().get() * self.tree.survival_product(c.tuple.values(), self.mask);
+                (p >= self.q).then(|| SkylineEntry { tuple: c.tuple.clone(), probability: p })
             })
             .collect();
         out.sort_by(|a, b| {
@@ -305,11 +304,8 @@ mod tests {
 
     /// Naive recomputation over the current window contents.
     fn reference(sky: &SlidingSkyline) -> Vec<(TupleId, f64)> {
-        let db = UncertainDb::from_tuples(
-            2,
-            sky.window_contents().cloned().collect::<Vec<_>>(),
-        )
-        .unwrap();
+        let db = UncertainDb::from_tuples(2, sky.window_contents().cloned().collect::<Vec<_>>())
+            .unwrap();
         let mut out: Vec<(TupleId, f64)> =
             probabilistic_skyline(&db, 0.3, SubspaceMask::full(2).unwrap())
                 .unwrap()
@@ -412,15 +408,9 @@ mod tests {
     #[test]
     fn rejects_invalid_construction_and_pushes() {
         assert_eq!(SlidingSkyline::new(2, 0, 0.3).unwrap_err(), Error::EmptyWindow);
-        assert!(matches!(
-            SlidingSkyline::new(2, 10, 0.0),
-            Err(Error::InvalidThreshold(_))
-        ));
+        assert!(matches!(SlidingSkyline::new(2, 10, 0.0), Err(Error::InvalidThreshold(_))));
         let mut sky = SlidingSkyline::new(2, 10, 0.3).unwrap();
-        assert!(matches!(
-            sky.push(tuple(0, vec![1.0], 0.5)),
-            Err(Error::DimensionMismatch { .. })
-        ));
+        assert!(matches!(sky.push(tuple(0, vec![1.0], 0.5)), Err(Error::DimensionMismatch { .. })));
         sky.push(tuple(0, vec![1.0, 1.0], 0.5)).unwrap();
         assert_eq!(
             sky.push(tuple(0, vec![2.0, 2.0], 0.5)),

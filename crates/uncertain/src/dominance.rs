@@ -166,12 +166,8 @@ mod tests {
     #[test]
     fn relation_matches_dominates() {
         let full = SubspaceMask::full(3).unwrap();
-        let pts = [
-            vec![1.0, 2.0, 3.0],
-            vec![1.0, 2.0, 2.0],
-            vec![3.0, 1.0, 1.0],
-            vec![1.0, 2.0, 3.0],
-        ];
+        let pts =
+            [vec![1.0, 2.0, 3.0], vec![1.0, 2.0, 2.0], vec![3.0, 1.0, 1.0], vec![1.0, 2.0, 3.0]];
         for a in &pts {
             for b in &pts {
                 let rel = relation(a, b, full);

@@ -94,9 +94,10 @@ pub fn probabilistic_skyline(
 pub fn certain_skyline(points: &[Vec<f64>], mask: SubspaceMask) -> Vec<usize> {
     (0..points.len())
         .filter(|&i| {
-            points.iter().enumerate().all(|(j, other)| {
-                j == i || !dominance::dominates_in(other, &points[i], mask)
-            })
+            points
+                .iter()
+                .enumerate()
+                .all(|(j, other)| j == i || !dominance::dominates_in(other, &points[i], mask))
         })
         .collect()
 }

@@ -185,10 +185,7 @@ mod tests {
     fn validate_for_rejects_out_of_space() {
         let m = SubspaceMask::from_dims(&[0, 4]).unwrap();
         assert!(m.validate_for(5).is_ok());
-        assert_eq!(
-            m.validate_for(3),
-            Err(Error::InvalidSubspace { dims: 3, selected: 4 })
-        );
+        assert_eq!(m.validate_for(3), Err(Error::InvalidSubspace { dims: 3, selected: 4 }));
     }
 
     #[test]

@@ -282,8 +282,8 @@ mod tests {
 
     #[test]
     fn rejects_oversized_databases() {
-        let tuples = (0..(MAX_ENUMERABLE as u64 + 1))
-            .map(|i| tuple(i, vec![i as f64, i as f64], 0.5));
+        let tuples =
+            (0..(MAX_ENUMERABLE as u64 + 1)).map(|i| tuple(i, vec![i as f64, i as f64], 0.5));
         let db = UncertainDb::from_tuples(2, tuples).unwrap();
         assert!(matches!(enumerate(&db), Err(Error::TooManyWorlds(_))));
     }

@@ -11,14 +11,9 @@ use dsud_uncertain::{
 };
 
 fn arb_tuple(dims: usize, seq: u64) -> impl Strategy<Value = UncertainTuple> {
-    (
-        prop::collection::vec(0.0f64..100.0, dims),
-        0.01f64..=1.0,
-    )
-        .prop_map(move |(values, p)| {
-            UncertainTuple::new(TupleId::new(0, seq), values, Probability::new(p).unwrap())
-                .unwrap()
-        })
+    (prop::collection::vec(0.0f64..100.0, dims), 0.01f64..=1.0).prop_map(move |(values, p)| {
+        UncertainTuple::new(TupleId::new(0, seq), values, Probability::new(p).unwrap()).unwrap()
+    })
 }
 
 fn arb_db(dims: usize, max_n: usize) -> impl Strategy<Value = UncertainDb> {
@@ -29,12 +24,8 @@ fn arb_db(dims: usize, max_n: usize) -> impl Strategy<Value = UncertainDb> {
         })
         .prop_map(move |(points, probs)| {
             let tuples = points.into_iter().zip(probs).enumerate().map(|(i, (values, p))| {
-                UncertainTuple::new(
-                    TupleId::new(0, i as u64),
-                    values,
-                    Probability::new(p).unwrap(),
-                )
-                .unwrap()
+                UncertainTuple::new(TupleId::new(0, i as u64), values, Probability::new(p).unwrap())
+                    .unwrap()
             });
             UncertainDb::from_tuples(dims, tuples.collect::<Vec<_>>()).unwrap()
         })

@@ -51,7 +51,12 @@ impl ColumnSite {
             a.0.partial_cmp(&b.0).expect("finite values").then_with(|| a.1.cmp(&b.1))
         });
         let by_id = sorted.iter().map(|&(v, id, p)| (id, (v, p))).collect();
-        Ok(ColumnSite { sorted, by_id, cursor: Cell::new(0), stats: Cell::new(AccessStats::default()) })
+        Ok(ColumnSite {
+            sorted,
+            by_id,
+            cursor: Cell::new(0),
+            stats: Cell::new(AccessStats::default()),
+        })
     }
 
     /// Vertically partitions complete tuples into one column per dimension.

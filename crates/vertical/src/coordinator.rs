@@ -126,9 +126,8 @@ impl UtaCoordinator {
             // dominators (an upper bound on the truth) still meets q. Each
             // must be covered — depths strictly past its values — so every
             // dominator is guaranteed resolved.
-            let all_covered = self
-                .candidates(&resolved)
-                .all(|(values, _)| covered(values, columns));
+            let all_covered =
+                self.candidates(&resolved).all(|(values, _)| covered(values, columns));
             if all_covered {
                 break;
             }
@@ -204,9 +203,10 @@ fn below_depths(values: &[f64], depths: &[f64]) -> bool {
 /// Whether sorted access has moved strictly past this tuple on every
 /// dimension (exhausted columns count as past everything).
 fn covered(values: &[f64], columns: &[ColumnSite]) -> bool {
-    columns.iter().zip(values).all(|(column, &v)| {
-        column.is_exhausted() || column.depth().is_some_and(|depth| depth > v)
-    })
+    columns
+        .iter()
+        .zip(values)
+        .all(|(column, &v)| column.is_exhausted() || column.depth().is_some_and(|depth| depth > v))
 }
 
 #[cfg(test)]
@@ -279,8 +279,7 @@ mod tests {
         );
         // And it is still exactly correct.
         let db = UncertainDb::from_tuples(2, tuples).unwrap();
-        let expected =
-            probabilistic_skyline(&db, 0.3, SubspaceMask::full(2).unwrap()).unwrap();
+        let expected = probabilistic_skyline(&db, 0.3, SubspaceMask::full(2).unwrap()).unwrap();
         assert_eq!(outcome.skyline.len(), expected.len());
     }
 

@@ -9,23 +9,20 @@ use dsud_uncertain::{
 use dsud_vertical::{ColumnSite, UtaCoordinator};
 
 fn arb_tuples(dims: usize, max_n: usize) -> impl Strategy<Value = Vec<UncertainTuple>> {
-    prop::collection::vec(
-        (prop::collection::vec(0.0f64..50.0, dims), 0.05f64..=1.0),
-        1..=max_n,
-    )
-    .prop_map(move |rows| {
-        rows.into_iter()
-            .enumerate()
-            .map(|(i, (values, p))| {
-                UncertainTuple::new(
-                    TupleId::new(0, i as u64),
-                    values,
-                    Probability::new(p).unwrap(),
-                )
-                .unwrap()
-            })
-            .collect()
-    })
+    prop::collection::vec((prop::collection::vec(0.0f64..50.0, dims), 0.05f64..=1.0), 1..=max_n)
+        .prop_map(move |rows| {
+            rows.into_iter()
+                .enumerate()
+                .map(|(i, (values, p))| {
+                    UncertainTuple::new(
+                        TupleId::new(0, i as u64),
+                        values,
+                        Probability::new(p).unwrap(),
+                    )
+                    .unwrap()
+                })
+                .collect()
+        })
 }
 
 proptest! {

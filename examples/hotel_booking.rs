@@ -66,9 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for e in outcome.progress.events() {
         println!(
             "  result #{} ({}) after {} transmitted tuples",
-            e.reported,
-            cities[e.id.site.0 as usize],
-            e.tuples_transmitted
+            e.reported, cities[e.id.site.0 as usize], e.tuples_transmitted
         );
     }
 

@@ -40,9 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The operator only cares about latency and error rate this time, and
     // wants just the five best-supported readings.
     println!("\nsubspace query (latency, error) with a top-5 limit:");
-    let config = QueryConfig::new(0.5)?
-        .subspace(SubspaceMask::from_dims(&[0, 2])?)
-        .limit(5);
+    let config = QueryConfig::new(0.5)?.subspace(SubspaceMask::from_dims(&[0, 2])?).limit(5);
     let top5 = cluster.run_edsud(&config)?;
     for entry in &top5.skyline {
         let v = entry.tuple.values();

@@ -48,10 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         dsud.tuples_transmitted(),
         edsud.tuples_transmitted()
     );
-    println!(
-        "broadcasts   {:>12} {:>12}",
-        dsud.stats.broadcasts, edsud.stats.broadcasts
-    );
+    println!("broadcasts   {:>12} {:>12}", dsud.stats.broadcasts, edsud.stats.broadcasts);
     println!("expunged     {:>12} {:>12}", dsud.stats.expunged, edsud.stats.expunged);
 
     println!("\nprogressiveness (tuples transmitted by the k-th reported deal):");

@@ -1,0 +1,221 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the benchmark-declaration surface the workspace's benches use
+//! ([`Criterion::benchmark_group`], [`BenchmarkGroup`] with
+//! `sample_size` / `warm_up_time` / `measurement_time` /
+//! `bench_function` / `bench_with_input`, [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros) with a simple
+//! wall-clock mean instead of criterion's statistical analysis. Timing
+//! numbers are indicative only; the harness exists so `cargo bench`
+//! compiles and runs in a hermetic environment.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Discourages the optimizer from eliding a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark registry entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+            _criterion: self,
+        }
+    }
+}
+
+/// A named benchmark identifier (`function_id/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function_id/parameter`.
+    pub fn new(function_id: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_id.into(), parameter) }
+    }
+}
+
+/// A group of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to record.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the total measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs a benchmark with no input parameter.
+    pub fn bench_function<F>(&mut self, id: impl BenchId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.into_id(), |b| f(b));
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl BenchId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.into_id(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (provided for API compatibility).
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, id: &str, mut body: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+        };
+        body(&mut bencher);
+        let samples = &bencher.samples;
+        if samples.is_empty() {
+            println!("{}/{id:<40} (no samples)", self.name);
+            return;
+        }
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let max = samples.iter().max().copied().unwrap_or_default();
+        println!(
+            "{}/{id:<40} mean {mean:>12.3?}  min {min:>12.3?}  max {max:>12.3?}  ({} samples)",
+            self.name,
+            samples.len()
+        );
+    }
+}
+
+/// Accepts both `&str`/`String` and [`BenchmarkId`] as benchmark names.
+pub trait BenchId {
+    /// Rendered benchmark label.
+    fn into_id(self) -> String;
+}
+
+impl BenchId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl BenchId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl BenchId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for warm-up, then records wall-clock samples until the
+    /// sample count or measurement budget is exhausted.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(f());
+        }
+        let run_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+            if run_start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+/// Declares a benchmark entry function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `fn main` running each [`criterion_group!`].
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(50));
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7, |b, &x| b.iter(|| x * 2));
+        group.finish();
+    }
+}

@@ -1,0 +1,108 @@
+//! Offline stand-in for the `rand_distr` crate.
+//!
+//! Provides [`Normal`] and [`LogNormal`] sampling via the Box–Muller
+//! transform, which is all this workspace's data generators need.
+//! Built for a hermetic environment with no crates.io access.
+
+#![forbid(unsafe_code)]
+
+use rand::{Rng, RngCore};
+
+/// Types that can be sampled given an RNG.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error returned for invalid distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NormalError;
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid normal distribution parameters")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+fn box_muller<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // Standard normal via Box–Muller; u1 is kept away from 0 so ln() is finite.
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Normal (Gaussian) distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates the distribution; errs on non-finite or negative `std_dev`.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if !mean.is_finite() || !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(NormalError);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * box_muller(rng)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// Creates the distribution; errs on non-finite or negative `sigma`.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, NormalError> {
+        Ok(LogNormal { norm: Normal::new(mu, sigma)? })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_roughly_match() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let dist = Normal::new(2.0, 0.5).unwrap();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.02, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn lognormal_positive() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let dist = LogNormal::new(0.0, 1.0).unwrap();
+        assert!((0..1000).all(|_| dist.sample(&mut rng) > 0.0));
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+    }
+}

@@ -1,0 +1,542 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! local `serde` shim's value-tree model (`Serialize::to_value` /
+//! `Deserialize::from_value`) without `syn`/`quote`: the item is parsed by
+//! walking raw [`proc_macro::TokenTree`]s and the impl is emitted as a
+//! string re-parsed into a [`TokenStream`].
+//!
+//! Supported shapes (everything this workspace derives on): named / tuple /
+//! unit structs, enums with unit / newtype / tuple / struct variants
+//! (serde's externally-tagged encoding), single-field tuple structs as
+//! transparent newtypes, the container attribute
+//! `#[serde(try_from = "T", into = "T")]`, and the field attribute
+//! `#[serde(skip)]`. Generic types are rejected at compile time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for the annotated type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` for the annotated type.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    kind: Kind,
+    /// `#[serde(try_from = "T")]` proxy type, if any.
+    try_from: Option<String>,
+    /// `#[serde(into = "T")]` proxy type, if any.
+    into: Option<String>,
+}
+
+enum Kind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(Vec<Field>),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    /// `None` for tuple-struct fields.
+    name: Option<String>,
+    ty: String,
+    skip: bool,
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(Vec<String>),
+    Struct(Vec<Field>),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// One parsed `#[...]` attribute: the path ident plus its argument tokens.
+struct Attr {
+    path: String,
+    args: Vec<TokenTree>,
+}
+
+fn collect_attrs(tokens: &[TokenTree], i: &mut usize) -> Vec<Attr> {
+    let mut attrs = Vec::new();
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *i += 1;
+        let group = match tokens.get(*i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            other => panic!("expected [...] after #, got {other:?}"),
+        };
+        *i += 1;
+        let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+        let path = match inner.first() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => String::new(),
+        };
+        let args = match inner.get(1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                g.stream().into_iter().collect()
+            }
+            _ => Vec::new(),
+        };
+        attrs.push(Attr { path, args });
+    }
+    attrs
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn strip_quotes(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+/// Extracts `try_from` / `into` proxies from `#[serde(...)]` container attrs.
+fn container_serde_attrs(attrs: &[Attr]) -> (Option<String>, Option<String>) {
+    let (mut try_from, mut into) = (None, None);
+    for attr in attrs.iter().filter(|a| a.path == "serde") {
+        let mut j = 0;
+        while j < attr.args.len() {
+            if let TokenTree::Ident(id) = &attr.args[j] {
+                let key = id.to_string();
+                if key == "try_from" || key == "into" {
+                    // pattern: ident '=' literal
+                    if let Some(TokenTree::Literal(lit)) = attr.args.get(j + 2) {
+                        let ty = strip_quotes(&lit.to_string());
+                        if key == "try_from" {
+                            try_from = Some(ty);
+                        } else {
+                            into = Some(ty);
+                        }
+                        j += 3;
+                        continue;
+                    }
+                } else {
+                    panic!("unsupported container #[serde({key} ...)] in shim derive");
+                }
+            }
+            j += 1;
+        }
+    }
+    (try_from, into)
+}
+
+/// Whether the field attrs contain `#[serde(skip)]`.
+fn field_skip(attrs: &[Attr]) -> bool {
+    for attr in attrs.iter().filter(|a| a.path == "serde") {
+        for tok in &attr.args {
+            if let TokenTree::Ident(id) = tok {
+                match id.to_string().as_str() {
+                    "skip" => return true,
+                    other => panic!("unsupported field #[serde({other})] in shim derive"),
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Collects a type as a string: tokens up to a top-level `,`, tracking
+/// angle-bracket depth so commas inside `HashMap<K, V>` don't split.
+fn collect_type(tokens: &[TokenTree], i: &mut usize) -> String {
+    let mut depth = 0i32;
+    let mut out = String::new();
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => break,
+                _ => {}
+            }
+        }
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(&tok.to_string());
+        *i += 1;
+    }
+    out
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attrs = collect_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected field name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        let ty = collect_type(&tokens, &mut i);
+        i += 1; // consume trailing comma if present
+        fields.push(Field { name: Some(name), ty, skip: field_skip(&attrs) });
+    }
+    fields
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attrs = collect_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let ty = collect_type(&tokens, &mut i);
+        i += 1; // consume trailing comma if present
+        fields.push(Field { name: None, ty, skip: field_skip(&attrs) });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Variant attrs (e.g. #[default]) carry no serde meaning here.
+        let _ = collect_attrs(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let tys = parse_tuple_fields(g.stream()).into_iter().map(|f| f.ty).collect();
+                i += 1;
+                VariantKind::Tuple(tys)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                panic!("explicit enum discriminants are not supported by the shim derive")
+            }
+            other => panic!("unexpected token after variant `{name}`: {other:?}"),
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let attrs = collect_attrs(&tokens, &mut i);
+    let (try_from, into) = container_serde_attrs(&attrs);
+    skip_visibility(&tokens, &mut i);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected struct/enum keyword, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("generic types are not supported by the shim serde derive (type `{name}`)");
+        }
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(parse_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("cannot derive serde traits for `{other}` items"),
+    };
+    Item { name, kind, try_from, into }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(proxy) = &item.into {
+        format!(
+            "let proxy: {proxy} = ::std::convert::Into::into(::std::clone::Clone::clone(self));\n\
+             ::serde::Serialize::to_value(&proxy)"
+        )
+    } else {
+        match &item.kind {
+            Kind::NamedStruct(fields) => ser_named_map("self.", fields),
+            Kind::TupleStruct(fields) if fields.len() == 1 => {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            }
+            Kind::TupleStruct(fields) => {
+                let elems: Vec<String> = (0..fields.len())
+                    .map(|idx| format!("::serde::Serialize::to_value(&self.{idx})"))
+                    .collect();
+                format!("::serde::Value::Seq(vec![{}])", elems.join(", "))
+            }
+            Kind::UnitStruct => "::serde::Value::Null".to_string(),
+            Kind::Enum(variants) => {
+                let arms: Vec<String> = variants.iter().map(|v| ser_variant_arm(name, v)).collect();
+                format!("match self {{ {} }}", arms.join("\n"))
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+/// Map-construction snippet for named fields reachable via `prefix` (either
+/// `self.` for structs or the empty prefix for match-arm bindings).
+fn ser_named_map(prefix: &str, fields: &[Field]) -> String {
+    let mut out = String::from("{ let mut m: Vec<(String, ::serde::Value)> = Vec::new();\n");
+    for f in fields.iter().filter(|f| !f.skip) {
+        let n = f.name.as_ref().expect("named field");
+        out.push_str(&format!(
+            "m.push((\"{n}\".to_string(), ::serde::Serialize::to_value(&{prefix}{n})));\n"
+        ));
+    }
+    out.push_str("::serde::Value::Map(m) }");
+    out
+}
+
+fn ser_variant_arm(name: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.kind {
+        VariantKind::Unit => {
+            format!("{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),")
+        }
+        VariantKind::Tuple(tys) if tys.len() == 1 => format!(
+            "{name}::{vn}(f0) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), \
+             ::serde::Serialize::to_value(f0))]),"
+        ),
+        VariantKind::Tuple(tys) => {
+            let binds: Vec<String> = (0..tys.len()).map(|i| format!("f{i}")).collect();
+            let elems: Vec<String> =
+                (0..tys.len()).map(|i| format!("::serde::Serialize::to_value(f{i})")).collect();
+            format!(
+                "{name}::{vn}({binds}) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                 ::serde::Value::Seq(vec![{elems}]))]),",
+                binds = binds.join(", "),
+                elems = elems.join(", "),
+            )
+        }
+        VariantKind::Struct(fields) => {
+            let binds: Vec<String> =
+                fields.iter().map(|f| f.name.clone().expect("named field")).collect();
+            let inner = ser_named_map("", fields);
+            format!(
+                "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                 {inner})]),",
+                binds = binds.join(", "),
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------------
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(proxy) = &item.try_from {
+        format!(
+            "let proxy: {proxy} = ::serde::Deserialize::from_value(v)?;\n\
+             ::std::convert::TryFrom::try_from(proxy).map_err(::serde::Error::custom)"
+        )
+    } else {
+        match &item.kind {
+            Kind::NamedStruct(fields) => {
+                let ctor = de_named_ctor(name, fields);
+                format!(
+                    "let m = v.as_map().ok_or_else(|| \
+                     ::serde::Error::custom(\"expected map for {name}\"))?;\n\
+                     ::std::result::Result::Ok({ctor})"
+                )
+            }
+            Kind::TupleStruct(fields) if fields.len() == 1 => {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+            }
+            Kind::TupleStruct(fields) => {
+                let n = fields.len();
+                let elems: Vec<String> = (0..n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&seq[{i}])?"))
+                    .collect();
+                format!(
+                    "let seq = v.as_seq().ok_or_else(|| \
+                     ::serde::Error::custom(\"expected sequence for {name}\"))?;\n\
+                     if seq.len() != {n} {{ return ::std::result::Result::Err(\
+                     ::serde::Error::custom(\"wrong tuple length for {name}\")); }}\n\
+                     ::std::result::Result::Ok({name}({elems}))",
+                    elems = elems.join(", "),
+                )
+            }
+            Kind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+            Kind::Enum(variants) => de_enum_body(name, variants),
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> \
+             {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+/// Struct-literal construction from a bound `m: &[(String, Value)]`.
+fn de_named_ctor(path: &str, fields: &[Field]) -> String {
+    let mut out = format!("{path} {{\n");
+    for f in fields {
+        let n = f.name.as_ref().expect("named field");
+        if f.skip {
+            out.push_str(&format!("{n}: ::std::default::Default::default(),\n"));
+        } else {
+            let ty = &f.ty;
+            out.push_str(&format!(
+                "{n}: match ::serde::get_field(m, \"{n}\") {{\n\
+                     ::std::option::Option::Some(fv) => ::serde::Deserialize::from_value(fv)?,\n\
+                     ::std::option::Option::None => <{ty} as ::serde::Deserialize>::missing()\
+                         .ok_or_else(|| ::serde::Error::custom(\"missing field `{n}`\"))?,\n\
+                 }},\n"
+            ));
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn de_enum_body(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),", vn = v.name))
+        .collect();
+    let map_arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vn = &v.name;
+            match &v.kind {
+                VariantKind::Unit => {
+                    format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),")
+                }
+                VariantKind::Tuple(tys) if tys.len() == 1 => format!(
+                    "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                     ::serde::Deserialize::from_value(inner)?)),"
+                ),
+                VariantKind::Tuple(tys) => {
+                    let n = tys.len();
+                    let elems: Vec<String> = (0..n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&seq[{i}])?"))
+                        .collect();
+                    format!(
+                        "\"{vn}\" => {{\n\
+                         let seq = inner.as_seq().ok_or_else(|| ::serde::Error::custom(\
+                         \"expected sequence for {name}::{vn}\"))?;\n\
+                         if seq.len() != {n} {{ return ::std::result::Result::Err(\
+                         ::serde::Error::custom(\"wrong tuple length for {name}::{vn}\")); }}\n\
+                         ::std::result::Result::Ok({name}::{vn}({elems}))\n}}",
+                        elems = elems.join(", "),
+                    )
+                }
+                VariantKind::Struct(fields) => {
+                    let ctor = de_named_ctor(&format!("{name}::{vn}"), fields);
+                    format!(
+                        "\"{vn}\" => {{\n\
+                         let m = inner.as_map().ok_or_else(|| ::serde::Error::custom(\
+                         \"expected map for {name}::{vn}\"))?;\n\
+                         ::std::result::Result::Ok({ctor})\n}}"
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "match v {{\n\
+         ::serde::Value::Str(tag) => match tag.as_str() {{\n\
+             {unit_arms}\n\
+             other => ::std::result::Result::Err(::serde::Error::custom(\
+             format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+         }},\n\
+         ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+             let (tag, inner) = &entries[0];\n\
+             let _ = inner;\n\
+             match tag.as_str() {{\n\
+                 {map_arms}\n\
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+             }}\n\
+         }}\n\
+         _ => ::std::result::Result::Err(::serde::Error::custom(\
+         \"expected string or single-entry map for enum {name}\")),\n\
+         }}",
+        unit_arms = unit_arms.join("\n"),
+        map_arms = map_arms.join("\n"),
+    )
+}

@@ -5,8 +5,16 @@
 use dsud_core::{baseline, BandwidthMeter, Cluster, QueryConfig, SiteOptions, SubspaceMask};
 use dsud_data::{SpatialDistribution, WorkloadSpec};
 
-fn run_pair(n: usize, dims: usize, m: usize, q: f64, seed: u64, spatial: SpatialDistribution) -> (dsud_core::QueryOutcome, dsud_core::QueryOutcome) {
-    let sites = WorkloadSpec::new(n, dims).spatial(spatial).seed(seed).generate_partitioned(m).unwrap();
+fn run_pair(
+    n: usize,
+    dims: usize,
+    m: usize,
+    q: f64,
+    seed: u64,
+    spatial: SpatialDistribution,
+) -> (dsud_core::QueryOutcome, dsud_core::QueryOutcome) {
+    let sites =
+        WorkloadSpec::new(n, dims).spatial(spatial).seed(seed).generate_partitioned(m).unwrap();
     let config = QueryConfig::new(q).unwrap();
     let mut a = Cluster::local(dims, sites.clone()).unwrap();
     let dsud = a.run_dsud(&config).unwrap();
@@ -89,8 +97,12 @@ fn pruning_reduces_uploads() {
     let config = QueryConfig::new(0.3).unwrap();
     let mut with = Cluster::local(3, sites.clone()).unwrap();
     let on = with.run_dsud(&config).unwrap();
-    let mut without =
-        Cluster::local_with_options(3, sites, SiteOptions { pruning: false, ..SiteOptions::default() }).unwrap();
+    let mut without = Cluster::local_with_options(
+        3,
+        sites,
+        SiteOptions { pruning: false, ..SiteOptions::default() },
+    )
+    .unwrap();
     let off = without.run_dsud(&config).unwrap();
     assert!(
         on.traffic.upload.tuples <= off.traffic.upload.tuples,

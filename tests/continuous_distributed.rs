@@ -8,8 +8,8 @@
 use std::collections::VecDeque;
 
 use dsud_core::update::{Maintainer, UpdateOp};
-use dsud_core::{BoundMode, Cluster, Probability, SubspaceMask, TupleId, UncertainTuple};
 use dsud_core::{probabilistic_skyline, UncertainDb};
+use dsud_core::{BoundMode, Cluster, Probability, SubspaceMask, TupleId, UncertainTuple};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -63,12 +63,8 @@ fn run_scenario(rng: &mut StdRng) {
         let outgoing = windows[site].pop_front().expect("windows are full");
         windows[site].push_back(incoming.clone());
 
-        maintainer
-            .apply_incremental(cluster.links_mut(), &UpdateOp::Insert(incoming))
-            .unwrap();
-        maintainer
-            .apply_incremental(cluster.links_mut(), &UpdateOp::Delete(outgoing))
-            .unwrap();
+        maintainer.apply_incremental(cluster.links_mut(), &UpdateOp::Insert(incoming)).unwrap();
+        maintainer.apply_incremental(cluster.links_mut(), &UpdateOp::Delete(outgoing)).unwrap();
 
         if step % 20 == 19 {
             // Centralized recomputation over the live windows.
@@ -83,11 +79,8 @@ fn run_scenario(rng: &mut StdRng) {
                 .map(|e| (e.tuple.id(), e.probability))
                 .collect();
             expected.sort_by_key(|(id, _)| *id);
-            let got: Vec<(TupleId, f64)> = maintainer
-                .skyline()
-                .into_iter()
-                .map(|e| (e.tuple.id(), e.probability))
-                .collect();
+            let got: Vec<(TupleId, f64)> =
+                maintainer.skyline().into_iter().map(|e| (e.tuple.id(), e.probability)).collect();
             assert_eq!(
                 got.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
                 expected.iter().map(|(id, _)| *id).collect::<Vec<_>>(),

@@ -15,9 +15,8 @@ fn reference(
     q: f64,
     mask: SubspaceMask,
 ) -> Vec<(TupleId, f64)> {
-    let union =
-        UncertainDb::from_tuples(dims, sites.iter().flatten().cloned().collect::<Vec<_>>())
-            .unwrap();
+    let union = UncertainDb::from_tuples(dims, sites.iter().flatten().cloned().collect::<Vec<_>>())
+        .unwrap();
     let mut out: Vec<(TupleId, f64)> = probabilistic_skyline(&union, q, mask)
         .unwrap()
         .into_iter()
@@ -148,8 +147,12 @@ fn pruning_disabled_is_correct() {
     let sites = WorkloadSpec::new(800, 2).seed(13).generate_partitioned(5).unwrap();
     let mask = SubspaceMask::full(2).unwrap();
     let expected = reference(&sites, 2, 0.3, mask);
-    let mut cluster =
-        Cluster::local_with_options(2, sites, SiteOptions { pruning: false, ..SiteOptions::default() }).unwrap();
+    let mut cluster = Cluster::local_with_options(
+        2,
+        sites,
+        SiteOptions { pruning: false, ..SiteOptions::default() },
+    )
+    .unwrap();
     let outcome = cluster.run_dsud(&QueryConfig::new(0.3).unwrap()).unwrap();
     assert_same(&sorted_results(&outcome), &expected, "pruning off");
 }
@@ -210,11 +213,7 @@ fn synopsis_assisted_edsud_is_correct() {
         let mut cluster = Cluster::local(3, sites.clone()).unwrap();
         let config = QueryConfig::new(0.3).unwrap().synopsis(resolution);
         let outcome = cluster.run_edsud(&config).unwrap();
-        assert_same(
-            &sorted_results(&outcome),
-            &expected,
-            &format!("synopsis r={resolution}"),
-        );
+        assert_same(&sorted_results(&outcome), &expected, &format!("synopsis r={resolution}"));
         // The synopsis transfer must have been charged.
         assert!(outcome.traffic.upload.tuples > 0);
     }
@@ -285,9 +284,7 @@ fn limit_composes_with_expunges() {
     let mut full_cluster = Cluster::local(3, sites.clone()).unwrap();
     let full = full_cluster.run_edsud(&QueryConfig::new(0.3).unwrap()).unwrap();
     let mut limited_cluster = Cluster::local(3, sites).unwrap();
-    let one = limited_cluster
-        .run_edsud(&QueryConfig::new(0.3).unwrap().limit(1))
-        .unwrap();
+    let one = limited_cluster.run_edsud(&QueryConfig::new(0.3).unwrap().limit(1)).unwrap();
     assert_eq!(one.skyline.len(), 1);
     assert_eq!(one.skyline[0].tuple.id(), full.skyline[0].tuple.id());
     assert!(one.tuples_transmitted() < full.tuples_transmitted());

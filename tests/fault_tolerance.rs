@@ -3,8 +3,8 @@
 
 use dsud_core::{dsud, edsud, BoundMode, Error, LocalSite, SiteOptions, SubspaceMask};
 use dsud_core::{BandwidthMeter, Link};
-use dsud_net::{FaultMode, FaultyLink, LocalLink};
 use dsud_data::WorkloadSpec;
+use dsud_net::{FaultMode, FaultyLink, LocalLink};
 
 fn faulty_cluster(
     fault_site: usize,

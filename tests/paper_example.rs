@@ -71,27 +71,15 @@ fn local_skylines_match_table_2a() {
     let cases: [(Vec<UncertainTuple>, Table2aRows); 3] = [
         (
             site_qingdao(),
-            vec![
-                ([6.0, 6.0], 0.7, 0.65),
-                ([8.0, 4.0], 0.8, 0.6),
-                ([3.0, 8.0], 0.8, 0.5),
-            ],
+            vec![([6.0, 6.0], 0.7, 0.65), ([8.0, 4.0], 0.8, 0.6), ([3.0, 8.0], 0.8, 0.5)],
         ),
         (
             site_shanghai(),
-            vec![
-                ([6.5, 7.0], 0.8, 0.65),
-                ([4.0, 9.0], 0.6, 0.6),
-                ([9.0, 5.0], 0.7, 0.6),
-            ],
+            vec![([6.5, 7.0], 0.8, 0.65), ([4.0, 9.0], 0.6, 0.6), ([9.0, 5.0], 0.7, 0.6)],
         ),
         (
             site_xiamen(),
-            vec![
-                ([6.4, 7.5], 0.9, 0.8),
-                ([3.5, 11.0], 0.7, 0.7),
-                ([10.0, 4.5], 0.7, 0.7),
-            ],
+            vec![([6.4, 7.5], 0.9, 0.8), ([3.5, 11.0], 0.7, 0.7), ([10.0, 4.5], 0.7, 0.7)],
         ),
     ];
     for (tuples, expected) in cases {
@@ -118,11 +106,8 @@ fn edsud_returns_papers_global_skyline() {
         Cluster::local(2, vec![site_qingdao(), site_shanghai(), site_xiamen()]).unwrap();
     let outcome = cluster.run_edsud(&QueryConfig::new(0.3).unwrap()).unwrap();
 
-    let mut got: Vec<(Vec<f64>, f64)> = outcome
-        .skyline
-        .iter()
-        .map(|e| (e.tuple.values().to_vec(), e.probability))
-        .collect();
+    let mut got: Vec<(Vec<f64>, f64)> =
+        outcome.skyline.iter().map(|e| (e.tuple.values().to_vec(), e.probability)).collect();
     got.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
     assert_eq!(got.len(), 3, "SKY(H) must hold exactly the three hotels: {got:?}");
     let expected = [(vec![3.0, 8.0], 0.5), (vec![6.0, 6.0], 0.65), (vec![8.0, 4.0], 0.6)];

@@ -70,10 +70,7 @@ fn edsud_curve_dominates_dsud_curve() {
         let at = (k / frac).max(1);
         let d = dsud.progress.bandwidth_at(at).unwrap();
         let e = edsud.progress.bandwidth_at(at).unwrap();
-        assert!(
-            e <= d,
-            "at {at} results: e-DSUD used {e} tuples, DSUD {d}"
-        );
+        assert!(e <= d, "at {at} results: e-DSUD used {e} tuples, DSUD {d}");
     }
 }
 

@@ -1,0 +1,126 @@
+//! End-to-end observability: a small in-process DSUD / e-DSUD run must
+//! produce a complete, serializable run report.
+
+use dsud_core::{Cluster, Counter, QueryConfig, Recorder, RunReport, SiteOptions};
+use dsud_uncertain::{Probability, TupleId, UncertainTuple};
+
+/// Deterministic workload: `sites × per_site` tuples in `[0, 100)^2` with
+/// probabilities in `[0.05, 1.0]`.
+fn workload(sites: usize, per_site: usize) -> Vec<Vec<UncertainTuple>> {
+    let mut state = 0x5eed_1234_u64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 11) as f64) / ((1u64 << 53) as f64)
+    };
+    (0..sites)
+        .map(|s| {
+            (0..per_site)
+                .map(|i| {
+                    let values = vec![next() * 100.0, next() * 100.0];
+                    let p = Probability::new((next() * 0.95 + 0.05).min(1.0)).unwrap();
+                    UncertainTuple::new(TupleId::new(s as u32, i as u64), values, p).unwrap()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn instrumented_run(edsud: bool) -> (RunReport, usize) {
+    let recorder = Recorder::enabled();
+    let mut cluster =
+        Cluster::local_instrumented(2, workload(4, 50), SiteOptions::default(), recorder.clone())
+            .expect("valid workload");
+    let config = QueryConfig::new(0.3).expect("valid threshold");
+    let outcome = if edsud {
+        cluster.run_edsud(&config).expect("query succeeds")
+    } else {
+        cluster.run_dsud(&config).expect("query succeeds")
+    };
+    let name = if edsud { "edsud" } else { "dsud" };
+    (recorder.report(name).expect("recorder is enabled"), outcome.skyline.len())
+}
+
+fn assert_report_is_complete(report: &RunReport, skyline_len: usize) {
+    assert_eq!(report.schema_version, dsud_obs::SCHEMA_VERSION);
+    assert!(report.counters.bytes_sent > 0, "a distributed run moves bytes");
+    assert!(report.counters.messages > 0);
+    assert!(report.counters.tuples_shipped > 0);
+    assert!(report.counters.rounds >= 1, "at least one coordinator round");
+    assert!(report.counters.feedback_broadcasts >= 1);
+    assert!(report.counters.local_skyline_size >= 1, "sites computed local skylines");
+    assert!(report.counters.prtree_nodes_visited >= 1, "BBS visited the trees");
+    assert_eq!(report.counters.progressive_results as usize, skyline_len);
+    assert_eq!(report.progressive.len(), skyline_len);
+
+    // Progressive timestamps and cumulative bandwidth are monotone.
+    for pair in report.progressive.windows(2) {
+        assert!(pair[0].at_us <= pair[1].at_us, "timestamps go forward");
+        assert!(pair[0].tuples_transmitted <= pair[1].tuples_transmitted);
+    }
+
+    // The span tree is rooted at the query span and well-formed.
+    assert!(report.spans[0].name.starts_with("query:"));
+    assert_eq!(report.spans[0].parent, None);
+    assert!(report.spans.iter().any(|s| s.name == "round"));
+    assert!(report.spans.iter().any(|s| s.name == "server-delivery"));
+    for (i, span) in report.spans.iter().enumerate() {
+        if let Some(parent) = span.parent {
+            assert!(parent < i, "parents precede children");
+        }
+        let end = span.end_us.expect("all spans closed after the run");
+        assert!(end >= span.start_us);
+    }
+}
+
+#[test]
+fn dsud_run_produces_a_complete_report() {
+    let (report, skyline_len) = instrumented_run(false);
+    assert_eq!(report.algorithm, "dsud");
+    assert_report_is_complete(&report, skyline_len);
+}
+
+#[test]
+fn edsud_run_produces_a_complete_report() {
+    let (report, skyline_len) = instrumented_run(true);
+    assert_eq!(report.algorithm, "edsud");
+    assert_report_is_complete(&report, skyline_len);
+    assert!(report.spans.iter().any(|s| s.name == "expunge"));
+}
+
+#[test]
+fn report_round_trips_through_serde_json() {
+    let (report, _) = instrumented_run(true);
+    let json = serde_json::to_string_pretty(&report).unwrap();
+    let back: RunReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, report);
+    assert!(json.contains("\"schema_version\": 1"));
+}
+
+#[test]
+fn uninstrumented_clusters_report_nothing() {
+    let mut cluster = Cluster::local(2, workload(3, 30)).expect("valid workload");
+    let outcome = cluster.run_dsud(&QueryConfig::new(0.3).unwrap()).expect("query succeeds");
+    assert!(outcome.traffic.total().bytes > 0, "the run itself still happened");
+    assert!(!cluster.recorder().is_enabled());
+    assert_eq!(cluster.recorder().counter(Counter::Rounds), 0);
+    assert!(cluster.recorder().report("dsud").is_none());
+}
+
+#[test]
+fn instrumented_and_plain_runs_agree() {
+    let config = QueryConfig::new(0.3).unwrap();
+    let mut plain = Cluster::local(2, workload(4, 50)).unwrap();
+    let mut instrumented = Cluster::local_instrumented(
+        2,
+        workload(4, 50),
+        SiteOptions::default(),
+        Recorder::enabled(),
+    )
+    .unwrap();
+    let a = plain.run_dsud(&config).unwrap();
+    let b = instrumented.run_dsud(&config).unwrap();
+    let ids =
+        |o: &dsud_core::QueryOutcome| o.skyline.iter().map(|e| e.tuple.id()).collect::<Vec<_>>();
+    assert_eq!(ids(&a), ids(&b), "observability must not change the answer");
+    assert_eq!(a.tuples_transmitted(), b.tuples_transmitted());
+}

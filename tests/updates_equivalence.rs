@@ -7,8 +7,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use dsud_core::update::{apply_batch, Maintainer, UpdateOp};
-use dsud_core::{BoundMode, Cluster, Probability, SubspaceMask};
 use dsud_core::{probabilistic_skyline, TupleId, UncertainDb, UncertainTuple};
+use dsud_core::{BoundMode, Cluster, Probability, SubspaceMask};
 use dsud_data::{SpatialDistribution, WorkloadSpec};
 
 const Q: f64 = 0.3;
@@ -30,9 +30,8 @@ fn apply_to_data(sites: &mut [Vec<UncertainTuple>], ops: &[UpdateOp]) {
 }
 
 fn reference(sites: &[Vec<UncertainTuple>], dims: usize) -> Vec<(TupleId, f64)> {
-    let union =
-        UncertainDb::from_tuples(dims, sites.iter().flatten().cloned().collect::<Vec<_>>())
-            .unwrap();
+    let union = UncertainDb::from_tuples(dims, sites.iter().flatten().cloned().collect::<Vec<_>>())
+        .unwrap();
     let mut out: Vec<(TupleId, f64)> = probabilistic_skyline(&union, Q, full(dims))
         .unwrap()
         .into_iter()
@@ -42,7 +41,13 @@ fn reference(sites: &[Vec<UncertainTuple>], dims: usize) -> Vec<(TupleId, f64)> 
     out
 }
 
-fn run_scenario(dims: usize, n: usize, m: usize, seed: u64, ops_builder: impl Fn(&[Vec<UncertainTuple>], &mut StdRng) -> Vec<UpdateOp>) {
+fn run_scenario(
+    dims: usize,
+    n: usize,
+    m: usize,
+    seed: u64,
+    ops_builder: impl Fn(&[Vec<UncertainTuple>], &mut StdRng) -> Vec<UpdateOp>,
+) {
     let mut data = WorkloadSpec::new(n, dims)
         .spatial(SpatialDistribution::Anticorrelated)
         .seed(seed)
@@ -54,14 +59,9 @@ fn run_scenario(dims: usize, n: usize, m: usize, seed: u64, ops_builder: impl Fn
     // Incremental strategy.
     let mut incr_cluster = Cluster::local(dims, data.clone()).unwrap();
     let meter = incr_cluster.meter().clone();
-    let (mut maintainer, _) = Maintainer::bootstrap(
-        incr_cluster.links_mut(),
-        &meter,
-        Q,
-        full(dims),
-        BoundMode::Paper,
-    )
-    .unwrap();
+    let (mut maintainer, _) =
+        Maintainer::bootstrap(incr_cluster.links_mut(), &meter, Q, full(dims), BoundMode::Paper)
+            .unwrap();
     let incremental =
         apply_batch(&mut maintainer, incr_cluster.links_mut(), &meter, &ops, true).unwrap();
 
@@ -85,8 +85,7 @@ fn run_scenario(dims: usize, n: usize, m: usize, seed: u64, ops_builder: impl Fn
     let expected = reference(&data, dims);
 
     for (label, got) in [("incremental", incremental), ("naive", naive)] {
-        let got: Vec<(TupleId, f64)> =
-            got.iter().map(|e| (e.tuple.id(), e.probability)).collect();
+        let got: Vec<(TupleId, f64)> = got.iter().map(|e| (e.tuple.id(), e.probability)).collect();
         assert_eq!(
             got.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
             expected.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
@@ -103,9 +102,7 @@ fn random_insert(sites: &[Vec<UncertainTuple>], rng: &mut StdRng, seq: u64) -> U
     let dims = sites[0][0].dims();
     let values: Vec<f64> = (0..dims).map(|_| rng.gen::<f64>()).collect();
     let p = Probability::clamped(rng.gen::<f64>());
-    UpdateOp::Insert(
-        UncertainTuple::new(TupleId::new(site, 1_000_000 + seq), values, p).unwrap(),
-    )
+    UpdateOp::Insert(UncertainTuple::new(TupleId::new(site, 1_000_000 + seq), values, p).unwrap())
 }
 
 fn random_delete(sites: &[Vec<UncertainTuple>], rng: &mut StdRng) -> UpdateOp {
@@ -229,10 +226,7 @@ fn incremental_uses_less_maintenance_traffic_than_naive() {
 
     let incr = run(true);
     let naive = run(false);
-    assert!(
-        incr < naive,
-        "incremental {incr} tuples should undercut naive {naive}"
-    );
+    assert!(incr < naive, "incremental {incr} tuples should undercut naive {naive}");
 }
 
 /// The Replica policy (paper Section 5.4 heuristic) must be *sound*: every
@@ -263,24 +257,23 @@ fn replica_policy_is_sound() {
         }
     }
 
-    let options =
-        SiteOptions { update_policy: UpdatePolicy::Replica, ..SiteOptions::default() };
+    let options = SiteOptions { update_policy: UpdatePolicy::Replica, ..SiteOptions::default() };
     let mut cluster = Cluster::local_with_options(dims, data.clone(), options).unwrap();
     let meter = cluster.meter().clone();
     let (mut maintainer, _) =
         Maintainer::bootstrap(cluster.links_mut(), &meter, Q, full(dims), BoundMode::Paper)
             .unwrap();
-    let reported =
-        apply_batch(&mut maintainer, cluster.links_mut(), &meter, &ops, true).unwrap();
+    let reported = apply_batch(&mut maintainer, cluster.links_mut(), &meter, &ops, true).unwrap();
 
     apply_to_data(&mut data, &ops);
     let exact: std::collections::HashMap<TupleId, f64> =
         reference(&data, dims).into_iter().collect();
 
     for entry in &reported {
-        let true_prob = exact.get(&entry.tuple.id()).copied().unwrap_or_else(|| {
-            panic!("replica policy reported non-member {:?}", entry.tuple.id())
-        });
+        let true_prob = exact
+            .get(&entry.tuple.id())
+            .copied()
+            .unwrap_or_else(|| panic!("replica policy reported non-member {:?}", entry.tuple.id()));
         // Stored probabilities may be stale-low (missed restorations), but
         // membership must be genuine and never overstated.
         assert!(true_prob >= Q, "{:?} does not truly qualify", entry.tuple.id());
