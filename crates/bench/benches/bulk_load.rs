@@ -1,0 +1,39 @@
+//! STR bulk-load at one thread vs the machine's full pool.
+//!
+//! The parallel path splits the sort-tile-recurse slabs and the leaf
+//! builds across the pool; the resulting tree shape is pool-size
+//! invariant, so the two rows build identical indexes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dsud_data::{SpatialDistribution, WorkloadSpec};
+use dsud_prtree::PrTree;
+
+const N: usize = 20_000;
+const DIMS: usize = 4;
+
+fn bench(c: &mut Criterion) {
+    let tuples = WorkloadSpec::new(N, DIMS)
+        .spatial(SpatialDistribution::Independent)
+        .seed(11)
+        .generate()
+        .unwrap();
+    let max_pool = std::thread::available_parallelism().map_or(1, usize::from);
+
+    let mut group = c.benchmark_group("bulk_load");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(5));
+
+    for pool in [1, max_pool] {
+        group.bench_with_input(BenchmarkId::new("str", pool), &pool, |b, &pool| {
+            threadpool::set_pool_size(pool);
+            b.iter(|| PrTree::bulk_load(DIMS, tuples.clone()).unwrap());
+            threadpool::set_pool_size(0);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

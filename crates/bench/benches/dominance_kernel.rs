@@ -1,0 +1,75 @@
+//! Columnar dominance kernel vs the scalar tuple loop.
+//!
+//! Measures the survival-product primitive both ways at the paper's
+//! default scale (N = 20k, d = 4): a row-major loop over `UncertainTuple`
+//! values against [`Batch::survival_product`] over the structure-of-arrays
+//! columns. Both paths multiply complements in the same ascending row
+//! order, so they are bit-identical (asserted before timing).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use dsud_data::{SpatialDistribution, WorkloadSpec};
+use dsud_uncertain::{dominates_in, Batch, SubspaceMask, UncertainTuple};
+
+const N: usize = 20_000;
+const DIMS: usize = 4;
+
+fn scalar_survival(tuples: &[UncertainTuple], point: &[f64], mask: SubspaceMask) -> f64 {
+    let mut product = 1.0;
+    for t in tuples {
+        if dominates_in(t.values(), point, mask) {
+            product *= 1.0 - t.prob().get();
+        }
+    }
+    product
+}
+
+fn bench(c: &mut Criterion) {
+    let tuples = WorkloadSpec::new(N, DIMS)
+        .spatial(SpatialDistribution::Anticorrelated)
+        .seed(16)
+        .generate()
+        .unwrap();
+    let batch = Batch::from_tuples(DIMS, &tuples);
+    let mask = SubspaceMask::full(DIMS).unwrap();
+    let probes: Vec<Vec<f64>> =
+        tuples.iter().step_by(N / 128).map(|t| t.values().to_vec()).collect();
+
+    for p in &probes {
+        assert_eq!(
+            scalar_survival(&tuples, p, mask).to_bits(),
+            batch.survival_product(p, mask).to_bits(),
+            "kernel must be bit-identical to the scalar loop"
+        );
+    }
+
+    let mut group = c.benchmark_group("dominance_kernel");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    group.bench_function("survival/scalar_loop", |b| {
+        b.iter(|| probes.iter().map(|p| scalar_survival(&tuples, black_box(p), mask)).sum::<f64>());
+    });
+    group.bench_function("survival/columnar_batch", |b| {
+        b.iter(|| probes.iter().map(|p| batch.survival_product(black_box(p), mask)).sum::<f64>());
+    });
+
+    let mut rows = Vec::new();
+    group.bench_function("dominators_of/columnar_batch", |b| {
+        b.iter(|| {
+            probes
+                .iter()
+                .map(|p| {
+                    rows.clear();
+                    batch.dominators_of(black_box(p), mask, &mut rows);
+                    rows.len()
+                })
+                .sum::<usize>()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Kernel-backed skyline probabilities: sequential reference vs the
+//! parallel path at one thread and at the machine's full pool.
+//!
+//! The `pool=1` row isolates the columnar kernel's gain; the `pool=max`
+//! row adds the thread pool on top. All three produce bit-identical
+//! probabilities (the sequential-fallback contract).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dsud_data::{SpatialDistribution, WorkloadSpec};
+use dsud_uncertain::{skyline_probabilities, skyline_probabilities_seq, SubspaceMask, UncertainDb};
+
+const N: usize = 20_000;
+const DIMS: usize = 4;
+
+fn bench(c: &mut Criterion) {
+    let tuples = WorkloadSpec::new(N, DIMS)
+        .spatial(SpatialDistribution::Anticorrelated)
+        .seed(7)
+        .generate()
+        .unwrap();
+    let db = UncertainDb::from_tuples(DIMS, tuples).unwrap();
+    let mask = SubspaceMask::full(DIMS).unwrap();
+    let max_pool = std::thread::available_parallelism().map_or(1, usize::from);
+
+    let reference = skyline_probabilities_seq(&db, mask).unwrap();
+    for pool in [1, max_pool] {
+        threadpool::set_pool_size(pool);
+        assert!(
+            skyline_probabilities(&db, mask)
+                .unwrap()
+                .iter()
+                .zip(&reference)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "parallel kernel must be bit-identical at pool {pool}"
+        );
+    }
+    threadpool::set_pool_size(0);
+
+    let mut group = c.benchmark_group("parallel_skyline");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(5));
+
+    group.bench_function("sequential_reference", |b| {
+        b.iter(|| skyline_probabilities_seq(black_box(&db), mask).unwrap());
+    });
+    for pool in [1, max_pool] {
+        group.bench_with_input(BenchmarkId::new("kernel", pool), &pool, |b, &pool| {
+            threadpool::set_pool_size(pool);
+            b.iter(|| skyline_probabilities(black_box(&db), mask).unwrap());
+            threadpool::set_pool_size(0);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,6 +1,8 @@
 use std::collections::HashMap;
 use std::path::PathBuf;
 
+use dsud_core::Transport;
+
 use crate::CliError;
 
 /// Which query algorithm to run.
@@ -64,6 +66,9 @@ pub enum Command {
         seed: u64,
         /// Optional path for a JSON observability run report.
         report: Option<PathBuf>,
+        /// Site transport (`baseline` always runs in process and ignores
+        /// this).
+        transport: Transport,
     },
     /// Run the vertically partitioned UTA query over a workload file.
     Vertical {
@@ -106,6 +111,7 @@ USAGE:
                 [--gaussian <MU>] [--seed <S>] [--out <FILE>]
   dsud query    --input <FILE> [--sites <M>] [--q <Q>] [--algorithm dsud|edsud|baseline]
                 [--subspace 0,2,...] [--limit <K>] [--seed <S>] [--report <FILE>]
+                [--transport inline|threaded|tcp]
   dsud vertical --input <FILE> [--q <Q>]
   dsud stream   --input <FILE> [--q <Q>] [--window <W>] [--every <K>]
   dsud estimate [--n <N>] [--dims <D>] [--sites <M>]
@@ -197,6 +203,12 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 })?),
                 None => None,
             };
+            let transport = match get("transport") {
+                Some(v) => v.parse::<Transport>().map_err(|_| {
+                    CliError::Usage(format!("--transport expects inline|threaded|tcp, got '{v}'"))
+                })?,
+                None => Transport::Inline,
+            };
             Ok(Command::Query {
                 input: PathBuf::from(input),
                 sites: parse_num("sites", 8)?,
@@ -206,6 +218,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 limit,
                 seed: parse_num("seed", 0)? as u64,
                 report: get("report").map(PathBuf::from),
+                transport,
             })
         }
         "vertical" => {
@@ -290,14 +303,33 @@ mod tests {
 
     #[test]
     fn defaults_are_sensible() {
-        let Command::Query { sites, q, algorithm, subspace, limit, seed, report, .. } =
-            parse(&argv("query --input d.jsonl")).unwrap()
+        let Command::Query {
+            sites, q, algorithm, subspace, limit, seed, report, transport, ..
+        } = parse(&argv("query --input d.jsonl")).unwrap()
         else {
             panic!()
         };
         assert_eq!((sites, q, algorithm), (8, 0.3, Algorithm::Edsud));
         assert_eq!((subspace, limit, seed), (None, None, 0));
         assert_eq!(report, None);
+        assert_eq!(transport, Transport::Inline);
+    }
+
+    #[test]
+    fn parses_transport() {
+        for (flag, expected) in [
+            ("inline", Transport::Inline),
+            ("threaded", Transport::Threaded),
+            ("tcp", Transport::Tcp),
+        ] {
+            let Command::Query { transport, .. } =
+                parse(&argv(&format!("query --input d.jsonl --transport {flag}"))).unwrap()
+            else {
+                panic!()
+            };
+            assert_eq!(transport, expected);
+        }
+        assert!(parse(&argv("query --input d.jsonl --transport smoke-signal")).is_err());
     }
 
     #[test]

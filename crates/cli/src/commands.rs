@@ -6,7 +6,7 @@ use rand::SeedableRng;
 
 use dsud_core::{
     baseline, BandwidthMeter, Cluster, QueryConfig, QueryOutcome, Recorder, SiteOptions,
-    SubspaceMask,
+    SubspaceMask, Transport,
 };
 use dsud_data::nyse::NyseSpec;
 use dsud_data::{partition_uniform, ProbabilityLaw, SpatialDistribution, WorkloadSpec};
@@ -30,17 +30,20 @@ pub fn run<W: Write>(cmd: &Command, out: &mut W) -> Result<(), CliError> {
         Command::Generate { n, dims, dist, gaussian_mean, seed, out: path } => {
             generate(*n, *dims, *dist, *gaussian_mean, *seed, path.as_deref(), out)
         }
-        Command::Query { input, sites, q, algorithm, subspace, limit, seed, report } => query(
-            input,
-            *sites,
-            *q,
-            *algorithm,
-            subspace.as_deref(),
-            *limit,
-            *seed,
-            report.as_deref(),
-            out,
-        ),
+        Command::Query { input, sites, q, algorithm, subspace, limit, seed, report, transport } => {
+            query(
+                input,
+                *sites,
+                *q,
+                *algorithm,
+                subspace.as_deref(),
+                *limit,
+                *seed,
+                report.as_deref(),
+                *transport,
+                out,
+            )
+        }
         Command::Vertical { input, q } => vertical(input, *q, out),
         Command::Stream { input, q, window, every } => stream(input, *q, *window, *every, out),
         Command::Estimate { n, dims, sites } => {
@@ -136,6 +139,7 @@ fn query<W: Write>(
     limit: Option<usize>,
     seed: u64,
     report: Option<&std::path::Path>,
+    transport: Transport,
     out: &mut W,
 ) -> Result<(), CliError> {
     let tuples = read_tuples(input)?;
@@ -162,30 +166,40 @@ fn query<W: Write>(
         Algorithm::Edsud => "edsud",
     };
 
+    // The centralized baseline has no sites to transport between: it
+    // always runs in process, whatever --transport says.
+    let used_transport = match algorithm {
+        Algorithm::Baseline => Transport::Inline,
+        _ => transport,
+    };
     let outcome: QueryOutcome = match algorithm {
         Algorithm::Baseline => {
             let meter = BandwidthMeter::with_recorder(recorder.clone());
             let mask = config.resolve_mask(dims)?;
             baseline::run(&partitioned, dims, q, mask, &meter)?
         }
-        Algorithm::Dsud => Cluster::local_instrumented(
+        Algorithm::Dsud => Cluster::with_transport(
             dims,
             partitioned,
             SiteOptions::default(),
             recorder.clone(),
+            used_transport,
         )?
         .run_dsud(&config)?,
-        Algorithm::Edsud => Cluster::local_instrumented(
+        Algorithm::Edsud => Cluster::with_transport(
             dims,
             partitioned,
             SiteOptions::default(),
             recorder.clone(),
+            used_transport,
         )?
         .run_edsud(&config)?,
     };
 
     if let Some(path) = report {
-        let run_report = recorder.report(algo_name).expect("recorder is enabled");
+        let mut run_report = recorder.report(algo_name).expect("recorder is enabled");
+        run_report.transport = Some(used_transport.to_string());
+        run_report.threads = Some(threadpool::pool_size());
         let json = serde_json::to_string_pretty(&run_report)
             .map_err(|e| CliError::Library(format!("cannot serialize run report: {e}")))?;
         fs::write(path, json)?;
@@ -322,14 +336,29 @@ mod tests {
         for algorithm in [Algorithm::Dsud, Algorithm::Edsud] {
             let path = dir.join("report.json");
             let mut out = Vec::new();
-            query(&data, 4, 0.3, algorithm, None, None, 0, Some(&path), &mut out).unwrap();
+            query(
+                &data,
+                4,
+                0.3,
+                algorithm,
+                None,
+                None,
+                0,
+                Some(&path),
+                Transport::Inline,
+                &mut out,
+            )
+            .unwrap();
             let text = String::from_utf8(out).unwrap();
             assert!(text.contains("run report written to"));
             let report: dsud_core::RunReport =
                 serde_json::from_str(&fs::read_to_string(&path).unwrap()).unwrap();
-            assert_eq!(report.schema_version, 1);
+            assert_eq!(report.schema_version, dsud_core::SCHEMA_VERSION);
             assert!(report.counters.bytes_sent > 0);
             assert!(report.counters.rounds >= 1);
+            assert_eq!(report.transport.as_deref(), Some("inline"));
+            assert_eq!(report.threads, Some(threadpool::pool_size()));
+            assert!(!report.phases.is_empty(), "per-phase totals are aggregated");
             fs::remove_file(&path).unwrap();
         }
     }

@@ -18,6 +18,54 @@ use dsud_uncertain::{SkylineEntry, UncertainTuple};
 
 use crate::{dsud, edsud, Error, LocalSite, ProgressLog, QueryConfig, SiteOptions};
 
+/// Which transport carries coordinator–site traffic.
+///
+/// All three speak the identical protocol over the identical wire
+/// encoding, and every query outcome (skyline order, traffic, stats) is
+/// transport-independent; they differ only in where the site computation
+/// runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Transport {
+    /// Sites run inline on the coordinator's threads (deterministic;
+    /// the default for tests and benchmarks).
+    Inline,
+    /// One OS thread per site behind crossbeam channels.
+    Threaded,
+    /// One loopback TCP socket per site — real sockets, same encoding.
+    Tcp,
+}
+
+impl Transport {
+    /// Stable lowercase name, as accepted by the [`std::str::FromStr`]
+    /// impl and recorded in run reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Transport::Inline => "inline",
+            Transport::Threaded => "threaded",
+            Transport::Tcp => "tcp",
+        }
+    }
+}
+
+impl std::fmt::Display for Transport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for Transport {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "inline" => Ok(Transport::Inline),
+            "threaded" => Ok(Transport::Threaded),
+            "tcp" => Ok(Transport::Tcp),
+            _ => Err(Error::ProtocolViolation("unknown transport (expected inline|threaded|tcp)")),
+        }
+    }
+}
+
 /// Counters describing how a distributed query run unfolded.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RunStats {
@@ -139,21 +187,93 @@ impl Cluster {
     /// Same as [`Cluster::local`], plus [`Error::ProtocolViolation`] if a
     /// socket cannot be bound or connected.
     pub fn tcp(dims: usize, sites: Vec<Vec<UncertainTuple>>) -> Result<Self, Error> {
+        Self::with_transport(
+            dims,
+            sites,
+            SiteOptions::default(),
+            Recorder::default(),
+            Transport::Tcp,
+        )
+    }
+
+    /// Unified constructor: builds a cluster over any [`Transport`] with
+    /// explicit site options and an observability recorder.
+    ///
+    /// Site construction (PR-tree bulk loads) is fanned across the
+    /// [`threadpool`]; the resulting cluster is identical to a sequential
+    /// build because sites are independent and links are wired in site
+    /// order afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Cluster::local`]; [`Transport::Tcp`] additionally returns
+    /// [`Error::ProtocolViolation`] if a socket cannot be bound or
+    /// connected.
+    pub fn with_transport(
+        dims: usize,
+        sites: Vec<Vec<UncertainTuple>>,
+        options: SiteOptions,
+        recorder: Recorder,
+        transport: Transport,
+    ) -> Result<Self, Error> {
         if sites.is_empty() {
             return Err(Error::NoSites);
         }
-        let meter = BandwidthMeter::new();
+        let build_span = recorder.span("cluster:build");
+        let meter = BandwidthMeter::with_recorder(recorder.clone());
         let total_tuples = sites.iter().map(Vec::len).sum();
-        let mut links: Vec<Box<dyn Link>> = Vec::with_capacity(sites.len());
-        for (i, tuples) in sites.into_iter().enumerate() {
-            let site = LocalSite::new(i as u32, dims, tuples, SiteOptions::default())?;
-            let (addr, _server) = tcp::spawn_site(site)
-                .map_err(|_| Error::ProtocolViolation("cannot bind site socket"))?;
-            let link = tcp::TcpLink::connect(addr, meter.clone())
-                .map_err(|_| Error::ProtocolViolation("cannot connect to site socket"))?;
-            links.push(Box::new(link));
+        let built = Self::build_sites(dims, sites, options, &recorder);
+        let mut links: Vec<Box<dyn Link>> = Vec::with_capacity(built.len());
+        for site in built {
+            let site = site?;
+            match transport {
+                Transport::Inline => links.push(Box::new(LocalLink::new(site, meter.clone()))),
+                Transport::Threaded => {
+                    links.push(Box::new(ChannelLink::spawn(site, meter.clone())));
+                }
+                Transport::Tcp => {
+                    let (addr, _server) = tcp::spawn_site(site)
+                        .map_err(|_| Error::ProtocolViolation("cannot bind site socket"))?;
+                    let link = tcp::TcpLink::connect(addr, meter.clone())
+                        .map_err(|_| Error::ProtocolViolation("cannot connect to site socket"))?;
+                    links.push(Box::new(link));
+                }
+            }
         }
+        drop(build_span);
         Ok(Cluster { dims, links, meter, total_tuples })
+    }
+
+    /// Constructs every [`LocalSite`] (each a PR-tree bulk load), one
+    /// scoped thread per site when the pool allows. Results stay in site
+    /// order; errors are surfaced in site order by the caller.
+    fn build_sites(
+        dims: usize,
+        sites: Vec<Vec<UncertainTuple>>,
+        options: SiteOptions,
+        recorder: &Recorder,
+    ) -> Vec<Result<LocalSite, Error>> {
+        let indexed: Vec<(u32, Vec<UncertainTuple>)> =
+            sites.into_iter().enumerate().map(|(i, t)| (i as u32, t)).collect();
+        let make = |(i, tuples): (u32, Vec<UncertainTuple>)| {
+            LocalSite::new(i, dims, tuples, options).map(|mut site| {
+                site.set_recorder(recorder.clone());
+                site
+            })
+        };
+        if threadpool::pool_size() > 1 && indexed.len() > 1 {
+            let mut out = Vec::with_capacity(indexed.len());
+            threadpool::scope(|s| {
+                let handles: Vec<_> =
+                    indexed.into_iter().map(|item| s.spawn(move || make(item))).collect();
+                for h in handles {
+                    out.push(h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)));
+                }
+            });
+            out
+        } else {
+            indexed.into_iter().map(make).collect()
+        }
     }
 
     fn build(
@@ -163,22 +283,8 @@ impl Cluster {
         threaded: bool,
         recorder: Recorder,
     ) -> Result<Self, Error> {
-        if sites.is_empty() {
-            return Err(Error::NoSites);
-        }
-        let meter = BandwidthMeter::with_recorder(recorder.clone());
-        let total_tuples = sites.iter().map(Vec::len).sum();
-        let mut links: Vec<Box<dyn Link>> = Vec::with_capacity(sites.len());
-        for (i, tuples) in sites.into_iter().enumerate() {
-            let mut site = LocalSite::new(i as u32, dims, tuples, options)?;
-            site.set_recorder(recorder.clone());
-            if threaded {
-                links.push(Box::new(ChannelLink::spawn(site, meter.clone())));
-            } else {
-                links.push(Box::new(LocalLink::new(site, meter.clone())));
-            }
-        }
-        Ok(Cluster { dims, links, meter, total_tuples })
+        let transport = if threaded { Transport::Threaded } else { Transport::Inline };
+        Self::with_transport(dims, sites, options, recorder, transport)
     }
 
     /// Number of local sites `m`.

@@ -51,13 +51,15 @@ pub fn run(
     let mut progress = ProgressLog::new();
     let mut skyline: Vec<SkylineEntry> = Vec::new();
 
-    // To-Server phase, first iteration: every site sends its best
-    // representative.
+    // To-Server phase, first iteration: every site extracts its local
+    // skyline and sends its best representative. The broadcast fans the
+    // extraction across sites (replies stay in link order, so the queue is
+    // identical to a sequential poll).
     let mut queue: Vec<TupleMsg> = Vec::with_capacity(links.len());
     {
         let _span = rec.span("to-server:start");
-        for link in links.iter_mut() {
-            if let Some(t) = expect_upload(link.call(Message::Start { q, mask }))? {
+        for (_, reply) in dsud_net::broadcast(links, |_| true, &Message::Start { q, mask }) {
+            if let Some(t) = expect_upload(reply)? {
                 queue.push(t);
             }
         }

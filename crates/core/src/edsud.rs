@@ -154,8 +154,8 @@ pub fn run_with_synopses(
     let mut queue: Vec<Candidate> = Vec::with_capacity(links.len());
     {
         let _span = rec.span("to-server:start");
-        for link in links.iter_mut() {
-            if let Some(t) = expect_upload(link.call(Message::Start { q, mask }))? {
+        for (_, reply) in dsud_net::broadcast(links, |_| true, &Message::Start { q, mask }) {
+            if let Some(t) = expect_upload(reply)? {
                 queue.push(Candidate::new(t, &history, mask));
             }
         }

@@ -66,7 +66,7 @@ mod site;
 pub mod synopsis;
 pub mod update;
 
-pub use cluster::{Cluster, QueryOutcome, RunStats};
+pub use cluster::{Cluster, QueryOutcome, RunStats, Transport};
 pub use config::{BoundMode, QueryConfig, SiteOptions, UpdatePolicy};
 pub use error::Error;
 pub use progress::{ProgressEvent, ProgressLog};
@@ -74,7 +74,10 @@ pub use site::LocalSite;
 
 // Re-export the workspace API surface so `dsud_core` works as a facade.
 pub use dsud_net::{BandwidthMeter, LatencyModel, Link, MeterSnapshot};
-pub use dsud_obs::{Counter, CounterSnapshot, ProgressSample, Recorder, RunReport, SpanRecord};
+pub use dsud_obs::{
+    Counter, CounterSnapshot, PhaseTotal, ProgressSample, Recorder, RunReport, SpanRecord,
+    SCHEMA_VERSION,
+};
 pub use dsud_uncertain::{
     certain_skyline, dominates, dominates_in, probabilistic_skyline, Probability, SkylineEntry,
     SubspaceMask, TupleId, UncertainDb, UncertainTuple,

@@ -13,7 +13,7 @@ use std::collections::VecDeque;
 
 use dsud_net::{Message, Service, TupleMsg};
 use dsud_obs::Recorder;
-use dsud_prtree::{bbs, PrTree};
+use dsud_prtree::{bbs, BbsScratch, PrTree};
 use dsud_uncertain::{dominates_in, SiteId, SubspaceMask, TupleId, UncertainTuple};
 
 use crate::{Error, SiteOptions, UpdatePolicy};
@@ -36,6 +36,9 @@ pub struct LocalSite {
     /// Replica of the global skyline `SKY(H)` (Section 5.4): lets the site
     /// decide locally whether an update can affect the global result.
     replica: Vec<TupleMsg>,
+    /// Reused BBS traversal buffers: a site answers one Start plus many
+    /// region queries per workload, all against the same tree.
+    scratch: BbsScratch,
 }
 
 /// Per-query state: the surviving local skyline, in descending local
@@ -106,6 +109,7 @@ impl LocalSite {
             options,
             query: None,
             replica: Vec::new(),
+            scratch: BbsScratch::default(),
         })
     }
 
@@ -146,7 +150,7 @@ impl LocalSite {
     }
 
     fn start(&mut self, q: f64, mask: SubspaceMask) -> Message {
-        let sky = match bbs::local_skyline(&self.tree, q, mask) {
+        let sky = match bbs::local_skyline_with(&self.tree, q, mask, &mut self.scratch) {
             Ok(sky) => sky,
             // The coordinator validates q and mask before starting; a
             // failure here means the two sides disagree on the space.
@@ -287,7 +291,13 @@ impl LocalSite {
         let home = msg.id.site == self.id;
         if home || self.options.update_policy == UpdatePolicy::Exact {
             let (q, mask) = (active.q, active.mask);
-            return match bbs::local_skyline_in_region(&self.tree, q, mask, &msg.values) {
+            return match bbs::local_skyline_in_region_with(
+                &self.tree,
+                q,
+                mask,
+                &msg.values,
+                &mut self.scratch,
+            ) {
                 Ok(entries) => Message::RegionReply(
                     entries.into_iter().map(|e| TupleMsg::new(&e.tuple, e.probability)).collect(),
                 ),

@@ -39,7 +39,10 @@ where
 /// the threaded and TCP transports the sites then compute concurrently,
 /// which is how a real deployment fans out its feedback broadcasts.
 /// At most one request may be outstanding per link.
-pub trait Link {
+///
+/// Links are `Send` so [`broadcast`] can drive inline transports from the
+/// coordinator's thread pool.
+pub trait Link: Send {
     /// Sends a request to the site and waits for its reply.
     fn call(&mut self, msg: Message) -> Message;
 
@@ -59,24 +62,43 @@ pub trait Link {
 }
 
 /// Puts `msg` in flight on every link selected by `include`, then collects
-/// the replies in link order. With concurrent transports the selected
-/// sites process the request in parallel.
+/// the replies in link order.
+///
+/// With a thread pool larger than one, each selected link is driven from
+/// its own scoped thread, so even *inline* transports (whose [`Link::begin`]
+/// computes eagerly on the caller's stack) process the request
+/// concurrently. With a pool of one — the documented sequential fallback —
+/// the begin-all/complete-all pattern is used instead, which still overlaps
+/// transports that are concurrent by construction (threaded, TCP).
+///
+/// Either way the reply vector is ordered by link index and each reply is
+/// produced by the same per-site computation, so results are identical for
+/// every pool size.
 pub fn broadcast<F>(links: &mut [Box<dyn Link>], include: F, msg: &Message) -> Vec<(usize, Message)>
 where
     F: Fn(usize) -> bool,
 {
-    for (i, link) in links.iter_mut().enumerate() {
-        if include(i) {
-            link.begin(msg.clone());
-        }
+    let selected: Vec<(usize, &mut Box<dyn Link>)> =
+        links.iter_mut().enumerate().filter(|(i, _)| include(*i)).collect();
+    if threadpool::pool_size() > 1 && selected.len() > 1 {
+        let mut replies = Vec::with_capacity(selected.len());
+        threadpool::scope(|s| {
+            let handles: Vec<_> = selected
+                .into_iter()
+                .map(|(i, link)| s.spawn(move || (i, link.call(msg.clone()))))
+                .collect();
+            for h in handles {
+                replies.push(h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)));
+            }
+        });
+        return replies;
     }
-    let mut replies = Vec::new();
-    for (i, link) in links.iter_mut().enumerate() {
-        if include(i) {
-            replies.push((i, link.complete()));
-        }
+    let mut pending = Vec::with_capacity(selected.len());
+    for (i, link) in selected {
+        link.begin(msg.clone());
+        pending.push((i, link));
     }
-    replies
+    pending.into_iter().map(|(i, link)| (i, link.complete())).collect()
 }
 
 /// Deterministic in-process transport: the service runs inline on the
@@ -390,6 +412,46 @@ mod tests {
             elapsed < std::time::Duration::from_millis(150),
             "broadcast took {elapsed:?}, expected parallel overlap"
         );
+    }
+
+    #[test]
+    fn broadcast_replies_are_pool_size_invariant() {
+        // Stateful inline services: each reply depends on how many
+        // requests the site has seen, so any reordering or dropped call
+        // would change the transcript.
+        let make_links = || -> Vec<Box<dyn Link>> {
+            let meter = BandwidthMeter::new();
+            (0..6)
+                .map(|site| {
+                    let mut seen = 0u64;
+                    let service = move |_msg: Message| {
+                        seen += 1;
+                        Message::SurvivalReply { survival: (site * 100 + seen) as f64, pruned: 0 }
+                    };
+                    Box::new(LocalLink::new(service, meter.clone())) as _
+                })
+                .collect()
+        };
+        let reference = {
+            threadpool::set_pool_size(1);
+            let mut links = make_links();
+            let mut rounds = Vec::new();
+            for _ in 0..3 {
+                rounds.push(broadcast(&mut links, |i| i != 1, &Message::RequestNext));
+            }
+            threadpool::set_pool_size(0);
+            rounds
+        };
+        for pool in [2usize, 8] {
+            threadpool::set_pool_size(pool);
+            let mut links = make_links();
+            let mut rounds = Vec::new();
+            for _ in 0..3 {
+                rounds.push(broadcast(&mut links, |i| i != 1, &Message::RequestNext));
+            }
+            threadpool::set_pool_size(0);
+            assert_eq!(rounds, reference, "pool {pool}");
+        }
     }
 
     #[test]

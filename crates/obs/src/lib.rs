@@ -30,7 +30,12 @@ use serde::{Deserialize, Serialize};
 
 /// Version of the [`RunReport`] JSON schema. Bump on any breaking change
 /// to the report layout so downstream tooling can dispatch on it.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// Version history:
+/// * 1 — counters + spans + progressive trace.
+/// * 2 — adds per-phase wall-clock totals ([`RunReport::phases`]) and the
+///   run's `transport` / `threads` configuration stamps.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Typed counters of the paper's cost model.
 ///
@@ -91,6 +96,22 @@ pub struct SpanRecord {
     /// Microseconds from recorder creation to span end; `None` if the
     /// span was still open when the report was taken.
     pub end_us: Option<u64>,
+}
+
+/// Aggregate wall-clock spent in all spans sharing one label.
+///
+/// Spans nest, so phase totals overlap (e.g. every `"round"` contains a
+/// `"server-delivery"`); totals answer "how long did we spend in phase X
+/// overall", not "how do phases partition the run".
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseTotal {
+    /// Span label this total aggregates, e.g. `"server-delivery"`.
+    pub name: String,
+    /// Number of spans recorded under this label.
+    pub count: u64,
+    /// Total microseconds across those spans. Spans still open when the
+    /// report was taken are counted up to the report time.
+    pub total_us: u64,
 }
 
 /// One progressively-reported skyline answer, timestamped.
@@ -185,6 +206,18 @@ pub struct RunReport {
     /// Every recorded span, in start order. `parent` indices point into
     /// this same vector, encoding the `query → round → site-phase` tree.
     pub spans: Vec<SpanRecord>,
+    /// Wall-clock totals aggregated from [`RunReport::spans`] by label,
+    /// sorted by name. Derived at report time; absent in schema 1 files.
+    #[serde(default)]
+    pub phases: Vec<PhaseTotal>,
+    /// Transport the run used (`"inline"`, `"threaded"`, `"tcp"`), stamped
+    /// by the caller that knows it (e.g. the CLI); `None` otherwise.
+    #[serde(default)]
+    pub transport: Option<String>,
+    /// Thread-pool size the compute layer ran with, stamped by the caller;
+    /// `None` otherwise.
+    #[serde(default)]
+    pub threads: Option<usize>,
     /// Progressive answer trace, in report order (timestamps are
     /// monotonically non-decreasing).
     pub progressive: Vec<ProgressSample>,
@@ -317,6 +350,7 @@ impl Recorder {
     /// `end_us: None`).
     pub fn report(&self, algorithm: &str) -> Option<RunReport> {
         let inner = self.inner.as_ref()?;
+        let now_us = inner.elapsed_us();
         let wall_ms = inner.started.elapsed().as_secs_f64() * 1e3;
         let state = inner.state();
         Some(RunReport {
@@ -324,10 +358,30 @@ impl Recorder {
             algorithm: algorithm.to_string(),
             wall_ms,
             counters: CounterSnapshot::from_array(&state.counters),
+            phases: phase_totals(&state.spans, now_us),
             spans: state.spans.clone(),
             progressive: state.progressive.clone(),
+            transport: None,
+            threads: None,
         })
     }
+}
+
+/// Aggregates spans by label into name-sorted [`PhaseTotal`]s. Spans still
+/// open are counted up to `now_us`.
+fn phase_totals(spans: &[SpanRecord], now_us: u64) -> Vec<PhaseTotal> {
+    let mut totals: std::collections::BTreeMap<&str, (u64, u64)> =
+        std::collections::BTreeMap::new();
+    for span in spans {
+        let end = span.end_us.unwrap_or(now_us);
+        let entry = totals.entry(span.name.as_str()).or_insert((0, 0));
+        entry.0 += 1;
+        entry.1 += end.saturating_sub(span.start_us);
+    }
+    totals
+        .into_iter()
+        .map(|(name, (count, total_us))| PhaseTotal { name: name.to_string(), count, total_us })
+        .collect()
 }
 
 /// RAII guard closing a span opened by [`Recorder::span`].
@@ -428,6 +482,63 @@ mod tests {
             assert!(pair[0].at_us <= pair[1].at_us);
             assert!(pair[0].tuples_transmitted <= pair[1].tuples_transmitted);
         }
+    }
+
+    #[test]
+    fn phases_aggregate_spans_by_name() {
+        let rec = Recorder::enabled();
+        {
+            let _query = rec.span("query:dsud");
+            for _ in 0..3 {
+                let _round = rec.span("round");
+            }
+        }
+        let open = rec.span("to-server"); // still open at report time
+        let report = rec.report("dsud").unwrap();
+        drop(open);
+
+        assert_eq!(report.phases.len(), 3);
+        // BTreeMap order: name-sorted.
+        assert_eq!(report.phases[0].name, "query:dsud");
+        assert_eq!(report.phases[0].count, 1);
+        assert_eq!(report.phases[1].name, "round");
+        assert_eq!(report.phases[1].count, 3);
+        assert_eq!(report.phases[2].name, "to-server");
+        assert_eq!(report.phases[2].count, 1);
+
+        let round_spans: u64 = report
+            .spans
+            .iter()
+            .filter(|s| s.name == "round")
+            .map(|s| s.end_us.unwrap() - s.start_us)
+            .sum();
+        assert_eq!(report.phases[1].total_us, round_spans);
+        assert_eq!(report.transport, None);
+        assert_eq!(report.threads, None);
+    }
+
+    #[test]
+    fn schema_one_reports_deserialize_with_defaults() {
+        // A schema-1 file has no phases/transport/threads; they must fill
+        // in as empty defaults rather than failing the parse.
+        let json = r#"{
+            "schema_version": 1,
+            "algorithm": "dsud",
+            "wall_ms": 1.5,
+            "counters": {
+                "bytes_sent": 0, "messages": 0, "tuples_shipped": 0,
+                "feedback_broadcasts": 0, "rounds": 0, "expunged": 0,
+                "pruned_at_sites": 0, "prtree_nodes_visited": 0,
+                "prtree_pruned_subtrees": 0, "local_skyline_size": 0,
+                "progressive_results": 0
+            },
+            "spans": [],
+            "progressive": []
+        }"#;
+        let report: RunReport = serde_json::from_str(json).unwrap();
+        assert!(report.phases.is_empty());
+        assert_eq!(report.transport, None);
+        assert_eq!(report.threads, None);
     }
 
     #[test]

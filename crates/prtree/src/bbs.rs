@@ -45,6 +45,20 @@ impl Ord for MinDist {
     }
 }
 
+/// Reusable traversal buffers for the BBS procedures.
+///
+/// A site answering many queries (or re-evaluating after updates) can hold
+/// one scratch and pass it to [`local_skyline_with`] /
+/// [`local_skyline_in_region_with`] to amortize the heap, stack, and
+/// dominated-row allocations across calls. The buffers are cleared on
+/// entry, so reuse never changes results.
+#[derive(Debug, Default)]
+pub struct BbsScratch {
+    heap: BinaryHeap<Reverse<(MinDist, usize)>>,
+    stack: Vec<usize>,
+    rows: Vec<usize>,
+}
+
 /// Computes the qualified local skyline `SKY(D_i)`: every tuple whose local
 /// skyline probability is at least `q`, sorted in descending probability
 /// (ties broken by tuple id).
@@ -78,6 +92,21 @@ pub fn local_skyline(
     q: f64,
     mask: SubspaceMask,
 ) -> Result<Vec<SkylineEntry>, Error> {
+    local_skyline_with(tree, q, mask, &mut BbsScratch::default())
+}
+
+/// [`local_skyline`] with caller-provided [`BbsScratch`] buffers, for hot
+/// paths that issue many traversals against the same tree.
+///
+/// # Errors
+///
+/// Same conditions as [`local_skyline`].
+pub fn local_skyline_with(
+    tree: &PrTree,
+    q: f64,
+    mask: SubspaceMask,
+    scratch: &mut BbsScratch,
+) -> Result<Vec<SkylineEntry>, Error> {
     if !(q > 0.0 && q <= 1.0) {
         return Err(Error::InvalidThreshold(q));
     }
@@ -88,7 +117,8 @@ pub fn local_skyline(
         return Ok(out);
     };
 
-    let mut heap: BinaryHeap<Reverse<(MinDist, usize)>> = BinaryHeap::new();
+    let heap = &mut scratch.heap;
+    heap.clear();
     let root_mindist = tree.summary().map(|s| s.mbr.mindist(mask)).unwrap_or(0.0);
     heap.push(Reverse((MinDist(root_mindist), root)));
 
@@ -97,8 +127,8 @@ pub fn local_skyline(
     while let Some(Reverse((_, idx))) = heap.pop() {
         visited += 1;
         match &tree.node(idx).body {
-            NodeBody::Leaf(tuples) => {
-                for t in tuples {
+            NodeBody::Leaf(leaf) => {
+                for t in leaf.tuples() {
                     let p = t.prob().get() * tree.survival_product(t.values(), mask);
                     if p >= q {
                         out.push(SkylineEntry { tuple: t.clone(), probability: p });
@@ -152,6 +182,21 @@ pub fn local_skyline_in_region(
     mask: SubspaceMask,
     origin: &[f64],
 ) -> Result<Vec<SkylineEntry>, Error> {
+    local_skyline_in_region_with(tree, q, mask, origin, &mut BbsScratch::default())
+}
+
+/// [`local_skyline_in_region`] with caller-provided [`BbsScratch`] buffers.
+///
+/// # Errors
+///
+/// Same conditions as [`local_skyline`].
+pub fn local_skyline_in_region_with(
+    tree: &PrTree,
+    q: f64,
+    mask: SubspaceMask,
+    origin: &[f64],
+    scratch: &mut BbsScratch,
+) -> Result<Vec<SkylineEntry>, Error> {
     if !(q > 0.0 && q <= 1.0) {
         return Err(Error::InvalidThreshold(q));
     }
@@ -161,17 +206,22 @@ pub fn local_skyline_in_region(
     let Some(root) = tree.root_index() else {
         return Ok(out);
     };
-    let mut stack = vec![root];
+    let BbsScratch { stack, rows, .. } = scratch;
+    stack.clear();
+    stack.push(root);
     let mut visited = 0u64;
     let mut pruned = 0u64;
     while let Some(idx) = stack.pop() {
         visited += 1;
         match &tree.node(idx).body {
-            NodeBody::Leaf(tuples) => {
-                for t in tuples {
-                    if !dsud_uncertain::dominates_in(origin, t.values(), mask) {
-                        continue;
-                    }
+            NodeBody::Leaf(leaf) => {
+                // Batch kernel: one columnar pass finds the rows strictly
+                // dominated by `origin`, in ascending row order (the same
+                // order as the scalar loop it replaced).
+                rows.clear();
+                leaf.batch().dominated_by(origin, mask, rows);
+                for &row in rows.iter() {
+                    let t = &leaf.tuples()[row];
                     let p = t.prob().get() * tree.survival_product(t.values(), mask);
                     if p >= q {
                         out.push(SkylineEntry { tuple: t.clone(), probability: p });
@@ -363,6 +413,26 @@ mod tests {
         // The region variant counts traversal work but not skyline size.
         local_skyline_in_region(&tree, 0.3, full(2), &[-1.0, -1.0]).unwrap();
         assert_eq!(rec.counter(Counter::LocalSkylineSize), sky.len() as u64);
+    }
+
+    #[test]
+    fn scratch_reuse_never_changes_results() {
+        let tuples = random_tuples(400, 3, 61);
+        let tree = PrTree::bulk_load(3, tuples).unwrap();
+        let mask = full(3);
+        let mut scratch = BbsScratch::default();
+        let fresh = local_skyline(&tree, 0.2, mask).unwrap();
+        for _ in 0..3 {
+            let reused = local_skyline_with(&tree, 0.2, mask, &mut scratch).unwrap();
+            assert_eq!(reused, fresh);
+        }
+        let origin = [500.0, 500.0, 500.0];
+        let fresh_region = local_skyline_in_region(&tree, 0.2, mask, &origin).unwrap();
+        for _ in 0..3 {
+            let reused =
+                local_skyline_in_region_with(&tree, 0.2, mask, &origin, &mut scratch).unwrap();
+            assert_eq!(reused, fresh_region);
+        }
     }
 
     #[test]

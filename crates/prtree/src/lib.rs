@@ -50,6 +50,7 @@ mod mbr;
 mod node;
 mod tree;
 
+pub use bbs::BbsScratch;
 pub use error::Error;
 pub use mbr::Mbr;
 pub use node::Summary;

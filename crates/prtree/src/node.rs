@@ -5,7 +5,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use dsud_uncertain::UncertainTuple;
+use dsud_uncertain::{Batch, UncertainTuple};
 
 use crate::Mbr;
 
@@ -65,11 +65,67 @@ impl Summary {
     }
 }
 
+/// Tuples of a leaf node together with their columnar [`Batch`] mirror.
+///
+/// The batch is kept in lockstep with `tuples` on every mutation so leaf
+/// window scans (survival products, dominator collection) can run on the
+/// cache-friendly kernel instead of tuple-at-a-time dominance tests. Row
+/// `i` of the batch always describes `tuples[i]`.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct LeafData {
+    tuples: Vec<UncertainTuple>,
+    batch: Batch,
+}
+
+impl LeafData {
+    pub(crate) fn new(tuples: Vec<UncertainTuple>) -> Self {
+        let dims = tuples.first().map(|t| t.dims()).unwrap_or(0);
+        LeafData { batch: Batch::from_tuples(dims, &tuples), tuples }
+    }
+
+    pub(crate) fn tuples(&self) -> &[UncertainTuple] {
+        &self.tuples
+    }
+
+    pub(crate) fn batch(&self) -> &Batch {
+        &self.batch
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    pub(crate) fn push(&mut self, t: UncertainTuple) {
+        self.batch.push(&t);
+        self.tuples.push(t);
+    }
+
+    pub(crate) fn swap_remove(&mut self, i: usize) -> UncertainTuple {
+        self.batch.swap_remove(i);
+        self.tuples.swap_remove(i)
+    }
+
+    /// Moves the tuples out, leaving the leaf empty (used by node splits).
+    pub(crate) fn take_tuples(&mut self) -> Vec<UncertainTuple> {
+        self.batch = Batch::default();
+        std::mem::take(&mut self.tuples)
+    }
+
+    /// Replaces the contents wholesale, rebuilding the batch.
+    pub(crate) fn set_tuples(&mut self, tuples: Vec<UncertainTuple>) {
+        *self = LeafData::new(tuples);
+    }
+}
+
 /// Body of a PR-tree node.
 #[derive(Debug, Clone)]
 pub(crate) enum NodeBody {
-    /// Leaf node holding tuples directly.
-    Leaf(Vec<UncertainTuple>),
+    /// Leaf node holding tuples plus their columnar mirror.
+    Leaf(LeafData),
     /// Internal node holding `(child arena index, child summary)` entries.
     Internal(Vec<(usize, Summary)>),
 }
@@ -82,7 +138,7 @@ pub(crate) struct Node {
 
 impl Node {
     pub(crate) fn leaf(tuples: Vec<UncertainTuple>) -> Self {
-        Node { body: NodeBody::Leaf(tuples) }
+        Node { body: NodeBody::Leaf(LeafData::new(tuples)) }
     }
 
     pub(crate) fn internal(children: Vec<(usize, Summary)>) -> Self {
@@ -94,8 +150,8 @@ impl Node {
     /// Returns `None` for an empty node.
     pub(crate) fn summary(&self) -> Option<Summary> {
         match &self.body {
-            NodeBody::Leaf(tuples) => {
-                let mut it = tuples.iter();
+            NodeBody::Leaf(leaf) => {
+                let mut it = leaf.tuples().iter();
                 let mut acc = Summary::of_tuple(it.next()?);
                 for t in it {
                     acc.merge(&Summary::of_tuple(t));
@@ -109,7 +165,7 @@ impl Node {
     #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn entry_count(&self) -> usize {
         match &self.body {
-            NodeBody::Leaf(t) => t.len(),
+            NodeBody::Leaf(leaf) => leaf.len(),
             NodeBody::Internal(c) => c.len(),
         }
     }

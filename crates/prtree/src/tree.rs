@@ -9,7 +9,7 @@
 //! BBS local-skyline traversal lives in [`crate::bbs`].
 
 use dsud_obs::Recorder;
-use dsud_uncertain::{dominates_in, SubspaceMask, TupleId, UncertainTuple};
+use dsud_uncertain::{SubspaceMask, TupleId, UncertainTuple};
 
 use crate::node::{Node, NodeBody};
 use crate::{Error, Summary};
@@ -103,16 +103,19 @@ impl PrTree {
         }
         tree.len = tuples.len();
 
-        // STR: recursively tile the points into leaf-sized groups.
+        // STR: recursively tile the points into leaf-sized groups, then
+        // build each leaf (columnar batch + summary) on the pool. Arena
+        // allocation stays sequential so node indices are deterministic;
+        // the group order itself is pool-size independent (the parallel
+        // sort is stable and slabs are processed in slab order).
         let groups = str_tiles(tuples, 0, dims, max_entries);
-        let mut level: Vec<(usize, Summary)> = groups
-            .into_iter()
-            .map(|g| {
-                let node = Node::leaf(g);
-                let summary = node.summary().expect("STR groups are non-empty");
-                (tree.alloc(node), summary)
-            })
-            .collect();
+        let built = threadpool::parallel_map_vec(groups, |_, g| {
+            let node = Node::leaf(g);
+            let summary = node.summary().expect("STR groups are non-empty");
+            (node, summary)
+        });
+        let mut level: Vec<(usize, Summary)> =
+            built.into_iter().map(|(node, summary)| (tree.alloc(node), summary)).collect();
 
         // Pack upper levels from consecutive (already spatially clustered)
         // children until a single root remains.
@@ -207,8 +210,8 @@ impl PrTree {
         // Collapse trivial roots.
         while let Some(root) = self.root {
             match &self.node(root).body {
-                NodeBody::Leaf(tuples) => {
-                    if tuples.is_empty() {
+                NodeBody::Leaf(leaf) => {
+                    if leaf.is_empty() {
                         self.dealloc(root);
                         self.root = None;
                     }
@@ -270,7 +273,7 @@ impl PrTree {
         let mut stack = vec![root];
         while let Some(idx) = stack.pop() {
             match &self.node(idx).body {
-                NodeBody::Leaf(tuples) => out.extend(tuples.iter().filter(|t| {
+                NodeBody::Leaf(leaf) => out.extend(leaf.tuples().iter().filter(|t| {
                     t.values()
                         .iter()
                         .zip(lower.iter().zip(upper))
@@ -361,20 +364,20 @@ impl PrTree {
         let is_leaf = matches!(self.node(idx).body, NodeBody::Leaf(_));
         if is_leaf {
             let max = self.max_entries;
-            let NodeBody::Leaf(tuples) = &mut self.node_mut(idx).body else { unreachable!() };
-            tuples.push(tuple);
-            if tuples.len() <= max {
+            let NodeBody::Leaf(leaf) = &mut self.node_mut(idx).body else { unreachable!() };
+            leaf.push(tuple);
+            if leaf.len() <= max {
                 return None;
             }
             // Split: sort on the widest dimension and halve.
-            let mut moved = std::mem::take(tuples);
+            let mut moved = leaf.take_tuples();
             let dim = widest_dim(moved.iter().map(|t| t.values()), self.dims);
             moved.sort_by(|a, b| {
                 a.values()[dim].partial_cmp(&b.values()[dim]).expect("finite values")
             });
             let right = moved.split_off(moved.len() / 2);
-            let NodeBody::Leaf(tuples) = &mut self.node_mut(idx).body else { unreachable!() };
-            *tuples = moved;
+            let NodeBody::Leaf(leaf) = &mut self.node_mut(idx).body else { unreachable!() };
+            leaf.set_tuples(moved);
             let right_node = Node::leaf(right);
             let right_summary = right_node.summary().expect("split halves are non-empty");
             let right_idx = self.alloc(right_node);
@@ -432,9 +435,9 @@ impl PrTree {
     fn remove_rec(&mut self, idx: usize, id: TupleId, point: &[f64]) -> Option<UncertainTuple> {
         let is_leaf = matches!(self.node(idx).body, NodeBody::Leaf(_));
         if is_leaf {
-            let NodeBody::Leaf(tuples) = &mut self.node_mut(idx).body else { unreachable!() };
-            let pos = tuples.iter().position(|t| t.id() == id)?;
-            return Some(tuples.swap_remove(pos));
+            let NodeBody::Leaf(leaf) = &mut self.node_mut(idx).body else { unreachable!() };
+            let pos = leaf.tuples().iter().position(|t| t.id() == id)?;
+            return Some(leaf.swap_remove(pos));
         }
         // Try each child whose MBR contains the point.
         let candidates: Vec<(usize, usize)> = {
@@ -472,7 +475,7 @@ impl PrTree {
 
     fn get_rec(&self, idx: usize, id: TupleId, point: &[f64]) -> Option<&UncertainTuple> {
         match &self.node(idx).body {
-            NodeBody::Leaf(tuples) => tuples.iter().find(|t| t.id() == id),
+            NodeBody::Leaf(leaf) => leaf.tuples().iter().find(|t| t.id() == id),
             NodeBody::Internal(children) => children
                 .iter()
                 .filter(|(_, s)| s.mbr.contains_point(point))
@@ -482,11 +485,10 @@ impl PrTree {
 
     fn survival_rec(&self, idx: usize, point: &[f64], mask: SubspaceMask) -> f64 {
         match &self.node(idx).body {
-            NodeBody::Leaf(tuples) => tuples
-                .iter()
-                .filter(|t| dominates_in(t.values(), point, mask))
-                .map(|t| t.prob().complement())
-                .product(),
+            // The batch kernel multiplies complements in ascending row
+            // order — exactly the order of the scalar filter/product loop
+            // it replaced, so leaf products are bit-identical.
+            NodeBody::Leaf(leaf) => leaf.batch().survival_product(point, mask),
             NodeBody::Internal(children) => {
                 let mut product = 1.0;
                 for (child, s) in children {
@@ -512,8 +514,10 @@ impl PrTree {
         out: &mut Vec<&'a UncertainTuple>,
     ) {
         match &self.node(idx).body {
-            NodeBody::Leaf(tuples) => {
-                out.extend(tuples.iter().filter(|t| dominates_in(t.values(), point, mask)));
+            NodeBody::Leaf(leaf) => {
+                let mut rows = Vec::new();
+                leaf.batch().dominators_of(point, mask, &mut rows);
+                out.extend(rows.into_iter().map(|i| &leaf.tuples()[i]));
             }
             NodeBody::Internal(children) => {
                 for (child, s) in children {
@@ -538,7 +542,7 @@ impl PrTree {
 
     fn check_rec(&self, idx: usize) -> usize {
         match &self.node(idx).body {
-            NodeBody::Leaf(tuples) => tuples.len(),
+            NodeBody::Leaf(leaf) => leaf.len(),
             NodeBody::Internal(children) => {
                 assert!(!children.is_empty(), "internal nodes are never empty");
                 let mut total = 0;
@@ -572,10 +576,10 @@ impl<'a> Iterator for Iter<'a> {
     fn next(&mut self) -> Option<Self::Item> {
         loop {
             if let Some((node, pos)) = self.leaf {
-                let NodeBody::Leaf(tuples) = &self.tree.node(node).body else { unreachable!() };
-                if pos < tuples.len() {
+                let NodeBody::Leaf(leaf) = &self.tree.node(node).body else { unreachable!() };
+                if pos < leaf.len() {
                     self.leaf = Some((node, pos + 1));
-                    return Some(&tuples[pos]);
+                    return Some(&leaf.tuples()[pos]);
                 }
                 self.leaf = None;
             }
@@ -618,6 +622,11 @@ where
 }
 
 /// Sort-Tile-Recursive partitioning into groups of at most `cap` tuples.
+///
+/// The top-level sort runs on the [`threadpool`] (stable parallel merge
+/// sort, identical output to `sort_by`), and the first round of slabs is
+/// tiled concurrently. Group order and contents are independent of the
+/// pool size.
 fn str_tiles(
     mut items: Vec<UncertainTuple>,
     dim: usize,
@@ -627,7 +636,9 @@ fn str_tiles(
     if items.len() <= cap {
         return vec![items];
     }
-    items.sort_by(|a, b| a.values()[dim].partial_cmp(&b.values()[dim]).expect("finite values"));
+    threadpool::par_sort_by(&mut items, |a, b| {
+        a.values()[dim].partial_cmp(&b.values()[dim]).expect("finite values")
+    });
     if dim + 1 == dims {
         return items.chunks(cap).map(|c| c.to_vec()).collect();
     }
@@ -635,14 +646,22 @@ fn str_tiles(
     let remaining = (dims - dim) as f64;
     let n_slabs = (n_groups as f64).powf(1.0 / remaining).ceil() as usize;
     let slab_size = items.len().div_ceil(n_slabs.max(1));
-    let mut out = Vec::new();
+    let mut slabs = Vec::new();
     let mut rest = items;
     while !rest.is_empty() {
         let take = slab_size.min(rest.len());
-        let slab: Vec<UncertainTuple> = rest.drain(..take).collect();
-        out.extend(str_tiles(slab, dim + 1, dims, cap));
+        slabs.push(rest.drain(..take).collect::<Vec<UncertainTuple>>());
     }
-    out
+    if dim == 0 {
+        // Fan the independent slabs across the pool; recursion below the
+        // first dimension stays sequential inside each worker.
+        threadpool::parallel_map_vec(slabs, |_, slab| str_tiles(slab, dim + 1, dims, cap))
+            .into_iter()
+            .flatten()
+            .collect()
+    } else {
+        slabs.into_iter().flat_map(|slab| str_tiles(slab, dim + 1, dims, cap)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -870,6 +889,43 @@ mod tests {
         let (height, nodes) = big.shape();
         assert!(height >= 3, "height {height}");
         assert!(nodes >= 1000 / 8, "nodes {nodes}");
+    }
+
+    #[test]
+    fn bulk_load_is_pool_size_invariant() {
+        let tuples = random_tuples(2000, 3, 123);
+        threadpool::set_pool_size(1);
+        let reference = PrTree::bulk_load(3, tuples.clone()).unwrap();
+        threadpool::set_pool_size(0);
+        let ref_order: Vec<u64> = reference.iter().map(|t| t.id().seq).collect();
+        for pool in [2usize, 8] {
+            threadpool::set_pool_size(pool);
+            let tree = PrTree::bulk_load(3, tuples.clone()).unwrap();
+            threadpool::set_pool_size(0);
+            tree.check_invariants();
+            assert_eq!(tree.shape(), reference.shape(), "pool {pool}");
+            let order: Vec<u64> = tree.iter().map(|t| t.id().seq).collect();
+            assert_eq!(order, ref_order, "pool {pool}");
+        }
+    }
+
+    #[test]
+    fn single_leaf_survival_is_bit_identical_to_scalar() {
+        // With all tuples in one leaf, the tree product is exactly the
+        // kernel's leaf product, which must equal the scalar loop with ==.
+        let tuples = random_tuples(300, 3, 9);
+        let tree = PrTree::bulk_load_with(3, tuples.clone(), 512).unwrap();
+        assert_eq!(tree.shape(), (1, 1));
+        let mask = full(3);
+        for probe in random_tuples(40, 3, 31) {
+            let scalar: f64 = tuples
+                .iter()
+                .filter(|t| dsud_uncertain::dominates_in(t.values(), probe.values(), mask))
+                .map(|t| t.prob().complement())
+                .product();
+            let got = tree.survival_product(probe.values(), mask);
+            assert_eq!(got.to_bits(), scalar.to_bits());
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 use serde::{Deserialize, Serialize};
 
-use crate::SubspaceMask;
+use crate::{SubspaceMask, UncertainTuple};
 
 /// Outcome of comparing two points under Pareto dominance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -123,6 +123,215 @@ pub fn relation(a: &[f64], b: &[f64], mask: SubspaceMask) -> DomRelation {
     }
 }
 
+/// Rows per bitset word; dominance tests are evaluated in blocks of this
+/// many tuples at a time.
+const LANE: usize = 64;
+
+/// A columnar (structure-of-arrays) batch of uncertain tuples for bulk
+/// dominance evaluation.
+///
+/// Row-major tuple storage makes every dominance test chase one `Vec` per
+/// tuple; for the hot window queries — "which stored tuples dominate this
+/// point, and what is their survival product ∏ (1 − P(t'))?" — the batch
+/// instead keeps one contiguous `Vec<f64>` per dimension plus probability
+/// and complement columns. Queries then stream each column once, computing
+/// `≤` / `<` masks for 64 rows per bitset word (`LANE` = 64).
+///
+/// # Determinism contract
+///
+/// Every query is bit-for-bit identical to the scalar loop over the same
+/// tuples in the same order: dominance is a boolean (evaluation order
+/// cannot change it), and [`Batch::survival_product`] multiplies
+/// complements in ascending row order — exactly the order
+/// `tuples.iter().filter(dominates).map(complement).product()` uses. Tests
+/// and proptests compare with `==` on the raw `f64`s, not a tolerance.
+///
+/// # Example
+///
+/// ```
+/// use dsud_uncertain::{Batch, Probability, SubspaceMask, TupleId, UncertainTuple};
+///
+/// # fn main() -> Result<(), dsud_uncertain::Error> {
+/// let tuples = vec![
+///     UncertainTuple::new(TupleId::new(0, 0), vec![1.0, 1.0], Probability::new(0.5)?)?,
+///     UncertainTuple::new(TupleId::new(0, 1), vec![9.0, 9.0], Probability::new(0.5)?)?,
+/// ];
+/// let batch = Batch::from_tuples(2, &tuples);
+/// let mask = SubspaceMask::full(2)?;
+/// // Only (1,1) dominates the probe, so its complement is the product.
+/// assert_eq!(batch.survival_product(&[5.0, 5.0], mask), 0.5);
+/// assert!(batch.dominated_by_any(&[5.0, 5.0], mask));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Batch {
+    len: usize,
+    /// One column per dimension, each of length `len`.
+    cols: Vec<Vec<f64>>,
+    /// Existential probability `P(t)` per row.
+    probs: Vec<f64>,
+    /// `1 − P(t)` per row, precomputed for survival products.
+    complements: Vec<f64>,
+}
+
+impl Batch {
+    /// An empty batch over a `dims`-dimensional space.
+    pub fn new(dims: usize) -> Self {
+        Batch { len: 0, cols: vec![Vec::new(); dims], probs: Vec::new(), complements: Vec::new() }
+    }
+
+    /// Builds a batch from tuples, preserving their order (row `i` is the
+    /// `i`-th tuple yielded).
+    pub fn from_tuples<'a, I>(dims: usize, tuples: I) -> Self
+    where
+        I: IntoIterator<Item = &'a UncertainTuple>,
+    {
+        let mut batch = Batch::new(dims);
+        for t in tuples {
+            batch.push(t);
+        }
+        batch
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Dimensionality of the columnar layout.
+    pub fn dims(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Existential probability of row `i`.
+    pub fn prob(&self, i: usize) -> f64 {
+        self.probs[i]
+    }
+
+    /// Appends a tuple as the last row.
+    ///
+    /// An empty batch adopts the tuple's dimensionality if it differs from
+    /// its own (so containers can start from `Batch::default()`).
+    pub fn push(&mut self, t: &UncertainTuple) {
+        if self.len == 0 && self.cols.len() != t.dims() {
+            self.cols = vec![Vec::new(); t.dims()];
+        }
+        debug_assert_eq!(self.cols.len(), t.dims(), "batch rows share one dimensionality");
+        for (col, &v) in self.cols.iter_mut().zip(t.values()) {
+            col.push(v);
+        }
+        self.probs.push(t.prob().get());
+        self.complements.push(t.prob().complement());
+        self.len += 1;
+    }
+
+    /// Removes row `i` by swapping the last row into its place, mirroring
+    /// `Vec::swap_remove` so a sibling `Vec<UncertainTuple>` kept in sync
+    /// with the same operations stays row-aligned.
+    pub fn swap_remove(&mut self, i: usize) {
+        for col in &mut self.cols {
+            col.swap_remove(i);
+        }
+        self.probs.swap_remove(i);
+        self.complements.swap_remove(i);
+        self.len -= 1;
+    }
+
+    /// The survival product `∏ (1 − P(t))` over rows that strictly
+    /// dominate `point` on the masked dimensions, multiplied in ascending
+    /// row order (bit-identical to the scalar filter-map-product).
+    pub fn survival_product(&self, point: &[f64], mask: SubspaceMask) -> f64 {
+        let mut product = 1.0;
+        for w in 0..self.len.div_ceil(LANE) {
+            let mut bits = self.dominator_bits(w, point, mask);
+            while bits != 0 {
+                let j = bits.trailing_zeros() as usize;
+                product *= self.complements[w * LANE + j];
+                bits &= bits - 1;
+            }
+        }
+        product
+    }
+
+    /// Appends to `out` the indices of rows that strictly dominate `point`
+    /// on the masked dimensions, in ascending order.
+    pub fn dominators_of(&self, point: &[f64], mask: SubspaceMask, out: &mut Vec<usize>) {
+        for w in 0..self.len.div_ceil(LANE) {
+            let mut bits = self.dominator_bits(w, point, mask);
+            while bits != 0 {
+                let j = bits.trailing_zeros() as usize;
+                out.push(w * LANE + j);
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    /// Whether any row strictly dominates `point` on the masked dimensions.
+    pub fn dominated_by_any(&self, point: &[f64], mask: SubspaceMask) -> bool {
+        (0..self.len.div_ceil(LANE)).any(|w| self.dominator_bits(w, point, mask) != 0)
+    }
+
+    /// Appends to `out` the indices of rows that `point` strictly
+    /// dominates on the masked dimensions (the reverse direction of
+    /// [`Batch::dominators_of`]), in ascending order.
+    pub fn dominated_by(&self, point: &[f64], mask: SubspaceMask, out: &mut Vec<usize>) {
+        for w in 0..self.len.div_ceil(LANE) {
+            let mut bits = self.dominated_bits(w, point, mask);
+            while bits != 0 {
+                let j = bits.trailing_zeros() as usize;
+                out.push(w * LANE + j);
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    /// Bitset of rows `r` in word `w` with `row(r) ≺ point`.
+    fn dominator_bits(&self, w: usize, point: &[f64], mask: SubspaceMask) -> u64 {
+        self.word_bits(w, point, mask, false)
+    }
+
+    /// Bitset of rows `r` in word `w` with `point ≺ row(r)`.
+    fn dominated_bits(&self, w: usize, point: &[f64], mask: SubspaceMask) -> u64 {
+        self.word_bits(w, point, mask, true)
+    }
+
+    /// Evaluates strict Pareto dominance for up to `LANE` rows at once:
+    /// `leq` accumulates "no worse on every masked dimension", `lt` "
+    /// strictly better somewhere". `reversed` swaps the comparison
+    /// direction (point vs. row instead of row vs. point).
+    fn word_bits(&self, w: usize, point: &[f64], mask: SubspaceMask, reversed: bool) -> u64 {
+        let base = w * LANE;
+        let n = (self.len - base).min(LANE);
+        let mut leq: u64 = if n == LANE { !0 } else { (1u64 << n) - 1 };
+        let mut lt: u64 = 0;
+        for d in mask.dims() {
+            if d >= self.cols.len() || d >= point.len() {
+                break;
+            }
+            let p = point[d];
+            let mut leq_d: u64 = 0;
+            let mut lt_d: u64 = 0;
+            for (j, &v) in self.cols[d][base..base + n].iter().enumerate() {
+                let (lo, hi) = if reversed { (p, v) } else { (v, p) };
+                leq_d |= u64::from(lo <= hi) << j;
+                lt_d |= u64::from(lo < hi) << j;
+            }
+            leq &= leq_d;
+            lt |= lt_d;
+            if leq == 0 {
+                return 0;
+            }
+        }
+        leq & lt
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,5 +384,97 @@ mod tests {
                 assert_eq!(rel == DomRelation::DominatedBy, dominates(b, a));
             }
         }
+    }
+
+    /// Deterministic pseudo-random tuples spanning several bitset words.
+    fn lcg_tuples(n: usize, dims: usize, seed: u64) -> Vec<UncertainTuple> {
+        use crate::{Probability, TupleId};
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        (0..n)
+            .map(|i| {
+                // Coarse grid so dominance (and exact ties) actually occur.
+                let values = (0..dims).map(|_| (next() * 16.0).floor()).collect();
+                let p = Probability::new((next() * 0.99 + 0.005).clamp(0.005, 1.0)).unwrap();
+                UncertainTuple::new(TupleId::new(0, i as u64), values, p).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_scalar_loop_bit_for_bit() {
+        for (dims, n) in [(2, 63), (3, 64), (4, 257), (2, 1000)] {
+            let tuples = lcg_tuples(n, dims, 7 + n as u64);
+            let batch = Batch::from_tuples(dims, &tuples);
+            assert_eq!(batch.len(), n);
+            for mask in [SubspaceMask::full(dims).unwrap(), SubspaceMask::from_dims(&[0]).unwrap()]
+            {
+                for probe in lcg_tuples(20, dims, 99) {
+                    let p = probe.values();
+                    let scalar: f64 = tuples
+                        .iter()
+                        .filter(|t| dominates_in(t.values(), p, mask))
+                        .map(|t| t.prob().complement())
+                        .product();
+                    assert_eq!(batch.survival_product(p, mask), scalar, "n={n} dims={dims}");
+
+                    let expected_doms: Vec<usize> =
+                        (0..n).filter(|&i| dominates_in(tuples[i].values(), p, mask)).collect();
+                    let mut got = Vec::new();
+                    batch.dominators_of(p, mask, &mut got);
+                    assert_eq!(got, expected_doms);
+                    assert_eq!(batch.dominated_by_any(p, mask), !expected_doms.is_empty());
+
+                    let expected_dominated: Vec<usize> =
+                        (0..n).filter(|&i| dominates_in(p, tuples[i].values(), mask)).collect();
+                    let mut got = Vec::new();
+                    batch.dominated_by(p, mask, &mut got);
+                    assert_eq!(got, expected_dominated);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_push_and_swap_remove_mirror_vec_semantics() {
+        let tuples = lcg_tuples(130, 3, 3);
+        let mut batch = Batch::default();
+        let mut shadow: Vec<UncertainTuple> = Vec::new();
+        for t in &tuples {
+            batch.push(t);
+            shadow.push(t.clone());
+        }
+        let mask = SubspaceMask::full(3).unwrap();
+        for i in [0usize, 64, 17, 100, 0, 5] {
+            batch.swap_remove(i);
+            shadow.swap_remove(i);
+            assert_eq!(batch.len(), shadow.len());
+            let probe = [8.0, 8.0, 8.0];
+            let scalar: f64 = shadow
+                .iter()
+                .filter(|t| dominates_in(t.values(), &probe, mask))
+                .map(|t| t.prob().complement())
+                .product();
+            assert_eq!(batch.survival_product(&probe, mask), scalar);
+        }
+        for (i, t) in shadow.iter().enumerate() {
+            assert_eq!(batch.prob(i), t.prob().get());
+        }
+    }
+
+    #[test]
+    fn empty_batch_answers_identity() {
+        let batch = Batch::new(2);
+        let mask = SubspaceMask::full(2).unwrap();
+        assert!(batch.is_empty());
+        assert_eq!(batch.dims(), 2);
+        assert_eq!(batch.survival_product(&[1.0, 1.0], mask), 1.0);
+        assert!(!batch.dominated_by_any(&[1.0, 1.0], mask));
+        let mut out = Vec::new();
+        batch.dominators_of(&[1.0, 1.0], mask, &mut out);
+        assert!(out.is_empty());
     }
 }

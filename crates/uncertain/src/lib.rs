@@ -53,12 +53,12 @@ mod tuple;
 pub mod worlds;
 
 pub use db::UncertainDb;
-pub use dominance::{dominates, dominates_in, relation, DomRelation};
+pub use dominance::{dominates, dominates_in, relation, Batch, DomRelation};
 pub use error::Error;
 pub use probability::Probability;
 pub use skyline::{
-    certain_skyline, probabilistic_skyline, skyline_probabilities, tuple_skyline_probability,
-    SkylineEntry,
+    certain_skyline, probabilistic_skyline, skyline_probabilities, skyline_probabilities_seq,
+    tuple_skyline_probability, SkylineEntry,
 };
 pub use subspace::SubspaceMask;
 pub use tuple::{SiteId, TupleId, UncertainTuple};

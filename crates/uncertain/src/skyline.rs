@@ -7,7 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::{dominance, Error, SubspaceMask, UncertainDb, UncertainTuple};
+use crate::{dominance, Batch, Error, SubspaceMask, UncertainDb, UncertainTuple};
 
 /// A qualified skyline tuple together with its skyline probability.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -21,11 +21,33 @@ pub struct SkylineEntry {
 /// Computes the skyline probability of every tuple (aligned with
 /// `db.tuples()`) on the given subspace, by direct application of Eq. (3).
 ///
+/// The `O(N²)` dominance work runs on the columnar [`Batch`] kernel with
+/// candidates partitioned across the [`threadpool`] (sized by
+/// `DSUD_THREADS`). The result is bit-for-bit identical to
+/// [`skyline_probabilities_seq`] for every pool size — each tuple's
+/// survival product multiplies the same complements in the same order —
+/// which the crate's proptests assert with `==`.
+///
 /// # Errors
 ///
 /// Returns [`Error::InvalidSubspace`] if `mask` selects a dimension outside
 /// the database space.
 pub fn skyline_probabilities(db: &UncertainDb, mask: SubspaceMask) -> Result<Vec<f64>, Error> {
+    mask.validate_for(db.dims())?;
+    let batch = Batch::from_tuples(db.dims(), db.iter());
+    Ok(threadpool::parallel_map(db.tuples(), |_, t| {
+        t.prob().get() * batch.survival_product(t.values(), mask)
+    }))
+}
+
+/// Sequential scalar reference for [`skyline_probabilities`]: one
+/// tuple-at-a-time dominance scan per candidate, no batch kernel, no
+/// threads. Kept as the ground truth the optimized path is tested against.
+///
+/// # Errors
+///
+/// Same as [`skyline_probabilities`].
+pub fn skyline_probabilities_seq(db: &UncertainDb, mask: SubspaceMask) -> Result<Vec<f64>, Error> {
     mask.validate_for(db.dims())?;
     Ok(db.iter().map(|t| db.skyline_probability_in(t, mask)).collect())
 }

@@ -6,8 +6,8 @@
 use proptest::prelude::*;
 
 use dsud_uncertain::{
-    dominates, dominates_in, relation, worlds, DomRelation, Probability, SubspaceMask, TupleId,
-    UncertainDb, UncertainTuple,
+    dominates, dominates_in, relation, skyline_probabilities, skyline_probabilities_seq, worlds,
+    Batch, DomRelation, Probability, SubspaceMask, TupleId, UncertainDb, UncertainTuple,
 };
 
 fn arb_tuple(dims: usize, seq: u64) -> impl Strategy<Value = UncertainTuple> {
@@ -31,8 +31,81 @@ fn arb_db(dims: usize, max_n: usize) -> impl Strategy<Value = UncertainDb> {
         })
 }
 
+/// Anticorrelated workload (the paper's hardest distribution): points lie
+/// near the hyperplane `Σ values = const`, so almost everything is
+/// skyline and dominance tests rarely short-circuit.
+fn arb_anticorrelated_db(dims: usize, max_n: usize) -> impl Strategy<Value = UncertainDb> {
+    prop::collection::vec(
+        (0.0f64..100.0, prop::collection::vec(-5.0f64..5.0, dims), 0.01f64..=1.0),
+        1..=max_n,
+    )
+    .prop_map(move |rows| {
+        let tuples = rows.into_iter().enumerate().map(|(i, (base, jitter, p))| {
+            let values = (0..dims)
+                .map(|d| {
+                    let v = if d == 0 { base } else { 100.0 - base };
+                    (v + jitter[d]).clamp(0.0, 110.0)
+                })
+                .collect();
+            UncertainTuple::new(TupleId::new(0, i as u64), values, Probability::new(p).unwrap())
+                .unwrap()
+        });
+        UncertainDb::from_tuples(dims, tuples.collect::<Vec<_>>()).unwrap()
+    })
+}
+
+/// Asserts the kernel-backed parallel path equals the scalar sequential
+/// path with `==` on the raw bits, at pool sizes 1, 2, and 8.
+fn assert_parallel_matches_seq(db: &UncertainDb, mask: SubspaceMask) {
+    let seq = skyline_probabilities_seq(db, mask).unwrap();
+    for pool in [1usize, 2, 8] {
+        threadpool::set_pool_size(pool);
+        let par = skyline_probabilities(db, mask);
+        threadpool::set_pool_size(0);
+        let par = par.unwrap();
+        assert_eq!(seq.len(), par.len());
+        for (i, (s, p)) in seq.iter().zip(&par).enumerate() {
+            assert!(s.to_bits() == p.to_bits(), "pool {pool}: tuple {i} diverges: {s} vs {p}");
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Parallel kernel-backed `skyline_probabilities` is bit-identical to
+    /// the sequential scalar path on independent workloads, for pool
+    /// sizes 1 / 2 / 8.
+    #[test]
+    fn parallel_skyline_matches_seq_independent(db in arb_db(4, 100)) {
+        assert_parallel_matches_seq(&db, SubspaceMask::full(4).unwrap());
+        assert_parallel_matches_seq(&db, SubspaceMask::from_dims(&[0, 2]).unwrap());
+    }
+
+    /// Same bit-for-bit property on anticorrelated workloads, where
+    /// dominance windows are smallest and survival products the longest.
+    #[test]
+    fn parallel_skyline_matches_seq_anticorrelated(db in arb_anticorrelated_db(3, 100)) {
+        assert_parallel_matches_seq(&db, SubspaceMask::full(3).unwrap());
+    }
+
+    /// The batch kernel's window products equal the scalar
+    /// filter-map-product loop with `==`, on any probe point.
+    #[test]
+    fn kernel_window_products_match_scalar(
+        db in arb_anticorrelated_db(3, 120),
+        probe in arb_tuple(3, 9999),
+    ) {
+        let mask = SubspaceMask::full(3).unwrap();
+        let batch = Batch::from_tuples(3, db.iter());
+        let scalar: f64 = db
+            .iter()
+            .filter(|t| dominates_in(t.values(), probe.values(), mask))
+            .map(|t| t.prob().complement())
+            .product();
+        let kernel = batch.survival_product(probe.values(), mask);
+        prop_assert!(kernel.to_bits() == scalar.to_bits(), "{} vs {}", kernel, scalar);
+    }
 
     /// Eq. (3) equals the possible-world summation (Eq. 2) exactly.
     #[test]

@@ -20,9 +20,18 @@ pub fn black_box<T>(x: T) -> T {
 }
 
 /// Benchmark registry entry point.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Criterion {
-    _private: (),
+    /// `cargo bench ... -- --test`: run every benchmark body exactly once
+    /// with no warm-up or sampling, as a smoke test (mirrors criterion's
+    /// own `--test` flag; what CI runs).
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { test_mode: std::env::args().any(|a| a == "--test") }
+    }
 }
 
 impl Criterion {
@@ -33,7 +42,7 @@ impl Criterion {
             sample_size: 10,
             measurement_time: Duration::from_secs(3),
             warm_up_time: Duration::from_millis(500),
-            _criterion: self,
+            criterion: self,
         }
     }
 }
@@ -57,7 +66,7 @@ pub struct BenchmarkGroup<'a> {
     sample_size: usize,
     measurement_time: Duration,
     warm_up_time: Duration,
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
@@ -106,6 +115,17 @@ impl BenchmarkGroup<'_> {
     pub fn finish(&mut self) {}
 
     fn run(&mut self, id: &str, mut body: impl FnMut(&mut Bencher)) {
+        if self.criterion.test_mode {
+            let mut bencher = Bencher {
+                samples: Vec::new(),
+                sample_size: 1,
+                warm_up_time: Duration::ZERO,
+                measurement_time: Duration::ZERO,
+            };
+            body(&mut bencher);
+            println!("Testing {}/{id} ... ok", self.name);
+            return;
+        }
         let mut bencher = Bencher {
             samples: Vec::with_capacity(self.sample_size),
             sample_size: self.sample_size,
@@ -208,8 +228,18 @@ mod tests {
     use super::*;
 
     #[test]
+    fn test_mode_runs_each_body_exactly_once() {
+        let mut c = Criterion { test_mode: true };
+        let mut runs = 0;
+        let mut group = c.benchmark_group("smoke");
+        group.bench_function("once", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 1, "no warm-up, one sample");
+    }
+
+    #[test]
     fn records_samples() {
-        let mut c = Criterion::default();
+        let mut c = Criterion { test_mode: false };
         let mut group = c.benchmark_group("shim");
         group.sample_size(3);
         group.warm_up_time(Duration::from_millis(1));

@@ -10,8 +10,9 @@
 //! unit structs, enums with unit / newtype / tuple / struct variants
 //! (serde's externally-tagged encoding), single-field tuple structs as
 //! transparent newtypes, the container attribute
-//! `#[serde(try_from = "T", into = "T")]`, and the field attribute
-//! `#[serde(skip)]`. Generic types are rejected at compile time.
+//! `#[serde(try_from = "T", into = "T")]`, and the field attributes
+//! `#[serde(skip)]` and `#[serde(default)]` (an absent field fills in as
+//! `Default::default()`). Generic types are rejected at compile time.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -54,6 +55,9 @@ struct Field {
     name: Option<String>,
     ty: String,
     skip: bool,
+    /// `#[serde(default)]`: an absent field deserializes to
+    /// `Default::default()` instead of erroring.
+    default: bool,
 }
 
 struct Variant {
@@ -152,19 +156,21 @@ fn container_serde_attrs(attrs: &[Attr]) -> (Option<String>, Option<String>) {
     (try_from, into)
 }
 
-/// Whether the field attrs contain `#[serde(skip)]`.
-fn field_skip(attrs: &[Attr]) -> bool {
+/// Parses field-level serde attrs: `(skip, default)`.
+fn field_serde_attrs(attrs: &[Attr]) -> (bool, bool) {
+    let (mut skip, mut default) = (false, false);
     for attr in attrs.iter().filter(|a| a.path == "serde") {
         for tok in &attr.args {
             if let TokenTree::Ident(id) = tok {
                 match id.to_string().as_str() {
-                    "skip" => return true,
+                    "skip" => skip = true,
+                    "default" => default = true,
                     other => panic!("unsupported field #[serde({other})] in shim derive"),
                 }
             }
         }
     }
-    false
+    (skip, default)
 }
 
 /// Collects a type as a string: tokens up to a top-level `,`, tracking
@@ -209,7 +215,8 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         }
         let ty = collect_type(&tokens, &mut i);
         i += 1; // consume trailing comma if present
-        fields.push(Field { name: Some(name), ty, skip: field_skip(&attrs) });
+        let (skip, default) = field_serde_attrs(&attrs);
+        fields.push(Field { name: Some(name), ty, skip, default });
     }
     fields
 }
@@ -226,7 +233,8 @@ fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
         }
         let ty = collect_type(&tokens, &mut i);
         i += 1; // consume trailing comma if present
-        fields.push(Field { name: None, ty, skip: field_skip(&attrs) });
+        let (skip, default) = field_serde_attrs(&attrs);
+        fields.push(Field { name: None, ty, skip, default });
     }
     fields
 }
@@ -457,6 +465,13 @@ fn de_named_ctor(path: &str, fields: &[Field]) -> String {
         let n = f.name.as_ref().expect("named field");
         if f.skip {
             out.push_str(&format!("{n}: ::std::default::Default::default(),\n"));
+        } else if f.default {
+            out.push_str(&format!(
+                "{n}: match ::serde::get_field(m, \"{n}\") {{\n\
+                     ::std::option::Option::Some(fv) => ::serde::Deserialize::from_value(fv)?,\n\
+                     ::std::option::Option::None => ::std::default::Default::default(),\n\
+                 }},\n"
+            ));
         } else {
             let ty = &f.ty;
             out.push_str(&format!(

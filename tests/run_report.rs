@@ -58,11 +58,30 @@ fn assert_report_is_complete(report: &RunReport, skyline_len: usize) {
         assert!(pair[0].tuples_transmitted <= pair[1].tuples_transmitted);
     }
 
-    // The span tree is rooted at the query span and well-formed.
-    assert!(report.spans[0].name.starts_with("query:"));
+    // Cluster assembly and the query each open a root span; the span tree
+    // is well-formed.
+    assert_eq!(report.spans[0].name, "cluster:build");
     assert_eq!(report.spans[0].parent, None);
+    let query = report
+        .spans
+        .iter()
+        .position(|s| s.name.starts_with("query:"))
+        .expect("the query opens a span");
+    assert_eq!(report.spans[query].parent, None);
     assert!(report.spans.iter().any(|s| s.name == "round"));
     assert!(report.spans.iter().any(|s| s.name == "server-delivery"));
+
+    // Per-phase totals aggregate the span tree by label (name-sorted).
+    for name in ["cluster:build", "round", "server-delivery"] {
+        let phase = report
+            .phases
+            .iter()
+            .find(|p| p.name == name)
+            .unwrap_or_else(|| panic!("phase total for {name}"));
+        let spans = report.spans.iter().filter(|s| s.name == name).count();
+        assert_eq!(phase.count as usize, spans, "{name}");
+    }
+    assert!(report.phases.windows(2).all(|w| w[0].name < w[1].name), "phases sorted by name");
     for (i, span) in report.spans.iter().enumerate() {
         if let Some(parent) = span.parent {
             assert!(parent < i, "parents precede children");
@@ -93,7 +112,7 @@ fn report_round_trips_through_serde_json() {
     let json = serde_json::to_string_pretty(&report).unwrap();
     let back: RunReport = serde_json::from_str(&json).unwrap();
     assert_eq!(back, report);
-    assert!(json.contains("\"schema_version\": 1"));
+    assert!(json.contains(&format!("\"schema_version\": {}", dsud_obs::SCHEMA_VERSION)));
 }
 
 #[test]
