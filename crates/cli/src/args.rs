@@ -1,7 +1,7 @@
 use std::collections::HashMap;
 use std::path::PathBuf;
 
-use dsud_core::Transport;
+use dsud_core::{FailurePolicy, Transport};
 
 use crate::CliError;
 
@@ -69,6 +69,8 @@ pub enum Command {
         /// Site transport (`baseline` always runs in process and ignores
         /// this).
         transport: Transport,
+        /// What to do when a site stays unreachable after retries.
+        failure: FailurePolicy,
     },
     /// Run the vertically partitioned UTA query over a workload file.
     Vertical {
@@ -111,7 +113,7 @@ USAGE:
                 [--gaussian <MU>] [--seed <S>] [--out <FILE>]
   dsud query    --input <FILE> [--sites <M>] [--q <Q>] [--algorithm dsud|edsud|baseline]
                 [--subspace 0,2,...] [--limit <K>] [--seed <S>] [--report <FILE>]
-                [--transport inline|threaded|tcp]
+                [--transport inline|threaded|tcp] [--failure strict|degrade]
   dsud vertical --input <FILE> [--q <Q>]
   dsud stream   --input <FILE> [--q <Q>] [--window <W>] [--every <K>]
   dsud estimate [--n <N>] [--dims <D>] [--sites <M>]
@@ -209,6 +211,12 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 })?,
                 None => Transport::Inline,
             };
+            let failure = match get("failure") {
+                Some(v) => v.parse::<FailurePolicy>().map_err(|_| {
+                    CliError::Usage(format!("--failure expects strict|degrade, got '{v}'"))
+                })?,
+                None => FailurePolicy::Strict,
+            };
             Ok(Command::Query {
                 input: PathBuf::from(input),
                 sites: parse_num("sites", 8)?,
@@ -219,6 +227,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 seed: parse_num("seed", 0)? as u64,
                 report: get("report").map(PathBuf::from),
                 transport,
+                failure,
             })
         }
         "vertical" => {
@@ -304,7 +313,16 @@ mod tests {
     #[test]
     fn defaults_are_sensible() {
         let Command::Query {
-            sites, q, algorithm, subspace, limit, seed, report, transport, ..
+            sites,
+            q,
+            algorithm,
+            subspace,
+            limit,
+            seed,
+            report,
+            transport,
+            failure,
+            ..
         } = parse(&argv("query --input d.jsonl")).unwrap()
         else {
             panic!()
@@ -313,6 +331,22 @@ mod tests {
         assert_eq!((subspace, limit, seed), (None, None, 0));
         assert_eq!(report, None);
         assert_eq!(transport, Transport::Inline);
+        assert_eq!(failure, FailurePolicy::Strict);
+    }
+
+    #[test]
+    fn parses_failure_policy() {
+        for (flag, expected) in
+            [("strict", FailurePolicy::Strict), ("degrade", FailurePolicy::Degrade)]
+        {
+            let Command::Query { failure, .. } =
+                parse(&argv(&format!("query --input d.jsonl --failure {flag}"))).unwrap()
+            else {
+                panic!()
+            };
+            assert_eq!(failure, expected);
+        }
+        assert!(parse(&argv("query --input d.jsonl --failure lenient")).is_err());
     }
 
     #[test]

@@ -5,8 +5,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use dsud_core::{
-    baseline, BandwidthMeter, Cluster, QueryConfig, QueryOutcome, Recorder, SiteOptions,
-    SubspaceMask, Transport,
+    baseline, BandwidthMeter, Cluster, FailurePolicy, QueryConfig, QueryOutcome, Recorder,
+    SiteOptions, SubspaceMask, Transport,
 };
 use dsud_data::nyse::NyseSpec;
 use dsud_data::{partition_uniform, ProbabilityLaw, SpatialDistribution, WorkloadSpec};
@@ -30,20 +30,30 @@ pub fn run<W: Write>(cmd: &Command, out: &mut W) -> Result<(), CliError> {
         Command::Generate { n, dims, dist, gaussian_mean, seed, out: path } => {
             generate(*n, *dims, *dist, *gaussian_mean, *seed, path.as_deref(), out)
         }
-        Command::Query { input, sites, q, algorithm, subspace, limit, seed, report, transport } => {
-            query(
-                input,
-                *sites,
-                *q,
-                *algorithm,
-                subspace.as_deref(),
-                *limit,
-                *seed,
-                report.as_deref(),
-                *transport,
-                out,
-            )
-        }
+        Command::Query {
+            input,
+            sites,
+            q,
+            algorithm,
+            subspace,
+            limit,
+            seed,
+            report,
+            transport,
+            failure,
+        } => query(
+            input,
+            *sites,
+            *q,
+            *algorithm,
+            subspace.as_deref(),
+            *limit,
+            *seed,
+            report.as_deref(),
+            *transport,
+            *failure,
+            out,
+        ),
         Command::Vertical { input, q } => vertical(input, *q, out),
         Command::Stream { input, q, window, every } => stream(input, *q, *window, *every, out),
         Command::Estimate { n, dims, sites } => {
@@ -140,6 +150,7 @@ fn query<W: Write>(
     seed: u64,
     report: Option<&std::path::Path>,
     transport: Transport,
+    failure: FailurePolicy,
     out: &mut W,
 ) -> Result<(), CliError> {
     let tuples = read_tuples(input)?;
@@ -149,7 +160,7 @@ fn query<W: Write>(
     let mut rng = StdRng::seed_from_u64(seed);
     let partitioned = partition_uniform(rows, sites, &mut rng)?;
 
-    let mut config = QueryConfig::new(q)?;
+    let mut config = QueryConfig::new(q)?.failure_policy(failure);
     if let Some(dims_spec) = subspace {
         config = config.subspace(SubspaceMask::from_dims(dims_spec)?);
     }
@@ -231,6 +242,27 @@ fn query<W: Write>(
         t.maintenance.tuples,
         t.total().bytes
     )?;
+    let retries = recorder.counter(dsud_core::Counter::LinkRetries);
+    let timeouts = recorder.counter(dsud_core::Counter::LinkTimeouts);
+    if retries > 0 || timeouts > 0 {
+        writeln!(out, "faults: retries={retries} timeouts={timeouts}")?;
+    }
+    if outcome.degraded {
+        let lost: Vec<String> = outcome
+            .sites
+            .iter()
+            .filter(|s| !s.healthy())
+            .map(|s| {
+                let reason = s.quarantined.as_ref().expect("unhealthy sites carry a reason");
+                format!("site {} ({reason})", s.site)
+            })
+            .collect();
+        writeln!(
+            out,
+            "DEGRADED: quarantined {} — reported probabilities are upper bounds",
+            lost.join(", ")
+        )?;
+    }
     Ok(())
 }
 
@@ -346,6 +378,7 @@ mod tests {
                 0,
                 Some(&path),
                 Transport::Inline,
+                FailurePolicy::Strict,
                 &mut out,
             )
             .unwrap();

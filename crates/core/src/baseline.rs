@@ -70,6 +70,8 @@ pub fn run(
         progress,
         traffic: meter.snapshot().since(&start_traffic),
         stats: RunStats::default(),
+        degraded: false,
+        sites: Vec::new(),
     })
 }
 

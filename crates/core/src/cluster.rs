@@ -8,14 +8,18 @@
 //! [`QueryOutcome`] / [`RunStats`] types returned by every run carry the
 //! paper's two evaluation measures (bandwidth and progressiveness).
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use dsud_net::{
-    tcp, BandwidthMeter, ChannelLink, Link, LocalLink, Message, MeterSnapshot, TupleMsg,
+    tcp, BandwidthMeter, ChannelLink, HealthSnapshot, Link, LinkConfig, LinkError, LinkHealth,
+    LocalLink, Message, MeterSnapshot, RetryLink, TupleMsg,
 };
 use dsud_obs::Recorder;
 use dsud_uncertain::{SkylineEntry, UncertainTuple};
 
+use crate::degrade::SiteStatus;
 use crate::{dsud, edsud, Error, LocalSite, ProgressLog, QueryConfig, SiteOptions};
 
 /// Which transport carries coordinator–site traffic.
@@ -61,7 +65,7 @@ impl std::str::FromStr for Transport {
             "inline" => Ok(Transport::Inline),
             "threaded" => Ok(Transport::Threaded),
             "tcp" => Ok(Transport::Tcp),
-            _ => Err(Error::ProtocolViolation("unknown transport (expected inline|threaded|tcp)")),
+            _ => Err(Error::InvalidArgument("unknown transport (expected inline|threaded|tcp)")),
         }
     }
 }
@@ -91,6 +95,16 @@ pub struct QueryOutcome {
     pub traffic: MeterSnapshot,
     /// Coordinator counters.
     pub stats: RunStats,
+    /// Whether any site was quarantined mid-query
+    /// ([`crate::FailurePolicy::Degrade`] only). When `true` the reported
+    /// probabilities are upper bounds: quarantined sites could not
+    /// contribute their `(1 − P(t'))` survival factors.
+    #[serde(default)]
+    pub degraded: bool,
+    /// Per-site health records. Empty for outcomes serialized before the
+    /// field existed.
+    #[serde(default)]
+    pub sites: Vec<SiteStatus>,
 }
 
 impl QueryOutcome {
@@ -109,9 +123,13 @@ impl QueryOutcome {
 /// thread.
 pub struct Cluster {
     dims: usize,
+    /// Declared before `servers` so the links drop first: a `TcpLink` must
+    /// disconnect before its site server is asked to stop accepting.
     links: Vec<Box<dyn Link>>,
+    health: Vec<Arc<LinkHealth>>,
     meter: BandwidthMeter,
     total_tuples: usize,
+    servers: Vec<tcp::SiteServer>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -184,8 +202,8 @@ impl Cluster {
     ///
     /// # Errors
     ///
-    /// Same as [`Cluster::local`], plus [`Error::ProtocolViolation`] if a
-    /// socket cannot be bound or connected.
+    /// Same as [`Cluster::local`], plus [`Error::SiteFailed`] if a socket
+    /// cannot be bound or connected.
     pub fn tcp(dims: usize, sites: Vec<Vec<UncertainTuple>>) -> Result<Self, Error> {
         Self::with_transport(
             dims,
@@ -207,14 +225,39 @@ impl Cluster {
     /// # Errors
     ///
     /// Same as [`Cluster::local`]; [`Transport::Tcp`] additionally returns
-    /// [`Error::ProtocolViolation`] if a socket cannot be bound or
-    /// connected.
+    /// [`Error::SiteFailed`] if a socket cannot be bound or connected.
     pub fn with_transport(
         dims: usize,
         sites: Vec<Vec<UncertainTuple>>,
         options: SiteOptions,
         recorder: Recorder,
         transport: Transport,
+    ) -> Result<Self, Error> {
+        Self::with_transport_config(
+            dims,
+            sites,
+            options,
+            recorder,
+            transport,
+            LinkConfig::default(),
+        )
+    }
+
+    /// [`Cluster::with_transport`] with an explicit per-link deadline and
+    /// retry configuration. Every link — on every transport — is wrapped in
+    /// a [`RetryLink`], so transient transport failures are retried
+    /// deterministically before the coordinator's failure policy sees them.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Cluster::with_transport`].
+    pub fn with_transport_config(
+        dims: usize,
+        sites: Vec<Vec<UncertainTuple>>,
+        options: SiteOptions,
+        recorder: Recorder,
+        transport: Transport,
+        link_config: LinkConfig,
     ) -> Result<Self, Error> {
         if sites.is_empty() {
             return Err(Error::NoSites);
@@ -224,24 +267,45 @@ impl Cluster {
         let total_tuples = sites.iter().map(Vec::len).sum();
         let built = Self::build_sites(dims, sites, options, &recorder);
         let mut links: Vec<Box<dyn Link>> = Vec::with_capacity(built.len());
-        for site in built {
+        let mut health: Vec<Arc<LinkHealth>> = Vec::with_capacity(built.len());
+        let mut servers: Vec<tcp::SiteServer> = Vec::new();
+        for (i, site) in built.into_iter().enumerate() {
             let site = site?;
+            let site_failed = |source: LinkError| Error::SiteFailed { site: i as u32, source };
             match transport {
-                Transport::Inline => links.push(Box::new(LocalLink::new(site, meter.clone()))),
+                Transport::Inline => {
+                    let retry = RetryLink::with_recorder(
+                        LocalLink::new(site, meter.clone()),
+                        link_config,
+                        recorder.clone(),
+                    );
+                    health.push(retry.health());
+                    links.push(Box::new(retry));
+                }
                 Transport::Threaded => {
-                    links.push(Box::new(ChannelLink::spawn(site, meter.clone())));
+                    let retry = RetryLink::with_recorder(
+                        ChannelLink::spawn_with(site, meter.clone(), link_config),
+                        link_config,
+                        recorder.clone(),
+                    );
+                    health.push(retry.health());
+                    links.push(Box::new(retry));
                 }
                 Transport::Tcp => {
-                    let (addr, _server) = tcp::spawn_site(site)
-                        .map_err(|_| Error::ProtocolViolation("cannot bind site socket"))?;
-                    let link = tcp::TcpLink::connect(addr, meter.clone())
-                        .map_err(|_| Error::ProtocolViolation("cannot connect to site socket"))?;
-                    links.push(Box::new(link));
+                    let server =
+                        tcp::spawn_site(site).map_err(|e| site_failed(LinkError::from(e)))?;
+                    let link =
+                        tcp::TcpLink::connect_with(server.addr(), meter.clone(), link_config)
+                            .map_err(|e| site_failed(LinkError::from(e)))?;
+                    servers.push(server);
+                    let retry = RetryLink::with_recorder(link, link_config, recorder.clone());
+                    health.push(retry.health());
+                    links.push(Box::new(retry));
                 }
             }
         }
         drop(build_span);
-        Ok(Cluster { dims, links, meter, total_tuples })
+        Ok(Cluster { dims, links, health, meter, total_tuples, servers })
     }
 
     /// Constructs every [`LocalSite`] (each a PR-tree bulk load), one
@@ -318,15 +382,36 @@ impl Cluster {
         &mut self.links
     }
 
+    /// Per-site transport health: attempts, retries, and failure counts
+    /// accumulated by each link's retry layer since construction.
+    pub fn link_health(&self) -> Vec<HealthSnapshot> {
+        self.health.iter().map(|h| h.snapshot()).collect()
+    }
+
+    /// Number of TCP site servers this cluster owns (zero for the inline
+    /// and threaded transports).
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
     /// Runs the DSUD algorithm (Section 5.1).
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Subspace`] for an invalid query mask or
-    /// [`Error::ProtocolViolation`] if a site misbehaves.
+    /// Returns [`Error::Subspace`] for an invalid query mask,
+    /// [`Error::ProtocolViolation`] if a site misbehaves, or — under the
+    /// default [`crate::FailurePolicy::Strict`] — [`Error::SiteFailed`]
+    /// when a site stays unreachable after retries.
     pub fn run_dsud(&mut self, config: &QueryConfig) -> Result<QueryOutcome, Error> {
         let mask = config.resolve_mask(self.dims)?;
-        dsud::run(&mut self.links, &self.meter, config.q, mask, config.limit)
+        dsud::run_with_policy(
+            &mut self.links,
+            &self.meter,
+            config.q,
+            mask,
+            config.limit,
+            config.failure,
+        )
     }
 
     /// Runs the enhanced e-DSUD algorithm (Section 5.2).
@@ -344,31 +429,32 @@ impl Cluster {
             config.bound,
             config.limit,
             config.synopsis,
+            config.failure,
         )
     }
 }
 
-/// Interprets a site reply that must be an upload.
-pub(crate) fn expect_upload(msg: Message) -> Result<Option<TupleMsg>, Error> {
+/// Interprets a reply from `site` that must be an upload.
+pub(crate) fn expect_upload(site: u32, msg: Message) -> Result<Option<TupleMsg>, Error> {
     match msg {
         Message::Upload(t) => Ok(t),
-        _ => Err(Error::ProtocolViolation("expected Upload reply")),
+        _ => Err(Error::ProtocolViolation { site, what: "expected Upload reply" }),
     }
 }
 
-/// Interprets a site reply that must be a survival reply; the survival
-/// product must be a valid probability or the reply is rejected (a
+/// Interprets a reply from `site` that must be a survival reply; the
+/// survival product must be a valid probability or the reply is rejected (a
 /// corrupted site must not silently poison global probabilities).
-pub(crate) fn expect_survival(msg: Message) -> Result<(f64, u64), Error> {
+pub(crate) fn expect_survival(site: u32, msg: Message) -> Result<(f64, u64), Error> {
     match msg {
         Message::SurvivalReply { survival, pruned } => {
             if survival.is_finite() && (0.0..=1.0).contains(&survival) {
                 Ok((survival, pruned))
             } else {
-                Err(Error::ProtocolViolation("survival product out of range"))
+                Err(Error::ProtocolViolation { site, what: "survival product out of range" })
             }
         }
-        _ => Err(Error::ProtocolViolation("expected SurvivalReply")),
+        _ => Err(Error::ProtocolViolation { site, what: "expected SurvivalReply" }),
     }
 }
 
@@ -382,16 +468,45 @@ mod tests {
     }
 
     #[test]
-    fn expect_helpers_reject_mismatches() {
-        assert!(expect_upload(Message::Ack).is_err());
-        assert!(expect_survival(Message::Ack).is_err());
-        assert_eq!(expect_upload(Message::Upload(None)).unwrap(), None);
+    fn expect_helpers_reject_mismatches_and_name_the_site() {
         assert_eq!(
-            expect_survival(Message::SurvivalReply { survival: 0.5, pruned: 2 }).unwrap(),
+            expect_upload(5, Message::Ack),
+            Err(Error::ProtocolViolation { site: 5, what: "expected Upload reply" })
+        );
+        assert_eq!(
+            expect_survival(2, Message::Ack),
+            Err(Error::ProtocolViolation { site: 2, what: "expected SurvivalReply" })
+        );
+        assert_eq!(expect_upload(0, Message::Upload(None)).unwrap(), None);
+        assert_eq!(
+            expect_survival(0, Message::SurvivalReply { survival: 0.5, pruned: 2 }).unwrap(),
             (0.5, 2)
         );
         for bad in [f64::NAN, -0.1, 1.5, f64::INFINITY] {
-            assert!(expect_survival(Message::SurvivalReply { survival: bad, pruned: 0 }).is_err());
+            assert!(
+                expect_survival(0, Message::SurvivalReply { survival: bad, pruned: 0 }).is_err()
+            );
         }
+    }
+
+    #[test]
+    fn outcomes_without_degradation_fields_deserialize() {
+        // An outcome serialized before `degraded`/`sites` existed.
+        let outcome = QueryOutcome {
+            skyline: Vec::new(),
+            progress: ProgressLog::new(),
+            traffic: MeterSnapshot::default(),
+            stats: RunStats::default(),
+            degraded: true,
+            sites: vec![SiteStatus { site: 0, quarantined: None }],
+        };
+        let json = serde_json::to_string(&outcome).unwrap();
+        // `degraded` and `sites` are the struct's trailing fields; cutting
+        // them out reconstructs the schema-before JSON exactly.
+        let (prefix, _) = json.split_once(",\"degraded\"").expect("fields serialize in order");
+        let legacy = format!("{prefix}}}");
+        let back: QueryOutcome = serde_json::from_str(&legacy).unwrap();
+        assert!(!back.degraded);
+        assert!(back.sites.is_empty());
     }
 }

@@ -26,6 +26,51 @@ pub enum BoundMode {
     BroadcastOnly,
 }
 
+/// What the coordinator does when a site stays unreachable after its
+/// transport's whole retry budget has been spent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum FailurePolicy {
+    /// Abort the query with [`Error::SiteFailed`] naming the dead site.
+    /// The default: a strict run either returns the exact answer or no
+    /// answer at all.
+    #[default]
+    Strict,
+    /// Quarantine the site and complete the query over the survivors.
+    /// The outcome is stamped `degraded` with a per-site status list, and
+    /// every reported probability becomes an *upper bound*: the missing
+    /// sites' `(1 − P(t'))` survival factors can only shrink it.
+    Degrade,
+}
+
+impl FailurePolicy {
+    /// Stable lowercase name, as accepted by the [`std::str::FromStr`]
+    /// impl.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FailurePolicy::Strict => "strict",
+            FailurePolicy::Degrade => "degrade",
+        }
+    }
+}
+
+impl std::fmt::Display for FailurePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for FailurePolicy {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "strict" => Ok(FailurePolicy::Strict),
+            "degrade" => Ok(FailurePolicy::Degrade),
+            _ => Err(Error::InvalidArgument("unknown failure policy (expected strict|degrade)")),
+        }
+    }
+}
+
 /// Configuration of one distributed skyline query.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct QueryConfig {
@@ -43,6 +88,11 @@ pub struct QueryConfig {
     /// Section 5.2 trade-off the paper argues against — measured by the
     /// ablation benches). `None` uses only the paper's free bounds.
     pub synopsis: Option<u16>,
+    /// What to do when a site stays unreachable after retries. Defaults to
+    /// [`FailurePolicy::Strict`]; absent in configs serialized before the
+    /// field existed, hence the serde default.
+    #[serde(default)]
+    pub failure: FailurePolicy,
 }
 
 impl QueryConfig {
@@ -55,7 +105,20 @@ impl QueryConfig {
         if !(q > 0.0 && q <= 1.0) {
             return Err(Error::InvalidThreshold(q));
         }
-        Ok(QueryConfig { q, mask: None, bound: BoundMode::Paper, limit: None, synopsis: None })
+        Ok(QueryConfig {
+            q,
+            mask: None,
+            bound: BoundMode::Paper,
+            limit: None,
+            synopsis: None,
+            failure: FailurePolicy::Strict,
+        })
+    }
+
+    /// Selects the site-failure policy.
+    pub fn failure_policy(mut self, failure: FailurePolicy) -> Self {
+        self.failure = failure;
+        self
     }
 
     /// Restricts the query to a subspace (Section 4's subspace skylines).
@@ -168,6 +231,27 @@ mod tests {
     fn defaults_are_paper_faithful() {
         let cfg = QueryConfig::new(0.3).unwrap();
         assert_eq!(cfg.bound, BoundMode::Paper);
+        assert_eq!(cfg.failure, FailurePolicy::Strict);
         assert!(SiteOptions::default().pruning);
+    }
+
+    #[test]
+    fn failure_policy_round_trips_through_names() {
+        for (name, policy) in
+            [("strict", FailurePolicy::Strict), ("degrade", FailurePolicy::Degrade)]
+        {
+            let parsed: FailurePolicy = name.parse().expect("known policy");
+            assert_eq!(parsed, policy);
+            assert_eq!(policy.as_str(), name);
+        }
+        assert!(matches!("lenient".parse::<FailurePolicy>(), Err(Error::InvalidArgument(_))));
+    }
+
+    #[test]
+    fn configs_without_a_failure_field_deserialize_strict() {
+        // A config serialized before the failure policy existed.
+        let json = r#"{"q":0.3,"mask":null,"bound":"Paper","limit":null,"synopsis":null}"#;
+        let cfg: QueryConfig = serde_json::from_str(json).unwrap();
+        assert_eq!(cfg.failure, FailurePolicy::Strict);
     }
 }

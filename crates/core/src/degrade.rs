@@ -1,0 +1,229 @@
+//! Degraded-mode bookkeeping: which sites failed, why, and what that does
+//! to the answer.
+//!
+//! Both coordinators route every site reply through a failure tracker.
+//! Under [`FailurePolicy::Strict`] the first exhausted-retry transport
+//! failure (or protocol violation) aborts the query with a typed error
+//! naming the site. Under [`FailurePolicy::Degrade`] the site is
+//! *quarantined* instead: it is excluded from every later broadcast and
+//! refill, the query completes over the survivors, and the outcome is
+//! stamped [`QueryOutcome::degraded`](crate::QueryOutcome::degraded) with
+//! one [`SiteStatus`] per site.
+//!
+//! **Correctness caveat, by design:** a quarantined site's tuples can no
+//! longer contribute their `(1 − P(t'))` survival factors to Lemma 1's
+//! product, so every probability reported by a degraded run is an *upper
+//! bound* on the true global skyline probability — the answer may contain
+//! tuples a healthy run would have rejected, but never misses a tuple the
+//! surviving sites alone would qualify. Callers that need the exact answer
+//! must use strict mode (the default) and retry the query.
+
+use serde::{Deserialize, Serialize};
+
+use dsud_net::LinkError;
+use dsud_obs::{Counter, Recorder};
+
+use crate::{Error, FailurePolicy};
+
+/// Why a site was quarantined during a degraded run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QuarantineReason {
+    /// The site's transport kept failing after the whole retry budget.
+    Transport(LinkError),
+    /// The site answered with something the protocol does not allow.
+    Protocol(String),
+}
+
+impl std::fmt::Display for QuarantineReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuarantineReason::Transport(e) => write!(f, "transport failure: {e}"),
+            QuarantineReason::Protocol(what) => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+/// Post-run health record of one site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteStatus {
+    /// The site's index in the cluster.
+    pub site: u32,
+    /// `None` while the site served the whole query; the quarantine cause
+    /// once the coordinator stopped talking to it.
+    pub quarantined: Option<QuarantineReason>,
+}
+
+impl SiteStatus {
+    /// Whether the site served the whole query.
+    pub fn healthy(&self) -> bool {
+        self.quarantined.is_none()
+    }
+}
+
+/// Per-query failure ledger shared by the DSUD and e-DSUD coordinators.
+#[derive(Debug)]
+pub(crate) struct FailureTracker {
+    policy: FailurePolicy,
+    quarantined: Vec<Option<QuarantineReason>>,
+    recorder: Recorder,
+}
+
+impl FailureTracker {
+    pub(crate) fn new(sites: usize, policy: FailurePolicy, recorder: Recorder) -> Self {
+        FailureTracker { policy, quarantined: vec![None; sites], recorder }
+    }
+
+    /// Whether the coordinator should still talk to `site`.
+    pub(crate) fn is_active(&self, site: usize) -> bool {
+        self.quarantined.get(site).is_none_or(|q| q.is_none())
+    }
+
+    /// Whether any site has been quarantined.
+    pub(crate) fn degraded(&self) -> bool {
+        self.quarantined.iter().any(Option::is_some)
+    }
+
+    /// The per-site records for the query outcome.
+    pub(crate) fn statuses(&self) -> Vec<SiteStatus> {
+        self.quarantined
+            .iter()
+            .enumerate()
+            .map(|(i, q)| SiteStatus { site: i as u32, quarantined: q.clone() })
+            .collect()
+    }
+
+    fn quarantine(&mut self, site: usize, reason: QuarantineReason) {
+        if self.quarantined[site].is_none() {
+            self.quarantined[site] = Some(reason);
+            self.recorder.incr(Counter::QuarantinedSites);
+        }
+    }
+
+    /// Handles a transport failure from `site`: strict mode aborts, degrade
+    /// mode quarantines and continues.
+    pub(crate) fn transport_failure(
+        &mut self,
+        site: usize,
+        source: LinkError,
+    ) -> Result<(), Error> {
+        match self.policy {
+            FailurePolicy::Strict => Err(Error::SiteFailed { site: site as u32, source }),
+            FailurePolicy::Degrade => {
+                self.quarantine(site, QuarantineReason::Transport(source));
+                Ok(())
+            }
+        }
+    }
+
+    /// Handles a protocol violation from `site`: strict mode aborts with
+    /// the original error, degrade mode quarantines and continues — a site
+    /// talking nonsense is as lost to the query as an unreachable one.
+    pub(crate) fn protocol_failure(&mut self, site: usize, error: Error) -> Result<(), Error> {
+        match self.policy {
+            FailurePolicy::Strict => Err(error),
+            FailurePolicy::Degrade => {
+                self.quarantine(site, QuarantineReason::Protocol(error.to_string()));
+                Ok(())
+            }
+        }
+    }
+
+    /// Interprets an upload reply (or transport failure) from `site`.
+    /// `Ok(None)` covers both an exhausted site and a quarantined one.
+    pub(crate) fn upload(
+        &mut self,
+        site: usize,
+        reply: Result<dsud_net::Message, LinkError>,
+    ) -> Result<Option<dsud_net::TupleMsg>, Error> {
+        match reply {
+            Ok(msg) => match crate::cluster::expect_upload(site as u32, msg) {
+                Ok(t) => Ok(t),
+                Err(e) => {
+                    self.protocol_failure(site, e)?;
+                    Ok(None)
+                }
+            },
+            Err(e) => {
+                self.transport_failure(site, e)?;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Interprets a survival reply (or transport failure) from `site`.
+    /// `Ok(None)` means the site is lost and contributes no factor — the
+    /// accumulated product becomes an upper bound (see the module docs).
+    pub(crate) fn survival(
+        &mut self,
+        site: usize,
+        reply: Result<dsud_net::Message, LinkError>,
+    ) -> Result<Option<(f64, u64)>, Error> {
+        match reply {
+            Ok(msg) => match crate::cluster::expect_survival(site as u32, msg) {
+                Ok(pair) => Ok(Some(pair)),
+                Err(e) => {
+                    self.protocol_failure(site, e)?;
+                    Ok(None)
+                }
+            },
+            Err(e) => {
+                self.transport_failure(site, e)?;
+                Ok(None)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsud_net::Message;
+
+    #[test]
+    fn strict_mode_aborts_on_first_transport_failure() {
+        let mut tracker = FailureTracker::new(3, FailurePolicy::Strict, Recorder::disabled());
+        let err = tracker.transport_failure(1, LinkError::Timeout).unwrap_err();
+        assert_eq!(err, Error::SiteFailed { site: 1, source: LinkError::Timeout });
+        assert!(!tracker.degraded());
+    }
+
+    #[test]
+    fn degrade_mode_quarantines_and_continues() {
+        let recorder = Recorder::enabled();
+        let mut tracker = FailureTracker::new(3, FailurePolicy::Degrade, recorder.clone());
+        tracker.transport_failure(1, LinkError::Disconnected).unwrap();
+        assert!(tracker.degraded());
+        assert!(!tracker.is_active(1));
+        assert!(tracker.is_active(0) && tracker.is_active(2));
+        // A second failure of the same site is not a second quarantine.
+        tracker.transport_failure(1, LinkError::Timeout).unwrap();
+        assert_eq!(recorder.counter(Counter::QuarantinedSites), 1);
+        let statuses = tracker.statuses();
+        assert_eq!(statuses.len(), 3);
+        assert!(statuses[0].healthy() && statuses[2].healthy());
+        assert_eq!(
+            statuses[1].quarantined,
+            Some(QuarantineReason::Transport(LinkError::Disconnected))
+        );
+    }
+
+    #[test]
+    fn degraded_replies_collapse_to_none() {
+        let mut tracker = FailureTracker::new(2, FailurePolicy::Degrade, Recorder::disabled());
+        assert_eq!(tracker.upload(0, Err(LinkError::Timeout)).unwrap(), None);
+        assert_eq!(tracker.survival(1, Ok(Message::Ack)).unwrap(), None);
+        assert!(!tracker.is_active(0) && !tracker.is_active(1));
+    }
+
+    #[test]
+    fn statuses_serialize_round_trip() {
+        let status = SiteStatus {
+            site: 4,
+            quarantined: Some(QuarantineReason::Transport(LinkError::Io("boom".into()))),
+        };
+        let json = serde_json::to_string(&status).unwrap();
+        let back: SiteStatus = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, status);
+        assert!(!back.healthy());
+    }
+}

@@ -21,10 +21,10 @@ use dsud_net::{BandwidthMeter, Link, Message, TupleMsg};
 use dsud_obs::Counter;
 use dsud_uncertain::{SkylineEntry, SubspaceMask};
 
-use crate::cluster::{expect_survival, expect_upload};
-use crate::{Error, ProgressLog, QueryOutcome, RunStats};
+use crate::degrade::FailureTracker;
+use crate::{Error, FailurePolicy, ProgressLog, QueryOutcome, RunStats};
 
-/// Runs DSUD over the given site links.
+/// Runs DSUD over the given site links under the strict failure policy.
 ///
 /// `links[i]` must address site `i`; `q` must lie in `(0, 1]` and `mask`
 /// must fit the sites' data space (both validated by
@@ -32,13 +32,36 @@ use crate::{Error, ProgressLog, QueryOutcome, RunStats};
 ///
 /// # Errors
 ///
-/// Returns [`Error::InvalidThreshold`] or [`Error::ProtocolViolation`].
+/// Returns [`Error::InvalidThreshold`], [`Error::ProtocolViolation`], or
+/// [`Error::SiteFailed`].
 pub fn run(
     links: &mut [Box<dyn Link>],
     meter: &BandwidthMeter,
     q: f64,
     mask: SubspaceMask,
     limit: Option<usize>,
+) -> Result<QueryOutcome, Error> {
+    run_with_policy(links, meter, q, mask, limit, FailurePolicy::Strict)
+}
+
+/// [`run`] with an explicit site-failure policy. Under
+/// [`FailurePolicy::Degrade`] a site whose transport stays broken after
+/// retries is quarantined — excluded from every later broadcast and refill
+/// — and the query completes over the survivors with
+/// [`QueryOutcome::degraded`] set (see [`crate::degrade`] for what that
+/// does to the reported probabilities).
+///
+/// # Errors
+///
+/// Same as [`run`]; [`Error::SiteFailed`] only under
+/// [`FailurePolicy::Strict`].
+pub fn run_with_policy(
+    links: &mut [Box<dyn Link>],
+    meter: &BandwidthMeter,
+    q: f64,
+    mask: SubspaceMask,
+    limit: Option<usize>,
+    policy: FailurePolicy,
 ) -> Result<QueryOutcome, Error> {
     if !(q > 0.0 && q <= 1.0) {
         return Err(Error::InvalidThreshold(q));
@@ -47,6 +70,7 @@ pub fn run(
     let started = Instant::now();
     let rec = meter.recorder().clone();
     let query_span = rec.span("query:dsud");
+    let mut tracker = FailureTracker::new(links.len(), policy, rec.clone());
     let mut stats = RunStats::default();
     let mut progress = ProgressLog::new();
     let mut skyline: Vec<SkylineEntry> = Vec::new();
@@ -58,8 +82,8 @@ pub fn run(
     let mut queue: Vec<TupleMsg> = Vec::with_capacity(links.len());
     {
         let _span = rec.span("to-server:start");
-        for (_, reply) in dsud_net::broadcast(links, |_| true, &Message::Start { q, mask }) {
-            if let Some(t) = expect_upload(reply)? {
+        for (x, reply) in dsud_net::broadcast(links, |_| true, &Message::Start { q, mask }) {
+            if let Some(t) = tracker.upload(x, reply)? {
                 queue.push(t);
             }
         }
@@ -82,17 +106,19 @@ pub fn run(
         // Server-Delivery phase: assemble the exact global probability.
         // The broadcast is put in flight on every other site at once, so
         // concurrent transports overlap the survival computations.
+        // Quarantined sites are skipped: their factors are lost, which is
+        // exactly what makes a degraded answer an upper bound.
         let mut global = cand.local_prob;
         let home = cand.id.site.0 as usize;
         {
             let _span = rec.span("server-delivery");
-            for (_, reply) in
-                dsud_net::broadcast(links, |x| x != home, &Message::Feedback(cand.clone()))
-            {
-                let (survival, pruned) = expect_survival(reply)?;
-                global *= survival;
-                stats.pruned_at_sites += pruned;
-                rec.add(Counter::PrunedAtSites, pruned);
+            let active = |x: usize| x != home && tracker.is_active(x);
+            for (x, reply) in dsud_net::broadcast(links, active, &Message::Feedback(cand.clone())) {
+                if let Some((survival, pruned)) = tracker.survival(x, reply)? {
+                    global *= survival;
+                    stats.pruned_at_sites += pruned;
+                    rec.add(Counter::PrunedAtSites, pruned);
+                }
             }
         }
 
@@ -107,15 +133,26 @@ pub fn run(
             }
         }
 
-        // Next To-Server phase: refill from the consumed site.
+        // Next To-Server phase: refill from the consumed site (unless it
+        // was quarantined mid-round — its queue slot simply stays empty).
         let _span = rec.span("to-server");
-        if let Some(next) = expect_upload(links[home].call(Message::RequestNext))? {
-            queue.push(next);
+        if tracker.is_active(home) {
+            let reply = links[home].call(Message::RequestNext);
+            if let Some(next) = tracker.upload(home, reply)? {
+                queue.push(next);
+            }
         }
     }
     drop(query_span);
 
-    Ok(QueryOutcome { skyline, progress, traffic: meter.snapshot().since(&start_traffic), stats })
+    Ok(QueryOutcome {
+        skyline,
+        progress,
+        traffic: meter.snapshot().since(&start_traffic),
+        stats,
+        degraded: tracker.degraded(),
+        sites: tracker.statuses(),
+    })
 }
 
 /// Index of the queue entry with the largest local skyline probability.

@@ -31,9 +31,9 @@ use dsud_net::{BandwidthMeter, Link, Message, TupleMsg};
 use dsud_obs::Counter;
 use dsud_uncertain::{dominates_in, SkylineEntry, SubspaceMask};
 
-use crate::cluster::{expect_survival, expect_upload};
+use crate::degrade::FailureTracker;
 use crate::synopsis::SynopsisBound;
-use crate::{BoundMode, Error, ProgressLog, QueryOutcome, RunStats};
+use crate::{BoundMode, Error, FailurePolicy, ProgressLog, QueryOutcome, RunStats};
 
 /// A queued candidate with its per-site broadcast discounts.
 #[derive(Debug, Clone)]
@@ -107,11 +107,12 @@ impl Candidate {
     }
 }
 
-/// Runs e-DSUD over the given site links.
+/// Runs e-DSUD over the given site links under the strict failure policy.
 ///
 /// # Errors
 ///
-/// Returns [`Error::InvalidThreshold`] or [`Error::ProtocolViolation`].
+/// Returns [`Error::InvalidThreshold`], [`Error::ProtocolViolation`], or
+/// [`Error::SiteFailed`].
 pub fn run(
     links: &mut [Box<dyn Link>],
     meter: &BandwidthMeter,
@@ -120,16 +121,22 @@ pub fn run(
     mode: BoundMode,
     limit: Option<usize>,
 ) -> Result<QueryOutcome, Error> {
-    run_with_synopses(links, meter, q, mask, mode, limit, None)
+    run_with_synopses(links, meter, q, mask, mode, limit, None, FailurePolicy::Strict)
 }
 
 /// [`run`] with optional per-site grid synopses of the given resolution
 /// (requested, and charged, at query start) folded into the candidate
-/// bounds — the Section 5.2 synopsis trade-off made measurable.
+/// bounds — the Section 5.2 synopsis trade-off made measurable — and an
+/// explicit site-failure policy. Under [`FailurePolicy::Degrade`] a site
+/// whose transport stays broken after retries is quarantined and the query
+/// completes over the survivors with [`QueryOutcome::degraded`] set (see
+/// [`crate::degrade`] for the upper-bound caveat).
 ///
 /// # Errors
 ///
-/// Same as [`run`].
+/// Same as [`run`]; [`Error::SiteFailed`] only under
+/// [`FailurePolicy::Strict`].
+#[allow(clippy::too_many_arguments)]
 pub fn run_with_synopses(
     links: &mut [Box<dyn Link>],
     meter: &BandwidthMeter,
@@ -138,6 +145,7 @@ pub fn run_with_synopses(
     mode: BoundMode,
     limit: Option<usize>,
     synopsis_resolution: Option<u16>,
+    policy: FailurePolicy,
 ) -> Result<QueryOutcome, Error> {
     if !(q > 0.0 && q <= 1.0) {
         return Err(Error::InvalidThreshold(q));
@@ -146,6 +154,7 @@ pub fn run_with_synopses(
     let started = Instant::now();
     let rec = meter.recorder().clone();
     let query_span = rec.span("query:edsud");
+    let mut tracker = FailureTracker::new(links.len(), policy, rec.clone());
     let mut stats = RunStats::default();
     let mut progress = ProgressLog::new();
     let mut skyline: Vec<SkylineEntry> = Vec::new();
@@ -154,8 +163,8 @@ pub fn run_with_synopses(
     let mut queue: Vec<Candidate> = Vec::with_capacity(links.len());
     {
         let _span = rec.span("to-server:start");
-        for (_, reply) in dsud_net::broadcast(links, |_| true, &Message::Start { q, mask }) {
-            if let Some(t) = expect_upload(reply)? {
+        for (x, reply) in dsud_net::broadcast(links, |_| true, &Message::Start { q, mask }) {
+            if let Some(t) = tracker.upload(x, reply)? {
                 queue.push(Candidate::new(t, &history, mask));
             }
         }
@@ -166,11 +175,19 @@ pub fn run_with_synopses(
     let mut synopses: HashMap<u32, SynopsisBound> = HashMap::new();
     if let Some(resolution) = synopsis_resolution {
         let _span = rec.span("synopsis");
+        let active = |x: usize| tracker.is_active(x);
         for (x, reply) in
-            dsud_net::broadcast(links, |_| true, &Message::SynopsisRequest { resolution })
+            dsud_net::broadcast(links, active, &Message::SynopsisRequest { resolution })
         {
-            if let Message::Synopsis(syn) = reply {
-                synopses.insert(x as u32, SynopsisBound::new(syn));
+            match reply {
+                Ok(Message::Synopsis(syn)) => {
+                    synopses.insert(x as u32, SynopsisBound::new(syn));
+                }
+                // A site that cannot ship a synopsis is still a valid query
+                // participant: synopses only tighten bounds, never gate
+                // correctness. Transport failures still count against it.
+                Ok(_) => {}
+                Err(e) => tracker.transport_failure(x, e)?,
             }
         }
     }
@@ -193,7 +210,11 @@ pub fn run_with_synopses(
                         stats.iterations += 1;
                         rec.incr(Counter::Expunged);
                         let home = gone.msg.id.site.0 as usize;
-                        if let Some(next) = expect_upload(links[home].call(Message::RequestNext))? {
+                        if !tracker.is_active(home) {
+                            continue;
+                        }
+                        let reply = links[home].call(Message::RequestNext);
+                        if let Some(next) = tracker.upload(home, reply)? {
                             queue.push(Candidate::new(next, &history, mask));
                             replaced_any = true;
                         }
@@ -228,13 +249,17 @@ pub fn run_with_synopses(
         let home = cand.msg.id.site.0 as usize;
         {
             let _span = rec.span("server-delivery");
-            for (_, reply) in
-                dsud_net::broadcast(links, |x| x != home, &Message::Feedback(cand.msg.clone()))
+            // Quarantined sites are skipped: their survival factors are
+            // lost, making a degraded answer an upper bound.
+            let active = |x: usize| x != home && tracker.is_active(x);
+            for (x, reply) in
+                dsud_net::broadcast(links, active, &Message::Feedback(cand.msg.clone()))
             {
-                let (survival, pruned) = expect_survival(reply)?;
-                global *= survival;
-                stats.pruned_at_sites += pruned;
-                rec.add(Counter::PrunedAtSites, pruned);
+                if let Some((survival, pruned)) = tracker.survival(x, reply)? {
+                    global *= survival;
+                    stats.pruned_at_sites += pruned;
+                    rec.add(Counter::PrunedAtSites, pruned);
+                }
             }
         }
 
@@ -258,8 +283,11 @@ pub fn run_with_synopses(
 
         {
             let _span = rec.span("to-server");
-            if let Some(next) = expect_upload(links[home].call(Message::RequestNext))? {
-                queue.push(Candidate::new(next, &history, mask));
+            if tracker.is_active(home) {
+                let reply = links[home].call(Message::RequestNext);
+                if let Some(next) = tracker.upload(home, reply)? {
+                    queue.push(Candidate::new(next, &history, mask));
+                }
             }
         }
 
@@ -269,7 +297,14 @@ pub fn run_with_synopses(
     }
     drop(query_span);
 
-    Ok(QueryOutcome { skyline, progress, traffic: meter.snapshot().since(&start_traffic), stats })
+    Ok(QueryOutcome {
+        skyline,
+        progress,
+        traffic: meter.snapshot().since(&start_traffic),
+        stats,
+        degraded: tracker.degraded(),
+        sites: tracker.statuses(),
+    })
 }
 
 /// Index of the largest bound, ties broken by tuple id for determinism.

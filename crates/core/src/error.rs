@@ -1,8 +1,11 @@
 //! Error type of the distributed query layer: invalid thresholds, cluster
 //! construction faults (dimension/site-id mismatches), subspace and PR-tree
-//! failures, and protocol violations observed by the coordinator.
+//! failures, protocol violations observed by the coordinator, and site
+//! failures surfaced by the fallible transports.
 
 use std::fmt;
+
+use dsud_net::LinkError;
 
 /// Errors produced by the distributed query algorithms.
 #[derive(Debug, Clone, PartialEq)]
@@ -12,6 +15,8 @@ pub enum Error {
     InvalidThreshold(f64),
     /// The cluster was built with zero sites.
     NoSites,
+    /// A caller-supplied parameter could not be interpreted.
+    InvalidArgument(&'static str),
     /// A site database disagreed with the cluster's dimensionality.
     DimensionMismatch {
         /// Expected dimensionality.
@@ -31,7 +36,22 @@ pub enum Error {
     /// An index-level failure (propagated from the PR-tree).
     Index(dsud_prtree::Error),
     /// A site answered a protocol request with an unexpected message.
-    ProtocolViolation(&'static str),
+    ProtocolViolation {
+        /// The misbehaving site.
+        site: u32,
+        /// What the coordinator expected and did not get.
+        what: &'static str,
+    },
+    /// A site's transport failed past its retry budget. Under
+    /// [`crate::FailurePolicy::Strict`] (the default) this aborts the
+    /// query; under [`crate::FailurePolicy::Degrade`] the site is
+    /// quarantined instead and the error never surfaces.
+    SiteFailed {
+        /// The unreachable site.
+        site: u32,
+        /// The final transport error after retries.
+        source: LinkError,
+    },
 }
 
 impl fmt::Display for Error {
@@ -41,6 +61,7 @@ impl fmt::Display for Error {
                 write!(f, "threshold {q} is outside the interval (0, 1]")
             }
             Error::NoSites => write!(f, "a cluster needs at least one site"),
+            Error::InvalidArgument(what) => write!(f, "invalid argument: {what}"),
             Error::DimensionMismatch { expected, actual } => {
                 write!(f, "expected {expected} dimensions, got {actual}")
             }
@@ -49,7 +70,12 @@ impl fmt::Display for Error {
             }
             Error::Subspace(e) => write!(f, "invalid subspace: {e}"),
             Error::Index(e) => write!(f, "index failure: {e}"),
-            Error::ProtocolViolation(what) => write!(f, "protocol violation: {what}"),
+            Error::ProtocolViolation { site, what } => {
+                write!(f, "protocol violation at site {site}: {what}")
+            }
+            Error::SiteFailed { site, source } => {
+                write!(f, "site {site} failed: {source}")
+            }
         }
     }
 }
@@ -59,6 +85,7 @@ impl std::error::Error for Error {
         match self {
             Error::Subspace(e) => Some(e),
             Error::Index(e) => Some(e),
+            Error::SiteFailed { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -73,5 +100,25 @@ impl From<dsud_prtree::Error> for Error {
 impl From<dsud_uncertain::Error> for Error {
     fn from(e: dsud_uncertain::Error) -> Self {
         Error::Subspace(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_failed_carries_its_transport_source() {
+        let e = Error::SiteFailed { site: 3, source: LinkError::Timeout };
+        assert_eq!(e.to_string(), "site 3 failed: request deadline elapsed");
+        let source = std::error::Error::source(&e).expect("has a source");
+        assert_eq!(source.to_string(), LinkError::Timeout.to_string());
+    }
+
+    #[test]
+    fn protocol_violation_names_the_site() {
+        let e = Error::ProtocolViolation { site: 7, what: "expected Upload reply" };
+        assert!(e.to_string().contains("site 7"));
+        assert!(e.to_string().contains("expected Upload reply"));
     }
 }

@@ -57,6 +57,7 @@
 pub mod baseline;
 mod cluster;
 mod config;
+pub mod degrade;
 pub mod dsud;
 pub mod edsud;
 mod error;
@@ -67,13 +68,17 @@ pub mod synopsis;
 pub mod update;
 
 pub use cluster::{Cluster, QueryOutcome, RunStats, Transport};
-pub use config::{BoundMode, QueryConfig, SiteOptions, UpdatePolicy};
+pub use config::{BoundMode, FailurePolicy, QueryConfig, SiteOptions, UpdatePolicy};
+pub use degrade::{QuarantineReason, SiteStatus};
 pub use error::Error;
 pub use progress::{ProgressEvent, ProgressLog};
 pub use site::LocalSite;
 
 // Re-export the workspace API surface so `dsud_core` works as a facade.
-pub use dsud_net::{BandwidthMeter, LatencyModel, Link, MeterSnapshot};
+pub use dsud_net::{
+    BandwidthMeter, HealthSnapshot, LatencyModel, Link, LinkConfig, LinkError, MeterSnapshot,
+    RetryLink,
+};
 pub use dsud_obs::{
     Counter, CounterSnapshot, PhaseTotal, ProgressSample, Recorder, RunReport, SpanRecord,
     SCHEMA_VERSION,

@@ -357,6 +357,7 @@ impl Service for LocalSite {
             | Message::NotifyDelete(_)
             | Message::RegionReply(_)
             | Message::Synopsis(_)
+            | Message::DecodeError
             | Message::Ack => Message::Ack,
         }
     }

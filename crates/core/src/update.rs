@@ -102,9 +102,7 @@ impl Maintainer {
             .map(|e| Member { msg: TupleMsg::new(&e.tuple, e.probability), prob: e.probability })
             .collect();
         let replica: Vec<TupleMsg> = members.iter().map(|m| m.msg.clone()).collect();
-        for link in links.iter_mut() {
-            link.call(Message::ReplicaSync(replica.clone()));
-        }
+        sync_replicas(links, &replica)?;
         let replicated = replica.iter().map(|m| m.id).collect();
         let seen = replica.iter().cloned().collect();
         Ok((Maintainer { q, mask, bound, members, replicated, seen }, outcome))
@@ -136,11 +134,14 @@ impl Maintainer {
             UpdateOp::Insert(t) => Message::InjectInsert(TupleMsg::new(t, 0.0)),
             UpdateOp::Delete(t) => Message::InjectDelete(TupleMsg::new(t, 0.0)),
         };
-        match links[home].call(inject) {
+        match links[home].call(inject).map_err(|e| site_failed(home, e))? {
             Message::Ack => Ok(()), // purely local
             Message::NotifyInsert(t) => self.handle_insert(links, t),
             Message::NotifyDelete(t) => self.handle_delete(links, t),
-            _ => Err(Error::ProtocolViolation("unexpected update notification")),
+            _ => Err(Error::ProtocolViolation {
+                site: home as u32,
+                what: "unexpected update notification",
+            }),
         }
     }
 
@@ -149,14 +150,14 @@ impl Maintainer {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::ProtocolViolation`] only if the link fails.
+    /// Returns [`Error::SiteFailed`] if the link fails.
     pub fn apply_local_only(links: &mut [Box<dyn Link>], op: &UpdateOp) -> Result<(), Error> {
         let home = op.site() as usize;
         let inject = match op {
             UpdateOp::Insert(t) => Message::InjectInsert(TupleMsg::new(t, 0.0)),
             UpdateOp::Delete(t) => Message::InjectDelete(TupleMsg::new(t, 0.0)),
         };
-        links[home].call(inject);
+        links[home].call(inject).map_err(|e| site_failed(home, e))?;
         Ok(())
     }
 
@@ -178,9 +179,7 @@ impl Maintainer {
             .map(|e| Member { msg: TupleMsg::new(&e.tuple, e.probability), prob: e.probability })
             .collect();
         let replica: Vec<TupleMsg> = self.members.iter().map(|m| m.msg.clone()).collect();
-        for link in links.iter_mut() {
-            link.call(Message::ReplicaSync(replica.clone()));
-        }
+        sync_replicas(links, &replica)?;
         self.replicated = replica.iter().map(|m| m.id).collect();
         self.seen = replica.into_iter().collect();
         Ok(outcome)
@@ -210,7 +209,7 @@ impl Maintainer {
         if t.local_prob >= self.q && self.seen_bound(&t) >= self.q {
             let global = self.evaluate(links, &t)?;
             if global >= self.q {
-                self.add_member(links, t.clone(), global);
+                self.add_member(links, t.clone(), global)?;
             }
             self.remember(t);
         }
@@ -260,7 +259,7 @@ impl Maintainer {
             self.members.remove(pos);
         }
         if self.replicated.remove(&t.id) {
-            broadcast_all(links, Message::ReplicaRemove(t.clone()));
+            broadcast_all(links, Message::ReplicaRemove(t.clone()))?;
         }
         self.seen.retain(|c| c.id != t.id);
 
@@ -279,10 +278,15 @@ impl Maintainer {
         // dominated can have gained probability. All sites scan their
         // regions concurrently.
         let mut candidates: Vec<TupleMsg> = Vec::new();
-        for (_, reply) in dsud_net::broadcast(links, |_| true, &Message::RegionQuery(t.clone())) {
-            match reply {
+        for (x, reply) in dsud_net::broadcast(links, |_| true, &Message::RegionQuery(t.clone())) {
+            match reply.map_err(|e| site_failed(x, e))? {
                 Message::RegionReply(mut tuples) => candidates.append(&mut tuples),
-                _ => return Err(Error::ProtocolViolation("expected RegionReply")),
+                _ => {
+                    return Err(Error::ProtocolViolation {
+                        site: x as u32,
+                        what: "expected RegionReply",
+                    })
+                }
             }
         }
         for c in candidates {
@@ -294,7 +298,7 @@ impl Maintainer {
             }
             let global = self.evaluate(links, &c)?;
             if global >= self.q {
-                self.add_member(links, c.clone(), global);
+                self.add_member(links, c.clone(), global)?;
             }
             self.remember(c);
         }
@@ -307,23 +311,46 @@ impl Maintainer {
     fn evaluate(&self, links: &mut [Box<dyn Link>], t: &TupleMsg) -> Result<f64, Error> {
         let mut global = t.local_prob;
         let home = t.id.site.0 as usize;
-        for (_, reply) in dsud_net::broadcast(links, |x| x != home, &Message::Feedback(t.clone())) {
-            let (survival, _) = expect_survival(reply)?;
+        for (x, reply) in dsud_net::broadcast(links, |x| x != home, &Message::Feedback(t.clone())) {
+            let (survival, _) = expect_survival(x as u32, reply.map_err(|e| site_failed(x, e))?)?;
             global *= survival;
         }
         Ok(global)
     }
 
-    fn add_member(&mut self, links: &mut [Box<dyn Link>], mut msg: TupleMsg, global: f64) {
+    fn add_member(
+        &mut self,
+        links: &mut [Box<dyn Link>],
+        mut msg: TupleMsg,
+        global: f64,
+    ) -> Result<(), Error> {
         msg.local_prob = global;
-        broadcast_all(links, Message::ReplicaAdd(msg.clone()));
+        broadcast_all(links, Message::ReplicaAdd(msg.clone()))?;
         self.replicated.insert(msg.id);
         self.members.push(Member { msg, prob: global });
+        Ok(())
     }
 }
 
-fn broadcast_all(links: &mut [Box<dyn Link>], msg: Message) {
-    dsud_net::broadcast(links, |_| true, &msg);
+fn site_failed(site: usize, source: dsud_net::LinkError) -> Error {
+    Error::SiteFailed { site: site as u32, source }
+}
+
+/// Maintenance runs under strict semantics: a transport failure anywhere
+/// in a replica broadcast aborts the batch, because half-synced replicas
+/// would silently desynchronize the sites' update filters.
+fn broadcast_all(links: &mut [Box<dyn Link>], msg: Message) -> Result<(), Error> {
+    for (x, reply) in dsud_net::broadcast(links, |_| true, &msg) {
+        reply.map_err(|e| site_failed(x, e))?;
+    }
+    Ok(())
+}
+
+fn sync_replicas(links: &mut [Box<dyn Link>], replica: &[TupleMsg]) -> Result<(), Error> {
+    for (i, link) in links.iter_mut().enumerate() {
+        link.call(Message::ReplicaSync(replica.to_vec())).map_err(|e| site_failed(i, e))?;
+    }
+    Ok(())
 }
 
 /// Convenience entry point used by the Fig. 14 experiment: applies a batch

@@ -15,7 +15,10 @@
 //!   implementations: [`LocalLink`] (deterministic in-process dispatch,
 //!   used by tests and benchmarks) and [`ChannelLink`] (each site runs on
 //!   its own OS thread behind crossbeam channels, demonstrating real
-//!   concurrency);
+//!   concurrency). Link operations return `Result<_, `[`LinkError`]`>` —
+//!   transport failure is a value the coordinator handles, never a panic —
+//!   and [`RetryLink`] layers deterministic retry-with-backoff (per-link
+//!   [`LinkConfig`]) on any transport;
 //! * [`LatencyModel`] — a deterministic cost model converting metered
 //!   traffic into simulated network time, used by the update-performance
 //!   experiment (paper Fig. 14) so "response time" is reproducible on any
@@ -38,7 +41,7 @@
 //!
 //! let meter = BandwidthMeter::new();
 //! let mut link = LocalLink::new(Echo, meter.clone());
-//! let reply = link.call(Message::RequestNext);
+//! let reply = link.call(Message::RequestNext).expect("inline transports cannot fail");
 //! assert!(matches!(reply, Message::Upload(None)));
 //! assert_eq!(meter.snapshot().total().messages, 2);
 //! ```
@@ -49,10 +52,14 @@
 mod latency;
 mod message;
 mod meter;
+mod retry;
 pub mod tcp;
 mod transport;
 
 pub use latency::LatencyModel;
 pub use message::{Message, SynopsisMsg, TrafficClass, TupleMsg};
 pub use meter::{BandwidthMeter, Counters, MeterSnapshot};
-pub use transport::{broadcast, ChannelLink, FaultMode, FaultyLink, Link, LocalLink, Service};
+pub use retry::{HealthSnapshot, LinkHealth, RetryLink};
+pub use transport::{
+    broadcast, ChannelLink, FaultMode, FaultyLink, Link, LinkConfig, LinkError, LocalLink, Service,
+};

@@ -214,6 +214,11 @@ pub enum Message {
     Synopsis(SynopsisMsg),
     /// Generic acknowledgement.
     Ack,
+    /// `site → H`: the site could not decode the request frame. Transports
+    /// translate this reply into [`LinkError::Malformed`](crate::LinkError)
+    /// rather than surfacing it to protocol code, so a corrupted frame is a
+    /// retryable transport fault instead of a dead site thread.
+    DecodeError,
 }
 
 /// Traffic classes used by the [`crate::BandwidthMeter`].
@@ -240,7 +245,9 @@ impl Message {
             Message::Upload(_) => TrafficClass::Upload,
             Message::Feedback(_) => TrafficClass::Feedback,
             Message::SurvivalReply { .. } => TrafficClass::Reply,
-            Message::Start { .. } | Message::RequestNext | Message::Ack => TrafficClass::Control,
+            Message::Start { .. } | Message::RequestNext | Message::Ack | Message::DecodeError => {
+                TrafficClass::Control
+            }
             Message::NotifyInsert(_)
             | Message::NotifyDelete(_)
             | Message::ReplicaSync(_)
@@ -345,6 +352,7 @@ impl Message {
                 buf.put_u8(17);
                 syn.encode(&mut buf);
             }
+            Message::DecodeError => buf.put_u8(18),
         }
         buf.freeze()
     }
@@ -353,7 +361,7 @@ impl Message {
     pub fn encoded_len(&self) -> usize {
         1 + match self {
             Message::Start { .. } => 16,
-            Message::RequestNext | Message::Upload(None) | Message::Ack => 0,
+            Message::RequestNext | Message::Upload(None) | Message::Ack | Message::DecodeError => 0,
             Message::Feedback(t)
             | Message::Upload(Some(t))
             | Message::NotifyInsert(t)
@@ -436,6 +444,7 @@ impl Message {
                 Message::SynopsisRequest { resolution: buf.get_u16() }
             }
             17 => Message::Synopsis(SynopsisMsg::decode(&mut buf)?),
+            18 => Message::DecodeError,
             _ => return None,
         };
         if buf.has_remaining() {
@@ -486,6 +495,7 @@ mod tests {
                 cells: vec![0.5, 0.25, 1.0, 0.75],
             }),
             Message::Ack,
+            Message::DecodeError,
         ]
     }
 

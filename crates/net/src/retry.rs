@@ -1,0 +1,319 @@
+//! Deterministic retry-with-backoff on top of any [`Link`].
+//!
+//! [`RetryLink`] is the failure-absorbing layer between a raw transport and
+//! the coordinator: transient faults (a timed-out request, a dropped TCP
+//! connection) are retried up to the [`LinkConfig::retry_budget`], with a
+//! reconnect attempt and a deterministic backoff pause between attempts.
+//! Only when the budget is exhausted does the failure propagate — at which
+//! point the coordinator decides between aborting (strict mode) and
+//! quarantining the site (degraded mode).
+//!
+//! Determinism: whether an attempt is retried and how long the backoff
+//! pause lasts are pure functions of the per-call attempt index and the
+//! config — no randomness, no wall-clock dependence. Replaying the same
+//! fault schedule therefore produces the same attempt transcript on every
+//! run, pool size, and transport; the backoff only stretches wall-clock
+//! time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dsud_obs::{Counter, Recorder};
+
+use crate::{Link, LinkConfig, LinkError, Message};
+
+/// Shared, lock-free view of one link's failure history.
+///
+/// The coordinator holds a clone while the link itself lives inside the
+/// boxed transport stack, so per-site failure accounting stays readable
+/// after the query ends.
+#[derive(Debug, Default)]
+pub struct LinkHealth {
+    attempts: AtomicU64,
+    retries: AtomicU64,
+    timeouts: AtomicU64,
+    disconnects: AtomicU64,
+    malformed: AtomicU64,
+}
+
+/// Point-in-time copy of a [`LinkHealth`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HealthSnapshot {
+    /// Requests attempted (first tries and retries alike).
+    pub attempts: u64,
+    /// Attempts that were retries of a failed predecessor.
+    pub retries: u64,
+    /// Attempts that failed with [`LinkError::Timeout`].
+    pub timeouts: u64,
+    /// Attempts that failed with [`LinkError::Disconnected`].
+    pub disconnects: u64,
+    /// Attempts that failed with [`LinkError::Malformed`].
+    pub malformed: u64,
+}
+
+impl LinkHealth {
+    /// Copies the current counters.
+    pub fn snapshot(&self) -> HealthSnapshot {
+        HealthSnapshot {
+            attempts: self.attempts.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            disconnects: self.disconnects.load(Ordering::Relaxed),
+            malformed: self.malformed.load(Ordering::Relaxed),
+        }
+    }
+
+    fn note_failure(&self, error: &LinkError) {
+        match error {
+            LinkError::Timeout => self.timeouts.fetch_add(1, Ordering::Relaxed),
+            LinkError::Disconnected => self.disconnects.fetch_add(1, Ordering::Relaxed),
+            LinkError::Malformed => self.malformed.fetch_add(1, Ordering::Relaxed),
+            LinkError::Io(_) => self.disconnects.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+}
+
+/// A [`Link`] wrapper that retries failed requests deterministically.
+///
+/// Each failed attempt is followed by a [`Link::reconnect`] of the inner
+/// transport and a [`LinkConfig::backoff_step`] pause, until the request
+/// succeeds or [`LinkConfig::retry_budget`] re-attempts have failed; the
+/// last error is then returned. Retry and timeout totals are mirrored onto
+/// the [`Recorder`] ([`Counter::LinkRetries`], [`Counter::LinkTimeouts`])
+/// so they land in the run report.
+#[derive(Debug)]
+pub struct RetryLink<L> {
+    inner: L,
+    config: LinkConfig,
+    recorder: Recorder,
+    health: Arc<LinkHealth>,
+    /// The request put in flight by `begin`, kept for retries on `complete`.
+    pending: Option<Message>,
+    /// Error from a failed `begin`, surfaced (after retries) by `complete`.
+    begin_error: Option<LinkError>,
+}
+
+impl<L: Link> RetryLink<L> {
+    /// Wraps `inner` with the given retry policy.
+    pub fn new(inner: L, config: LinkConfig) -> Self {
+        Self::with_recorder(inner, config, Recorder::disabled())
+    }
+
+    /// Wraps `inner`, mirroring retry/timeout counts onto `recorder`.
+    pub fn with_recorder(inner: L, config: LinkConfig, recorder: Recorder) -> Self {
+        RetryLink {
+            inner,
+            config,
+            recorder,
+            health: Arc::new(LinkHealth::default()),
+            pending: None,
+            begin_error: None,
+        }
+    }
+
+    /// Shared handle onto this link's failure counters.
+    pub fn health(&self) -> Arc<LinkHealth> {
+        Arc::clone(&self.health)
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &L {
+        &self.inner
+    }
+
+    fn note_failure(&self, error: &LinkError) {
+        self.health.note_failure(error);
+        if *error == LinkError::Timeout {
+            self.recorder.incr(Counter::LinkTimeouts);
+        }
+    }
+
+    /// Retries `msg` after `first_error`, consuming the remaining budget.
+    fn retry_after(&mut self, msg: Message, first_error: LinkError) -> Result<Message, LinkError> {
+        let mut last_error = first_error;
+        for attempt in 1..=self.config.retry_budget {
+            self.health.retries.fetch_add(1, Ordering::Relaxed);
+            self.recorder.incr(Counter::LinkRetries);
+            let pause = self.config.backoff_step(attempt);
+            if !pause.is_zero() {
+                std::thread::sleep(pause);
+            }
+            // Best-effort: a failed reconnect still lets the attempt run,
+            // which surfaces the transport's own (possibly more specific)
+            // error.
+            let _ = self.inner.reconnect();
+            self.health.attempts.fetch_add(1, Ordering::Relaxed);
+            match self.inner.call(msg.clone()) {
+                Ok(reply) => return Ok(reply),
+                Err(e) => {
+                    self.note_failure(&e);
+                    last_error = e;
+                }
+            }
+        }
+        Err(last_error)
+    }
+}
+
+impl<L: Link> Link for RetryLink<L> {
+    fn call(&mut self, msg: Message) -> Result<Message, LinkError> {
+        assert!(self.pending.is_none(), "request already outstanding");
+        self.health.attempts.fetch_add(1, Ordering::Relaxed);
+        match self.inner.call(msg.clone()) {
+            Ok(reply) => Ok(reply),
+            Err(e) => {
+                self.note_failure(&e);
+                self.retry_after(msg, e)
+            }
+        }
+    }
+
+    fn begin(&mut self, msg: Message) -> Result<(), LinkError> {
+        assert!(self.pending.is_none(), "request already outstanding");
+        self.health.attempts.fetch_add(1, Ordering::Relaxed);
+        match self.inner.begin(msg.clone()) {
+            Ok(()) => {
+                self.pending = Some(msg);
+                Ok(())
+            }
+            Err(e) => {
+                // Defer the retries to `complete`, so a broadcast's other
+                // begins still go out first — the same overlap a healthy
+                // begin/complete round has.
+                self.note_failure(&e);
+                self.pending = Some(msg);
+                self.begin_error = Some(e);
+                Ok(())
+            }
+        }
+    }
+
+    fn complete(&mut self) -> Result<Message, LinkError> {
+        let msg = self.pending.take().expect("no outstanding request");
+        if let Some(e) = self.begin_error.take() {
+            return self.retry_after(msg, e);
+        }
+        match self.inner.complete() {
+            Ok(reply) => Ok(reply),
+            Err(e) => {
+                self.note_failure(&e);
+                self.retry_after(msg, e)
+            }
+        }
+    }
+
+    fn reconnect(&mut self) -> Result<(), LinkError> {
+        self.inner.reconnect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BandwidthMeter, FaultMode, FaultyLink, LocalLink, Service};
+    use std::time::Duration;
+
+    fn echo_service() -> impl Service {
+        |msg: Message| match msg {
+            Message::RequestNext => Message::Upload(None),
+            _ => Message::Ack,
+        }
+    }
+
+    fn config(budget: u32) -> LinkConfig {
+        LinkConfig {
+            request_timeout: Duration::from_millis(100),
+            retry_budget: budget,
+            backoff: Duration::ZERO,
+        }
+    }
+
+    fn stalled(budget: u32, stall: u64) -> RetryLink<FaultyLink<LocalLink<impl Service>>> {
+        let inner = LocalLink::new(echo_service(), BandwidthMeter::new());
+        RetryLink::new(FaultyLink::new(inner, FaultMode::Stall(stall), 1), config(budget))
+    }
+
+    #[test]
+    fn retry_rides_out_a_stall_within_budget() {
+        let mut link = stalled(2, 2);
+        assert_eq!(link.call(Message::RequestNext), Ok(Message::Upload(None)));
+        // The stall swallows two attempts; two retries recover the answer.
+        assert_eq!(link.call(Message::RequestNext), Ok(Message::Upload(None)));
+        let health = link.health().snapshot();
+        assert_eq!(health.attempts, 4);
+        assert_eq!(health.retries, 2);
+        assert_eq!(health.timeouts, 2);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_returns_the_last_error() {
+        let mut link = stalled(1, 5);
+        assert!(link.call(Message::RequestNext).is_ok());
+        assert_eq!(link.call(Message::RequestNext), Err(LinkError::Timeout));
+        let health = link.health().snapshot();
+        assert_eq!(health.attempts, 3); // healthy + first try + 1 retry
+        assert_eq!(health.retries, 1);
+    }
+
+    #[test]
+    fn zero_budget_fails_fast() {
+        let mut link = stalled(0, 1);
+        assert!(link.call(Message::RequestNext).is_ok());
+        assert_eq!(link.call(Message::RequestNext), Err(LinkError::Timeout));
+        assert_eq!(link.health().snapshot().retries, 0);
+    }
+
+    #[test]
+    fn split_path_retries_on_complete() {
+        let mut link = stalled(2, 2);
+        link.begin(Message::RequestNext).unwrap();
+        assert_eq!(link.complete(), Ok(Message::Upload(None)));
+        // Second round hits the stall at begin; complete absorbs it.
+        link.begin(Message::RequestNext).unwrap();
+        assert_eq!(link.complete(), Ok(Message::Upload(None)));
+        let health = link.health().snapshot();
+        assert_eq!(health.attempts, 4);
+        assert_eq!(health.retries, 2);
+    }
+
+    #[test]
+    fn split_and_call_paths_account_identically() {
+        let transcript = |split: bool| {
+            let mut link = stalled(3, 2);
+            for _ in 0..4 {
+                let reply = if split {
+                    link.begin(Message::RequestNext).unwrap();
+                    link.complete()
+                } else {
+                    link.call(Message::RequestNext)
+                };
+                assert_eq!(reply, Ok(Message::Upload(None)));
+            }
+            link.health().snapshot()
+        };
+        assert_eq!(transcript(false), transcript(true));
+    }
+
+    #[test]
+    fn retries_flow_into_the_recorder() {
+        let recorder = Recorder::enabled();
+        let inner = LocalLink::new(echo_service(), BandwidthMeter::new());
+        let faulty = FaultyLink::new(inner, FaultMode::Stall(1), 0);
+        let mut link = RetryLink::with_recorder(faulty, config(2), recorder.clone());
+        assert!(link.call(Message::RequestNext).is_ok());
+        assert_eq!(recorder.counter(Counter::LinkRetries), 1);
+        assert_eq!(recorder.counter(Counter::LinkTimeouts), 1);
+    }
+
+    #[test]
+    fn permanent_disconnect_exhausts_the_budget() {
+        let inner = LocalLink::new(echo_service(), BandwidthMeter::new());
+        let faulty = FaultyLink::new(inner, FaultMode::Disconnect, 0);
+        let mut link = RetryLink::new(faulty, config(3));
+        assert_eq!(link.call(Message::RequestNext), Err(LinkError::Disconnected));
+        let health = link.health().snapshot();
+        assert_eq!(health.attempts, 4);
+        assert_eq!(health.retries, 3);
+        assert_eq!(health.disconnects, 4);
+    }
+}

@@ -8,6 +8,13 @@
 //! indistinguishable from one behind a [`LocalLink`](crate::LocalLink) —
 //! the equivalence is asserted by the integration tests.
 //!
+//! Failure handling: reads observe the [`LinkConfig::request_timeout`]
+//! deadline via `set_read_timeout`, every operation returns
+//! [`LinkError`] values instead of panicking, and a [`TcpLink`] remembers
+//! its server's address so [`Link::reconnect`] can re-dial after a drop —
+//! which works because [`spawn_site`] accepts connections in a loop until
+//! its [`SiteServer`] handle is shut down.
+//!
 //! # Example
 //!
 //! ```
@@ -24,23 +31,25 @@
 //! }
 //!
 //! # fn main() -> std::io::Result<()> {
-//! let (addr, handle) = tcp::spawn_site(Echo)?;
+//! let server = tcp::spawn_site(Echo)?;
 //! let meter = BandwidthMeter::new();
-//! let mut link = tcp::TcpLink::connect(addr, meter)?;
-//! assert!(matches!(link.call(Message::RequestNext), Message::Upload(None)));
-//! drop(link); // closes the connection; the server thread exits
-//! handle.join().expect("server thread exits cleanly")?;
+//! let mut link = tcp::TcpLink::connect(server.addr(), meter)?;
+//! assert_eq!(link.call(Message::RequestNext), Ok(Message::Upload(None)));
+//! drop(link); // closes the connection; the server waits for the next one
+//! server.shutdown()?;
 //! # Ok(())
 //! # }
 //! ```
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use bytes::Bytes;
 
-use crate::{BandwidthMeter, Link, Message, Service};
+use crate::{BandwidthMeter, Link, LinkConfig, LinkError, Message, Service};
 
 /// Writes one length-prefixed frame.
 fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> io::Result<()> {
@@ -74,99 +83,302 @@ fn read_frame(stream: &mut TcpStream) -> io::Result<Option<Vec<u8>>> {
 const MAX_FRAME: usize = 64 << 20;
 
 /// A metered request/response link to a site across TCP.
+///
+/// The link stores its server's [`SocketAddr`] and [`LinkConfig`], so after
+/// any failure [`Link::reconnect`] re-dials and the next request goes out
+/// on a fresh connection — no state beyond the socket needs restoring,
+/// because the protocol is request/response and the server keeps the site
+/// state across connections.
 #[derive(Debug)]
 pub struct TcpLink {
-    stream: TcpStream,
+    stream: Option<TcpStream>,
+    addr: SocketAddr,
+    config: LinkConfig,
     meter: BandwidthMeter,
     in_flight: bool,
 }
 
 impl TcpLink {
-    /// Connects to a site server.
+    /// Connects to a site server with the default [`LinkConfig`].
     ///
     /// # Errors
     ///
     /// Propagates socket errors.
     pub fn connect(addr: SocketAddr, meter: BandwidthMeter) -> io::Result<Self> {
+        Self::connect_with(addr, meter, LinkConfig::default())
+    }
+
+    /// Connects to a site server with an explicit deadline configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn connect_with(
+        addr: SocketAddr,
+        meter: BandwidthMeter,
+        config: LinkConfig,
+    ) -> io::Result<Self> {
+        let stream = Self::dial(addr, config)?;
+        Ok(TcpLink { stream: Some(stream), addr, config, meter, in_flight: false })
+    }
+
+    fn dial(addr: SocketAddr, config: LinkConfig) -> io::Result<TcpStream> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(TcpLink { stream, meter, in_flight: false })
+        stream.set_read_timeout(Some(config.request_timeout))?;
+        Ok(stream)
+    }
+
+    /// The server address this link (re)connects to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn stream(&mut self) -> Result<&mut TcpStream, LinkError> {
+        self.stream.as_mut().ok_or(LinkError::Disconnected)
+    }
+
+    /// Drops the connection so the next operation fails (or reconnects)
+    /// instead of reading a reply that no longer matches a request.
+    fn poison(&mut self) {
+        self.stream = None;
     }
 }
 
 impl Link for TcpLink {
-    /// # Panics
-    ///
-    /// Panics if the connection drops mid-query or the peer sends a
-    /// malformed frame — the simulated deployments in this workspace treat
-    /// transport loss as a fatal harness bug, mirroring the other
-    /// transports.
-    fn call(&mut self, msg: Message) -> Message {
-        self.begin(msg);
+    fn call(&mut self, msg: Message) -> Result<Message, LinkError> {
+        self.begin(msg)?;
         self.complete()
     }
 
-    fn begin(&mut self, msg: Message) {
+    fn begin(&mut self, msg: Message) -> Result<(), LinkError> {
         assert!(!self.in_flight, "request already outstanding");
+        let stream = self.stream()?;
+        let frame = msg.encode();
+        if let Err(e) = write_frame(stream, &frame) {
+            self.poison();
+            return Err(e.into());
+        }
         self.meter.record(&msg);
-        write_frame(&mut self.stream, &msg.encode()).expect("site connection is alive");
         self.in_flight = true;
+        Ok(())
     }
 
-    fn complete(&mut self) -> Message {
+    fn complete(&mut self) -> Result<Message, LinkError> {
         assert!(self.in_flight, "no outstanding request");
         self.in_flight = false;
-        let payload = read_frame(&mut self.stream)
-            .expect("site connection is alive")
-            .expect("site replied before closing");
-        let reply = Message::decode(Bytes::from(payload)).expect("well-formed reply frame");
+        let stream = self.stream()?;
+        let payload = match read_frame(stream) {
+            Ok(Some(payload)) => payload,
+            // Clean EOF mid-request: the site closed on us.
+            Ok(None) => {
+                self.poison();
+                return Err(LinkError::Disconnected);
+            }
+            Err(e) => {
+                // After any read failure — a timeout included — the stream
+                // position no longer lines up with request boundaries; a
+                // late reply would be mistaken for the next one. Force a
+                // reconnect before reuse.
+                self.poison();
+                return Err(e.into());
+            }
+        };
+        let reply = match Message::decode(Bytes::from(payload)) {
+            Some(reply) => reply,
+            None => {
+                self.poison();
+                return Err(LinkError::Malformed);
+            }
+        };
+        if reply == Message::DecodeError {
+            // The site could not decode our request; the round-trip failed
+            // but the connection itself is still framed correctly.
+            return Err(LinkError::Malformed);
+        }
         self.meter.record(&reply);
-        reply
+        Ok(reply)
+    }
+
+    fn reconnect(&mut self) -> Result<(), LinkError> {
+        self.in_flight = false;
+        self.stream = Some(Self::dial(self.addr, self.config)?);
+        Ok(())
     }
 }
 
 /// Serves one client connection until it closes: reads a request frame,
 /// hands it to the service, writes the reply frame.
 ///
+/// A frame that does not decode is answered with [`Message::DecodeError`]
+/// (the client surfaces it as [`LinkError::Malformed`]) instead of killing
+/// the connection — one corrupt request must not take the site down.
+///
 /// # Errors
 ///
-/// Propagates socket errors and reports malformed frames as
-/// [`io::ErrorKind::InvalidData`].
+/// Propagates socket errors.
 pub fn serve_connection<S: Service>(mut stream: TcpStream, service: &mut S) -> io::Result<()> {
     stream.set_nodelay(true)?;
     while let Some(payload) = read_frame(&mut stream)? {
-        let msg = Message::decode(Bytes::from(payload))
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed frame"))?;
-        let reply = service.handle(msg);
+        let reply = match Message::decode(Bytes::from(payload)) {
+            Some(msg) => service.handle(msg),
+            None => Message::DecodeError,
+        };
         write_frame(&mut stream, &reply.encode())?;
     }
     Ok(())
 }
 
-/// Binds a loopback listener, spawns a thread serving exactly one client
-/// connection with `service`, and returns the address plus the server
-/// thread handle (which yields once the client disconnects).
+/// How often a server-side connection loop re-checks the shutdown flag
+/// while waiting for the next request.
+const STOP_POLL: std::time::Duration = std::time::Duration::from_millis(50);
+
+/// Like [`serve_connection`], but abandons the connection promptly when
+/// `stop` is raised, so a [`SiteServer`] can shut down even while a client
+/// is connected. Reads are structured so the poll timeout can never split
+/// a frame: the 4-byte header is only consumed once it is fully buffered
+/// (via `peek`), and payload reads resume across timeouts.
+fn serve_client<S: Service>(
+    stream: &mut TcpStream,
+    service: &mut S,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(STOP_POLL))?;
+    loop {
+        // Wait until a whole header is buffered (or EOF / stop).
+        let mut hdr = [0u8; 4];
+        loop {
+            if stop.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            match stream.peek(&mut hdr) {
+                Ok(0) => return Ok(()),     // clean end-of-stream
+                Ok(n) if n < 4 => continue, // partial header still in flight
+                Ok(_) => break,
+                Err(e)
+                    if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+                {
+                    continue
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        stream.read_exact(&mut hdr)?; // fully buffered: cannot block
+        let len = u32::from_be_bytes(hdr) as usize;
+        if len > MAX_FRAME {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "frame exceeds limit"));
+        }
+        let mut payload = vec![0u8; len];
+        let mut filled = 0;
+        while filled < len {
+            match stream.read(&mut payload[filled..]) {
+                Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+                Ok(n) => filled += n,
+                Err(e)
+                    if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+                {
+                    if stop.load(Ordering::SeqCst) {
+                        return Ok(());
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let reply = match Message::decode(Bytes::from(payload)) {
+            Some(msg) => service.handle(msg),
+            None => Message::DecodeError,
+        };
+        write_frame(stream, &reply.encode())?;
+    }
+}
+
+/// Handle onto a running site server spawned by [`spawn_site`].
+///
+/// The server accepts connections in a loop — serving one client at a time,
+/// across reconnects — until [`SiteServer::shutdown`] is called (or the
+/// handle is dropped). Site state lives in the [`Service`] inside the
+/// server thread, so it survives client reconnects.
+#[derive(Debug)]
+pub struct SiteServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<io::Result<()>>>,
+}
+
+impl SiteServer {
+    /// The loopback address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, waits for the server thread to exit, and reports
+    /// how it ended.
+    ///
+    /// # Errors
+    ///
+    /// Returns the listener's accept error if the thread died on one, or
+    /// an error if the service panicked.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        self.stop_and_join()
+    }
+
+    fn stop_and_join(&mut self) -> io::Result<()> {
+        let Some(handle) = self.handle.take() else {
+            return Ok(());
+        };
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the (possibly) pending accept with a throwaway
+        // connection; if the thread is already gone this simply fails.
+        let _ = TcpStream::connect(self.addr);
+        match handle.join() {
+            Ok(result) => result,
+            Err(_) => Err(io::Error::other("site server thread panicked")),
+        }
+    }
+}
+
+impl Drop for SiteServer {
+    fn drop(&mut self) {
+        let _ = self.stop_and_join();
+    }
+}
+
+/// Binds a loopback listener and spawns a thread serving client
+/// connections with `service`, one at a time, until the returned
+/// [`SiteServer`] is shut down. A client disconnect (clean or not) returns
+/// the server to `accept`, so a [`TcpLink::reconnect`] finds the site — and
+/// its state — still there.
 ///
 /// # Errors
 ///
 /// Propagates bind failures.
-pub fn spawn_site<S: Service + 'static>(
-    mut service: S,
-) -> io::Result<(SocketAddr, JoinHandle<io::Result<()>>)> {
+pub fn spawn_site<S: Service + 'static>(mut service: S) -> io::Result<SiteServer> {
     let listener = TcpListener::bind(("127.0.0.1", 0))?;
     let addr = listener.local_addr()?;
-    let handle = std::thread::spawn(move || {
-        let (stream, _) = listener.accept()?;
-        serve_connection(stream, &mut service)
+    let stop = Arc::new(AtomicBool::new(false));
+    let thread_stop = Arc::clone(&stop);
+    let handle = std::thread::spawn(move || loop {
+        let (mut stream, _) = listener.accept()?;
+        if thread_stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        // A connection-level error (reset, aborted mid-frame) ends this
+        // client but not the site; the next accept serves the reconnect.
+        let _ = serve_client(&mut stream, &mut service, &thread_stop);
+        if thread_stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
     });
-    Ok((addr, handle))
+    Ok(SiteServer { addr, stop, handle: Some(handle) })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::TupleMsg;
+    use crate::{FaultMode, FaultyLink, RetryLink, TupleMsg};
     use dsud_uncertain::{Probability, TupleId, UncertainTuple};
+    use std::time::Duration;
 
     fn echo_service() -> impl Service {
         |msg: Message| match msg {
@@ -188,15 +400,15 @@ mod tests {
 
     #[test]
     fn tcp_round_trips_and_meters() {
-        let (addr, handle) = spawn_site(echo_service()).unwrap();
+        let server = spawn_site(echo_service()).unwrap();
         let meter = BandwidthMeter::new();
-        let mut link = TcpLink::connect(addr, meter.clone()).unwrap();
+        let mut link = TcpLink::connect(server.addr(), meter.clone()).unwrap();
         for i in 1..=20 {
-            let reply = link.call(feedback(i as f64 / 100.0));
+            let reply = link.call(feedback(i as f64 / 100.0)).unwrap();
             assert_eq!(reply, Message::SurvivalReply { survival: i as f64 / 100.0, pruned: 1 });
         }
         drop(link);
-        handle.join().unwrap().unwrap();
+        server.shutdown().unwrap();
         let snap = meter.snapshot();
         assert_eq!(snap.feedback.messages, 20);
         assert_eq!(snap.reply.messages, 20);
@@ -205,23 +417,23 @@ mod tests {
 
     #[test]
     fn tcp_metering_matches_local_link() {
-        let (addr, handle) = spawn_site(echo_service()).unwrap();
+        let server = spawn_site(echo_service()).unwrap();
         let tcp_meter = BandwidthMeter::new();
-        let mut tcp = TcpLink::connect(addr, tcp_meter.clone()).unwrap();
+        let mut tcp = TcpLink::connect(server.addr(), tcp_meter.clone()).unwrap();
         let local_meter = BandwidthMeter::new();
         let mut local = crate::LocalLink::new(echo_service(), local_meter.clone());
         for _ in 0..5 {
-            tcp.call(Message::RequestNext);
-            local.call(Message::RequestNext);
+            tcp.call(Message::RequestNext).unwrap();
+            local.call(Message::RequestNext).unwrap();
         }
         drop(tcp);
-        handle.join().unwrap().unwrap();
+        server.shutdown().unwrap();
         assert_eq!(tcp_meter.snapshot(), local_meter.snapshot());
     }
 
     #[test]
     fn frame_roundtrip_handles_large_payloads() {
-        let (addr, handle) = spawn_site(|_msg: Message| {
+        let server = spawn_site(|_msg: Message| {
             // Reply with a large ReplicaSync.
             let t = UncertainTuple::new(
                 TupleId::new(0, 0),
@@ -233,12 +445,166 @@ mod tests {
         })
         .unwrap();
         let meter = BandwidthMeter::new();
-        let mut link = TcpLink::connect(addr, meter).unwrap();
-        match link.call(Message::RequestNext) {
+        let mut link = TcpLink::connect(server.addr(), meter).unwrap();
+        match link.call(Message::RequestNext).unwrap() {
             Message::ReplicaSync(tuples) => assert_eq!(tuples.len(), 5_000),
             other => panic!("unexpected {other:?}"),
         }
         drop(link);
-        handle.join().unwrap().unwrap();
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn server_survives_client_reconnects_and_keeps_state() {
+        // A stateful service: replies with how many requests it has seen.
+        let server = spawn_site({
+            let mut seen = 0u64;
+            move |_msg: Message| {
+                seen += 1;
+                Message::SurvivalReply { survival: seen as f64, pruned: 0 }
+            }
+        })
+        .unwrap();
+        let meter = BandwidthMeter::new();
+        let mut link = TcpLink::connect(server.addr(), meter.clone()).unwrap();
+        assert_eq!(
+            link.call(Message::RequestNext),
+            Ok(Message::SurvivalReply { survival: 1.0, pruned: 0 })
+        );
+        drop(link);
+        // A fresh connection reaches the same site state.
+        let mut link = TcpLink::connect(server.addr(), meter).unwrap();
+        assert_eq!(
+            link.call(Message::RequestNext),
+            Ok(Message::SurvivalReply { survival: 2.0, pruned: 0 })
+        );
+        drop(link);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn explicit_reconnect_restores_a_poisoned_link() {
+        let server = spawn_site(echo_service()).unwrap();
+        let meter = BandwidthMeter::new();
+        let mut link = TcpLink::connect(server.addr(), meter).unwrap();
+        assert!(link.call(Message::RequestNext).is_ok());
+        link.poison(); // simulate a broken connection
+        assert_eq!(link.call(Message::RequestNext), Err(LinkError::Disconnected));
+        link.reconnect().unwrap();
+        assert_eq!(link.call(Message::RequestNext), Ok(Message::Upload(None)));
+        drop(link);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn read_deadline_fires_on_a_stalled_site() {
+        let server = spawn_site(|msg: Message| {
+            if matches!(msg, Message::RequestNext) {
+                std::thread::sleep(Duration::from_millis(300));
+            }
+            Message::Ack
+        })
+        .unwrap();
+        let meter = BandwidthMeter::new();
+        let config = LinkConfig {
+            request_timeout: Duration::from_millis(50),
+            retry_budget: 0,
+            backoff: Duration::ZERO,
+        };
+        let mut link = TcpLink::connect_with(server.addr(), meter, config).unwrap();
+        let started = std::time::Instant::now();
+        assert_eq!(link.call(Message::RequestNext), Err(LinkError::Timeout));
+        assert!(started.elapsed() < Duration::from_millis(250), "deadline must bound the wait");
+        drop(link);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn dead_server_yields_disconnected_not_a_panic() {
+        let server = spawn_site(echo_service()).unwrap();
+        let meter = BandwidthMeter::new();
+        let mut link = TcpLink::connect(server.addr(), meter).unwrap();
+        assert!(link.call(Message::RequestNext).is_ok());
+        server.shutdown().unwrap();
+        // The next round-trip fails with a typed error on every path.
+        let mut failed = false;
+        for _ in 0..3 {
+            if link.call(Message::RequestNext).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "a killed server must surface as a link error");
+        assert!(link.reconnect().is_err(), "nothing is listening anymore");
+    }
+
+    #[test]
+    fn retry_link_rides_out_a_tcp_stall() {
+        // The service stalls once, longer than the request deadline; a
+        // RetryLink with enough budget reconnects and recovers the exact
+        // answer, because the swallowed request never mutated site state.
+        let server = spawn_site({
+            let mut first = true;
+            move |msg: Message| {
+                if first && matches!(msg, Message::RequestNext) {
+                    first = false;
+                    std::thread::sleep(Duration::from_millis(250));
+                }
+                match msg {
+                    Message::RequestNext => Message::Upload(None),
+                    _ => Message::Ack,
+                }
+            }
+        })
+        .unwrap();
+        let meter = BandwidthMeter::new();
+        let config = LinkConfig {
+            request_timeout: Duration::from_millis(100),
+            retry_budget: 5,
+            backoff: Duration::from_millis(20),
+        };
+        let tcp = TcpLink::connect_with(server.addr(), meter, config).unwrap();
+        let mut link = RetryLink::new(tcp, config);
+        assert_eq!(link.call(Message::RequestNext), Ok(Message::Upload(None)));
+        let health = link.health().snapshot();
+        assert!(health.retries >= 1, "the stall must have forced a retry");
+        drop(link);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn malformed_request_gets_a_decode_error_reply_not_a_dead_site() {
+        let server = spawn_site(echo_service()).unwrap();
+        // Speak the framing by hand to deliver a corrupt payload.
+        let mut raw = TcpStream::connect(server.addr()).unwrap();
+        raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let garbage = [0xFFu8, 0x01, 0x02];
+        raw.write_all(&(garbage.len() as u32).to_be_bytes()).unwrap();
+        raw.write_all(&garbage).unwrap();
+        raw.flush().unwrap();
+        let mut stream_ref = raw.try_clone().unwrap();
+        let payload = read_frame(&mut stream_ref).unwrap().expect("site replies");
+        assert_eq!(Message::decode(Bytes::from(payload)), Some(Message::DecodeError));
+        // The same connection still serves well-formed requests.
+        write_frame(&mut raw, &Message::RequestNext.encode()).unwrap();
+        let payload = read_frame(&mut stream_ref).unwrap().expect("site replies");
+        assert_eq!(Message::decode(Bytes::from(payload)), Some(Message::Upload(None)));
+        drop(raw);
+        drop(stream_ref);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn faulty_tcp_stack_reports_typed_errors() {
+        // FaultyLink scheduling works identically over a real socket.
+        let server = spawn_site(echo_service()).unwrap();
+        let meter = BandwidthMeter::new();
+        let tcp = TcpLink::connect(server.addr(), meter).unwrap();
+        let mut link = FaultyLink::new(tcp, FaultMode::Disconnect, 2);
+        assert!(link.call(Message::RequestNext).is_ok());
+        assert!(link.call(Message::RequestNext).is_ok());
+        assert_eq!(link.call(Message::RequestNext), Err(LinkError::Disconnected));
+        drop(link);
+        server.shutdown().unwrap();
     }
 }

@@ -3,12 +3,106 @@
 //! with in-process and per-site-thread implementations. Every call is
 //! recorded on the shared [`BandwidthMeter`], so algorithm code never
 //! touches traffic accounting.
+//!
+//! Failure is a value here, not a panic: every link operation returns
+//! `Result<_, LinkError>`, the threaded and TCP transports enforce real
+//! request deadlines from a [`LinkConfig`], and the
+//! [`RetryLink`](crate::RetryLink) wrapper turns transient faults into
+//! deterministic retries.
 
+use std::fmt;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use serde::{Deserialize, Serialize};
 
 use crate::{BandwidthMeter, Message};
+
+/// Why a link operation failed.
+///
+/// Transport failures are ordinary values: coordinators decide whether to
+/// retry ([`RetryLink`](crate::RetryLink)), quarantine the site (degraded
+/// mode), or abort the query (strict mode). The `Io` payload is the error's
+/// rendered text rather than an [`std::io::Error`] so the type stays
+/// cloneable, comparable, and serializable into run outcomes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkError {
+    /// No reply arrived within the configured request deadline.
+    Timeout,
+    /// The connection or site thread is gone.
+    Disconnected,
+    /// A frame could not be decoded (on either side of the link).
+    Malformed,
+    /// Any other socket-level failure, with the rendered I/O error.
+    Io(String),
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::Timeout => write!(f, "request deadline elapsed"),
+            LinkError::Disconnected => write!(f, "site disconnected"),
+            LinkError::Malformed => write!(f, "malformed frame"),
+            LinkError::Io(detail) => write!(f, "i/o error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+impl From<std::io::Error> for LinkError {
+    fn from(e: std::io::Error) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => LinkError::Timeout,
+            std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::ConnectionRefused
+            | std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::UnexpectedEof
+            | std::io::ErrorKind::NotConnected => LinkError::Disconnected,
+            _ => LinkError::Io(e.to_string()),
+        }
+    }
+}
+
+/// Per-link failure-handling knobs: the request deadline and the retry
+/// policy a [`RetryLink`](crate::RetryLink) applies on top of it.
+///
+/// Backoff is deterministic — the pause before retry `k` (1-based) is
+/// `backoff * k`, a pure function of the attempt index with no wall-clock
+/// randomness, so fault schedules replay identically across runs, pool
+/// sizes, and transports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// How long a single request may wait for its reply.
+    pub request_timeout: Duration,
+    /// How many *re*-attempts a [`RetryLink`](crate::RetryLink) makes after
+    /// the first failure before giving up (0 = fail fast).
+    pub retry_budget: u32,
+    /// Base backoff unit; retry `k` sleeps `backoff * k`.
+    pub backoff: Duration,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            // Generous enough that a loaded CI machine never trips it on a
+            // healthy site; a dead site still fails in bounded time.
+            request_timeout: Duration::from_secs(10),
+            retry_budget: 2,
+            backoff: Duration::from_millis(10),
+        }
+    }
+}
+
+impl LinkConfig {
+    /// The deterministic pause before retry `attempt` (1-based): linear
+    /// backoff `backoff * attempt`.
+    pub fn backoff_step(&self, attempt: u32) -> Duration {
+        self.backoff.saturating_mul(attempt)
+    }
+}
 
 /// A site-side protocol endpoint: consumes one request, produces one reply.
 ///
@@ -40,25 +134,60 @@ where
 /// which is how a real deployment fans out its feedback broadcasts.
 /// At most one request may be outstanding per link.
 ///
+/// Transport failures — deadlines, disconnects, undecodable frames — are
+/// returned as [`LinkError`] values, never panics: a dead site must not
+/// take the coordinator down with it.
+///
 /// Links are `Send` so [`broadcast`] can drive inline transports from the
 /// coordinator's thread pool.
 pub trait Link: Send {
     /// Sends a request to the site and waits for its reply.
-    fn call(&mut self, msg: Message) -> Message;
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LinkError`] when the transport fails.
+    fn call(&mut self, msg: Message) -> Result<Message, LinkError>;
 
     /// Dispatches a request without waiting for the reply.
     ///
+    /// # Errors
+    ///
+    /// Returns a [`LinkError`] when the request cannot be sent. A failed
+    /// `begin` leaves no request outstanding; do not pair it with
+    /// [`Link::complete`].
+    ///
     /// # Panics
     ///
-    /// Implementations panic if a request is already outstanding.
-    fn begin(&mut self, msg: Message);
+    /// Implementations panic if a request is already outstanding (a
+    /// coordinator bug, not a runtime condition).
+    fn begin(&mut self, msg: Message) -> Result<(), LinkError>;
 
     /// Collects the reply to the outstanding request.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LinkError`] when the reply does not arrive intact within
+    /// the deadline. The outstanding request is consumed either way.
     ///
     /// # Panics
     ///
     /// Implementations panic if no request is outstanding.
-    fn complete(&mut self) -> Message;
+    fn complete(&mut self) -> Result<Message, LinkError>;
+
+    /// Attempts to re-establish the underlying transport after a failure.
+    ///
+    /// The default is a no-op `Ok(())` for transports with nothing to
+    /// re-establish (inline links). [`TcpLink`](crate::tcp::TcpLink)
+    /// re-dials its stored address; [`ChannelLink`] reports
+    /// [`LinkError::Disconnected`] if its worker thread is gone (a thread
+    /// cannot be respawned from here).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LinkError`] when the transport cannot be restored.
+    fn reconnect(&mut self) -> Result<(), LinkError> {
+        Ok(())
+    }
 }
 
 /// Puts `msg` in flight on every link selected by `include`, then collects
@@ -72,9 +201,13 @@ pub trait Link: Send {
 /// transports that are concurrent by construction (threaded, TCP).
 ///
 /// Either way the reply vector is ordered by link index and each reply is
-/// produced by the same per-site computation, so results are identical for
-/// every pool size.
-pub fn broadcast<F>(links: &mut [Box<dyn Link>], include: F, msg: &Message) -> Vec<(usize, Message)>
+/// produced by the same per-site computation, so results — including which
+/// links failed, and how — are identical for every pool size.
+pub fn broadcast<F>(
+    links: &mut [Box<dyn Link>],
+    include: F,
+    msg: &Message,
+) -> Vec<(usize, Result<Message, LinkError>)>
 where
     F: Fn(usize) -> bool,
 {
@@ -93,12 +226,23 @@ where
         });
         return replies;
     }
-    let mut pending = Vec::with_capacity(selected.len());
+    // Sequential fallback: a failed begin has no reply to collect, so its
+    // error is recorded in reply position, matching the parallel path.
+    let mut pending: Vec<(usize, Result<&mut Box<dyn Link>, LinkError>)> =
+        Vec::with_capacity(selected.len());
     for (i, link) in selected {
-        link.begin(msg.clone());
-        pending.push((i, link));
+        match link.begin(msg.clone()) {
+            Ok(()) => pending.push((i, Ok(link))),
+            Err(e) => pending.push((i, Err(e))),
+        }
     }
-    pending.into_iter().map(|(i, link)| (i, link.complete())).collect()
+    pending
+        .into_iter()
+        .map(|(i, slot)| match slot {
+            Ok(link) => (i, link.complete()),
+            Err(e) => (i, Err(e)),
+        })
+        .collect()
 }
 
 /// Deterministic in-process transport: the service runs inline on the
@@ -123,26 +267,27 @@ impl<S: Service> LocalLink<S> {
 }
 
 impl<S: Service> Link for LocalLink<S> {
-    fn call(&mut self, msg: Message) -> Message {
+    fn call(&mut self, msg: Message) -> Result<Message, LinkError> {
         assert!(self.pending.is_none(), "request already outstanding");
         self.meter.record(&msg);
         let reply = self.service.handle(msg);
         self.meter.record(&reply);
-        reply
+        Ok(reply)
     }
 
     // The inline transport has no concurrency to exploit: `begin` computes
     // eagerly and buffers the reply.
-    fn begin(&mut self, msg: Message) {
+    fn begin(&mut self, msg: Message) -> Result<(), LinkError> {
         assert!(self.pending.is_none(), "request already outstanding");
         self.meter.record(&msg);
         let reply = self.service.handle(msg);
         self.meter.record(&reply);
         self.pending = Some(reply);
+        Ok(())
     }
 
-    fn complete(&mut self) -> Message {
-        self.pending.take().expect("no outstanding request")
+    fn complete(&mut self) -> Result<Message, LinkError> {
+        Ok(self.pending.take().expect("no outstanding request"))
     }
 }
 
@@ -156,58 +301,131 @@ impl<S: std::fmt::Debug> std::fmt::Debug for LocalLink<S> {
 /// messages over bounded crossbeam channels, like a site across a LAN.
 ///
 /// Messages cross the thread boundary in their binary wire encoding, so the
-/// transport exercises the same serialization path a socket would.
+/// transport exercises the same serialization path a socket would. Replies
+/// are awaited with `recv_timeout` against the link's
+/// [`LinkConfig::request_timeout`], so a stalled or dead site thread
+/// surfaces as [`LinkError::Timeout`] / [`LinkError::Disconnected`] instead
+/// of hanging the coordinator forever.
 #[derive(Debug)]
 pub struct ChannelLink {
     tx: Option<Sender<bytes::Bytes>>,
     rx: Receiver<bytes::Bytes>,
     meter: BandwidthMeter,
+    config: LinkConfig,
     worker: Option<JoinHandle<()>>,
     in_flight: bool,
+    // Replies owed for requests we timed out on: they arrive (in order)
+    // ahead of the reply to the current request and must be discarded.
+    stale_replies: u64,
+    // Set once either channel reports the worker gone; `is_finished` alone
+    // races against the worker's unwinding.
+    dead: bool,
 }
 
 impl ChannelLink {
-    /// Spawns the service on a dedicated thread.
-    pub fn spawn<S: Service + 'static>(mut service: S, meter: BandwidthMeter) -> Self {
+    /// Spawns the service on a dedicated thread with the default
+    /// [`LinkConfig`].
+    pub fn spawn<S: Service + 'static>(service: S, meter: BandwidthMeter) -> Self {
+        Self::spawn_with(service, meter, LinkConfig::default())
+    }
+
+    /// Spawns the service on a dedicated thread with an explicit deadline
+    /// configuration.
+    pub fn spawn_with<S: Service + 'static>(
+        mut service: S,
+        meter: BandwidthMeter,
+        config: LinkConfig,
+    ) -> Self {
         let (req_tx, req_rx) = bounded::<bytes::Bytes>(1);
         let (rep_tx, rep_rx) = bounded::<bytes::Bytes>(1);
         let worker = std::thread::spawn(move || {
             while let Ok(frame) = req_rx.recv() {
-                let msg = Message::decode(frame).expect("transport frames are well-formed");
-                let reply = service.handle(msg);
+                // A frame that does not decode must not kill the site: the
+                // site answers with a decode-error reply and keeps serving.
+                let reply = match Message::decode(frame) {
+                    Some(msg) => service.handle(msg),
+                    None => Message::DecodeError,
+                };
                 if rep_tx.send(reply.encode()).is_err() {
                     break;
                 }
             }
         });
-        ChannelLink { tx: Some(req_tx), rx: rep_rx, meter, worker: Some(worker), in_flight: false }
+        ChannelLink {
+            tx: Some(req_tx),
+            rx: rep_rx,
+            meter,
+            config,
+            worker: Some(worker),
+            in_flight: false,
+            stale_replies: 0,
+            dead: false,
+        }
+    }
+
+    fn recv_reply(&mut self) -> Result<bytes::Bytes, LinkError> {
+        loop {
+            let frame = self.rx.recv_timeout(self.config.request_timeout).map_err(|e| match e {
+                RecvTimeoutError::Timeout => {
+                    // The reply may still arrive for this request; remember
+                    // to discard it before reading any future reply.
+                    self.stale_replies += 1;
+                    LinkError::Timeout
+                }
+                RecvTimeoutError::Disconnected => {
+                    self.dead = true;
+                    LinkError::Disconnected
+                }
+            })?;
+            if self.stale_replies > 0 {
+                self.stale_replies -= 1;
+                continue;
+            }
+            return Ok(frame);
+        }
     }
 }
 
 impl Link for ChannelLink {
-    /// # Panics
-    ///
-    /// Panics if the site thread has died (a bug, not an expected runtime
-    /// condition — the simulated network has no packet loss).
-    fn call(&mut self, msg: Message) -> Message {
-        self.begin(msg);
+    fn call(&mut self, msg: Message) -> Result<Message, LinkError> {
+        self.begin(msg)?;
         self.complete()
     }
 
-    fn begin(&mut self, msg: Message) {
+    fn begin(&mut self, msg: Message) -> Result<(), LinkError> {
         assert!(!self.in_flight, "request already outstanding");
+        let tx = self.tx.as_ref().expect("link is open");
         self.meter.record(&msg);
-        self.tx.as_ref().expect("link is open").send(msg.encode()).expect("site thread is alive");
+        if tx.send(msg.encode()).is_err() {
+            self.dead = true;
+            return Err(LinkError::Disconnected);
+        }
         self.in_flight = true;
+        Ok(())
     }
 
-    fn complete(&mut self) -> Message {
+    fn complete(&mut self) -> Result<Message, LinkError> {
         assert!(self.in_flight, "no outstanding request");
         self.in_flight = false;
-        let frame = self.rx.recv().expect("site thread is alive");
-        let reply = Message::decode(frame).expect("transport frames are well-formed");
+        let frame = self.recv_reply()?;
+        let reply = Message::decode(frame).ok_or(LinkError::Malformed)?;
+        if reply == Message::DecodeError {
+            // The site could not decode our request; the round-trip failed.
+            return Err(LinkError::Malformed);
+        }
         self.meter.record(&reply);
-        reply
+        Ok(reply)
+    }
+
+    fn reconnect(&mut self) -> Result<(), LinkError> {
+        // A worker thread cannot be respawned (the service moved into it);
+        // reconnection succeeds exactly when the worker is still serving.
+        self.in_flight = false;
+        if self.dead || !self.worker.as_ref().is_some_and(|h| !h.is_finished()) {
+            self.dead = true;
+            return Err(LinkError::Disconnected);
+        }
+        Ok(())
     }
 }
 
@@ -224,8 +442,10 @@ impl Drop for ChannelLink {
 /// Fault-injecting wrapper around any [`Link`], for robustness testing.
 ///
 /// After `healthy_calls` successful round-trips the link starts misbehaving
-/// according to its [`FaultMode`]. Coordinators must surface such faults as
-/// protocol errors instead of panicking or hanging.
+/// according to its [`FaultMode`]. The schedule is a pure function of the
+/// per-link attempt count, so the same fault replays identically across
+/// pool sizes and transports. Coordinators must surface such faults as
+/// typed errors or degraded outcomes instead of panicking or hanging.
 #[derive(Debug)]
 pub struct FaultyLink<L> {
     inner: L,
@@ -241,6 +461,17 @@ pub enum FaultMode {
     WrongReply,
     /// Replies with garbage survival values (NaN) — a corrupted computation.
     CorruptSurvival,
+    /// Never replies again: every attempt reports [`LinkError::Timeout`]
+    /// without reaching the service — a permanently lost request.
+    Drop,
+    /// Swallows the next `n` attempts as timeouts, then recovers — a
+    /// straggler that a retry budget of at least `n` rides out with the
+    /// exact healthy-run answer (the service never sees the swallowed
+    /// attempts, so its state is untouched).
+    Stall(u64),
+    /// The connection is gone for good: every attempt reports
+    /// [`LinkError::Disconnected`] without reaching the service.
+    Disconnect,
 }
 
 impl<L: Link> FaultyLink<L> {
@@ -250,18 +481,31 @@ impl<L: Link> FaultyLink<L> {
         FaultyLink { inner, mode, healthy_calls, calls: 0 }
     }
 
-    /// Round-trips performed so far.
+    /// Round-trips attempted so far.
     pub fn calls(&self) -> u64 {
         self.calls
     }
-}
 
-impl<L: Link> FaultyLink<L> {
-    fn corrupt(&self, reply: Message) -> Option<Message> {
+    /// `Some(error)` if the current attempt (per `self.calls`, already
+    /// incremented) is swallowed by the fault before reaching the inner
+    /// link; `None` if the request goes through.
+    fn swallowed(&self) -> Option<LinkError> {
         if self.calls <= self.healthy_calls {
             return None;
         }
-        Some(match self.mode {
+        match self.mode {
+            FaultMode::Drop => Some(LinkError::Timeout),
+            FaultMode::Disconnect => Some(LinkError::Disconnected),
+            FaultMode::Stall(n) if self.calls <= self.healthy_calls + n => Some(LinkError::Timeout),
+            _ => None,
+        }
+    }
+
+    fn corrupt(&self, reply: Message) -> Message {
+        if self.calls <= self.healthy_calls {
+            return reply;
+        }
+        match self.mode {
             FaultMode::WrongReply => Message::Ack,
             FaultMode::CorruptSurvival => match reply {
                 Message::SurvivalReply { pruned, .. } => {
@@ -269,35 +513,39 @@ impl<L: Link> FaultyLink<L> {
                 }
                 other => other,
             },
-        })
+            FaultMode::Drop | FaultMode::Stall(_) | FaultMode::Disconnect => reply,
+        }
     }
 }
 
 impl<L: Link> Link for FaultyLink<L> {
-    fn call(&mut self, msg: Message) -> Message {
+    fn call(&mut self, msg: Message) -> Result<Message, LinkError> {
         self.calls += 1;
-        if self.calls <= self.healthy_calls {
-            return self.inner.call(msg);
+        if let Some(e) = self.swallowed() {
+            return Err(e);
         }
-        if self.mode == FaultMode::WrongReply {
-            return Message::Ack;
-        }
-        // Still consult the real service (keeps its state moving), then
-        // corrupt the numeric payload.
-        let reply = self.inner.call(msg);
-        self.corrupt(reply.clone()).unwrap_or(reply)
+        // Always drive the inner link, even when the payload is about to be
+        // corrupted: both call paths must leave the service state and the
+        // metering identical.
+        let reply = self.inner.call(msg)?;
+        Ok(self.corrupt(reply))
     }
 
-    fn begin(&mut self, msg: Message) {
+    fn begin(&mut self, msg: Message) -> Result<(), LinkError> {
         self.calls += 1;
-        // Always drive the inner link so the outstanding-request state
-        // machine stays consistent; faults apply on completion.
-        self.inner.begin(msg);
+        if let Some(e) = self.swallowed() {
+            return Err(e);
+        }
+        self.inner.begin(msg)
     }
 
-    fn complete(&mut self) -> Message {
-        let reply = self.inner.complete();
-        self.corrupt(reply.clone()).unwrap_or(reply)
+    fn complete(&mut self) -> Result<Message, LinkError> {
+        let reply = self.inner.complete()?;
+        Ok(self.corrupt(reply))
+    }
+
+    fn reconnect(&mut self) -> Result<(), LinkError> {
+        self.inner.reconnect()
     }
 }
 
@@ -322,11 +570,19 @@ mod tests {
         Message::Feedback(TupleMsg::new(&t, local_prob))
     }
 
+    fn short_deadline() -> LinkConfig {
+        LinkConfig {
+            request_timeout: Duration::from_millis(50),
+            retry_budget: 2,
+            backoff: Duration::ZERO,
+        }
+    }
+
     #[test]
     fn local_link_meters_both_directions() {
         let meter = BandwidthMeter::new();
         let mut link = LocalLink::new(echo_service(), meter.clone());
-        let reply = link.call(feedback_msg(0.25));
+        let reply = link.call(feedback_msg(0.25)).unwrap();
         assert_eq!(reply, Message::SurvivalReply { survival: 0.25, pruned: 0 });
         let snap = meter.snapshot();
         assert_eq!(snap.feedback.messages, 1);
@@ -339,7 +595,7 @@ mod tests {
         let meter = BandwidthMeter::new();
         let mut link = ChannelLink::spawn(echo_service(), meter.clone());
         for i in 0..10 {
-            let reply = link.call(feedback_msg(i as f64 / 100.0));
+            let reply = link.call(feedback_msg(i as f64 / 100.0)).unwrap();
             assert_eq!(reply, Message::SurvivalReply { survival: i as f64 / 100.0, pruned: 0 });
         }
         assert_eq!(meter.snapshot().feedback.messages, 10);
@@ -353,10 +609,94 @@ mod tests {
         let mut local = LocalLink::new(echo_service(), meter_a.clone());
         let mut channel = ChannelLink::spawn(echo_service(), meter_b.clone());
         for _ in 0..5 {
-            local.call(Message::RequestNext);
-            channel.call(Message::RequestNext);
+            local.call(Message::RequestNext).unwrap();
+            channel.call(Message::RequestNext).unwrap();
         }
         assert_eq!(meter_a.snapshot(), meter_b.snapshot());
+    }
+
+    #[test]
+    fn channel_link_times_out_on_stalled_site_and_drains_stale_reply() {
+        let sleepy = |msg: Message| {
+            if matches!(msg, Message::RequestNext) {
+                std::thread::sleep(Duration::from_millis(200));
+            }
+            match msg {
+                Message::Feedback(t) => {
+                    Message::SurvivalReply { survival: t.local_prob, pruned: 0 }
+                }
+                _ => Message::Ack,
+            }
+        };
+        let meter = BandwidthMeter::new();
+        let mut link = ChannelLink::spawn_with(sleepy, meter, short_deadline());
+        // The slow request misses its 50 ms deadline.
+        assert_eq!(link.call(Message::RequestNext), Err(LinkError::Timeout));
+        // The next request must get *its own* reply, not the stale reply to
+        // the timed-out request that is still in flight.
+        std::thread::sleep(Duration::from_millis(250));
+        assert_eq!(
+            link.call(feedback_msg(0.75)),
+            Ok(Message::SurvivalReply { survival: 0.75, pruned: 0 })
+        );
+    }
+
+    #[test]
+    fn channel_link_reports_dead_worker_as_disconnected() {
+        let meter = BandwidthMeter::new();
+        let mut link = ChannelLink::spawn_with(
+            |_msg: Message| -> Message { panic!("injected site crash (expected in fault tests)") },
+            meter,
+            short_deadline(),
+        );
+        assert_eq!(link.call(Message::RequestNext), Err(LinkError::Disconnected));
+        assert_eq!(link.reconnect(), Err(LinkError::Disconnected));
+        // Subsequent calls keep failing cleanly instead of panicking.
+        assert!(link.call(Message::RequestNext).is_err());
+    }
+
+    #[test]
+    fn channel_link_maps_decode_error_reply_to_malformed() {
+        let meter = BandwidthMeter::new();
+        let mut link = ChannelLink::spawn(|_msg: Message| Message::DecodeError, meter.clone());
+        assert_eq!(link.call(Message::RequestNext), Err(LinkError::Malformed));
+        // A decode-error reply is a transport failure, not protocol traffic.
+        assert_eq!(meter.snapshot().reply.messages, 0);
+        // The worker is still alive: the fault is per-request.
+        assert!(link.reconnect().is_ok());
+    }
+
+    #[test]
+    fn link_error_classifies_io_errors() {
+        use std::io::{Error as IoError, ErrorKind};
+        assert_eq!(LinkError::from(IoError::from(ErrorKind::TimedOut)), LinkError::Timeout);
+        assert_eq!(LinkError::from(IoError::from(ErrorKind::WouldBlock)), LinkError::Timeout);
+        assert_eq!(
+            LinkError::from(IoError::from(ErrorKind::ConnectionReset)),
+            LinkError::Disconnected
+        );
+        assert_eq!(
+            LinkError::from(IoError::from(ErrorKind::UnexpectedEof)),
+            LinkError::Disconnected
+        );
+        assert!(matches!(
+            LinkError::from(IoError::new(ErrorKind::Other, "disk on fire")),
+            LinkError::Io(_)
+        ));
+    }
+
+    #[test]
+    fn backoff_steps_are_deterministic_and_linear() {
+        let config = LinkConfig {
+            request_timeout: Duration::from_secs(1),
+            retry_budget: 3,
+            backoff: Duration::from_millis(10),
+        };
+        assert_eq!(config.backoff_step(1), Duration::from_millis(10));
+        assert_eq!(config.backoff_step(2), Duration::from_millis(20));
+        assert_eq!(config.backoff_step(3), Duration::from_millis(30));
+        // Re-computing gives the same schedule: no randomness involved.
+        assert_eq!(config.backoff_step(2), config.backoff_step(2));
     }
 
     #[test]
@@ -364,10 +704,36 @@ mod tests {
         let meter = BandwidthMeter::new();
         let inner = LocalLink::new(echo_service(), meter);
         let mut link = FaultyLink::new(inner, FaultMode::WrongReply, 2);
-        assert_eq!(link.call(Message::RequestNext), Message::Upload(None));
-        assert_eq!(link.call(Message::RequestNext), Message::Upload(None));
-        assert_eq!(link.call(Message::RequestNext), Message::Ack);
+        assert_eq!(link.call(Message::RequestNext), Ok(Message::Upload(None)));
+        assert_eq!(link.call(Message::RequestNext), Ok(Message::Upload(None)));
+        assert_eq!(link.call(Message::RequestNext), Ok(Message::Ack));
         assert_eq!(link.calls(), 3);
+    }
+
+    #[test]
+    fn wrong_reply_drives_inner_service_on_both_paths() {
+        // The call path and the begin/complete path must leave identical
+        // service state and metering even while faulting.
+        let run = |split: bool| {
+            let meter = BandwidthMeter::new();
+            let mut seen = 0u64;
+            let service = move |_msg: Message| {
+                seen += 1;
+                Message::SurvivalReply { survival: seen as f64, pruned: 0 }
+            };
+            let mut link =
+                FaultyLink::new(LocalLink::new(service, meter.clone()), FaultMode::WrongReply, 1);
+            for _ in 0..3 {
+                if split {
+                    link.begin(Message::RequestNext).unwrap();
+                    link.complete().unwrap();
+                } else {
+                    link.call(Message::RequestNext).unwrap();
+                }
+            }
+            meter.snapshot()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]
@@ -375,10 +741,39 @@ mod tests {
         let meter = BandwidthMeter::new();
         let inner = LocalLink::new(echo_service(), meter);
         let mut link = FaultyLink::new(inner, FaultMode::CorruptSurvival, 0);
-        match link.call(feedback_msg(0.5)) {
+        match link.call(feedback_msg(0.5)).unwrap() {
             Message::SurvivalReply { survival, .. } => assert!(survival.is_nan()),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn drop_and_disconnect_faults_never_reach_the_service() {
+        for (mode, expected) in [
+            (FaultMode::Drop, LinkError::Timeout),
+            (FaultMode::Disconnect, LinkError::Disconnected),
+        ] {
+            let meter = BandwidthMeter::new();
+            let inner = LocalLink::new(echo_service(), meter.clone());
+            let mut link = FaultyLink::new(inner, mode, 1);
+            assert!(link.call(Message::RequestNext).is_ok());
+            assert_eq!(link.call(Message::RequestNext), Err(expected.clone()));
+            assert_eq!(link.call(Message::RequestNext), Err(expected));
+            // Only the healthy round-trip was metered.
+            assert_eq!(meter.snapshot().control.messages, 1);
+        }
+    }
+
+    #[test]
+    fn stall_fault_recovers_after_n_attempts() {
+        let meter = BandwidthMeter::new();
+        let inner = LocalLink::new(echo_service(), meter);
+        let mut link = FaultyLink::new(inner, FaultMode::Stall(2), 1);
+        assert_eq!(link.call(Message::RequestNext), Ok(Message::Upload(None)));
+        assert_eq!(link.call(Message::RequestNext), Err(LinkError::Timeout));
+        assert_eq!(link.call(Message::RequestNext), Err(LinkError::Timeout));
+        // Attempt n+1 goes through with the service state untouched.
+        assert_eq!(link.call(Message::RequestNext), Ok(Message::Upload(None)));
     }
 
     #[test]
@@ -406,7 +801,7 @@ mod tests {
         let elapsed = started.elapsed();
         assert_eq!(replies.len(), 8);
         for (_, reply) in &replies {
-            assert!(matches!(reply, Message::SurvivalReply { .. }));
+            assert!(matches!(reply, Ok(Message::SurvivalReply { .. })));
         }
         assert!(
             elapsed < std::time::Duration::from_millis(150),
@@ -418,7 +813,8 @@ mod tests {
     fn broadcast_replies_are_pool_size_invariant() {
         // Stateful inline services: each reply depends on how many
         // requests the site has seen, so any reordering or dropped call
-        // would change the transcript.
+        // would change the transcript. Site 3 fails on its second round,
+        // so error placement must be invariant too.
         let make_links = || -> Vec<Box<dyn Link>> {
             let meter = BandwidthMeter::new();
             (0..6)
@@ -428,7 +824,12 @@ mod tests {
                         seen += 1;
                         Message::SurvivalReply { survival: (site * 100 + seen) as f64, pruned: 0 }
                     };
-                    Box::new(LocalLink::new(service, meter.clone())) as _
+                    let local = LocalLink::new(service, meter.clone());
+                    if site == 3 {
+                        Box::new(FaultyLink::new(local, FaultMode::Drop, 1)) as _
+                    } else {
+                        Box::new(FaultyLink::new(local, FaultMode::Stall(0), u64::MAX)) as _
+                    }
                 })
                 .collect()
         };
@@ -442,6 +843,7 @@ mod tests {
             threadpool::set_pool_size(0);
             rounds
         };
+        assert!(reference.iter().flatten().any(|(_, r)| r.is_err()), "fault must fire");
         for pool in [2usize, 8] {
             threadpool::set_pool_size(pool);
             let mut links = make_links();
@@ -469,8 +871,8 @@ mod tests {
     fn double_begin_panics() {
         let meter = BandwidthMeter::new();
         let mut link = LocalLink::new(echo_service(), meter);
-        link.begin(Message::RequestNext);
-        link.begin(Message::RequestNext);
+        link.begin(Message::RequestNext).unwrap();
+        let _ = link.begin(Message::RequestNext);
     }
 
     #[test]
@@ -479,7 +881,7 @@ mod tests {
         let mut links: Vec<ChannelLink> =
             (0..32).map(|_| ChannelLink::spawn(echo_service(), meter.clone())).collect();
         for link in &mut links {
-            assert_eq!(link.call(Message::RequestNext), Message::Upload(None));
+            assert_eq!(link.call(Message::RequestNext), Ok(Message::Upload(None)));
         }
         assert_eq!(meter.snapshot().control.messages, 32);
         assert_eq!(meter.snapshot().upload.messages, 32);

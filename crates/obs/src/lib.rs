@@ -35,7 +35,10 @@ use serde::{Deserialize, Serialize};
 /// * 1 — counters + spans + progressive trace.
 /// * 2 — adds per-phase wall-clock totals ([`RunReport::phases`]) and the
 ///   run's `transport` / `threads` configuration stamps.
-pub const SCHEMA_VERSION: u32 = 2;
+/// * 3 — adds the fault-tolerance counters `link_retries`,
+///   `link_timeouts`, and `quarantined_sites` to the counter snapshot.
+///   Schema-1/2 files still deserialize (the new fields default to 0).
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Typed counters of the paper's cost model.
 ///
@@ -74,9 +77,17 @@ pub enum Counter {
     LocalSkylineSize,
     /// Skyline answers reported progressively to the user.
     ProgressiveResults,
+    /// Link-level retries performed after a transport failure
+    /// (fed by `dsud-net`'s `RetryLink`).
+    LinkRetries,
+    /// Link-level request deadlines that elapsed without a reply.
+    LinkTimeouts,
+    /// Sites quarantined by a degraded-mode coordinator after exhausting
+    /// their retry budget.
+    QuarantinedSites,
 }
 
-const COUNTER_COUNT: usize = 11;
+const COUNTER_COUNT: usize = 14;
 
 impl Counter {
     fn index(self) -> usize {
@@ -154,6 +165,16 @@ pub struct CounterSnapshot {
     pub local_skyline_size: u64,
     /// Final value of [`Counter::ProgressiveResults`].
     pub progressive_results: u64,
+    /// Final value of [`Counter::LinkRetries`]. Absent (0) before schema 3.
+    #[serde(default)]
+    pub link_retries: u64,
+    /// Final value of [`Counter::LinkTimeouts`]. Absent (0) before schema 3.
+    #[serde(default)]
+    pub link_timeouts: u64,
+    /// Final value of [`Counter::QuarantinedSites`]. Absent (0) before
+    /// schema 3.
+    #[serde(default)]
+    pub quarantined_sites: u64,
 }
 
 impl CounterSnapshot {
@@ -170,6 +191,9 @@ impl CounterSnapshot {
             prtree_pruned_subtrees: c[Counter::PrTreePrunedSubtrees.index()],
             local_skyline_size: c[Counter::LocalSkylineSize.index()],
             progressive_results: c[Counter::ProgressiveResults.index()],
+            link_retries: c[Counter::LinkRetries.index()],
+            link_timeouts: c[Counter::LinkTimeouts.index()],
+            quarantined_sites: c[Counter::QuarantinedSites.index()],
         }
     }
 
@@ -187,6 +211,9 @@ impl CounterSnapshot {
             Counter::PrTreePrunedSubtrees => self.prtree_pruned_subtrees,
             Counter::LocalSkylineSize => self.local_skyline_size,
             Counter::ProgressiveResults => self.progressive_results,
+            Counter::LinkRetries => self.link_retries,
+            Counter::LinkTimeouts => self.link_timeouts,
+            Counter::QuarantinedSites => self.quarantined_sites,
         }
     }
 }
@@ -539,6 +566,47 @@ mod tests {
         assert!(report.phases.is_empty());
         assert_eq!(report.transport, None);
         assert_eq!(report.threads, None);
+    }
+
+    #[test]
+    fn schema_two_reports_deserialize_with_zero_fault_counters() {
+        // A schema-2 file predates the fault-tolerance counters; they must
+        // fill in as zero rather than failing the parse.
+        let json = r#"{
+            "schema_version": 2,
+            "algorithm": "edsud",
+            "wall_ms": 2.5,
+            "counters": {
+                "bytes_sent": 9, "messages": 4, "tuples_shipped": 2,
+                "feedback_broadcasts": 1, "rounds": 1, "expunged": 0,
+                "pruned_at_sites": 0, "prtree_nodes_visited": 0,
+                "prtree_pruned_subtrees": 0, "local_skyline_size": 0,
+                "progressive_results": 1
+            },
+            "spans": [],
+            "phases": [],
+            "transport": "tcp",
+            "threads": 4,
+            "progressive": []
+        }"#;
+        let report: RunReport = serde_json::from_str(json).unwrap();
+        assert_eq!(report.counters.link_retries, 0);
+        assert_eq!(report.counters.link_timeouts, 0);
+        assert_eq!(report.counters.quarantined_sites, 0);
+        assert_eq!(report.counters.get(Counter::LinkRetries), 0);
+        assert_eq!(report.transport.as_deref(), Some("tcp"));
+    }
+
+    #[test]
+    fn fault_counters_flow_into_the_snapshot() {
+        let rec = Recorder::enabled();
+        rec.add(Counter::LinkRetries, 3);
+        rec.incr(Counter::LinkTimeouts);
+        rec.incr(Counter::QuarantinedSites);
+        let report = rec.report("dsud").unwrap();
+        assert_eq!(report.counters.link_retries, 3);
+        assert_eq!(report.counters.link_timeouts, 1);
+        assert_eq!(report.counters.quarantined_sites, 1);
     }
 
     #[test]

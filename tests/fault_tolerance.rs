@@ -1,71 +1,446 @@
-//! Robustness: a misbehaving site must surface as a protocol error at the
-//! coordinator — never a panic, hang, or silently wrong answer.
+//! Robustness: a misbehaving or dead site must surface as a typed error
+//! under [`FailurePolicy::Strict`], or as a quarantine under
+//! [`FailurePolicy::Degrade`] — never a panic, hang, or silently wrong
+//! answer — on every transport and at every thread-pool size.
+//!
+//! Fault schedules are injected by [`FaultyLink`], which counts calls to
+//! itself and short-circuits *before* the wrapped transport, so the same
+//! schedule replays identically on inline, threaded, and TCP links. The
+//! "killed site" tests instead panic the real site service mid-query, so
+//! the failure travels through the genuine transport machinery.
+
+use std::time::Duration;
 
 use dsud_core::{dsud, edsud, BoundMode, Error, LocalSite, SiteOptions, SubspaceMask};
-use dsud_core::{BandwidthMeter, Link};
+use dsud_core::{
+    BandwidthMeter, Counter, FailurePolicy, Link, LinkConfig, LinkError, QuarantineReason,
+    QueryOutcome, Recorder, RetryLink, Transport,
+};
 use dsud_data::WorkloadSpec;
-use dsud_net::{FaultMode, FaultyLink, LocalLink};
+use dsud_net::{tcp, ChannelLink, FaultMode, FaultyLink, LocalLink, Message, Service};
+use dsud_uncertain::TupleId;
 
+const DIMS: usize = 2;
+const SITES: usize = 4;
+const ALL_TRANSPORTS: [Transport; 3] = [Transport::Inline, Transport::Threaded, Transport::Tcp];
+
+fn site_data() -> Vec<Vec<dsud_uncertain::UncertainTuple>> {
+    WorkloadSpec::new(600, DIMS).seed(10).generate_partitioned(SITES).unwrap()
+}
+
+fn mask() -> SubspaceMask {
+    SubspaceMask::full(DIMS).unwrap()
+}
+
+/// Short deadlines so swallowed requests fail fast, zero backoff so retry
+/// sleeps never slow the suite down, budget 2 so `Stall(2)` is recoverable.
+fn fast_config() -> LinkConfig {
+    LinkConfig {
+        request_timeout: Duration::from_millis(500),
+        retry_budget: 2,
+        backoff: Duration::ZERO,
+    }
+}
+
+fn boxed<L: Link + 'static>(
+    inner: L,
+    fault: Option<(FaultMode, u64)>,
+    cfg: LinkConfig,
+    recorder: &Recorder,
+) -> Box<dyn Link> {
+    match fault {
+        Some((mode, healthy_calls)) => Box::new(RetryLink::with_recorder(
+            FaultyLink::new(inner, mode, healthy_calls),
+            cfg,
+            recorder.clone(),
+        )),
+        None => Box::new(RetryLink::with_recorder(inner, cfg, recorder.clone())),
+    }
+}
+
+/// A 4-site cluster over the given transport, with `fault` (if any)
+/// injected between the retry layer and the transport at `fault_site`.
+/// The returned servers must stay alive for the duration of the query.
 fn faulty_cluster(
-    fault_site: usize,
-    mode: FaultMode,
-    healthy_calls: u64,
-) -> (Vec<Box<dyn Link>>, BandwidthMeter) {
-    let sites = WorkloadSpec::new(600, 2).seed(10).generate_partitioned(4).unwrap();
-    let meter = BandwidthMeter::new();
+    transport: Transport,
+    fault: Option<(usize, FaultMode, u64)>,
+    recorder: &Recorder,
+) -> (Vec<Box<dyn Link>>, BandwidthMeter, Vec<tcp::SiteServer>) {
+    let meter = BandwidthMeter::with_recorder(recorder.clone());
+    let cfg = fast_config();
     let mut links: Vec<Box<dyn Link>> = Vec::new();
-    for (i, tuples) in sites.into_iter().enumerate() {
-        let site = LocalSite::new(i as u32, 2, tuples, SiteOptions::default()).unwrap();
-        let inner = LocalLink::new(site, meter.clone());
-        if i == fault_site {
-            links.push(Box::new(FaultyLink::new(inner, mode, healthy_calls)));
-        } else {
-            links.push(Box::new(inner));
+    let mut servers = Vec::new();
+    for (i, tuples) in site_data().into_iter().enumerate() {
+        let site = LocalSite::new(i as u32, DIMS, tuples, SiteOptions::default()).unwrap();
+        let mode = fault.and_then(|(fs, m, h)| (fs == i).then_some((m, h)));
+        let link = match transport {
+            Transport::Inline => boxed(LocalLink::new(site, meter.clone()), mode, cfg, recorder),
+            Transport::Threaded => {
+                boxed(ChannelLink::spawn_with(site, meter.clone(), cfg), mode, cfg, recorder)
+            }
+            Transport::Tcp => {
+                let server = tcp::spawn_site(site).expect("site server starts");
+                let link = tcp::TcpLink::connect_with(server.addr(), meter.clone(), cfg)
+                    .expect("link connects");
+                servers.push(server);
+                boxed(link, mode, cfg, recorder)
+            }
+        };
+        links.push(link);
+    }
+    (links, meter, servers)
+}
+
+fn skyline_fingerprint(outcome: &QueryOutcome) -> Vec<(TupleId, u64)> {
+    outcome.skyline.iter().map(|e| (e.tuple.id(), e.probability.to_bits())).collect()
+}
+
+// --- strict mode: transport failures become typed SiteFailed errors -------
+
+#[test]
+fn strict_drop_is_site_failed_on_every_transport() {
+    for transport in ALL_TRANSPORTS {
+        let recorder = Recorder::disabled();
+        let (mut links, meter, _servers) =
+            faulty_cluster(transport, Some((1, FaultMode::Drop, 3)), &recorder);
+        let err =
+            dsud::run_with_policy(&mut links, &meter, 0.3, mask(), None, FailurePolicy::Strict);
+        match err {
+            Err(Error::SiteFailed { site: 1, source: LinkError::Timeout }) => {}
+            other => panic!("{transport:?}: expected SiteFailed(Timeout) at site 1, got {other:?}"),
         }
     }
-    (links, meter)
 }
 
 #[test]
-fn dsud_reports_wrong_reply_as_protocol_violation() {
-    let (mut links, meter) = faulty_cluster(1, FaultMode::WrongReply, 3);
-    let mask = SubspaceMask::full(2).unwrap();
-    let err = dsud::run(&mut links, &meter, 0.3, mask, None);
-    assert!(matches!(err, Err(Error::ProtocolViolation(_))), "got {err:?}");
+fn strict_disconnect_is_site_failed_on_every_transport() {
+    for transport in ALL_TRANSPORTS {
+        let recorder = Recorder::disabled();
+        let (mut links, meter, _servers) =
+            faulty_cluster(transport, Some((2, FaultMode::Disconnect, 5)), &recorder);
+        let err = edsud::run_with_synopses(
+            &mut links,
+            &meter,
+            0.3,
+            mask(),
+            BoundMode::Paper,
+            None,
+            None,
+            FailurePolicy::Strict,
+        );
+        match err {
+            Err(Error::SiteFailed { site: 2, source: LinkError::Disconnected }) => {}
+            other => {
+                panic!("{transport:?}: expected SiteFailed(Disconnected) at site 2, got {other:?}")
+            }
+        }
+    }
+}
+
+// --- degrade mode: the query survives and names what it lost -------------
+
+#[test]
+fn degrade_quarantines_the_failed_site_and_completes() {
+    for transport in ALL_TRANSPORTS {
+        for fault in [FaultMode::Drop, FaultMode::Disconnect] {
+            let recorder = Recorder::enabled();
+            let (mut links, meter, _servers) =
+                faulty_cluster(transport, Some((1, fault, 3)), &recorder);
+            let outcome = dsud::run_with_policy(
+                &mut links,
+                &meter,
+                0.3,
+                mask(),
+                None,
+                FailurePolicy::Degrade,
+            )
+            .unwrap_or_else(|e| panic!("{transport:?}/{fault:?}: degrade mode failed: {e}"));
+            assert!(outcome.degraded, "{transport:?}/{fault:?}: outcome not marked degraded");
+            assert!(!outcome.skyline.is_empty(), "{transport:?}/{fault:?}: empty skyline");
+            assert_eq!(outcome.sites.len(), SITES);
+            for (i, status) in outcome.sites.iter().enumerate() {
+                if i == 1 {
+                    assert!(
+                        matches!(status.quarantined, Some(QuarantineReason::Transport(_))),
+                        "{transport:?}/{fault:?}: site 1 status {status:?}"
+                    );
+                } else {
+                    assert!(status.healthy(), "{transport:?}/{fault:?}: site {i} not healthy");
+                }
+            }
+            assert_eq!(recorder.counter(Counter::QuarantinedSites), 1);
+        }
+    }
+}
+
+// --- a stall within the retry budget is invisible -------------------------
+
+#[test]
+fn stall_within_budget_recovers_the_exact_healthy_answer() {
+    for transport in ALL_TRANSPORTS {
+        let healthy_rec = Recorder::enabled();
+        let (mut links, meter, _servers) = faulty_cluster(transport, None, &healthy_rec);
+        let healthy = edsud::run_with_synopses(
+            &mut links,
+            &meter,
+            0.3,
+            mask(),
+            BoundMode::Paper,
+            None,
+            None,
+            FailurePolicy::Strict,
+        )
+        .unwrap();
+
+        // Stall(2) swallows two attempts; budget 2 grants two retries, so
+        // the third attempt lands and the service never saw the stalls.
+        let stalled_rec = Recorder::enabled();
+        let (mut links, meter, _servers) =
+            faulty_cluster(transport, Some((1, FaultMode::Stall(2), 4)), &stalled_rec);
+        let stalled = edsud::run_with_synopses(
+            &mut links,
+            &meter,
+            0.3,
+            mask(),
+            BoundMode::Paper,
+            None,
+            None,
+            FailurePolicy::Strict,
+        )
+        .unwrap_or_else(|e| panic!("{transport:?}: stall within budget failed: {e}"));
+
+        assert!(!stalled.degraded, "{transport:?}: recovered run marked degraded");
+        assert_eq!(
+            skyline_fingerprint(&stalled),
+            skyline_fingerprint(&healthy),
+            "{transport:?}: stalled run answer diverged"
+        );
+        assert_eq!(
+            stalled.traffic.tuples_transmitted(),
+            healthy.traffic.tuples_transmitted(),
+            "{transport:?}: swallowed attempts must not be metered"
+        );
+        assert_eq!(stalled_rec.counter(Counter::LinkRetries), 2, "{transport:?}");
+        assert_eq!(stalled_rec.counter(Counter::LinkTimeouts), 2, "{transport:?}");
+        assert_eq!(stalled_rec.counter(Counter::QuarantinedSites), 0, "{transport:?}");
+    }
+}
+
+// --- protocol misbehavior (wrong replies, corrupt values) -----------------
+
+#[test]
+fn strict_wrong_reply_is_a_protocol_violation_naming_the_site() {
+    let recorder = Recorder::disabled();
+    let (mut links, meter, _servers) =
+        faulty_cluster(Transport::Inline, Some((1, FaultMode::WrongReply, 3)), &recorder);
+    let err = dsud::run_with_policy(&mut links, &meter, 0.3, mask(), None, FailurePolicy::Strict);
+    assert!(matches!(err, Err(Error::ProtocolViolation { site: 1, .. })), "got {err:?}");
 }
 
 #[test]
-fn edsud_reports_wrong_reply_as_protocol_violation() {
-    let (mut links, meter) = faulty_cluster(2, FaultMode::WrongReply, 5);
-    let mask = SubspaceMask::full(2).unwrap();
-    let err = edsud::run(&mut links, &meter, 0.3, mask, BoundMode::Paper, None);
-    assert!(matches!(err, Err(Error::ProtocolViolation(_))), "got {err:?}");
+fn degrade_wrong_reply_quarantines_with_a_protocol_reason() {
+    let recorder = Recorder::enabled();
+    let (mut links, meter, _servers) =
+        faulty_cluster(Transport::Inline, Some((2, FaultMode::WrongReply, 5)), &recorder);
+    let outcome = edsud::run_with_synopses(
+        &mut links,
+        &meter,
+        0.3,
+        mask(),
+        BoundMode::Paper,
+        None,
+        None,
+        FailurePolicy::Degrade,
+    )
+    .unwrap();
+    assert!(outcome.degraded);
+    assert!(
+        matches!(outcome.sites[2].quarantined, Some(QuarantineReason::Protocol(_))),
+        "site 2 status {:?}",
+        outcome.sites[2]
+    );
 }
 
 #[test]
 fn fault_on_first_contact_is_caught() {
-    let (mut links, meter) = faulty_cluster(0, FaultMode::WrongReply, 0);
-    let mask = SubspaceMask::full(2).unwrap();
-    let err = dsud::run(&mut links, &meter, 0.3, mask, None);
-    assert!(matches!(err, Err(Error::ProtocolViolation(_))));
+    let recorder = Recorder::disabled();
+    let (mut links, meter, _servers) =
+        faulty_cluster(Transport::Inline, Some((0, FaultMode::WrongReply, 0)), &recorder);
+    let err = dsud::run_with_policy(&mut links, &meter, 0.3, mask(), None, FailurePolicy::Strict);
+    assert!(matches!(err, Err(Error::ProtocolViolation { site: 0, .. })), "got {err:?}");
 }
 
 #[test]
 fn healthy_budget_large_enough_means_success() {
     // A fault scheduled after the query completes never fires.
-    let (mut links, meter) = faulty_cluster(1, FaultMode::WrongReply, u64::MAX);
-    let mask = SubspaceMask::full(2).unwrap();
-    let outcome = edsud::run(&mut links, &meter, 0.3, mask, BoundMode::Paper, None).unwrap();
+    let recorder = Recorder::disabled();
+    let (mut links, meter, _servers) =
+        faulty_cluster(Transport::Inline, Some((1, FaultMode::WrongReply, u64::MAX)), &recorder);
+    let outcome = edsud::run_with_synopses(
+        &mut links,
+        &meter,
+        0.3,
+        mask(),
+        BoundMode::Paper,
+        None,
+        None,
+        FailurePolicy::Strict,
+    )
+    .unwrap();
     assert!(!outcome.skyline.is_empty());
+    assert!(!outcome.degraded);
+    assert!(outcome.sites.iter().all(dsud_core::SiteStatus::healthy));
 }
 
 #[test]
 fn corrupted_survival_values_are_rejected() {
-    let (mut links, meter) = faulty_cluster(1, FaultMode::CorruptSurvival, 4);
-    let mask = SubspaceMask::full(2).unwrap();
-    let err = edsud::run(&mut links, &meter, 0.3, mask, BoundMode::Paper, None);
+    let recorder = Recorder::disabled();
+    let (mut links, meter, _servers) =
+        faulty_cluster(Transport::Inline, Some((1, FaultMode::CorruptSurvival, 4)), &recorder);
+    let err = edsud::run_with_synopses(
+        &mut links,
+        &meter,
+        0.3,
+        mask(),
+        BoundMode::Paper,
+        None,
+        None,
+        FailurePolicy::Strict,
+    );
     assert!(
-        matches!(err, Err(Error::ProtocolViolation("survival product out of range"))),
+        matches!(
+            err,
+            Err(Error::ProtocolViolation { site: 1, what: "survival product out of range" })
+        ),
         "got {err:?}"
     );
+}
+
+// --- a really dead site: the service panics mid-query ---------------------
+
+/// Wraps a site service and panics after `remaining` handled messages —
+/// the worker thread (threaded) or accept loop (TCP) genuinely dies, so
+/// the failure exercises the real transport error path, not an injected one.
+struct PanicAfter<S> {
+    inner: S,
+    remaining: u64,
+}
+
+impl<S: Service> Service for PanicAfter<S> {
+    fn handle(&mut self, msg: Message) -> Message {
+        if self.remaining == 0 {
+            panic!("site killed mid-query (injected by fault_tolerance test)");
+        }
+        self.remaining -= 1;
+        self.inner.handle(msg)
+    }
+}
+
+fn killed_site_cluster(
+    transport: Transport,
+    killed: usize,
+    after: u64,
+    recorder: &Recorder,
+) -> (Vec<Box<dyn Link>>, BandwidthMeter, Vec<tcp::SiteServer>) {
+    let meter = BandwidthMeter::with_recorder(recorder.clone());
+    let cfg = fast_config();
+    let mut links: Vec<Box<dyn Link>> = Vec::new();
+    let mut servers = Vec::new();
+    for (i, tuples) in site_data().into_iter().enumerate() {
+        let site = LocalSite::new(i as u32, DIMS, tuples, SiteOptions::default()).unwrap();
+        let link: Box<dyn Link> = match transport {
+            Transport::Threaded if i == killed => {
+                let doomed = PanicAfter { inner: site, remaining: after };
+                boxed(ChannelLink::spawn_with(doomed, meter.clone(), cfg), None, cfg, recorder)
+            }
+            Transport::Tcp if i == killed => {
+                let doomed = PanicAfter { inner: site, remaining: after };
+                let server = tcp::spawn_site(doomed).expect("site server starts");
+                let link = tcp::TcpLink::connect_with(server.addr(), meter.clone(), cfg)
+                    .expect("link connects");
+                servers.push(server);
+                boxed(link, None, cfg, recorder)
+            }
+            Transport::Inline | Transport::Threaded => {
+                boxed(ChannelLink::spawn_with(site, meter.clone(), cfg), None, cfg, recorder)
+            }
+            Transport::Tcp => {
+                let server = tcp::spawn_site(site).expect("site server starts");
+                let link = tcp::TcpLink::connect_with(server.addr(), meter.clone(), cfg)
+                    .expect("link connects");
+                servers.push(server);
+                boxed(link, None, cfg, recorder)
+            }
+        };
+        links.push(link);
+    }
+    (links, meter, servers)
+}
+
+#[test]
+fn killing_a_site_mid_query_is_site_failed_under_strict() {
+    for transport in [Transport::Threaded, Transport::Tcp] {
+        let recorder = Recorder::disabled();
+        let (mut links, meter, _servers) = killed_site_cluster(transport, 1, 3, &recorder);
+        let err =
+            dsud::run_with_policy(&mut links, &meter, 0.3, mask(), None, FailurePolicy::Strict);
+        match err {
+            Err(Error::SiteFailed { site: 1, .. }) => {}
+            other => panic!("{transport:?}: expected SiteFailed at site 1, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn killing_a_site_mid_query_degrades_and_names_it() {
+    for transport in [Transport::Threaded, Transport::Tcp] {
+        let recorder = Recorder::enabled();
+        let (mut links, meter, _servers) = killed_site_cluster(transport, 1, 3, &recorder);
+        let outcome =
+            dsud::run_with_policy(&mut links, &meter, 0.3, mask(), None, FailurePolicy::Degrade)
+                .unwrap_or_else(|e| panic!("{transport:?}: degrade mode failed: {e}"));
+        assert!(outcome.degraded, "{transport:?}: outcome not marked degraded");
+        assert!(
+            matches!(outcome.sites[1].quarantined, Some(QuarantineReason::Transport(_))),
+            "{transport:?}: site 1 status {:?}",
+            outcome.sites[1]
+        );
+        assert!(!outcome.skyline.is_empty(), "{transport:?}: empty skyline");
+        assert_eq!(recorder.counter(Counter::QuarantinedSites), 1, "{transport:?}");
+    }
+}
+
+// --- fault accounting is deterministic ------------------------------------
+
+/// Retry, timeout, and quarantine counters are a pure function of the
+/// fault schedule: the same schedule must produce bit-identical counters
+/// and answers at every pool size and on every transport.
+#[test]
+fn retry_accounting_is_identical_across_pool_sizes_and_transports() {
+    fn run_once(pool: usize, transport: Transport) -> (u64, u64, u64, Vec<(TupleId, u64)>) {
+        threadpool::set_pool_size(pool);
+        let recorder = Recorder::enabled();
+        let (mut links, meter, _servers) =
+            faulty_cluster(transport, Some((1, FaultMode::Drop, 6)), &recorder);
+        let outcome =
+            dsud::run_with_policy(&mut links, &meter, 0.3, mask(), None, FailurePolicy::Degrade)
+                .unwrap();
+        threadpool::set_pool_size(0);
+        (
+            recorder.counter(Counter::LinkRetries),
+            recorder.counter(Counter::LinkTimeouts),
+            recorder.counter(Counter::QuarantinedSites),
+            skyline_fingerprint(&outcome),
+        )
+    }
+
+    let reference = run_once(1, Transport::Inline);
+    assert_eq!(reference.2, 1, "exactly one site quarantined");
+    for pool in [2, 8] {
+        assert_eq!(run_once(pool, Transport::Inline), reference, "pool {pool} diverged");
+    }
+    for transport in [Transport::Threaded, Transport::Tcp] {
+        assert_eq!(run_once(1, transport), reference, "{transport:?} diverged");
+        assert_eq!(run_once(8, transport), reference, "{transport:?} at pool 8 diverged");
+    }
 }
