@@ -16,8 +16,8 @@ use std::path::PathBuf;
 use serde::Serialize;
 
 use dsud_bench::{
-    bandwidth_row, progress_curve, repeats, run_algo, scale_n, update_row, verify_against_baseline,
-    Algo, BandwidthRow, ExpSpec,
+    bandwidth_row, progress_curve, repeats, run_algo, run_algo_batched, scale_n, update_row,
+    verify_against_baseline, Algo, BandwidthRow, ExpSpec,
 };
 use dsud_core::estimate;
 use dsud_data::{ProbabilityLaw, SpatialDistribution};
@@ -298,7 +298,8 @@ fn reports() {
             _ => cluster.run_edsud(&config),
         }
         .expect("experiment queries succeed");
-        let report = recorder.report(name).expect("recorder is enabled");
+        let mut report = recorder.report(name).expect("recorder is enabled");
+        report.batch_size = Some(config.batch.name());
         let path = PathBuf::from(format!("BENCH_{name}.json"));
         let json = serde_json::to_string_pretty(&report).expect("reports serialize");
         fs::write(&path, json).expect("can write run report");
@@ -312,6 +313,93 @@ fn reports() {
             report.wall_ms
         );
     }
+}
+
+/// Candidate batching: messages and bytes at batch sizes K ∈ {1, 4, 16,
+/// auto} for DSUD and e-DSUD at Table 3 defaults. The skyline is asserted
+/// identical across every K — batching is a pure wire optimization.
+fn batching() {
+    use dsud_core::BatchSize;
+    println!("\n== Batched vs unbatched feedback: messages / bytes at Table 3 defaults ==");
+    let spec = ExpSpec::table3_defaults();
+
+    #[derive(Serialize)]
+    struct Row {
+        algo: String,
+        batch: String,
+        messages: u64,
+        bytes: u64,
+        tuples: u64,
+        answers: usize,
+    }
+    let mut rows = Vec::new();
+    println!(
+        "{:<8} {:>6} {:>12} {:>14} {:>12} {:>9}",
+        "algo", "batch", "messages", "bytes", "tuples", "answers"
+    );
+    for algo in [Algo::Dsud, Algo::Edsud] {
+        let mut reference: Option<Vec<(u64, u64)>> = None;
+        let mut unbatched: Option<(u64, u64)> = None;
+        for batch in
+            [BatchSize::Fixed(1), BatchSize::Fixed(4), BatchSize::Fixed(16), BatchSize::Auto]
+        {
+            let sites = spec.generate(0);
+            let outcome = run_algo_batched(algo, spec.d, sites, spec.q, batch);
+            let answer: Vec<(u64, u64)> = outcome
+                .skyline
+                .iter()
+                .map(|e| (e.tuple.id().seq, e.probability.to_bits()))
+                .collect();
+            match &reference {
+                None => reference = Some(answer),
+                Some(r) => {
+                    assert_eq!(&answer, r, "{}: batch {batch} changed the answer", { algo.label() })
+                }
+            }
+            let total = outcome.traffic.total();
+            match unbatched {
+                None => unbatched = Some((total.messages, total.tuples)),
+                Some((messages_1, tuples_1)) => {
+                    assert_eq!(
+                        total.tuples,
+                        tuples_1,
+                        "{}: batch {batch} changed tuple traffic",
+                        algo.label()
+                    );
+                    if batch == BatchSize::Fixed(16) {
+                        // e-DSUD's residual traffic is expunge refills,
+                        // which ship no feedback and cannot coalesce.
+                        let floor = if matches!(algo, Algo::Edsud) { 2 } else { 5 };
+                        assert!(
+                            total.messages * floor <= messages_1,
+                            "{}: batch 16 sent {} messages vs {} unbatched (need {floor}x)",
+                            algo.label(),
+                            total.messages,
+                            messages_1
+                        );
+                    }
+                }
+            }
+            println!(
+                "{:<8} {:>6} {:>12} {:>14} {:>12} {:>9}",
+                algo.label(),
+                batch.to_string(),
+                total.messages,
+                total.bytes,
+                total.tuples,
+                outcome.skyline.len()
+            );
+            rows.push(Row {
+                algo: algo.label().to_string(),
+                batch: batch.to_string(),
+                messages: total.messages,
+                bytes: total.bytes,
+                tuples: total.tuples,
+                answers: outcome.skyline.len(),
+            });
+        }
+    }
+    dump_json("batching", &rows);
 }
 
 /// Eqs. 6–8: estimated vs measured skyline cardinality and the
@@ -444,5 +532,8 @@ fn main() {
     }
     if want("table2") {
         table2();
+    }
+    if want("batching") {
+        batching();
     }
 }

@@ -17,8 +17,8 @@ use serde::Serialize;
 
 use dsud_core::update::{Maintainer, UpdateOp};
 use dsud_core::{
-    baseline, BandwidthMeter, BoundMode, Cluster, LatencyModel, Probability, QueryConfig,
-    QueryOutcome, SiteOptions, SubspaceMask, TupleId, UncertainTuple,
+    baseline, BandwidthMeter, BatchSize, BoundMode, Cluster, LatencyModel, Probability,
+    QueryConfig, QueryOutcome, SiteOptions, SubspaceMask, TupleId, UncertainTuple,
 };
 use dsud_data::nyse::NyseSpec;
 use dsud_data::{ProbabilityLaw, SpatialDistribution, WorkloadSpec};
@@ -124,13 +124,26 @@ impl Algo {
 
 /// Runs one algorithm over an already-partitioned workload.
 pub fn run_algo(algo: Algo, dims: usize, sites: Vec<Vec<UncertainTuple>>, q: f64) -> QueryOutcome {
+    run_algo_batched(algo, dims, sites, q, BatchSize::default())
+}
+
+/// [`run_algo`] with an explicit feedback batch size — the answer is
+/// identical at every batch size; only message and byte counts move.
+pub fn run_algo_batched(
+    algo: Algo,
+    dims: usize,
+    sites: Vec<Vec<UncertainTuple>>,
+    q: f64,
+    batch: BatchSize,
+) -> QueryOutcome {
     let options = match algo {
         Algo::DsudNoPruning => SiteOptions { pruning: false, ..SiteOptions::default() },
         _ => SiteOptions::default(),
     };
     let mut cluster =
         Cluster::local_with_options(dims, sites, options).expect("experiment clusters are valid");
-    let mut config = QueryConfig::new(q).expect("experiment thresholds are valid");
+    let mut config =
+        QueryConfig::new(q).expect("experiment thresholds are valid").batch_size(batch);
     if algo == Algo::EdsudBroadcastOnly {
         config = config.bound_mode(BoundMode::BroadcastOnly);
     }

@@ -1,7 +1,7 @@
 use std::collections::HashMap;
 use std::path::PathBuf;
 
-use dsud_core::{FailurePolicy, Transport};
+use dsud_core::{BatchSize, FailurePolicy, Transport};
 
 use crate::CliError;
 
@@ -71,6 +71,9 @@ pub enum Command {
         transport: Transport,
         /// What to do when a site stays unreachable after retries.
         failure: FailurePolicy,
+        /// Candidates coalesced per feedback round (`--batch <K>` or
+        /// `--batch auto`); never changes the answer.
+        batch: BatchSize,
     },
     /// Run the vertically partitioned UTA query over a workload file.
     Vertical {
@@ -114,6 +117,7 @@ USAGE:
   dsud query    --input <FILE> [--sites <M>] [--q <Q>] [--algorithm dsud|edsud|baseline]
                 [--subspace 0,2,...] [--limit <K>] [--seed <S>] [--report <FILE>]
                 [--transport inline|threaded|tcp] [--failure strict|degrade]
+                [--batch <K>|auto]
   dsud vertical --input <FILE> [--q <Q>]
   dsud stream   --input <FILE> [--q <Q>] [--window <W>] [--every <K>]
   dsud estimate [--n <N>] [--dims <D>] [--sites <M>]
@@ -217,6 +221,12 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 })?,
                 None => FailurePolicy::Strict,
             };
+            let batch = match get("batch") {
+                Some(v) => v.parse::<BatchSize>().map_err(|_| {
+                    CliError::Usage(format!("--batch expects a count >= 1 or auto, got '{v}'"))
+                })?,
+                None => BatchSize::default(),
+            };
             Ok(Command::Query {
                 input: PathBuf::from(input),
                 sites: parse_num("sites", 8)?,
@@ -228,6 +238,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 report: get("report").map(PathBuf::from),
                 transport,
                 failure,
+                batch,
             })
         }
         "vertical" => {
@@ -322,6 +333,7 @@ mod tests {
             report,
             transport,
             failure,
+            batch,
             ..
         } = parse(&argv("query --input d.jsonl")).unwrap()
         else {
@@ -332,6 +344,21 @@ mod tests {
         assert_eq!(report, None);
         assert_eq!(transport, Transport::Inline);
         assert_eq!(failure, FailurePolicy::Strict);
+        assert_eq!(batch, BatchSize::Fixed(1));
+    }
+
+    #[test]
+    fn parses_batch_sizes() {
+        for (flag, expected) in [("16", BatchSize::Fixed(16)), ("auto", BatchSize::Auto)] {
+            let Command::Query { batch, .. } =
+                parse(&argv(&format!("query --input d.jsonl --batch {flag}"))).unwrap()
+            else {
+                panic!()
+            };
+            assert_eq!(batch, expected);
+        }
+        assert!(parse(&argv("query --input d.jsonl --batch 0")).is_err());
+        assert!(parse(&argv("query --input d.jsonl --batch many")).is_err());
     }
 
     #[test]

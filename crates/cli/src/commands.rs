@@ -5,8 +5,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use dsud_core::{
-    baseline, BandwidthMeter, Cluster, FailurePolicy, QueryConfig, QueryOutcome, Recorder,
-    SiteOptions, SubspaceMask, Transport,
+    baseline, BandwidthMeter, BatchSize, Cluster, FailurePolicy, QueryConfig, QueryOutcome,
+    Recorder, SiteOptions, SubspaceMask, Transport,
 };
 use dsud_data::nyse::NyseSpec;
 use dsud_data::{partition_uniform, ProbabilityLaw, SpatialDistribution, WorkloadSpec};
@@ -41,6 +41,7 @@ pub fn run<W: Write>(cmd: &Command, out: &mut W) -> Result<(), CliError> {
             report,
             transport,
             failure,
+            batch,
         } => query(
             input,
             *sites,
@@ -52,6 +53,7 @@ pub fn run<W: Write>(cmd: &Command, out: &mut W) -> Result<(), CliError> {
             report.as_deref(),
             *transport,
             *failure,
+            *batch,
             out,
         ),
         Command::Vertical { input, q } => vertical(input, *q, out),
@@ -151,6 +153,7 @@ fn query<W: Write>(
     report: Option<&std::path::Path>,
     transport: Transport,
     failure: FailurePolicy,
+    batch: BatchSize,
     out: &mut W,
 ) -> Result<(), CliError> {
     let tuples = read_tuples(input)?;
@@ -160,7 +163,7 @@ fn query<W: Write>(
     let mut rng = StdRng::seed_from_u64(seed);
     let partitioned = partition_uniform(rows, sites, &mut rng)?;
 
-    let mut config = QueryConfig::new(q)?.failure_policy(failure);
+    let mut config = QueryConfig::new(q)?.failure_policy(failure).batch_size(batch);
     if let Some(dims_spec) = subspace {
         config = config.subspace(SubspaceMask::from_dims(dims_spec)?);
     }
@@ -211,6 +214,7 @@ fn query<W: Write>(
         let mut run_report = recorder.report(algo_name).expect("recorder is enabled");
         run_report.transport = Some(used_transport.to_string());
         run_report.threads = Some(threadpool::pool_size());
+        run_report.batch_size = Some(batch.name());
         let json = serde_json::to_string_pretty(&run_report)
             .map_err(|e| CliError::Library(format!("cannot serialize run report: {e}")))?;
         fs::write(path, json)?;
@@ -379,6 +383,7 @@ mod tests {
                 Some(&path),
                 Transport::Inline,
                 FailurePolicy::Strict,
+                BatchSize::Fixed(4),
                 &mut out,
             )
             .unwrap();
@@ -391,6 +396,7 @@ mod tests {
             assert!(report.counters.rounds >= 1);
             assert_eq!(report.transport.as_deref(), Some("inline"));
             assert_eq!(report.threads, Some(threadpool::pool_size()));
+            assert_eq!(report.batch_size.as_deref(), Some("4"));
             assert!(!report.phases.is_empty(), "per-phase totals are aggregated");
             fs::remove_file(&path).unwrap();
         }

@@ -411,6 +411,7 @@ impl Cluster {
             mask,
             config.limit,
             config.failure,
+            config.batch,
         )
     }
 
@@ -430,6 +431,7 @@ impl Cluster {
             config.limit,
             config.synopsis,
             config.failure,
+            config.batch,
         )
     }
 }
@@ -455,6 +457,31 @@ pub(crate) fn expect_survival(site: u32, msg: Message) -> Result<(f64, u64), Err
             }
         }
         _ => Err(Error::ProtocolViolation { site, what: "expected SurvivalReply" }),
+    }
+}
+
+/// Interprets a reply from `site` that must be a survival batch covering
+/// exactly `expected` probes; every factor must be a valid probability.
+pub(crate) fn expect_survival_batch(
+    site: u32,
+    msg: Message,
+    expected: usize,
+) -> Result<(Vec<f64>, u64), Error> {
+    match msg {
+        Message::SurvivalBatchReply { survivals, pruned } => {
+            if survivals.len() != expected {
+                return Err(Error::ProtocolViolation {
+                    site,
+                    what: "survival batch length mismatch",
+                });
+            }
+            if survivals.iter().all(|s| s.is_finite() && (0.0..=1.0).contains(s)) {
+                Ok((survivals, pruned))
+            } else {
+                Err(Error::ProtocolViolation { site, what: "survival product out of range" })
+            }
+        }
+        _ => Err(Error::ProtocolViolation { site, what: "expected SurvivalBatchReply" }),
     }
 }
 
@@ -486,6 +513,39 @@ mod tests {
             assert!(
                 expect_survival(0, Message::SurvivalReply { survival: bad, pruned: 0 }).is_err()
             );
+        }
+    }
+
+    #[test]
+    fn expect_survival_batch_validates_length_and_factors() {
+        assert_eq!(
+            expect_survival_batch(
+                1,
+                Message::SurvivalBatchReply { survivals: vec![0.5, 1.0], pruned: 3 },
+                2
+            )
+            .unwrap(),
+            (vec![0.5, 1.0], 3)
+        );
+        assert_eq!(
+            expect_survival_batch(
+                1,
+                Message::SurvivalBatchReply { survivals: vec![0.5], pruned: 0 },
+                2
+            ),
+            Err(Error::ProtocolViolation { site: 1, what: "survival batch length mismatch" })
+        );
+        assert_eq!(
+            expect_survival_batch(4, Message::Ack, 1),
+            Err(Error::ProtocolViolation { site: 4, what: "expected SurvivalBatchReply" })
+        );
+        for bad in [f64::NAN, -0.1, 1.5] {
+            assert!(expect_survival_batch(
+                0,
+                Message::SurvivalBatchReply { survivals: vec![1.0, bad], pruned: 0 },
+                2
+            )
+            .is_err());
         }
     }
 

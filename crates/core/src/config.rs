@@ -71,6 +71,76 @@ impl std::str::FromStr for FailurePolicy {
     }
 }
 
+/// How many candidates the coordinator coalesces into one
+/// [`FeedbackBatch`](dsud_net::Message::FeedbackBatch) frame per
+/// Server-Delivery round.
+///
+/// Batching is a pure transport optimization: the coordinator draws the
+/// whole batch from its queue *before* any of the batch's feedback is
+/// sent, so results, probabilities, and pruning decisions are bit-identical
+/// to [`BatchSize::Fixed`]`(1)` — only message and byte counts change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BatchSize {
+    /// Ship exactly `K ≥ 1` candidates per round (fewer when the queue
+    /// holds fewer eligible candidates). `Fixed(1)` is the classic
+    /// one-candidate round of the paper's Section 5.1.
+    Fixed(usize),
+    /// Grow the batch with the candidate queue: each round ships
+    /// `min(queue depth, 16)` candidates, so a deep queue amortizes frames
+    /// while a draining queue degrades gracefully to single-candidate
+    /// rounds.
+    Auto,
+}
+
+impl Default for BatchSize {
+    fn default() -> Self {
+        BatchSize::Fixed(1)
+    }
+}
+
+impl BatchSize {
+    /// Largest batch `auto` mode will coalesce into one frame.
+    pub const AUTO_MAX: usize = 16;
+
+    /// The batch budget for a round given the current candidate-queue
+    /// depth. Always at least 1.
+    pub fn budget(&self, queue_depth: usize) -> usize {
+        match self {
+            BatchSize::Fixed(k) => (*k).max(1),
+            BatchSize::Auto => queue_depth.clamp(1, Self::AUTO_MAX),
+        }
+    }
+
+    /// Stable lowercase name (`"1"`, `"16"`, `"auto"`), as accepted by the
+    /// [`std::str::FromStr`] impl.
+    pub fn name(&self) -> String {
+        match self {
+            BatchSize::Fixed(k) => k.to_string(),
+            BatchSize::Auto => "auto".to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BatchSize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+impl std::str::FromStr for BatchSize {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s == "auto" {
+            return Ok(BatchSize::Auto);
+        }
+        match s.parse::<usize>() {
+            Ok(k) if k >= 1 => Ok(BatchSize::Fixed(k)),
+            _ => Err(Error::InvalidArgument("unknown batch size (expected a count >= 1 or auto)")),
+        }
+    }
+}
+
 /// Configuration of one distributed skyline query.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct QueryConfig {
@@ -93,6 +163,12 @@ pub struct QueryConfig {
     /// field existed, hence the serde default.
     #[serde(default)]
     pub failure: FailurePolicy,
+    /// Candidates coalesced per Server-Delivery round. Defaults to
+    /// [`BatchSize::Fixed`]`(1)` (the paper's one-candidate round); absent
+    /// in configs serialized before the field existed, hence the serde
+    /// default. Batching never changes the answer — see [`BatchSize`].
+    #[serde(default)]
+    pub batch: BatchSize,
 }
 
 impl QueryConfig {
@@ -112,12 +188,19 @@ impl QueryConfig {
             limit: None,
             synopsis: None,
             failure: FailurePolicy::Strict,
+            batch: BatchSize::default(),
         })
     }
 
     /// Selects the site-failure policy.
     pub fn failure_policy(mut self, failure: FailurePolicy) -> Self {
         self.failure = failure;
+        self
+    }
+
+    /// Selects the candidate batch size per Server-Delivery round.
+    pub fn batch_size(mut self, batch: BatchSize) -> Self {
+        self.batch = batch;
         self
     }
 
@@ -253,5 +336,30 @@ mod tests {
         let json = r#"{"q":0.3,"mask":null,"bound":"Paper","limit":null,"synopsis":null}"#;
         let cfg: QueryConfig = serde_json::from_str(json).unwrap();
         assert_eq!(cfg.failure, FailurePolicy::Strict);
+        assert_eq!(cfg.batch, BatchSize::Fixed(1));
+    }
+
+    #[test]
+    fn batch_size_round_trips_through_names() {
+        for (name, batch) in
+            [("1", BatchSize::Fixed(1)), ("16", BatchSize::Fixed(16)), ("auto", BatchSize::Auto)]
+        {
+            let parsed: BatchSize = name.parse().expect("known batch size");
+            assert_eq!(parsed, batch);
+            assert_eq!(batch.name(), name);
+            assert_eq!(batch.to_string(), name);
+        }
+        assert!(matches!("0".parse::<BatchSize>(), Err(Error::InvalidArgument(_))));
+        assert!(matches!("many".parse::<BatchSize>(), Err(Error::InvalidArgument(_))));
+    }
+
+    #[test]
+    fn batch_budget_follows_queue_depth() {
+        assert_eq!(BatchSize::Fixed(1).budget(100), 1);
+        assert_eq!(BatchSize::Fixed(4).budget(1), 4);
+        assert_eq!(BatchSize::Fixed(0).budget(5), 1); // degenerate, clamped
+        assert_eq!(BatchSize::Auto.budget(0), 1);
+        assert_eq!(BatchSize::Auto.budget(7), 7);
+        assert_eq!(BatchSize::Auto.budget(1000), BatchSize::AUTO_MAX);
     }
 }

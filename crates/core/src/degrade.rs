@@ -172,6 +172,32 @@ impl FailureTracker {
             }
         }
     }
+
+    /// Interprets a batched survival reply (or transport failure) from
+    /// `site`. The reply must carry exactly `expected` factors — one per
+    /// probe in the feedback batch — or the site is treated as violating
+    /// the protocol. `Ok(None)` means the site is lost and contributes no
+    /// factor to any probe in the batch.
+    pub(crate) fn survival_batch(
+        &mut self,
+        site: usize,
+        reply: Result<dsud_net::Message, LinkError>,
+        expected: usize,
+    ) -> Result<Option<(Vec<f64>, u64)>, Error> {
+        match reply {
+            Ok(msg) => match crate::cluster::expect_survival_batch(site as u32, msg, expected) {
+                Ok(pair) => Ok(Some(pair)),
+                Err(e) => {
+                    self.protocol_failure(site, e)?;
+                    Ok(None)
+                }
+            },
+            Err(e) => {
+                self.transport_failure(site, e)?;
+                Ok(None)
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -213,6 +239,21 @@ mod tests {
         assert_eq!(tracker.upload(0, Err(LinkError::Timeout)).unwrap(), None);
         assert_eq!(tracker.survival(1, Ok(Message::Ack)).unwrap(), None);
         assert!(!tracker.is_active(0) && !tracker.is_active(1));
+    }
+
+    #[test]
+    fn survival_batch_checks_length_and_quarantines_on_mismatch() {
+        let mut tracker = FailureTracker::new(3, FailurePolicy::Degrade, Recorder::disabled());
+        let good = Message::SurvivalBatchReply { survivals: vec![0.5, 0.75], pruned: 2 };
+        assert_eq!(tracker.survival_batch(0, Ok(good), 2).unwrap(), Some((vec![0.5, 0.75], 2)));
+        // Too few factors: the site broke protocol and is quarantined.
+        let short = Message::SurvivalBatchReply { survivals: vec![0.5], pruned: 0 };
+        assert_eq!(tracker.survival_batch(1, Ok(short), 2).unwrap(), None);
+        assert!(!tracker.is_active(1));
+        // Strict mode aborts on the same mismatch.
+        let mut strict = FailureTracker::new(3, FailurePolicy::Strict, Recorder::disabled());
+        let short = Message::SurvivalBatchReply { survivals: vec![0.5], pruned: 0 };
+        assert!(strict.survival_batch(1, Ok(short), 2).is_err());
     }
 
     #[test]

@@ -11,20 +11,60 @@
 //! *feedback*: sites drop pending candidates whose accumulated upper bound
 //! falls below `q` (Local-Pruning phase).
 //!
+//! With a batch size above one ([`BatchSize`]), a round draws up to `K`
+//! heads and coalesces their feedback into one
+//! [`Message::FeedbackBatch`] frame per site — same answer, ~`K×` fewer
+//! messages (see `crate::batch` for the invariant that keeps the runs
+//! bit-identical).
+//!
 //! Termination is safe once `L` empties or its head's local probability
 //! falls below `q`: by Corollary 1 every unfetched tuple is bounded by
 //! that head.
 
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 use std::time::Instant;
 
 use dsud_net::{BandwidthMeter, Link, Message, TupleMsg};
 use dsud_obs::Counter;
 use dsud_uncertain::{SkylineEntry, SubspaceMask};
 
+use crate::batch::BatchRound;
 use crate::degrade::FailureTracker;
-use crate::{Error, FailurePolicy, ProgressLog, QueryOutcome, RunStats};
+use crate::{BatchSize, Error, FailurePolicy, ProgressLog, QueryOutcome, RunStats};
 
-/// Runs DSUD over the given site links under the strict failure policy.
+/// A candidate in the server's priority queue `L`, ordered so that a
+/// max-heap pops the largest local skyline probability first, ties broken
+/// toward the lowest tuple id. This replaces a linear `argmax` scan per
+/// round with an `O(log m)` pop/push pair.
+struct QueueEntry(TupleMsg);
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0
+            .local_prob
+            .partial_cmp(&other.0.local_prob)
+            .expect("probabilities are finite")
+            .then_with(|| other.0.id.cmp(&self.0.id))
+    }
+}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for QueueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for QueueEntry {}
+
+/// Runs DSUD over the given site links under the strict failure policy
+/// with the paper's one-candidate rounds.
 ///
 /// `links[i]` must address site `i`; `q` must lie in `(0, 1]` and `mask`
 /// must fit the sites' data space (both validated by
@@ -41,10 +81,10 @@ pub fn run(
     mask: SubspaceMask,
     limit: Option<usize>,
 ) -> Result<QueryOutcome, Error> {
-    run_with_policy(links, meter, q, mask, limit, FailurePolicy::Strict)
+    run_with_policy(links, meter, q, mask, limit, FailurePolicy::Strict, BatchSize::default())
 }
 
-/// [`run`] with an explicit site-failure policy. Under
+/// [`run`] with an explicit site-failure policy and batch size. Under
 /// [`FailurePolicy::Degrade`] a site whose transport stays broken after
 /// retries is quarantined — excluded from every later broadcast and refill
 /// — and the query completes over the survivors with
@@ -62,6 +102,7 @@ pub fn run_with_policy(
     mask: SubspaceMask,
     limit: Option<usize>,
     policy: FailurePolicy,
+    batch: BatchSize,
 ) -> Result<QueryOutcome, Error> {
     if !(q > 0.0 && q <= 1.0) {
         return Err(Error::InvalidThreshold(q));
@@ -79,67 +120,123 @@ pub fn run_with_policy(
     // skyline and sends its best representative. The broadcast fans the
     // extraction across sites (replies stay in link order, so the queue is
     // identical to a sequential poll).
-    let mut queue: Vec<TupleMsg> = Vec::with_capacity(links.len());
+    let mut queue: BinaryHeap<QueueEntry> = BinaryHeap::with_capacity(links.len());
     {
         let _span = rec.span("to-server:start");
         for (x, reply) in dsud_net::broadcast(links, |_| true, &Message::Start { q, mask }) {
             if let Some(t) = tracker.upload(x, reply)? {
-                queue.push(t);
+                queue.push(QueueEntry(t));
             }
         }
     }
 
-    // Head of L each iteration: the candidate with the largest local
-    // skyline probability (ties broken by id for determinism).
-    while let Some(head_idx) = argmax_local(&queue) {
-        if queue[head_idx].local_prob < q {
-            // Corollary 1: nothing fetched or unfetched can still qualify.
-            break;
-        }
+    // Corollary 1: once the head's local probability falls below `q`,
+    // nothing fetched or unfetched can still qualify.
+    'rounds: while queue.peek().is_some_and(|h| h.0.local_prob >= q) {
         let round_span = rec.span("round");
         rec.incr(Counter::Rounds);
-        let cand = queue.swap_remove(head_idx);
-        stats.iterations += 1;
-        stats.broadcasts += 1;
-        rec.incr(Counter::FeedbackBroadcasts);
+        let budget = batch.budget(queue.len());
 
-        // Server-Delivery phase: assemble the exact global probability.
-        // The broadcast is put in flight on every other site at once, so
-        // concurrent transports overlap the survival computations.
-        // Quarantined sites are skipped: their factors are lost, which is
-        // exactly what makes a degraded answer an upper bound.
-        let mut global = cand.local_prob;
-        let home = cand.id.site.0 as usize;
+        if budget == 1 {
+            // The paper's one-candidate round, wire-identical to the
+            // pre-batching protocol.
+            let cand = queue.pop().expect("peek succeeded").0;
+            stats.iterations += 1;
+            stats.broadcasts += 1;
+            rec.incr(Counter::FeedbackBroadcasts);
+
+            // Server-Delivery phase: assemble the exact global
+            // probability. The broadcast is put in flight on every other
+            // site at once, so concurrent transports overlap the survival
+            // computations. Quarantined sites are skipped: their factors
+            // are lost, which is exactly what makes a degraded answer an
+            // upper bound.
+            let mut global = cand.local_prob;
+            let home = cand.id.site.0 as usize;
+            {
+                let _span = rec.span("server-delivery");
+                let active = |x: usize| x != home && tracker.is_active(x);
+                for (x, reply) in
+                    dsud_net::broadcast(links, active, &Message::Feedback(cand.clone()))
+                {
+                    if let Some((survival, pruned)) = tracker.survival(x, reply)? {
+                        global *= survival;
+                        stats.pruned_at_sites += pruned;
+                        rec.add(Counter::PrunedAtSites, pruned);
+                    }
+                }
+            }
+
+            if global >= q {
+                skyline.push(SkylineEntry { tuple: cand.to_tuple(), probability: global });
+                let transmitted = meter.snapshot().since(&start_traffic).tuples_transmitted();
+                rec.progressive(cand.id.site.0, cand.id.seq, global, transmitted);
+                progress.push(cand.id, global, transmitted, started.elapsed());
+                if limit.is_some_and(|k| skyline.len() >= k) {
+                    drop(round_span);
+                    break;
+                }
+            }
+
+            // Next To-Server phase: refill from the consumed site (unless
+            // it was quarantined mid-round — its slot simply stays empty).
+            let _span = rec.span("to-server");
+            if tracker.is_active(home) {
+                let reply = links[home].call(Message::RequestNext);
+                if let Some(next) = tracker.upload(home, reply)? {
+                    queue.push(QueueEntry(next));
+                }
+            }
+            continue;
+        }
+
+        // Batched round: draw up to `budget` heads, refilling after each
+        // draw exactly as the one-candidate protocol does. The ledger
+        // flushes a site's pending feedback right before its refill, so
+        // every site observes the unbatched event order (see
+        // [`crate::batch`]).
+        let mut round = BatchRound::new(links.len(), budget);
         {
-            let _span = rec.span("server-delivery");
-            let active = |x: usize| x != home && tracker.is_active(x);
-            for (x, reply) in dsud_net::broadcast(links, active, &Message::Feedback(cand.clone())) {
-                if let Some((survival, pruned)) = tracker.survival(x, reply)? {
-                    global *= survival;
-                    stats.pruned_at_sites += pruned;
-                    rec.add(Counter::PrunedAtSites, pruned);
+            let _span = rec.span("to-server");
+            while round.len() < budget && queue.peek().is_some_and(|h| h.0.local_prob >= q) {
+                let cand = queue.pop().expect("peek succeeded").0;
+                stats.iterations += 1;
+                stats.broadcasts += 1;
+                rec.incr(Counter::FeedbackBroadcasts);
+                let home = cand.id.site.0 as usize;
+                round.push(cand);
+                round.deliver(links, home, &mut tracker, &mut stats, &rec)?;
+                if tracker.is_active(home) {
+                    let reply = links[home].call(Message::RequestNext);
+                    if let Some(next) = tracker.upload(home, reply)? {
+                        queue.push(QueueEntry(next));
+                    }
                 }
             }
         }
-
-        if global >= q {
-            skyline.push(SkylineEntry { tuple: cand.to_tuple(), probability: global });
-            let transmitted = meter.snapshot().since(&start_traffic).tuples_transmitted();
-            rec.progressive(cand.id.site.0, cand.id.seq, global, transmitted);
-            progress.push(cand.id, global, transmitted, started.elapsed());
-            if limit.is_some_and(|k| skyline.len() >= k) {
-                drop(round_span);
-                break;
-            }
+        if round.len() > 1 {
+            rec.incr(Counter::BatchedRounds);
         }
 
-        // Next To-Server phase: refill from the consumed site (unless it
-        // was quarantined mid-round — its queue slot simply stays empty).
-        let _span = rec.span("to-server");
-        if tracker.is_active(home) {
-            let reply = links[home].call(Message::RequestNext);
-            if let Some(next) = tracker.upload(home, reply)? {
-                queue.push(next);
+        // Server-Delivery phase: one coalesced frame per remaining site,
+        // all in flight at once.
+        {
+            let _span = rec.span("server-delivery");
+            round.deliver_all(links, &mut tracker, &mut stats, &rec)?;
+        }
+
+        for j in 0..round.len() {
+            let global = round.global_probability(j);
+            if global >= q {
+                let cand = round.candidate(j);
+                skyline.push(SkylineEntry { tuple: cand.to_tuple(), probability: global });
+                let transmitted = meter.snapshot().since(&start_traffic).tuples_transmitted();
+                rec.progressive(cand.id.site.0, cand.id.seq, global, transmitted);
+                progress.push(cand.id, global, transmitted, started.elapsed());
+                if limit.is_some_and(|k| skyline.len() >= k) {
+                    drop(round_span);
+                    break 'rounds;
+                }
             }
         }
     }
@@ -153,20 +250,6 @@ pub fn run_with_policy(
         degraded: tracker.degraded(),
         sites: tracker.statuses(),
     })
-}
-
-/// Index of the queue entry with the largest local skyline probability.
-fn argmax_local(queue: &[TupleMsg]) -> Option<usize> {
-    queue
-        .iter()
-        .enumerate()
-        .max_by(|(_, a), (_, b)| {
-            a.local_prob
-                .partial_cmp(&b.local_prob)
-                .expect("probabilities are finite")
-                .then_with(|| b.id.cmp(&a.id))
-        })
-        .map(|(i, _)| i)
 }
 
 #[cfg(test)]
@@ -183,10 +266,15 @@ mod tests {
     }
 
     #[test]
-    fn argmax_prefers_probability_then_lowest_id() {
-        let queue = vec![msg(0, 0, 0.5), msg(1, 0, 0.9), msg(2, 0, 0.9)];
-        assert_eq!(argmax_local(&queue), Some(1));
-        assert_eq!(argmax_local(&[]), None);
+    fn heap_pops_by_probability_then_lowest_id() {
+        let mut queue = BinaryHeap::new();
+        for m in [msg(0, 0, 0.5), msg(1, 0, 0.9), msg(2, 0, 0.9)] {
+            queue.push(QueueEntry(m));
+        }
+        let order: Vec<(u32, f64)> =
+            std::iter::from_fn(|| queue.pop()).map(|e| (e.0.id.site.0, e.0.local_prob)).collect();
+        assert_eq!(order, vec![(1, 0.9), (2, 0.9), (0, 0.5)]);
+        assert!(queue.pop().is_none());
     }
 
     #[test]

@@ -31,9 +31,10 @@ use dsud_net::{BandwidthMeter, Link, Message, TupleMsg};
 use dsud_obs::Counter;
 use dsud_uncertain::{dominates_in, SkylineEntry, SubspaceMask};
 
+use crate::batch::BatchRound;
 use crate::degrade::FailureTracker;
 use crate::synopsis::SynopsisBound;
-use crate::{BoundMode, Error, FailurePolicy, ProgressLog, QueryOutcome, RunStats};
+use crate::{BatchSize, BoundMode, Error, FailurePolicy, ProgressLog, QueryOutcome, RunStats};
 
 /// A queued candidate with its per-site broadcast discounts.
 #[derive(Debug, Clone)]
@@ -121,7 +122,17 @@ pub fn run(
     mode: BoundMode,
     limit: Option<usize>,
 ) -> Result<QueryOutcome, Error> {
-    run_with_synopses(links, meter, q, mask, mode, limit, None, FailurePolicy::Strict)
+    run_with_synopses(
+        links,
+        meter,
+        q,
+        mask,
+        mode,
+        limit,
+        None,
+        FailurePolicy::Strict,
+        BatchSize::default(),
+    )
 }
 
 /// [`run`] with optional per-site grid synopses of the given resolution
@@ -146,6 +157,7 @@ pub fn run_with_synopses(
     limit: Option<usize>,
     synopsis_resolution: Option<u16>,
     policy: FailurePolicy,
+    batch: BatchSize,
 ) -> Result<QueryOutcome, Error> {
     if !(q > 0.0 && q <= 1.0) {
         return Err(Error::InvalidThreshold(q));
@@ -192,9 +204,117 @@ pub fn run_with_synopses(
         }
     }
 
-    loop {
+    'rounds: loop {
         let round_span = rec.span("round");
         rec.incr(Counter::Rounds);
+        let budget = batch.budget(queue.len());
+
+        if budget > 1 {
+            // Batched round: interleave expunge, selection, and refill
+            // exactly as the one-candidate protocol below, flushing each
+            // site's pending feedback immediately before any refill
+            // request to it (see `crate::batch` for why that keeps the
+            // run bit-identical). The broadcasts themselves are deferred
+            // into one coalesced frame per site.
+            let mut round = BatchRound::new(links.len(), budget);
+            let mut finished = false;
+            while round.len() < budget && !finished {
+                {
+                    let _span = rec.span("expunge");
+                    loop {
+                        let bounds: Vec<f64> =
+                            queue.iter().map(|c| c.bound(&queue, mask, mode, &synopses)).collect();
+                        let mut replaced_any = false;
+                        for idx in (0..queue.len()).rev() {
+                            if bounds[idx] < q {
+                                let gone = queue.swap_remove(idx);
+                                stats.expunged += 1;
+                                stats.iterations += 1;
+                                rec.incr(Counter::Expunged);
+                                let home = gone.msg.id.site.0 as usize;
+                                round.deliver(links, home, &mut tracker, &mut stats, &rec)?;
+                                if !tracker.is_active(home) {
+                                    continue;
+                                }
+                                let reply = links[home].call(Message::RequestNext);
+                                if let Some(next) = tracker.upload(home, reply)? {
+                                    queue.push(Candidate::new(next, &history, mask));
+                                    replaced_any = true;
+                                }
+                            }
+                        }
+                        if !replaced_any {
+                            break;
+                        }
+                    }
+                }
+
+                let bounds: Vec<f64> =
+                    queue.iter().map(|c| c.bound(&queue, mask, mode, &synopses)).collect();
+                let Some(head_idx) = argmax(&bounds, &queue) else {
+                    finished = true;
+                    break;
+                };
+                if bounds[head_idx] < q {
+                    // Defensive, mirroring the one-candidate round below.
+                    continue;
+                }
+                let cand = queue.swap_remove(head_idx);
+                stats.iterations += 1;
+                stats.broadcasts += 1;
+                rec.incr(Counter::FeedbackBroadcasts);
+                let home = cand.msg.id.site.0 as usize;
+
+                // The drawn tuple discounts everything it dominates right
+                // away — only its wire transmission is deferred.
+                for c in &mut queue {
+                    c.absorb_broadcast(&cand.msg, mask);
+                }
+                history.push(cand.msg.clone());
+                round.push(cand.msg);
+
+                {
+                    let _span = rec.span("to-server");
+                    round.deliver(links, home, &mut tracker, &mut stats, &rec)?;
+                    if tracker.is_active(home) {
+                        let reply = links[home].call(Message::RequestNext);
+                        if let Some(next) = tracker.upload(home, reply)? {
+                            queue.push(Candidate::new(next, &history, mask));
+                        }
+                    }
+                }
+                if queue.is_empty() {
+                    finished = true;
+                }
+            }
+
+            if round.len() > 1 {
+                rec.incr(Counter::BatchedRounds);
+            }
+            {
+                let _span = rec.span("server-delivery");
+                round.deliver_all(links, &mut tracker, &mut stats, &rec)?;
+            }
+            for j in 0..round.len() {
+                let global = round.global_probability(j);
+                if global >= q {
+                    let t = round.candidate(j);
+                    skyline.push(SkylineEntry { tuple: t.to_tuple(), probability: global });
+                    let transmitted = meter.snapshot().since(&start_traffic).tuples_transmitted();
+                    rec.progressive(t.id.site.0, t.id.seq, global, transmitted);
+                    progress.push(t.id, global, transmitted, started.elapsed());
+                    if limit.is_some_and(|k| skyline.len() >= k) {
+                        drop(round_span);
+                        break 'rounds;
+                    }
+                }
+            }
+            if finished || round.is_empty() {
+                break;
+            }
+            continue;
+        }
+
         // Expunge phase: drop every candidate whose bound fails q, pulling
         // replacements until the picture stabilizes.
         {

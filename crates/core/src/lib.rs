@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+mod batch;
 mod cluster;
 mod config;
 pub mod degrade;
@@ -68,7 +69,7 @@ pub mod synopsis;
 pub mod update;
 
 pub use cluster::{Cluster, QueryOutcome, RunStats, Transport};
-pub use config::{BoundMode, FailurePolicy, QueryConfig, SiteOptions, UpdatePolicy};
+pub use config::{BatchSize, BoundMode, FailurePolicy, QueryConfig, SiteOptions, UpdatePolicy};
 pub use degrade::{QuarantineReason, SiteStatus};
 pub use error::Error;
 pub use progress::{ProgressEvent, ProgressLog};

@@ -185,12 +185,38 @@ impl LocalSite {
     /// global threshold (Corollary 1 applied to the accumulated bound) and
     /// are dropped.
     fn feedback(&mut self, msg: &TupleMsg) -> Message {
-        let mask = self
-            .query
+        let mask = self.active_mask();
+        let survival = self.tree.survival_product(&msg.values, mask);
+        let pruned = self.apply_feedback_pruning(msg, mask);
+        Message::SurvivalReply { survival, pruned }
+    }
+
+    /// Batched Server-Delivery: answer `K` feedbacks from one coalesced
+    /// frame. All `K` survival products come from a single shared PR-tree
+    /// traversal ([`PrTree::survival_products`]), then the `K` pruning
+    /// passes run in batch order — survival products read only the tree,
+    /// which feedback never mutates, so the reply and the site's pending
+    /// queue are bit-identical to `K` back-to-back [`Message::Feedback`]s.
+    fn feedback_batch(&mut self, msgs: &[TupleMsg]) -> Message {
+        let mask = self.active_mask();
+        let probes: Vec<&[f64]> = msgs.iter().map(|m| m.values.as_slice()).collect();
+        let mut survivals = Vec::new();
+        self.tree.survival_products(&probes, mask, self.scratch.multi_probe(), &mut survivals);
+        let mut pruned = 0;
+        for msg in msgs {
+            pruned += self.apply_feedback_pruning(msg, mask);
+        }
+        Message::SurvivalBatchReply { survivals, pruned }
+    }
+
+    fn active_mask(&self) -> SubspaceMask {
+        self.query
             .as_ref()
             .map(|a| a.mask)
-            .unwrap_or_else(|| SubspaceMask::full(self.dims).expect("dims validated at build"));
-        let survival = self.tree.survival_product(&msg.values, mask);
+            .unwrap_or_else(|| SubspaceMask::full(self.dims).expect("dims validated at build"))
+    }
+
+    fn apply_feedback_pruning(&mut self, msg: &TupleMsg, mask: SubspaceMask) -> u64 {
         let mut pruned = 0;
         if let Some(active) = self.query.as_mut() {
             if self.options.pruning && msg.id.site != self.id {
@@ -215,7 +241,7 @@ impl LocalSite {
                 active.pruned.append(&mut graveyard);
             }
         }
-        Message::SurvivalReply { survival, pruned }
+        pruned
     }
 
     fn inject_insert(&mut self, msg: &TupleMsg) -> Message {
@@ -325,6 +351,7 @@ impl Service for LocalSite {
             Message::Start { q, mask } => self.start(q, mask),
             Message::RequestNext => self.next_candidate(),
             Message::Feedback(t) => self.feedback(&t),
+            Message::FeedbackBatch(ts) => self.feedback_batch(&ts),
             Message::InjectInsert(t) => self.inject_insert(&t),
             Message::InjectDelete(t) => self.inject_delete(&t),
             Message::RegionQuery(t) => self.region_query(&t),
@@ -353,6 +380,7 @@ impl Service for LocalSite {
             // buggy coordinator cannot take down a site thread.
             Message::Upload(_)
             | Message::SurvivalReply { .. }
+            | Message::SurvivalBatchReply { .. }
             | Message::NotifyInsert(_)
             | Message::NotifyDelete(_)
             | Message::RegionReply(_)
@@ -468,6 +496,53 @@ mod tests {
         assert_eq!(site.pending_candidates(), 2);
         let Message::Upload(Some(t)) = site.handle(Message::RequestNext) else { panic!() };
         assert_eq!(t.values, vec![3.0, 8.0]);
+    }
+
+    #[test]
+    fn feedback_batch_is_bit_identical_to_back_to_back_feedbacks() {
+        let feedbacks: Vec<TupleMsg> = vec![
+            TupleMsg::new(&tuple(1, 0, vec![7.5, 3.5], 0.3), 0.3),
+            TupleMsg::new(&tuple(1, 1, vec![10.0, 10.0], 0.5), 0.5),
+            TupleMsg::new(&tuple(1, 2, vec![7.5, 3.5], 0.3), 0.3),
+            TupleMsg::new(&tuple(2, 0, vec![2.0, 7.5], 0.4), 0.4),
+        ];
+
+        let mut single = paper_site_s1();
+        single.handle(Message::Start { q: 0.3, mask: full(2) });
+        let mut expected_survivals = Vec::new();
+        let mut expected_pruned = 0;
+        for f in &feedbacks {
+            let Message::SurvivalReply { survival, pruned } =
+                single.handle(Message::Feedback(f.clone()))
+            else {
+                panic!()
+            };
+            expected_survivals.push(survival);
+            expected_pruned += pruned;
+        }
+
+        let mut batched = paper_site_s1();
+        batched.handle(Message::Start { q: 0.3, mask: full(2) });
+        let Message::SurvivalBatchReply { survivals, pruned } =
+            batched.handle(Message::FeedbackBatch(feedbacks))
+        else {
+            panic!()
+        };
+        assert_eq!(
+            survivals.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+            expected_survivals.iter().map(|s| s.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(pruned, expected_pruned);
+        assert_eq!(batched.pending_candidates(), single.pending_candidates());
+        // The surviving queues stream identically afterwards.
+        loop {
+            let a = batched.handle(Message::RequestNext);
+            let b = single.handle(Message::RequestNext);
+            assert_eq!(a, b);
+            if matches!(a, Message::Upload(None)) {
+                break;
+            }
+        }
     }
 
     #[test]

@@ -61,5 +61,6 @@ pub use message::{Message, SynopsisMsg, TrafficClass, TupleMsg};
 pub use meter::{BandwidthMeter, Counters, MeterSnapshot};
 pub use retry::{HealthSnapshot, LinkHealth, RetryLink};
 pub use transport::{
-    broadcast, ChannelLink, FaultMode, FaultyLink, Link, LinkConfig, LinkError, LocalLink, Service,
+    broadcast, scatter, ChannelLink, FaultMode, FaultyLink, Link, LinkConfig, LinkError, LocalLink,
+    Service,
 };

@@ -65,7 +65,7 @@ impl TupleMsg {
         buf.put_f64(self.local_prob);
     }
 
-    fn decode(buf: &mut Bytes) -> Option<Self> {
+    fn decode(buf: &mut impl Buf) -> Option<Self> {
         if buf.remaining() < 14 {
             return None;
         }
@@ -127,7 +127,7 @@ impl SynopsisMsg {
         }
     }
 
-    fn decode(buf: &mut Bytes) -> Option<Self> {
+    fn decode(buf: &mut impl Buf) -> Option<Self> {
         if buf.remaining() < 4 {
             return None;
         }
@@ -219,6 +219,28 @@ pub enum Message {
     /// rather than surfacing it to protocol code, so a corrupted frame is a
     /// retryable transport fault instead of a dead site thread.
     DecodeError,
+    /// `H → site`: a coalesced candidate broadcast — `K` feedbacks of one
+    /// batched round in a single frame (one syscall on TCP instead of `K`).
+    ///
+    /// The site must process the candidates *in order* and answer with one
+    /// [`Message::SurvivalBatchReply`] whose `survivals[k]` corresponds to
+    /// the `k`-th candidate here. Survival products are computed against
+    /// the site's tree alone, and local feedback pruning is applied after
+    /// each candidate exactly as if the `K` candidates had arrived as `K`
+    /// back-to-back [`Message::Feedback`] messages — so a batched round is
+    /// bit-identical to an unbatched one.
+    FeedbackBatch(Vec<TupleMsg>),
+    /// `site → H`: reply to a [`Message::FeedbackBatch`] — one survival
+    /// product per batched candidate (in batch order) plus the total number
+    /// of local candidates the batch pruned (telemetry only).
+    SurvivalBatchReply {
+        /// `survivals[k]` is `∏_{t' ∈ D_x, t' ≺ t_k} (1 − P(t'))` for the
+        /// `k`-th candidate of the batch.
+        survivals: Vec<f64>,
+        /// Number of local skyline tuples the whole batch eliminated
+        /// (summed over the `K` feedbacks, in batch order).
+        pruned: u64,
+    },
 }
 
 /// Traffic classes used by the [`crate::BandwidthMeter`].
@@ -243,8 +265,10 @@ impl Message {
     pub fn class(&self) -> TrafficClass {
         match self {
             Message::Upload(_) => TrafficClass::Upload,
-            Message::Feedback(_) => TrafficClass::Feedback,
-            Message::SurvivalReply { .. } => TrafficClass::Reply,
+            Message::Feedback(_) | Message::FeedbackBatch(_) => TrafficClass::Feedback,
+            Message::SurvivalReply { .. } | Message::SurvivalBatchReply { .. } => {
+                TrafficClass::Reply
+            }
             Message::Start { .. } | Message::RequestNext | Message::Ack | Message::DecodeError => {
                 TrafficClass::Control
             }
@@ -267,7 +291,9 @@ impl Message {
             Message::Upload(Some(_)) | Message::Feedback(_) => 1,
             Message::NotifyInsert(_) | Message::NotifyDelete(_) => 1,
             Message::ReplicaAdd(_) | Message::ReplicaRemove(_) | Message::RegionQuery(_) => 1,
-            Message::ReplicaSync(tuples) | Message::RegionReply(tuples) => tuples.len() as u64,
+            Message::ReplicaSync(tuples)
+            | Message::RegionReply(tuples)
+            | Message::FeedbackBatch(tuples) => tuples.len() as u64,
             // Synopses are charged their tuple-equivalent weight — the
             // honest cost the paper's Section 5.2 worries about.
             Message::Synopsis(s) => s.tuple_equivalents(),
@@ -280,6 +306,17 @@ impl Message {
     /// Serializes the message into its binary wire form.
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(self.encoded_len());
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Serializes the message into a caller-owned buffer, clearing it
+    /// first. Transports that send many frames over one connection keep a
+    /// single [`BytesMut`] alive and re-encode into it, so a batched round
+    /// costs one write per site without any per-frame allocation.
+    pub fn encode_into(&self, mut buf: &mut BytesMut) {
+        buf.clear();
+        buf.reserve(self.encoded_len());
         match self {
             Message::Start { q, mask } => {
                 buf.put_u8(0);
@@ -353,8 +390,22 @@ impl Message {
                 syn.encode(&mut buf);
             }
             Message::DecodeError => buf.put_u8(18),
+            Message::FeedbackBatch(tuples) => {
+                buf.put_u8(19);
+                buf.put_u32(tuples.len() as u32);
+                for t in tuples {
+                    t.encode(&mut buf);
+                }
+            }
+            Message::SurvivalBatchReply { survivals, pruned } => {
+                buf.put_u8(20);
+                buf.put_u32(survivals.len() as u32);
+                for &s in survivals {
+                    buf.put_f64(s);
+                }
+                buf.put_u64(*pruned);
+            }
         }
-        buf.freeze()
     }
 
     /// Size of the binary wire form, in bytes.
@@ -372,7 +423,10 @@ impl Message {
             | Message::InjectInsert(t)
             | Message::InjectDelete(t) => t.encoded_len(),
             Message::SurvivalReply { .. } => 16,
-            Message::ReplicaSync(tuples) | Message::RegionReply(tuples) => {
+            Message::SurvivalBatchReply { survivals, .. } => 4 + 8 * survivals.len() + 8,
+            Message::ReplicaSync(tuples)
+            | Message::RegionReply(tuples)
+            | Message::FeedbackBatch(tuples) => {
                 4 + tuples.iter().map(TupleMsg::encoded_len).sum::<usize>()
             }
             Message::SynopsisRequest { .. } => 2,
@@ -383,7 +437,14 @@ impl Message {
     /// Deserializes a message from its binary wire form.
     ///
     /// Returns `None` for malformed input.
-    pub fn decode(mut buf: Bytes) -> Option<Self> {
+    pub fn decode(buf: Bytes) -> Option<Self> {
+        Self::decode_slice(&buf)
+    }
+
+    /// [`Message::decode`] over a borrowed buffer, so transports can reuse
+    /// one receive buffer across frames instead of handing each payload an
+    /// owned allocation.
+    pub fn decode_slice(mut buf: &[u8]) -> Option<Self> {
         if buf.is_empty() {
             return None;
         }
@@ -445,6 +506,28 @@ impl Message {
             }
             17 => Message::Synopsis(SynopsisMsg::decode(&mut buf)?),
             18 => Message::DecodeError,
+            19 => {
+                if buf.remaining() < 4 {
+                    return None;
+                }
+                let n = buf.get_u32() as usize;
+                let mut tuples = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    tuples.push(TupleMsg::decode(&mut buf)?);
+                }
+                Message::FeedbackBatch(tuples)
+            }
+            20 => {
+                if buf.remaining() < 4 {
+                    return None;
+                }
+                let n = buf.get_u32() as usize;
+                if buf.remaining() < 8 * n + 8 {
+                    return None;
+                }
+                let survivals = (0..n).map(|_| buf.get_f64()).collect();
+                Message::SurvivalBatchReply { survivals, pruned: buf.get_u64() }
+            }
             _ => return None,
         };
         if buf.has_remaining() {
@@ -496,6 +579,8 @@ mod tests {
             }),
             Message::Ack,
             Message::DecodeError,
+            Message::FeedbackBatch(vec![sample_tuple_msg(); 3]),
+            Message::SurvivalBatchReply { survivals: vec![0.9, 0.25, 1.0], pruned: 4 },
         ]
     }
 
@@ -506,6 +591,19 @@ mod tests {
             assert_eq!(bytes.len(), msg.encoded_len(), "{msg:?}");
             let back = Message::decode(bytes).expect("well-formed message");
             assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn pooled_buffers_roundtrip_identically() {
+        // One shared encode buffer across every message, decoded from the
+        // borrowed bytes: the pooled path must be byte-identical to the
+        // allocating one.
+        let mut buf = BytesMut::new();
+        for msg in all_messages() {
+            msg.encode_into(&mut buf);
+            assert_eq!(&buf[..], &msg.encode()[..], "{msg:?}");
+            assert_eq!(Message::decode_slice(&buf), Some(msg));
         }
     }
 
@@ -527,6 +625,25 @@ mod tests {
         assert_eq!(Message::SurvivalReply { survival: 0.5, pruned: 0 }.tuple_count(), 0);
         assert_eq!(Message::RequestNext.tuple_count(), 0);
         assert_eq!(Message::ReplicaSync(vec![sample_tuple_msg(); 5]).tuple_count(), 5);
+        // A batched feedback still ships K tuples — coalescing saves
+        // messages and header bytes, never the paper's tuple unit.
+        assert_eq!(Message::FeedbackBatch(vec![sample_tuple_msg(); 4]).tuple_count(), 4);
+        assert_eq!(
+            Message::SurvivalBatchReply { survivals: vec![0.5; 4], pruned: 2 }.tuple_count(),
+            0
+        );
+    }
+
+    #[test]
+    fn batched_variants_share_their_scalar_classes() {
+        assert_eq!(
+            Message::FeedbackBatch(vec![sample_tuple_msg()]).class(),
+            TrafficClass::Feedback
+        );
+        assert_eq!(
+            Message::SurvivalBatchReply { survivals: vec![1.0], pruned: 0 }.class(),
+            TrafficClass::Reply
+        );
     }
 
     #[test]

@@ -182,6 +182,36 @@ mod tests {
     }
 
     #[test]
+    fn batched_frame_meters_one_message_with_actual_encoded_length() {
+        // A coalesced FeedbackBatch is one frame on the wire: the meter must
+        // count it as a single message whose bytes equal the real encoded
+        // length, while still attributing every carried tuple.
+        let tuples: Vec<TupleMsg> = (0..7)
+            .map(|i| {
+                let t = UncertainTuple::new(
+                    TupleId::new(0, i),
+                    vec![1.0 + i as f64, 2.0],
+                    Probability::new(0.5).unwrap(),
+                )
+                .unwrap();
+                TupleMsg::new(&t, 0.25)
+            })
+            .collect();
+        let msg = Message::FeedbackBatch(tuples);
+        let meter = BandwidthMeter::new();
+        meter.record(&msg);
+        let snap = meter.snapshot();
+        assert_eq!(snap.feedback.messages, 1);
+        assert_eq!(snap.feedback.tuples, 7);
+        assert_eq!(snap.feedback.bytes, msg.encode().len() as u64);
+        let reply = Message::SurvivalBatchReply { survivals: vec![0.5; 7], pruned: 3 };
+        meter.record(&reply);
+        let snap = meter.snapshot();
+        assert_eq!(snap.reply.messages, 1);
+        assert_eq!(snap.reply.bytes, reply.encode().len() as u64);
+    }
+
+    #[test]
     fn records_by_class() {
         let meter = BandwidthMeter::new();
         meter.record(&sample_msg());

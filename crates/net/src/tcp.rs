@@ -47,7 +47,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use bytes::Bytes;
+use bytes::BytesMut;
 
 use crate::{BandwidthMeter, Link, LinkConfig, LinkError, Message, Service};
 
@@ -60,22 +60,33 @@ fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> io::Result<()> {
     stream.flush()
 }
 
-/// Reads one length-prefixed frame; `Ok(None)` on a clean end-of-stream at
-/// a frame boundary.
-fn read_frame(stream: &mut TcpStream) -> io::Result<Option<Vec<u8>>> {
+/// Reads one length-prefixed frame into a caller-owned buffer (resized to
+/// the payload length); `Ok(false)` on a clean end-of-stream at a frame
+/// boundary. Reusing the buffer keeps long request/reply conversations —
+/// and batched feedback rounds in particular — allocation-free per frame.
+fn read_frame_into(stream: &mut TcpStream, payload: &mut Vec<u8>) -> io::Result<bool> {
     let mut len_buf = [0u8; 4];
     match stream.read_exact(&mut len_buf) {
         Ok(()) => {}
-        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(false),
         Err(e) => return Err(e),
     }
     let len = u32::from_be_bytes(len_buf) as usize;
     if len > MAX_FRAME {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "frame exceeds limit"));
     }
-    let mut payload = vec![0u8; len];
-    stream.read_exact(&mut payload)?;
-    Ok(Some(payload))
+    payload.clear();
+    payload.resize(len, 0);
+    stream.read_exact(payload)?;
+    Ok(true)
+}
+
+/// Reads one length-prefixed frame; `Ok(None)` on a clean end-of-stream at
+/// a frame boundary.
+#[cfg(test)]
+fn read_frame(stream: &mut TcpStream) -> io::Result<Option<Vec<u8>>> {
+    let mut payload = Vec::new();
+    Ok(read_frame_into(stream, &mut payload)?.then_some(payload))
 }
 
 /// Upper bound on a frame (a ReplicaSync of thousands of wide tuples fits
@@ -96,6 +107,11 @@ pub struct TcpLink {
     config: LinkConfig,
     meter: BandwidthMeter,
     in_flight: bool,
+    /// Reusable encode buffer: frames are serialized here, written, and the
+    /// allocation kept for the next request.
+    send_buf: BytesMut,
+    /// Reusable receive buffer for reply payloads.
+    recv_buf: Vec<u8>,
 }
 
 impl TcpLink {
@@ -119,7 +135,15 @@ impl TcpLink {
         config: LinkConfig,
     ) -> io::Result<Self> {
         let stream = Self::dial(addr, config)?;
-        Ok(TcpLink { stream: Some(stream), addr, config, meter, in_flight: false })
+        Ok(TcpLink {
+            stream: Some(stream),
+            addr,
+            config,
+            meter,
+            in_flight: false,
+            send_buf: BytesMut::new(),
+            recv_buf: Vec::new(),
+        })
     }
 
     fn dial(addr: SocketAddr, config: LinkConfig) -> io::Result<TcpStream> {
@@ -132,10 +156,6 @@ impl TcpLink {
     /// The server address this link (re)connects to.
     pub fn addr(&self) -> SocketAddr {
         self.addr
-    }
-
-    fn stream(&mut self) -> Result<&mut TcpStream, LinkError> {
-        self.stream.as_mut().ok_or(LinkError::Disconnected)
     }
 
     /// Drops the connection so the next operation fails (or reconnects)
@@ -153,9 +173,11 @@ impl Link for TcpLink {
 
     fn begin(&mut self, msg: Message) -> Result<(), LinkError> {
         assert!(!self.in_flight, "request already outstanding");
-        let stream = self.stream()?;
-        let frame = msg.encode();
-        if let Err(e) = write_frame(stream, &frame) {
+        msg.encode_into(&mut self.send_buf);
+        let Some(stream) = self.stream.as_mut() else {
+            return Err(LinkError::Disconnected);
+        };
+        if let Err(e) = write_frame(stream, &self.send_buf) {
             self.poison();
             return Err(e.into());
         }
@@ -167,11 +189,13 @@ impl Link for TcpLink {
     fn complete(&mut self) -> Result<Message, LinkError> {
         assert!(self.in_flight, "no outstanding request");
         self.in_flight = false;
-        let stream = self.stream()?;
-        let payload = match read_frame(stream) {
-            Ok(Some(payload)) => payload,
+        let Some(stream) = self.stream.as_mut() else {
+            return Err(LinkError::Disconnected);
+        };
+        match read_frame_into(stream, &mut self.recv_buf) {
+            Ok(true) => {}
             // Clean EOF mid-request: the site closed on us.
-            Ok(None) => {
+            Ok(false) => {
                 self.poison();
                 return Err(LinkError::Disconnected);
             }
@@ -183,8 +207,8 @@ impl Link for TcpLink {
                 self.poison();
                 return Err(e.into());
             }
-        };
-        let reply = match Message::decode(Bytes::from(payload)) {
+        }
+        let reply = match Message::decode_slice(&self.recv_buf) {
             Some(reply) => reply,
             None => {
                 self.poison();
@@ -219,12 +243,15 @@ impl Link for TcpLink {
 /// Propagates socket errors.
 pub fn serve_connection<S: Service>(mut stream: TcpStream, service: &mut S) -> io::Result<()> {
     stream.set_nodelay(true)?;
-    while let Some(payload) = read_frame(&mut stream)? {
-        let reply = match Message::decode(Bytes::from(payload)) {
+    let mut recv_buf = Vec::new();
+    let mut send_buf = BytesMut::new();
+    while read_frame_into(&mut stream, &mut recv_buf)? {
+        let reply = match Message::decode_slice(&recv_buf) {
             Some(msg) => service.handle(msg),
             None => Message::DecodeError,
         };
-        write_frame(&mut stream, &reply.encode())?;
+        reply.encode_into(&mut send_buf);
+        write_frame(&mut stream, &send_buf)?;
     }
     Ok(())
 }
@@ -245,6 +272,8 @@ fn serve_client<S: Service>(
 ) -> io::Result<()> {
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(STOP_POLL))?;
+    let mut payload = Vec::new();
+    let mut send_buf = BytesMut::new();
     loop {
         // Wait until a whole header is buffered (or EOF / stop).
         let mut hdr = [0u8; 4];
@@ -269,7 +298,8 @@ fn serve_client<S: Service>(
         if len > MAX_FRAME {
             return Err(io::Error::new(io::ErrorKind::InvalidData, "frame exceeds limit"));
         }
-        let mut payload = vec![0u8; len];
+        payload.clear();
+        payload.resize(len, 0);
         let mut filled = 0;
         while filled < len {
             match stream.read(&mut payload[filled..]) {
@@ -285,11 +315,12 @@ fn serve_client<S: Service>(
                 Err(e) => return Err(e),
             }
         }
-        let reply = match Message::decode(Bytes::from(payload)) {
+        let reply = match Message::decode_slice(&payload) {
             Some(msg) => service.handle(msg),
             None => Message::DecodeError,
         };
-        write_frame(stream, &reply.encode())?;
+        reply.encode_into(&mut send_buf);
+        write_frame(stream, &send_buf)?;
     }
 }
 
@@ -377,6 +408,7 @@ pub fn spawn_site<S: Service + 'static>(mut service: S) -> io::Result<SiteServer
 mod tests {
     use super::*;
     use crate::{FaultMode, FaultyLink, RetryLink, TupleMsg};
+    use bytes::Bytes;
     use dsud_uncertain::{Probability, TupleId, UncertainTuple};
     use std::time::Duration;
 

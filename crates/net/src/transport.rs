@@ -245,6 +245,65 @@ where
         .collect()
 }
 
+/// Sends a *different* message to each listed link concurrently and
+/// collects the replies in request order.
+///
+/// This is the fan-out primitive behind batched feedback delivery: at the
+/// end of a batched round the coordinator sends each site its own
+/// coalesced [`Message::FeedbackBatch`] frame, so the per-site payloads
+/// differ but the round still completes in one parallel wave. Reply
+/// ordering and error placement mirror [`broadcast`] exactly (scoped
+/// parallel `call` when the pool has more than one worker and more than
+/// one request is in flight; otherwise begin-all then complete-all), so
+/// outcomes are identical at every pool size.
+///
+/// # Panics
+///
+/// Panics if two requests name the same link index — each link carries at
+/// most one outstanding request.
+pub fn scatter(
+    links: &mut [Box<dyn Link>],
+    requests: Vec<(usize, Message)>,
+) -> Vec<(usize, Result<Message, LinkError>)> {
+    let mut wanted: Vec<Option<Message>> = (0..links.len()).map(|_| None).collect();
+    for (i, msg) in requests {
+        assert!(wanted[i].replace(msg).is_none(), "duplicate scatter target {i}");
+    }
+    let selected: Vec<(usize, Message, &mut Box<dyn Link>)> = links
+        .iter_mut()
+        .enumerate()
+        .filter_map(|(i, link)| wanted[i].take().map(|msg| (i, msg, link)))
+        .collect();
+    if threadpool::pool_size() > 1 && selected.len() > 1 {
+        let mut replies = Vec::with_capacity(selected.len());
+        threadpool::scope(|s| {
+            let handles: Vec<_> = selected
+                .into_iter()
+                .map(|(i, msg, link)| s.spawn(move || (i, link.call(msg))))
+                .collect();
+            for h in handles {
+                replies.push(h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)));
+            }
+        });
+        return replies;
+    }
+    let mut pending: Vec<(usize, Result<&mut Box<dyn Link>, LinkError>)> =
+        Vec::with_capacity(selected.len());
+    for (i, msg, link) in selected {
+        match link.begin(msg) {
+            Ok(()) => pending.push((i, Ok(link))),
+            Err(e) => pending.push((i, Err(e))),
+        }
+    }
+    pending
+        .into_iter()
+        .map(|(i, slot)| match slot {
+            Ok(link) => (i, link.complete()),
+            Err(e) => (i, Err(e)),
+        })
+        .collect()
+}
+
 /// Deterministic in-process transport: the service runs inline on the
 /// caller's stack. Used by tests and the benchmark harness, where
 /// reproducibility matters more than concurrency.
@@ -864,6 +923,75 @@ mod tests {
         let replies = broadcast(&mut links, |i| i != 2, &Message::RequestNext);
         let indices: Vec<usize> = replies.iter().map(|(i, _)| *i).collect();
         assert_eq!(indices, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn scatter_sends_distinct_payloads_and_orders_replies() {
+        let meter = BandwidthMeter::new();
+        let mut links: Vec<Box<dyn Link>> =
+            (0..4).map(|_| Box::new(LocalLink::new(echo_service(), meter.clone())) as _).collect();
+        // Skip site 1; sites get different feedback payloads, echoed back as
+        // the survival so each reply proves which payload its site received.
+        let replies = scatter(
+            &mut links,
+            vec![(3, feedback_msg(0.3)), (0, feedback_msg(0.9)), (2, feedback_msg(0.6))],
+        );
+        assert_eq!(
+            replies,
+            vec![
+                (0, Ok(Message::SurvivalReply { survival: 0.9, pruned: 0 })),
+                (2, Ok(Message::SurvivalReply { survival: 0.6, pruned: 0 })),
+                (3, Ok(Message::SurvivalReply { survival: 0.3, pruned: 0 })),
+            ]
+        );
+    }
+
+    #[test]
+    fn scatter_replies_are_pool_size_invariant() {
+        let make_links = || -> Vec<Box<dyn Link>> {
+            let meter = BandwidthMeter::new();
+            (0..5)
+                .map(|site| {
+                    let mut seen = 0u64;
+                    let service = move |_msg: Message| {
+                        seen += 1;
+                        Message::SurvivalReply { survival: (site * 100 + seen) as f64, pruned: 0 }
+                    };
+                    let local = LocalLink::new(service, meter.clone());
+                    if site == 2 {
+                        Box::new(FaultyLink::new(local, FaultMode::Drop, 1)) as _
+                    } else {
+                        Box::new(FaultyLink::new(local, FaultMode::Stall(0), u64::MAX)) as _
+                    }
+                })
+                .collect()
+        };
+        let requests =
+            || vec![(0, feedback_msg(0.1)), (2, feedback_msg(0.2)), (4, feedback_msg(0.4))];
+        let reference = {
+            threadpool::set_pool_size(1);
+            let mut links = make_links();
+            let rounds: Vec<_> = (0..3).map(|_| scatter(&mut links, requests())).collect();
+            threadpool::set_pool_size(0);
+            rounds
+        };
+        assert!(reference.iter().flatten().any(|(_, r)| r.is_err()), "fault must fire");
+        for pool in [2usize, 8] {
+            threadpool::set_pool_size(pool);
+            let mut links = make_links();
+            let rounds: Vec<_> = (0..3).map(|_| scatter(&mut links, requests())).collect();
+            threadpool::set_pool_size(0);
+            assert_eq!(rounds, reference, "pool {pool}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate scatter target")]
+    fn scatter_rejects_duplicate_targets() {
+        let meter = BandwidthMeter::new();
+        let mut links: Vec<Box<dyn Link>> =
+            (0..2).map(|_| Box::new(LocalLink::new(echo_service(), meter.clone())) as _).collect();
+        let _ = scatter(&mut links, vec![(1, Message::RequestNext), (1, Message::RequestNext)]);
     }
 
     #[test]

@@ -38,7 +38,11 @@ use serde::{Deserialize, Serialize};
 /// * 3 — adds the fault-tolerance counters `link_retries`,
 ///   `link_timeouts`, and `quarantined_sites` to the counter snapshot.
 ///   Schema-1/2 files still deserialize (the new fields default to 0).
-pub const SCHEMA_VERSION: u32 = 3;
+/// * 4 — adds the candidate-batching counters `batched_rounds` and
+///   `multi_probe_node_visits` to the counter snapshot plus the run's
+///   `batch_size` configuration stamp. Schema-1/2/3 files still
+///   deserialize (counters default to 0, `batch_size` to `None`).
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Typed counters of the paper's cost model.
 ///
@@ -85,9 +89,16 @@ pub enum Counter {
     /// Sites quarantined by a degraded-mode coordinator after exhausting
     /// their retry budget.
     QuarantinedSites,
+    /// Coordinator rounds that shipped more than one candidate in a single
+    /// coalesced `FeedbackBatch` frame per site.
+    BatchedRounds,
+    /// PR-tree nodes visited by multi-probe survival traversals
+    /// ([`survival_products`](https://docs.rs/dsud-prtree)): each node is
+    /// counted once per traversal no matter how many probes needed it.
+    MultiProbeNodeVisits,
 }
 
-const COUNTER_COUNT: usize = 14;
+const COUNTER_COUNT: usize = 16;
 
 impl Counter {
     fn index(self) -> usize {
@@ -175,6 +186,14 @@ pub struct CounterSnapshot {
     /// schema 3.
     #[serde(default)]
     pub quarantined_sites: u64,
+    /// Final value of [`Counter::BatchedRounds`]. Absent (0) before
+    /// schema 4.
+    #[serde(default)]
+    pub batched_rounds: u64,
+    /// Final value of [`Counter::MultiProbeNodeVisits`]. Absent (0) before
+    /// schema 4.
+    #[serde(default)]
+    pub multi_probe_node_visits: u64,
 }
 
 impl CounterSnapshot {
@@ -194,6 +213,8 @@ impl CounterSnapshot {
             link_retries: c[Counter::LinkRetries.index()],
             link_timeouts: c[Counter::LinkTimeouts.index()],
             quarantined_sites: c[Counter::QuarantinedSites.index()],
+            batched_rounds: c[Counter::BatchedRounds.index()],
+            multi_probe_node_visits: c[Counter::MultiProbeNodeVisits.index()],
         }
     }
 
@@ -214,6 +235,8 @@ impl CounterSnapshot {
             Counter::LinkRetries => self.link_retries,
             Counter::LinkTimeouts => self.link_timeouts,
             Counter::QuarantinedSites => self.quarantined_sites,
+            Counter::BatchedRounds => self.batched_rounds,
+            Counter::MultiProbeNodeVisits => self.multi_probe_node_visits,
         }
     }
 }
@@ -245,6 +268,11 @@ pub struct RunReport {
     /// `None` otherwise.
     #[serde(default)]
     pub threads: Option<usize>,
+    /// Candidate batch size the coordinator ran with (`"1"`, `"16"`,
+    /// `"auto"`), stamped by the caller that knows it; `None` otherwise.
+    /// Absent before schema 4.
+    #[serde(default)]
+    pub batch_size: Option<String>,
     /// Progressive answer trace, in report order (timestamps are
     /// monotonically non-decreasing).
     pub progressive: Vec<ProgressSample>,
@@ -390,6 +418,7 @@ impl Recorder {
             progressive: state.progressive.clone(),
             transport: None,
             threads: None,
+            batch_size: None,
         })
     }
 }
@@ -595,6 +624,45 @@ mod tests {
         assert_eq!(report.counters.quarantined_sites, 0);
         assert_eq!(report.counters.get(Counter::LinkRetries), 0);
         assert_eq!(report.transport.as_deref(), Some("tcp"));
+    }
+
+    #[test]
+    fn schema_three_reports_deserialize_with_zero_batch_counters() {
+        // A schema-3 file predates the batching counters and the
+        // `batch_size` stamp; they must fill in as zero / `None`.
+        let json = r#"{
+            "schema_version": 3,
+            "algorithm": "dsud",
+            "wall_ms": 1.0,
+            "counters": {
+                "bytes_sent": 9, "messages": 4, "tuples_shipped": 2,
+                "feedback_broadcasts": 1, "rounds": 1, "expunged": 0,
+                "pruned_at_sites": 0, "prtree_nodes_visited": 0,
+                "prtree_pruned_subtrees": 0, "local_skyline_size": 0,
+                "progressive_results": 1, "link_retries": 0,
+                "link_timeouts": 0, "quarantined_sites": 0
+            },
+            "spans": [],
+            "phases": [],
+            "transport": "inline",
+            "threads": 1,
+            "progressive": []
+        }"#;
+        let report: RunReport = serde_json::from_str(json).unwrap();
+        assert_eq!(report.counters.batched_rounds, 0);
+        assert_eq!(report.counters.multi_probe_node_visits, 0);
+        assert_eq!(report.counters.get(Counter::BatchedRounds), 0);
+        assert_eq!(report.batch_size, None);
+    }
+
+    #[test]
+    fn batch_counters_flow_into_the_snapshot() {
+        let rec = Recorder::enabled();
+        rec.add(Counter::BatchedRounds, 5);
+        rec.add(Counter::MultiProbeNodeVisits, 70);
+        let report = rec.report("dsud").unwrap();
+        assert_eq!(report.counters.batched_rounds, 5);
+        assert_eq!(report.counters.multi_probe_node_visits, 70);
     }
 
     #[test]

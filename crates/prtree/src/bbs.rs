@@ -57,6 +57,17 @@ pub struct BbsScratch {
     heap: BinaryHeap<Reverse<(MinDist, usize)>>,
     stack: Vec<usize>,
     rows: Vec<usize>,
+    multi: crate::tree::MultiProbeScratch,
+}
+
+impl BbsScratch {
+    /// The multi-probe traversal buffers for
+    /// [`PrTree::survival_products`](crate::PrTree::survival_products),
+    /// so one site-held scratch serves both the BBS procedures and batched
+    /// feedback rounds.
+    pub fn multi_probe(&mut self) -> &mut crate::tree::MultiProbeScratch {
+        &mut self.multi
+    }
 }
 
 /// Computes the qualified local skyline `SKY(D_i)`: every tuple whose local

@@ -8,7 +8,7 @@
 //! of Section 6.3, Fig. 6), [`PrTree::dominators`], and range scans; the
 //! BBS local-skyline traversal lives in [`crate::bbs`].
 
-use dsud_obs::Recorder;
+use dsud_obs::{Counter, Recorder};
 use dsud_uncertain::{SubspaceMask, TupleId, UncertainTuple};
 
 use crate::node::{Node, NodeBody};
@@ -17,6 +17,31 @@ use crate::{Error, Summary};
 /// Default node fan-out (the paper's Fig. 5 uses capacity 3 for
 /// illustration; real trees use a few dozen).
 pub const DEFAULT_MAX_ENTRIES: usize = 32;
+
+/// Reusable buffers for [`PrTree::survival_products`], the multi-probe
+/// dominator-window traversal.
+///
+/// One level of buffers is kept per tree depth (the recursion reuses the
+/// level of the node it is visiting), so after the first call at a given
+/// depth the traversal allocates nothing. The buffers are cleared on
+/// entry; reuse never changes results.
+#[derive(Debug, Default)]
+pub struct MultiProbeScratch {
+    /// Probe indices still active at the traversal root.
+    roots: Vec<u32>,
+    /// Per-depth active sets and child partial products.
+    levels: Vec<MultiProbeLevel>,
+    /// Nodes visited by the current traversal.
+    visited: u64,
+}
+
+#[derive(Debug, Default)]
+struct MultiProbeLevel {
+    /// Probes that must recurse into the child under consideration.
+    active: Vec<u32>,
+    /// The child's standalone subtree factor per probe.
+    products: Vec<f64>,
+}
 
 /// A probabilistic R-tree over uncertain tuples.
 ///
@@ -251,6 +276,113 @@ impl PrTree {
         match self.root {
             None => 1.0,
             Some(root) => self.survival_rec(root, point, mask),
+        }
+    }
+
+    /// The survival products of `K` probe points in a *single* shared
+    /// traversal: each tree node is visited at most once no matter how many
+    /// probes need it, and a subtree is skipped only when it is prunable
+    /// (outside the dominator window, or fully inside it with its
+    /// pre-aggregated product usable) for *every* still-active probe.
+    ///
+    /// `out` is cleared and filled so that `out[k]` is bit-identical to
+    /// `self.survival_product(probes[k], mask)`: per probe, child subtree
+    /// factors are multiplied in exactly the same nested order as the
+    /// single-probe recursion, and leaf products come from the same
+    /// columnar kernel. Batching changes how many nodes are touched, never
+    /// what any probe observes.
+    ///
+    /// `scratch` holds the per-level active sets and partial products; it
+    /// is reused across calls so steady-state traversals allocate nothing.
+    /// When the tree's recorder is enabled, each visited node bumps
+    /// [`Counter::MultiProbeNodeVisits`] once per traversal.
+    pub fn survival_products(
+        &self,
+        probes: &[&[f64]],
+        mask: SubspaceMask,
+        scratch: &mut MultiProbeScratch,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.resize(probes.len(), 1.0);
+        let Some(root) = self.root else { return };
+        if probes.is_empty() {
+            return;
+        }
+        scratch.visited = 0;
+        scratch.roots.clear();
+        scratch.roots.extend(0..probes.len() as u32);
+        let roots = std::mem::take(&mut scratch.roots);
+        self.survival_products_rec(root, probes, &roots, mask, out, scratch, 0);
+        scratch.roots = roots;
+        if self.recorder.is_enabled() {
+            self.recorder.add(Counter::MultiProbeNodeVisits, scratch.visited);
+        }
+    }
+
+    fn survival_products_rec(
+        &self,
+        idx: usize,
+        probes: &[&[f64]],
+        active: &[u32],
+        mask: SubspaceMask,
+        out: &mut [f64],
+        scratch: &mut MultiProbeScratch,
+        depth: usize,
+    ) {
+        scratch.visited += 1;
+        match &self.node(idx).body {
+            // Per probe, the leaf product is the same columnar-kernel call
+            // the single-probe recursion makes, so it is bit-identical.
+            NodeBody::Leaf(leaf) => {
+                for &k in active {
+                    out[k as usize] = leaf.batch().survival_product(probes[k as usize], mask);
+                }
+            }
+            NodeBody::Internal(children) => {
+                for &k in active {
+                    out[k as usize] = 1.0;
+                }
+                if scratch.levels.len() <= depth {
+                    scratch.levels.resize_with(depth + 1, MultiProbeLevel::default);
+                }
+                let mut level = std::mem::take(&mut scratch.levels[depth]);
+                for (child, s) in children {
+                    level.active.clear();
+                    for &k in active {
+                        let probe = probes[k as usize];
+                        if !s.mbr.may_contain_dominator(probe, mask) {
+                            continue;
+                        }
+                        if s.mbr.fully_dominates(probe, mask) {
+                            out[k as usize] *= s.survival;
+                        } else {
+                            level.active.push(k);
+                        }
+                    }
+                    if !level.active.is_empty() {
+                        // The child's subtree factor must be computed as a
+                        // standalone nested product (starting at 1.0) and
+                        // only then multiplied in — flattening the
+                        // accumulation would change rounding.
+                        level.products.clear();
+                        level.products.resize(probes.len(), 1.0);
+                        self.survival_products_rec(
+                            *child,
+                            probes,
+                            &level.active,
+                            mask,
+                            &mut level.products,
+                            scratch,
+                            depth + 1,
+                        );
+                        for &k in &level.active {
+                            out[k as usize] *= level.products[k as usize];
+                        }
+                    }
+                }
+                scratch.levels[depth] = level;
+            }
         }
     }
 
@@ -770,6 +902,83 @@ mod tests {
                 assert!((expected - got).abs() < 1e-9);
             }
         }
+    }
+
+    #[test]
+    fn multi_probe_survivals_are_bit_identical_to_single_probe() {
+        for dims in [2, 3, 4] {
+            let tuples = random_tuples(600, dims, 21 + dims as u64);
+            let tree = PrTree::bulk_load(dims, tuples).unwrap();
+            let mask = full(dims);
+            let probe_tuples = random_tuples(37, dims, 123);
+            let probes: Vec<&[f64]> = probe_tuples.iter().map(|t| t.values()).collect();
+            let mut scratch = MultiProbeScratch::default();
+            let mut out = Vec::new();
+            tree.survival_products(&probes, mask, &mut scratch, &mut out);
+            assert_eq!(out.len(), probes.len());
+            for (k, probe) in probes.iter().enumerate() {
+                let single = tree.survival_product(probe, mask);
+                assert_eq!(
+                    out[k].to_bits(),
+                    single.to_bits(),
+                    "dims {dims}, probe {k}: batched {} vs single {single}",
+                    out[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_probe_survivals_match_on_subspaces() {
+        let tuples = random_tuples(400, 4, 31);
+        let tree = PrTree::bulk_load(4, tuples).unwrap();
+        let probe_tuples = random_tuples(16, 4, 17);
+        let probes: Vec<&[f64]> = probe_tuples.iter().map(|t| t.values()).collect();
+        let mut scratch = MultiProbeScratch::default();
+        let mut out = Vec::new();
+        for mask in [
+            SubspaceMask::from_dims(&[0]).unwrap(),
+            SubspaceMask::from_dims(&[1, 3]).unwrap(),
+            SubspaceMask::from_dims(&[0, 1, 2]).unwrap(),
+        ] {
+            tree.survival_products(&probes, mask, &mut scratch, &mut out);
+            for (k, probe) in probes.iter().enumerate() {
+                assert_eq!(out[k].to_bits(), tree.survival_product(probe, mask).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn multi_probe_on_empty_inputs() {
+        let tree = PrTree::new(2).unwrap();
+        let mut scratch = MultiProbeScratch::default();
+        let mut out = vec![0.25; 3];
+        // Empty tree: every probe survives with product 1.
+        tree.survival_products(&[&[1.0, 1.0], &[2.0, 2.0]], full(2), &mut scratch, &mut out);
+        assert_eq!(out, vec![1.0, 1.0]);
+        // Empty probe set: output empties.
+        let loaded = PrTree::bulk_load(2, random_tuples(50, 2, 3)).unwrap();
+        loaded.survival_products(&[], full(2), &mut scratch, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn multi_probe_shares_node_visits_and_counts_them() {
+        use dsud_obs::Recorder;
+        let mut tree = PrTree::bulk_load(3, random_tuples(2000, 3, 55)).unwrap();
+        let rec = Recorder::enabled();
+        tree.set_recorder(rec.clone());
+        let probe_tuples = random_tuples(8, 3, 77);
+        let probes: Vec<&[f64]> = probe_tuples.iter().map(|t| t.values()).collect();
+        let mut scratch = MultiProbeScratch::default();
+        let mut out = Vec::new();
+        tree.survival_products(&probes, full(3), &mut scratch, &mut out);
+        let shared = rec.counter(Counter::MultiProbeNodeVisits);
+        assert!(shared >= 1, "traversal must visit at least the root");
+        // Shared traversal can never visit more nodes than the probes
+        // would visit independently, and each node at most once per call.
+        let (_, node_count) = tree.shape();
+        assert!(shared <= node_count as u64);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 
-use dsud_prtree::{bbs, PrTree};
+use dsud_prtree::{bbs, MultiProbeScratch, PrTree};
 use dsud_uncertain::{
     probabilistic_skyline, Probability, SubspaceMask, TupleId, UncertainDb, UncertainTuple,
 };
@@ -42,6 +42,35 @@ proptest! {
         let expected = db.survival_product(&probe);
         let got = tree.survival_product(&probe, mask);
         prop_assert!((expected - got).abs() < 1e-9, "{expected} vs {got}");
+    }
+
+    /// The multi-probe traversal is bit-identical to K independent
+    /// single-probe calls, on the full space and on random subspaces, for
+    /// any node capacity — the invariant that makes batched feedback
+    /// rounds safe.
+    #[test]
+    fn survival_products_equal_independent_calls(
+        tuples in arb_tuples(3, 150),
+        probe_rows in prop::collection::vec(prop::collection::vec(0.0f64..100.0, 3), 1..24),
+        dim_bits in 1u8..8,
+        cap in 2usize..12,
+    ) {
+        let tree = PrTree::bulk_load_with(3, tuples, cap).unwrap();
+        let dims: Vec<usize> = (0..3).filter(|d| dim_bits & (1 << d) != 0).collect();
+        let mask = SubspaceMask::from_dims(&dims).unwrap();
+        let probes: Vec<&[f64]> = probe_rows.iter().map(|p| p.as_slice()).collect();
+        let mut scratch = MultiProbeScratch::default();
+        let mut out = Vec::new();
+        // Reuse the scratch across both masks to exercise buffer reuse.
+        for m in [SubspaceMask::full(3).unwrap(), mask] {
+            tree.survival_products(&probes, m, &mut scratch, &mut out);
+            prop_assert_eq!(out.len(), probes.len());
+            for (k, probe) in probes.iter().enumerate() {
+                let single = tree.survival_product(probe, m);
+                prop_assert_eq!(out[k].to_bits(), single.to_bits(),
+                    "probe {} batched {} vs single {}", k, out[k], single);
+            }
+        }
     }
 
     /// BBS local skylines equal the naive threshold skyline.

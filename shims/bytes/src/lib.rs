@@ -116,6 +116,11 @@ pub struct BytesMut {
 }
 
 impl BytesMut {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        BytesMut { data: Vec::new() }
+    }
+
     /// Creates an empty builder with the given capacity.
     pub fn with_capacity(cap: usize) -> Self {
         BytesMut { data: Vec::with_capacity(cap) }
@@ -134,6 +139,30 @@ impl BytesMut {
     /// Converts the builder into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
+    }
+
+    /// Clears the buffer, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Reserves capacity for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
     }
 }
 
@@ -185,6 +214,40 @@ impl Buf for Bytes {
     }
 }
 
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        take_slice_array::<1>(self)[0]
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        u16::from_be_bytes(take_slice_array(self))
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(take_slice_array(self))
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(take_slice_array(self))
+    }
+
+    fn get_f64(&mut self) -> f64 {
+        f64::from_be_bytes(take_slice_array(self))
+    }
+}
+
+fn take_slice_array<const N: usize>(buf: &mut &[u8]) -> [u8; N] {
+    assert!(buf.len() >= N, "buffer underflow");
+    let mut out = [0u8; N];
+    out.copy_from_slice(&buf[..N]);
+    *buf = &buf[N..];
+    out
+}
+
 /// Big-endian write accessors over a growable buffer.
 pub trait BufMut {
     /// Appends raw bytes.
@@ -215,6 +278,12 @@ pub trait BufMut {
 impl BufMut for BytesMut {
     fn put_slice(&mut self, bytes: &[u8]) {
         self.data.extend_from_slice(bytes);
+    }
+}
+
+impl<T: BufMut + ?Sized> BufMut for &mut T {
+    fn put_slice(&mut self, bytes: &[u8]) {
+        (**self).put_slice(bytes);
     }
 }
 

@@ -1,0 +1,160 @@
+//! The batching contract: coalescing `K` candidates per feedback round
+//! (`--batch K`) must never change the answer. Skyline contents and order,
+//! exact probabilities (to the bit), per-site prune counters, and tuple
+//! traffic must all match the `--batch 1` run at every batch size, pool
+//! size, and transport — only *message* and *byte* counts may shrink.
+//!
+//! Progress-event traffic stamps are legitimately excluded from the
+//! comparison: a batched round reports its results after the round's
+//! coalesced frames, so the "tuples transmitted so far" watermark at each
+//! report differs even though the reported tuples and totals do not.
+
+use dsud_core::{BatchSize, Cluster, QueryConfig, QueryOutcome, Recorder, SiteOptions, Transport};
+use dsud_data::WorkloadSpec;
+use dsud_uncertain::TupleId;
+
+const N: usize = 1_500;
+const DIMS: usize = 3;
+const SITES: usize = 8;
+const Q: f64 = 0.3;
+
+fn sites() -> Vec<Vec<dsud_uncertain::UncertainTuple>> {
+    WorkloadSpec::new(N, DIMS).seed(42).generate_partitioned(SITES).expect("workload generates")
+}
+
+/// Everything batching must preserve: the skyline (ids, bit-exact
+/// probabilities, report order), the progress sequence (minus traffic
+/// stamps), and the paper's bandwidth measure in tuples.
+fn fingerprint(outcome: &QueryOutcome) -> (Vec<(TupleId, u64)>, Vec<(TupleId, u64)>, u64) {
+    let skyline: Vec<(TupleId, u64)> =
+        outcome.skyline.iter().map(|e| (e.tuple.id(), e.probability.to_bits())).collect();
+    let progress: Vec<(TupleId, u64)> =
+        outcome.progress.events().iter().map(|e| (e.id, e.probability.to_bits())).collect();
+    (skyline, progress, outcome.tuples_transmitted())
+}
+
+fn run(batch: BatchSize, transport: Transport, pool: usize, edsud: bool) -> QueryOutcome {
+    threadpool::set_pool_size(pool);
+    let mut cluster = Cluster::with_transport(
+        DIMS,
+        sites(),
+        SiteOptions::default(),
+        Recorder::default(),
+        transport,
+    )
+    .expect("cluster builds");
+    let config = QueryConfig::new(Q).expect("valid threshold").batch_size(batch);
+    let outcome = if edsud { cluster.run_edsud(&config) } else { cluster.run_dsud(&config) };
+    threadpool::set_pool_size(0);
+    outcome.expect("query runs")
+}
+
+const BATCHES: [BatchSize; 3] = [BatchSize::Fixed(4), BatchSize::Fixed(16), BatchSize::Auto];
+
+#[test]
+fn dsud_batched_outcome_is_bit_identical_to_unbatched() {
+    let reference = run(BatchSize::Fixed(1), Transport::Inline, 1, false);
+    assert!(!reference.skyline.is_empty(), "workload must produce a non-trivial skyline");
+    for batch in BATCHES {
+        for (transport, pools) in [
+            (Transport::Inline, &[1usize, 2, 8][..]),
+            (Transport::Threaded, &[2][..]),
+            (Transport::Tcp, &[2][..]),
+        ] {
+            for &pool in pools {
+                let outcome = run(batch, transport, pool, false);
+                assert_eq!(
+                    fingerprint(&outcome),
+                    fingerprint(&reference),
+                    "batch {batch} {transport} pool {pool}"
+                );
+                assert_eq!(outcome.stats, reference.stats, "batch {batch} {transport} pool {pool}");
+            }
+        }
+    }
+}
+
+#[test]
+fn edsud_batched_outcome_is_bit_identical_to_unbatched() {
+    let reference = run(BatchSize::Fixed(1), Transport::Inline, 1, true);
+    assert!(!reference.skyline.is_empty());
+    for batch in BATCHES {
+        for (transport, pools) in [
+            (Transport::Inline, &[1usize, 2, 8][..]),
+            (Transport::Threaded, &[2][..]),
+            (Transport::Tcp, &[2][..]),
+        ] {
+            for &pool in pools {
+                let outcome = run(batch, transport, pool, true);
+                assert_eq!(
+                    fingerprint(&outcome),
+                    fingerprint(&reference),
+                    "batch {batch} {transport} pool {pool}"
+                );
+                assert_eq!(outcome.stats, reference.stats, "batch {batch} {transport} pool {pool}");
+            }
+        }
+    }
+}
+
+/// The per-round message saving is `O(K·m) → O(m + K)`, so it grows with
+/// the site count; measure it at the paper's Table 3 scale (`m = 32` here,
+/// `m = 60` in the benchmarks) rather than the 8-site determinism matrix.
+fn run_wide(batch: BatchSize, edsud: bool) -> QueryOutcome {
+    let sites =
+        WorkloadSpec::new(N, DIMS).seed(42).generate_partitioned(32).expect("workload generates");
+    let mut cluster = Cluster::with_transport(
+        DIMS,
+        sites,
+        SiteOptions::default(),
+        Recorder::default(),
+        Transport::Inline,
+    )
+    .expect("cluster builds");
+    let config = QueryConfig::new(Q).expect("valid threshold").batch_size(batch);
+    let outcome = if edsud { cluster.run_edsud(&config) } else { cluster.run_dsud(&config) };
+    outcome.expect("query runs")
+}
+
+#[test]
+fn batching_cuts_messages_at_least_five_fold() {
+    for edsud in [false, true] {
+        let unbatched = run_wide(BatchSize::Fixed(1), edsud);
+        let batched = run_wide(BatchSize::Fixed(16), edsud);
+        assert_eq!(fingerprint(&batched), fingerprint(&unbatched));
+
+        let m1 = unbatched.traffic.total();
+        let m16 = batched.traffic.total();
+        // e-DSUD's traffic is dominated by expunge refills — one
+        // RequestNext/Upload pair per expunged candidate, which ships no
+        // feedback and so cannot be coalesced — hence its overall ratio
+        // sits below DSUD's even though its feedback frames shrink just
+        // as much.
+        let floor = if edsud { 2 } else { 5 };
+        assert!(
+            m16.messages * floor <= m1.messages,
+            "edsud={edsud}: {} batched messages vs {} unbatched (need {floor}x)",
+            m16.messages,
+            m1.messages
+        );
+        assert!(
+            m16.bytes < m1.bytes,
+            "edsud={edsud}: {} batched bytes vs {} unbatched",
+            m16.bytes,
+            m1.bytes
+        );
+        // The paper's tuple measure is untouched: the same tuples flow,
+        // just in fewer frames.
+        assert_eq!(m16.tuples, m1.tuples, "edsud={edsud}");
+    }
+}
+
+#[test]
+fn auto_batching_tracks_queue_depth() {
+    // With 8 sites the queue never exceeds 8 candidates, so `auto` rounds
+    // coalesce up to 8; outcomes still match the fixed-16 run exactly.
+    let auto = run(BatchSize::Auto, Transport::Inline, 1, false);
+    let fixed = run(BatchSize::Fixed(16), Transport::Inline, 1, false);
+    assert_eq!(fingerprint(&auto), fingerprint(&fixed));
+    assert_eq!(auto.stats, fixed.stats);
+}

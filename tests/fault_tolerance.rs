@@ -11,7 +11,7 @@
 
 use std::time::Duration;
 
-use dsud_core::{dsud, edsud, BoundMode, Error, LocalSite, SiteOptions, SubspaceMask};
+use dsud_core::{dsud, edsud, BatchSize, BoundMode, Error, LocalSite, SiteOptions, SubspaceMask};
 use dsud_core::{
     BandwidthMeter, Counter, FailurePolicy, Link, LinkConfig, LinkError, QuarantineReason,
     QueryOutcome, Recorder, RetryLink, Transport,
@@ -103,8 +103,15 @@ fn strict_drop_is_site_failed_on_every_transport() {
         let recorder = Recorder::disabled();
         let (mut links, meter, _servers) =
             faulty_cluster(transport, Some((1, FaultMode::Drop, 3)), &recorder);
-        let err =
-            dsud::run_with_policy(&mut links, &meter, 0.3, mask(), None, FailurePolicy::Strict);
+        let err = dsud::run_with_policy(
+            &mut links,
+            &meter,
+            0.3,
+            mask(),
+            None,
+            FailurePolicy::Strict,
+            BatchSize::Fixed(1),
+        );
         match err {
             Err(Error::SiteFailed { site: 1, source: LinkError::Timeout }) => {}
             other => panic!("{transport:?}: expected SiteFailed(Timeout) at site 1, got {other:?}"),
@@ -127,6 +134,7 @@ fn strict_disconnect_is_site_failed_on_every_transport() {
             None,
             None,
             FailurePolicy::Strict,
+            BatchSize::Fixed(1),
         );
         match err {
             Err(Error::SiteFailed { site: 2, source: LinkError::Disconnected }) => {}
@@ -153,6 +161,7 @@ fn degrade_quarantines_the_failed_site_and_completes() {
                 mask(),
                 None,
                 FailurePolicy::Degrade,
+                BatchSize::Fixed(1),
             )
             .unwrap_or_else(|e| panic!("{transport:?}/{fault:?}: degrade mode failed: {e}"));
             assert!(outcome.degraded, "{transport:?}/{fault:?}: outcome not marked degraded");
@@ -189,6 +198,7 @@ fn stall_within_budget_recovers_the_exact_healthy_answer() {
             None,
             None,
             FailurePolicy::Strict,
+            BatchSize::Fixed(1),
         )
         .unwrap();
 
@@ -206,6 +216,7 @@ fn stall_within_budget_recovers_the_exact_healthy_answer() {
             None,
             None,
             FailurePolicy::Strict,
+            BatchSize::Fixed(1),
         )
         .unwrap_or_else(|e| panic!("{transport:?}: stall within budget failed: {e}"));
 
@@ -233,7 +244,15 @@ fn strict_wrong_reply_is_a_protocol_violation_naming_the_site() {
     let recorder = Recorder::disabled();
     let (mut links, meter, _servers) =
         faulty_cluster(Transport::Inline, Some((1, FaultMode::WrongReply, 3)), &recorder);
-    let err = dsud::run_with_policy(&mut links, &meter, 0.3, mask(), None, FailurePolicy::Strict);
+    let err = dsud::run_with_policy(
+        &mut links,
+        &meter,
+        0.3,
+        mask(),
+        None,
+        FailurePolicy::Strict,
+        BatchSize::Fixed(1),
+    );
     assert!(matches!(err, Err(Error::ProtocolViolation { site: 1, .. })), "got {err:?}");
 }
 
@@ -251,6 +270,7 @@ fn degrade_wrong_reply_quarantines_with_a_protocol_reason() {
         None,
         None,
         FailurePolicy::Degrade,
+        BatchSize::Fixed(1),
     )
     .unwrap();
     assert!(outcome.degraded);
@@ -266,7 +286,15 @@ fn fault_on_first_contact_is_caught() {
     let recorder = Recorder::disabled();
     let (mut links, meter, _servers) =
         faulty_cluster(Transport::Inline, Some((0, FaultMode::WrongReply, 0)), &recorder);
-    let err = dsud::run_with_policy(&mut links, &meter, 0.3, mask(), None, FailurePolicy::Strict);
+    let err = dsud::run_with_policy(
+        &mut links,
+        &meter,
+        0.3,
+        mask(),
+        None,
+        FailurePolicy::Strict,
+        BatchSize::Fixed(1),
+    );
     assert!(matches!(err, Err(Error::ProtocolViolation { site: 0, .. })), "got {err:?}");
 }
 
@@ -285,6 +313,7 @@ fn healthy_budget_large_enough_means_success() {
         None,
         None,
         FailurePolicy::Strict,
+        BatchSize::Fixed(1),
     )
     .unwrap();
     assert!(!outcome.skyline.is_empty());
@@ -306,6 +335,7 @@ fn corrupted_survival_values_are_rejected() {
         None,
         None,
         FailurePolicy::Strict,
+        BatchSize::Fixed(1),
     );
     assert!(
         matches!(
@@ -382,8 +412,15 @@ fn killing_a_site_mid_query_is_site_failed_under_strict() {
     for transport in [Transport::Threaded, Transport::Tcp] {
         let recorder = Recorder::disabled();
         let (mut links, meter, _servers) = killed_site_cluster(transport, 1, 3, &recorder);
-        let err =
-            dsud::run_with_policy(&mut links, &meter, 0.3, mask(), None, FailurePolicy::Strict);
+        let err = dsud::run_with_policy(
+            &mut links,
+            &meter,
+            0.3,
+            mask(),
+            None,
+            FailurePolicy::Strict,
+            BatchSize::Fixed(1),
+        );
         match err {
             Err(Error::SiteFailed { site: 1, .. }) => {}
             other => panic!("{transport:?}: expected SiteFailed at site 1, got {other:?}"),
@@ -396,9 +433,16 @@ fn killing_a_site_mid_query_degrades_and_names_it() {
     for transport in [Transport::Threaded, Transport::Tcp] {
         let recorder = Recorder::enabled();
         let (mut links, meter, _servers) = killed_site_cluster(transport, 1, 3, &recorder);
-        let outcome =
-            dsud::run_with_policy(&mut links, &meter, 0.3, mask(), None, FailurePolicy::Degrade)
-                .unwrap_or_else(|e| panic!("{transport:?}: degrade mode failed: {e}"));
+        let outcome = dsud::run_with_policy(
+            &mut links,
+            &meter,
+            0.3,
+            mask(),
+            None,
+            FailurePolicy::Degrade,
+            BatchSize::Fixed(1),
+        )
+        .unwrap_or_else(|e| panic!("{transport:?}: degrade mode failed: {e}"));
         assert!(outcome.degraded, "{transport:?}: outcome not marked degraded");
         assert!(
             matches!(outcome.sites[1].quarantined, Some(QuarantineReason::Transport(_))),
@@ -422,9 +466,16 @@ fn retry_accounting_is_identical_across_pool_sizes_and_transports() {
         let recorder = Recorder::enabled();
         let (mut links, meter, _servers) =
             faulty_cluster(transport, Some((1, FaultMode::Drop, 6)), &recorder);
-        let outcome =
-            dsud::run_with_policy(&mut links, &meter, 0.3, mask(), None, FailurePolicy::Degrade)
-                .unwrap();
+        let outcome = dsud::run_with_policy(
+            &mut links,
+            &meter,
+            0.3,
+            mask(),
+            None,
+            FailurePolicy::Degrade,
+            BatchSize::Fixed(1),
+        )
+        .unwrap();
         threadpool::set_pool_size(0);
         (
             recorder.counter(Counter::LinkRetries),
