@@ -300,6 +300,7 @@ fn reports() {
         .expect("experiment queries succeed");
         let mut report = recorder.report(name).expect("recorder is enabled");
         report.batch_size = Some(config.batch.name());
+        report.pipeline = Some(config.pipeline.name());
         let path = PathBuf::from(format!("BENCH_{name}.json"));
         let json = serde_json::to_string_pretty(&report).expect("reports serialize");
         fs::write(&path, json).expect("can write run report");
@@ -400,6 +401,127 @@ fn batching() {
         }
     }
     dump_json("batching", &rows);
+}
+
+/// Pipelined rounds: wall-clock of the query phase with an injected
+/// per-request delay (`DSUD_PIPELINE_DELAY_MS`, default 2 ms), window 1
+/// vs `auto`, DSUD and e-DSUD at Table 3 defaults. A sequential round
+/// pays the survival scatter and the refill back to back; the pipelined
+/// round issues the refill before the scatter, so the two delays overlap.
+/// The answer is asserted identical — pipelining is a pure latency
+/// optimization.
+fn pipeline() {
+    use std::time::{Duration, Instant};
+
+    use dsud_core::{
+        dsud, edsud, BandwidthMeter, BatchSize, BoundMode, FailurePolicy, Link, LinkConfig,
+        LocalSite, PipelineDepth, QueryOutcome, SiteOptions, SubspaceMask,
+    };
+    use dsud_net::{ChannelLink, DelayedService};
+
+    let delay_ms = std::env::var("DSUD_PIPELINE_DELAY_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(2);
+    let delay = Duration::from_millis(delay_ms);
+    println!(
+        "\n== Pipelined rounds: query wall-clock at Table 3 defaults, {delay_ms} ms/request =="
+    );
+    let spec = ExpSpec::table3_defaults();
+    let mask = SubspaceMask::full(spec.d).expect("valid dims");
+
+    #[derive(Serialize)]
+    struct Row {
+        algo: String,
+        pipeline: String,
+        wall_ms: f64,
+        speedup: f64,
+        answers: usize,
+    }
+    let mut rows = Vec::new();
+    println!(
+        "{:<8} {:>9} {:>12} {:>9} {:>9}",
+        "algo", "pipeline", "wall(ms)", "speedup", "answers"
+    );
+    for algo in [Algo::Dsud, Algo::Edsud] {
+        let mut reference: Option<(Vec<(u64, u64)>, f64)> = None;
+        for window in [PipelineDepth::Fixed(1), PipelineDepth::Auto] {
+            let meter = BandwidthMeter::default();
+            let mut links: Vec<Box<dyn Link>> = Vec::new();
+            for (i, tuples) in spec.generate(0).into_iter().enumerate() {
+                let site = LocalSite::new(i as u32, spec.d, tuples, SiteOptions::default())
+                    .expect("experiment sites are valid");
+                links.push(Box::new(ChannelLink::spawn_with(
+                    DelayedService::new(site, delay),
+                    meter.clone(),
+                    LinkConfig::default(),
+                )));
+            }
+            let started = Instant::now();
+            let outcome: QueryOutcome = match algo {
+                Algo::Dsud => dsud::run_with_policy(
+                    &mut links,
+                    &meter,
+                    spec.q,
+                    mask,
+                    None,
+                    FailurePolicy::Strict,
+                    BatchSize::Fixed(1),
+                    window,
+                ),
+                _ => edsud::run_with_synopses(
+                    &mut links,
+                    &meter,
+                    spec.q,
+                    mask,
+                    BoundMode::Paper,
+                    None,
+                    None,
+                    FailurePolicy::Strict,
+                    BatchSize::Fixed(1),
+                    window,
+                ),
+            }
+            .expect("experiment queries succeed");
+            let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+            let answer: Vec<(u64, u64)> = outcome
+                .skyline
+                .iter()
+                .map(|e| (e.tuple.id().seq, e.probability.to_bits()))
+                .collect();
+            let speedup = match &reference {
+                None => {
+                    reference = Some((answer, wall_ms));
+                    1.0
+                }
+                Some((r, wall_1)) => {
+                    assert_eq!(
+                        &answer,
+                        r,
+                        "{}: pipeline {window} changed the answer",
+                        algo.label()
+                    );
+                    wall_1 / wall_ms
+                }
+            };
+            println!(
+                "{:<8} {:>9} {:>12.1} {:>8.2}x {:>9}",
+                algo.label(),
+                window.to_string(),
+                wall_ms,
+                speedup,
+                outcome.skyline.len()
+            );
+            rows.push(Row {
+                algo: algo.label().to_string(),
+                pipeline: window.to_string(),
+                wall_ms,
+                speedup,
+                answers: outcome.skyline.len(),
+            });
+        }
+    }
+    dump_json("pipeline", &rows);
 }
 
 /// Eqs. 6–8: estimated vs measured skyline cardinality and the
@@ -535,5 +657,8 @@ fn main() {
     }
     if want("batching") {
         batching();
+    }
+    if want("pipeline") {
+        pipeline();
     }
 }

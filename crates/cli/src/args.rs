@@ -1,7 +1,7 @@
 use std::collections::HashMap;
 use std::path::PathBuf;
 
-use dsud_core::{BatchSize, FailurePolicy, Transport};
+use dsud_core::{BatchSize, FailurePolicy, PipelineDepth, Transport};
 
 use crate::CliError;
 
@@ -74,6 +74,10 @@ pub enum Command {
         /// Candidates coalesced per feedback round (`--batch <K>` or
         /// `--batch auto`); never changes the answer.
         batch: BatchSize,
+        /// In-flight request window per link (`--pipeline <W>` or
+        /// `--pipeline auto`); W > 1 overlaps each round's scatter with
+        /// the next round's refills without changing the answer.
+        pipeline: PipelineDepth,
     },
     /// Run the vertically partitioned UTA query over a workload file.
     Vertical {
@@ -117,7 +121,7 @@ USAGE:
   dsud query    --input <FILE> [--sites <M>] [--q <Q>] [--algorithm dsud|edsud|baseline]
                 [--subspace 0,2,...] [--limit <K>] [--seed <S>] [--report <FILE>]
                 [--transport inline|threaded|tcp] [--failure strict|degrade]
-                [--batch <K>|auto]
+                [--batch <K>|auto] [--pipeline <W>|auto]
   dsud vertical --input <FILE> [--q <Q>]
   dsud stream   --input <FILE> [--q <Q>] [--window <W>] [--every <K>]
   dsud estimate [--n <N>] [--dims <D>] [--sites <M>]
@@ -227,6 +231,12 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 })?,
                 None => BatchSize::default(),
             };
+            let pipeline = match get("pipeline") {
+                Some(v) => v.parse::<PipelineDepth>().map_err(|_| {
+                    CliError::Usage(format!("--pipeline expects a window >= 1 or auto, got '{v}'"))
+                })?,
+                None => PipelineDepth::default(),
+            };
             Ok(Command::Query {
                 input: PathBuf::from(input),
                 sites: parse_num("sites", 8)?,
@@ -239,6 +249,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 transport,
                 failure,
                 batch,
+                pipeline,
             })
         }
         "vertical" => {
@@ -334,6 +345,7 @@ mod tests {
             transport,
             failure,
             batch,
+            pipeline,
             ..
         } = parse(&argv("query --input d.jsonl")).unwrap()
         else {
@@ -345,6 +357,21 @@ mod tests {
         assert_eq!(transport, Transport::Inline);
         assert_eq!(failure, FailurePolicy::Strict);
         assert_eq!(batch, BatchSize::Fixed(1));
+        assert_eq!(pipeline, PipelineDepth::Fixed(1));
+    }
+
+    #[test]
+    fn parses_pipeline_depths() {
+        for (flag, expected) in [("8", PipelineDepth::Fixed(8)), ("auto", PipelineDepth::Auto)] {
+            let Command::Query { pipeline, .. } =
+                parse(&argv(&format!("query --input d.jsonl --pipeline {flag}"))).unwrap()
+            else {
+                panic!()
+            };
+            assert_eq!(pipeline, expected);
+        }
+        assert!(parse(&argv("query --input d.jsonl --pipeline 0")).is_err());
+        assert!(parse(&argv("query --input d.jsonl --pipeline deep")).is_err());
     }
 
     #[test]

@@ -5,8 +5,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use dsud_core::{
-    baseline, BandwidthMeter, BatchSize, Cluster, FailurePolicy, QueryConfig, QueryOutcome,
-    Recorder, SiteOptions, SubspaceMask, Transport,
+    baseline, BandwidthMeter, BatchSize, Cluster, FailurePolicy, PipelineDepth, QueryConfig,
+    QueryOutcome, Recorder, SiteOptions, SubspaceMask, Transport,
 };
 use dsud_data::nyse::NyseSpec;
 use dsud_data::{partition_uniform, ProbabilityLaw, SpatialDistribution, WorkloadSpec};
@@ -42,6 +42,7 @@ pub fn run<W: Write>(cmd: &Command, out: &mut W) -> Result<(), CliError> {
             transport,
             failure,
             batch,
+            pipeline,
         } => query(
             input,
             *sites,
@@ -54,6 +55,7 @@ pub fn run<W: Write>(cmd: &Command, out: &mut W) -> Result<(), CliError> {
             *transport,
             *failure,
             *batch,
+            *pipeline,
             out,
         ),
         Command::Vertical { input, q } => vertical(input, *q, out),
@@ -154,6 +156,7 @@ fn query<W: Write>(
     transport: Transport,
     failure: FailurePolicy,
     batch: BatchSize,
+    pipeline: PipelineDepth,
     out: &mut W,
 ) -> Result<(), CliError> {
     let tuples = read_tuples(input)?;
@@ -163,7 +166,8 @@ fn query<W: Write>(
     let mut rng = StdRng::seed_from_u64(seed);
     let partitioned = partition_uniform(rows, sites, &mut rng)?;
 
-    let mut config = QueryConfig::new(q)?.failure_policy(failure).batch_size(batch);
+    let mut config =
+        QueryConfig::new(q)?.failure_policy(failure).batch_size(batch).pipeline_depth(pipeline);
     if let Some(dims_spec) = subspace {
         config = config.subspace(SubspaceMask::from_dims(dims_spec)?);
     }
@@ -215,6 +219,7 @@ fn query<W: Write>(
         run_report.transport = Some(used_transport.to_string());
         run_report.threads = Some(threadpool::pool_size());
         run_report.batch_size = Some(batch.name());
+        run_report.pipeline = Some(pipeline.name());
         let json = serde_json::to_string_pretty(&run_report)
             .map_err(|e| CliError::Library(format!("cannot serialize run report: {e}")))?;
         fs::write(path, json)?;
@@ -384,6 +389,7 @@ mod tests {
                 Transport::Inline,
                 FailurePolicy::Strict,
                 BatchSize::Fixed(4),
+                PipelineDepth::Auto,
                 &mut out,
             )
             .unwrap();
@@ -397,6 +403,9 @@ mod tests {
             assert_eq!(report.transport.as_deref(), Some("inline"));
             assert_eq!(report.threads, Some(threadpool::pool_size()));
             assert_eq!(report.batch_size.as_deref(), Some("4"));
+            assert_eq!(report.pipeline.as_deref(), Some("auto"));
+            assert_eq!(report.counters.pipeline_depth, 2, "auto resolves to the double buffer");
+            assert!(report.counters.overlapped_rounds > 0);
             assert!(!report.phases.is_empty(), "per-phase totals are aggregated");
             fs::remove_file(&path).unwrap();
         }

@@ -24,7 +24,7 @@
 //! accumulation loop — so the reported probabilities are `f64`
 //! bit-identical as well.
 
-use dsud_net::{Link, LinkError, Message, TupleMsg};
+use dsud_net::{Link, LinkError, Message, Ticket, TupleMsg};
 use dsud_obs::{Counter, Recorder};
 
 use crate::degrade::FailureTracker;
@@ -87,7 +87,9 @@ impl BatchRound {
 
     /// Files a site's batched survival reply into the matrix (or
     /// quarantines the site, in which case its factors stay `None`).
-    fn absorb_reply(
+    /// `idxs` must be the batch indices returned by the matching
+    /// [`BatchRound::deliver_send`].
+    pub(crate) fn absorb_reply(
         &mut self,
         x: usize,
         idxs: &[usize],
@@ -127,6 +129,28 @@ impl BatchRound {
         }
         let reply = links[x].call(Message::FeedbackBatch(msgs));
         self.absorb_reply(x, &idxs, reply, tracker, stats, rec)
+    }
+
+    /// Split-phase [`BatchRound::deliver`]: puts site `x`'s pending
+    /// sub-batch on the wire and returns the ticket (or send failure,
+    /// surfaced at completion) with the batch indices the eventual reply
+    /// covers. `None` when there is nothing to flush. The caller must
+    /// redeem the ticket and feed the reply to
+    /// [`BatchRound::absorb_reply`] — completing tickets in send order per
+    /// link is what keeps the pipelined run's per-site event order
+    /// identical to the sequential one.
+    pub(crate) fn deliver_send(
+        &mut self,
+        links: &mut [Box<dyn Link>],
+        x: usize,
+        tracker: &FailureTracker,
+    ) -> Option<(Result<Ticket, LinkError>, Vec<usize>)> {
+        let (msgs, idxs) = self.pending_for(x);
+        self.sent_upto[x] = self.cands.len();
+        if msgs.is_empty() || !tracker.is_active(x) {
+            return None;
+        }
+        Some((links[x].send(Message::FeedbackBatch(msgs)), idxs))
     }
 
     /// Closes the round: every site with a non-empty pending sub-batch

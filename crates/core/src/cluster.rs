@@ -412,6 +412,7 @@ impl Cluster {
             config.limit,
             config.failure,
             config.batch,
+            config.pipeline,
         )
     }
 
@@ -432,6 +433,7 @@ impl Cluster {
             config.synopsis,
             config.failure,
             config.batch,
+            config.pipeline,
         )
     }
 }

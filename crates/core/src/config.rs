@@ -141,6 +141,82 @@ impl std::str::FromStr for BatchSize {
     }
 }
 
+/// How many requests the coordinator keeps in flight per link — the
+/// `--pipeline` window.
+///
+/// With a window above one the coordinators run double-buffered: while a
+/// round's survival scatter is in flight, the next round's `RequestNext`
+/// refills (and e-DSUD expunge probes) are already on the wire, and the
+/// completions are folded in ascending site order regardless of arrival.
+/// Pipelining is a pure latency optimization: the per-site message
+/// sequences and the fold order are unchanged, so results are bit-identical
+/// to [`PipelineDepth::Fixed`]`(1)` at every pool size and transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PipelineDepth {
+    /// Keep at most `W ≥ 1` requests in flight per link. `Fixed(1)` is the
+    /// legacy fully synchronous schedule, byte-for-byte identical to the
+    /// pre-pipelining coordinator.
+    Fixed(usize),
+    /// Let the coordinator pick: resolves to the double-buffered schedule
+    /// (window 2), which already achieves the full refill/scatter overlap —
+    /// the coordinator never has more than one refill to overlap per
+    /// scatter, so deeper windows behave identically.
+    Auto,
+}
+
+impl Default for PipelineDepth {
+    fn default() -> Self {
+        PipelineDepth::Fixed(1)
+    }
+}
+
+impl PipelineDepth {
+    /// The per-link in-flight window. Always at least 1; `Auto` resolves
+    /// to 2 (see [`PipelineDepth::Auto`]).
+    pub fn window(&self) -> usize {
+        match self {
+            PipelineDepth::Fixed(w) => (*w).max(1),
+            PipelineDepth::Auto => 2,
+        }
+    }
+
+    /// Whether the coordinators may overlap rounds (window above one).
+    pub fn overlapped(&self) -> bool {
+        self.window() > 1
+    }
+
+    /// Stable lowercase name (`"1"`, `"2"`, `"auto"`), as accepted by the
+    /// [`std::str::FromStr`] impl.
+    pub fn name(&self) -> String {
+        match self {
+            PipelineDepth::Fixed(w) => w.to_string(),
+            PipelineDepth::Auto => "auto".to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for PipelineDepth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+impl std::str::FromStr for PipelineDepth {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s == "auto" {
+            return Ok(PipelineDepth::Auto);
+        }
+        match s.parse::<usize>() {
+            Ok(w) if w >= 1 => Ok(PipelineDepth::Fixed(w)),
+            _ => Err(Error::InvalidArgument(
+                "unknown pipeline depth (expected a window >= 1 or auto)",
+            )),
+        }
+    }
+}
+
 /// Configuration of one distributed skyline query.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct QueryConfig {
@@ -169,6 +245,13 @@ pub struct QueryConfig {
     /// default. Batching never changes the answer — see [`BatchSize`].
     #[serde(default)]
     pub batch: BatchSize,
+    /// Per-link in-flight window for overlapped rounds. Defaults to
+    /// [`PipelineDepth::Fixed`]`(1)` (the legacy synchronous schedule);
+    /// absent in configs serialized before the field existed, hence the
+    /// serde default. Pipelining never changes the answer — see
+    /// [`PipelineDepth`].
+    #[serde(default)]
+    pub pipeline: PipelineDepth,
 }
 
 impl QueryConfig {
@@ -189,6 +272,7 @@ impl QueryConfig {
             synopsis: None,
             failure: FailurePolicy::Strict,
             batch: BatchSize::default(),
+            pipeline: PipelineDepth::default(),
         })
     }
 
@@ -201,6 +285,12 @@ impl QueryConfig {
     /// Selects the candidate batch size per Server-Delivery round.
     pub fn batch_size(mut self, batch: BatchSize) -> Self {
         self.batch = batch;
+        self
+    }
+
+    /// Selects the per-link in-flight window for overlapped rounds.
+    pub fn pipeline_depth(mut self, pipeline: PipelineDepth) -> Self {
+        self.pipeline = pipeline;
         self
     }
 
@@ -337,6 +427,7 @@ mod tests {
         let cfg: QueryConfig = serde_json::from_str(json).unwrap();
         assert_eq!(cfg.failure, FailurePolicy::Strict);
         assert_eq!(cfg.batch, BatchSize::Fixed(1));
+        assert_eq!(cfg.pipeline, PipelineDepth::Fixed(1));
     }
 
     #[test]
@@ -351,6 +442,32 @@ mod tests {
         }
         assert!(matches!("0".parse::<BatchSize>(), Err(Error::InvalidArgument(_))));
         assert!(matches!("many".parse::<BatchSize>(), Err(Error::InvalidArgument(_))));
+    }
+
+    #[test]
+    fn pipeline_depth_round_trips_through_names() {
+        for (name, depth) in [
+            ("1", PipelineDepth::Fixed(1)),
+            ("8", PipelineDepth::Fixed(8)),
+            ("auto", PipelineDepth::Auto),
+        ] {
+            let parsed: PipelineDepth = name.parse().expect("known pipeline depth");
+            assert_eq!(parsed, depth);
+            assert_eq!(depth.name(), name);
+            assert_eq!(depth.to_string(), name);
+        }
+        assert!(matches!("0".parse::<PipelineDepth>(), Err(Error::InvalidArgument(_))));
+        assert!(matches!("deep".parse::<PipelineDepth>(), Err(Error::InvalidArgument(_))));
+    }
+
+    #[test]
+    fn pipeline_windows_resolve() {
+        assert_eq!(PipelineDepth::Fixed(1).window(), 1);
+        assert!(!PipelineDepth::Fixed(1).overlapped());
+        assert_eq!(PipelineDepth::Fixed(0).window(), 1); // degenerate, clamped
+        assert_eq!(PipelineDepth::Fixed(8).window(), 8);
+        assert_eq!(PipelineDepth::Auto.window(), 2);
+        assert!(PipelineDepth::Auto.overlapped());
     }
 
     #[test]

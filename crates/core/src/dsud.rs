@@ -31,7 +31,8 @@ use dsud_uncertain::{SkylineEntry, SubspaceMask};
 
 use crate::batch::BatchRound;
 use crate::degrade::FailureTracker;
-use crate::{BatchSize, Error, FailurePolicy, ProgressLog, QueryOutcome, RunStats};
+use crate::pipeline::InflightRefill;
+use crate::{BatchSize, Error, FailurePolicy, PipelineDepth, ProgressLog, QueryOutcome, RunStats};
 
 /// A candidate in the server's priority queue `L`, ordered so that a
 /// max-heap pops the largest local skyline probability first, ties broken
@@ -81,20 +82,40 @@ pub fn run(
     mask: SubspaceMask,
     limit: Option<usize>,
 ) -> Result<QueryOutcome, Error> {
-    run_with_policy(links, meter, q, mask, limit, FailurePolicy::Strict, BatchSize::default())
+    run_with_policy(
+        links,
+        meter,
+        q,
+        mask,
+        limit,
+        FailurePolicy::Strict,
+        BatchSize::default(),
+        PipelineDepth::default(),
+    )
 }
 
-/// [`run`] with an explicit site-failure policy and batch size. Under
-/// [`FailurePolicy::Degrade`] a site whose transport stays broken after
-/// retries is quarantined — excluded from every later broadcast and refill
-/// — and the query completes over the survivors with
+/// [`run`] with an explicit site-failure policy, batch size, and pipeline
+/// depth. Under [`FailurePolicy::Degrade`] a site whose transport stays
+/// broken after retries is quarantined — excluded from every later
+/// broadcast and refill — and the query completes over the survivors with
 /// [`QueryOutcome::degraded`] set (see [`crate::degrade`] for what that
 /// does to the reported probabilities).
+///
+/// With an overlapped [`PipelineDepth`] the round's refill request is put
+/// on the wire *before* the survival scatter and completed after the fold
+/// (see the crate-private `pipeline` module): on concurrent transports the home site's
+/// extraction overlaps the other sites' survival work. Completions fold in
+/// send order, so the answer, stats, and tuple traffic are bit-identical
+/// to `PipelineDepth::Fixed(1)` on healthy runs; under
+/// [`FailurePolicy::Degrade`] a pipelined run may have sent a refill that
+/// the sequential schedule would have skipped after a mid-round
+/// quarantine (the reply is discarded, so the answer still matches).
 ///
 /// # Errors
 ///
 /// Same as [`run`]; [`Error::SiteFailed`] only under
 /// [`FailurePolicy::Strict`].
+#[allow(clippy::too_many_arguments)]
 pub fn run_with_policy(
     links: &mut [Box<dyn Link>],
     meter: &BandwidthMeter,
@@ -103,6 +124,7 @@ pub fn run_with_policy(
     limit: Option<usize>,
     policy: FailurePolicy,
     batch: BatchSize,
+    pipeline: PipelineDepth,
 ) -> Result<QueryOutcome, Error> {
     if !(q > 0.0 && q <= 1.0) {
         return Err(Error::InvalidThreshold(q));
@@ -111,6 +133,8 @@ pub fn run_with_policy(
     let started = Instant::now();
     let rec = meter.recorder().clone();
     let query_span = rec.span("query:dsud");
+    let overlap = pipeline.overlapped();
+    rec.add(Counter::PipelineDepth, pipeline.window() as u64);
     let mut tracker = FailureTracker::new(links.len(), policy, rec.clone());
     let mut stats = RunStats::default();
     let mut progress = ProgressLog::new();
@@ -145,6 +169,20 @@ pub fn run_with_policy(
             stats.broadcasts += 1;
             rec.incr(Counter::FeedbackBroadcasts);
 
+            let home = cand.id.site.0 as usize;
+
+            // Pipelined refill: put the next To-Server request on the wire
+            // before the survival scatter, so the home site's extraction
+            // overlaps the fold below. The scatter excludes `home`, so no
+            // per-link order changes. Skipped for a round that could hit
+            // the `limit` break — the sequential schedule would never have
+            // sent the request, and traffic must stay identical.
+            let may_finish = limit.is_some_and(|k| skyline.len() + 1 >= k);
+            let refill = (overlap && !may_finish && tracker.is_active(home)).then(|| {
+                rec.incr(Counter::OverlappedRounds);
+                (InflightRefill::send(links, home), rec.span("overlap"))
+            });
+
             // Server-Delivery phase: assemble the exact global
             // probability. The broadcast is put in flight on every other
             // site at once, so concurrent transports overlap the survival
@@ -152,7 +190,6 @@ pub fn run_with_policy(
             // are lost, which is exactly what makes a degraded answer an
             // upper bound.
             let mut global = cand.local_prob;
-            let home = cand.id.site.0 as usize;
             {
                 let _span = rec.span("server-delivery");
                 let active = |x: usize| x != home && tracker.is_active(x);
@@ -181,7 +218,18 @@ pub fn run_with_policy(
             // Next To-Server phase: refill from the consumed site (unless
             // it was quarantined mid-round — its slot simply stays empty).
             let _span = rec.span("to-server");
-            if tracker.is_active(home) {
+            if let Some((slot, overlap_span)) = refill {
+                let reply = slot.complete(links, &rec);
+                drop(overlap_span);
+                // A mid-scatter quarantine means the sequential schedule
+                // would have skipped this refill: discard the reply so the
+                // queue evolves identically.
+                if tracker.is_active(home) {
+                    if let Some(next) = tracker.upload(home, reply)? {
+                        queue.push(QueueEntry(next));
+                    }
+                }
+            } else if tracker.is_active(home) {
                 let reply = links[home].call(Message::RequestNext);
                 if let Some(next) = tracker.upload(home, reply)? {
                     queue.push(QueueEntry(next));
@@ -198,6 +246,7 @@ pub fn run_with_policy(
         let mut round = BatchRound::new(links.len(), budget);
         {
             let _span = rec.span("to-server");
+            let mut overlap_span = None;
             while round.len() < budget && queue.peek().is_some_and(|h| h.0.local_prob >= q) {
                 let cand = queue.pop().expect("peek succeeded").0;
                 stats.iterations += 1;
@@ -205,14 +254,45 @@ pub fn run_with_policy(
                 rec.incr(Counter::FeedbackBroadcasts);
                 let home = cand.id.site.0 as usize;
                 round.push(cand);
-                round.deliver(links, home, &mut tracker, &mut stats, &rec)?;
-                if tracker.is_active(home) {
-                    let reply = links[home].call(Message::RequestNext);
-                    if let Some(next) = tracker.upload(home, reply)? {
-                        queue.push(QueueEntry(next));
+                if overlap {
+                    // Pipelined draw: the feedback flush and the refill
+                    // ride `home`'s link back to back (FIFO preserves the
+                    // flush-before-refill site order); the site serves
+                    // both over one coordinator wait instead of two.
+                    let fed = round.deliver_send(links, home, &tracker);
+                    let refill = tracker.is_active(home).then(|| InflightRefill::send(links, home));
+                    if fed.is_some() && refill.is_some() && overlap_span.is_none() {
+                        rec.incr(Counter::OverlappedRounds);
+                        overlap_span = Some(rec.span("overlap"));
+                    }
+                    // Drain both tickets before interpreting either reply,
+                    // so an error path leaves no outstanding frames.
+                    let fed_reply =
+                        fed.map(|(t, idxs)| (t.and_then(|t| links[home].complete(t)), idxs));
+                    let refill_reply = refill.map(|slot| slot.complete(links, &rec));
+                    if let Some((reply, idxs)) = fed_reply {
+                        round.absorb_reply(home, &idxs, reply, &mut tracker, &mut stats, &rec)?;
+                    }
+                    if let Some(reply) = refill_reply {
+                        // Discarded if the feedback reply quarantined the
+                        // site (see the unbatched path above).
+                        if tracker.is_active(home) {
+                            if let Some(next) = tracker.upload(home, reply)? {
+                                queue.push(QueueEntry(next));
+                            }
+                        }
+                    }
+                } else {
+                    round.deliver(links, home, &mut tracker, &mut stats, &rec)?;
+                    if tracker.is_active(home) {
+                        let reply = links[home].call(Message::RequestNext);
+                        if let Some(next) = tracker.upload(home, reply)? {
+                            queue.push(QueueEntry(next));
+                        }
                     }
                 }
             }
+            drop(overlap_span);
         }
         if round.len() > 1 {
             rec.incr(Counter::BatchedRounds);

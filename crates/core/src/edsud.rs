@@ -33,8 +33,11 @@ use dsud_uncertain::{dominates_in, SkylineEntry, SubspaceMask};
 
 use crate::batch::BatchRound;
 use crate::degrade::FailureTracker;
+use crate::pipeline::InflightRefill;
 use crate::synopsis::SynopsisBound;
-use crate::{BatchSize, BoundMode, Error, FailurePolicy, ProgressLog, QueryOutcome, RunStats};
+use crate::{
+    BatchSize, BoundMode, Error, FailurePolicy, PipelineDepth, ProgressLog, QueryOutcome, RunStats,
+};
 
 /// A queued candidate with its per-site broadcast discounts.
 #[derive(Debug, Clone)]
@@ -132,6 +135,7 @@ pub fn run(
         None,
         FailurePolicy::Strict,
         BatchSize::default(),
+        PipelineDepth::default(),
     )
 }
 
@@ -142,6 +146,14 @@ pub fn run(
 /// whose transport stays broken after retries is quarantined and the query
 /// completes over the survivors with [`QueryOutcome::degraded`] set (see
 /// [`crate::degrade`] for the upper-bound caveat).
+///
+/// With an overlapped [`PipelineDepth`] the expunge sweep puts every
+/// doomed candidate's refill on the wire in one group before redeeming any
+/// ticket — the sites extract their replacements in parallel — and the
+/// selection round's refill overlaps the survival scatter, as in
+/// [`crate::dsud::run_with_policy`]. Completions fold in send order, so
+/// healthy runs stay bit-identical to `PipelineDepth::Fixed(1)` (see the
+/// crate-private `pipeline` module).
 ///
 /// # Errors
 ///
@@ -158,6 +170,7 @@ pub fn run_with_synopses(
     synopsis_resolution: Option<u16>,
     policy: FailurePolicy,
     batch: BatchSize,
+    pipeline: PipelineDepth,
 ) -> Result<QueryOutcome, Error> {
     if !(q > 0.0 && q <= 1.0) {
         return Err(Error::InvalidThreshold(q));
@@ -166,6 +179,8 @@ pub fn run_with_synopses(
     let started = Instant::now();
     let rec = meter.recorder().clone();
     let query_span = rec.span("query:edsud");
+    let overlap = pipeline.overlapped();
+    rec.add(Counter::PipelineDepth, pipeline.window() as u64);
     let mut tracker = FailureTracker::new(links.len(), policy, rec.clone());
     let mut stats = RunStats::default();
     let mut progress = ProgressLog::new();
@@ -208,6 +223,7 @@ pub fn run_with_synopses(
         let round_span = rec.span("round");
         rec.incr(Counter::Rounds);
         let budget = batch.budget(queue.len());
+        let mut round_overlapped = false;
 
         if budget > 1 {
             // Batched round: interleave expunge, selection, and refill
@@ -218,28 +234,101 @@ pub fn run_with_synopses(
             // into one coalesced frame per site.
             let mut round = BatchRound::new(links.len(), budget);
             let mut finished = false;
+            // One expunge span per round, opened lazily at the first
+            // expunge and spanning the interleaved draws — a span per draw
+            // churned the recorder on large queues for no analytic gain.
+            let mut expunge_span = None;
             while round.len() < budget && !finished {
                 {
-                    let _span = rec.span("expunge");
+                    if expunge_span.is_none() {
+                        expunge_span = Some(rec.span("expunge"));
+                    }
                     loop {
                         let bounds: Vec<f64> =
                             queue.iter().map(|c| c.bound(&queue, mask, mode, &synopses)).collect();
                         let mut replaced_any = false;
-                        for idx in (0..queue.len()).rev() {
-                            if bounds[idx] < q {
-                                let gone = queue.swap_remove(idx);
+                        if overlap {
+                            // Pipelined sweep, as in the unbatched path
+                            // below, plus each doomed candidate's pending
+                            // feedback flush riding the same link just
+                            // ahead of its refill.
+                            let jobs: Vec<usize> =
+                                (0..queue.len()).rev().filter(|&idx| bounds[idx] < q).collect();
+                            let sends: Vec<_> = jobs
+                                .iter()
+                                .map(|&idx| {
+                                    let home = queue[idx].msg.id.site.0 as usize;
+                                    let fed = round.deliver_send(links, home, &tracker);
+                                    let refill = tracker
+                                        .is_active(home)
+                                        .then(|| InflightRefill::send(links, home));
+                                    (home, fed, refill)
+                                })
+                                .collect();
+                            let in_flight = sends.iter().filter(|(_, _, r)| r.is_some()).count();
+                            if in_flight > 1 && !round_overlapped {
+                                round_overlapped = true;
+                                rec.incr(Counter::OverlappedRounds);
+                            }
+                            let overlap_span = (in_flight > 0).then(|| rec.span("overlap"));
+                            // Drain every ticket before interpreting any
+                            // reply, so an error path leaves no
+                            // outstanding frames.
+                            let completions: Vec<_> = sends
+                                .into_iter()
+                                .map(|(home, fed, refill)| {
+                                    let fed_reply = fed.map(|(t, idxs)| {
+                                        (t.and_then(|t| links[home].complete(t)), idxs)
+                                    });
+                                    let refill_reply =
+                                        refill.map(|slot| slot.complete(links, &rec));
+                                    (home, fed_reply, refill_reply)
+                                })
+                                .collect();
+                            drop(overlap_span);
+                            for (&idx, (home, fed_reply, refill_reply)) in
+                                jobs.iter().zip(completions)
+                            {
+                                queue.swap_remove(idx);
                                 stats.expunged += 1;
                                 stats.iterations += 1;
                                 rec.incr(Counter::Expunged);
-                                let home = gone.msg.id.site.0 as usize;
-                                round.deliver(links, home, &mut tracker, &mut stats, &rec)?;
-                                if !tracker.is_active(home) {
-                                    continue;
+                                if let Some((reply, idxs)) = fed_reply {
+                                    round.absorb_reply(
+                                        home,
+                                        &idxs,
+                                        reply,
+                                        &mut tracker,
+                                        &mut stats,
+                                        &rec,
+                                    )?;
                                 }
-                                let reply = links[home].call(Message::RequestNext);
-                                if let Some(next) = tracker.upload(home, reply)? {
-                                    queue.push(Candidate::new(next, &history, mask));
-                                    replaced_any = true;
+                                if let Some(reply) = refill_reply {
+                                    if tracker.is_active(home) {
+                                        if let Some(next) = tracker.upload(home, reply)? {
+                                            queue.push(Candidate::new(next, &history, mask));
+                                            replaced_any = true;
+                                        }
+                                    }
+                                }
+                            }
+                        } else {
+                            for idx in (0..queue.len()).rev() {
+                                if bounds[idx] < q {
+                                    let gone = queue.swap_remove(idx);
+                                    stats.expunged += 1;
+                                    stats.iterations += 1;
+                                    rec.incr(Counter::Expunged);
+                                    let home = gone.msg.id.site.0 as usize;
+                                    round.deliver(links, home, &mut tracker, &mut stats, &rec)?;
+                                    if !tracker.is_active(home) {
+                                        continue;
+                                    }
+                                    let reply = links[home].call(Message::RequestNext);
+                                    if let Some(next) = tracker.upload(home, reply)? {
+                                        queue.push(Candidate::new(next, &history, mask));
+                                        replaced_any = true;
+                                    }
                                 }
                             }
                         }
@@ -275,11 +364,44 @@ pub fn run_with_synopses(
 
                 {
                     let _span = rec.span("to-server");
-                    round.deliver(links, home, &mut tracker, &mut stats, &rec)?;
-                    if tracker.is_active(home) {
-                        let reply = links[home].call(Message::RequestNext);
-                        if let Some(next) = tracker.upload(home, reply)? {
-                            queue.push(Candidate::new(next, &history, mask));
+                    if overlap {
+                        // Pipelined draw: flush and refill ride `home`'s
+                        // link back to back; one coordinator wait serves
+                        // both (see the DSUD batched draw).
+                        let fed = round.deliver_send(links, home, &tracker);
+                        let refill =
+                            tracker.is_active(home).then(|| InflightRefill::send(links, home));
+                        if fed.is_some() && refill.is_some() && !round_overlapped {
+                            round_overlapped = true;
+                            rec.incr(Counter::OverlappedRounds);
+                        }
+                        let fed_reply =
+                            fed.map(|(t, idxs)| (t.and_then(|t| links[home].complete(t)), idxs));
+                        let refill_reply = refill.map(|slot| slot.complete(links, &rec));
+                        if let Some((reply, idxs)) = fed_reply {
+                            round.absorb_reply(
+                                home,
+                                &idxs,
+                                reply,
+                                &mut tracker,
+                                &mut stats,
+                                &rec,
+                            )?;
+                        }
+                        if let Some(reply) = refill_reply {
+                            if tracker.is_active(home) {
+                                if let Some(next) = tracker.upload(home, reply)? {
+                                    queue.push(Candidate::new(next, &history, mask));
+                                }
+                            }
+                        }
+                    } else {
+                        round.deliver(links, home, &mut tracker, &mut stats, &rec)?;
+                        if tracker.is_active(home) {
+                            let reply = links[home].call(Message::RequestNext);
+                            if let Some(next) = tracker.upload(home, reply)? {
+                                queue.push(Candidate::new(next, &history, mask));
+                            }
                         }
                     }
                 }
@@ -287,6 +409,7 @@ pub fn run_with_synopses(
                     finished = true;
                 }
             }
+            drop(expunge_span);
 
             if round.len() > 1 {
                 rec.incr(Counter::BatchedRounds);
@@ -323,20 +446,68 @@ pub fn run_with_synopses(
                 let bounds: Vec<f64> =
                     queue.iter().map(|c| c.bound(&queue, mask, mode, &synopses)).collect();
                 let mut replaced_any = false;
-                for idx in (0..queue.len()).rev() {
-                    if bounds[idx] < q {
+                if overlap {
+                    // Pipelined sweep: the job set is precomputable — the
+                    // sequential loop walks indices downwards and its
+                    // swap_removes and pushes never disturb a position
+                    // below the one currently processed — so every doomed
+                    // candidate's refill goes on the wire in one group and
+                    // the sites extract replacements in parallel. The
+                    // replay below then evolves the queue exactly as the
+                    // sequential loop would, folding replies in send
+                    // order. (At most one job per site: the queue holds
+                    // one representative per site.)
+                    let jobs: Vec<usize> =
+                        (0..queue.len()).rev().filter(|&idx| bounds[idx] < q).collect();
+                    let slots: Vec<Option<InflightRefill>> = jobs
+                        .iter()
+                        .map(|&idx| {
+                            let home = queue[idx].msg.id.site.0 as usize;
+                            tracker.is_active(home).then(|| InflightRefill::send(links, home))
+                        })
+                        .collect();
+                    let in_flight = slots.iter().flatten().count();
+                    if in_flight > 1 && !round_overlapped {
+                        round_overlapped = true;
+                        rec.incr(Counter::OverlappedRounds);
+                    }
+                    let overlap_span = (in_flight > 0).then(|| rec.span("overlap"));
+                    // Drain every ticket before interpreting any reply, so
+                    // an error path leaves no outstanding frames.
+                    let replies: Vec<Option<Result<Message, dsud_net::LinkError>>> = slots
+                        .into_iter()
+                        .map(|slot| slot.map(|s| s.complete(links, &rec)))
+                        .collect();
+                    drop(overlap_span);
+                    for (&idx, reply) in jobs.iter().zip(replies) {
                         let gone = queue.swap_remove(idx);
                         stats.expunged += 1;
                         stats.iterations += 1;
                         rec.incr(Counter::Expunged);
                         let home = gone.msg.id.site.0 as usize;
-                        if !tracker.is_active(home) {
-                            continue;
+                        if let Some(reply) = reply {
+                            if let Some(next) = tracker.upload(home, reply)? {
+                                queue.push(Candidate::new(next, &history, mask));
+                                replaced_any = true;
+                            }
                         }
-                        let reply = links[home].call(Message::RequestNext);
-                        if let Some(next) = tracker.upload(home, reply)? {
-                            queue.push(Candidate::new(next, &history, mask));
-                            replaced_any = true;
+                    }
+                } else {
+                    for idx in (0..queue.len()).rev() {
+                        if bounds[idx] < q {
+                            let gone = queue.swap_remove(idx);
+                            stats.expunged += 1;
+                            stats.iterations += 1;
+                            rec.incr(Counter::Expunged);
+                            let home = gone.msg.id.site.0 as usize;
+                            if !tracker.is_active(home) {
+                                continue;
+                            }
+                            let reply = links[home].call(Message::RequestNext);
+                            if let Some(next) = tracker.upload(home, reply)? {
+                                queue.push(Candidate::new(next, &history, mask));
+                                replaced_any = true;
+                            }
                         }
                     }
                 }
@@ -362,11 +533,23 @@ pub fn run_with_synopses(
         stats.iterations += 1;
         stats.broadcasts += 1;
         rec.incr(Counter::FeedbackBroadcasts);
+        let home = cand.msg.id.site.0 as usize;
+
+        // Pipelined refill: on the wire before the survival scatter (which
+        // excludes `home`), completed after the fold — see the DSUD
+        // coordinator for the schedule and the `limit` guard.
+        let may_finish = limit.is_some_and(|k| skyline.len() + 1 >= k);
+        let refill = (overlap && !may_finish && tracker.is_active(home)).then(|| {
+            if !round_overlapped {
+                round_overlapped = true;
+                rec.incr(Counter::OverlappedRounds);
+            }
+            (InflightRefill::send(links, home), rec.span("overlap"))
+        });
 
         // Concurrent fan-out: every other site computes its survival
         // product in parallel on concurrent transports.
         let mut global = cand.msg.local_prob;
-        let home = cand.msg.id.site.0 as usize;
         {
             let _span = rec.span("server-delivery");
             // Quarantined sites are skipped: their survival factors are
@@ -403,7 +586,17 @@ pub fn run_with_synopses(
 
         {
             let _span = rec.span("to-server");
-            if tracker.is_active(home) {
+            if let Some((slot, overlap_span)) = refill {
+                let reply = slot.complete(links, &rec);
+                drop(overlap_span);
+                // A mid-scatter quarantine means the sequential schedule
+                // would have skipped this refill: discard the reply.
+                if tracker.is_active(home) {
+                    if let Some(next) = tracker.upload(home, reply)? {
+                        queue.push(Candidate::new(next, &history, mask));
+                    }
+                }
+            } else if tracker.is_active(home) {
                 let reply = links[home].call(Message::RequestNext);
                 if let Some(next) = tracker.upload(home, reply)? {
                     queue.push(Candidate::new(next, &history, mask));

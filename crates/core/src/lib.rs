@@ -63,13 +63,16 @@ pub mod dsud;
 pub mod edsud;
 mod error;
 pub mod estimate;
+mod pipeline;
 mod progress;
 mod site;
 pub mod synopsis;
 pub mod update;
 
 pub use cluster::{Cluster, QueryOutcome, RunStats, Transport};
-pub use config::{BatchSize, BoundMode, FailurePolicy, QueryConfig, SiteOptions, UpdatePolicy};
+pub use config::{
+    BatchSize, BoundMode, FailurePolicy, PipelineDepth, QueryConfig, SiteOptions, UpdatePolicy,
+};
 pub use degrade::{QuarantineReason, SiteStatus};
 pub use error::Error;
 pub use progress::{ProgressEvent, ProgressLog};
@@ -78,7 +81,7 @@ pub use site::LocalSite;
 // Re-export the workspace API surface so `dsud_core` works as a facade.
 pub use dsud_net::{
     BandwidthMeter, HealthSnapshot, LatencyModel, Link, LinkConfig, LinkError, MeterSnapshot,
-    RetryLink,
+    RetryLink, Ticket,
 };
 pub use dsud_obs::{
     Counter, CounterSnapshot, PhaseTotal, ProgressSample, Recorder, RunReport, SpanRecord,

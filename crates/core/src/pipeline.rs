@@ -1,0 +1,53 @@
+//! In-flight refill bookkeeping for pipelined rounds.
+//!
+//! With `--pipeline` above one, the coordinators put `RequestNext` refills
+//! on the wire *before* the work they overlap (a survival scatter, an
+//! expunge sweep) and redeem the tickets afterwards. [`InflightRefill`]
+//! carries one such outstanding request: the site it addresses, the ticket
+//! (or the send-side failure, surfaced at completion exactly like a failed
+//! `call`), and the send timestamp used to charge
+//! [`Counter::RefillOverlapUs`].
+//!
+//! The schedule never needs more than two outstanding frames per link — a
+//! pending feedback flush plus the refill behind it — so every window of
+//! two or more (including `auto`) executes the identical overlapped
+//! schedule, and completions are always folded in the order the requests
+//! were sent. That is what keeps pipelined runs bit-identical to
+//! `--pipeline 1`: per-link message order, fold order, and every piece of
+//! server-side state evolve exactly as in the sequential schedule; only
+//! the wire time overlaps.
+
+use std::time::Instant;
+
+use dsud_net::{Link, LinkError, Message, Ticket};
+use dsud_obs::{Counter, Recorder};
+
+/// One `RequestNext` put on the wire ahead of the work it overlaps.
+pub(crate) struct InflightRefill {
+    site: usize,
+    sent: Result<Ticket, LinkError>,
+    issued: Instant,
+}
+
+impl InflightRefill {
+    /// Puts `RequestNext` on `site`'s link. A send-side failure is held in
+    /// the slot and becomes the completion result.
+    pub(crate) fn send(links: &mut [Box<dyn Link>], site: usize) -> Self {
+        InflightRefill {
+            site,
+            sent: links[site].send(Message::RequestNext),
+            issued: Instant::now(),
+        }
+    }
+
+    /// Redeems the ticket, charging the elapsed flight time to
+    /// [`Counter::RefillOverlapUs`].
+    pub(crate) fn complete(
+        self,
+        links: &mut [Box<dyn Link>],
+        rec: &Recorder,
+    ) -> Result<Message, LinkError> {
+        rec.add(Counter::RefillOverlapUs, self.issued.elapsed().as_micros() as u64);
+        self.sent.and_then(|ticket| links[self.site].complete(ticket))
+    }
+}

@@ -149,6 +149,17 @@ impl LocalSite {
         self.query.as_ref().map_or(0, |a| a.pending.len())
     }
 
+    /// Reserved capacity of the site-held multi-probe feedback buffers.
+    ///
+    /// The pipelined coordinators keep every site answering a coalesced
+    /// [`Message::FeedbackBatch`] per round; the traversal buffers behind
+    /// those answers live on the site (inside its [`BbsScratch`]) and must
+    /// stop growing after the first batch. Tests assert this footprint is
+    /// stable in steady state.
+    pub fn multi_probe_footprint(&self) -> usize {
+        self.scratch.multi_probe_footprint()
+    }
+
     fn start(&mut self, q: f64, mask: SubspaceMask) -> Message {
         let sky = match bbs::local_skyline_with(&self.tree, q, mask, &mut self.scratch) {
             Ok(sky) => sky,
@@ -199,8 +210,11 @@ impl LocalSite {
     /// queue are bit-identical to `K` back-to-back [`Message::Feedback`]s.
     fn feedback_batch(&mut self, msgs: &[TupleMsg]) -> Message {
         let mask = self.active_mask();
+        // The traversal's heavy per-level buffers persist on `self.scratch`
+        // across rounds; only the frame-borrowing probe list and the
+        // reply-owned survival vector are built per call.
         let probes: Vec<&[f64]> = msgs.iter().map(|m| m.values.as_slice()).collect();
-        let mut survivals = Vec::new();
+        let mut survivals = Vec::with_capacity(msgs.len());
         self.tree.survival_products(&probes, mask, self.scratch.multi_probe(), &mut survivals);
         let mut pruned = 0;
         for msg in msgs {
@@ -543,6 +557,45 @@ mod tests {
                 break;
             }
         }
+    }
+
+    /// Batched feedback must reach an allocation-free steady state: once
+    /// the first `FeedbackBatch` has sized the site-held multi-probe
+    /// buffers, later batches of no greater size must not grow them. A
+    /// regression here (e.g. a per-call `MultiProbeScratch::default()`)
+    /// shows up as a footprint that keeps moving — or never warms at all.
+    #[test]
+    fn batched_feedback_reaches_allocation_free_steady_state() {
+        // A tree deep enough to exercise the per-level buffers (fan-out is
+        // 32, so 256 tuples give an internal level above the leaves).
+        let tuples: Vec<_> = (0..256)
+            .map(|i| tuple(0, i, vec![(i % 16) as f64 + 1.0, (i / 16) as f64 + 1.0], 0.6))
+            .collect();
+        let mut site = LocalSite::new(0, 2, tuples, SiteOptions::default()).unwrap();
+        site.handle(Message::Start { q: 0.01, mask: full(2) });
+
+        let batch: Vec<TupleMsg> = (0..8)
+            .map(|k| {
+                let probe = tuple(1, k, vec![4.0 + k as f64, 12.0 - k as f64], 0.5);
+                TupleMsg::new(&probe, 0.5)
+            })
+            .collect();
+
+        site.handle(Message::FeedbackBatch(batch.clone()));
+        let warmed = site.multi_probe_footprint();
+        assert!(warmed > 0, "first batch must size the multi-probe buffers");
+
+        let mut steady_rounds = 0;
+        for round in 0..8 {
+            site.handle(Message::FeedbackBatch(batch.clone()));
+            assert_eq!(
+                site.multi_probe_footprint(),
+                warmed,
+                "batch round {round} re-allocated the site scratch"
+            );
+            steady_rounds += 1;
+        }
+        assert_eq!(steady_rounds, 8);
     }
 
     #[test]

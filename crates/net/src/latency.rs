@@ -1,10 +1,14 @@
 //! Deterministic latency model that converts a metered traffic snapshot into
 //! reproducible network time, so the paper's response-time experiment
-//! (Fig. 14) does not depend on the machine it reruns on.
+//! (Fig. 14) does not depend on the machine it reruns on — plus
+//! [`DelayedService`], a wall-clock delay injector used to measure what the
+//! traffic-based model cannot: the benefit of *overlapping* round-trips.
+
+use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
-use crate::MeterSnapshot;
+use crate::{Message, MeterSnapshot, Service};
 
 /// Deterministic network-time model.
 ///
@@ -53,6 +57,39 @@ impl LatencyModel {
     }
 }
 
+/// A [`Service`] wrapper that sleeps a fixed per-request delay before
+/// delegating, simulating a site across a slow link.
+///
+/// [`LatencyModel`] charges traffic after the fact, so two runs with
+/// identical traffic cost the same simulated time no matter how their
+/// round-trips interleave — by construction it cannot show a pipelining
+/// gain. `DelayedService` injects the delay into the live request path
+/// instead: behind a concurrent transport (e.g.
+/// [`ChannelLink`](crate::ChannelLink)), overlapped requests genuinely
+/// overlap their delays, which is what the pipelined-coordinator speedup
+/// test and benchmark measure.
+#[derive(Debug)]
+pub struct DelayedService<S> {
+    inner: S,
+    delay: Duration,
+}
+
+impl<S: Service> DelayedService<S> {
+    /// Wraps `inner`, delaying every request by `delay`.
+    pub fn new(inner: S, delay: Duration) -> Self {
+        DelayedService { inner, delay }
+    }
+}
+
+impl<S: Service> Service for DelayedService<S> {
+    fn handle(&mut self, msg: Message) -> Message {
+        if !self.delay.is_zero() {
+            std::thread::sleep(self.delay);
+        }
+        self.inner.handle(msg)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -82,5 +119,14 @@ mod tests {
         let model = LatencyModel::default();
         assert!(model.per_message_ms > 0.0);
         assert!(model.per_byte_ms < model.per_tuple_ms);
+    }
+
+    #[test]
+    fn delayed_service_delegates_and_waits() {
+        let mut service =
+            DelayedService::new(|_msg: Message| Message::Ack, Duration::from_millis(20));
+        let started = std::time::Instant::now();
+        assert_eq!(service.handle(Message::RequestNext), Message::Ack);
+        assert!(started.elapsed() >= Duration::from_millis(20));
     }
 }

@@ -11,7 +11,9 @@
 //!   counts are realistic, not estimated;
 //! * [`BandwidthMeter`] — shared counters of messages / tuples / bytes per
 //!   traffic class;
-//! * [`Link`] — a request/response channel to one site, with two
+//! * [`Link`] — a split-phase request/response channel to one site
+//!   ([`Link::send`] returns a [`Ticket`] redeemed by [`Link::complete`],
+//!   so several requests can ride one link at once), with two
 //!   implementations: [`LocalLink`] (deterministic in-process dispatch,
 //!   used by tests and benchmarks) and [`ChannelLink`] (each site runs on
 //!   its own OS thread behind crossbeam channels, demonstrating real
@@ -56,11 +58,11 @@ mod retry;
 pub mod tcp;
 mod transport;
 
-pub use latency::LatencyModel;
+pub use latency::{DelayedService, LatencyModel};
 pub use message::{Message, SynopsisMsg, TrafficClass, TupleMsg};
 pub use meter::{BandwidthMeter, Counters, MeterSnapshot};
 pub use retry::{HealthSnapshot, LinkHealth, RetryLink};
 pub use transport::{
     broadcast, scatter, ChannelLink, FaultMode, FaultyLink, Link, LinkConfig, LinkError, LocalLink,
-    Service,
+    Service, Ticket,
 };

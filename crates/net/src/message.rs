@@ -584,6 +584,31 @@ mod tests {
         ]
     }
 
+    /// Golden wire contract: `encoded_len` is the exact frame length for
+    /// every variant — the pipelined transports pre-reserve outstanding
+    /// frames from it — and the sample set covers every wire tag `0..=20`.
+    /// Adding a message variant without extending `all_messages` (and
+    /// without a matching `encoded_len` arm) fails here, not in a
+    /// transport at 2 a.m.
+    #[test]
+    fn encoded_len_matches_wire_length_for_every_tag() {
+        let empties = vec![
+            Message::ReplicaSync(Vec::new()),
+            Message::RegionReply(Vec::new()),
+            Message::FeedbackBatch(Vec::new()),
+            Message::SurvivalBatchReply { survivals: Vec::new(), pruned: 0 },
+        ];
+        let mut tags = Vec::new();
+        for msg in all_messages().into_iter().chain(empties) {
+            let bytes = msg.encode();
+            assert_eq!(bytes.len(), msg.encoded_len(), "{msg:?}");
+            tags.push(bytes[0]);
+        }
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags, (0u8..=20).collect::<Vec<_>>(), "every wire tag 0..=20 represented");
+    }
+
     #[test]
     fn encode_decode_roundtrip() {
         for msg in all_messages() {

@@ -15,12 +15,14 @@
 //! run, pool size, and transport; the backoff only stretches wall-clock
 //! time.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use dsud_obs::{Counter, Recorder};
 
-use crate::{Link, LinkConfig, LinkError, Message};
+use crate::transport::TicketLedger;
+use crate::{Link, LinkConfig, LinkError, Message, Ticket};
 
 /// Shared, lock-free view of one link's failure history.
 ///
@@ -81,16 +83,40 @@ impl LinkHealth {
 /// last error is then returned. Retry and timeout totals are mirrored onto
 /// the [`Recorder`] ([`Counter::LinkRetries`], [`Counter::LinkTimeouts`])
 /// so they land in the run report.
+///
+/// Retries happen inside [`Link::complete`], never at [`Link::send`]: a
+/// failed send is deferred (the ticket is still issued), so the rest of a
+/// broadcast's sends go out before any backoff pause — the same overlap a
+/// healthy round has, and the same deterministic backoff schedule as the
+/// synchronous path. When several requests are in flight and one fails, the
+/// inner transport's remaining tickets are condemned (the wire they rode is
+/// gone); the later requests are replayed, in send order, over a fresh
+/// connection.
 #[derive(Debug)]
 pub struct RetryLink<L> {
     inner: L,
     config: LinkConfig,
     recorder: Recorder,
     health: Arc<LinkHealth>,
-    /// The request put in flight by `begin`, kept for retries on `complete`.
-    pending: Option<Message>,
-    /// Error from a failed `begin`, surfaced (after retries) by `complete`.
-    begin_error: Option<LinkError>,
+    tickets: TicketLedger,
+    /// Requests in flight, in send order, each with a clone of its message
+    /// (kept for retries on `complete`).
+    pending: VecDeque<Pending>,
+    /// Set once a failure forced (or will force) an inner reconnect: the
+    /// inner tickets of later pending requests no longer redeem, so those
+    /// requests are replayed via `inner.call` instead. Cleared when the
+    /// window drains.
+    broken: bool,
+}
+
+/// One in-flight request held by a [`RetryLink`].
+#[derive(Debug)]
+struct Pending {
+    ticket: Ticket,
+    msg: Message,
+    /// The inner ticket when the send went through, or the deferred send
+    /// error to retry at completion time.
+    state: Result<Ticket, LinkError>,
 }
 
 impl<L: Link> RetryLink<L> {
@@ -106,8 +132,9 @@ impl<L: Link> RetryLink<L> {
             config,
             recorder,
             health: Arc::new(LinkHealth::default()),
-            pending: None,
-            begin_error: None,
+            tickets: TicketLedger::default(),
+            pending: VecDeque::new(),
+            broken: false,
         }
     }
 
@@ -156,53 +183,73 @@ impl<L: Link> RetryLink<L> {
 }
 
 impl<L: Link> Link for RetryLink<L> {
-    fn call(&mut self, msg: Message) -> Result<Message, LinkError> {
-        assert!(self.pending.is_none(), "request already outstanding");
+    fn send(&mut self, msg: Message) -> Result<Ticket, LinkError> {
         self.health.attempts.fetch_add(1, Ordering::Relaxed);
-        match self.inner.call(msg.clone()) {
-            Ok(reply) => Ok(reply),
-            Err(e) => {
-                self.note_failure(&e);
-                self.retry_after(msg, e)
-            }
-        }
-    }
-
-    fn begin(&mut self, msg: Message) -> Result<(), LinkError> {
-        assert!(self.pending.is_none(), "request already outstanding");
-        self.health.attempts.fetch_add(1, Ordering::Relaxed);
-        match self.inner.begin(msg.clone()) {
-            Ok(()) => {
-                self.pending = Some(msg);
-                Ok(())
-            }
+        let state = match self.inner.send(msg.clone()) {
+            Ok(inner_ticket) => Ok(inner_ticket),
             Err(e) => {
                 // Defer the retries to `complete`, so a broadcast's other
-                // begins still go out first — the same overlap a healthy
-                // begin/complete round has.
+                // sends still go out first — the same overlap a healthy
+                // round has. Only this request is condemned: requests
+                // already on the wire complete normally ahead of it.
                 self.note_failure(&e);
-                self.pending = Some(msg);
-                self.begin_error = Some(e);
-                Ok(())
+                Err(e)
             }
-        }
+        };
+        let ticket = self.tickets.issue();
+        self.pending.push_back(Pending { ticket, msg, state });
+        Ok(ticket)
     }
 
-    fn complete(&mut self) -> Result<Message, LinkError> {
-        let msg = self.pending.take().expect("no outstanding request");
-        if let Some(e) = self.begin_error.take() {
-            return self.retry_after(msg, e);
-        }
-        match self.inner.complete() {
-            Ok(reply) => Ok(reply),
-            Err(e) => {
-                self.note_failure(&e);
-                self.retry_after(msg, e)
+    fn complete(&mut self, ticket: Ticket) -> Result<Message, LinkError> {
+        self.tickets.redeem(ticket);
+        let entry = self.pending.pop_front().expect("a redeemed ticket has a pending request");
+        assert!(entry.ticket == ticket, "tickets must be completed in send order");
+        let result = match entry.state {
+            Ok(inner_ticket) if !self.broken => match self.inner.complete(inner_ticket) {
+                Ok(reply) => Ok(reply),
+                Err(e) => {
+                    self.note_failure(&e);
+                    self.broken = true;
+                    self.retry_after(entry.msg, e)
+                }
+            },
+            Ok(_abandoned) => {
+                // An earlier in-flight request broke the wire after this one
+                // was sent; its inner ticket died with the old connection.
+                // Replay the request on the reconnected transport — the
+                // request may execute twice at the site, the same hazard any
+                // retry of a timed-out request has.
+                let _ = self.inner.reconnect();
+                self.health.attempts.fetch_add(1, Ordering::Relaxed);
+                match self.inner.call(entry.msg.clone()) {
+                    Ok(reply) => Ok(reply),
+                    Err(e) => {
+                        self.note_failure(&e);
+                        self.retry_after(entry.msg, e)
+                    }
+                }
             }
+            Err(e) => {
+                // A deferred send failure: the retry loop below may
+                // reconnect the inner transport, which condemns the inner
+                // tickets of everything sent after this request.
+                self.broken = true;
+                self.retry_after(entry.msg, e)
+            }
+        };
+        if self.pending.is_empty() {
+            // The window drained: whatever happened, the next send starts
+            // from a coherent (possibly freshly reconnected) wire.
+            self.broken = false;
         }
+        result
     }
 
     fn reconnect(&mut self) -> Result<(), LinkError> {
+        self.pending.clear();
+        self.tickets.reset();
+        self.broken = false;
         self.inner.reconnect()
     }
 }
@@ -266,11 +313,11 @@ mod tests {
     #[test]
     fn split_path_retries_on_complete() {
         let mut link = stalled(2, 2);
-        link.begin(Message::RequestNext).unwrap();
-        assert_eq!(link.complete(), Ok(Message::Upload(None)));
-        // Second round hits the stall at begin; complete absorbs it.
-        link.begin(Message::RequestNext).unwrap();
-        assert_eq!(link.complete(), Ok(Message::Upload(None)));
+        let ticket = link.send(Message::RequestNext).unwrap();
+        assert_eq!(link.complete(ticket), Ok(Message::Upload(None)));
+        // Second round hits the stall at send; complete absorbs it.
+        let ticket = link.send(Message::RequestNext).unwrap();
+        assert_eq!(link.complete(ticket), Ok(Message::Upload(None)));
         let health = link.health().snapshot();
         assert_eq!(health.attempts, 4);
         assert_eq!(health.retries, 2);
@@ -282,8 +329,8 @@ mod tests {
             let mut link = stalled(3, 2);
             for _ in 0..4 {
                 let reply = if split {
-                    link.begin(Message::RequestNext).unwrap();
-                    link.complete()
+                    let ticket = link.send(Message::RequestNext).unwrap();
+                    link.complete(ticket)
                 } else {
                     link.call(Message::RequestNext)
                 };
@@ -292,6 +339,39 @@ mod tests {
             link.health().snapshot()
         };
         assert_eq!(transcript(false), transcript(true));
+    }
+
+    #[test]
+    fn deferred_send_failure_retries_in_send_order() {
+        // Two requests in flight; the fault swallows the *first* of them at
+        // send time. The failure is deferred to that request's completion,
+        // where the retry runs — the second request, condemned with the
+        // wire, is replayed and still yields its reply in send order.
+        let mut link = stalled(2, 1);
+        assert!(link.call(Message::RequestNext).is_ok()); // consume healthy budget
+        let first = link.send(Message::RequestNext).unwrap(); // swallowed, deferred
+        let second = link.send(Message::RequestNext).unwrap();
+        assert_eq!(link.complete(first), Ok(Message::Upload(None))); // retried here
+        assert_eq!(link.complete(second), Ok(Message::Upload(None))); // replayed
+        let health = link.health().snapshot();
+        assert_eq!(health.retries, 1);
+        assert_eq!(health.timeouts, 1);
+    }
+
+    #[test]
+    fn mid_window_failure_replays_later_requests() {
+        // The middle of three in-flight requests fails; everything after it
+        // rode the condemned wire and must be replayed over the reconnected
+        // transport, still yielding replies in send order.
+        let mut link = stalled(2, 1);
+        let first = link.send(Message::RequestNext).unwrap(); // healthy budget
+        let second = link.send(Message::RequestNext).unwrap(); // swallowed
+        let third = link.send(Message::RequestNext).unwrap();
+        assert_eq!(link.complete(first), Ok(Message::Upload(None)));
+        assert_eq!(link.complete(second), Ok(Message::Upload(None))); // retried
+        assert_eq!(link.complete(third), Ok(Message::Upload(None))); // replayed
+                                                                     // A fresh window after the drain behaves as if nothing happened.
+        assert_eq!(link.call(Message::RequestNext), Ok(Message::Upload(None)));
     }
 
     #[test]

@@ -49,7 +49,8 @@ use std::thread::JoinHandle;
 
 use bytes::BytesMut;
 
-use crate::{BandwidthMeter, Link, LinkConfig, LinkError, Message, Service};
+use crate::transport::TicketLedger;
+use crate::{BandwidthMeter, Link, LinkConfig, LinkError, Message, Service, Ticket};
 
 /// Writes one length-prefixed frame.
 fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> io::Result<()> {
@@ -106,7 +107,10 @@ pub struct TcpLink {
     addr: SocketAddr,
     config: LinkConfig,
     meter: BandwidthMeter,
-    in_flight: bool,
+    /// Outstanding-frame queue: frames written but not yet answered, in
+    /// wire order. TCP preserves ordering, so the `k`-th reply frame on
+    /// the stream answers the `k`-th outstanding request.
+    tickets: TicketLedger,
     /// Reusable encode buffer: frames are serialized here, written, and the
     /// allocation kept for the next request.
     send_buf: BytesMut,
@@ -140,7 +144,7 @@ impl TcpLink {
             addr,
             config,
             meter,
-            in_flight: false,
+            tickets: TicketLedger::default(),
             send_buf: BytesMut::new(),
             recv_buf: Vec::new(),
         })
@@ -166,13 +170,7 @@ impl TcpLink {
 }
 
 impl Link for TcpLink {
-    fn call(&mut self, msg: Message) -> Result<Message, LinkError> {
-        self.begin(msg)?;
-        self.complete()
-    }
-
-    fn begin(&mut self, msg: Message) -> Result<(), LinkError> {
-        assert!(!self.in_flight, "request already outstanding");
+    fn send(&mut self, msg: Message) -> Result<Ticket, LinkError> {
         msg.encode_into(&mut self.send_buf);
         let Some(stream) = self.stream.as_mut() else {
             return Err(LinkError::Disconnected);
@@ -182,14 +180,14 @@ impl Link for TcpLink {
             return Err(e.into());
         }
         self.meter.record(&msg);
-        self.in_flight = true;
-        Ok(())
+        Ok(self.tickets.issue())
     }
 
-    fn complete(&mut self) -> Result<Message, LinkError> {
-        assert!(self.in_flight, "no outstanding request");
-        self.in_flight = false;
+    fn complete(&mut self, ticket: Ticket) -> Result<Message, LinkError> {
+        self.tickets.redeem(ticket);
         let Some(stream) = self.stream.as_mut() else {
+            // The stream was poisoned (by an earlier failed completion or a
+            // failed send); every ticket it still owed is a loss.
             return Err(LinkError::Disconnected);
         };
         match read_frame_into(stream, &mut self.recv_buf) {
@@ -225,7 +223,9 @@ impl Link for TcpLink {
     }
 
     fn reconnect(&mut self) -> Result<(), LinkError> {
-        self.in_flight = false;
+        // A fresh connection shares no framing state with the old one:
+        // abandon every outstanding ticket along with the old stream.
+        self.tickets.reset();
         self.stream = Some(Self::dial(self.addr, self.config)?);
         Ok(())
     }
@@ -510,6 +510,48 @@ mod tests {
             link.call(Message::RequestNext),
             Ok(Message::SurvivalReply { survival: 2.0, pruned: 0 })
         );
+        drop(link);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn pipelined_requests_round_trip_in_order() {
+        // Several frames on the wire at once: the k-th reply answers the
+        // k-th outstanding request, so a stateful site proves ordering.
+        let server = spawn_site({
+            let mut seen = 0u64;
+            move |_msg: Message| {
+                seen += 1;
+                Message::SurvivalReply { survival: seen as f64, pruned: 0 }
+            }
+        })
+        .unwrap();
+        let meter = BandwidthMeter::new();
+        let mut link = TcpLink::connect(server.addr(), meter).unwrap();
+        let tickets: Vec<_> = (0..4).map(|_| link.send(Message::RequestNext).unwrap()).collect();
+        for (k, ticket) in tickets.into_iter().enumerate() {
+            assert_eq!(
+                link.complete(ticket),
+                Ok(Message::SurvivalReply { survival: (k + 1) as f64, pruned: 0 })
+            );
+        }
+        drop(link);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn poisoned_stream_fails_every_outstanding_ticket() {
+        let server = spawn_site(echo_service()).unwrap();
+        let meter = BandwidthMeter::new();
+        let mut link = TcpLink::connect(server.addr(), meter).unwrap();
+        let first = link.send(Message::RequestNext).unwrap();
+        let second = link.send(Message::RequestNext).unwrap();
+        link.poison(); // simulate a read failure mid-window
+        assert_eq!(link.complete(first), Err(LinkError::Disconnected));
+        assert_eq!(link.complete(second), Err(LinkError::Disconnected));
+        // A reconnect restores service on a fresh stream.
+        link.reconnect().unwrap();
+        assert_eq!(link.call(Message::RequestNext), Ok(Message::Upload(None)));
         drop(link);
         server.shutdown().unwrap();
     }

@@ -10,6 +10,7 @@
 //! [`RetryLink`](crate::RetryLink) wrapper turns transient faults into
 //! deterministic retries.
 
+use std::collections::VecDeque;
 use std::fmt;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -122,17 +123,67 @@ where
     }
 }
 
+/// Receipt for a request put in flight with [`Link::send`], redeemed for
+/// its reply with [`Link::complete`].
+///
+/// Tickets are per-link sequence numbers: the `k`-th successful `send` on a
+/// link returns ticket `k`, and tickets must be completed in send order
+/// (the transports assert this — completing out of order would pair replies
+/// with the wrong requests on an in-order wire). A ticket is consumed by
+/// `complete` whether the reply arrives intact or not, and every
+/// outstanding ticket is invalidated by [`Link::reconnect`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ticket(u64);
+
+/// Per-link FIFO ticket bookkeeping shared by the transport
+/// implementations: issues sequence-numbered tickets and asserts they are
+/// redeemed in send order.
+#[derive(Debug, Default)]
+pub(crate) struct TicketLedger {
+    issued: u64,
+    redeemed: u64,
+}
+
+impl TicketLedger {
+    pub(crate) fn issue(&mut self) -> Ticket {
+        let t = Ticket(self.issued);
+        self.issued += 1;
+        t
+    }
+
+    pub(crate) fn redeem(&mut self, ticket: Ticket) {
+        assert!(
+            ticket.0 == self.redeemed && ticket.0 < self.issued,
+            "tickets must be completed in send order"
+        );
+        self.redeemed += 1;
+    }
+
+    /// Requests sent but not yet completed.
+    pub(crate) fn outstanding(&self) -> u64 {
+        self.issued - self.redeemed
+    }
+
+    /// Abandons every outstanding ticket (they will no longer redeem).
+    pub(crate) fn reset(&mut self) {
+        self.redeemed = self.issued;
+    }
+}
+
 /// A metered request/response channel from the central server to one site.
 ///
 /// All implementations record every request and reply on the shared
 /// [`BandwidthMeter`], so algorithm code never touches accounting.
 ///
-/// Besides the synchronous [`Link::call`], links support a split
-/// [`Link::begin`] / [`Link::complete`] pair so a coordinator can put one
-/// request *per site* in flight and collect the replies afterwards — with
-/// the threaded and TCP transports the sites then compute concurrently,
-/// which is how a real deployment fans out its feedback broadcasts.
-/// At most one request may be outstanding per link.
+/// The API is split-phase: [`Link::send`] puts a request in flight and
+/// returns a [`Ticket`]; [`Link::complete`] redeems the ticket for the
+/// reply. A coordinator can therefore keep several requests outstanding
+/// per link — a survival scatter for round `r` plus the refill for round
+/// `r+1` — and the threaded and TCP transports then genuinely overlap the
+/// site computations. [`Link::call`] is the trivial send-then-complete
+/// composition for the synchronous case. Requests travel an in-order wire,
+/// so tickets must be completed in per-link send order (implementations
+/// assert this).
 ///
 /// Transport failures — deadlines, disconnects, undecodable frames — are
 /// returned as [`LinkError`] values, never panics: a dead site must not
@@ -141,40 +192,42 @@ where
 /// Links are `Send` so [`broadcast`] can drive inline transports from the
 /// coordinator's thread pool.
 pub trait Link: Send {
-    /// Sends a request to the site and waits for its reply.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`LinkError`] when the transport fails.
-    fn call(&mut self, msg: Message) -> Result<Message, LinkError>;
-
     /// Dispatches a request without waiting for the reply.
     ///
     /// # Errors
     ///
     /// Returns a [`LinkError`] when the request cannot be sent. A failed
-    /// `begin` leaves no request outstanding; do not pair it with
-    /// [`Link::complete`].
-    ///
-    /// # Panics
-    ///
-    /// Implementations panic if a request is already outstanding (a
-    /// coordinator bug, not a runtime condition).
-    fn begin(&mut self, msg: Message) -> Result<(), LinkError>;
+    /// `send` issues no ticket and leaves nothing outstanding.
+    fn send(&mut self, msg: Message) -> Result<Ticket, LinkError>;
 
-    /// Collects the reply to the outstanding request.
+    /// Redeems a ticket for the reply to its request.
     ///
     /// # Errors
     ///
     /// Returns a [`LinkError`] when the reply does not arrive intact within
-    /// the deadline. The outstanding request is consumed either way.
+    /// the deadline. The ticket is consumed either way.
     ///
     /// # Panics
     ///
-    /// Implementations panic if no request is outstanding.
-    fn complete(&mut self) -> Result<Message, LinkError>;
+    /// Implementations panic when tickets are completed out of send order
+    /// or a ticket is redeemed twice (a coordinator bug, not a runtime
+    /// condition).
+    fn complete(&mut self, ticket: Ticket) -> Result<Message, LinkError>;
+
+    /// Sends a request to the site and waits for its reply: the trivial
+    /// [`Link::send`] / [`Link::complete`] composition.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LinkError`] when the transport fails.
+    fn call(&mut self, msg: Message) -> Result<Message, LinkError> {
+        let ticket = self.send(msg)?;
+        self.complete(ticket)
+    }
 
     /// Attempts to re-establish the underlying transport after a failure.
+    /// Every outstanding ticket is abandoned: its reply will never be
+    /// redeemable, and redeeming it panics.
     ///
     /// The default is a no-op `Ok(())` for transports with nothing to
     /// re-establish (inline links). [`TcpLink`](crate::tcp::TcpLink)
@@ -194,10 +247,10 @@ pub trait Link: Send {
 /// the replies in link order.
 ///
 /// With a thread pool larger than one, each selected link is driven from
-/// its own scoped thread, so even *inline* transports (whose [`Link::begin`]
+/// its own scoped thread, so even *inline* transports (whose [`Link::send`]
 /// computes eagerly on the caller's stack) process the request
 /// concurrently. With a pool of one — the documented sequential fallback —
-/// the begin-all/complete-all pattern is used instead, which still overlaps
+/// the send-all/complete-all pattern is used instead, which still overlaps
 /// transports that are concurrent by construction (threaded, TCP).
 ///
 /// Either way the reply vector is ordered by link index and each reply is
@@ -226,20 +279,20 @@ where
         });
         return replies;
     }
-    // Sequential fallback: a failed begin has no reply to collect, so its
+    // Sequential fallback: a failed send has no reply to collect, so its
     // error is recorded in reply position, matching the parallel path.
-    let mut pending: Vec<(usize, Result<&mut Box<dyn Link>, LinkError>)> =
+    let mut pending: Vec<(usize, Result<(Ticket, &mut Box<dyn Link>), LinkError>)> =
         Vec::with_capacity(selected.len());
     for (i, link) in selected {
-        match link.begin(msg.clone()) {
-            Ok(()) => pending.push((i, Ok(link))),
+        match link.send(msg.clone()) {
+            Ok(ticket) => pending.push((i, Ok((ticket, link)))),
             Err(e) => pending.push((i, Err(e))),
         }
     }
     pending
         .into_iter()
         .map(|(i, slot)| match slot {
-            Ok(link) => (i, link.complete()),
+            Ok((ticket, link)) => (i, link.complete(ticket)),
             Err(e) => (i, Err(e)),
         })
         .collect()
@@ -254,7 +307,7 @@ where
 /// differ but the round still completes in one parallel wave. Reply
 /// ordering and error placement mirror [`broadcast`] exactly (scoped
 /// parallel `call` when the pool has more than one worker and more than
-/// one request is in flight; otherwise begin-all then complete-all), so
+/// one request is in flight; otherwise send-all then complete-all), so
 /// outcomes are identical at every pool size.
 ///
 /// # Panics
@@ -287,18 +340,18 @@ pub fn scatter(
         });
         return replies;
     }
-    let mut pending: Vec<(usize, Result<&mut Box<dyn Link>, LinkError>)> =
+    let mut pending: Vec<(usize, Result<(Ticket, &mut Box<dyn Link>), LinkError>)> =
         Vec::with_capacity(selected.len());
     for (i, msg, link) in selected {
-        match link.begin(msg) {
-            Ok(()) => pending.push((i, Ok(link))),
+        match link.send(msg) {
+            Ok(ticket) => pending.push((i, Ok((ticket, link)))),
             Err(e) => pending.push((i, Err(e))),
         }
     }
     pending
         .into_iter()
         .map(|(i, slot)| match slot {
-            Ok(link) => (i, link.complete()),
+            Ok((ticket, link)) => (i, link.complete(ticket)),
             Err(e) => (i, Err(e)),
         })
         .collect()
@@ -310,13 +363,15 @@ pub fn scatter(
 pub struct LocalLink<S> {
     service: S,
     meter: BandwidthMeter,
-    pending: Option<Message>,
+    /// Eagerly computed replies awaiting completion, in send order.
+    replies: VecDeque<Message>,
+    tickets: TicketLedger,
 }
 
 impl<S: Service> LocalLink<S> {
     /// Wraps a service with metering.
     pub fn new(service: S, meter: BandwidthMeter) -> Self {
-        LocalLink { service, meter, pending: None }
+        LocalLink { service, meter, replies: VecDeque::new(), tickets: TicketLedger::default() }
     }
 
     /// Consumes the link, returning the wrapped service.
@@ -326,27 +381,25 @@ impl<S: Service> LocalLink<S> {
 }
 
 impl<S: Service> Link for LocalLink<S> {
-    fn call(&mut self, msg: Message) -> Result<Message, LinkError> {
-        assert!(self.pending.is_none(), "request already outstanding");
+    // The inline transport has no concurrency to exploit: `send` computes
+    // eagerly and buffers the reply until its ticket is redeemed.
+    fn send(&mut self, msg: Message) -> Result<Ticket, LinkError> {
         self.meter.record(&msg);
         let reply = self.service.handle(msg);
         self.meter.record(&reply);
-        Ok(reply)
+        self.replies.push_back(reply);
+        Ok(self.tickets.issue())
     }
 
-    // The inline transport has no concurrency to exploit: `begin` computes
-    // eagerly and buffers the reply.
-    fn begin(&mut self, msg: Message) -> Result<(), LinkError> {
-        assert!(self.pending.is_none(), "request already outstanding");
-        self.meter.record(&msg);
-        let reply = self.service.handle(msg);
-        self.meter.record(&reply);
-        self.pending = Some(reply);
+    fn complete(&mut self, ticket: Ticket) -> Result<Message, LinkError> {
+        self.tickets.redeem(ticket);
+        Ok(self.replies.pop_front().expect("a redeemed ticket has a buffered reply"))
+    }
+
+    fn reconnect(&mut self) -> Result<(), LinkError> {
+        self.replies.clear();
+        self.tickets.reset();
         Ok(())
-    }
-
-    fn complete(&mut self) -> Result<Message, LinkError> {
-        Ok(self.pending.take().expect("no outstanding request"))
     }
 }
 
@@ -372,14 +425,22 @@ pub struct ChannelLink {
     meter: BandwidthMeter,
     config: LinkConfig,
     worker: Option<JoinHandle<()>>,
-    in_flight: bool,
-    // Replies owed for requests we timed out on: they arrive (in order)
-    // ahead of the reply to the current request and must be discarded.
+    tickets: TicketLedger,
+    // Replies owed for requests we timed out on or abandoned at reconnect:
+    // they arrive (in order) ahead of the reply to the current request and
+    // must be discarded.
     stale_replies: u64,
     // Set once either channel reports the worker gone; `is_finished` alone
     // races against the worker's unwinding.
     dead: bool,
 }
+
+/// Capacity of the request and reply channels, and therefore the most
+/// requests a [`ChannelLink`] can keep in flight without blocking the
+/// sender. The pipelined coordinators keep at most two outstanding per
+/// link; [`ChannelLink::send`] asserts the bound so a runaway window shows
+/// up as a panic rather than a deadlock.
+const CHANNEL_DEPTH: usize = 16;
 
 impl ChannelLink {
     /// Spawns the service on a dedicated thread with the default
@@ -395,8 +456,8 @@ impl ChannelLink {
         meter: BandwidthMeter,
         config: LinkConfig,
     ) -> Self {
-        let (req_tx, req_rx) = bounded::<bytes::Bytes>(1);
-        let (rep_tx, rep_rx) = bounded::<bytes::Bytes>(1);
+        let (req_tx, req_rx) = bounded::<bytes::Bytes>(CHANNEL_DEPTH);
+        let (rep_tx, rep_rx) = bounded::<bytes::Bytes>(CHANNEL_DEPTH);
         let worker = std::thread::spawn(move || {
             while let Ok(frame) = req_rx.recv() {
                 // A frame that does not decode must not kill the site: the
@@ -416,7 +477,7 @@ impl ChannelLink {
             meter,
             config,
             worker: Some(worker),
-            in_flight: false,
+            tickets: TicketLedger::default(),
             stale_replies: 0,
             dead: false,
         }
@@ -446,26 +507,22 @@ impl ChannelLink {
 }
 
 impl Link for ChannelLink {
-    fn call(&mut self, msg: Message) -> Result<Message, LinkError> {
-        self.begin(msg)?;
-        self.complete()
-    }
-
-    fn begin(&mut self, msg: Message) -> Result<(), LinkError> {
-        assert!(!self.in_flight, "request already outstanding");
+    fn send(&mut self, msg: Message) -> Result<Ticket, LinkError> {
+        assert!(
+            self.tickets.outstanding() < CHANNEL_DEPTH as u64,
+            "per-link in-flight window exceeds channel depth"
+        );
         let tx = self.tx.as_ref().expect("link is open");
         self.meter.record(&msg);
         if tx.send(msg.encode()).is_err() {
             self.dead = true;
             return Err(LinkError::Disconnected);
         }
-        self.in_flight = true;
-        Ok(())
+        Ok(self.tickets.issue())
     }
 
-    fn complete(&mut self) -> Result<Message, LinkError> {
-        assert!(self.in_flight, "no outstanding request");
-        self.in_flight = false;
+    fn complete(&mut self, ticket: Ticket) -> Result<Message, LinkError> {
+        self.tickets.redeem(ticket);
         let frame = self.recv_reply()?;
         let reply = Message::decode(frame).ok_or(LinkError::Malformed)?;
         if reply == Message::DecodeError {
@@ -479,7 +536,10 @@ impl Link for ChannelLink {
     fn reconnect(&mut self) -> Result<(), LinkError> {
         // A worker thread cannot be respawned (the service moved into it);
         // reconnection succeeds exactly when the worker is still serving.
-        self.in_flight = false;
+        // Replies to abandoned tickets will still arrive in order and must
+        // be discarded ahead of any future reply.
+        self.stale_replies += self.tickets.outstanding();
+        self.tickets.reset();
         if self.dead || !self.worker.as_ref().is_some_and(|h| !h.is_finished()) {
             self.dead = true;
             return Err(LinkError::Disconnected);
@@ -578,28 +638,22 @@ impl<L: Link> FaultyLink<L> {
 }
 
 impl<L: Link> Link for FaultyLink<L> {
-    fn call(&mut self, msg: Message) -> Result<Message, LinkError> {
+    // Tickets pass through the inner link untouched: the fault schedule
+    // decides at send time (per the attempt counter) whether a request is
+    // swallowed, and corrupts the payload at completion time.
+    fn send(&mut self, msg: Message) -> Result<Ticket, LinkError> {
         self.calls += 1;
         if let Some(e) = self.swallowed() {
             return Err(e);
         }
         // Always drive the inner link, even when the payload is about to be
-        // corrupted: both call paths must leave the service state and the
-        // metering identical.
-        let reply = self.inner.call(msg)?;
-        Ok(self.corrupt(reply))
+        // corrupted: faulting and healthy paths must leave the service
+        // state and the metering identical.
+        self.inner.send(msg)
     }
 
-    fn begin(&mut self, msg: Message) -> Result<(), LinkError> {
-        self.calls += 1;
-        if let Some(e) = self.swallowed() {
-            return Err(e);
-        }
-        self.inner.begin(msg)
-    }
-
-    fn complete(&mut self) -> Result<Message, LinkError> {
-        let reply = self.inner.complete()?;
+    fn complete(&mut self, ticket: Ticket) -> Result<Message, LinkError> {
+        let reply = self.inner.complete(ticket)?;
         Ok(self.corrupt(reply))
     }
 
@@ -771,7 +825,7 @@ mod tests {
 
     #[test]
     fn wrong_reply_drives_inner_service_on_both_paths() {
-        // The call path and the begin/complete path must leave identical
+        // The call path and the send/complete path must leave identical
         // service state and metering even while faulting.
         let run = |split: bool| {
             let meter = BandwidthMeter::new();
@@ -784,8 +838,8 @@ mod tests {
                 FaultyLink::new(LocalLink::new(service, meter.clone()), FaultMode::WrongReply, 1);
             for _ in 0..3 {
                 if split {
-                    link.begin(Message::RequestNext).unwrap();
-                    link.complete().unwrap();
+                    let ticket = link.send(Message::RequestNext).unwrap();
+                    link.complete(ticket).unwrap();
                 } else {
                     link.call(Message::RequestNext).unwrap();
                 }
@@ -995,12 +1049,74 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "request already outstanding")]
-    fn double_begin_panics() {
+    #[should_panic(expected = "tickets must be completed in send order")]
+    fn out_of_order_completion_panics() {
         let meter = BandwidthMeter::new();
         let mut link = LocalLink::new(echo_service(), meter);
-        link.begin(Message::RequestNext).unwrap();
-        let _ = link.begin(Message::RequestNext);
+        let _first = link.send(Message::RequestNext).unwrap();
+        let second = link.send(Message::RequestNext).unwrap();
+        let _ = link.complete(second);
+    }
+
+    #[test]
+    #[should_panic(expected = "tickets must be completed in send order")]
+    fn double_completion_panics() {
+        let meter = BandwidthMeter::new();
+        let mut link = LocalLink::new(echo_service(), meter);
+        let ticket = link.send(Message::RequestNext).unwrap();
+        link.complete(ticket).unwrap();
+        let _ = link.complete(ticket);
+    }
+
+    /// The pipelined coordinators keep two requests in flight per link;
+    /// every transport must pair each ticket with the reply to *its own*
+    /// request, in send order.
+    #[test]
+    fn multiple_outstanding_requests_complete_in_send_order() {
+        let stateful = || {
+            let mut seen = 0u64;
+            move |_msg: Message| {
+                seen += 1;
+                Message::SurvivalReply { survival: seen as f64, pruned: 0 }
+            }
+        };
+        let meter = BandwidthMeter::new();
+        let mut links: Vec<Box<dyn Link>> = vec![
+            Box::new(LocalLink::new(stateful(), meter.clone())),
+            Box::new(ChannelLink::spawn(stateful(), meter.clone())),
+        ];
+        for link in &mut links {
+            let tickets: Vec<Ticket> =
+                (0..3).map(|_| link.send(Message::RequestNext).unwrap()).collect();
+            for (k, ticket) in tickets.into_iter().enumerate() {
+                assert_eq!(
+                    link.complete(ticket),
+                    Ok(Message::SurvivalReply { survival: (k + 1) as f64, pruned: 0 })
+                );
+            }
+        }
+    }
+
+    /// Reconnecting abandons outstanding tickets: their replies are
+    /// discarded, and the next round-trip gets its own reply.
+    #[test]
+    fn channel_reconnect_discards_abandoned_replies() {
+        let stateful = {
+            let mut seen = 0u64;
+            move |_msg: Message| {
+                seen += 1;
+                Message::SurvivalReply { survival: seen as f64, pruned: 0 }
+            }
+        };
+        let meter = BandwidthMeter::new();
+        let mut link = ChannelLink::spawn(stateful, meter);
+        let _abandoned = link.send(Message::RequestNext).unwrap();
+        link.reconnect().unwrap();
+        // The reply to the abandoned request (survival 1.0) is skipped.
+        assert_eq!(
+            link.call(Message::RequestNext),
+            Ok(Message::SurvivalReply { survival: 2.0, pruned: 0 })
+        );
     }
 
     #[test]

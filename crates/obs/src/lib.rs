@@ -42,7 +42,11 @@ use serde::{Deserialize, Serialize};
 ///   `multi_probe_node_visits` to the counter snapshot plus the run's
 ///   `batch_size` configuration stamp. Schema-1/2/3 files still
 ///   deserialize (counters default to 0, `batch_size` to `None`).
-pub const SCHEMA_VERSION: u32 = 4;
+/// * 5 — adds the pipelining counters `pipeline_depth`,
+///   `overlapped_rounds`, and `refill_overlap_us` to the counter snapshot
+///   plus the run's `pipeline` configuration stamp. Schema ≤ 4 files still
+///   deserialize (counters default to 0, `pipeline` to `None`).
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// Typed counters of the paper's cost model.
 ///
@@ -96,9 +100,18 @@ pub enum Counter {
     /// ([`survival_products`](https://docs.rs/dsud-prtree)): each node is
     /// counted once per traversal no matter how many probes needed it.
     MultiProbeNodeVisits,
+    /// Configured pipeline window (in-flight requests per link), added once
+    /// per query so reports record the depth the run was executed at.
+    PipelineDepth,
+    /// Coordinator rounds whose refill requests were issued while the
+    /// previous survival scatter was still being folded in.
+    OverlappedRounds,
+    /// Microseconds refill requests spent in flight while the coordinator
+    /// did other work (survival folds, reporting) before completing them.
+    RefillOverlapUs,
 }
 
-const COUNTER_COUNT: usize = 16;
+const COUNTER_COUNT: usize = 19;
 
 impl Counter {
     fn index(self) -> usize {
@@ -194,6 +207,18 @@ pub struct CounterSnapshot {
     /// schema 4.
     #[serde(default)]
     pub multi_probe_node_visits: u64,
+    /// Final value of [`Counter::PipelineDepth`]. Absent (0) before
+    /// schema 5.
+    #[serde(default)]
+    pub pipeline_depth: u64,
+    /// Final value of [`Counter::OverlappedRounds`]. Absent (0) before
+    /// schema 5.
+    #[serde(default)]
+    pub overlapped_rounds: u64,
+    /// Final value of [`Counter::RefillOverlapUs`]. Absent (0) before
+    /// schema 5.
+    #[serde(default)]
+    pub refill_overlap_us: u64,
 }
 
 impl CounterSnapshot {
@@ -215,6 +240,9 @@ impl CounterSnapshot {
             quarantined_sites: c[Counter::QuarantinedSites.index()],
             batched_rounds: c[Counter::BatchedRounds.index()],
             multi_probe_node_visits: c[Counter::MultiProbeNodeVisits.index()],
+            pipeline_depth: c[Counter::PipelineDepth.index()],
+            overlapped_rounds: c[Counter::OverlappedRounds.index()],
+            refill_overlap_us: c[Counter::RefillOverlapUs.index()],
         }
     }
 
@@ -237,6 +265,9 @@ impl CounterSnapshot {
             Counter::QuarantinedSites => self.quarantined_sites,
             Counter::BatchedRounds => self.batched_rounds,
             Counter::MultiProbeNodeVisits => self.multi_probe_node_visits,
+            Counter::PipelineDepth => self.pipeline_depth,
+            Counter::OverlappedRounds => self.overlapped_rounds,
+            Counter::RefillOverlapUs => self.refill_overlap_us,
         }
     }
 }
@@ -273,6 +304,11 @@ pub struct RunReport {
     /// Absent before schema 4.
     #[serde(default)]
     pub batch_size: Option<String>,
+    /// Pipeline depth the coordinator ran with (`"1"`, `"8"`, `"auto"`),
+    /// stamped by the caller that knows it; `None` otherwise. Absent
+    /// before schema 5.
+    #[serde(default)]
+    pub pipeline: Option<String>,
     /// Progressive answer trace, in report order (timestamps are
     /// monotonically non-decreasing).
     pub progressive: Vec<ProgressSample>,
@@ -419,6 +455,7 @@ impl Recorder {
             transport: None,
             threads: None,
             batch_size: None,
+            pipeline: None,
         })
     }
 }
@@ -653,6 +690,51 @@ mod tests {
         assert_eq!(report.counters.multi_probe_node_visits, 0);
         assert_eq!(report.counters.get(Counter::BatchedRounds), 0);
         assert_eq!(report.batch_size, None);
+    }
+
+    #[test]
+    fn schema_four_reports_deserialize_with_zero_pipeline_counters() {
+        // A schema-4 file predates the pipelining counters and the
+        // `pipeline` stamp; they must fill in as zero / `None`.
+        let json = r#"{
+            "schema_version": 4,
+            "algorithm": "dsud",
+            "wall_ms": 1.0,
+            "counters": {
+                "bytes_sent": 9, "messages": 4, "tuples_shipped": 2,
+                "feedback_broadcasts": 1, "rounds": 1, "expunged": 0,
+                "pruned_at_sites": 0, "prtree_nodes_visited": 0,
+                "prtree_pruned_subtrees": 0, "local_skyline_size": 0,
+                "progressive_results": 1, "link_retries": 0,
+                "link_timeouts": 0, "quarantined_sites": 0,
+                "batched_rounds": 2, "multi_probe_node_visits": 40
+            },
+            "spans": [],
+            "phases": [],
+            "transport": "inline",
+            "threads": 1,
+            "batch_size": "auto",
+            "progressive": []
+        }"#;
+        let report: RunReport = serde_json::from_str(json).unwrap();
+        assert_eq!(report.counters.batched_rounds, 2);
+        assert_eq!(report.counters.pipeline_depth, 0);
+        assert_eq!(report.counters.overlapped_rounds, 0);
+        assert_eq!(report.counters.refill_overlap_us, 0);
+        assert_eq!(report.counters.get(Counter::OverlappedRounds), 0);
+        assert_eq!(report.pipeline, None);
+    }
+
+    #[test]
+    fn pipeline_counters_flow_into_the_snapshot() {
+        let rec = Recorder::enabled();
+        rec.add(Counter::PipelineDepth, 2);
+        rec.add(Counter::OverlappedRounds, 9);
+        rec.add(Counter::RefillOverlapUs, 1500);
+        let report = rec.report("dsud").unwrap();
+        assert_eq!(report.counters.pipeline_depth, 2);
+        assert_eq!(report.counters.overlapped_rounds, 9);
+        assert_eq!(report.counters.refill_overlap_us, 1500);
     }
 
     #[test]

@@ -68,6 +68,14 @@ impl BbsScratch {
     pub fn multi_probe(&mut self) -> &mut crate::tree::MultiProbeScratch {
         &mut self.multi
     }
+
+    /// Read-only footprint of the multi-probe buffers (see
+    /// [`MultiProbeScratch::footprint`](crate::tree::MultiProbeScratch::footprint)),
+    /// so callers holding a site-level scratch can assert that batched
+    /// feedback reached its allocation-free steady state.
+    pub fn multi_probe_footprint(&self) -> usize {
+        self.multi.footprint()
+    }
 }
 
 /// Computes the qualified local skyline `SKY(D_i)`: every tuple whose local

@@ -35,6 +35,21 @@ pub struct MultiProbeScratch {
     visited: u64,
 }
 
+impl MultiProbeScratch {
+    /// Total reserved capacity, in buffer elements, across every internal
+    /// buffer.
+    ///
+    /// This is a steady-state probe for tests and diagnostics: once a
+    /// scratch has served a traversal at a given probe count and tree
+    /// depth, serving further traversals no larger than that must leave
+    /// the footprint unchanged — i.e. the reuse really is allocation-free.
+    pub fn footprint(&self) -> usize {
+        self.roots.capacity()
+            + self.levels.capacity()
+            + self.levels.iter().map(|l| l.active.capacity() + l.products.capacity()).sum::<usize>()
+    }
+}
+
 #[derive(Debug, Default)]
 struct MultiProbeLevel {
     /// Probes that must recurse into the child under consideration.

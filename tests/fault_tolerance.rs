@@ -11,7 +11,9 @@
 
 use std::time::Duration;
 
-use dsud_core::{dsud, edsud, BatchSize, BoundMode, Error, LocalSite, SiteOptions, SubspaceMask};
+use dsud_core::{
+    dsud, edsud, BatchSize, BoundMode, Error, LocalSite, PipelineDepth, SiteOptions, SubspaceMask,
+};
 use dsud_core::{
     BandwidthMeter, Counter, FailurePolicy, Link, LinkConfig, LinkError, QuarantineReason,
     QueryOutcome, Recorder, RetryLink, Transport,
@@ -111,6 +113,7 @@ fn strict_drop_is_site_failed_on_every_transport() {
             None,
             FailurePolicy::Strict,
             BatchSize::Fixed(1),
+            PipelineDepth::Fixed(1),
         );
         match err {
             Err(Error::SiteFailed { site: 1, source: LinkError::Timeout }) => {}
@@ -135,6 +138,7 @@ fn strict_disconnect_is_site_failed_on_every_transport() {
             None,
             FailurePolicy::Strict,
             BatchSize::Fixed(1),
+            PipelineDepth::Fixed(1),
         );
         match err {
             Err(Error::SiteFailed { site: 2, source: LinkError::Disconnected }) => {}
@@ -162,6 +166,7 @@ fn degrade_quarantines_the_failed_site_and_completes() {
                 None,
                 FailurePolicy::Degrade,
                 BatchSize::Fixed(1),
+                PipelineDepth::Fixed(1),
             )
             .unwrap_or_else(|e| panic!("{transport:?}/{fault:?}: degrade mode failed: {e}"));
             assert!(outcome.degraded, "{transport:?}/{fault:?}: outcome not marked degraded");
@@ -199,6 +204,7 @@ fn stall_within_budget_recovers_the_exact_healthy_answer() {
             None,
             FailurePolicy::Strict,
             BatchSize::Fixed(1),
+            PipelineDepth::Fixed(1),
         )
         .unwrap();
 
@@ -217,6 +223,7 @@ fn stall_within_budget_recovers_the_exact_healthy_answer() {
             None,
             FailurePolicy::Strict,
             BatchSize::Fixed(1),
+            PipelineDepth::Fixed(1),
         )
         .unwrap_or_else(|e| panic!("{transport:?}: stall within budget failed: {e}"));
 
@@ -252,6 +259,7 @@ fn strict_wrong_reply_is_a_protocol_violation_naming_the_site() {
         None,
         FailurePolicy::Strict,
         BatchSize::Fixed(1),
+        PipelineDepth::Fixed(1),
     );
     assert!(matches!(err, Err(Error::ProtocolViolation { site: 1, .. })), "got {err:?}");
 }
@@ -271,6 +279,7 @@ fn degrade_wrong_reply_quarantines_with_a_protocol_reason() {
         None,
         FailurePolicy::Degrade,
         BatchSize::Fixed(1),
+        PipelineDepth::Fixed(1),
     )
     .unwrap();
     assert!(outcome.degraded);
@@ -294,6 +303,7 @@ fn fault_on_first_contact_is_caught() {
         None,
         FailurePolicy::Strict,
         BatchSize::Fixed(1),
+        PipelineDepth::Fixed(1),
     );
     assert!(matches!(err, Err(Error::ProtocolViolation { site: 0, .. })), "got {err:?}");
 }
@@ -314,6 +324,7 @@ fn healthy_budget_large_enough_means_success() {
         None,
         FailurePolicy::Strict,
         BatchSize::Fixed(1),
+        PipelineDepth::Fixed(1),
     )
     .unwrap();
     assert!(!outcome.skyline.is_empty());
@@ -336,6 +347,7 @@ fn corrupted_survival_values_are_rejected() {
         None,
         FailurePolicy::Strict,
         BatchSize::Fixed(1),
+        PipelineDepth::Fixed(1),
     );
     assert!(
         matches!(
@@ -420,6 +432,7 @@ fn killing_a_site_mid_query_is_site_failed_under_strict() {
             None,
             FailurePolicy::Strict,
             BatchSize::Fixed(1),
+            PipelineDepth::Fixed(1),
         );
         match err {
             Err(Error::SiteFailed { site: 1, .. }) => {}
@@ -441,6 +454,7 @@ fn killing_a_site_mid_query_degrades_and_names_it() {
             None,
             FailurePolicy::Degrade,
             BatchSize::Fixed(1),
+            PipelineDepth::Fixed(1),
         )
         .unwrap_or_else(|e| panic!("{transport:?}: degrade mode failed: {e}"));
         assert!(outcome.degraded, "{transport:?}: outcome not marked degraded");
@@ -474,6 +488,7 @@ fn retry_accounting_is_identical_across_pool_sizes_and_transports() {
             None,
             FailurePolicy::Degrade,
             BatchSize::Fixed(1),
+            PipelineDepth::Fixed(1),
         )
         .unwrap();
         threadpool::set_pool_size(0);

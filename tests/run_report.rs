@@ -106,6 +106,89 @@ fn edsud_run_produces_a_complete_report() {
     assert!(report.spans.iter().any(|s| s.name == "expunge"));
 }
 
+/// The expunge span is opened once per coordinator round — not once per
+/// expunge probe. A batched e-DSUD run expunges many candidates per round,
+/// so a per-probe span would overshoot the round count immediately.
+#[test]
+fn expunge_spans_are_per_round_not_per_probe() {
+    use dsud_core::BatchSize;
+    let recorder = Recorder::enabled();
+    let mut cluster =
+        Cluster::local_instrumented(2, workload(4, 50), SiteOptions::default(), recorder.clone())
+            .expect("valid workload");
+    let config = QueryConfig::new(0.3).expect("valid threshold").batch_size(BatchSize::Auto);
+    cluster.run_edsud(&config).expect("query succeeds");
+    let report = recorder.report("edsud").expect("recorder is enabled");
+
+    let expunge_spans = report.spans.iter().filter(|s| s.name == "expunge").count();
+    let round_spans = report.spans.iter().filter(|s| s.name == "round").count();
+    assert!(expunge_spans >= 1, "the workload must exercise expunge");
+    assert!(
+        expunge_spans <= round_spans,
+        "{expunge_spans} expunge spans for {round_spans} rounds — the span must be per round"
+    );
+    assert!(
+        report.counters.expunged > expunge_spans as u64,
+        "{} expunged candidates across {expunge_spans} spans — the workload must expunge \
+         more than once per round for this test to bite",
+        report.counters.expunged
+    );
+}
+
+/// A pipelined run stamps the schema-5 counters: the configured window,
+/// the number of overlapped rounds, and the overlap wall-clock total.
+#[test]
+fn pipelined_runs_report_overlap_counters() {
+    use dsud_core::PipelineDepth;
+    for edsud in [false, true] {
+        let recorder = Recorder::enabled();
+        let mut cluster = Cluster::local_instrumented(
+            2,
+            workload(4, 50),
+            SiteOptions::default(),
+            recorder.clone(),
+        )
+        .expect("valid workload");
+        let config =
+            QueryConfig::new(0.3).expect("valid threshold").pipeline_depth(PipelineDepth::Fixed(4));
+        let name = if edsud {
+            cluster.run_edsud(&config).expect("query succeeds");
+            "edsud"
+        } else {
+            cluster.run_dsud(&config).expect("query succeeds");
+            "dsud"
+        };
+        let report = recorder.report(name).expect("recorder is enabled");
+        assert_eq!(report.counters.pipeline_depth, 4, "{name}");
+        assert!(report.counters.overlapped_rounds > 0, "{name} overlapped no rounds");
+        assert!(
+            report.counters.overlapped_rounds <= report.counters.rounds,
+            "{name}: at most one overlap per round"
+        );
+        assert!(report.spans.iter().any(|s| s.name == "overlap"), "{name} opened overlap spans");
+
+        // The sequential run reports the degenerate window and no overlap.
+        let recorder = Recorder::enabled();
+        let mut cluster = Cluster::local_instrumented(
+            2,
+            workload(4, 50),
+            SiteOptions::default(),
+            recorder.clone(),
+        )
+        .expect("valid workload");
+        let config = QueryConfig::new(0.3).expect("valid threshold");
+        if edsud {
+            cluster.run_edsud(&config).expect("query succeeds");
+        } else {
+            cluster.run_dsud(&config).expect("query succeeds");
+        }
+        let report = recorder.report(name).expect("recorder is enabled");
+        assert_eq!(report.counters.pipeline_depth, 1, "{name}");
+        assert_eq!(report.counters.overlapped_rounds, 0, "{name}");
+        assert_eq!(report.counters.refill_overlap_us, 0, "{name}");
+    }
+}
+
 #[test]
 fn report_round_trips_through_serde_json() {
     let (report, _) = instrumented_run(true);
