@@ -66,18 +66,82 @@ pub enum Command {
         seed: u64,
         /// Optional path for a JSON observability run report.
         report: Option<PathBuf>,
-        /// Site transport (`baseline` always runs in process and ignores
-        /// this).
+        /// Site transport: `inline` (deterministic in-process dispatch,
+        /// the default), `threaded` (one OS thread per site behind
+        /// channels), or `tcp` (real loopback sockets). The answer is
+        /// bit-identical across all three; only `--failure degrade`
+        /// behavior and wall-clock change. `baseline` always runs in
+        /// process and ignores this flag.
         transport: Transport,
-        /// What to do when a site stays unreachable after retries.
+        /// What to do when a site stays unreachable after its link's
+        /// retries are exhausted: `strict` (default) aborts the query
+        /// naming the dead site; `degrade` quarantines it and finishes on
+        /// the survivors, reporting probabilities as upper bounds and
+        /// marking the run `DEGRADED`. Only meaningful on fallible
+        /// transports — `inline` links cannot fail.
         failure: FailurePolicy,
-        /// Candidates coalesced per feedback round (`--batch <K>` or
-        /// `--batch auto`); never changes the answer.
+        /// Candidates coalesced per feedback round: `--batch <K>` fixes
+        /// the count, `--batch auto` sizes each round from the candidate
+        /// backlog. Batching trades per-round latency for fewer
+        /// synchronization rounds and never changes the answer (pinned by
+        /// bit-identity tests). Composes with `--pipeline`: batches fill
+        /// the in-flight window.
         batch: BatchSize,
-        /// In-flight request window per link (`--pipeline <W>` or
-        /// `--pipeline auto`); W > 1 overlaps each round's scatter with
-        /// the next round's refills without changing the answer.
+        /// In-flight request window per link: `--pipeline <W>` fixes the
+        /// window, `--pipeline auto` resolves to the double buffer (W=2).
+        /// W > 1 overlaps each round's scatter with the next round's
+        /// refills — useful on `threaded`/`tcp` where requests have real
+        /// latency, a no-op win on `inline` — without changing the answer.
         pipeline: PipelineDepth,
+    },
+    /// Run the long-lived session daemon: sites stay resident and many
+    /// concurrent clients multiplex queries onto them.
+    Serve {
+        /// Input path.
+        input: PathBuf,
+        /// Number of sites to partition across.
+        sites: usize,
+        /// Partitioning seed.
+        seed: u64,
+        /// TCP port to listen on (0 picks an ephemeral port; the bound
+        /// address is printed on startup).
+        port: u16,
+        /// Site transport (same choices and semantics as `query`).
+        transport: Transport,
+        /// Failure policy applied to every query (same semantics as
+        /// `query`; chosen by the operator, not per client).
+        failure: FailurePolicy,
+        /// Feedback batching applied to every query (`<K>` or `auto`).
+        batch: BatchSize,
+        /// Pipeline window applied to every query (`<W>` or `auto`).
+        pipeline: PipelineDepth,
+        /// Admission-control gate: maximum queries running concurrently;
+        /// arrivals beyond that queue FIFO.
+        max_concurrent: usize,
+        /// Result-cache capacity in answers (0 disables caching).
+        cache: usize,
+    },
+    /// Send one request to a running `dsud serve` daemon.
+    Client {
+        /// Daemon address, e.g. `127.0.0.1:7878`.
+        addr: String,
+        /// Algorithm choice (`baseline` is not served).
+        algorithm: Algorithm,
+        /// Probability threshold.
+        q: f64,
+        /// Optional subspace: dimension indices.
+        subspace: Option<Vec<usize>>,
+        /// Optional progressive top-k limit.
+        limit: Option<usize>,
+        /// Optional path for the per-query JSON run report.
+        report: Option<PathBuf>,
+        /// JSON tuple to insert (`--insert '<tuple json>'`), instead of
+        /// querying.
+        insert: Option<String>,
+        /// JSON tuple to delete, instead of querying.
+        delete: Option<String>,
+        /// Ask the daemon to shut down, instead of querying.
+        shutdown: bool,
     },
     /// Run the vertically partitioned UTA query over a workload file.
     Vertical {
@@ -125,7 +189,26 @@ USAGE:
   dsud vertical --input <FILE> [--q <Q>]
   dsud stream   --input <FILE> [--q <Q>] [--window <W>] [--every <K>]
   dsud estimate [--n <N>] [--dims <D>] [--sites <M>]
+  dsud serve    --input <FILE> [--sites <M>] [--seed <S>] [--port <P>]
+                [--transport inline|threaded|tcp] [--failure strict|degrade]
+                [--batch <K>|auto] [--pipeline <W>|auto]
+                [--max-concurrent <N>] [--cache <N>]
+  dsud client   --addr <HOST:PORT> [--algorithm dsud|edsud] [--q <Q>]
+                [--subspace 0,2,...] [--limit <K>] [--report <FILE>]
+                [--insert '<tuple json>'] [--delete '<tuple json>'] [--shutdown]
   dsud help
+
+Flag notes:
+  --transport  inline|threaded|tcp give bit-identical answers; only
+               failure behavior and wall-clock differ.
+  --failure    strict aborts on a dead site; degrade quarantines it and
+               reports upper bounds (needs a fallible transport).
+  --batch      auto sizes feedback rounds from the candidate backlog;
+               a fixed K coalesces K candidates per round.
+  --pipeline   auto is the double buffer (W=2); W>1 overlaps rounds on
+               threaded/tcp transports. Neither flag changes the answer.
+  serve runs queries with ITS transport/failure/batch/pipeline flags;
+  clients choose only what to ask (algorithm, q, subspace, limit).
 
 Data files hold one JSON tuple per line:
   {\"id\":{\"site\":0,\"seq\":0},\"values\":[0.1,0.9],\"prob\":0.8}";
@@ -195,47 +278,12 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 "baseline" => Algorithm::Baseline,
                 other => return Err(CliError::Usage(format!("unknown algorithm '{other}'"))),
             };
-            let subspace = match get("subspace") {
-                Some(spec) => {
-                    let dims: Result<Vec<usize>, _> =
-                        spec.split(',').map(str::trim).map(str::parse).collect();
-                    Some(dims.map_err(|_| {
-                        CliError::Usage(format!(
-                            "--subspace expects indices like 0,2 — got '{spec}'"
-                        ))
-                    })?)
-                }
-                None => None,
-            };
+            let subspace = subspace_flag(get("subspace"))?;
             let limit = match get("limit") {
                 Some(v) => Some(v.parse().map_err(|_| {
                     CliError::Usage(format!("--limit expects an integer, got '{v}'"))
                 })?),
                 None => None,
-            };
-            let transport = match get("transport") {
-                Some(v) => v.parse::<Transport>().map_err(|_| {
-                    CliError::Usage(format!("--transport expects inline|threaded|tcp, got '{v}'"))
-                })?,
-                None => Transport::Inline,
-            };
-            let failure = match get("failure") {
-                Some(v) => v.parse::<FailurePolicy>().map_err(|_| {
-                    CliError::Usage(format!("--failure expects strict|degrade, got '{v}'"))
-                })?,
-                None => FailurePolicy::Strict,
-            };
-            let batch = match get("batch") {
-                Some(v) => v.parse::<BatchSize>().map_err(|_| {
-                    CliError::Usage(format!("--batch expects a count >= 1 or auto, got '{v}'"))
-                })?,
-                None => BatchSize::default(),
-            };
-            let pipeline = match get("pipeline") {
-                Some(v) => v.parse::<PipelineDepth>().map_err(|_| {
-                    CliError::Usage(format!("--pipeline expects a window >= 1 or auto, got '{v}'"))
-                })?,
-                None => PipelineDepth::default(),
             };
             Ok(Command::Query {
                 input: PathBuf::from(input),
@@ -246,10 +294,74 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 limit,
                 seed: parse_num("seed", 0)? as u64,
                 report: get("report").map(PathBuf::from),
-                transport,
-                failure,
-                batch,
-                pipeline,
+                transport: transport_flag(get("transport"))?,
+                failure: failure_flag(get("failure"))?,
+                batch: batch_flag(get("batch"))?,
+                pipeline: pipeline_flag(get("pipeline"))?,
+            })
+        }
+        "serve" => {
+            let input = get("input")
+                .ok_or_else(|| CliError::Usage("serve requires --input <FILE>".into()))?;
+            let port = parse_num("port", 0)?;
+            let port = u16::try_from(port)
+                .map_err(|_| CliError::Usage(format!("--port expects 0..=65535, got '{port}'")))?;
+            let max_concurrent = parse_num("max-concurrent", 8)?;
+            if max_concurrent == 0 {
+                return Err(CliError::Usage("--max-concurrent must be at least 1".into()));
+            }
+            Ok(Command::Serve {
+                input: PathBuf::from(input),
+                sites: parse_num("sites", 8)?,
+                seed: parse_num("seed", 0)? as u64,
+                port,
+                transport: transport_flag(get("transport"))?,
+                failure: failure_flag(get("failure"))?,
+                batch: batch_flag(get("batch"))?,
+                pipeline: pipeline_flag(get("pipeline"))?,
+                max_concurrent,
+                cache: parse_num("cache", 64)?,
+            })
+        }
+        "client" => {
+            let addr = get("addr")
+                .ok_or_else(|| CliError::Usage("client requires --addr <HOST:PORT>".into()))?;
+            let algorithm = match get("algorithm").unwrap_or("edsud") {
+                "dsud" => Algorithm::Dsud,
+                "edsud" => Algorithm::Edsud,
+                "baseline" => {
+                    return Err(CliError::Usage(
+                        "the daemon serves dsud|edsud; run baseline locally via 'dsud query'"
+                            .into(),
+                    ))
+                }
+                other => return Err(CliError::Usage(format!("unknown algorithm '{other}'"))),
+            };
+            let shutdown = match get("shutdown") {
+                None => false,
+                Some("true") => true,
+                Some("false") => false,
+                Some(v) => {
+                    return Err(CliError::Usage(format!(
+                        "--shutdown is a bare flag (or true|false), got '{v}'"
+                    )))
+                }
+            };
+            Ok(Command::Client {
+                addr: addr.to_string(),
+                algorithm,
+                q: parse_f64("q", 0.3)?,
+                subspace: subspace_flag(get("subspace"))?,
+                limit: match get("limit") {
+                    Some(v) => Some(v.parse().map_err(|_| {
+                        CliError::Usage(format!("--limit expects an integer, got '{v}'"))
+                    })?),
+                    None => None,
+                },
+                report: get("report").map(PathBuf::from),
+                insert: get("insert").map(String::from),
+                delete: get("delete").map(String::from),
+                shutdown,
             })
         }
         "vertical" => {
@@ -277,16 +389,81 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     }
 }
 
-/// Splits `--key value` pairs into a map.
+/// Parses `--transport` (defaults to `inline`).
+fn transport_flag(v: Option<&str>) -> Result<Transport, CliError> {
+    match v {
+        Some(v) => v.parse::<Transport>().map_err(|_| {
+            CliError::Usage(format!("--transport expects inline|threaded|tcp, got '{v}'"))
+        }),
+        None => Ok(Transport::Inline),
+    }
+}
+
+/// Parses `--failure` (defaults to `strict`).
+fn failure_flag(v: Option<&str>) -> Result<FailurePolicy, CliError> {
+    match v {
+        Some(v) => v
+            .parse::<FailurePolicy>()
+            .map_err(|_| CliError::Usage(format!("--failure expects strict|degrade, got '{v}'"))),
+        None => Ok(FailurePolicy::Strict),
+    }
+}
+
+/// Parses `--batch` (defaults to one candidate per round).
+fn batch_flag(v: Option<&str>) -> Result<BatchSize, CliError> {
+    match v {
+        Some(v) => v.parse::<BatchSize>().map_err(|_| {
+            CliError::Usage(format!("--batch expects a count >= 1 or auto, got '{v}'"))
+        }),
+        None => Ok(BatchSize::default()),
+    }
+}
+
+/// Parses `--pipeline` (defaults to no overlap).
+fn pipeline_flag(v: Option<&str>) -> Result<PipelineDepth, CliError> {
+    match v {
+        Some(v) => v.parse::<PipelineDepth>().map_err(|_| {
+            CliError::Usage(format!("--pipeline expects a window >= 1 or auto, got '{v}'"))
+        }),
+        None => Ok(PipelineDepth::default()),
+    }
+}
+
+/// Parses `--subspace 0,2,...` into dimension indices.
+fn subspace_flag(v: Option<&str>) -> Result<Option<Vec<usize>>, CliError> {
+    match v {
+        Some(spec) => {
+            let dims: Result<Vec<usize>, _> =
+                spec.split(',').map(str::trim).map(str::parse).collect();
+            Ok(Some(dims.map_err(|_| {
+                CliError::Usage(format!("--subspace expects indices like 0,2 — got '{spec}'"))
+            })?))
+        }
+        None => Ok(None),
+    }
+}
+
+/// Splits `--key value` pairs into a map. A flag followed by another flag
+/// (or by nothing) is a bare boolean and stores `"true"` — `--shutdown`
+/// and `--shutdown true` parse identically.
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
     let mut flags = HashMap::new();
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        let Some(key) = arg.strip_prefix("--") else {
-            return Err(CliError::Usage(format!("expected a --flag, got '{arg}'")));
+    let mut i = 0;
+    while i < args.len() {
+        let Some(key) = args[i].strip_prefix("--") else {
+            return Err(CliError::Usage(format!("expected a --flag, got '{}'", args[i])));
         };
-        let value = it.next().ok_or_else(|| CliError::Usage(format!("--{key} needs a value")))?;
-        flags.insert(key.to_string(), value.clone());
+        let value = match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => {
+                i += 2;
+                v.clone()
+            }
+            _ => {
+                i += 1;
+                "true".to_string()
+            }
+        };
+        flags.insert(key.to_string(), value);
     }
     Ok(flags)
 }
@@ -428,6 +605,60 @@ mod tests {
             panic!()
         };
         assert_eq!(report, Some(PathBuf::from("run.json")));
+    }
+
+    #[test]
+    fn parses_serve_with_defaults_and_overrides() {
+        let Command::Serve { sites, port, transport, max_concurrent, cache, .. } =
+            parse(&argv("serve --input d.jsonl")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!((sites, port), (8, 0));
+        assert_eq!(transport, Transport::Inline);
+        assert_eq!((max_concurrent, cache), (8, 64));
+
+        let Command::Serve { port, transport, max_concurrent, cache, batch, .. } = parse(&argv(
+            "serve --input d.jsonl --port 7878 --transport tcp --max-concurrent 4 --cache 0 --batch auto",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(port, 7878);
+        assert_eq!(transport, Transport::Tcp);
+        assert_eq!((max_concurrent, cache), (4, 0));
+        assert_eq!(batch, BatchSize::Auto);
+
+        assert!(parse(&argv("serve")).is_err()); // missing --input
+        assert!(parse(&argv("serve --input d.jsonl --max-concurrent 0")).is_err());
+        assert!(parse(&argv("serve --input d.jsonl --port 70000")).is_err());
+    }
+
+    #[test]
+    fn parses_client_query_and_bare_shutdown() {
+        let Command::Client { addr, algorithm, q, subspace, limit, shutdown, .. } =
+            parse(&argv("client --addr 127.0.0.1:7878 --q 0.5 --subspace 0,1 --limit 3")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(addr, "127.0.0.1:7878");
+        assert_eq!(algorithm, Algorithm::Edsud);
+        assert_eq!(q, 0.5);
+        assert_eq!(subspace, Some(vec![0, 1]));
+        assert_eq!(limit, Some(3));
+        assert!(!shutdown);
+
+        // --shutdown works bare (last flag) and before another flag.
+        for line in
+            ["client --addr 127.0.0.1:7878 --shutdown", "client --shutdown --addr 127.0.0.1:7878"]
+        {
+            let Command::Client { shutdown, .. } = parse(&argv(line)).unwrap() else { panic!() };
+            assert!(shutdown, "{line}");
+        }
+
+        assert!(parse(&argv("client")).is_err()); // missing --addr
+        assert!(parse(&argv("client --addr a --algorithm baseline")).is_err());
+        assert!(parse(&argv("client --addr a --shutdown maybe")).is_err());
     }
 
     #[test]

@@ -1,19 +1,26 @@
 use std::fs;
-use std::io::Write;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use dsud_core::update::UpdateOp;
 use dsud_core::{
     baseline, BandwidthMeter, BatchSize, Cluster, FailurePolicy, PipelineDepth, QueryConfig,
-    QueryOutcome, Recorder, SiteOptions, SubspaceMask, Transport,
+    QueryOutcome, Recorder, SessionOptions, SessionServer, SiteOptions, SubspaceMask, Transport,
 };
 use dsud_data::nyse::NyseSpec;
 use dsud_data::{partition_uniform, ProbabilityLaw, SpatialDistribution, WorkloadSpec};
+use dsud_net::{spawn_query_server, ClientControl, ClientHandler};
 use dsud_uncertain::{Probability, UncertainTuple};
 use dsud_vertical::{ColumnSite, UtaCoordinator};
 
 use crate::args::USAGE;
+use crate::protocol::{
+    DoneSummary, QuerySpec, Request, Response, ResultEntry, UpdateSpec, UpdateSummary,
+};
 use crate::{Algorithm, CliError, Command, Distribution};
 
 /// Executes a parsed command, writing human-readable output to `out`.
@@ -60,6 +67,52 @@ pub fn run<W: Write>(cmd: &Command, out: &mut W) -> Result<(), CliError> {
         ),
         Command::Vertical { input, q } => vertical(input, *q, out),
         Command::Stream { input, q, window, every } => stream(input, *q, *window, *every, out),
+        Command::Serve {
+            input,
+            sites,
+            seed,
+            port,
+            transport,
+            failure,
+            batch,
+            pipeline,
+            max_concurrent,
+            cache,
+        } => serve(
+            input,
+            *sites,
+            *seed,
+            *port,
+            *transport,
+            *failure,
+            *batch,
+            *pipeline,
+            *max_concurrent,
+            *cache,
+            out,
+        ),
+        Command::Client {
+            addr,
+            algorithm,
+            q,
+            subspace,
+            limit,
+            report,
+            insert,
+            delete,
+            shutdown,
+        } => client(
+            addr,
+            *algorithm,
+            *q,
+            subspace.as_deref(),
+            *limit,
+            report.as_deref(),
+            insert.as_deref(),
+            delete.as_deref(),
+            *shutdown,
+            out,
+        ),
         Command::Estimate { n, dims, sites } => {
             estimate(*n, *dims, *sites, out)?;
             Ok(())
@@ -339,6 +392,307 @@ fn stream<W: Write>(
         stats.pruned_candidates
     )?;
     Ok(())
+}
+
+/// Per-connection request handler for `dsud serve`: bridges the JSON-lines
+/// protocol (`crate::protocol`) to the shared [`SessionServer`]. Execution
+/// knobs (transport, failure, batch, pipeline) are the daemon's flags —
+/// every query runs with them, whoever asks.
+struct ServeHandler {
+    session: Arc<SessionServer>,
+    transport: Transport,
+    failure: FailurePolicy,
+    batch: BatchSize,
+    pipeline: PipelineDepth,
+}
+
+impl ServeHandler {
+    fn answer_query(&self, spec: &QuerySpec) -> Result<dsud_core::SessionOutcome, CliError> {
+        let mut config = QueryConfig::new(spec.q.unwrap_or(0.3))?
+            .failure_policy(self.failure)
+            .batch_size(self.batch)
+            .pipeline_depth(self.pipeline);
+        if let Some(dims) = &spec.subspace {
+            config = config.subspace(SubspaceMask::from_dims(dims)?);
+        }
+        if let Some(k) = spec.limit {
+            config = config.limit(k);
+        }
+        let mut outcome = match spec.algorithm.as_deref().unwrap_or("edsud") {
+            "dsud" => self.session.run_dsud(&config, spec.report)?,
+            "edsud" => self.session.run_edsud(&config, spec.report)?,
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown algorithm '{other}' (the daemon serves dsud|edsud)"
+                )))
+            }
+        };
+        // Stamp the environment fields exactly like the one-shot path.
+        if let Some(report) = outcome.report.as_mut() {
+            report.transport = Some(self.transport.to_string());
+            report.threads = Some(threadpool::pool_size());
+            report.batch_size = Some(self.batch.name());
+            report.pipeline = Some(self.pipeline.name());
+        }
+        Ok(outcome)
+    }
+
+    fn apply_update(&self, spec: &UpdateSpec) -> Result<UpdateSummary, CliError> {
+        let op = match spec.op.as_str() {
+            "insert" => UpdateOp::Insert(spec.tuple.clone()),
+            "delete" => UpdateOp::Delete(spec.tuple.clone()),
+            other => {
+                return Err(CliError::Usage(format!("unknown update op '{other}' (insert|delete)")))
+            }
+        };
+        let invalidated_before = self.session.stats().cache_invalidated;
+        self.session.apply_update(&op)?;
+        let stats = self.session.stats();
+        Ok(UpdateSummary {
+            updates_applied: stats.updates_applied,
+            cache_invalidated: stats.cache_invalidated - invalidated_before,
+        })
+    }
+}
+
+/// Writes one protocol line and flushes it so clients see it immediately.
+fn respond(out: &mut dyn Write, response: &Response) -> std::io::Result<()> {
+    let line = serde_json::to_string(response).expect("protocol responses serialize");
+    writeln!(out, "{line}")?;
+    out.flush()
+}
+
+fn respond_error(out: &mut dyn Write, message: &str) -> std::io::Result<ClientControl> {
+    respond(out, &Response { error: Some(message.to_string()), ..Response::default() })?;
+    Ok(ClientControl::Continue)
+}
+
+impl ClientHandler for ServeHandler {
+    fn handle_line(&mut self, line: &str, out: &mut dyn Write) -> std::io::Result<ClientControl> {
+        let request: Request = match serde_json::from_str(line) {
+            Ok(request) => request,
+            Err(e) => return respond_error(out, &format!("bad request: {e}")),
+        };
+        if request.shutdown {
+            respond(out, &Response { bye: true, ..Response::default() })?;
+            return Ok(ClientControl::Shutdown);
+        }
+        if let Some(spec) = &request.update {
+            return match self.apply_update(spec) {
+                Ok(summary) => {
+                    respond(out, &Response { updated: Some(summary), ..Response::default() })?;
+                    Ok(ClientControl::Continue)
+                }
+                Err(e) => respond_error(out, &e.to_string()),
+            };
+        }
+        if let Some(spec) = &request.query {
+            return match self.answer_query(spec) {
+                Ok(answer) => {
+                    // One line per qualified tuple, flushed as written, so
+                    // the client renders results progressively in the
+                    // algorithms' discovery order.
+                    for entry in &answer.outcome.skyline {
+                        let result = ResultEntry {
+                            site: entry.tuple.id().site.0,
+                            seq: entry.tuple.id().seq,
+                            values: entry.tuple.values().to_vec(),
+                            probability: entry.probability,
+                        };
+                        respond(out, &Response { result: Some(result), ..Response::default() })?;
+                    }
+                    let done = DoneSummary {
+                        query_id: answer.query_id,
+                        count: answer.outcome.skyline.len(),
+                        cache_hit: answer.cache_hit,
+                        admission_wait_us: answer.admission_wait_us,
+                        tuples_transmitted: answer.outcome.traffic.tuples_transmitted(),
+                        iterations: answer.outcome.stats.iterations,
+                        degraded: answer.outcome.degraded,
+                        report: answer.report,
+                    };
+                    respond(out, &Response { done: Some(done), ..Response::default() })?;
+                    Ok(ClientControl::Continue)
+                }
+                Err(e) => respond_error(out, &e.to_string()),
+            };
+        }
+        respond_error(out, "empty request: set query, update, or shutdown")
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn serve<W: Write>(
+    input: &std::path::Path,
+    sites: usize,
+    seed: u64,
+    port: u16,
+    transport: Transport,
+    failure: FailurePolicy,
+    batch: BatchSize,
+    pipeline: PipelineDepth,
+    max_concurrent: usize,
+    cache: usize,
+    out: &mut W,
+) -> Result<(), CliError> {
+    let tuples = read_tuples(input)?;
+    let dims = tuples[0].dims();
+    let rows: Vec<(Vec<f64>, Probability)> =
+        tuples.iter().map(|t| (t.values().to_vec(), t.prob())).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let partitioned = partition_uniform(rows, sites, &mut rng)?;
+
+    let cluster = Cluster::with_transport(
+        dims,
+        partitioned,
+        SiteOptions::default(),
+        Recorder::disabled(),
+        transport,
+    )?;
+    let session = Arc::new(SessionServer::new(
+        cluster,
+        SessionOptions { max_concurrent, cache_capacity: cache },
+    ));
+    let handler_session = Arc::clone(&session);
+    let server = spawn_query_server(port, move || ServeHandler {
+        session: Arc::clone(&handler_session),
+        transport,
+        failure,
+        batch,
+        pipeline,
+    })?;
+    writeln!(
+        out,
+        "dsud serve listening on {} ({} sites, {} tuples, transport {transport}, \
+         max-concurrent {max_concurrent}, cache {cache})",
+        server.addr(),
+        session.site_count(),
+        session.total_tuples(),
+    )?;
+    out.flush()?;
+    server.wait()?;
+    let stats = session.stats();
+    writeln!(
+        out,
+        "dsud serve stopped: {} queries ({} cache hits), {} updates, peak concurrency {}",
+        stats.queries_served, stats.cache_hits, stats.updates_applied, stats.peak_concurrent
+    )?;
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn client<W: Write>(
+    addr: &str,
+    algorithm: Algorithm,
+    q: f64,
+    subspace: Option<&[usize]>,
+    limit: Option<usize>,
+    report: Option<&std::path::Path>,
+    insert: Option<&str>,
+    delete: Option<&str>,
+    shutdown: bool,
+    out: &mut W,
+) -> Result<(), CliError> {
+    let request = if shutdown {
+        Request { shutdown: true, ..Request::default() }
+    } else if let Some(json) = insert.or(delete) {
+        let tuple: UncertainTuple = serde_json::from_str(json)
+            .map_err(|e| CliError::Parse { line: 1, message: e.to_string() })?;
+        let op = if insert.is_some() { "insert" } else { "delete" };
+        Request { update: Some(UpdateSpec { op: op.to_string(), tuple }), ..Request::default() }
+    } else {
+        let algorithm = match algorithm {
+            Algorithm::Dsud => "dsud",
+            Algorithm::Edsud => "edsud",
+            Algorithm::Baseline => {
+                return Err(CliError::Usage(
+                    "the daemon serves dsud|edsud; run baseline locally via 'dsud query'".into(),
+                ))
+            }
+        };
+        Request {
+            query: Some(QuerySpec {
+                algorithm: Some(algorithm.to_string()),
+                q: Some(q),
+                subspace: subspace.map(<[usize]>::to_vec),
+                limit,
+                report: report.is_some(),
+            }),
+            ..Request::default()
+        }
+    };
+
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    let reader = BufReader::new(stream);
+    let line = serde_json::to_string(&request).expect("protocol requests serialize");
+    writeln!(writer, "{line}")?;
+    writer.flush()?;
+
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response: Response = serde_json::from_str(&line)
+            .map_err(|e| CliError::Library(format!("bad response from server: {e}")))?;
+        if let Some(message) = response.error {
+            return Err(CliError::Library(format!("server error: {message}")));
+        }
+        if response.bye {
+            writeln!(out, "server shutting down")?;
+            return Ok(());
+        }
+        if let Some(update) = response.updated {
+            writeln!(
+                out,
+                "update applied ({} total), {} cached answers invalidated",
+                update.updates_applied, update.cache_invalidated
+            )?;
+            return Ok(());
+        }
+        if let Some(entry) = response.result {
+            writeln!(
+                out,
+                "  {}  values={:?}  P_gsky={:.4}",
+                dsud_uncertain::TupleId::new(entry.site, entry.seq),
+                entry.values,
+                entry.probability
+            )?;
+            continue;
+        }
+        if let Some(done) = response.done {
+            writeln!(
+                out,
+                "query {}: {} qualified tuples ({}, {} tuples transmitted, \
+                 {} iterations, waited {}us at admission)",
+                done.query_id,
+                done.count,
+                if done.cache_hit { "cache hit" } else { "computed" },
+                done.tuples_transmitted,
+                done.iterations,
+                done.admission_wait_us
+            )?;
+            if done.degraded {
+                writeln!(out, "DEGRADED: reported probabilities are upper bounds")?;
+            }
+            if let Some(path) = report {
+                match &done.report {
+                    Some(run_report) => {
+                        let json = serde_json::to_string_pretty(run_report).map_err(|e| {
+                            CliError::Library(format!("cannot serialize run report: {e}"))
+                        })?;
+                        fs::write(path, json)?;
+                        writeln!(out, "run report written to {}", path.display())?;
+                    }
+                    None => writeln!(out, "server returned no run report")?,
+                }
+            }
+            return Ok(());
+        }
+    }
+    Err(CliError::Library("connection closed before the reply completed".into()))
 }
 
 fn estimate<W: Write>(n: usize, dims: usize, sites: usize, out: &mut W) -> Result<(), CliError> {

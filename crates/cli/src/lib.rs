@@ -6,6 +6,8 @@
 //! dsud query    --input data.jsonl --sites 8 --q 0.3 --algorithm edsud
 //! dsud vertical --input data.jsonl --q 0.3
 //! dsud estimate --n 2000000 --dims 3 --sites 60
+//! dsud serve    --input data.jsonl --sites 8 --port 7878
+//! dsud client   --addr 127.0.0.1:7878 --q 0.3
 //! ```
 //!
 //! The data format is one JSON-encoded [`UncertainTuple`](dsud_uncertain::UncertainTuple) per line, so
@@ -19,6 +21,7 @@
 mod args;
 mod commands;
 mod error;
+pub mod protocol;
 
 pub use args::{parse, Algorithm, Command, Distribution};
 pub use commands::run;

@@ -394,6 +394,17 @@ impl Cluster {
         self.servers.len()
     }
 
+    /// Decomposes the cluster into the parts a [`crate::SessionServer`]
+    /// re-assembles around shared, query-multiplexed links:
+    /// `(dims, total_tuples, links, meter, site_servers)`. The servers must
+    /// outlive the links for the same drop-order reason [`Cluster`] itself
+    /// declares `links` first.
+    pub(crate) fn into_parts(
+        self,
+    ) -> (usize, usize, Vec<Box<dyn Link>>, BandwidthMeter, Vec<tcp::SiteServer>) {
+        (self.dims, self.total_tuples, self.links, self.meter, self.servers)
+    }
+
     /// Runs the DSUD algorithm (Section 5.1).
     ///
     /// # Errors

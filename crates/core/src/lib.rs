@@ -65,6 +65,7 @@ mod error;
 pub mod estimate;
 mod pipeline;
 mod progress;
+pub mod session;
 mod site;
 pub mod synopsis;
 pub mod update;
@@ -76,6 +77,7 @@ pub use config::{
 pub use degrade::{QuarantineReason, SiteStatus};
 pub use error::Error;
 pub use progress::{ProgressEvent, ProgressLog};
+pub use session::{SessionOptions, SessionOutcome, SessionServer, SessionStats};
 pub use site::LocalSite;
 
 // Re-export the workspace API surface so `dsud_core` works as a facade.

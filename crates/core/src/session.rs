@@ -1,0 +1,605 @@
+//! The session layer behind `dsud serve`: many concurrent queries over one
+//! resident deployment.
+//!
+//! A one-shot [`Cluster`] builds its sites, answers a
+//! single query, and dies — fine for experiments, wasteful for the
+//! interactive, repeated querying the paper's progressive protocols are
+//! designed for. [`SessionServer`] keeps the sites (and their PR-trees)
+//! resident and multiplexes any number of DSUD / e-DSUD queries onto them:
+//!
+//! * **Query multiplexing** — the cluster's links are wrapped in
+//!   [`SharedLink`]s; each admitted query gets its own query id and a set
+//!   of [`MuxLink`]s that tag every frame with that id
+//!   ([`dsud_net::Message::Tagged`]). Sites park per-query cursor state in
+//!   a session table and dispatch each tagged frame through the ordinary
+//!   one-shot handlers, so a multiplexed query is *bit-identical* to a
+//!   one-shot run — same answers, same per-query traffic — which the
+//!   `serve_sessions` integration tests pin.
+//! * **Admission control** — a deterministic FIFO gate bounds how many
+//!   queries run concurrently ([`SessionOptions::max_concurrent`]); the
+//!   microseconds spent queueing are reported per query
+//!   ([`dsud_obs::Counter::AdmissionWaitUs`]).
+//! * **Result cache** — completed answers are cached under their full
+//!   query key (algorithm, threshold bits, subspace, limit, bound,
+//!   synopsis, failure policy), so a repeated query on unchanged sites is
+//!   served without a single candidate round
+//!   ([`dsud_obs::Counter::CacheHits`], `rounds == 0` in its report). Any
+//!   update applied through [`SessionServer::apply_update`] — the existing
+//!   maintenance path — invalidates the whole cache before the site's tree
+//!   changes become visible to queries.
+//!
+//! Traffic accounting is two-level: each query's [`SessionOutcome`]
+//! carries the per-query meter snapshot (identical to a one-shot run),
+//! while [`SessionServer::meter`] aggregates the actual tagged frames
+//! across all queries, id headers included.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use dsud_net::server::{share, MuxLink, SharedLink};
+use dsud_net::{tcp, BandwidthMeter, Link, Message, MeterSnapshot, TupleMsg};
+use dsud_obs::{Counter, Recorder, RunReport};
+
+use crate::update::UpdateOp;
+use crate::{
+    dsud, edsud, BoundMode, Cluster, Error, FailurePolicy, ProgressLog, QueryConfig, QueryOutcome,
+    RunStats,
+};
+
+/// Session-server knobs: concurrency and caching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionOptions {
+    /// Maximum queries running concurrently; admitted FIFO beyond that.
+    /// Must be at least 1.
+    pub max_concurrent: usize,
+    /// Result-cache capacity in entries (FIFO eviction); 0 disables the
+    /// cache entirely.
+    pub cache_capacity: usize,
+}
+
+impl Default for SessionOptions {
+    fn default() -> Self {
+        SessionOptions { max_concurrent: 8, cache_capacity: 64 }
+    }
+}
+
+/// Counters describing a session server's lifetime so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Queries answered (cache hits included).
+    pub queries_served: u64,
+    /// Queries answered from the result cache without any round.
+    pub cache_hits: u64,
+    /// Cached answers dropped by update-driven invalidation.
+    pub cache_invalidated: u64,
+    /// Updates applied through the maintenance path.
+    pub updates_applied: u64,
+    /// Current number of cached answers.
+    pub cache_entries: usize,
+    /// Highest number of queries that ran concurrently.
+    pub peak_concurrent: usize,
+}
+
+/// Result of one query answered by a [`SessionServer`].
+#[derive(Debug, Clone)]
+pub struct SessionOutcome {
+    /// Server-assigned query id (also stamped into the report).
+    pub query_id: u64,
+    /// The query result. For a cache hit the skyline is the cached answer
+    /// verbatim and the traffic / round counters are zero — no network
+    /// round happened.
+    pub outcome: QueryOutcome,
+    /// Whether the answer came from the result cache.
+    pub cache_hit: bool,
+    /// Microseconds spent queueing at the admission gate.
+    pub admission_wait_us: u64,
+    /// Per-query run report (schema 6), when one was requested.
+    pub report: Option<RunReport>,
+}
+
+/// Deterministic FIFO admission gate: tickets are served strictly in
+/// arrival order, and at most `max` width runs at once. An update drains
+/// the gate by acquiring the full width.
+#[derive(Debug)]
+struct Admission {
+    max: usize,
+    state: Mutex<AdmissionState>,
+    turned: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct AdmissionState {
+    next_ticket: u64,
+    now_serving: u64,
+    running: usize,
+    peak: usize,
+}
+
+impl Admission {
+    fn new(max: usize) -> Self {
+        Admission {
+            max: max.max(1),
+            state: Mutex::new(AdmissionState::default()),
+            turned: Condvar::new(),
+        }
+    }
+
+    /// Blocks until this caller's turn comes *and* `width` slots are free;
+    /// returns the microseconds waited. Strict FIFO: a wide request at the
+    /// head of the queue blocks later narrow ones until it is admitted.
+    fn acquire(&self, width: usize) -> u64 {
+        let started = Instant::now();
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let ticket = state.next_ticket;
+        state.next_ticket += 1;
+        while !(state.now_serving == ticket && state.running + width <= self.max) {
+            state = self.turned.wait(state).unwrap_or_else(PoisonError::into_inner);
+        }
+        state.now_serving += 1;
+        state.running += width;
+        // Peak tracks *query* concurrency; a full-width update drain is
+        // exclusion, not concurrency, so it does not count.
+        if width == 1 {
+            state.peak = state.peak.max(state.running);
+        }
+        drop(state);
+        // The next ticket may already satisfy its admission condition.
+        self.turned.notify_all();
+        started.elapsed().as_micros() as u64
+    }
+
+    fn release(&self, width: usize) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.running -= width;
+        drop(state);
+        self.turned.notify_all();
+    }
+
+    fn peak(&self) -> usize {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner).peak
+    }
+}
+
+/// Releases admitted width when the query scope ends, error paths included.
+struct AdmissionGuard<'a> {
+    admission: &'a Admission,
+    width: usize,
+}
+
+impl Drop for AdmissionGuard<'_> {
+    fn drop(&mut self) {
+        self.admission.release(self.width);
+    }
+}
+
+/// Full identity of an answer: every knob that can change the result.
+/// Batch size and pipeline depth are deliberately absent — they are
+/// answer-invariant execution strategies (pinned by the PR 4–5 bit-identity
+/// tests), so differently-scheduled repeats share one cache entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    algorithm: &'static str,
+    q_bits: u64,
+    mask_bits: u64,
+    limit: Option<usize>,
+    bound: BoundMode,
+    synopsis: Option<u16>,
+    failure: FailurePolicy,
+}
+
+/// `(key → answer)` store with FIFO eviction.
+#[derive(Debug, Default)]
+struct ResultCache {
+    map: HashMap<CacheKey, QueryOutcome>,
+    order: VecDeque<CacheKey>,
+    capacity: usize,
+}
+
+impl ResultCache {
+    fn new(capacity: usize) -> Self {
+        ResultCache { capacity, ..ResultCache::default() }
+    }
+
+    fn get(&self, key: &CacheKey) -> Option<QueryOutcome> {
+        self.map.get(key).cloned()
+    }
+
+    fn insert(&mut self, key: CacheKey, outcome: QueryOutcome) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.map.insert(key.clone(), outcome).is_none() {
+            self.order.push_back(key);
+        }
+        while self.order.len() > self.capacity {
+            if let Some(evicted) = self.order.pop_front() {
+                self.map.remove(&evicted);
+            }
+        }
+    }
+
+    /// Drops everything; returns how many answers were invalidated.
+    fn clear(&mut self) -> u64 {
+        let dropped = self.map.len() as u64;
+        self.map.clear();
+        self.order.clear();
+        dropped
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Which coordinator a session query runs.
+#[derive(Debug, Clone, Copy)]
+enum Algo {
+    Dsud,
+    Edsud,
+}
+
+impl Algo {
+    fn name(self) -> &'static str {
+        match self {
+            Algo::Dsud => "dsud",
+            Algo::Edsud => "edsud",
+        }
+    }
+}
+
+/// A resident deployment serving many concurrent DSUD / e-DSUD queries —
+/// the session layer of the `dsud serve` daemon (see the module docs).
+///
+/// Built from a fully-constructed [`Cluster`] (any transport); all methods
+/// take `&self`, so one server can be shared across client threads behind
+/// an [`std::sync::Arc`].
+pub struct SessionServer {
+    dims: usize,
+    total_tuples: usize,
+    /// Declared before `_servers` so the links drop first — same wind-down
+    /// order [`Cluster`] itself maintains for its TCP transport.
+    shared: Vec<SharedLink>,
+    /// Server-wide aggregate meter (the cluster's): sees the tagged frames
+    /// of every query, id headers included.
+    meter: BandwidthMeter,
+    admission: Admission,
+    cache: Mutex<ResultCache>,
+    next_query: AtomicU64,
+    queries_served: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_invalidated: AtomicU64,
+    updates_applied: AtomicU64,
+    _servers: Vec<tcp::SiteServer>,
+}
+
+impl std::fmt::Debug for SessionServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionServer")
+            .field("dims", &self.dims)
+            .field("sites", &self.shared.len())
+            .field("total_tuples", &self.total_tuples)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SessionServer {
+    /// Takes ownership of a constructed cluster and re-assembles it around
+    /// shared, query-multiplexed links.
+    pub fn new(cluster: Cluster, options: SessionOptions) -> Self {
+        let (dims, total_tuples, links, meter, servers) = cluster.into_parts();
+        SessionServer {
+            dims,
+            total_tuples,
+            shared: links.into_iter().map(share).collect(),
+            meter,
+            admission: Admission::new(options.max_concurrent),
+            cache: Mutex::new(ResultCache::new(options.cache_capacity)),
+            next_query: AtomicU64::new(1),
+            queries_served: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_invalidated: AtomicU64::new(0),
+            updates_applied: AtomicU64::new(0),
+            _servers: servers,
+        }
+    }
+
+    /// Dimensionality of the resident data space.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of resident sites `m`.
+    pub fn site_count(&self) -> usize {
+        self.shared.len()
+    }
+
+    /// Total tuples across all sites at construction time.
+    pub fn total_tuples(&self) -> usize {
+        self.total_tuples
+    }
+
+    /// The server-wide aggregate bandwidth meter (tagged frames of every
+    /// query; per-query traffic lives in each [`SessionOutcome`]).
+    pub fn meter(&self) -> &BandwidthMeter {
+        &self.meter
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            queries_served: self.queries_served.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_invalidated: self.cache_invalidated.load(Ordering::Relaxed),
+            updates_applied: self.updates_applied.load(Ordering::Relaxed),
+            cache_entries: self.cache.lock().unwrap_or_else(PoisonError::into_inner).len(),
+            peak_concurrent: self.admission.peak(),
+        }
+    }
+
+    /// Runs one DSUD query through the session layer.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Cluster::run_dsud`].
+    pub fn run_dsud(
+        &self,
+        config: &QueryConfig,
+        want_report: bool,
+    ) -> Result<SessionOutcome, Error> {
+        self.run(Algo::Dsud, config, want_report)
+    }
+
+    /// Runs one e-DSUD query through the session layer.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Cluster::run_edsud`].
+    pub fn run_edsud(
+        &self,
+        config: &QueryConfig,
+        want_report: bool,
+    ) -> Result<SessionOutcome, Error> {
+        self.run(Algo::Edsud, config, want_report)
+    }
+
+    fn run(
+        &self,
+        algo: Algo,
+        config: &QueryConfig,
+        want_report: bool,
+    ) -> Result<SessionOutcome, Error> {
+        // Validate before taking a queue slot so malformed queries cannot
+        // stall well-formed ones behind them.
+        let mask = config.resolve_mask(self.dims)?;
+        let query_id = self.next_query.fetch_add(1, Ordering::Relaxed);
+
+        let wait_us = self.admission.acquire(1);
+        let _slot = AdmissionGuard { admission: &self.admission, width: 1 };
+
+        let recorder = if want_report { Recorder::enabled() } else { Recorder::disabled() };
+        recorder.add(Counter::AdmissionWaitUs, wait_us);
+
+        let key = CacheKey {
+            algorithm: algo.name(),
+            q_bits: config.q.to_bits(),
+            mask_bits: mask.bits(),
+            limit: config.limit,
+            bound: config.bound,
+            synopsis: config.synopsis,
+            failure: config.failure,
+        };
+
+        if let Some(cached) = self.cache.lock().unwrap_or_else(PoisonError::into_inner).get(&key) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            self.queries_served.fetch_add(1, Ordering::Relaxed);
+            recorder.incr(Counter::CacheHits);
+            let mut progress = ProgressLog::new();
+            for e in &cached.skyline {
+                recorder.progressive(e.tuple.id().site.0, e.tuple.id().seq, e.probability, 0);
+                progress.push(e.tuple.id(), e.probability, 0, Duration::ZERO);
+            }
+            let outcome = QueryOutcome {
+                skyline: cached.skyline,
+                progress,
+                traffic: MeterSnapshot::default(),
+                stats: RunStats::default(),
+                degraded: false,
+                sites: Vec::new(),
+            };
+            let report = finish_report(&recorder, algo, query_id);
+            return Ok(SessionOutcome {
+                query_id,
+                outcome,
+                cache_hit: true,
+                admission_wait_us: wait_us,
+                report,
+            });
+        }
+
+        // Fresh per-query meter: this query's traffic snapshot starts at
+        // zero exactly like a one-shot run's, so `outcome.traffic` is
+        // bit-identical to the same query executed on a fresh cluster.
+        let query_meter = BandwidthMeter::with_recorder(recorder.clone());
+        let mut links: Vec<Box<dyn Link>> = self
+            .shared
+            .iter()
+            .map(|s| {
+                Box::new(MuxLink::new(query_id, SharedLink::clone(s), query_meter.clone()))
+                    as Box<dyn Link>
+            })
+            .collect();
+        let result = match algo {
+            Algo::Dsud => dsud::run_with_policy(
+                &mut links,
+                &query_meter,
+                config.q,
+                mask,
+                config.limit,
+                config.failure,
+                config.batch,
+                config.pipeline,
+            ),
+            Algo::Edsud => edsud::run_with_synopses(
+                &mut links,
+                &query_meter,
+                config.q,
+                mask,
+                config.bound,
+                config.limit,
+                config.synopsis,
+                config.failure,
+                config.batch,
+                config.pipeline,
+            ),
+        };
+        // Clear the sites' parked cursor state for this query id whether
+        // the run succeeded or not; the release is server bookkeeping, not
+        // query traffic, so it bypasses the per-query meter (the shared
+        // links still meter it into the server aggregate).
+        drop(links);
+        self.release_sites(query_id);
+        let outcome = result?;
+
+        self.queries_served.fetch_add(1, Ordering::Relaxed);
+        // A degraded answer carries upper bounds, not the answer an
+        // intact repeat would produce — never serve it from cache.
+        if !outcome.degraded {
+            self.cache.lock().unwrap_or_else(PoisonError::into_inner).insert(key, outcome.clone());
+        }
+        let report = finish_report(&recorder, algo, query_id);
+        Ok(SessionOutcome {
+            query_id,
+            outcome,
+            cache_hit: false,
+            admission_wait_us: wait_us,
+            report,
+        })
+    }
+
+    /// Applies one update through the existing maintenance path and
+    /// invalidates the result cache.
+    ///
+    /// The update drains the admission gate first (it acquires the full
+    /// concurrent width, FIFO like any query), so it never interleaves
+    /// with a running query's rounds, and every query admitted after it
+    /// sees both the new tree state and an empty cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SiteFailed`] if the home site's link fails, or
+    /// [`Error::InvalidArgument`] for an out-of-range home site.
+    pub fn apply_update(&self, op: &UpdateOp) -> Result<(), Error> {
+        let home = op.site() as usize;
+        if home >= self.shared.len() {
+            return Err(Error::InvalidArgument("update names a site outside the cluster"));
+        }
+        self.admission.acquire(self.admission.max);
+        let _all = AdmissionGuard { admission: &self.admission, width: self.admission.max };
+
+        let inject = match op {
+            UpdateOp::Insert(t) => Message::InjectInsert(TupleMsg::new(t, 0.0)),
+            UpdateOp::Delete(t) => Message::InjectDelete(TupleMsg::new(t, 0.0)),
+        };
+        // Same semantics as `Maintainer::apply_local_only`: the site's
+        // tree changes; the maintenance notification (if any) is the
+        // metered reply.
+        self.shared[home]
+            .lock()
+            .call(inject)
+            .map_err(|e| Error::SiteFailed { site: home as u32, source: e })?;
+
+        let dropped = self.cache.lock().unwrap_or_else(PoisonError::into_inner).clear();
+        self.cache_invalidated.fetch_add(dropped, Ordering::Relaxed);
+        self.updates_applied.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn release_sites(&self, query_id: u64) {
+        for shared in &self.shared {
+            let release = Message::Tagged { query_id, inner: Box::new(Message::Release) };
+            let _ = shared.lock().call(release);
+        }
+    }
+}
+
+/// Takes the per-query report (if recording) and stamps the schema-6
+/// session fields the session layer owns. Transport / threads / batch /
+/// pipeline stamps stay with the caller that knows them (the CLI), exactly
+/// as on the one-shot path.
+fn finish_report(recorder: &Recorder, algo: Algo, query_id: u64) -> Option<RunReport> {
+    let mut report = recorder.report(algo.name())?;
+    report.query_id = Some(query_id);
+    Some(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admission_is_fifo_and_bounded() {
+        let admission = Admission::new(2);
+        admission.acquire(1);
+        admission.acquire(1); // 2 running: at capacity
+        let gate = std::sync::Arc::new(Admission::new(2));
+        drop(admission);
+
+        // Fill the gate, then race 8 more acquires; served order must be
+        // ticket order and concurrency must never exceed the width.
+        let order = std::sync::Arc::new(Mutex::new(Vec::new()));
+        std::thread::scope(|s| {
+            for i in 0..8u32 {
+                let gate = std::sync::Arc::clone(&gate);
+                let order = std::sync::Arc::clone(&order);
+                s.spawn(move || {
+                    gate.acquire(1);
+                    order.lock().unwrap().push(i);
+                    std::thread::sleep(Duration::from_millis(2));
+                    gate.release(1);
+                });
+                // Stagger spawns so ticket order matches spawn order.
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        });
+        let served = order.lock().unwrap().clone();
+        assert_eq!(served, (0..8).collect::<Vec<_>>());
+        assert!(gate.peak() <= 2);
+    }
+
+    #[test]
+    fn result_cache_evicts_fifo_and_clears() {
+        let mut cache = ResultCache::new(2);
+        let key = |q: u64| CacheKey {
+            algorithm: "edsud",
+            q_bits: q,
+            mask_bits: 3,
+            limit: None,
+            bound: BoundMode::default(),
+            synopsis: None,
+            failure: FailurePolicy::default(),
+        };
+        let outcome = QueryOutcome {
+            skyline: Vec::new(),
+            progress: ProgressLog::new(),
+            traffic: MeterSnapshot::default(),
+            stats: RunStats::default(),
+            degraded: false,
+            sites: Vec::new(),
+        };
+        cache.insert(key(1), outcome.clone());
+        cache.insert(key(2), outcome.clone());
+        cache.insert(key(3), outcome.clone()); // evicts key(1)
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key(1)).is_none());
+        assert!(cache.get(&key(2)).is_some());
+        assert!(cache.get(&key(3)).is_some());
+        assert_eq!(cache.clear(), 2);
+        assert!(cache.get(&key(2)).is_none());
+
+        let mut disabled = ResultCache::new(0);
+        disabled.insert(key(1), outcome);
+        assert_eq!(disabled.len(), 0);
+    }
+}

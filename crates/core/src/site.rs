@@ -9,7 +9,7 @@
 //! [`dsud_net::Service`], the identical code runs inline, on a thread, or
 //! behind a TCP socket.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use dsud_net::{Message, Service, TupleMsg};
 use dsud_obs::Recorder;
@@ -33,6 +33,12 @@ pub struct LocalSite {
     tree: PrTree,
     options: SiteOptions,
     query: Option<ActiveQuery>,
+    /// Parked per-query cursors of the session layer: a
+    /// [`Message::Tagged`] frame swaps the identified query's state into
+    /// the `query` slot, dispatches the inner message through the ordinary
+    /// handlers, and parks the state again — so multiplexed queries reuse
+    /// the one-shot code paths verbatim and stay bit-identical to them.
+    sessions: HashMap<u64, ActiveQuery>,
     /// Replica of the global skyline `SKY(H)` (Section 5.4): lets the site
     /// decide locally whether an update can affect the global result.
     replica: Vec<TupleMsg>,
@@ -108,6 +114,7 @@ impl LocalSite {
             tree,
             options,
             query: None,
+            sessions: HashMap::new(),
             replica: Vec::new(),
             scratch: BbsScratch::default(),
         })
@@ -362,6 +369,29 @@ impl LocalSite {
 impl Service for LocalSite {
     fn handle(&mut self, msg: Message) -> Message {
         match msg {
+            // Session multiplexing: park the default cursor, swap in the
+            // tagged query's cursor, run the inner message through the very
+            // same arms below, and park the cursor again. The inner
+            // handlers cannot tell a multiplexed round from a one-shot one.
+            Message::Tagged { query_id, inner } => {
+                if matches!(*inner, Message::Release) {
+                    self.sessions.remove(&query_id);
+                    return Message::Ack;
+                }
+                let parked = self.query.take();
+                self.query = self.sessions.remove(&query_id);
+                let reply = self.handle(*inner);
+                if let Some(state) = self.query.take() {
+                    self.sessions.insert(query_id, state);
+                }
+                self.query = parked;
+                reply
+            }
+            // An untagged Release clears the default query slot.
+            Message::Release => {
+                self.query = None;
+                Message::Ack
+            }
             Message::Start { q, mask } => self.start(q, mask),
             Message::RequestNext => self.next_candidate(),
             Message::Feedback(t) => self.feedback(&t),

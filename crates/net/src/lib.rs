@@ -24,7 +24,11 @@
 //! * [`LatencyModel`] — a deterministic cost model converting metered
 //!   traffic into simulated network time, used by the update-performance
 //!   experiment (paper Fig. 14) so "response time" is reproducible on any
-//!   machine.
+//!   machine;
+//! * [`MuxLink`] and [`QueryServer`] — the session-layer pieces behind the
+//!   long-lived `dsud serve` daemon: per-query multiplexed views of shared
+//!   site links ([`Message::Tagged`]) and the client-facing accept loop
+//!   (see the [`server`] module docs).
 //!
 //! # Example
 //!
@@ -55,6 +59,7 @@ mod latency;
 mod message;
 mod meter;
 mod retry;
+pub mod server;
 pub mod tcp;
 mod transport;
 
@@ -62,6 +67,9 @@ pub use latency::{DelayedService, LatencyModel};
 pub use message::{Message, SynopsisMsg, TrafficClass, TupleMsg};
 pub use meter::{BandwidthMeter, Counters, MeterSnapshot};
 pub use retry::{HealthSnapshot, LinkHealth, RetryLink};
+pub use server::{
+    share, spawn_query_server, ClientControl, ClientHandler, MuxLink, QueryServer, SharedLink,
+};
 pub use transport::{
     broadcast, scatter, ChannelLink, FaultMode, FaultyLink, Link, LinkConfig, LinkError, LocalLink,
     Service, Ticket,

@@ -241,6 +241,24 @@ pub enum Message {
         /// (summed over the `K` feedbacks, in batch order).
         pruned: u64,
     },
+    /// `H → site` (session layer): the carried protocol message belongs to
+    /// the multiplexed query `query_id`. Sites route the inner message to
+    /// that query's private cursor state and answer with the *untagged*
+    /// inner reply (correlation is the multiplexing link's job, not the
+    /// wire's). Traffic class and tuple count delegate to the inner
+    /// message, so a tagged round costs exactly what the one-shot round
+    /// costs plus the 8-byte id — headers stay free in the paper's unit.
+    Tagged {
+        /// Server-assigned query identifier.
+        query_id: u64,
+        /// The protocol message being multiplexed.
+        inner: Box<Message>,
+    },
+    /// `H → site` (session layer): the tagged query is finished — discard
+    /// its per-query cursor state. Sent wrapped in [`Message::Tagged`] so
+    /// the site knows *which* session slot to clear; the site replies
+    /// [`Message::Ack`].
+    Release,
 }
 
 /// Traffic classes used by the [`crate::BandwidthMeter`].
@@ -282,6 +300,9 @@ impl Message {
             Message::InjectInsert(_) | Message::InjectDelete(_) => TrafficClass::Scaffold,
             Message::SynopsisRequest { .. } => TrafficClass::Control,
             Message::Synopsis(_) => TrafficClass::Upload,
+            // A tagged frame is the inner message plus a free header.
+            Message::Tagged { inner, .. } => inner.class(),
+            Message::Release => TrafficClass::Control,
         }
     }
 
@@ -299,6 +320,7 @@ impl Message {
             Message::Synopsis(s) => s.tuple_equivalents(),
             // Injected updates are simulation scaffolding, not traffic.
             Message::InjectInsert(_) | Message::InjectDelete(_) => 0,
+            Message::Tagged { inner, .. } => inner.tuple_count(),
             _ => 0,
         }
     }
@@ -314,9 +336,16 @@ impl Message {
     /// first. Transports that send many frames over one connection keep a
     /// single [`BytesMut`] alive and re-encode into it, so a batched round
     /// costs one write per site without any per-frame allocation.
-    pub fn encode_into(&self, mut buf: &mut BytesMut) {
+    pub fn encode_into(&self, buf: &mut BytesMut) {
         buf.clear();
         buf.reserve(self.encoded_len());
+        self.encode_body(buf);
+    }
+
+    /// Appends the wire form without clearing the buffer first — the
+    /// recursive step [`Message::Tagged`] uses to splice its inner message
+    /// after the id header.
+    fn encode_body(&self, mut buf: &mut BytesMut) {
         match self {
             Message::Start { q, mask } => {
                 buf.put_u8(0);
@@ -405,6 +434,12 @@ impl Message {
                 }
                 buf.put_u64(*pruned);
             }
+            Message::Tagged { query_id, inner } => {
+                buf.put_u8(21);
+                buf.put_u64(*query_id);
+                inner.encode_body(buf);
+            }
+            Message::Release => buf.put_u8(22),
         }
     }
 
@@ -431,6 +466,8 @@ impl Message {
             }
             Message::SynopsisRequest { .. } => 2,
             Message::Synopsis(syn) => syn.encoded_len(),
+            Message::Tagged { inner, .. } => 8 + inner.encoded_len(),
+            Message::Release => 0,
         }
     }
 
@@ -528,6 +565,18 @@ impl Message {
                 let survivals = (0..n).map(|_| buf.get_f64()).collect();
                 Message::SurvivalBatchReply { survivals, pruned: buf.get_u64() }
             }
+            21 => {
+                if buf.remaining() < 8 {
+                    return None;
+                }
+                let query_id = buf.get_u64();
+                // The inner message is the rest of the frame; the recursive
+                // decode enforces its own exact-length contract.
+                let inner = Box::new(Self::decode_slice(buf)?);
+                buf = &[];
+                Message::Tagged { query_id, inner }
+            }
+            22 => Message::Release,
             _ => return None,
         };
         if buf.has_remaining() {
@@ -581,12 +630,15 @@ mod tests {
             Message::DecodeError,
             Message::FeedbackBatch(vec![sample_tuple_msg(); 3]),
             Message::SurvivalBatchReply { survivals: vec![0.9, 0.25, 1.0], pruned: 4 },
+            Message::Tagged { query_id: 7, inner: Box::new(Message::Feedback(sample_tuple_msg())) },
+            Message::Tagged { query_id: 7, inner: Box::new(Message::Release) },
+            Message::Release,
         ]
     }
 
     /// Golden wire contract: `encoded_len` is the exact frame length for
     /// every variant — the pipelined transports pre-reserve outstanding
-    /// frames from it — and the sample set covers every wire tag `0..=20`.
+    /// frames from it — and the sample set covers every wire tag `0..=22`.
     /// Adding a message variant without extending `all_messages` (and
     /// without a matching `encoded_len` arm) fails here, not in a
     /// transport at 2 a.m.
@@ -606,7 +658,23 @@ mod tests {
         }
         tags.sort_unstable();
         tags.dedup();
-        assert_eq!(tags, (0u8..=20).collect::<Vec<_>>(), "every wire tag 0..=20 represented");
+        assert_eq!(tags, (0u8..=22).collect::<Vec<_>>(), "every wire tag 0..=22 represented");
+    }
+
+    #[test]
+    fn tagged_frames_delegate_cost_to_inner_message() {
+        // A tagged feedback is still one feedback tuple on the wire; the
+        // 8-byte id is header overhead, free in the paper's unit.
+        let inner = Message::Feedback(sample_tuple_msg());
+        let tagged = Message::Tagged { query_id: 42, inner: Box::new(inner.clone()) };
+        assert_eq!(tagged.class(), TrafficClass::Feedback);
+        assert_eq!(tagged.tuple_count(), 1);
+        assert_eq!(tagged.encoded_len(), inner.encoded_len() + 9);
+        assert_eq!(Message::Release.class(), TrafficClass::Control);
+        assert_eq!(Message::Release.tuple_count(), 0);
+        // Truncated id and truncated inner payload both fail cleanly.
+        assert!(Message::decode(Bytes::from_static(&[21, 0, 0])).is_none());
+        assert!(Message::decode(Bytes::from_static(&[21, 0, 0, 0, 0, 0, 0, 0, 1, 99])).is_none());
     }
 
     #[test]

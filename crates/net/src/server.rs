@@ -1,0 +1,439 @@
+//! Session-layer transport pieces for the long-lived `dsud serve` daemon:
+//! query-id multiplexing over shared site links and the client-facing
+//! accept loop.
+//!
+//! A one-shot run owns its links outright; a server cannot, because many
+//! concurrent queries talk to the *same* resident sites. Two types bridge
+//! the gap:
+//!
+//! * [`MuxLink`] — a [`Link`] that a single query owns privately, backed by
+//!   a [`SharedLink`] (a mutex-guarded transport to one site) that every
+//!   concurrent query shares. Each request is wrapped in
+//!   [`Message::Tagged`] with the query's id and the tag/reply exchange is
+//!   performed atomically under the shared lock, so replies can never be
+//!   attributed to the wrong query even though the wire itself carries no
+//!   reply correlation. Coordinators drive a `MuxLink` exactly as they
+//!   drive a `LocalLink`, so the session layer reuses the one-shot
+//!   protocol code unchanged — the property the bit-identity tests pin.
+//! * [`QueryServer`] — the accept loop clients connect to: one OS thread
+//!   per client, newline-delimited requests handed to a per-connection
+//!   [`ClientHandler`], cooperative shutdown either from the owner
+//!   ([`QueryServer::shutdown`]) or from a client
+//!   ([`ClientControl::Shutdown`]).
+//!
+//! Bandwidth accounting stays honest in both aggregates: the shared inner
+//! link meters the tagged frames (server-wide totals, id header included),
+//! while the `MuxLink` meters the untagged request and reply on its own
+//! per-query meter — byte-for-byte what the same query would have metered
+//! as a one-shot run.
+
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use crate::transport::TicketLedger;
+use crate::{BandwidthMeter, Link, LinkError, Message, Ticket};
+
+/// A transport to one site, shared by every concurrent query of a session
+/// server. The mutex serializes whole request/reply exchanges, which is
+/// what makes untagged replies unambiguous.
+pub type SharedLink = Arc<Mutex<Box<dyn Link>>>;
+
+/// Wraps an owned link for sharing across concurrent queries.
+pub fn share(link: Box<dyn Link>) -> SharedLink {
+    Arc::new(Mutex::new(link))
+}
+
+/// A per-query view of a [`SharedLink`]: tags every outgoing request with
+/// the query id (see [`Message::Tagged`]) and performs the exchange
+/// atomically under the shared lock.
+///
+/// Like [`LocalLink`](crate::LocalLink), the split-phase API is realized
+/// eagerly: `send` completes the whole exchange and buffers the reply until
+/// its [`Ticket`] is redeemed, preserving FIFO ticket semantics without
+/// holding the shared lock between `send` and `complete`.
+pub struct MuxLink {
+    query_id: u64,
+    shared: SharedLink,
+    /// Per-query meter: records the *untagged* request and reply, so this
+    /// query's traffic snapshot is bit-identical to a one-shot run's.
+    meter: BandwidthMeter,
+    replies: VecDeque<Message>,
+    tickets: TicketLedger,
+}
+
+impl MuxLink {
+    /// Creates the query-private view `query_id` of a shared site link,
+    /// accounting per-query traffic on `meter`.
+    pub fn new(query_id: u64, shared: SharedLink, meter: BandwidthMeter) -> Self {
+        MuxLink {
+            query_id,
+            shared,
+            meter,
+            replies: VecDeque::new(),
+            tickets: TicketLedger::default(),
+        }
+    }
+
+    /// Tells the site to discard this query's parked cursor state.
+    ///
+    /// Deliberately *not* recorded on the per-query meter: the release
+    /// happens after the query's outcome (and its traffic snapshot) is
+    /// sealed. The shared inner link still meters it into the server-wide
+    /// aggregate.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LinkError`] when the underlying transport fails.
+    pub fn release(&mut self) -> Result<(), LinkError> {
+        let msg = Message::Tagged { query_id: self.query_id, inner: Box::new(Message::Release) };
+        self.shared.lock().call(msg).map(|_| ())
+    }
+}
+
+impl Link for MuxLink {
+    fn send(&mut self, msg: Message) -> Result<Ticket, LinkError> {
+        self.meter.record(&msg);
+        let tagged = Message::Tagged { query_id: self.query_id, inner: Box::new(msg) };
+        // One atomic exchange under the shared lock: the reply read while
+        // holding it is necessarily ours.
+        let reply = self.shared.lock().call(tagged)?;
+        self.meter.record(&reply);
+        self.replies.push_back(reply);
+        Ok(self.tickets.issue())
+    }
+
+    fn complete(&mut self, ticket: Ticket) -> Result<Message, LinkError> {
+        self.tickets.redeem(ticket);
+        Ok(self.replies.pop_front().expect("a redeemed ticket has a buffered reply"))
+    }
+
+    fn reconnect(&mut self) -> Result<(), LinkError> {
+        self.replies.clear();
+        self.tickets.reset();
+        self.shared.lock().reconnect()
+    }
+}
+
+impl std::fmt::Debug for MuxLink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MuxLink").field("query_id", &self.query_id).finish_non_exhaustive()
+    }
+}
+
+/// What a [`ClientHandler`] wants done with the connection after a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientControl {
+    /// Keep reading requests from this client.
+    Continue,
+    /// Close this connection; the server keeps running.
+    Close,
+    /// Close this connection and shut the whole server down.
+    Shutdown,
+}
+
+/// Per-connection request processor for a [`QueryServer`].
+///
+/// The server reads newline-delimited requests and hands each line to
+/// `handle_line` together with the connection's write half; the handler
+/// writes any responses (newline-delimited, flushed) and says what to do
+/// next. One handler instance serves one connection, so it may carry
+/// per-client state.
+pub trait ClientHandler: Send {
+    /// Processes one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when writing a response fails; the server
+    /// closes the connection.
+    fn handle_line(&mut self, line: &str, out: &mut dyn Write) -> io::Result<ClientControl>;
+}
+
+/// A running client-facing server: loopback listener, one thread per
+/// connection, cooperative shutdown.
+///
+/// Dropping the server shuts it down and joins its threads.
+#[derive(Debug)]
+pub struct QueryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<io::Result<()>>>,
+}
+
+impl QueryServer {
+    /// The loopback address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, disconnects idle waits, and joins every thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns the listener's accept error if the accept thread died on
+    /// one, or an error if it panicked.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        self.stop_and_join()
+    }
+
+    /// Blocks until the server stops on its own — i.e. until a client
+    /// requests [`ClientControl::Shutdown`]. This is what `dsud serve`
+    /// parks its main thread on.
+    ///
+    /// # Errors
+    ///
+    /// Returns the accept thread's error, if any.
+    pub fn wait(mut self) -> io::Result<()> {
+        let Some(handle) = self.handle.take() else {
+            return Ok(());
+        };
+        match handle.join() {
+            Ok(result) => result,
+            Err(_) => Err(io::Error::other("query server thread panicked")),
+        }
+    }
+
+    fn stop_and_join(&mut self) -> io::Result<()> {
+        let Some(handle) = self.handle.take() else {
+            return Ok(());
+        };
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock a pending accept with a throwaway connection; if the
+        // thread is already gone this simply fails.
+        let _ = TcpStream::connect(self.addr);
+        match handle.join() {
+            Ok(result) => result,
+            Err(_) => Err(io::Error::other("query server thread panicked")),
+        }
+    }
+}
+
+impl Drop for QueryServer {
+    fn drop(&mut self) {
+        let _ = self.stop_and_join();
+    }
+}
+
+/// Binds a loopback listener on `port` (0 picks an ephemeral port) and
+/// spawns the accept loop: each connection gets its own thread and a fresh
+/// handler from `factory`.
+///
+/// # Errors
+///
+/// Returns the bind error if the port is unavailable.
+pub fn spawn_query_server<F, H>(port: u16, factory: F) -> io::Result<QueryServer>
+where
+    F: Fn() -> H + Send + 'static,
+    H: ClientHandler + 'static,
+{
+    let listener = TcpListener::bind(("127.0.0.1", port))?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_accept = Arc::clone(&stop);
+    let handle = std::thread::Builder::new().name("dsud-query-server".into()).spawn(
+        move || -> io::Result<()> {
+            let mut clients: Vec<JoinHandle<()>> = Vec::new();
+            loop {
+                if stop_accept.load(Ordering::SeqCst) {
+                    break;
+                }
+                let (stream, _) = listener.accept()?;
+                if stop_accept.load(Ordering::SeqCst) {
+                    break; // the throwaway unblock connection
+                }
+                let mut handler = factory();
+                let stop_client = Arc::clone(&stop_accept);
+                let client = std::thread::Builder::new()
+                    .name("dsud-client".into())
+                    .spawn(move || serve_client(stream, &mut handler, &stop_client, addr))?;
+                clients.push(client);
+                // Reap finished client threads so a long-lived daemon does
+                // not accumulate handles.
+                clients.retain(|c| !c.is_finished());
+            }
+            for client in clients {
+                let _ = client.join();
+            }
+            Ok(())
+        },
+    )?;
+    Ok(QueryServer { addr, stop, handle: Some(handle) })
+}
+
+/// Serves one client connection until it closes, errors, or asks to stop.
+/// Client-side I/O errors (e.g. a vanished client) end the connection
+/// quietly — they must not take the server down.
+fn serve_client<H: ClientHandler>(
+    stream: TcpStream,
+    handler: &mut H,
+    stop: &AtomicBool,
+    server_addr: SocketAddr,
+) {
+    let _ = stream.set_nodelay(true);
+    // Poll the stop flag between reads so an idle connection cannot hold
+    // up an owner-initiated shutdown.
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(50)));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    let mut reader = BufReader::new(read_half);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client hung up
+            Ok(_) => {}
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                // A timeout may leave a partial line in `line`; keep it and
+                // resume reading where we left off.
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            line.clear();
+            continue;
+        }
+        match handler.handle_line(trimmed, &mut writer) {
+            Ok(ClientControl::Continue) => {}
+            Ok(ClientControl::Close) => return,
+            Ok(ClientControl::Shutdown) => {
+                stop.store(true, Ordering::SeqCst);
+                // Unblock the accept loop so it can wind down.
+                let _ = TcpStream::connect(server_addr);
+                return;
+            }
+            Err(_) => return,
+        }
+        line.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LocalLink, Service};
+
+    /// A site stub that records the raw frames it sees and answers
+    /// Tagged frames with an untagged echo of the query id.
+    struct TagEcho;
+    impl Service for TagEcho {
+        fn handle(&mut self, msg: Message) -> Message {
+            match msg {
+                Message::Tagged { query_id, inner } => match *inner {
+                    Message::Release => Message::Ack,
+                    _ => Message::SurvivalReply { survival: query_id as f64, pruned: 0 },
+                },
+                _ => Message::Ack,
+            }
+        }
+    }
+
+    #[test]
+    fn mux_links_route_replies_to_their_own_query() {
+        let server_meter = BandwidthMeter::new();
+        let shared = share(Box::new(LocalLink::new(TagEcho, server_meter.clone())));
+        let meter_a = BandwidthMeter::new();
+        let meter_b = BandwidthMeter::new();
+        let mut a = MuxLink::new(1, Arc::clone(&shared), meter_a.clone());
+        let mut b = MuxLink::new(2, Arc::clone(&shared), meter_b.clone());
+        let ra = a.call(Message::RequestNext).unwrap();
+        let rb = b.call(Message::RequestNext).unwrap();
+        assert_eq!(ra, Message::SurvivalReply { survival: 1.0, pruned: 0 });
+        assert_eq!(rb, Message::SurvivalReply { survival: 2.0, pruned: 0 });
+        // Per-query meters saw the untagged exchange; the shared link's
+        // meter saw the tagged frames (8-byte id heavier per request).
+        let pq = meter_a.snapshot().total();
+        assert_eq!(pq.messages, 2);
+        assert_eq!(pq.bytes, Message::RequestNext.encoded_len() as u64 + ra.encoded_len() as u64);
+        let agg = server_meter.snapshot().total();
+        assert_eq!(agg.messages, 4);
+        assert_eq!(agg.bytes, pq.bytes * 2 + 2 * 9);
+    }
+
+    #[test]
+    fn mux_release_is_not_charged_to_the_query() {
+        let server_meter = BandwidthMeter::new();
+        let shared = share(Box::new(LocalLink::new(TagEcho, server_meter.clone())));
+        let meter = BandwidthMeter::new();
+        let mut link = MuxLink::new(7, shared, meter.clone());
+        link.release().unwrap();
+        assert_eq!(meter.snapshot().total().messages, 0);
+        assert_eq!(server_meter.snapshot().total().messages, 2);
+    }
+
+    #[test]
+    fn mux_ticket_semantics_match_local_link() {
+        let shared = share(Box::new(LocalLink::new(TagEcho, BandwidthMeter::new())));
+        let mut link = MuxLink::new(3, shared, BandwidthMeter::new());
+        let t1 = link.send(Message::RequestNext).unwrap();
+        let t2 = link.send(Message::RequestNext).unwrap();
+        assert!(link.complete(t1).is_ok());
+        assert!(link.complete(t2).is_ok());
+        let t3 = link.send(Message::RequestNext).unwrap();
+        link.reconnect().unwrap();
+        let t4 = link.send(Message::RequestNext).unwrap();
+        assert!(link.complete(t4).is_ok());
+        let _ = t3; // abandoned by reconnect; redeeming it would panic
+    }
+
+    /// Echoes each line back prefixed with `ok:`; `close` closes the
+    /// connection, `stop` shuts the server down.
+    struct EchoHandler;
+    impl ClientHandler for EchoHandler {
+        fn handle_line(&mut self, line: &str, out: &mut dyn Write) -> io::Result<ClientControl> {
+            match line {
+                "close" => Ok(ClientControl::Close),
+                "stop" => Ok(ClientControl::Shutdown),
+                _ => {
+                    writeln!(out, "ok:{line}")?;
+                    out.flush()?;
+                    Ok(ClientControl::Continue)
+                }
+            }
+        }
+    }
+
+    fn roundtrip(addr: SocketAddr, send: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        writeln!(stream, "{send}").unwrap();
+        let mut reply = String::new();
+        BufReader::new(stream).read_line(&mut reply).unwrap();
+        reply.trim().to_string()
+    }
+
+    #[test]
+    fn query_server_serves_concurrent_clients_and_stops_on_request() {
+        let server = spawn_query_server(0, || EchoHandler).unwrap();
+        let addr = server.addr();
+        let replies: Vec<String> = std::thread::scope(|s| {
+            let handles: Vec<_> =
+                (0..4).map(|i| s.spawn(move || roundtrip(addr, &format!("hello-{i}")))).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (i, reply) in replies.iter().enumerate() {
+            assert_eq!(reply, &format!("ok:hello-{i}"));
+        }
+        // A client-requested shutdown unblocks `wait`.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        writeln!(stream, "stop").unwrap();
+        server.wait().unwrap();
+    }
+
+    #[test]
+    fn query_server_owner_shutdown_is_clean() {
+        let server = spawn_query_server(0, || EchoHandler).unwrap();
+        let addr = server.addr();
+        assert_eq!(roundtrip(addr, "ping"), "ok:ping");
+        server.shutdown().unwrap();
+    }
+}

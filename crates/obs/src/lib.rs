@@ -46,7 +46,12 @@ use serde::{Deserialize, Serialize};
 ///   `overlapped_rounds`, and `refill_overlap_us` to the counter snapshot
 ///   plus the run's `pipeline` configuration stamp. Schema ≤ 4 files still
 ///   deserialize (counters default to 0, `pipeline` to `None`).
-pub const SCHEMA_VERSION: u32 = 5;
+/// * 6 — adds the session-layer counters `cache_hits` and
+///   `admission_wait_us` to the counter snapshot plus the per-query
+///   `query_id` stamp assigned by a `dsud serve` session server. Schema
+///   ≤ 5 files still deserialize (counters default to 0, `query_id` to
+///   `None`).
+pub const SCHEMA_VERSION: u32 = 6;
 
 /// Typed counters of the paper's cost model.
 ///
@@ -109,9 +114,16 @@ pub enum Counter {
     /// Microseconds refill requests spent in flight while the coordinator
     /// did other work (survival folds, reporting) before completing them.
     RefillOverlapUs,
+    /// Queries answered from a session server's result cache without a
+    /// single candidate round (1 on the cached query's own report; the
+    /// server also aggregates it across queries).
+    CacheHits,
+    /// Microseconds a query waited in the session server's FIFO admission
+    /// queue before its first round could start.
+    AdmissionWaitUs,
 }
 
-const COUNTER_COUNT: usize = 19;
+const COUNTER_COUNT: usize = 21;
 
 impl Counter {
     fn index(self) -> usize {
@@ -219,6 +231,13 @@ pub struct CounterSnapshot {
     /// schema 5.
     #[serde(default)]
     pub refill_overlap_us: u64,
+    /// Final value of [`Counter::CacheHits`]. Absent (0) before schema 6.
+    #[serde(default)]
+    pub cache_hits: u64,
+    /// Final value of [`Counter::AdmissionWaitUs`]. Absent (0) before
+    /// schema 6.
+    #[serde(default)]
+    pub admission_wait_us: u64,
 }
 
 impl CounterSnapshot {
@@ -243,6 +262,8 @@ impl CounterSnapshot {
             pipeline_depth: c[Counter::PipelineDepth.index()],
             overlapped_rounds: c[Counter::OverlappedRounds.index()],
             refill_overlap_us: c[Counter::RefillOverlapUs.index()],
+            cache_hits: c[Counter::CacheHits.index()],
+            admission_wait_us: c[Counter::AdmissionWaitUs.index()],
         }
     }
 
@@ -268,6 +289,8 @@ impl CounterSnapshot {
             Counter::PipelineDepth => self.pipeline_depth,
             Counter::OverlappedRounds => self.overlapped_rounds,
             Counter::RefillOverlapUs => self.refill_overlap_us,
+            Counter::CacheHits => self.cache_hits,
+            Counter::AdmissionWaitUs => self.admission_wait_us,
         }
     }
 }
@@ -309,6 +332,11 @@ pub struct RunReport {
     /// before schema 5.
     #[serde(default)]
     pub pipeline: Option<String>,
+    /// Session-server query id this report belongs to, stamped by a
+    /// `dsud serve` session layer; `None` for one-shot runs. Absent before
+    /// schema 6.
+    #[serde(default)]
+    pub query_id: Option<u64>,
     /// Progressive answer trace, in report order (timestamps are
     /// monotonically non-decreasing).
     pub progressive: Vec<ProgressSample>,
@@ -456,6 +484,7 @@ impl Recorder {
             threads: None,
             batch_size: None,
             pipeline: None,
+            query_id: None,
         })
     }
 }
@@ -723,6 +752,52 @@ mod tests {
         assert_eq!(report.counters.refill_overlap_us, 0);
         assert_eq!(report.counters.get(Counter::OverlappedRounds), 0);
         assert_eq!(report.pipeline, None);
+    }
+
+    #[test]
+    fn schema_five_reports_deserialize_with_zero_session_counters() {
+        // A schema-5 file predates the session-layer counters and the
+        // `query_id` stamp; they must fill in as zero / `None`.
+        let json = r#"{
+            "schema_version": 5,
+            "algorithm": "edsud",
+            "wall_ms": 1.0,
+            "counters": {
+                "bytes_sent": 9, "messages": 4, "tuples_shipped": 2,
+                "feedback_broadcasts": 1, "rounds": 1, "expunged": 0,
+                "pruned_at_sites": 0, "prtree_nodes_visited": 0,
+                "prtree_pruned_subtrees": 0, "local_skyline_size": 0,
+                "progressive_results": 1, "link_retries": 0,
+                "link_timeouts": 0, "quarantined_sites": 0,
+                "batched_rounds": 2, "multi_probe_node_visits": 40,
+                "pipeline_depth": 2, "overlapped_rounds": 1,
+                "refill_overlap_us": 300
+            },
+            "spans": [],
+            "phases": [],
+            "transport": "tcp",
+            "threads": 4,
+            "batch_size": "auto",
+            "pipeline": "auto",
+            "progressive": []
+        }"#;
+        let report: RunReport = serde_json::from_str(json).unwrap();
+        assert_eq!(report.counters.pipeline_depth, 2);
+        assert_eq!(report.counters.cache_hits, 0);
+        assert_eq!(report.counters.admission_wait_us, 0);
+        assert_eq!(report.counters.get(Counter::CacheHits), 0);
+        assert_eq!(report.query_id, None);
+    }
+
+    #[test]
+    fn session_counters_flow_into_the_snapshot() {
+        let rec = Recorder::enabled();
+        rec.incr(Counter::CacheHits);
+        rec.add(Counter::AdmissionWaitUs, 420);
+        let report = rec.report("edsud").unwrap();
+        assert_eq!(report.counters.cache_hits, 1);
+        assert_eq!(report.counters.admission_wait_us, 420);
+        assert_eq!(report.query_id, None);
     }
 
     #[test]

@@ -1,0 +1,272 @@
+//! The session-layer contract behind `dsud serve`: multiplexing many
+//! concurrent queries onto one resident deployment must be invisible in
+//! the answers.
+//!
+//! * Every concurrently-admitted query returns the same skyline
+//!   (bit-exact probabilities, same order), the same progress sequence,
+//!   and the same per-query traffic as the identical query run one-shot
+//!   on a fresh cluster — across inline, threaded, and TCP transports.
+//! * A repeated query is served from the result cache: identical answer,
+//!   zero rounds, zero tuples transmitted, `cache_hits = 1` in its
+//!   schema-6 report.
+//! * An update applied through the maintenance path invalidates the
+//!   cache: the repeat recomputes and sees the new data; reversing the
+//!   update restores the original answer bit for bit.
+
+use std::sync::Arc;
+
+use dsud_core::update::UpdateOp;
+use dsud_core::{
+    Cluster, QueryConfig, QueryOutcome, Recorder, SessionOptions, SessionServer, SiteOptions,
+    Transport, UncertainTuple,
+};
+use dsud_data::WorkloadSpec;
+use dsud_uncertain::TupleId;
+
+const N: usize = 1_200;
+const DIMS: usize = 3;
+const SITES: usize = 6;
+
+fn sites() -> Vec<Vec<UncertainTuple>> {
+    WorkloadSpec::new(N, DIMS).seed(11).generate_partitioned(SITES).expect("workload generates")
+}
+
+/// Everything the session layer must preserve: the skyline (ids,
+/// bit-exact probabilities, report order), the progress sequence, and the
+/// paper's bandwidth measure for this query.
+fn fingerprint(outcome: &QueryOutcome) -> (Vec<(TupleId, u64)>, Vec<(TupleId, u64)>, u64, u64) {
+    let skyline: Vec<(TupleId, u64)> =
+        outcome.skyline.iter().map(|e| (e.tuple.id(), e.probability.to_bits())).collect();
+    let progress: Vec<(TupleId, u64)> =
+        outcome.progress.events().iter().map(|e| (e.id, e.probability.to_bits())).collect();
+    (skyline, progress, outcome.tuples_transmitted(), outcome.traffic.total().bytes)
+}
+
+/// The 8-query workload mix: distinct thresholds and algorithms so no two
+/// concurrent queries share a cache key.
+const MIX: [(f64, bool); 8] = [
+    (0.2, false),
+    (0.2, true),
+    (0.3, false),
+    (0.3, true),
+    (0.4, false),
+    (0.4, true),
+    (0.5, false),
+    (0.5, true),
+];
+
+fn one_shot(q: f64, edsud: bool) -> QueryOutcome {
+    let mut cluster = Cluster::with_transport(
+        DIMS,
+        sites(),
+        SiteOptions::default(),
+        Recorder::default(),
+        Transport::Inline,
+    )
+    .expect("cluster builds");
+    let config = QueryConfig::new(q).expect("valid threshold");
+    if edsud { cluster.run_edsud(&config) } else { cluster.run_dsud(&config) }
+        .expect("one-shot query runs")
+}
+
+fn session_server(transport: Transport, max_concurrent: usize, cache: usize) -> SessionServer {
+    let cluster = Cluster::with_transport(
+        DIMS,
+        sites(),
+        SiteOptions::default(),
+        Recorder::default(),
+        transport,
+    )
+    .expect("cluster builds");
+    SessionServer::new(cluster, SessionOptions { max_concurrent, cache_capacity: cache })
+}
+
+/// 8 queries admitted concurrently (the full admission width) against one
+/// resident deployment, on every transport, each compared bit for bit —
+/// answer, progress, and per-query traffic — to the same query run
+/// one-shot on a fresh cluster.
+#[test]
+fn concurrent_session_queries_match_sequential_one_shots_bitwise() {
+    let references: Vec<_> = MIX.iter().map(|&(q, edsud)| one_shot(q, edsud)).collect();
+    assert!(
+        references.iter().all(|r| !r.skyline.is_empty()),
+        "every mix entry must produce a non-trivial skyline"
+    );
+
+    for transport in [Transport::Inline, Transport::Threaded, Transport::Tcp] {
+        let server = Arc::new(session_server(transport, MIX.len(), 0));
+        let outcomes: Vec<QueryOutcome> = std::thread::scope(|s| {
+            let handles: Vec<_> = MIX
+                .iter()
+                .map(|&(q, edsud)| {
+                    let server = Arc::clone(&server);
+                    s.spawn(move || {
+                        let config = QueryConfig::new(q).expect("valid threshold");
+                        let answer = if edsud {
+                            server.run_edsud(&config, false)
+                        } else {
+                            server.run_dsud(&config, false)
+                        }
+                        .expect("session query runs");
+                        assert!(!answer.cache_hit, "cache is disabled in this test");
+                        answer.outcome
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("query thread joins")).collect()
+        });
+
+        for (i, (outcome, reference)) in outcomes.iter().zip(&references).enumerate() {
+            let (q, edsud) = MIX[i];
+            assert_eq!(
+                fingerprint(outcome),
+                fingerprint(reference),
+                "{transport} q={q} edsud={edsud}"
+            );
+            assert_eq!(outcome.stats, reference.stats, "{transport} q={q} edsud={edsud}");
+        }
+
+        let stats = server.stats();
+        assert_eq!(stats.queries_served, MIX.len() as u64, "{transport}");
+        assert_eq!(stats.cache_hits, 0, "{transport}");
+        assert!(
+            stats.peak_concurrent <= MIX.len(),
+            "{transport}: admission must bound concurrency, saw {}",
+            stats.peak_concurrent
+        );
+    }
+}
+
+/// A repeated query is served from the result cache: the answer and
+/// progress sequence are bit-identical, and its schema-6 report shows the
+/// hit — zero rounds, zero traffic, `cache_hits = 1`.
+#[test]
+fn warm_cache_repeat_is_identical_with_zero_rounds() {
+    let server = session_server(Transport::Inline, 4, 16);
+    let config = QueryConfig::new(0.3).expect("valid threshold");
+
+    let cold = server.run_edsud(&config, true).expect("cold query runs");
+    assert!(!cold.cache_hit);
+    let cold_report = cold.report.as_ref().expect("report was requested");
+    assert!(cold_report.counters.rounds >= 1, "a computed query has rounds");
+    assert!(cold.outcome.tuples_transmitted() > 0);
+
+    let warm = server.run_edsud(&config, true).expect("warm query runs");
+    assert!(warm.cache_hit, "identical repeat must hit the cache");
+    assert_ne!(warm.query_id, cold.query_id, "every query gets its own id");
+
+    // Identical answer and progress sequence, bit for bit.
+    let skyline = |o: &QueryOutcome| {
+        o.skyline.iter().map(|e| (e.tuple.id(), e.probability.to_bits())).collect::<Vec<_>>()
+    };
+    assert_eq!(skyline(&warm.outcome), skyline(&cold.outcome));
+    let progress = |o: &QueryOutcome| {
+        o.progress.events().iter().map(|e| (e.id, e.probability.to_bits())).collect::<Vec<_>>()
+    };
+    assert_eq!(progress(&warm.outcome), progress(&cold.outcome));
+
+    // The hit did no distributed work at all.
+    assert_eq!(warm.outcome.tuples_transmitted(), 0);
+    assert_eq!(warm.outcome.traffic.total().messages, 0);
+    assert_eq!(warm.outcome.stats.iterations, 0);
+
+    // ... and its report says so in the schema-6 session fields.
+    let warm_report = warm.report.as_ref().expect("report was requested");
+    assert_eq!(warm_report.schema_version, dsud_core::SCHEMA_VERSION);
+    assert_eq!(warm_report.query_id, Some(warm.query_id));
+    assert_eq!(warm_report.counters.cache_hits, 1);
+    assert_eq!(warm_report.counters.rounds, 0, "a cache hit runs zero candidate rounds");
+    assert_eq!(warm_report.counters.tuples_shipped, 0);
+    assert_eq!(warm_report.counters.bytes_sent, 0);
+    assert_eq!(
+        warm_report.progressive.len(),
+        cold.outcome.skyline.len(),
+        "the hit replays every result progressively"
+    );
+    assert_eq!(cold_report.query_id, Some(cold.query_id));
+    assert_eq!(cold_report.counters.cache_hits, 0);
+
+    let stats = server.stats();
+    assert_eq!((stats.queries_served, stats.cache_hits), (2, 1));
+    assert_eq!(stats.cache_entries, 1);
+}
+
+/// Different query keys get different cache entries; sharing only happens
+/// on a true repeat.
+#[test]
+fn cache_keys_distinguish_algorithm_and_threshold() {
+    let server = session_server(Transport::Inline, 4, 16);
+    for (q, edsud) in [(0.3, true), (0.3, false), (0.4, true)] {
+        let config = QueryConfig::new(q).expect("valid threshold");
+        let answer =
+            if edsud { server.run_edsud(&config, false) } else { server.run_dsud(&config, false) }
+                .expect("query runs");
+        assert!(!answer.cache_hit, "q={q} edsud={edsud} is a distinct key");
+    }
+    assert_eq!(server.stats().cache_entries, 3);
+}
+
+/// An update through the maintenance path invalidates the cache: the
+/// repeat recomputes against the new data, and undoing the update brings
+/// back the original answer bit for bit.
+#[test]
+fn update_between_queries_invalidates_the_cache() {
+    let server = session_server(Transport::Inline, 4, 16);
+    let config = QueryConfig::new(0.3).expect("valid threshold");
+
+    let original = server.run_edsud(&config, false).expect("first query runs");
+    assert!(server.run_edsud(&config, false).expect("repeat runs").cache_hit);
+
+    // A dominating, high-probability tuple at site 0 must enter the answer.
+    let spike = UncertainTuple::new(
+        TupleId::new(0, 1_000_000),
+        vec![1e-4; DIMS],
+        dsud_uncertain::Probability::new(0.99).expect("valid probability"),
+    )
+    .expect("tuple builds");
+    server.apply_update(&UpdateOp::Insert(spike.clone())).expect("insert applies");
+
+    let after_insert = server.run_edsud(&config, false).expect("post-update query runs");
+    assert!(!after_insert.cache_hit, "the update must invalidate the cached answer");
+    assert!(
+        after_insert.outcome.skyline.iter().any(|e| e.tuple.id() == spike.id()),
+        "the inserted tuple must appear in the recomputed skyline"
+    );
+
+    server.apply_update(&UpdateOp::Delete(spike)).expect("delete applies");
+    let restored = server.run_edsud(&config, false).expect("restored query runs");
+    assert!(!restored.cache_hit);
+    assert_eq!(
+        fingerprint(&restored.outcome),
+        fingerprint(&original.outcome),
+        "undoing the update must restore the original answer bitwise"
+    );
+
+    let stats = server.stats();
+    assert_eq!(stats.updates_applied, 2);
+    assert!(stats.cache_invalidated >= 2, "both updates dropped a cached answer");
+}
+
+/// A width-1 admission gate fully serializes concurrent queries without
+/// changing any answer.
+#[test]
+fn admission_gate_queues_beyond_the_width() {
+    let server = Arc::new(session_server(Transport::Inline, 1, 0));
+    // With width 1, 4 concurrent queries serialize; all must still answer
+    // correctly and at most one runs at a time.
+    let reference = one_shot(0.3, true);
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let server = Arc::clone(&server);
+            let reference = &reference;
+            s.spawn(move || {
+                let config = QueryConfig::new(0.3).expect("valid threshold");
+                let answer = server.run_edsud(&config, false).expect("query runs");
+                assert_eq!(fingerprint(&answer.outcome), fingerprint(reference));
+            });
+        }
+    });
+    let stats = server.stats();
+    assert_eq!(stats.queries_served, 4);
+    assert_eq!(stats.peak_concurrent, 1, "width-1 gate must fully serialize");
+}
