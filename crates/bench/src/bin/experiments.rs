@@ -283,16 +283,22 @@ fn fig14() {
 /// [`dsud_core::RunReport`] as `BENCH_<algo>.json` in the working
 /// directory (span timings, cost-model counters, progressive trace).
 fn reports() {
-    use dsud_core::{Cluster, QueryConfig, Recorder, SiteOptions};
+    use dsud_core::{BatchSize, Cluster, QueryConfig, Recorder, SiteOptions, WireFormat};
     println!("\n== Run reports: instrumented DSUD / e-DSUD at Table 3 defaults ==");
     let spec = ExpSpec::table3_defaults();
     for (algo, name) in [(Algo::Dsud, "dsud"), (Algo::Edsud, "edsud")] {
         let sites = spec.generate(0);
         let recorder = Recorder::enabled();
-        let mut cluster =
-            Cluster::local_instrumented(spec.d, sites, SiteOptions::default(), recorder.clone())
-                .expect("experiment clusters are valid");
-        let config = QueryConfig::new(spec.q).expect("experiment thresholds are valid");
+        // The CLI's serving defaults: auto-batched rounds over columnar
+        // frames, so the schema-7 wire counters (`columnar_frames`,
+        // `bytes_saved`) measure the layout the daemon actually ships.
+        let options = SiteOptions { wire: WireFormat::Columnar, ..SiteOptions::default() };
+        let mut cluster = Cluster::local_instrumented(spec.d, sites, options, recorder.clone())
+            .expect("experiment clusters are valid");
+        let config = QueryConfig::new(spec.q)
+            .expect("experiment thresholds are valid")
+            .batch_size(BatchSize::Auto)
+            .wire_format(WireFormat::Columnar);
         let outcome = match algo {
             Algo::Dsud => cluster.run_dsud(&config),
             _ => cluster.run_edsud(&config),
@@ -301,6 +307,7 @@ fn reports() {
         let mut report = recorder.report(name).expect("recorder is enabled");
         report.batch_size = Some(config.batch.name());
         report.pipeline = Some(config.pipeline.name());
+        report.wire = Some(config.wire.as_str().to_string());
         let path = PathBuf::from(format!("BENCH_{name}.json"));
         let json = serde_json::to_string_pretty(&report).expect("reports serialize");
         fs::write(&path, json).expect("can write run report");
@@ -415,7 +422,7 @@ fn pipeline() {
 
     use dsud_core::{
         dsud, edsud, BandwidthMeter, BatchSize, BoundMode, FailurePolicy, Link, LinkConfig,
-        LocalSite, PipelineDepth, QueryOutcome, SiteOptions, SubspaceMask,
+        LocalSite, PipelineDepth, QueryOutcome, SiteOptions, SubspaceMask, WireFormat,
     };
     use dsud_net::{ChannelLink, DelayedService};
 
@@ -468,6 +475,7 @@ fn pipeline() {
                     FailurePolicy::Strict,
                     BatchSize::Fixed(1),
                     window,
+                    WireFormat::Legacy,
                 ),
                 _ => edsud::run_with_synopses(
                     &mut links,
@@ -480,6 +488,7 @@ fn pipeline() {
                     FailurePolicy::Strict,
                     BatchSize::Fixed(1),
                     window,
+                    WireFormat::Legacy,
                 ),
             }
             .expect("experiment queries succeed");
@@ -522,6 +531,230 @@ fn pipeline() {
         }
     }
     dump_json("pipeline", &rows);
+}
+
+/// Zero-copy wire layout: legacy vs columnar frames end to end at Table 3
+/// defaults over a delayed link (`DSUD_PIPELINE_DELAY_MS`, default 2 ms),
+/// batch 16 so every feedback frame clears the columnar byte break-even,
+/// plus the dominance-kernel microbenchmark (serial vs chunked comparison
+/// kernel at N = 20 000 rows, d ∈ {2, 4, 8}). The skyline and the paper's
+/// tuple measure are asserted identical between layouts — the wire format
+/// only moves bytes and wall-clock.
+fn wire() {
+    use std::hint::black_box;
+    use std::time::{Duration, Instant};
+
+    use dsud_core::{
+        dsud, edsud, BandwidthMeter, BatchSize, BoundMode, FailurePolicy, Link, LinkConfig,
+        LocalSite, PipelineDepth, QueryOutcome, SiteOptions, SubspaceMask, WireFormat,
+    };
+    use dsud_net::{ChannelLink, DelayedService};
+
+    let delay_ms = std::env::var("DSUD_PIPELINE_DELAY_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(2);
+    let delay = Duration::from_millis(delay_ms);
+    println!(
+        "\n== Wire layout: legacy vs columnar frames at Table 3 defaults, batch 16, {delay_ms} ms/request =="
+    );
+    let spec = ExpSpec::table3_defaults();
+    let mask = SubspaceMask::full(spec.d).expect("valid dims");
+
+    #[derive(Serialize)]
+    struct Row {
+        algo: String,
+        wire: String,
+        messages: u64,
+        bytes: u64,
+        tuples: u64,
+        wall_ms: f64,
+        answers: usize,
+    }
+    let mut rows = Vec::new();
+    println!(
+        "{:<8} {:>9} {:>10} {:>14} {:>10} {:>12} {:>9}",
+        "algo", "wire", "messages", "bytes", "tuples", "wall(ms)", "answers"
+    );
+    for algo in [Algo::Dsud, Algo::Edsud] {
+        let mut reference: Option<(Vec<(u64, u64)>, u64, u64)> = None;
+        for wire in [WireFormat::Legacy, WireFormat::Columnar] {
+            let meter = BandwidthMeter::default();
+            let mut links: Vec<Box<dyn Link>> = Vec::new();
+            for (i, tuples) in spec.generate(0).into_iter().enumerate() {
+                let site = LocalSite::new(
+                    i as u32,
+                    spec.d,
+                    tuples,
+                    SiteOptions { wire, ..SiteOptions::default() },
+                )
+                .expect("experiment sites are valid");
+                links.push(Box::new(ChannelLink::spawn_with(
+                    DelayedService::new(site, delay),
+                    meter.clone(),
+                    LinkConfig::default(),
+                )));
+            }
+            let started = Instant::now();
+            let outcome: QueryOutcome = match algo {
+                Algo::Dsud => dsud::run_with_policy(
+                    &mut links,
+                    &meter,
+                    spec.q,
+                    mask,
+                    None,
+                    FailurePolicy::Strict,
+                    BatchSize::Fixed(16),
+                    PipelineDepth::Fixed(1),
+                    wire,
+                ),
+                _ => edsud::run_with_synopses(
+                    &mut links,
+                    &meter,
+                    spec.q,
+                    mask,
+                    BoundMode::Paper,
+                    None,
+                    None,
+                    FailurePolicy::Strict,
+                    BatchSize::Fixed(16),
+                    PipelineDepth::Fixed(1),
+                    wire,
+                ),
+            }
+            .expect("experiment queries succeed");
+            let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+            let answer: Vec<(u64, u64)> = outcome
+                .skyline
+                .iter()
+                .map(|e| (e.tuple.id().seq, e.probability.to_bits()))
+                .collect();
+            let total = outcome.traffic.total();
+            match &reference {
+                None => reference = Some((answer, total.messages, total.tuples)),
+                Some((r, messages, tuples)) => {
+                    assert_eq!(&answer, r, "{}: {wire} wire changed the answer", algo.label());
+                    assert_eq!(
+                        total.messages,
+                        *messages,
+                        "{}: {wire} wire changed message traffic",
+                        algo.label()
+                    );
+                    assert_eq!(
+                        total.tuples,
+                        *tuples,
+                        "{}: {wire} wire changed tuple traffic",
+                        algo.label()
+                    );
+                }
+            }
+            println!(
+                "{:<8} {:>9} {:>10} {:>14} {:>10} {:>12.1} {:>9}",
+                algo.label(),
+                wire.to_string(),
+                total.messages,
+                total.bytes,
+                total.tuples,
+                wall_ms,
+                outcome.skyline.len()
+            );
+            rows.push(Row {
+                algo: algo.label().to_string(),
+                wire: wire.to_string(),
+                messages: total.messages,
+                bytes: total.bytes,
+                tuples: total.tuples,
+                wall_ms,
+                answers: outcome.skyline.len(),
+            });
+        }
+    }
+    dump_json("wire", &rows);
+
+    // --- Dominance-kernel microbenchmark -------------------------------
+    //
+    // Survival-product throughput, scalar vs chunked: the scalar baseline
+    // is the row-major per-tuple loop (`dominates_in` + complement
+    // multiply, exactly what the batched round ran before the SoA kernel);
+    // the chunked side is `Batch::survival_product` over the columnar
+    // layout with the four-accumulator comparison kernel. Both are
+    // asserted bit-identical before timing, same as the criterion bench.
+    use dsud_uncertain::{dominates_in, Batch};
+
+    println!("\n== Dominance kernel: scalar tuple loop vs chunked columnar, N = 20000 rows ==");
+    const KERNEL_N: usize = 20_000;
+
+    #[derive(Serialize)]
+    struct KernelRow {
+        d: usize,
+        scalar_ms: f64,
+        chunked_ms: f64,
+        speedup: f64,
+        mrows_per_s: f64,
+    }
+    let mut kernel_rows = Vec::new();
+    println!(
+        "{:<4} {:>12} {:>13} {:>9} {:>11}",
+        "d", "scalar(ms)", "chunked(ms)", "speedup", "Mrows/s"
+    );
+    for d in [2usize, 4, 8] {
+        let tuples = dsud_data::WorkloadSpec::new(KERNEL_N, d)
+            .seed(16)
+            .generate()
+            .expect("kernel workload generates");
+        let batch = Batch::from_tuples(d, &tuples);
+        let mask = SubspaceMask::full(d).expect("valid dims");
+        let probes: Vec<Vec<f64>> =
+            tuples.iter().step_by(KERNEL_N / 128).map(|t| t.values().to_vec()).collect();
+
+        let scalar_product = |p: &[f64]| -> f64 {
+            let mut product = 1.0;
+            for t in &tuples {
+                if dominates_in(t.values(), p, mask) {
+                    product *= 1.0 - t.prob().get();
+                }
+            }
+            product
+        };
+        for p in &probes {
+            assert_eq!(
+                scalar_product(p).to_bits(),
+                batch.survival_product(p, mask).to_bits(),
+                "kernel must stay bit-identical to the scalar loop"
+            );
+        }
+
+        // Best-of-5 sweeps over all probes to shave scheduler noise.
+        let time_sweep = |f: &dyn Fn(&[f64]) -> f64| -> f64 {
+            let mut best = f64::INFINITY;
+            for _ in 0..5 {
+                let started = Instant::now();
+                let mut acc = 0.0;
+                for p in &probes {
+                    acc += f(black_box(p));
+                }
+                black_box(acc);
+                best = best.min(started.elapsed().as_secs_f64() * 1e3);
+            }
+            best
+        };
+        let scalar_ms = time_sweep(&scalar_product);
+        let chunked_ms = time_sweep(&|p: &[f64]| batch.survival_product(p, mask));
+        let speedup = scalar_ms / chunked_ms;
+        let mrows_per_s = (KERNEL_N * probes.len()) as f64 / (chunked_ms * 1e-3) / 1e6;
+        println!(
+            "{:<4} {:>12.2} {:>13.2} {:>8.2}x {:>11.0}",
+            d, scalar_ms, chunked_ms, speedup, mrows_per_s
+        );
+        if d == 4 {
+            assert!(
+                speedup >= 1.5,
+                "chunked kernel must be >= 1.5x the scalar loop at d = 4, got {speedup:.2}x"
+            );
+        }
+        kernel_rows.push(KernelRow { d, scalar_ms, chunked_ms, speedup, mrows_per_s });
+    }
+    dump_json("wire_kernel", &kernel_rows);
 }
 
 /// Eqs. 6–8: estimated vs measured skyline cardinality and the
@@ -660,5 +893,8 @@ fn main() {
     }
     if want("pipeline") {
         pipeline();
+    }
+    if want("wire") {
+        wire();
     }
 }

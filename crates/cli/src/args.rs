@@ -1,7 +1,7 @@
 use std::collections::HashMap;
 use std::path::PathBuf;
 
-use dsud_core::{BatchSize, FailurePolicy, PipelineDepth, Transport};
+use dsud_core::{BatchSize, FailurePolicy, PipelineDepth, Transport, WireFormat};
 
 use crate::CliError;
 
@@ -93,6 +93,12 @@ pub enum Command {
         /// refills — useful on `threaded`/`tcp` where requests have real
         /// latency, a no-op win on `inline` — without changing the answer.
         pipeline: PipelineDepth,
+        /// Wire layout for bulk-data frames: `columnar` (default) ships
+        /// batched feedback / replica traffic as fixed-width column
+        /// sections the sites answer without decoding; `legacy` keeps the
+        /// row-oriented encoding. Answers, progress order, and tuple
+        /// counts are bit-identical; only bytes and decode time differ.
+        wire: WireFormat,
     },
     /// Run the long-lived session daemon: sites stay resident and many
     /// concurrent clients multiplex queries onto them.
@@ -115,6 +121,8 @@ pub enum Command {
         batch: BatchSize,
         /// Pipeline window applied to every query (`<W>` or `auto`).
         pipeline: PipelineDepth,
+        /// Wire layout applied to every query (same semantics as `query`).
+        wire: WireFormat,
         /// Admission-control gate: maximum queries running concurrently;
         /// arrivals beyond that queue FIFO.
         max_concurrent: usize,
@@ -185,13 +193,13 @@ USAGE:
   dsud query    --input <FILE> [--sites <M>] [--q <Q>] [--algorithm dsud|edsud|baseline]
                 [--subspace 0,2,...] [--limit <K>] [--seed <S>] [--report <FILE>]
                 [--transport inline|threaded|tcp] [--failure strict|degrade]
-                [--batch <K>|auto] [--pipeline <W>|auto]
+                [--batch <K>|auto] [--pipeline <W>|auto] [--wire columnar|legacy]
   dsud vertical --input <FILE> [--q <Q>]
   dsud stream   --input <FILE> [--q <Q>] [--window <W>] [--every <K>]
   dsud estimate [--n <N>] [--dims <D>] [--sites <M>]
   dsud serve    --input <FILE> [--sites <M>] [--seed <S>] [--port <P>]
                 [--transport inline|threaded|tcp] [--failure strict|degrade]
-                [--batch <K>|auto] [--pipeline <W>|auto]
+                [--batch <K>|auto] [--pipeline <W>|auto] [--wire columnar|legacy]
                 [--max-concurrent <N>] [--cache <N>]
   dsud client   --addr <HOST:PORT> [--algorithm dsud|edsud] [--q <Q>]
                 [--subspace 0,2,...] [--limit <K>] [--report <FILE>]
@@ -207,7 +215,10 @@ Flag notes:
                a fixed K coalesces K candidates per round.
   --pipeline   auto is the double buffer (W=2); W>1 overlaps rounds on
                threaded/tcp transports. Neither flag changes the answer.
-  serve runs queries with ITS transport/failure/batch/pipeline flags;
+  --wire       columnar (default) packs bulk frames as fixed-width column
+               sections decoded in place; legacy keeps the row encoding.
+               Bit-identical answers either way.
+  serve runs queries with ITS transport/failure/batch/pipeline/wire flags;
   clients choose only what to ask (algorithm, q, subspace, limit).
 
 Data files hold one JSON tuple per line:
@@ -298,6 +309,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 failure: failure_flag(get("failure"))?,
                 batch: batch_flag(get("batch"))?,
                 pipeline: pipeline_flag(get("pipeline"))?,
+                wire: wire_flag(get("wire"))?,
             })
         }
         "serve" => {
@@ -319,6 +331,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 failure: failure_flag(get("failure"))?,
                 batch: batch_flag(get("batch"))?,
                 pipeline: pipeline_flag(get("pipeline"))?,
+                wire: wire_flag(get("wire"))?,
                 max_concurrent,
                 cache: parse_num("cache", 64)?,
             })
@@ -429,6 +442,18 @@ fn pipeline_flag(v: Option<&str>) -> Result<PipelineDepth, CliError> {
     }
 }
 
+/// Parses `--wire` (defaults to `columnar`: the CLI always prefers the
+/// compact layout; the library default stays `legacy` for byte-pinned
+/// compatibility tests).
+fn wire_flag(v: Option<&str>) -> Result<WireFormat, CliError> {
+    match v {
+        Some(v) => v
+            .parse::<WireFormat>()
+            .map_err(|_| CliError::Usage(format!("--wire expects legacy|columnar, got '{v}'"))),
+        None => Ok(WireFormat::Columnar),
+    }
+}
+
 /// Parses `--subspace 0,2,...` into dimension indices.
 fn subspace_flag(v: Option<&str>) -> Result<Option<Vec<usize>>, CliError> {
     match v {
@@ -523,6 +548,7 @@ mod tests {
             failure,
             batch,
             pipeline,
+            wire,
             ..
         } = parse(&argv("query --input d.jsonl")).unwrap()
         else {
@@ -535,6 +561,27 @@ mod tests {
         assert_eq!(failure, FailurePolicy::Strict);
         assert_eq!(batch, BatchSize::Fixed(1));
         assert_eq!(pipeline, PipelineDepth::Fixed(1));
+        assert_eq!(wire, WireFormat::Columnar);
+    }
+
+    #[test]
+    fn parses_wire_formats() {
+        for (flag, expected) in [("legacy", WireFormat::Legacy), ("columnar", WireFormat::Columnar)]
+        {
+            let Command::Query { wire, .. } =
+                parse(&argv(&format!("query --input d.jsonl --wire {flag}"))).unwrap()
+            else {
+                panic!()
+            };
+            assert_eq!(wire, expected);
+        }
+        let Command::Serve { wire, .. } =
+            parse(&argv("serve --input d.jsonl --wire legacy")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(wire, WireFormat::Legacy);
+        assert!(parse(&argv("query --input d.jsonl --wire carrier-pigeon")).is_err());
     }
 
     #[test]

@@ -10,6 +10,7 @@ use dsud_core::update::UpdateOp;
 use dsud_core::{
     baseline, BandwidthMeter, BatchSize, Cluster, FailurePolicy, PipelineDepth, QueryConfig,
     QueryOutcome, Recorder, SessionOptions, SessionServer, SiteOptions, SubspaceMask, Transport,
+    WireFormat,
 };
 use dsud_data::nyse::NyseSpec;
 use dsud_data::{partition_uniform, ProbabilityLaw, SpatialDistribution, WorkloadSpec};
@@ -50,6 +51,7 @@ pub fn run<W: Write>(cmd: &Command, out: &mut W) -> Result<(), CliError> {
             failure,
             batch,
             pipeline,
+            wire,
         } => query(
             input,
             *sites,
@@ -63,6 +65,7 @@ pub fn run<W: Write>(cmd: &Command, out: &mut W) -> Result<(), CliError> {
             *failure,
             *batch,
             *pipeline,
+            *wire,
             out,
         ),
         Command::Vertical { input, q } => vertical(input, *q, out),
@@ -76,6 +79,7 @@ pub fn run<W: Write>(cmd: &Command, out: &mut W) -> Result<(), CliError> {
             failure,
             batch,
             pipeline,
+            wire,
             max_concurrent,
             cache,
         } => serve(
@@ -87,6 +91,7 @@ pub fn run<W: Write>(cmd: &Command, out: &mut W) -> Result<(), CliError> {
             *failure,
             *batch,
             *pipeline,
+            *wire,
             *max_concurrent,
             *cache,
             out,
@@ -210,6 +215,7 @@ fn query<W: Write>(
     failure: FailurePolicy,
     batch: BatchSize,
     pipeline: PipelineDepth,
+    wire: WireFormat,
     out: &mut W,
 ) -> Result<(), CliError> {
     let tuples = read_tuples(input)?;
@@ -219,8 +225,11 @@ fn query<W: Write>(
     let mut rng = StdRng::seed_from_u64(seed);
     let partitioned = partition_uniform(rows, sites, &mut rng)?;
 
-    let mut config =
-        QueryConfig::new(q)?.failure_policy(failure).batch_size(batch).pipeline_depth(pipeline);
+    let mut config = QueryConfig::new(q)?
+        .failure_policy(failure)
+        .batch_size(batch)
+        .pipeline_depth(pipeline)
+        .wire_format(wire);
     if let Some(dims_spec) = subspace {
         config = config.subspace(SubspaceMask::from_dims(dims_spec)?);
     }
@@ -252,7 +261,7 @@ fn query<W: Write>(
         Algorithm::Dsud => Cluster::with_transport(
             dims,
             partitioned,
-            SiteOptions::default(),
+            SiteOptions { wire, ..SiteOptions::default() },
             recorder.clone(),
             used_transport,
         )?
@@ -260,7 +269,7 @@ fn query<W: Write>(
         Algorithm::Edsud => Cluster::with_transport(
             dims,
             partitioned,
-            SiteOptions::default(),
+            SiteOptions { wire, ..SiteOptions::default() },
             recorder.clone(),
             used_transport,
         )?
@@ -273,6 +282,7 @@ fn query<W: Write>(
         run_report.threads = Some(threadpool::pool_size());
         run_report.batch_size = Some(batch.name());
         run_report.pipeline = Some(pipeline.name());
+        run_report.wire = Some(wire.as_str().to_string());
         let json = serde_json::to_string_pretty(&run_report)
             .map_err(|e| CliError::Library(format!("cannot serialize run report: {e}")))?;
         fs::write(path, json)?;
@@ -396,14 +406,15 @@ fn stream<W: Write>(
 
 /// Per-connection request handler for `dsud serve`: bridges the JSON-lines
 /// protocol (`crate::protocol`) to the shared [`SessionServer`]. Execution
-/// knobs (transport, failure, batch, pipeline) are the daemon's flags —
-/// every query runs with them, whoever asks.
+/// knobs (transport, failure, batch, pipeline, wire) are the daemon's
+/// flags — every query runs with them, whoever asks.
 struct ServeHandler {
     session: Arc<SessionServer>,
     transport: Transport,
     failure: FailurePolicy,
     batch: BatchSize,
     pipeline: PipelineDepth,
+    wire: WireFormat,
 }
 
 impl ServeHandler {
@@ -411,7 +422,8 @@ impl ServeHandler {
         let mut config = QueryConfig::new(spec.q.unwrap_or(0.3))?
             .failure_policy(self.failure)
             .batch_size(self.batch)
-            .pipeline_depth(self.pipeline);
+            .pipeline_depth(self.pipeline)
+            .wire_format(self.wire);
         if let Some(dims) = &spec.subspace {
             config = config.subspace(SubspaceMask::from_dims(dims)?);
         }
@@ -433,6 +445,7 @@ impl ServeHandler {
             report.threads = Some(threadpool::pool_size());
             report.batch_size = Some(self.batch.name());
             report.pipeline = Some(self.pipeline.name());
+            report.wire = Some(self.wire.as_str().to_string());
         }
         Ok(outcome)
     }
@@ -531,6 +544,7 @@ fn serve<W: Write>(
     failure: FailurePolicy,
     batch: BatchSize,
     pipeline: PipelineDepth,
+    wire: WireFormat,
     max_concurrent: usize,
     cache: usize,
     out: &mut W,
@@ -545,7 +559,7 @@ fn serve<W: Write>(
     let cluster = Cluster::with_transport(
         dims,
         partitioned,
-        SiteOptions::default(),
+        SiteOptions { wire, ..SiteOptions::default() },
         Recorder::disabled(),
         transport,
     )?;
@@ -560,6 +574,7 @@ fn serve<W: Write>(
         failure,
         batch,
         pipeline,
+        wire,
     })?;
     writeln!(
         out,
@@ -744,6 +759,7 @@ mod tests {
                 FailurePolicy::Strict,
                 BatchSize::Fixed(4),
                 PipelineDepth::Auto,
+                WireFormat::Columnar,
                 &mut out,
             )
             .unwrap();

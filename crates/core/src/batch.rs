@@ -24,11 +24,11 @@
 //! accumulation loop — so the reported probabilities are `f64`
 //! bit-identical as well.
 
-use dsud_net::{Link, LinkError, Message, Ticket, TupleMsg};
+use dsud_net::{Link, LinkError, Message, Ticket, TupleBlock, TupleMsg};
 use dsud_obs::{Counter, Recorder};
 
 use crate::degrade::FailureTracker;
-use crate::{Error, RunStats};
+use crate::{Error, RunStats, WireFormat};
 
 /// Ledger for one batched round: the drawn candidates, how much of the
 /// batch each site has already seen, and the survival factors collected
@@ -42,14 +42,27 @@ pub(crate) struct BatchRound {
     /// `survivals[x][j]` is site `x`'s survival factor for candidate `j`,
     /// `None` while undelivered, for the home site, or for a lost site.
     survivals: Vec<Vec<Option<f64>>>,
+    /// Wire layout for the coalesced feedback frames. Purely a transport
+    /// choice: both layouts deliver the same tuples in the same order.
+    wire: WireFormat,
 }
 
 impl BatchRound {
-    pub(crate) fn new(sites: usize, budget: usize) -> Self {
+    pub(crate) fn new(sites: usize, budget: usize, wire: WireFormat) -> Self {
         BatchRound {
             cands: Vec::with_capacity(budget),
             sent_upto: vec![0; sites],
             survivals: vec![Vec::new(); sites],
+            wire,
+        }
+    }
+
+    /// The coalesced feedback frame for one site's pending sub-batch, in
+    /// the round's wire layout.
+    fn batch_frame(&self, msgs: Vec<TupleMsg>) -> Message {
+        match self.wire {
+            WireFormat::Legacy => Message::FeedbackBatch(msgs),
+            WireFormat::Columnar => Message::FeedbackBatchC(TupleBlock::from_msgs(&msgs)),
         }
     }
 
@@ -127,7 +140,8 @@ impl BatchRound {
         if msgs.is_empty() || !tracker.is_active(x) {
             return Ok(());
         }
-        let reply = links[x].call(Message::FeedbackBatch(msgs));
+        let frame = self.batch_frame(msgs);
+        let reply = links[x].call(frame);
         self.absorb_reply(x, &idxs, reply, tracker, stats, rec)
     }
 
@@ -150,7 +164,8 @@ impl BatchRound {
         if msgs.is_empty() || !tracker.is_active(x) {
             return None;
         }
-        Some((links[x].send(Message::FeedbackBatch(msgs)), idxs))
+        let frame = self.batch_frame(msgs);
+        Some((links[x].send(frame), idxs))
     }
 
     /// Closes the round: every site with a non-empty pending sub-batch
@@ -171,7 +186,7 @@ impl BatchRound {
                 continue;
             }
             idxs_by_site[x] = idxs;
-            requests.push((x, Message::FeedbackBatch(msgs)));
+            requests.push((x, self.batch_frame(msgs)));
         }
         for (x, reply) in dsud_net::scatter(links, requests) {
             let idxs = std::mem::take(&mut idxs_by_site[x]);
@@ -220,6 +235,11 @@ mod tests {
                         survivals: ts.iter().map(|t| t.local_prob).collect(),
                         pruned: ts.len() as u64,
                     },
+                    // Columnar requests are answered in kind.
+                    Message::FeedbackBatchC(block) => Message::SurvivalBatchReplyC {
+                        survivals: block.to_msgs().iter().map(|t| t.local_prob).collect(),
+                        pruned: block.len() as u64,
+                    },
                     _ => Message::Ack,
                 };
                 Box::new(LocalLink::new(service, meter.clone())) as _
@@ -235,7 +255,7 @@ mod tests {
         let mut tracker = FailureTracker::new(3, FailurePolicy::Strict, rec.clone());
         let mut stats = RunStats::default();
 
-        let mut round = BatchRound::new(3, 2);
+        let mut round = BatchRound::new(3, 2, WireFormat::Legacy);
         round.push(msg(0, 0, 0.9));
         // Flushing site 0 before its refill sends nothing: the only drawn
         // candidate is site 0's own.
@@ -259,6 +279,43 @@ mod tests {
     }
 
     #[test]
+    fn columnar_rounds_fold_identically_with_fewer_bytes_per_wide_batch() {
+        // The same round driven over both wire layouts: tuple counts,
+        // message counts, survival folds, and prune totals must match
+        // exactly — only the byte column may differ.
+        let run = |wire: WireFormat| {
+            let meter = BandwidthMeter::new();
+            let mut links = echo_links(&meter, 3);
+            let rec = Recorder::disabled();
+            let mut tracker = FailureTracker::new(3, FailurePolicy::Strict, rec.clone());
+            let mut stats = RunStats::default();
+            // Wide enough that every frame clears the columnar layout's
+            // ~6-row byte break-even (11-byte header premium vs 2 bytes
+            // saved per row).
+            let mut round = BatchRound::new(3, 24, wire);
+            for j in 0..24 {
+                round.push(msg(j % 3, j as u64, 0.05 + 0.03 * j as f64));
+            }
+            round.deliver(&mut links, 2, &mut tracker, &mut stats, &rec).unwrap();
+            round.deliver_all(&mut links, &mut tracker, &mut stats, &rec).unwrap();
+            let probs: Vec<f64> = (0..24).map(|j| round.global_probability(j)).collect();
+            (probs, stats.pruned_at_sites, meter.snapshot())
+        };
+        let (legacy_probs, legacy_pruned, legacy_snap) = run(WireFormat::Legacy);
+        let (col_probs, col_pruned, col_snap) = run(WireFormat::Columnar);
+        assert_eq!(legacy_probs, col_probs);
+        assert_eq!(legacy_pruned, col_pruned);
+        assert_eq!(legacy_snap.feedback.messages, col_snap.feedback.messages);
+        assert_eq!(legacy_snap.feedback.tuples, col_snap.feedback.tuples);
+        assert!(
+            col_snap.feedback.bytes < legacy_snap.feedback.bytes,
+            "columnar {} must beat legacy {} on multi-row feedback frames",
+            col_snap.feedback.bytes,
+            legacy_snap.feedback.bytes
+        );
+    }
+
+    #[test]
     fn redundant_deliveries_send_nothing() {
         let meter = BandwidthMeter::new();
         let mut links = echo_links(&meter, 2);
@@ -266,7 +323,7 @@ mod tests {
         let mut tracker = FailureTracker::new(2, FailurePolicy::Strict, rec.clone());
         let mut stats = RunStats::default();
 
-        let mut round = BatchRound::new(2, 4);
+        let mut round = BatchRound::new(2, 4, WireFormat::Legacy);
         assert!(round.is_empty());
         round.push(msg(0, 0, 0.8));
         round.deliver(&mut links, 1, &mut tracker, &mut stats, &rec).unwrap();

@@ -424,6 +424,7 @@ impl Cluster {
             config.failure,
             config.batch,
             config.pipeline,
+            config.wire,
         )
     }
 
@@ -445,6 +446,7 @@ impl Cluster {
             config.failure,
             config.batch,
             config.pipeline,
+            config.wire,
         )
     }
 }
@@ -481,7 +483,10 @@ pub(crate) fn expect_survival_batch(
     expected: usize,
 ) -> Result<(Vec<f64>, u64), Error> {
     match msg {
-        Message::SurvivalBatchReply { survivals, pruned } => {
+        // Both layouts carry identical payloads; the coordinator's fold
+        // never cares which one the site chose to answer with.
+        Message::SurvivalBatchReply { survivals, pruned }
+        | Message::SurvivalBatchReplyC { survivals, pruned } => {
             if survivals.len() != expected {
                 return Err(Error::ProtocolViolation {
                     site,

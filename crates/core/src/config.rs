@@ -217,6 +217,62 @@ impl std::str::FromStr for PipelineDepth {
     }
 }
 
+/// Which wire layout the coordinator uses for bulk-data frames (batched
+/// feedback, batched survival replies, replica synchronization).
+///
+/// The wire format is a pure transport optimization: both layouts carry
+/// exactly the same tuples in the same order, so results, probabilities,
+/// progress order, and tuple-traffic accounting are bit-identical — only
+/// byte counts (and decode cost) differ. Scalar per-candidate frames are
+/// always sent in the legacy row encoding regardless of this setting: the
+/// columnar header only pays for itself on multi-row frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum WireFormat {
+    /// Row-oriented frames (one length-prefixed tuple record after
+    /// another), the original encoding. The default so configs and byte
+    /// counts serialized before the columnar layout existed stay valid.
+    #[default]
+    Legacy,
+    /// Fixed-width columnar frames: coordinates as column-major `f64`
+    /// lanes plus packed id/probability sections behind one validated
+    /// header, decodable into a borrowed view without per-tuple work.
+    Columnar,
+}
+
+impl WireFormat {
+    /// Stable lowercase name, as accepted by the [`std::str::FromStr`]
+    /// impl.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            WireFormat::Legacy => "legacy",
+            WireFormat::Columnar => "columnar",
+        }
+    }
+
+    /// Whether bulk frames use the columnar layout.
+    pub fn columnar(&self) -> bool {
+        matches!(self, WireFormat::Columnar)
+    }
+}
+
+impl std::fmt::Display for WireFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for WireFormat {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "legacy" => Ok(WireFormat::Legacy),
+            "columnar" => Ok(WireFormat::Columnar),
+            _ => Err(Error::InvalidArgument("unknown wire format (expected legacy|columnar)")),
+        }
+    }
+}
+
 /// Configuration of one distributed skyline query.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct QueryConfig {
@@ -252,6 +308,13 @@ pub struct QueryConfig {
     /// [`PipelineDepth`].
     #[serde(default)]
     pub pipeline: PipelineDepth,
+    /// Wire layout for bulk-data frames. Defaults to [`WireFormat::Legacy`]
+    /// (the row encoding every pre-columnar byte count was measured
+    /// against); absent in configs serialized before the field existed,
+    /// hence the serde default. The wire format never changes the answer —
+    /// see [`WireFormat`].
+    #[serde(default)]
+    pub wire: WireFormat,
 }
 
 impl QueryConfig {
@@ -273,6 +336,7 @@ impl QueryConfig {
             failure: FailurePolicy::Strict,
             batch: BatchSize::default(),
             pipeline: PipelineDepth::default(),
+            wire: WireFormat::default(),
         })
     }
 
@@ -291,6 +355,12 @@ impl QueryConfig {
     /// Selects the per-link in-flight window for overlapped rounds.
     pub fn pipeline_depth(mut self, pipeline: PipelineDepth) -> Self {
         self.pipeline = pipeline;
+        self
+    }
+
+    /// Selects the wire layout for bulk-data frames.
+    pub fn wire_format(mut self, wire: WireFormat) -> Self {
+        self.wire = wire;
         self
     }
 
@@ -366,11 +436,18 @@ pub struct SiteOptions {
     pub pruning: bool,
     /// Deletion-reporting policy for update maintenance.
     pub update_policy: UpdatePolicy,
+    /// Wire layout the site prefers for its own bulk replies (region-query
+    /// responses during update maintenance). Feedback replies always answer
+    /// in the format of the request, so this only matters for site-initiated
+    /// bulk frames. Absent in options serialized before the field existed,
+    /// hence the serde default ([`WireFormat::Legacy`]).
+    #[serde(default)]
+    pub wire: WireFormat,
 }
 
 impl Default for SiteOptions {
     fn default() -> Self {
-        SiteOptions { pruning: true, update_policy: UpdatePolicy::Exact }
+        SiteOptions { pruning: true, update_policy: UpdatePolicy::Exact, wire: WireFormat::Legacy }
     }
 }
 
@@ -458,6 +535,33 @@ mod tests {
         }
         assert!(matches!("0".parse::<PipelineDepth>(), Err(Error::InvalidArgument(_))));
         assert!(matches!("deep".parse::<PipelineDepth>(), Err(Error::InvalidArgument(_))));
+    }
+
+    #[test]
+    fn wire_format_round_trips_through_names() {
+        for (name, wire) in [("legacy", WireFormat::Legacy), ("columnar", WireFormat::Columnar)] {
+            let parsed: WireFormat = name.parse().expect("known wire format");
+            assert_eq!(parsed, wire);
+            assert_eq!(wire.as_str(), name);
+            assert_eq!(wire.to_string(), name);
+        }
+        assert!(matches!("soa".parse::<WireFormat>(), Err(Error::InvalidArgument(_))));
+        assert!(WireFormat::Columnar.columnar());
+        assert!(!WireFormat::Legacy.columnar());
+    }
+
+    #[test]
+    fn configs_without_a_wire_field_deserialize_legacy() {
+        // Configs and site options serialized before the wire format
+        // existed must keep their original (row-encoded) byte behaviour.
+        let json = r#"{"q":0.3,"mask":null,"bound":"Paper","limit":null,"synopsis":null}"#;
+        let cfg: QueryConfig = serde_json::from_str(json).unwrap();
+        assert_eq!(cfg.wire, WireFormat::Legacy);
+        let json = r#"{"pruning":true,"update_policy":"Exact"}"#;
+        let opts: SiteOptions = serde_json::from_str(json).unwrap();
+        assert_eq!(opts.wire, WireFormat::Legacy);
+        let cfg = QueryConfig::new(0.3).unwrap().wire_format(WireFormat::Columnar);
+        assert_eq!(cfg.wire, WireFormat::Columnar);
     }
 
     #[test]

@@ -32,7 +32,9 @@ use dsud_uncertain::{SkylineEntry, SubspaceMask};
 use crate::batch::BatchRound;
 use crate::degrade::FailureTracker;
 use crate::pipeline::InflightRefill;
-use crate::{BatchSize, Error, FailurePolicy, PipelineDepth, ProgressLog, QueryOutcome, RunStats};
+use crate::{
+    BatchSize, Error, FailurePolicy, PipelineDepth, ProgressLog, QueryOutcome, RunStats, WireFormat,
+};
 
 /// A candidate in the server's priority queue `L`, ordered so that a
 /// max-heap pops the largest local skyline probability first, ties broken
@@ -91,11 +93,16 @@ pub fn run(
         FailurePolicy::Strict,
         BatchSize::default(),
         PipelineDepth::default(),
+        WireFormat::default(),
     )
 }
 
 /// [`run`] with an explicit site-failure policy, batch size, and pipeline
-/// depth. Under [`FailurePolicy::Degrade`] a site whose transport stays
+/// depth, plus the wire layout for batched feedback frames (a pure
+/// transport choice: [`WireFormat::Columnar`] ships the same tuples in a
+/// fixed-width columnar frame the sites can answer without decoding —
+/// answers, progress order, and tuple traffic are bit-identical to
+/// [`WireFormat::Legacy`]). Under [`FailurePolicy::Degrade`] a site whose transport stays
 /// broken after retries is quarantined — excluded from every later
 /// broadcast and refill — and the query completes over the survivors with
 /// [`QueryOutcome::degraded`] set (see [`crate::degrade`] for what that
@@ -125,6 +132,7 @@ pub fn run_with_policy(
     policy: FailurePolicy,
     batch: BatchSize,
     pipeline: PipelineDepth,
+    wire: WireFormat,
 ) -> Result<QueryOutcome, Error> {
     if !(q > 0.0 && q <= 1.0) {
         return Err(Error::InvalidThreshold(q));
@@ -243,7 +251,7 @@ pub fn run_with_policy(
         // flushes a site's pending feedback right before its refill, so
         // every site observes the unbatched event order (see
         // [`crate::batch`]).
-        let mut round = BatchRound::new(links.len(), budget);
+        let mut round = BatchRound::new(links.len(), budget, wire);
         {
             let _span = rec.span("to-server");
             let mut overlap_span = None;

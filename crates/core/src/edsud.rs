@@ -37,6 +37,7 @@ use crate::pipeline::InflightRefill;
 use crate::synopsis::SynopsisBound;
 use crate::{
     BatchSize, BoundMode, Error, FailurePolicy, PipelineDepth, ProgressLog, QueryOutcome, RunStats,
+    WireFormat,
 };
 
 /// A queued candidate with its per-site broadcast discounts.
@@ -136,6 +137,7 @@ pub fn run(
         FailurePolicy::Strict,
         BatchSize::default(),
         PipelineDepth::default(),
+        WireFormat::default(),
     )
 }
 
@@ -171,6 +173,7 @@ pub fn run_with_synopses(
     policy: FailurePolicy,
     batch: BatchSize,
     pipeline: PipelineDepth,
+    wire: WireFormat,
 ) -> Result<QueryOutcome, Error> {
     if !(q > 0.0 && q <= 1.0) {
         return Err(Error::InvalidThreshold(q));
@@ -232,7 +235,7 @@ pub fn run_with_synopses(
             // request to it (see `crate::batch` for why that keeps the
             // run bit-identical). The broadcasts themselves are deferred
             // into one coalesced frame per site.
-            let mut round = BatchRound::new(links.len(), budget);
+            let mut round = BatchRound::new(links.len(), budget, wire);
             let mut finished = false;
             // One expunge span per round, opened lazily at the first
             // expunge and spanning the interleaved draws — a span per draw

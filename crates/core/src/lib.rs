@@ -73,6 +73,7 @@ pub mod update;
 pub use cluster::{Cluster, QueryOutcome, RunStats, Transport};
 pub use config::{
     BatchSize, BoundMode, FailurePolicy, PipelineDepth, QueryConfig, SiteOptions, UpdatePolicy,
+    WireFormat,
 };
 pub use degrade::{QuarantineReason, SiteStatus};
 pub use error::Error;

@@ -440,6 +440,7 @@ impl SessionServer {
                 config.failure,
                 config.batch,
                 config.pipeline,
+                config.wire,
             ),
             Algo::Edsud => edsud::run_with_synopses(
                 &mut links,
@@ -452,6 +453,7 @@ impl SessionServer {
                 config.failure,
                 config.batch,
                 config.pipeline,
+                config.wire,
             ),
         };
         // Clear the sites' parked cursor state for this query id whether

@@ -11,12 +11,14 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use dsud_net::{Message, Service, TupleMsg};
+use dsud_net::{wire, BatchView, Message, Service, TupleMsg};
 use dsud_obs::Recorder;
 use dsud_prtree::{bbs, BbsScratch, PrTree};
-use dsud_uncertain::{dominates_in, SiteId, SubspaceMask, TupleId, UncertainTuple};
+use dsud_uncertain::{
+    dominates_in, ProbeRows, ProbeSet, SiteId, SubspaceMask, TupleId, UncertainTuple,
+};
 
-use crate::{Error, SiteOptions, UpdatePolicy};
+use crate::{Error, SiteOptions, UpdatePolicy, WireFormat};
 
 /// A participant `S_i` of the distributed system: owns the uncertain
 /// database `D_i` (indexed by a PR-tree) and implements the site side of
@@ -45,6 +47,17 @@ pub struct LocalSite {
     /// Reused BBS traversal buffers: a site answers one Start plus many
     /// region queries per workload, all against the same tree.
     scratch: BbsScratch,
+    /// Reused feedback-batch buffers (probe rows gathered from a columnar
+    /// view plus the survival factors of the reply), so a warm site
+    /// answers every batched round without heap allocation.
+    feed: FeedbackScratch,
+}
+
+/// Site-held buffers for one batched feedback round, reused across rounds.
+#[derive(Debug, Default)]
+struct FeedbackScratch {
+    rows: ProbeRows,
+    survivals: Vec<f64>,
 }
 
 /// Per-query state: the surviving local skyline, in descending local
@@ -117,6 +130,7 @@ impl LocalSite {
             sessions: HashMap::new(),
             replica: Vec::new(),
             scratch: BbsScratch::default(),
+            feed: FeedbackScratch::default(),
         })
     }
 
@@ -167,6 +181,13 @@ impl LocalSite {
         self.scratch.multi_probe_footprint()
     }
 
+    /// Reserved capacity of the site-held feedback-batch buffers (gathered
+    /// probe rows + survival factors), the other half of the batched
+    /// round's steady-state footprint.
+    pub fn feedback_scratch_footprint(&self) -> usize {
+        self.feed.rows.footprint() + self.feed.survivals.capacity()
+    }
+
     fn start(&mut self, q: f64, mask: SubspaceMask) -> Message {
         let sky = match bbs::local_skyline_with(&self.tree, q, mask, &mut self.scratch) {
             Ok(sky) => sky,
@@ -205,7 +226,7 @@ impl LocalSite {
     fn feedback(&mut self, msg: &TupleMsg) -> Message {
         let mask = self.active_mask();
         let survival = self.tree.survival_product(&msg.values, mask);
-        let pruned = self.apply_feedback_pruning(msg, mask);
+        let pruned = self.apply_feedback_pruning(msg.id, msg.prob, &msg.values, mask);
         Message::SurvivalReply { survival, pruned }
     }
 
@@ -225,9 +246,35 @@ impl LocalSite {
         self.tree.survival_products(&probes, mask, self.scratch.multi_probe(), &mut survivals);
         let mut pruned = 0;
         for msg in msgs {
-            pruned += self.apply_feedback_pruning(msg, mask);
+            pruned += self.apply_feedback_pruning(msg.id, msg.prob, &msg.values, mask);
         }
         Message::SurvivalBatchReply { survivals, pruned }
+    }
+
+    /// [`LocalSite::feedback_batch`] over a borrowed columnar view — the
+    /// frame-level fast path behind [`Service::handle_frame`]. The probe
+    /// rows are gathered into the site-held [`FeedbackScratch`] (so the
+    /// strided columns become contiguous rows exactly once), the survival
+    /// factors land in the same scratch for the caller to encode, and the
+    /// pruning passes run in batch order — bit-identical to the
+    /// message-level path, with zero per-tuple allocation once warm.
+    fn feedback_batch_view(&mut self, view: &BatchView<'_>) -> u64 {
+        let mask = self.active_mask();
+        let mut feed = std::mem::take(&mut self.feed);
+        view.gather_rows(&mut feed.rows);
+        self.tree.survival_products(
+            &feed.rows,
+            mask,
+            self.scratch.multi_probe(),
+            &mut feed.survivals,
+        );
+        let mut pruned = 0;
+        for k in 0..view.len() {
+            pruned +=
+                self.apply_feedback_pruning(view.id(k), view.prob(k), feed.rows.probe(k), mask);
+        }
+        self.feed = feed;
+        pruned
     }
 
     fn active_mask(&self) -> SubspaceMask {
@@ -237,16 +284,22 @@ impl LocalSite {
             .unwrap_or_else(|| SubspaceMask::full(self.dims).expect("dims validated at build"))
     }
 
-    fn apply_feedback_pruning(&mut self, msg: &TupleMsg, mask: SubspaceMask) -> u64 {
+    fn apply_feedback_pruning(
+        &mut self,
+        id: TupleId,
+        prob: f64,
+        values: &[f64],
+        mask: SubspaceMask,
+    ) -> u64 {
         let mut pruned = 0;
         if let Some(active) = self.query.as_mut() {
-            if self.options.pruning && msg.id.site != self.id {
+            if self.options.pruning && id.site != self.id {
                 let q = active.q;
-                let factor = 1.0 - msg.prob;
+                let factor = 1.0 - prob;
                 let mut graveyard: Vec<PendingCandidate> = Vec::new();
                 active.pending.retain_mut(|c| {
-                    if dominates_in(&msg.values, c.tuple.values(), mask) {
-                        c.discounted_by.push((msg.id, factor));
+                    if dominates_in(values, c.tuple.values(), mask) {
+                        c.discounted_by.push((id, factor));
                         if c.bound() < q {
                             pruned += 1;
                             graveyard.push(PendingCandidate {
@@ -324,10 +377,20 @@ impl LocalSite {
         }
     }
 
+    /// A region-query reply in the site's preferred wire layout
+    /// ([`SiteOptions::wire`]); both layouts carry identical tuples.
+    fn region_reply(&self, tuples: Vec<TupleMsg>) -> Message {
+        match self.options.wire {
+            WireFormat::Legacy => Message::RegionReply(tuples),
+            WireFormat::Columnar => Message::RegionReplyC(dsud_net::TupleBlock::from_msgs(&tuples)),
+        }
+    }
+
     fn region_query(&mut self, msg: &TupleMsg) -> Message {
-        let Some(active) = self.query.as_mut() else {
-            return Message::RegionReply(Vec::new());
-        };
+        if self.query.is_none() {
+            return self.region_reply(Vec::new());
+        }
+        let active = self.query.as_mut().expect("checked above");
         // At the deleted tuple's home site its removal changed *local*
         // probabilities, so the region must be re-scanned regardless of
         // policy. At other sites:
@@ -338,18 +401,19 @@ impl LocalSite {
         let home = msg.id.site == self.id;
         if home || self.options.update_policy == UpdatePolicy::Exact {
             let (q, mask) = (active.q, active.mask);
-            return match bbs::local_skyline_in_region_with(
+            let tuples = match bbs::local_skyline_in_region_with(
                 &self.tree,
                 q,
                 mask,
                 &msg.values,
                 &mut self.scratch,
             ) {
-                Ok(entries) => Message::RegionReply(
-                    entries.into_iter().map(|e| TupleMsg::new(&e.tuple, e.probability)).collect(),
-                ),
-                Err(_) => Message::RegionReply(Vec::new()),
+                Ok(entries) => {
+                    entries.into_iter().map(|e| TupleMsg::new(&e.tuple, e.probability)).collect()
+                }
+                Err(_) => Vec::new(),
             };
+            return self.region_reply(tuples);
         }
         let q = active.q;
         let mut resurrected = Vec::new();
@@ -358,7 +422,7 @@ impl LocalSite {
                 resurrected.push(TupleMsg::new(&c.tuple, c.local_prob));
             }
         }
-        Message::RegionReply(resurrected)
+        self.region_reply(resurrected)
     }
 
     fn replica_remove(&mut self, id: TupleId) {
@@ -396,11 +460,24 @@ impl Service for LocalSite {
             Message::RequestNext => self.next_candidate(),
             Message::Feedback(t) => self.feedback(&t),
             Message::FeedbackBatch(ts) => self.feedback_batch(&ts),
+            // Message-level fallback for columnar feedback (inline links
+            // decode before dispatch, bypassing the frame fast path): same
+            // computation, answered in kind.
+            Message::FeedbackBatchC(block) => match self.feedback_batch(&block.to_msgs()) {
+                Message::SurvivalBatchReply { survivals, pruned } => {
+                    Message::SurvivalBatchReplyC { survivals, pruned }
+                }
+                other => other,
+            },
             Message::InjectInsert(t) => self.inject_insert(&t),
             Message::InjectDelete(t) => self.inject_delete(&t),
             Message::RegionQuery(t) => self.region_query(&t),
             Message::ReplicaSync(tuples) => {
                 self.replica = tuples;
+                Message::Ack
+            }
+            Message::ReplicaSyncC(block) => {
+                self.replica = block.to_msgs();
                 Message::Ack
             }
             Message::ReplicaAdd(t) => {
@@ -425,14 +502,72 @@ impl Service for LocalSite {
             Message::Upload(_)
             | Message::SurvivalReply { .. }
             | Message::SurvivalBatchReply { .. }
+            | Message::SurvivalBatchReplyC { .. }
             | Message::NotifyInsert(_)
             | Message::NotifyDelete(_)
             | Message::RegionReply(_)
+            | Message::RegionReplyC(_)
             | Message::Synopsis(_)
             | Message::DecodeError
             | Message::Ack => Message::Ack,
         }
     }
+
+    /// Frame-level fast path: a columnar feedback batch (bare or inside a
+    /// [`Message::Tagged`] wrapper) is answered straight from the borrowed
+    /// frame bytes — the probe coordinates are read out of the frame's
+    /// column sections and the reply is encoded directly into the
+    /// transport's reusable buffer, so a warm batched round runs socket to
+    /// dominance kernel with zero per-tuple allocation. Every other frame
+    /// (and any columnar frame that fails validation) takes the default
+    /// decode → [`Service::handle`] → encode path.
+    fn handle_frame(&mut self, frame: &[u8], out: &mut bytes::BytesMut) {
+        let (query_id, body) = match frame.first() {
+            Some(&t) if t == wire::TAG_FEEDBACK_BATCH_C => (None, frame),
+            // Tagged wrapper: tag 21, big-endian query id, inner frame.
+            Some(21) if frame.len() > 9 && frame[9] == wire::TAG_FEEDBACK_BATCH_C => {
+                let qid = u64::from_be_bytes(frame[1..9].try_into().expect("8 bytes checked"));
+                (Some(qid), &frame[9..])
+            }
+            _ => {
+                return default_handle_frame(self, frame, out);
+            }
+        };
+        let Some(view) = BatchView::parse(body) else {
+            // Malformed columnar frame: the default path answers
+            // `DecodeError` without panicking, exactly like any other
+            // undecodable request.
+            return default_handle_frame(self, frame, out);
+        };
+        let pruned = match query_id {
+            None => self.feedback_batch_view(&view),
+            Some(qid) => {
+                // Same cursor swap as the Tagged arm of `handle`.
+                let parked = self.query.take();
+                self.query = self.sessions.remove(&qid);
+                let pruned = self.feedback_batch_view(&view);
+                if let Some(state) = self.query.take() {
+                    self.sessions.insert(qid, state);
+                }
+                self.query = parked;
+                pruned
+            }
+        };
+        out.clear();
+        out.reserve(wire::survivals_encoded_len(self.feed.survivals.len()));
+        wire::encode_survivals(&self.feed.survivals, pruned, out);
+    }
+}
+
+/// The [`Service::handle_frame`] default body, reachable from the
+/// override's fallback arms (Rust has no `super` call for provided trait
+/// methods).
+fn default_handle_frame(site: &mut LocalSite, frame: &[u8], out: &mut bytes::BytesMut) {
+    let reply = match Message::decode_slice(frame) {
+        Some(msg) => site.handle(msg),
+        None => Message::DecodeError,
+    };
+    reply.encode_into(out);
 }
 
 #[cfg(test)]
@@ -626,6 +761,158 @@ mod tests {
             steady_rounds += 1;
         }
         assert_eq!(steady_rounds, 8);
+
+        // The columnar frame path holds the same invariant for its own
+        // scratch: one warm-up round sizes the gathered probe rows and the
+        // survival vector, after which neither the multi-probe buffers nor
+        // the feedback scratch may move again.
+        let frame = Message::FeedbackBatchC(dsud_net::TupleBlock::from_msgs(&batch)).encode();
+        let mut out = bytes::BytesMut::new();
+        site.handle_frame(&frame, &mut out);
+        let warmed_probe = site.multi_probe_footprint();
+        let warmed_feed = site.feedback_scratch_footprint();
+        assert!(warmed_feed > 0, "first frame must size the feedback scratch");
+        for round in 0..8 {
+            site.handle_frame(&frame, &mut out);
+            assert_eq!(
+                site.multi_probe_footprint(),
+                warmed_probe,
+                "frame round {round} re-allocated the multi-probe scratch"
+            );
+            assert_eq!(
+                site.feedback_scratch_footprint(),
+                warmed_feed,
+                "frame round {round} re-allocated the feedback scratch"
+            );
+        }
+    }
+
+    /// The frame-level columnar fast path must be indistinguishable from
+    /// the message-level path: same survival bits, same prune count, same
+    /// surviving queue. This is the invariant that lets transports pick
+    /// `handle_frame` freely.
+    #[test]
+    fn columnar_frame_fast_path_matches_the_message_path_bit_for_bit() {
+        let feedbacks: Vec<TupleMsg> = vec![
+            TupleMsg::new(&tuple(1, 0, vec![7.5, 3.5], 0.3), 0.3),
+            TupleMsg::new(&tuple(1, 1, vec![10.0, 10.0], 0.5), 0.5),
+            TupleMsg::new(&tuple(1, 2, vec![7.5, 3.5], 0.3), 0.3),
+            TupleMsg::new(&tuple(2, 0, vec![2.0, 7.5], 0.4), 0.4),
+        ];
+
+        let mut by_msg = paper_site_s1();
+        by_msg.handle(Message::Start { q: 0.3, mask: full(2) });
+        let Message::SurvivalBatchReply { survivals: want_survivals, pruned: want_pruned } =
+            by_msg.handle(Message::FeedbackBatch(feedbacks.clone()))
+        else {
+            panic!()
+        };
+
+        let mut by_frame = paper_site_s1();
+        by_frame.handle(Message::Start { q: 0.3, mask: full(2) });
+        let frame = Message::FeedbackBatchC(dsud_net::TupleBlock::from_msgs(&feedbacks)).encode();
+        let mut out = bytes::BytesMut::new();
+        by_frame.handle_frame(&frame, &mut out);
+        let Some(Message::SurvivalBatchReplyC { survivals, pruned }) = Message::decode_slice(&out)
+        else {
+            panic!("fast path must answer a columnar survival batch")
+        };
+
+        assert_eq!(
+            survivals.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            want_survivals.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(pruned, want_pruned);
+        assert_eq!(by_frame.pending_candidates(), by_msg.pending_candidates());
+        loop {
+            let a = by_frame.handle(Message::RequestNext);
+            let b = by_msg.handle(Message::RequestNext);
+            assert_eq!(a, b);
+            if matches!(a, Message::Upload(None)) {
+                break;
+            }
+        }
+    }
+
+    /// A tagged columnar frame must swap in exactly the identified
+    /// session's cursor — pruning that session's queue, leaving the
+    /// default cursor untouched — just like the message-level Tagged arm.
+    #[test]
+    fn tagged_columnar_frames_swap_the_right_session_cursor() {
+        let feedbacks = vec![TupleMsg::new(&tuple(1, 0, vec![2.0, 2.0], 0.9), 0.9)];
+        let tagged = |inner: Message| Message::Tagged { query_id: 7, inner: Box::new(inner) };
+
+        let mut by_msg = paper_site_s1();
+        by_msg.handle(tagged(Message::Start { q: 0.5, mask: full(2) }));
+        let Message::SurvivalBatchReply { survivals: want_survivals, pruned: want_pruned } =
+            by_msg.handle(tagged(Message::FeedbackBatch(feedbacks.clone())))
+        else {
+            panic!()
+        };
+
+        let mut by_frame = paper_site_s1();
+        by_frame.handle(tagged(Message::Start { q: 0.5, mask: full(2) }));
+        let frame =
+            tagged(Message::FeedbackBatchC(dsud_net::TupleBlock::from_msgs(&feedbacks))).encode();
+        let mut out = bytes::BytesMut::new();
+        by_frame.handle_frame(&frame, &mut out);
+        let Some(Message::SurvivalBatchReplyC { survivals, pruned }) = Message::decode_slice(&out)
+        else {
+            panic!("tagged fast path must answer a columnar survival batch")
+        };
+
+        assert_eq!(
+            survivals.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            want_survivals.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(pruned, want_pruned);
+        // The default cursor was never started; the session's queue took
+        // the pruning. Stream session 7 on both sites and compare.
+        loop {
+            let a = by_frame.handle(tagged(Message::RequestNext));
+            let b = by_msg.handle(tagged(Message::RequestNext));
+            assert_eq!(a, b);
+            if matches!(a, Message::Upload(None)) {
+                break;
+            }
+        }
+    }
+
+    /// A malformed columnar frame must come back as `DecodeError`, not a
+    /// panic — the fast path falls through to the default decode path,
+    /// which rejects it like any other garbage frame.
+    #[test]
+    fn malformed_columnar_frames_answer_decode_error() {
+        let mut site = paper_site_s1();
+        site.handle(Message::Start { q: 0.5, mask: full(2) });
+        let good = Message::FeedbackBatchC(dsud_net::TupleBlock::from_msgs(&[TupleMsg::new(
+            &tuple(1, 0, vec![2.0, 2.0], 0.9),
+            0.9,
+        )]))
+        .encode();
+        let mut out = bytes::BytesMut::new();
+        for mutilate in [
+            // truncated mid-section
+            good[..good.len() - 3].to_vec(),
+            // corrupted magic
+            {
+                let mut f = good.to_vec();
+                f[1] ^= 0xff;
+                f
+            },
+            // absurd row count
+            {
+                let mut f = good.to_vec();
+                f[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+                f
+            },
+        ] {
+            site.handle_frame(&mutilate, &mut out);
+            assert!(
+                matches!(Message::decode_slice(&out), Some(Message::DecodeError)),
+                "mutilated frame must be rejected, not crash"
+            );
+        }
     }
 
     #[test]

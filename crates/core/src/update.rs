@@ -30,7 +30,7 @@ use dsud_net::{BandwidthMeter, Link, Message, TupleMsg};
 use dsud_uncertain::{dominates_in, SkylineEntry, SubspaceMask, UncertainTuple};
 
 use crate::cluster::expect_survival;
-use crate::{edsud, BoundMode, Error, QueryOutcome};
+use crate::{edsud, BoundMode, Error, QueryOutcome, WireFormat};
 
 /// One update at a local site.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -74,6 +74,9 @@ pub struct Maintainer {
     /// existential probabilities are confirmed dominator factors that
     /// pre-filter later evaluations for free. Bounded FIFO.
     seen: std::collections::VecDeque<TupleMsg>,
+    /// Wire layout for bulk replica broadcasts (a pure transport choice;
+    /// per-tuple maintenance messages always use the legacy encoding).
+    wire: WireFormat,
 }
 
 /// Upper bound on the evaluated-candidate cache.
@@ -95,6 +98,7 @@ impl Maintainer {
         mask: SubspaceMask,
         bound: BoundMode,
     ) -> Result<(Self, QueryOutcome), Error> {
+        let wire = WireFormat::default();
         let outcome = edsud::run(links, meter, q, mask, bound, None)?;
         let members: Vec<Member> = outcome
             .skyline
@@ -102,10 +106,19 @@ impl Maintainer {
             .map(|e| Member { msg: TupleMsg::new(&e.tuple, e.probability), prob: e.probability })
             .collect();
         let replica: Vec<TupleMsg> = members.iter().map(|m| m.msg.clone()).collect();
-        sync_replicas(links, &replica)?;
+        sync_replicas(links, &replica, wire)?;
         let replicated = replica.iter().map(|m| m.id).collect();
         let seen = replica.iter().cloned().collect();
-        Ok((Maintainer { q, mask, bound, members, replicated, seen }, outcome))
+        Ok((Maintainer { q, mask, bound, members, replicated, seen, wire }, outcome))
+    }
+
+    /// Switches the layout used for bulk replica broadcasts. Both layouts
+    /// carry identical tuples, so the maintained skyline is unaffected;
+    /// only the byte counts differ.
+    #[must_use]
+    pub fn wire_format(mut self, wire: WireFormat) -> Self {
+        self.wire = wire;
+        self
     }
 
     /// The maintained global skyline, sorted by tuple id.
@@ -179,7 +192,7 @@ impl Maintainer {
             .map(|e| Member { msg: TupleMsg::new(&e.tuple, e.probability), prob: e.probability })
             .collect();
         let replica: Vec<TupleMsg> = self.members.iter().map(|m| m.msg.clone()).collect();
-        sync_replicas(links, &replica)?;
+        sync_replicas(links, &replica, self.wire)?;
         self.replicated = replica.iter().map(|m| m.id).collect();
         self.seen = replica.into_iter().collect();
         Ok(outcome)
@@ -281,6 +294,7 @@ impl Maintainer {
         for (x, reply) in dsud_net::broadcast(links, |_| true, &Message::RegionQuery(t.clone())) {
             match reply.map_err(|e| site_failed(x, e))? {
                 Message::RegionReply(mut tuples) => candidates.append(&mut tuples),
+                Message::RegionReplyC(block) => candidates.extend(block.to_msgs()),
                 _ => {
                     return Err(Error::ProtocolViolation {
                         site: x as u32,
@@ -346,9 +360,17 @@ fn broadcast_all(links: &mut [Box<dyn Link>], msg: Message) -> Result<(), Error>
     Ok(())
 }
 
-fn sync_replicas(links: &mut [Box<dyn Link>], replica: &[TupleMsg]) -> Result<(), Error> {
+fn sync_replicas(
+    links: &mut [Box<dyn Link>],
+    replica: &[TupleMsg],
+    wire: WireFormat,
+) -> Result<(), Error> {
     for (i, link) in links.iter_mut().enumerate() {
-        link.call(Message::ReplicaSync(replica.to_vec())).map_err(|e| site_failed(i, e))?;
+        let msg = match wire {
+            WireFormat::Legacy => Message::ReplicaSync(replica.to_vec()),
+            WireFormat::Columnar => Message::ReplicaSyncC(dsud_net::TupleBlock::from_msgs(replica)),
+        };
+        link.call(msg).map_err(|e| site_failed(i, e))?;
     }
     Ok(())
 }

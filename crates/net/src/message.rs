@@ -259,6 +259,27 @@ pub enum Message {
     /// the site knows *which* session slot to clear; the site replies
     /// [`Message::Ack`].
     Release,
+    /// `H → site`: [`Message::FeedbackBatch`] in the columnar wire layout
+    /// of [`crate::wire`] — same candidates, same order, answered by one
+    /// [`Message::SurvivalBatchReplyC`]. Sites with a frame-level fast
+    /// path ([`crate::Service::handle_frame`]) process this frame through
+    /// a borrowed [`crate::BatchView`] without materializing owned tuples.
+    FeedbackBatchC(crate::TupleBlock),
+    /// `site → H`: reply to a [`Message::FeedbackBatchC`] — identical
+    /// factors and pruning count to [`Message::SurvivalBatchReply`], in
+    /// the columnar wire layout.
+    SurvivalBatchReplyC {
+        /// `survivals[k]` is the `k`-th candidate's survival product, in
+        /// batch order.
+        survivals: Vec<f64>,
+        /// Number of local skyline tuples the whole batch eliminated.
+        pruned: u64,
+    },
+    /// `H → site` (update maintenance): [`Message::ReplicaSync`] in the
+    /// columnar wire layout.
+    ReplicaSyncC(crate::TupleBlock),
+    /// `site → H`: [`Message::RegionReply`] in the columnar wire layout.
+    RegionReplyC(crate::TupleBlock),
 }
 
 /// Traffic classes used by the [`crate::BandwidthMeter`].
@@ -283,10 +304,12 @@ impl Message {
     pub fn class(&self) -> TrafficClass {
         match self {
             Message::Upload(_) => TrafficClass::Upload,
-            Message::Feedback(_) | Message::FeedbackBatch(_) => TrafficClass::Feedback,
-            Message::SurvivalReply { .. } | Message::SurvivalBatchReply { .. } => {
-                TrafficClass::Reply
+            Message::Feedback(_) | Message::FeedbackBatch(_) | Message::FeedbackBatchC(_) => {
+                TrafficClass::Feedback
             }
+            Message::SurvivalReply { .. }
+            | Message::SurvivalBatchReply { .. }
+            | Message::SurvivalBatchReplyC { .. } => TrafficClass::Reply,
             Message::Start { .. } | Message::RequestNext | Message::Ack | Message::DecodeError => {
                 TrafficClass::Control
             }
@@ -296,7 +319,9 @@ impl Message {
             | Message::ReplicaAdd(_)
             | Message::ReplicaRemove(_)
             | Message::RegionQuery(_)
-            | Message::RegionReply(_) => TrafficClass::Maintenance,
+            | Message::RegionReply(_)
+            | Message::ReplicaSyncC(_)
+            | Message::RegionReplyC(_) => TrafficClass::Maintenance,
             Message::InjectInsert(_) | Message::InjectDelete(_) => TrafficClass::Scaffold,
             Message::SynopsisRequest { .. } => TrafficClass::Control,
             Message::Synopsis(_) => TrafficClass::Upload,
@@ -315,6 +340,11 @@ impl Message {
             Message::ReplicaSync(tuples)
             | Message::RegionReply(tuples)
             | Message::FeedbackBatch(tuples) => tuples.len() as u64,
+            // A columnar frame carries exactly the tuples its legacy twin
+            // does — the layout saves bytes, never the paper's unit.
+            Message::FeedbackBatchC(block)
+            | Message::ReplicaSyncC(block)
+            | Message::RegionReplyC(block) => block.len() as u64,
             // Synopses are charged their tuple-equivalent weight — the
             // honest cost the paper's Section 5.2 worries about.
             Message::Synopsis(s) => s.tuple_equivalents(),
@@ -440,6 +470,18 @@ impl Message {
                 inner.encode_body(buf);
             }
             Message::Release => buf.put_u8(22),
+            Message::FeedbackBatchC(block) => {
+                crate::wire::encode_block(crate::wire::TAG_FEEDBACK_BATCH_C, block, buf);
+            }
+            Message::SurvivalBatchReplyC { survivals, pruned } => {
+                crate::wire::encode_survivals(survivals, *pruned, buf);
+            }
+            Message::ReplicaSyncC(block) => {
+                crate::wire::encode_block(crate::wire::TAG_REPLICA_SYNC_C, block, buf);
+            }
+            Message::RegionReplyC(block) => {
+                crate::wire::encode_block(crate::wire::TAG_REGION_REPLY_C, block, buf);
+            }
         }
     }
 
@@ -468,6 +510,37 @@ impl Message {
             Message::Synopsis(syn) => syn.encoded_len(),
             Message::Tagged { inner, .. } => 8 + inner.encoded_len(),
             Message::Release => 0,
+            // The columnar helpers count the whole frame including the tag
+            // byte this match already charged.
+            Message::FeedbackBatchC(block)
+            | Message::ReplicaSyncC(block)
+            | Message::RegionReplyC(block) => {
+                crate::wire::block_encoded_len(block.len(), block.dims as usize) - 1
+            }
+            Message::SurvivalBatchReplyC { survivals, .. } => {
+                crate::wire::survivals_encoded_len(survivals.len()) - 1
+            }
+        }
+    }
+
+    /// For a columnar frame (or a [`Message::Tagged`] wrapper around one):
+    /// the frame length its *legacy* row-major encoding would have had.
+    /// `None` for every other message. The meter uses this to account the
+    /// bytes the columnar layout saved; note the columnar survival reply
+    /// is slightly *larger* than its legacy twin (a fixed 11-byte header
+    /// premium buys the castable layout), which the meter's saturating
+    /// subtraction records as zero saved rather than negative.
+    pub fn legacy_encoded_len(&self) -> Option<usize> {
+        // A legacy TupleMsg of d values is 30 + 8d bytes; row vectors add
+        // a 1-byte tag + 4-byte count.
+        let rows = |n: usize, dims: usize| 5 + n * (30 + 8 * dims);
+        match self {
+            Message::FeedbackBatchC(block)
+            | Message::ReplicaSyncC(block)
+            | Message::RegionReplyC(block) => Some(rows(block.len(), block.dims as usize)),
+            Message::SurvivalBatchReplyC { survivals, .. } => Some(13 + 8 * survivals.len()),
+            Message::Tagged { inner, .. } => inner.legacy_encoded_len().map(|l| l + 9),
+            _ => None,
         }
     }
 
@@ -484,6 +557,12 @@ impl Message {
     pub fn decode_slice(mut buf: &[u8]) -> Option<Self> {
         if buf.is_empty() {
             return None;
+        }
+        // Columnar frames (tags 23–26) carry their own validated header
+        // and exact-length contract; they are decoded from the whole frame
+        // so the section offsets in the wire layout stay tag-relative.
+        if crate::wire::is_columnar_tag(buf[0]) {
+            return crate::wire::decode_columnar(buf);
         }
         let tag = buf.get_u8();
         let msg = match tag {
@@ -633,12 +712,22 @@ mod tests {
             Message::Tagged { query_id: 7, inner: Box::new(Message::Feedback(sample_tuple_msg())) },
             Message::Tagged { query_id: 7, inner: Box::new(Message::Release) },
             Message::Release,
+            Message::FeedbackBatchC(crate::TupleBlock::from_msgs(&vec![sample_tuple_msg(); 3])),
+            Message::SurvivalBatchReplyC { survivals: vec![0.9, 0.25, 1.0], pruned: 4 },
+            Message::ReplicaSyncC(crate::TupleBlock::from_msgs(&vec![sample_tuple_msg(); 2])),
+            Message::RegionReplyC(crate::TupleBlock::from_msgs(&[sample_tuple_msg()])),
+            Message::Tagged {
+                query_id: 9,
+                inner: Box::new(Message::FeedbackBatchC(crate::TupleBlock::from_msgs(&[
+                    sample_tuple_msg(),
+                ]))),
+            },
         ]
     }
 
     /// Golden wire contract: `encoded_len` is the exact frame length for
     /// every variant — the pipelined transports pre-reserve outstanding
-    /// frames from it — and the sample set covers every wire tag `0..=22`.
+    /// frames from it — and the sample set covers every wire tag `0..=26`.
     /// Adding a message variant without extending `all_messages` (and
     /// without a matching `encoded_len` arm) fails here, not in a
     /// transport at 2 a.m.
@@ -649,6 +738,10 @@ mod tests {
             Message::RegionReply(Vec::new()),
             Message::FeedbackBatch(Vec::new()),
             Message::SurvivalBatchReply { survivals: Vec::new(), pruned: 0 },
+            Message::FeedbackBatchC(crate::TupleBlock::default()),
+            Message::SurvivalBatchReplyC { survivals: Vec::new(), pruned: 0 },
+            Message::ReplicaSyncC(crate::TupleBlock::default()),
+            Message::RegionReplyC(crate::TupleBlock::default()),
         ];
         let mut tags = Vec::new();
         for msg in all_messages().into_iter().chain(empties) {
@@ -658,7 +751,110 @@ mod tests {
         }
         tags.sort_unstable();
         tags.dedup();
-        assert_eq!(tags, (0u8..=22).collect::<Vec<_>>(), "every wire tag 0..=22 represented");
+        assert_eq!(tags, (0u8..=26).collect::<Vec<_>>(), "every wire tag 0..=26 represented");
+    }
+
+    /// The columnar frames are re-encodings, not new semantics: each
+    /// carries row-for-row the payload of its legacy twin (same ids,
+    /// bit-identical floats, same order), shares its traffic class and
+    /// tuple count, and `legacy_encoded_len` reports exactly the twin's
+    /// frame length.
+    #[test]
+    fn columnar_frames_mirror_their_legacy_twins() {
+        let tuples = vec![sample_tuple_msg(); 3];
+        let block = crate::TupleBlock::from_msgs(&tuples);
+        for (columnar, legacy) in [
+            (Message::FeedbackBatchC(block.clone()), Message::FeedbackBatch(tuples.clone())),
+            (
+                Message::SurvivalBatchReplyC { survivals: vec![0.5, 0.25], pruned: 2 },
+                Message::SurvivalBatchReply { survivals: vec![0.5, 0.25], pruned: 2 },
+            ),
+            (Message::ReplicaSyncC(block.clone()), Message::ReplicaSync(tuples.clone())),
+            (Message::RegionReplyC(block.clone()), Message::RegionReply(tuples.clone())),
+        ] {
+            assert_eq!(columnar.class(), legacy.class(), "{columnar:?}");
+            assert_eq!(columnar.tuple_count(), legacy.tuple_count(), "{columnar:?}");
+            assert_eq!(columnar.legacy_encoded_len(), Some(legacy.encoded_len()), "{columnar:?}");
+            // Decoding the columnar frame restores bit-identical rows.
+            let back = Message::decode_slice(&columnar.encode()).expect("well-formed");
+            match (&back, &legacy) {
+                (Message::FeedbackBatchC(b), Message::FeedbackBatch(t))
+                | (Message::ReplicaSyncC(b), Message::ReplicaSync(t))
+                | (Message::RegionReplyC(b), Message::RegionReply(t)) => {
+                    assert_eq!(&b.to_msgs(), t);
+                }
+                (
+                    Message::SurvivalBatchReplyC { survivals: a, pruned: pa },
+                    Message::SurvivalBatchReply { survivals: b, pruned: pb },
+                ) => {
+                    assert_eq!(a, b);
+                    assert_eq!(pa, pb);
+                }
+                other => panic!("unexpected decode pairing {other:?}"),
+            }
+        }
+        // The tuple-block frame saves 2 bytes per row (no per-row dims
+        // field) against an 11-byte header premium, so it is strictly
+        // smaller from 6 rows up — e.g. at the default batch size 16.
+        let big = vec![sample_tuple_msg(); 16];
+        let c = Message::FeedbackBatchC(crate::TupleBlock::from_msgs(&big)).encoded_len();
+        let l = Message::FeedbackBatch(big).encoded_len();
+        assert!(c < l, "columnar batch {c} >= legacy {l}");
+    }
+
+    /// Fuzz-ish corpus of malformed columnar headers: every mutation must
+    /// decode to `None` (the transports answer [`Message::DecodeError`]),
+    /// never panic.
+    #[test]
+    fn malformed_columnar_headers_decode_to_none() {
+        let good =
+            Message::FeedbackBatchC(crate::TupleBlock::from_msgs(&vec![sample_tuple_msg(); 4]))
+                .encode();
+        assert!(Message::decode_slice(&good).is_some());
+        let mut corpus: Vec<Vec<u8>> = Vec::new();
+        // Bad magic, each byte separately.
+        for i in 1..4 {
+            let mut bad = good.to_vec();
+            bad[i] ^= 0xff;
+            corpus.push(bad);
+        }
+        // Wrong column lengths: inflated and deflated row counts, inflated
+        // dims, dims over the SubspaceMask bound.
+        for (at, val) in [(4usize, 1000u32), (4, 0)] {
+            let mut bad = good.to_vec();
+            bad[at..at + 4].copy_from_slice(&val.to_le_bytes());
+            corpus.push(bad);
+        }
+        for dims in [7u16, 65, u16::MAX] {
+            let mut bad = good.to_vec();
+            bad[8..10].copy_from_slice(&dims.to_le_bytes());
+            corpus.push(bad);
+        }
+        // Nonzero padding.
+        for i in 10..16 {
+            let mut bad = good.to_vec();
+            bad[i] = 0xaa;
+            corpus.push(bad);
+        }
+        // Misaligned / mis-sized payloads: truncations at every section
+        // boundary and single trailing bytes.
+        for cut in [good.len() - 1, good.len() - 7, super::super::wire::HEADER_LEN, 5] {
+            corpus.push(good[..cut].to_vec());
+        }
+        let mut long = good.to_vec();
+        long.push(0);
+        corpus.push(long);
+        // A truncated header on every columnar tag.
+        for tag in 23u8..=26 {
+            corpus.push(vec![tag]);
+            corpus.push(vec![tag, b'D', b'S']);
+        }
+        for (i, frame) in corpus.iter().enumerate() {
+            assert!(
+                Message::decode_slice(frame).is_none(),
+                "corpus entry {i} must reject: {frame:?}"
+            );
+        }
     }
 
     #[test]

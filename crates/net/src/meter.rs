@@ -153,6 +153,14 @@ impl BandwidthMeter {
             ) {
                 self.recorder.add(Counter::TuplesShipped, tuples);
             }
+            // Columnar frames also report how many bytes the layout saved
+            // versus their row-oriented legacy twin. Saturating: tiny frames
+            // where the columnar header premium outweighs the per-row saving
+            // contribute 0, never an underflow.
+            if let Some(legacy) = msg.legacy_encoded_len() {
+                self.recorder.incr(Counter::ColumnarFrames);
+                self.recorder.add(Counter::BytesSaved, (legacy as u64).saturating_sub(bytes));
+            }
         }
     }
 
@@ -209,6 +217,47 @@ mod tests {
         let snap = meter.snapshot();
         assert_eq!(snap.reply.messages, 1);
         assert_eq!(snap.reply.bytes, reply.encode().len() as u64);
+    }
+
+    #[test]
+    fn columnar_frame_meters_one_message_with_exact_length_and_savings() {
+        // A columnar FeedbackBatchC is still one frame / n tuples, with
+        // bytes equal to its real encoded length — and the recorder learns
+        // how many bytes the layout saved over the legacy row encoding.
+        let tuples: Vec<TupleMsg> = (0..16)
+            .map(|i| {
+                let t = UncertainTuple::new(
+                    TupleId::new(0, i),
+                    vec![1.0 + i as f64, 2.0],
+                    Probability::new(0.5).unwrap(),
+                )
+                .unwrap();
+                TupleMsg::new(&t, 0.25)
+            })
+            .collect();
+        let legacy = Message::FeedbackBatch(tuples.clone());
+        let columnar = Message::FeedbackBatchC(crate::TupleBlock::from_msgs(&tuples));
+        let rec = Recorder::enabled();
+        let meter = BandwidthMeter::with_recorder(rec.clone());
+        meter.record(&columnar);
+        let snap = meter.snapshot();
+        assert_eq!(snap.feedback.messages, 1);
+        assert_eq!(snap.feedback.tuples, 16);
+        assert_eq!(snap.feedback.bytes, columnar.encode().len() as u64);
+        assert_eq!(rec.counter(Counter::ColumnarFrames), 1);
+        assert_eq!(
+            rec.counter(Counter::BytesSaved),
+            (legacy.encode().len() - columnar.encode().len()) as u64
+        );
+        // Legacy frames never touch the columnar counters.
+        meter.record(&legacy);
+        assert_eq!(rec.counter(Counter::ColumnarFrames), 1);
+        // The columnar survival reply is a few bytes *larger* than its
+        // legacy twin (header premium); savings saturate at zero.
+        let saved = rec.counter(Counter::BytesSaved);
+        meter.record(&Message::SurvivalBatchReplyC { survivals: vec![0.5; 16], pruned: 3 });
+        assert_eq!(rec.counter(Counter::ColumnarFrames), 2);
+        assert_eq!(rec.counter(Counter::BytesSaved), saved);
     }
 
     #[test]

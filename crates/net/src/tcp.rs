@@ -206,7 +206,7 @@ impl Link for TcpLink {
                 return Err(e.into());
             }
         }
-        let reply = match Message::decode_slice(&self.recv_buf) {
+        let reply = match crate::transport::decode_reply_timed(&self.meter, &self.recv_buf) {
             Some(reply) => reply,
             None => {
                 self.poison();
@@ -246,11 +246,10 @@ pub fn serve_connection<S: Service>(mut stream: TcpStream, service: &mut S) -> i
     let mut recv_buf = Vec::new();
     let mut send_buf = BytesMut::new();
     while read_frame_into(&mut stream, &mut recv_buf)? {
-        let reply = match Message::decode_slice(&recv_buf) {
-            Some(msg) => service.handle(msg),
-            None => Message::DecodeError,
-        };
-        reply.encode_into(&mut send_buf);
+        // `handle_frame` lets the service answer columnar bulk frames
+        // straight from the borrowed request bytes (decode-error replies
+        // included in its contract), reusing one send buffer per client.
+        service.handle_frame(&recv_buf, &mut send_buf);
         write_frame(&mut stream, &send_buf)?;
     }
     Ok(())
@@ -315,11 +314,7 @@ fn serve_client<S: Service>(
                 Err(e) => return Err(e),
             }
         }
-        let reply = match Message::decode_slice(&payload) {
-            Some(msg) => service.handle(msg),
-            None => Message::DecodeError,
-        };
-        reply.encode_into(&mut send_buf);
+        service.handle_frame(&payload, &mut send_buf);
         write_frame(stream, &send_buf)?;
     }
 }

@@ -112,6 +112,25 @@ impl LinkConfig {
 pub trait Service: Send {
     /// Handles one request and produces the reply.
     fn handle(&mut self, msg: Message) -> Message;
+
+    /// Handles one *encoded* request frame, writing the encoded reply into
+    /// `out` (cleared first).
+    ///
+    /// This is the entry point the framed transports (channel worker, TCP
+    /// serve loops) drive, so a service that understands the columnar wire
+    /// layout can answer a bulk frame directly from its borrowed bytes —
+    /// no intermediate [`Message`] materialization — and encode the reply
+    /// straight into the transport's reusable buffer. The default decodes,
+    /// dispatches to [`Service::handle`], and re-encodes; a frame that does
+    /// not decode must not kill the site, so it answers with
+    /// [`Message::DecodeError`] and keeps serving.
+    fn handle_frame(&mut self, frame: &[u8], out: &mut bytes::BytesMut) {
+        let reply = match Message::decode_slice(frame) {
+            Some(msg) => self.handle(msg),
+            None => Message::DecodeError,
+        };
+        reply.encode_into(out);
+    }
 }
 
 impl<F> Service for F
@@ -357,6 +376,23 @@ pub fn scatter(
         .collect()
 }
 
+/// Decodes a reply frame on the coordinator side, charging the wall-clock
+/// cost to [`dsud_obs::Counter::DecodeNs`] when a recorder is attached.
+///
+/// Only the off-thread transports (channel, TCP) pass through here — the
+/// inline transport hands the reply over as a value and never decodes, so
+/// its runs honestly report `decode_ns == 0`.
+pub(crate) fn decode_reply_timed(meter: &BandwidthMeter, frame: &[u8]) -> Option<Message> {
+    let recorder = meter.recorder();
+    if !recorder.is_enabled() {
+        return Message::decode_slice(frame);
+    }
+    let started = std::time::Instant::now();
+    let decoded = Message::decode_slice(frame);
+    recorder.add(dsud_obs::Counter::DecodeNs, started.elapsed().as_nanos() as u64);
+    decoded
+}
+
 /// Deterministic in-process transport: the service runs inline on the
 /// caller's stack. Used by tests and the benchmark harness, where
 /// reproducibility matters more than concurrency.
@@ -459,14 +495,14 @@ impl ChannelLink {
         let (req_tx, req_rx) = bounded::<bytes::Bytes>(CHANNEL_DEPTH);
         let (rep_tx, rep_rx) = bounded::<bytes::Bytes>(CHANNEL_DEPTH);
         let worker = std::thread::spawn(move || {
+            // `handle_frame` lets the service answer columnar bulk frames
+            // straight from the borrowed request bytes; the encoded reply
+            // is then frozen and moved into the channel (the receiver owns
+            // it, so the buffer itself cannot be recycled here).
+            let mut out = bytes::BytesMut::new();
             while let Ok(frame) = req_rx.recv() {
-                // A frame that does not decode must not kill the site: the
-                // site answers with a decode-error reply and keeps serving.
-                let reply = match Message::decode(frame) {
-                    Some(msg) => service.handle(msg),
-                    None => Message::DecodeError,
-                };
-                if rep_tx.send(reply.encode()).is_err() {
+                service.handle_frame(&frame, &mut out);
+                if rep_tx.send(std::mem::take(&mut out).freeze()).is_err() {
                     break;
                 }
             }
@@ -524,7 +560,7 @@ impl Link for ChannelLink {
     fn complete(&mut self, ticket: Ticket) -> Result<Message, LinkError> {
         self.tickets.redeem(ticket);
         let frame = self.recv_reply()?;
-        let reply = Message::decode(frame).ok_or(LinkError::Malformed)?;
+        let reply = decode_reply_timed(&self.meter, &frame).ok_or(LinkError::Malformed)?;
         if reply == Message::DecodeError {
             // The site could not decode our request; the round-trip failed.
             return Err(LinkError::Malformed);

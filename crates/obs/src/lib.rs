@@ -51,7 +51,11 @@ use serde::{Deserialize, Serialize};
 ///   `query_id` stamp assigned by a `dsud serve` session server. Schema
 ///   ≤ 5 files still deserialize (counters default to 0, `query_id` to
 ///   `None`).
-pub const SCHEMA_VERSION: u32 = 6;
+/// * 7 — adds the columnar-wire counters `columnar_frames`,
+///   `bytes_saved`, and `decode_ns` to the counter snapshot plus the
+///   run's `wire` configuration stamp. Schema ≤ 6 files still
+///   deserialize (counters default to 0, `wire` to `None`).
+pub const SCHEMA_VERSION: u32 = 7;
 
 /// Typed counters of the paper's cost model.
 ///
@@ -121,9 +125,21 @@ pub enum Counter {
     /// Microseconds a query waited in the session server's FIFO admission
     /// queue before its first round could start.
     AdmissionWaitUs,
+    /// Columnar bulk-data frames (`FeedbackBatchC`, `SurvivalBatchReplyC`,
+    /// `ReplicaSyncC`, `RegionReplyC`) crossing the network, fed by the
+    /// bandwidth meter.
+    ColumnarFrames,
+    /// Bytes the columnar encoding saved versus each frame's row-oriented
+    /// legacy twin (saturating per frame: small frames where the columnar
+    /// header premium exceeds the per-row saving contribute 0).
+    BytesSaved,
+    /// Nanoseconds spent decoding reply frames on the coordinator side of
+    /// off-thread transports (channel / TCP). Inline transports hand the
+    /// reply over as a value, so they contribute 0.
+    DecodeNs,
 }
 
-const COUNTER_COUNT: usize = 21;
+const COUNTER_COUNT: usize = 24;
 
 impl Counter {
     fn index(self) -> usize {
@@ -238,6 +254,16 @@ pub struct CounterSnapshot {
     /// schema 6.
     #[serde(default)]
     pub admission_wait_us: u64,
+    /// Final value of [`Counter::ColumnarFrames`]. Absent (0) before
+    /// schema 7.
+    #[serde(default)]
+    pub columnar_frames: u64,
+    /// Final value of [`Counter::BytesSaved`]. Absent (0) before schema 7.
+    #[serde(default)]
+    pub bytes_saved: u64,
+    /// Final value of [`Counter::DecodeNs`]. Absent (0) before schema 7.
+    #[serde(default)]
+    pub decode_ns: u64,
 }
 
 impl CounterSnapshot {
@@ -264,6 +290,9 @@ impl CounterSnapshot {
             refill_overlap_us: c[Counter::RefillOverlapUs.index()],
             cache_hits: c[Counter::CacheHits.index()],
             admission_wait_us: c[Counter::AdmissionWaitUs.index()],
+            columnar_frames: c[Counter::ColumnarFrames.index()],
+            bytes_saved: c[Counter::BytesSaved.index()],
+            decode_ns: c[Counter::DecodeNs.index()],
         }
     }
 
@@ -291,6 +320,9 @@ impl CounterSnapshot {
             Counter::RefillOverlapUs => self.refill_overlap_us,
             Counter::CacheHits => self.cache_hits,
             Counter::AdmissionWaitUs => self.admission_wait_us,
+            Counter::ColumnarFrames => self.columnar_frames,
+            Counter::BytesSaved => self.bytes_saved,
+            Counter::DecodeNs => self.decode_ns,
         }
     }
 }
@@ -337,6 +369,10 @@ pub struct RunReport {
     /// schema 6.
     #[serde(default)]
     pub query_id: Option<u64>,
+    /// Wire layout the run used (`"legacy"`, `"columnar"`), stamped by the
+    /// caller that knows it; `None` otherwise. Absent before schema 7.
+    #[serde(default)]
+    pub wire: Option<String>,
     /// Progressive answer trace, in report order (timestamps are
     /// monotonically non-decreasing).
     pub progressive: Vec<ProgressSample>,
@@ -485,6 +521,7 @@ impl Recorder {
             batch_size: None,
             pipeline: None,
             query_id: None,
+            wire: None,
         })
     }
 }
@@ -787,6 +824,56 @@ mod tests {
         assert_eq!(report.counters.admission_wait_us, 0);
         assert_eq!(report.counters.get(Counter::CacheHits), 0);
         assert_eq!(report.query_id, None);
+    }
+
+    #[test]
+    fn schema_six_reports_deserialize_with_zero_wire_counters() {
+        // A schema-6 file predates the columnar-wire counters; they must
+        // fill in as zero rather than failing the parse.
+        let json = r#"{
+            "schema_version": 6,
+            "algorithm": "dsud",
+            "wall_ms": 1.0,
+            "counters": {
+                "bytes_sent": 9, "messages": 4, "tuples_shipped": 2,
+                "feedback_broadcasts": 1, "rounds": 1, "expunged": 0,
+                "pruned_at_sites": 0, "prtree_nodes_visited": 0,
+                "prtree_pruned_subtrees": 0, "local_skyline_size": 0,
+                "progressive_results": 1, "link_retries": 0,
+                "link_timeouts": 0, "quarantined_sites": 0,
+                "batched_rounds": 2, "multi_probe_node_visits": 40,
+                "pipeline_depth": 2, "overlapped_rounds": 1,
+                "refill_overlap_us": 300, "cache_hits": 1,
+                "admission_wait_us": 50
+            },
+            "spans": [],
+            "phases": [],
+            "transport": "tcp",
+            "threads": 4,
+            "batch_size": "auto",
+            "pipeline": "auto",
+            "query_id": 3,
+            "progressive": []
+        }"#;
+        let report: RunReport = serde_json::from_str(json).unwrap();
+        assert_eq!(report.counters.cache_hits, 1);
+        assert_eq!(report.counters.columnar_frames, 0);
+        assert_eq!(report.counters.bytes_saved, 0);
+        assert_eq!(report.counters.decode_ns, 0);
+        assert_eq!(report.counters.get(Counter::ColumnarFrames), 0);
+        assert_eq!(report.query_id, Some(3));
+    }
+
+    #[test]
+    fn wire_counters_flow_into_the_snapshot() {
+        let rec = Recorder::enabled();
+        rec.add(Counter::ColumnarFrames, 4);
+        rec.add(Counter::BytesSaved, 512);
+        rec.add(Counter::DecodeNs, 9000);
+        let report = rec.report("dsud").unwrap();
+        assert_eq!(report.counters.columnar_frames, 4);
+        assert_eq!(report.counters.bytes_saved, 512);
+        assert_eq!(report.counters.decode_ns, 9000);
     }
 
     #[test]

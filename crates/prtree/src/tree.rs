@@ -9,7 +9,7 @@
 //! BBS local-skyline traversal lives in [`crate::bbs`].
 
 use dsud_obs::{Counter, Recorder};
-use dsud_uncertain::{SubspaceMask, TupleId, UncertainTuple};
+use dsud_uncertain::{ProbeSet, SubspaceMask, TupleId, UncertainTuple};
 
 use crate::node::{Node, NodeBody};
 use crate::{Error, Summary};
@@ -311,9 +311,14 @@ impl PrTree {
     /// is reused across calls so steady-state traversals allocate nothing.
     /// When the tree's recorder is enabled, each visited node bumps
     /// [`Counter::MultiProbeNodeVisits`] once per traversal.
-    pub fn survival_products(
+    ///
+    /// `probes` is any [`ProbeSet`]: a slice of probe rows, or a flat
+    /// row-major [`dsud_uncertain::ProbeRows`] buffer gathered from a
+    /// columnar wire frame — the traversal only ever asks for probe `k` as
+    /// a row, so the storage shape cannot affect results.
+    pub fn survival_products<P: ProbeSet + ?Sized>(
         &self,
-        probes: &[&[f64]],
+        probes: &P,
         mask: SubspaceMask,
         scratch: &mut MultiProbeScratch,
         out: &mut Vec<f64>,
@@ -335,10 +340,10 @@ impl PrTree {
         }
     }
 
-    fn survival_products_rec(
+    fn survival_products_rec<P: ProbeSet + ?Sized>(
         &self,
         idx: usize,
-        probes: &[&[f64]],
+        probes: &P,
         active: &[u32],
         mask: SubspaceMask,
         out: &mut [f64],
@@ -351,7 +356,7 @@ impl PrTree {
             // the single-probe recursion makes, so it is bit-identical.
             NodeBody::Leaf(leaf) => {
                 for &k in active {
-                    out[k as usize] = leaf.batch().survival_product(probes[k as usize], mask);
+                    out[k as usize] = leaf.batch().survival_product(probes.probe(k as usize), mask);
                 }
             }
             NodeBody::Internal(children) => {
@@ -365,7 +370,7 @@ impl PrTree {
                 for (child, s) in children {
                     level.active.clear();
                     for &k in active {
-                        let probe = probes[k as usize];
+                        let probe = probes.probe(k as usize);
                         if !s.mbr.may_contain_dominator(probe, mask) {
                             continue;
                         }
@@ -969,11 +974,12 @@ mod tests {
         let mut scratch = MultiProbeScratch::default();
         let mut out = vec![0.25; 3];
         // Empty tree: every probe survives with product 1.
-        tree.survival_products(&[&[1.0, 1.0], &[2.0, 2.0]], full(2), &mut scratch, &mut out);
+        let probes: &[&[f64]] = &[&[1.0, 1.0], &[2.0, 2.0]];
+        tree.survival_products(probes, full(2), &mut scratch, &mut out);
         assert_eq!(out, vec![1.0, 1.0]);
         // Empty probe set: output empties.
         let loaded = PrTree::bulk_load(2, random_tuples(50, 2, 3)).unwrap();
-        loaded.survival_products(&[], full(2), &mut scratch, &mut out);
+        loaded.survival_products(&Vec::<&[f64]>::new(), full(2), &mut scratch, &mut out);
         assert!(out.is_empty());
     }
 

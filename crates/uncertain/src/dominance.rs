@@ -127,6 +127,86 @@ pub fn relation(a: &[f64], b: &[f64], mask: SubspaceMask) -> DomRelation {
 /// many tuples at a time.
 const LANE: usize = 64;
 
+/// Sub-word width of the chunked comparison kernel: a full 64-row word is
+/// evaluated as four independent 16-lane accumulators so the compiler can
+/// keep four vector lanes in flight (`u64x4`-style) without a nightly
+/// `std::simd` dependency.
+const CHUNK: usize = 16;
+
+/// Whether the chunked comparison kernel is disabled.
+///
+/// Set `DSUD_KERNEL=scalar` to force the original serial 64-lane loop —
+/// both kernels produce identical bitsets (booleans shifted into a word;
+/// no floating-point accumulation differs), so this switch exists for
+/// benchmarking and for ruling the kernel out when debugging, never for
+/// correctness. The variable is read once per process.
+fn scalar_kernel_forced() -> bool {
+    static FORCED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FORCED.get_or_init(|| {
+        std::env::var("DSUD_KERNEL").map(|v| v.eq_ignore_ascii_case("scalar")).unwrap_or(false)
+    })
+}
+
+/// `(leq, lt)` comparison bitsets of one full column word against `p`,
+/// evaluated serially (the pre-chunking kernel, kept as the runtime
+/// fallback and as the ground truth the chunked kernel is tested against).
+fn cmp_word_scalar(col: &[f64], p: f64, reversed: bool) -> (u64, u64) {
+    let mut leq: u64 = 0;
+    let mut lt: u64 = 0;
+    for (j, &v) in col.iter().enumerate() {
+        let (lo, hi) = if reversed { (p, v) } else { (v, p) };
+        leq |= u64::from(lo <= hi) << j;
+        lt |= u64::from(lo < hi) << j;
+    }
+    (leq, lt)
+}
+
+/// `(leq, lt)` comparison bitsets of one full 64-row column word against
+/// `p`, evaluated as four independent 16-lane chunks. Each chunk owns its
+/// accumulator pair, so the four fixed-trip inner loops have no
+/// loop-carried dependency between them and autovectorize to packed
+/// compares; the chunk masks are OR-merged at their lane offsets. The
+/// result is bit-identical to [`cmp_word_scalar`] (each bit is an
+/// independent boolean; only evaluation order changes).
+fn cmp_word_chunked(col: &[f64], p: f64, reversed: bool) -> (u64, u64) {
+    debug_assert_eq!(col.len(), LANE);
+    let mut leq: u64 = 0;
+    let mut lt: u64 = 0;
+    for (c, chunk) in col.chunks_exact(CHUNK).enumerate() {
+        let mut leq_c: u64 = 0;
+        let mut lt_c: u64 = 0;
+        for (j, &v) in chunk.iter().enumerate() {
+            let (lo, hi) = if reversed { (p, v) } else { (v, p) };
+            leq_c |= u64::from(lo <= hi) << j;
+            lt_c |= u64::from(lo < hi) << j;
+        }
+        leq |= leq_c << (c * CHUNK);
+        lt |= lt_c << (c * CHUNK);
+    }
+    (leq, lt)
+}
+
+/// Direct, per-word entry points to both comparison kernels, exposed for
+/// the `experiments -- wire` microbenchmark. `DSUD_KERNEL` is read once
+/// per process, so a single benchmark binary that times *both* kernels
+/// must call them explicitly rather than through the switch; production
+/// code always goes through [`Batch`], never through this module.
+#[doc(hidden)]
+pub mod kernel {
+    /// Rows per bitset word; benchmark columns must be sliced to this.
+    pub const LANE: usize = super::LANE;
+
+    /// The serial 64-lane kernel: `(leq, lt)` bitsets of `col` vs `p`.
+    pub fn scalar(col: &[f64], p: f64, reversed: bool) -> (u64, u64) {
+        super::cmp_word_scalar(col, p, reversed)
+    }
+
+    /// The chunked four-accumulator kernel; bit-identical to [`scalar`].
+    pub fn chunked(col: &[f64], p: f64, reversed: bool) -> (u64, u64) {
+        super::cmp_word_chunked(col, p, reversed)
+    }
+}
+
 /// A columnar (structure-of-arrays) batch of uncertain tuples for bulk
 /// dominance evaluation.
 ///
@@ -315,13 +395,15 @@ impl Batch {
                 break;
             }
             let p = point[d];
-            let mut leq_d: u64 = 0;
-            let mut lt_d: u64 = 0;
-            for (j, &v) in self.cols[d][base..base + n].iter().enumerate() {
-                let (lo, hi) = if reversed { (p, v) } else { (v, p) };
-                leq_d |= u64::from(lo <= hi) << j;
-                lt_d |= u64::from(lo < hi) << j;
-            }
+            let col = &self.cols[d][base..base + n];
+            // Full words take the chunked kernel; tail words (and the
+            // DSUD_KERNEL=scalar escape hatch) take the serial loop. Both
+            // produce identical bitsets, so the split is invisible.
+            let (leq_d, lt_d) = if n == LANE && !scalar_kernel_forced() {
+                cmp_word_chunked(col, p, reversed)
+            } else {
+                cmp_word_scalar(col, p, reversed)
+            };
             leq &= leq_d;
             lt |= lt_d;
             if leq == 0 {
@@ -329,6 +411,94 @@ impl Batch {
             }
         }
         leq & lt
+    }
+}
+
+/// An indexed set of probe points for bulk dominance queries.
+///
+/// The multi-probe PR-tree traversal (`PrTree::survival_products`) asks
+/// only for "probe `k` as a `&[f64]` row", so any row-addressable storage
+/// qualifies: a slice of row references (the legacy shape) or a flat
+/// row-major buffer gathered straight from a columnar wire frame
+/// ([`ProbeRows`]) without per-probe allocation.
+pub trait ProbeSet {
+    /// Number of probe points.
+    fn len(&self) -> usize;
+
+    /// Whether the set holds no probes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Probe `k` as a coordinate row.
+    fn probe(&self, k: usize) -> &[f64];
+}
+
+impl ProbeSet for [&[f64]] {
+    fn len(&self) -> usize {
+        <[_]>::len(self)
+    }
+
+    fn probe(&self, k: usize) -> &[f64] {
+        self[k]
+    }
+}
+
+impl ProbeSet for Vec<&[f64]> {
+    fn len(&self) -> usize {
+        Vec::len(self)
+    }
+
+    fn probe(&self, k: usize) -> &[f64] {
+        self[k]
+    }
+}
+
+/// A reusable flat row-major probe buffer.
+///
+/// Holds `len × dims` coordinates in one `Vec<f64>` so a columnar wire
+/// frame can be transposed into probe rows with zero per-probe allocation:
+/// the buffer is cleared (capacity kept) and refilled each batch, and
+/// steady-state reuse never grows it once it has seen its largest batch.
+#[derive(Debug, Clone, Default)]
+pub struct ProbeRows {
+    dims: usize,
+    rows: Vec<f64>,
+}
+
+impl ProbeRows {
+    /// Clears the buffer (keeping its allocation) and fixes the row width
+    /// for the rows pushed next.
+    pub fn reset(&mut self, dims: usize) {
+        self.rows.clear();
+        self.dims = dims;
+    }
+
+    /// Appends one probe row; the closure writes coordinate `d` of the row.
+    pub fn push_row_with(&mut self, mut coord: impl FnMut(usize) -> f64) {
+        for d in 0..self.dims {
+            self.rows.push(coord(d));
+        }
+    }
+
+    /// Reserved capacity in `f64` elements (steady-state probe for
+    /// allocation tests).
+    pub fn footprint(&self) -> usize {
+        self.rows.capacity()
+    }
+}
+
+impl ProbeSet for ProbeRows {
+    fn len(&self) -> usize {
+        if self.dims == 0 {
+            0
+        } else {
+            self.rows.len() / self.dims
+        }
+    }
+
+    fn probe(&self, k: usize) -> &[f64] {
+        &self.rows[k * self.dims..(k + 1) * self.dims]
     }
 }
 
@@ -436,6 +606,46 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn chunked_word_kernel_matches_serial_kernel() {
+        // The chunked kernel only changes evaluation order of independent
+        // boolean lanes; every (leq, lt) pair must equal the serial loop's,
+        // including exact ties and both comparison directions.
+        let mut col = [0.0f64; LANE];
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for v in &mut col {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *v = ((state >> 11) % 32) as f64;
+        }
+        for p in [0.0, 7.0, 15.5, 31.0, 100.0] {
+            for reversed in [false, true] {
+                assert_eq!(
+                    cmp_word_chunked(&col, p, reversed),
+                    cmp_word_scalar(&col, p, reversed),
+                    "p={p} reversed={reversed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn probe_rows_match_slice_probes() {
+        let mut rows = ProbeRows::default();
+        rows.reset(3);
+        rows.push_row_with(|d| d as f64);
+        rows.push_row_with(|d| 10.0 + d as f64);
+        assert_eq!(ProbeSet::len(&rows), 2);
+        assert_eq!(rows.probe(0), &[0.0, 1.0, 2.0]);
+        assert_eq!(rows.probe(1), &[10.0, 11.0, 12.0]);
+        let warm = rows.footprint();
+        rows.reset(3);
+        rows.push_row_with(|d| d as f64);
+        assert_eq!(rows.footprint(), warm, "reset must keep the allocation");
+        let slices: Vec<&[f64]> = vec![&[1.0, 2.0]];
+        assert_eq!(ProbeSet::len(&slices), 1);
+        assert_eq!(slices.probe(0), &[1.0, 2.0]);
     }
 
     #[test]

@@ -53,7 +53,9 @@ mod tuple;
 pub mod worlds;
 
 pub use db::UncertainDb;
-pub use dominance::{dominates, dominates_in, relation, Batch, DomRelation};
+#[doc(hidden)]
+pub use dominance::kernel;
+pub use dominance::{dominates, dominates_in, relation, Batch, DomRelation, ProbeRows, ProbeSet};
 pub use error::Error;
 pub use probability::Probability;
 pub use skyline::{

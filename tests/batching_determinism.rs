@@ -9,9 +9,17 @@
 //! coalesced frames, so the "tuples transmitted so far" watermark at each
 //! report differs even though the reported tuples and totals do not.
 
-use dsud_core::{BatchSize, Cluster, QueryConfig, QueryOutcome, Recorder, SiteOptions, Transport};
+use dsud_core::{
+    BatchSize, Cluster, QueryConfig, QueryOutcome, Recorder, SiteOptions, Transport, WireFormat,
+};
 use dsud_data::WorkloadSpec;
 use dsud_uncertain::TupleId;
+
+/// Wire layout under test: `DSUD_WIRE=columnar|legacy` (legacy default),
+/// so CI can run the whole determinism matrix under both layouts.
+fn wire_from_env() -> WireFormat {
+    std::env::var("DSUD_WIRE").ok().and_then(|v| v.parse().ok()).unwrap_or_default()
+}
 
 const N: usize = 1_500;
 const DIMS: usize = 3;
@@ -43,7 +51,10 @@ fn run(batch: BatchSize, transport: Transport, pool: usize, edsud: bool) -> Quer
         transport,
     )
     .expect("cluster builds");
-    let config = QueryConfig::new(Q).expect("valid threshold").batch_size(batch);
+    let config = QueryConfig::new(Q)
+        .expect("valid threshold")
+        .batch_size(batch)
+        .wire_format(wire_from_env());
     let outcome = if edsud { cluster.run_edsud(&config) } else { cluster.run_dsud(&config) };
     threadpool::set_pool_size(0);
     outcome.expect("query runs")
@@ -111,7 +122,10 @@ fn run_wide(batch: BatchSize, edsud: bool) -> QueryOutcome {
         Transport::Inline,
     )
     .expect("cluster builds");
-    let config = QueryConfig::new(Q).expect("valid threshold").batch_size(batch);
+    let config = QueryConfig::new(Q)
+        .expect("valid threshold")
+        .batch_size(batch)
+        .wire_format(wire_from_env());
     let outcome = if edsud { cluster.run_edsud(&config) } else { cluster.run_dsud(&config) };
     outcome.expect("query runs")
 }

@@ -13,6 +13,7 @@ use std::time::Duration;
 
 use dsud_core::{
     dsud, edsud, BatchSize, BoundMode, Error, LocalSite, PipelineDepth, SiteOptions, SubspaceMask,
+    WireFormat,
 };
 use dsud_core::{
     BandwidthMeter, Counter, FailurePolicy, Link, LinkConfig, LinkError, QuarantineReason,
@@ -114,6 +115,7 @@ fn strict_drop_is_site_failed_on_every_transport() {
             FailurePolicy::Strict,
             BatchSize::Fixed(1),
             PipelineDepth::Fixed(1),
+            WireFormat::Legacy,
         );
         match err {
             Err(Error::SiteFailed { site: 1, source: LinkError::Timeout }) => {}
@@ -139,6 +141,7 @@ fn strict_disconnect_is_site_failed_on_every_transport() {
             FailurePolicy::Strict,
             BatchSize::Fixed(1),
             PipelineDepth::Fixed(1),
+            WireFormat::Legacy,
         );
         match err {
             Err(Error::SiteFailed { site: 2, source: LinkError::Disconnected }) => {}
@@ -167,6 +170,7 @@ fn degrade_quarantines_the_failed_site_and_completes() {
                 FailurePolicy::Degrade,
                 BatchSize::Fixed(1),
                 PipelineDepth::Fixed(1),
+                WireFormat::Legacy,
             )
             .unwrap_or_else(|e| panic!("{transport:?}/{fault:?}: degrade mode failed: {e}"));
             assert!(outcome.degraded, "{transport:?}/{fault:?}: outcome not marked degraded");
@@ -205,6 +209,7 @@ fn stall_within_budget_recovers_the_exact_healthy_answer() {
             FailurePolicy::Strict,
             BatchSize::Fixed(1),
             PipelineDepth::Fixed(1),
+            WireFormat::Legacy,
         )
         .unwrap();
 
@@ -224,6 +229,7 @@ fn stall_within_budget_recovers_the_exact_healthy_answer() {
             FailurePolicy::Strict,
             BatchSize::Fixed(1),
             PipelineDepth::Fixed(1),
+            WireFormat::Legacy,
         )
         .unwrap_or_else(|e| panic!("{transport:?}: stall within budget failed: {e}"));
 
@@ -260,6 +266,7 @@ fn strict_wrong_reply_is_a_protocol_violation_naming_the_site() {
         FailurePolicy::Strict,
         BatchSize::Fixed(1),
         PipelineDepth::Fixed(1),
+        WireFormat::Legacy,
     );
     assert!(matches!(err, Err(Error::ProtocolViolation { site: 1, .. })), "got {err:?}");
 }
@@ -280,6 +287,7 @@ fn degrade_wrong_reply_quarantines_with_a_protocol_reason() {
         FailurePolicy::Degrade,
         BatchSize::Fixed(1),
         PipelineDepth::Fixed(1),
+        WireFormat::Legacy,
     )
     .unwrap();
     assert!(outcome.degraded);
@@ -304,6 +312,7 @@ fn fault_on_first_contact_is_caught() {
         FailurePolicy::Strict,
         BatchSize::Fixed(1),
         PipelineDepth::Fixed(1),
+        WireFormat::Legacy,
     );
     assert!(matches!(err, Err(Error::ProtocolViolation { site: 0, .. })), "got {err:?}");
 }
@@ -325,6 +334,7 @@ fn healthy_budget_large_enough_means_success() {
         FailurePolicy::Strict,
         BatchSize::Fixed(1),
         PipelineDepth::Fixed(1),
+        WireFormat::Legacy,
     )
     .unwrap();
     assert!(!outcome.skyline.is_empty());
@@ -348,6 +358,7 @@ fn corrupted_survival_values_are_rejected() {
         FailurePolicy::Strict,
         BatchSize::Fixed(1),
         PipelineDepth::Fixed(1),
+        WireFormat::Legacy,
     );
     assert!(
         matches!(
@@ -433,6 +444,7 @@ fn killing_a_site_mid_query_is_site_failed_under_strict() {
             FailurePolicy::Strict,
             BatchSize::Fixed(1),
             PipelineDepth::Fixed(1),
+            WireFormat::Legacy,
         );
         match err {
             Err(Error::SiteFailed { site: 1, .. }) => {}
@@ -455,6 +467,7 @@ fn killing_a_site_mid_query_degrades_and_names_it() {
             FailurePolicy::Degrade,
             BatchSize::Fixed(1),
             PipelineDepth::Fixed(1),
+            WireFormat::Legacy,
         )
         .unwrap_or_else(|e| panic!("{transport:?}: degrade mode failed: {e}"));
         assert!(outcome.degraded, "{transport:?}: outcome not marked degraded");
@@ -489,6 +502,7 @@ fn retry_accounting_is_identical_across_pool_sizes_and_transports() {
             FailurePolicy::Degrade,
             BatchSize::Fixed(1),
             PipelineDepth::Fixed(1),
+            WireFormat::Legacy,
         )
         .unwrap();
         threadpool::set_pool_size(0);

@@ -17,8 +17,14 @@ use std::time::{Duration, Instant};
 
 use dsud_core::{
     dsud, BatchSize, Cluster, FailurePolicy, LocalSite, PipelineDepth, QueryConfig, QueryOutcome,
-    Recorder, SiteOptions, SubspaceMask, Transport,
+    Recorder, SiteOptions, SubspaceMask, Transport, WireFormat,
 };
+
+/// Wire layout under test: `DSUD_WIRE=columnar|legacy` (legacy default),
+/// so CI can run the whole determinism matrix under both layouts.
+fn wire_from_env() -> WireFormat {
+    std::env::var("DSUD_WIRE").ok().and_then(|v| v.parse().ok()).unwrap_or_default()
+}
 use dsud_core::{BandwidthMeter, Link, LinkConfig};
 use dsud_data::WorkloadSpec;
 use dsud_net::{ChannelLink, DelayedService};
@@ -60,8 +66,11 @@ fn run(
         transport,
     )
     .expect("cluster builds");
-    let config =
-        QueryConfig::new(Q).expect("valid threshold").batch_size(batch).pipeline_depth(pipeline);
+    let config = QueryConfig::new(Q)
+        .expect("valid threshold")
+        .batch_size(batch)
+        .pipeline_depth(pipeline)
+        .wire_format(wire_from_env());
     let outcome = if edsud { cluster.run_edsud(&config) } else { cluster.run_dsud(&config) };
     threadpool::set_pool_size(0);
     outcome.expect("query runs")
@@ -160,8 +169,11 @@ fn pipelining_preserves_limited_runs_exactly() {
                 Transport::Inline,
             )
             .expect("cluster builds");
-            let config =
-                QueryConfig::new(Q).expect("valid threshold").limit(4).pipeline_depth(window);
+            let config = QueryConfig::new(Q)
+                .expect("valid threshold")
+                .limit(4)
+                .pipeline_depth(window)
+                .wire_format(wire_from_env());
             let outcome =
                 if edsud { cluster.run_edsud(&config) } else { cluster.run_dsud(&config) };
             outcomes.push(outcome.expect("query runs"));
@@ -214,6 +226,7 @@ fn overlapped_refills_cut_round_latency() {
             FailurePolicy::Strict,
             BatchSize::Fixed(1),
             pipeline,
+            wire_from_env(),
         )
         .expect("query runs");
         (outcome, started.elapsed())

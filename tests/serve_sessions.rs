@@ -18,8 +18,14 @@ use std::sync::Arc;
 use dsud_core::update::UpdateOp;
 use dsud_core::{
     Cluster, QueryConfig, QueryOutcome, Recorder, SessionOptions, SessionServer, SiteOptions,
-    Transport, UncertainTuple,
+    Transport, UncertainTuple, WireFormat,
 };
+
+/// Wire layout under test: `DSUD_WIRE=columnar|legacy` (legacy default),
+/// so CI can run the whole determinism matrix under both layouts.
+fn wire_from_env() -> WireFormat {
+    std::env::var("DSUD_WIRE").ok().and_then(|v| v.parse().ok()).unwrap_or_default()
+}
 use dsud_data::WorkloadSpec;
 use dsud_uncertain::TupleId;
 
@@ -64,7 +70,7 @@ fn one_shot(q: f64, edsud: bool) -> QueryOutcome {
         Transport::Inline,
     )
     .expect("cluster builds");
-    let config = QueryConfig::new(q).expect("valid threshold");
+    let config = QueryConfig::new(q).expect("valid threshold").wire_format(wire_from_env());
     if edsud { cluster.run_edsud(&config) } else { cluster.run_dsud(&config) }
         .expect("one-shot query runs")
 }
@@ -101,7 +107,9 @@ fn concurrent_session_queries_match_sequential_one_shots_bitwise() {
                 .map(|&(q, edsud)| {
                     let server = Arc::clone(&server);
                     s.spawn(move || {
-                        let config = QueryConfig::new(q).expect("valid threshold");
+                        let config = QueryConfig::new(q)
+                            .expect("valid threshold")
+                            .wire_format(wire_from_env());
                         let answer = if edsud {
                             server.run_edsud(&config, false)
                         } else {
@@ -143,7 +151,7 @@ fn concurrent_session_queries_match_sequential_one_shots_bitwise() {
 #[test]
 fn warm_cache_repeat_is_identical_with_zero_rounds() {
     let server = session_server(Transport::Inline, 4, 16);
-    let config = QueryConfig::new(0.3).expect("valid threshold");
+    let config = QueryConfig::new(0.3).expect("valid threshold").wire_format(wire_from_env());
 
     let cold = server.run_edsud(&config, true).expect("cold query runs");
     assert!(!cold.cache_hit);
@@ -197,7 +205,7 @@ fn warm_cache_repeat_is_identical_with_zero_rounds() {
 fn cache_keys_distinguish_algorithm_and_threshold() {
     let server = session_server(Transport::Inline, 4, 16);
     for (q, edsud) in [(0.3, true), (0.3, false), (0.4, true)] {
-        let config = QueryConfig::new(q).expect("valid threshold");
+        let config = QueryConfig::new(q).expect("valid threshold").wire_format(wire_from_env());
         let answer =
             if edsud { server.run_edsud(&config, false) } else { server.run_dsud(&config, false) }
                 .expect("query runs");
@@ -212,7 +220,7 @@ fn cache_keys_distinguish_algorithm_and_threshold() {
 #[test]
 fn update_between_queries_invalidates_the_cache() {
     let server = session_server(Transport::Inline, 4, 16);
-    let config = QueryConfig::new(0.3).expect("valid threshold");
+    let config = QueryConfig::new(0.3).expect("valid threshold").wire_format(wire_from_env());
 
     let original = server.run_edsud(&config, false).expect("first query runs");
     assert!(server.run_edsud(&config, false).expect("repeat runs").cache_hit);
@@ -260,7 +268,8 @@ fn admission_gate_queues_beyond_the_width() {
             let server = Arc::clone(&server);
             let reference = &reference;
             s.spawn(move || {
-                let config = QueryConfig::new(0.3).expect("valid threshold");
+                let config =
+                    QueryConfig::new(0.3).expect("valid threshold").wire_format(wire_from_env());
                 let answer = server.run_edsud(&config, false).expect("query runs");
                 assert_eq!(fingerprint(&answer.outcome), fingerprint(reference));
             });

@@ -1,0 +1,265 @@
+//! The wire-layout contract: `--wire columnar` is a pure transport
+//! optimization. Against the legacy row encoding it must preserve the
+//! skyline (ids, bit-exact probabilities, report order), the progressive
+//! result sequence, the run statistics, and the paper's bandwidth measure
+//! — message counts and tuple counts per traffic class — at every batch
+//! size, pipeline depth, transport, and pool size, and through the
+//! session daemon. Only the *byte* column may move (and on wide batched
+//! feedback frames it must move down).
+
+use dsud_core::{
+    update::{apply_batch, Maintainer, UpdateOp},
+    BandwidthMeter, BatchSize, Cluster, PipelineDepth, QueryConfig, QueryOutcome, Recorder,
+    SessionOptions, SessionServer, SiteOptions, Transport, WireFormat,
+};
+use dsud_data::WorkloadSpec;
+use dsud_uncertain::{Probability, TupleId, UncertainTuple};
+
+const N: usize = 1_200;
+const DIMS: usize = 3;
+const SITES: usize = 8;
+const Q: f64 = 0.3;
+
+fn sites(wire: WireFormat) -> (Vec<Vec<UncertainTuple>>, SiteOptions) {
+    let data = WorkloadSpec::new(N, DIMS)
+        .seed(42)
+        .generate_partitioned(SITES)
+        .expect("workload generates");
+    (data, SiteOptions { wire, ..SiteOptions::default() })
+}
+
+/// Everything the wire layout must preserve: the skyline, the progress
+/// sequence, the run statistics, and the per-class message/tuple counts.
+/// Bytes are deliberately absent — they are the one thing allowed to
+/// differ.
+#[allow(clippy::type_complexity)]
+fn fingerprint(
+    outcome: &QueryOutcome,
+) -> (Vec<(TupleId, u64)>, Vec<(TupleId, u64)>, Vec<(u64, u64)>) {
+    let skyline: Vec<(TupleId, u64)> =
+        outcome.skyline.iter().map(|e| (e.tuple.id(), e.probability.to_bits())).collect();
+    let progress: Vec<(TupleId, u64)> =
+        outcome.progress.events().iter().map(|e| (e.id, e.probability.to_bits())).collect();
+    let t = &outcome.traffic;
+    let classes: Vec<(u64, u64)> = [&t.upload, &t.feedback, &t.reply, &t.control, &t.maintenance]
+        .iter()
+        .map(|c| (c.messages, c.tuples))
+        .collect();
+    (skyline, progress, classes)
+}
+
+fn run(
+    wire: WireFormat,
+    transport: Transport,
+    batch: BatchSize,
+    pipeline: PipelineDepth,
+    pool: usize,
+    edsud: bool,
+) -> QueryOutcome {
+    threadpool::set_pool_size(pool);
+    let (data, options) = sites(wire);
+    let mut cluster = Cluster::with_transport(DIMS, data, options, Recorder::default(), transport)
+        .expect("cluster builds");
+    let config = QueryConfig::new(Q)
+        .expect("valid threshold")
+        .batch_size(batch)
+        .pipeline_depth(pipeline)
+        .wire_format(wire);
+    let outcome = if edsud { cluster.run_edsud(&config) } else { cluster.run_dsud(&config) };
+    threadpool::set_pool_size(0);
+    outcome.expect("query runs")
+}
+
+#[test]
+fn dsud_columnar_wire_is_bit_identical_across_the_execution_matrix() {
+    let reference = run(
+        WireFormat::Legacy,
+        Transport::Inline,
+        BatchSize::Fixed(1),
+        PipelineDepth::Fixed(1),
+        1,
+        false,
+    );
+    assert!(!reference.skyline.is_empty(), "workload must produce a non-trivial skyline");
+    let (ref_skyline, ref_progress, _) = fingerprint(&reference);
+    for batch in [BatchSize::Fixed(1), BatchSize::Fixed(16), BatchSize::Auto] {
+        for pipeline in [PipelineDepth::Fixed(1), PipelineDepth::Auto] {
+            for (transport, pools) in [
+                (Transport::Inline, &[1usize, 8][..]),
+                (Transport::Threaded, &[8][..]),
+                (Transport::Tcp, &[8][..]),
+            ] {
+                for &pool in pools {
+                    let at = format!("{transport} batch {batch} pipeline {pipeline} pool {pool}");
+                    let legacy = run(WireFormat::Legacy, transport, batch, pipeline, pool, false);
+                    let columnar =
+                        run(WireFormat::Columnar, transport, batch, pipeline, pool, false);
+                    // Same configuration, both layouts: everything but the
+                    // byte column must match, including per-class message
+                    // and tuple counts.
+                    assert_eq!(fingerprint(&columnar), fingerprint(&legacy), "{at}");
+                    assert_eq!(columnar.stats, legacy.stats, "{at}");
+                    // And the answer itself never drifts from the
+                    // unbatched sequential reference.
+                    let (skyline, progress, _) = fingerprint(&columnar);
+                    assert_eq!(skyline, ref_skyline, "{at}");
+                    assert_eq!(progress, ref_progress, "{at}");
+                    assert_eq!(
+                        columnar.tuples_transmitted(),
+                        reference.tuples_transmitted(),
+                        "{at}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn edsud_columnar_wire_is_bit_identical_on_every_transport() {
+    let reference =
+        run(WireFormat::Legacy, Transport::Inline, BatchSize::Auto, PipelineDepth::Auto, 1, true);
+    assert!(!reference.skyline.is_empty());
+    for transport in [Transport::Inline, Transport::Threaded, Transport::Tcp] {
+        for wire in [WireFormat::Legacy, WireFormat::Columnar] {
+            let outcome = run(wire, transport, BatchSize::Auto, PipelineDepth::Auto, 8, true);
+            assert_eq!(fingerprint(&outcome), fingerprint(&reference), "{wire} {transport}");
+            assert_eq!(outcome.stats, reference.stats, "{wire} {transport}");
+        }
+    }
+}
+
+/// The whole point of the layout: wide batched feedback frames must get
+/// *smaller*, not just stay correct. Measured at the paper's Table 3 site
+/// scale so every frame clears the ~6-row byte break-even.
+#[test]
+fn columnar_wire_ships_fewer_feedback_bytes_on_wide_batches() {
+    let wide = |wire: WireFormat| {
+        let data = WorkloadSpec::new(N, DIMS)
+            .seed(42)
+            .generate_partitioned(32)
+            .expect("workload generates");
+        let mut cluster = Cluster::with_transport(
+            DIMS,
+            data,
+            SiteOptions { wire, ..SiteOptions::default() },
+            Recorder::default(),
+            Transport::Inline,
+        )
+        .expect("cluster builds");
+        let config = QueryConfig::new(Q)
+            .expect("valid threshold")
+            .batch_size(BatchSize::Fixed(16))
+            .wire_format(wire);
+        cluster.run_dsud(&config).expect("query runs")
+    };
+    let legacy = wide(WireFormat::Legacy);
+    let columnar = wide(WireFormat::Columnar);
+    assert_eq!(fingerprint(&columnar), fingerprint(&legacy));
+    assert!(
+        columnar.traffic.feedback.bytes < legacy.traffic.feedback.bytes,
+        "columnar feedback bytes {} must undercut legacy {}",
+        columnar.traffic.feedback.bytes,
+        legacy.traffic.feedback.bytes
+    );
+}
+
+/// Served sessions run the tagged (multiplexed) frame path; both layouts
+/// must produce the same answers there too, including when queries with
+/// different layouts interleave on one daemon.
+#[test]
+fn served_sessions_answer_identically_under_both_wire_layouts() {
+    let one_shot = |q: f64, edsud: bool| -> QueryOutcome {
+        run(
+            WireFormat::Legacy,
+            Transport::Inline,
+            BatchSize::Fixed(4),
+            PipelineDepth::Fixed(1),
+            1,
+            edsud,
+        );
+        let (data, options) = sites(WireFormat::Legacy);
+        let mut cluster =
+            Cluster::with_transport(DIMS, data, options, Recorder::default(), Transport::Inline)
+                .expect("cluster builds");
+        let config = QueryConfig::new(q).expect("valid threshold").batch_size(BatchSize::Fixed(4));
+        let outcome = if edsud { cluster.run_edsud(&config) } else { cluster.run_dsud(&config) };
+        outcome.expect("query runs")
+    };
+
+    let (data, options) = sites(WireFormat::Columnar);
+    let cluster =
+        Cluster::with_transport(DIMS, data, options, Recorder::default(), Transport::Threaded)
+            .expect("cluster builds");
+    let server =
+        SessionServer::new(cluster, SessionOptions { max_concurrent: 4, cache_capacity: 0 });
+
+    for (q, edsud) in [(0.2, false), (0.3, true), (0.4, false), (0.5, true)] {
+        let expected = one_shot(q, edsud);
+        for wire in [WireFormat::Legacy, WireFormat::Columnar] {
+            let config = QueryConfig::new(q)
+                .expect("valid threshold")
+                .batch_size(BatchSize::Fixed(4))
+                .wire_format(wire);
+            let served = if edsud {
+                server.run_edsud(&config, false)
+            } else {
+                server.run_dsud(&config, false)
+            }
+            .expect("served query runs");
+            let (skyline, progress, _) = fingerprint(&served.outcome);
+            let (want_skyline, want_progress, _) = fingerprint(&expected);
+            assert_eq!(skyline, want_skyline, "q={q} edsud={edsud} {wire}");
+            assert_eq!(progress, want_progress, "q={q} edsud={edsud} {wire}");
+        }
+    }
+}
+
+/// Continuous maintenance replicates `SKY(H)` over `ReplicaSync` frames
+/// and repairs deletions over `RegionQuery`/`RegionReply`; the columnar
+/// twins of both must maintain the identical skyline.
+#[test]
+fn maintenance_over_columnar_replicas_matches_legacy() {
+    let maintained = |wire: WireFormat| -> Vec<(TupleId, u64)> {
+        let data = WorkloadSpec::new(600, DIMS)
+            .seed(7)
+            .generate_partitioned(4)
+            .expect("workload generates");
+        let mut cluster = Cluster::with_transport(
+            DIMS,
+            data,
+            SiteOptions { wire, ..SiteOptions::default() },
+            Recorder::default(),
+            Transport::Inline,
+        )
+        .expect("cluster builds");
+        let meter = BandwidthMeter::default();
+        let mask = dsud_uncertain::SubspaceMask::full(DIMS).unwrap();
+        let (maintainer, outcome) = Maintainer::bootstrap(
+            cluster.links_mut(),
+            &meter,
+            Q,
+            mask,
+            dsud_core::BoundMode::Paper,
+        )
+        .expect("bootstrap runs");
+        let mut maintainer = maintainer.wire_format(wire);
+        // Delete a current member (forces a region re-evaluation) and
+        // insert a strong new tuple (forces a membership check).
+        let victim = outcome.skyline[0].tuple.clone();
+        let newcomer = UncertainTuple::new(
+            TupleId::new(1, 50_000),
+            vec![0.01; DIMS],
+            Probability::new(0.9).unwrap(),
+        )
+        .unwrap();
+        let ops = [UpdateOp::Delete(victim), UpdateOp::Insert(newcomer)];
+        let skyline = apply_batch(&mut maintainer, cluster.links_mut(), &meter, &ops, true)
+            .expect("maintenance runs");
+        skyline.iter().map(|e| (e.tuple.id(), e.probability.to_bits())).collect()
+    };
+    let legacy = maintained(WireFormat::Legacy);
+    let columnar = maintained(WireFormat::Columnar);
+    assert!(!legacy.is_empty());
+    assert_eq!(columnar, legacy);
+}
