@@ -476,6 +476,7 @@ fn pipeline() {
                     BatchSize::Fixed(1),
                     window,
                     WireFormat::Legacy,
+                    None,
                 ),
                 _ => edsud::run_with_synopses(
                     &mut links,
@@ -489,6 +490,7 @@ fn pipeline() {
                     BatchSize::Fixed(1),
                     window,
                     WireFormat::Legacy,
+                    None,
                 ),
             }
             .expect("experiment queries succeed");
@@ -607,6 +609,7 @@ fn wire() {
                     BatchSize::Fixed(16),
                     PipelineDepth::Fixed(1),
                     wire,
+                    None,
                 ),
                 _ => edsud::run_with_synopses(
                     &mut links,
@@ -620,6 +623,7 @@ fn wire() {
                     BatchSize::Fixed(16),
                     PipelineDepth::Fixed(1),
                     wire,
+                    None,
                 ),
             }
             .expect("experiment queries succeed");
@@ -837,6 +841,92 @@ fn table2() {
     assert_eq!(edsud.skyline.len(), 3, "the example has exactly three answers");
 }
 
+/// Seeded chaos soak: served queries under deterministic link faults,
+/// with heartbeat-driven quarantine, rejoin resync, and a deadline
+/// cancellation — every outcome must be exact or stamped, and the
+/// deployment must converge back to exact answers after it heals.
+///
+/// `DSUD_CHAOS_SEED` overrides the fault seed; `DSUD_CHAOS_TRANSPORT`
+/// picks `inline` (default), `threaded`, or `tcp`. The same seed replays
+/// the same schedule on every transport.
+fn chaos() {
+    use dsud_core::chaos::{soak, ChaosOptions, ChaosReport};
+    use dsud_core::{FaultKind, FaultPlan, LinkConfig, Transport, WireFormat};
+
+    // Default to the first seed whose derived plans contain a hard-fault
+    // window longer than the retry budget, so the default soak provably
+    // exercises the whole lifecycle: quarantine, deferral, resync, rejoin.
+    let default_seed = {
+        let attempts = u64::from(LinkConfig::default().retry_budget) + 1;
+        (1u64..256)
+            .find(|&seed| {
+                (0..4u32).any(|site| {
+                    FaultPlan::seeded(seed, site)
+                        .windows()
+                        .iter()
+                        .any(|w| w.len >= attempts && !matches!(w.kind, FaultKind::Slow(_)))
+                })
+            })
+            .unwrap_or(42)
+    };
+    let seed =
+        std::env::var("DSUD_CHAOS_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(default_seed);
+    let transport = std::env::var("DSUD_CHAOS_TRANSPORT")
+        .ok()
+        .and_then(|v| v.parse::<Transport>().ok())
+        .unwrap_or(Transport::Inline);
+
+    println!("\n== Chaos soak: seeded faults, quarantine, rejoin (seed {seed}, {transport}) ==");
+    println!(
+        "{:<9} {:>6} {:>6} {:>9} {:>9} {:>11} {:>7} {:>11} {:>7} {:>9}",
+        "wire",
+        "seed",
+        "exact",
+        "degraded",
+        "cancelled",
+        "quarantines",
+        "misses",
+        "resync_ops",
+        "rejoins",
+        "recovered"
+    );
+    let sites = dsud_data::WorkloadSpec::new(600, 3)
+        .seed(23)
+        .generate_partitioned(4)
+        .expect("chaos workload generates");
+    let mut reports: Vec<ChaosReport> = Vec::new();
+    for wire in [WireFormat::Legacy, WireFormat::Columnar] {
+        let opts = ChaosOptions { seed, transport, wire, ..ChaosOptions::default() };
+        let report = soak(3, sites.clone(), &opts).expect("chaos soak completes without errors");
+        println!(
+            "{:<9} {:>6} {:>6} {:>9} {:>9} {:>11} {:>7} {:>11} {:>7} {:>9}",
+            wire.as_str(),
+            report.seed,
+            report.exact,
+            report.degraded,
+            report.cancelled,
+            report.quarantines,
+            report.heartbeat_misses,
+            report.resync_ops,
+            report.rejoins,
+            report.recovered
+        );
+        assert_eq!(
+            report.mismatches, 0,
+            "{wire}: a non-degraded, non-cancelled outcome diverged from the reference \
+             (replay with seed {seed})"
+        );
+        assert!(
+            report.recovered,
+            "{wire}: the deployment never converged back to exact answers \
+             (replay with seed {seed})"
+        );
+        assert!(report.cancelled >= 1, "{wire}: the deadline exercise must cancel");
+        reports.push(report);
+    }
+    dump_json("chaos", &reports);
+}
+
 fn sanity() {
     let spec = ExpSpec { n: 5_000, m: 10, ..ExpSpec::table3_defaults() };
     assert!(
@@ -896,5 +986,8 @@ fn main() {
     }
     if want("wire") {
         wire();
+    }
+    if want("chaos") {
+        chaos();
     }
 }

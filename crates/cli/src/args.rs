@@ -128,6 +128,17 @@ pub enum Command {
         max_concurrent: usize,
         /// Result-cache capacity in answers (0 disables caching).
         cache: usize,
+        /// Heartbeat cadence in served queries: after every N queries the
+        /// daemon probes all sites, quarantining the unresponsive and
+        /// walking recovered ones through probation back to Active
+        /// (0 disables the health sweep — a failed site then stays
+        /// quarantined until restart).
+        heartbeat: u64,
+        /// Bounded update op-log capacity for rejoin resync: a recovering
+        /// site replays the ops it missed from this log; if the outage
+        /// outlasts the log, the site takes a full bootstrap instead and
+        /// any evicted deferred ops are lost.
+        op_log: usize,
     },
     /// Send one request to a running `dsud serve` daemon.
     Client {
@@ -143,6 +154,10 @@ pub enum Command {
         limit: Option<usize>,
         /// Optional path for the per-query JSON run report.
         report: Option<PathBuf>,
+        /// Optional per-query deadline in milliseconds: the server cancels
+        /// the query at the next round boundary, streams the partial
+        /// progressive answer, and stamps the summary `cancelled`.
+        deadline: Option<u64>,
         /// JSON tuple to insert (`--insert '<tuple json>'`), instead of
         /// querying.
         insert: Option<String>,
@@ -201,9 +216,11 @@ USAGE:
                 [--transport inline|threaded|tcp] [--failure strict|degrade]
                 [--batch <K>|auto] [--pipeline <W>|auto] [--wire columnar|legacy]
                 [--max-concurrent <N>] [--cache <N>]
+                [--heartbeat <N>] [--op-log <N>]
   dsud client   --addr <HOST:PORT> [--algorithm dsud|edsud] [--q <Q>]
                 [--subspace 0,2,...] [--limit <K>] [--report <FILE>]
-                [--insert '<tuple json>'] [--delete '<tuple json>'] [--shutdown]
+                [--deadline <MS>] [--insert '<tuple json>']
+                [--delete '<tuple json>'] [--shutdown]
   dsud help
 
 Flag notes:
@@ -218,6 +235,15 @@ Flag notes:
   --wire       columnar (default) packs bulk frames as fixed-width column
                sections decoded in place; legacy keeps the row encoding.
                Bit-identical answers either way.
+  --deadline   (client) per-query budget in ms; the server cancels at the
+               next round boundary and streams the partial answer, marked
+               CANCELLED. Nothing cancelled or degraded enters the cache.
+  --heartbeat  (serve) probe all sites every N served queries; failed
+               sites are quarantined, recovered ones resync missed
+               updates and rejoin. 0 (default) disables the sweep.
+  --op-log     (serve) deferred-update log capacity for rejoin resync;
+               outages longer than the log force a full bootstrap and
+               evicted deferred ops are lost (default 1024).
   serve runs queries with ITS transport/failure/batch/pipeline/wire flags;
   clients choose only what to ask (algorithm, q, subspace, limit).
 
@@ -334,6 +360,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 wire: wire_flag(get("wire"))?,
                 max_concurrent,
                 cache: parse_num("cache", 64)?,
+                heartbeat: parse_num("heartbeat", 0)? as u64,
+                op_log: parse_num("op-log", 1024)?,
             })
         }
         "client" => {
@@ -372,6 +400,12 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     None => None,
                 },
                 report: get("report").map(PathBuf::from),
+                deadline: match get("deadline") {
+                    Some(v) => Some(v.parse().map_err(|_| {
+                        CliError::Usage(format!("--deadline expects milliseconds, got '{v}'"))
+                    })?),
+                    None => None,
+                },
                 insert: get("insert").map(String::from),
                 delete: get("delete").map(String::from),
                 shutdown,
@@ -656,25 +690,32 @@ mod tests {
 
     #[test]
     fn parses_serve_with_defaults_and_overrides() {
-        let Command::Serve { sites, port, transport, max_concurrent, cache, .. } =
-            parse(&argv("serve --input d.jsonl")).unwrap()
+        let Command::Serve {
+            sites, port, transport, max_concurrent, cache, heartbeat, op_log, ..
+        } = parse(&argv("serve --input d.jsonl")).unwrap()
         else {
             panic!()
         };
         assert_eq!((sites, port), (8, 0));
         assert_eq!(transport, Transport::Inline);
         assert_eq!((max_concurrent, cache), (8, 64));
+        assert_eq!((heartbeat, op_log), (0, 1024), "health sweep off, one-k op log by default");
 
-        let Command::Serve { port, transport, max_concurrent, cache, batch, .. } = parse(&argv(
-            "serve --input d.jsonl --port 7878 --transport tcp --max-concurrent 4 --cache 0 --batch auto",
+        let Command::Serve {
+            port, transport, max_concurrent, cache, batch, heartbeat, op_log, ..
+        } = parse(&argv(
+            "serve --input d.jsonl --port 7878 --transport tcp --max-concurrent 4 --cache 0 \
+                 --batch auto --heartbeat 1 --op-log 32",
         ))
-        .unwrap() else {
+        .unwrap()
+        else {
             panic!()
         };
         assert_eq!(port, 7878);
         assert_eq!(transport, Transport::Tcp);
         assert_eq!((max_concurrent, cache), (4, 0));
         assert_eq!(batch, BatchSize::Auto);
+        assert_eq!((heartbeat, op_log), (1, 32));
 
         assert!(parse(&argv("serve")).is_err()); // missing --input
         assert!(parse(&argv("serve --input d.jsonl --max-concurrent 0")).is_err());
@@ -683,7 +724,7 @@ mod tests {
 
     #[test]
     fn parses_client_query_and_bare_shutdown() {
-        let Command::Client { addr, algorithm, q, subspace, limit, shutdown, .. } =
+        let Command::Client { addr, algorithm, q, subspace, limit, deadline, shutdown, .. } =
             parse(&argv("client --addr 127.0.0.1:7878 --q 0.5 --subspace 0,1 --limit 3")).unwrap()
         else {
             panic!()
@@ -693,7 +734,16 @@ mod tests {
         assert_eq!(q, 0.5);
         assert_eq!(subspace, Some(vec![0, 1]));
         assert_eq!(limit, Some(3));
+        assert_eq!(deadline, None);
         assert!(!shutdown);
+
+        let Command::Client { deadline, .. } =
+            parse(&argv("client --addr 127.0.0.1:7878 --deadline 250")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(deadline, Some(250));
+        assert!(parse(&argv("client --addr a --deadline soon")).is_err());
 
         // --shutdown works bare (last flag) and before another flag.
         for line in

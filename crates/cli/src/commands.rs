@@ -82,6 +82,8 @@ pub fn run<W: Write>(cmd: &Command, out: &mut W) -> Result<(), CliError> {
             wire,
             max_concurrent,
             cache,
+            heartbeat,
+            op_log,
         } => serve(
             input,
             *sites,
@@ -94,6 +96,8 @@ pub fn run<W: Write>(cmd: &Command, out: &mut W) -> Result<(), CliError> {
             *wire,
             *max_concurrent,
             *cache,
+            *heartbeat,
+            *op_log,
             out,
         ),
         Command::Client {
@@ -103,6 +107,7 @@ pub fn run<W: Write>(cmd: &Command, out: &mut W) -> Result<(), CliError> {
             subspace,
             limit,
             report,
+            deadline,
             insert,
             delete,
             shutdown,
@@ -113,6 +118,7 @@ pub fn run<W: Write>(cmd: &Command, out: &mut W) -> Result<(), CliError> {
             subspace.as_deref(),
             *limit,
             report.as_deref(),
+            *deadline,
             insert.as_deref(),
             delete.as_deref(),
             *shutdown,
@@ -296,10 +302,13 @@ fn query<W: Write>(
         sites,
         outcome.tuples_transmitted()
     )?;
+    // On a degraded run every probability is only an upper bound — stamp
+    // each entry, not just the trailing warning line.
+    let relation = if outcome.degraded { "<=" } else { "=" };
     for entry in &outcome.skyline {
         writeln!(
             out,
-            "  {}  values={:?}  P_gsky={:.4}",
+            "  {}  values={:?}  P_gsky{relation}{:.4}",
             entry.tuple.id(),
             entry.tuple.values(),
             entry.probability
@@ -430,6 +439,9 @@ impl ServeHandler {
         if let Some(k) = spec.limit {
             config = config.limit(k);
         }
+        if let Some(ms) = spec.deadline_ms {
+            config = config.deadline(ms);
+        }
         let mut outcome = match spec.algorithm.as_deref().unwrap_or("edsud") {
             "dsud" => self.session.run_dsud(&config, spec.report)?,
             "edsud" => self.session.run_edsud(&config, spec.report)?,
@@ -505,12 +517,18 @@ impl ClientHandler for ServeHandler {
                     // One line per qualified tuple, flushed as written, so
                     // the client renders results progressively in the
                     // algorithms' discovery order.
+                    // Degraded answers carry only upper bounds: every entry
+                    // is stamped so a client parsing the stream can tell
+                    // exact probabilities from bounds per tuple, not just
+                    // from the trailing summary.
+                    let bound = answer.outcome.degraded.then(|| "upper".to_string());
                     for entry in &answer.outcome.skyline {
                         let result = ResultEntry {
                             site: entry.tuple.id().site.0,
                             seq: entry.tuple.id().seq,
                             values: entry.tuple.values().to_vec(),
                             probability: entry.probability,
+                            bound: bound.clone(),
                         };
                         respond(out, &Response { result: Some(result), ..Response::default() })?;
                     }
@@ -522,6 +540,7 @@ impl ClientHandler for ServeHandler {
                         tuples_transmitted: answer.outcome.traffic.tuples_transmitted(),
                         iterations: answer.outcome.stats.iterations,
                         degraded: answer.outcome.degraded,
+                        cancelled: answer.outcome.cancelled,
                         report: answer.report,
                     };
                     respond(out, &Response { done: Some(done), ..Response::default() })?;
@@ -547,6 +566,8 @@ fn serve<W: Write>(
     wire: WireFormat,
     max_concurrent: usize,
     cache: usize,
+    heartbeat: u64,
+    op_log: usize,
     out: &mut W,
 ) -> Result<(), CliError> {
     let tuples = read_tuples(input)?;
@@ -565,7 +586,13 @@ fn serve<W: Write>(
     )?;
     let session = Arc::new(SessionServer::new(
         cluster,
-        SessionOptions { max_concurrent, cache_capacity: cache },
+        SessionOptions {
+            max_concurrent,
+            cache_capacity: cache,
+            heartbeat_every: heartbeat,
+            op_log_capacity: op_log,
+            ..SessionOptions::default()
+        },
     ));
     let handler_session = Arc::clone(&session);
     let server = spawn_query_server(port, move || ServeHandler {
@@ -579,7 +606,7 @@ fn serve<W: Write>(
     writeln!(
         out,
         "dsud serve listening on {} ({} sites, {} tuples, transport {transport}, \
-         max-concurrent {max_concurrent}, cache {cache})",
+         max-concurrent {max_concurrent}, cache {cache}, heartbeat {heartbeat}, op-log {op_log})",
         server.addr(),
         session.site_count(),
         session.total_tuples(),
@@ -589,8 +616,17 @@ fn serve<W: Write>(
     let stats = session.stats();
     writeln!(
         out,
-        "dsud serve stopped: {} queries ({} cache hits), {} updates, peak concurrency {}",
-        stats.queries_served, stats.cache_hits, stats.updates_applied, stats.peak_concurrent
+        "dsud serve stopped: {} queries ({} cache hits, {} cancelled), {} updates, \
+         peak concurrency {}, health: {} quarantines / {} rejoins / {} resync ops / {} misses",
+        stats.queries_served,
+        stats.cache_hits,
+        stats.cancelled,
+        stats.updates_applied,
+        stats.peak_concurrent,
+        stats.quarantines,
+        stats.rejoins,
+        stats.resync_ops,
+        stats.heartbeat_misses,
     )?;
     Ok(())
 }
@@ -603,6 +639,7 @@ fn client<W: Write>(
     subspace: Option<&[usize]>,
     limit: Option<usize>,
     report: Option<&std::path::Path>,
+    deadline: Option<u64>,
     insert: Option<&str>,
     delete: Option<&str>,
     shutdown: bool,
@@ -632,6 +669,7 @@ fn client<W: Write>(
                 subspace: subspace.map(<[usize]>::to_vec),
                 limit,
                 report: report.is_some(),
+                deadline_ms: deadline,
             }),
             ..Request::default()
         }
@@ -668,9 +706,12 @@ fn client<W: Write>(
             return Ok(());
         }
         if let Some(entry) = response.result {
+            // Degraded entries carry bound="upper": render the relation
+            // honestly (≤, not =) so the marker survives into human output.
+            let relation = if entry.bound.as_deref() == Some("upper") { "<=" } else { "=" };
             writeln!(
                 out,
-                "  {}  values={:?}  P_gsky={:.4}",
+                "  {}  values={:?}  P_gsky{relation}{:.4}",
                 dsud_uncertain::TupleId::new(entry.site, entry.seq),
                 entry.values,
                 entry.probability
@@ -691,6 +732,13 @@ fn client<W: Write>(
             )?;
             if done.degraded {
                 writeln!(out, "DEGRADED: reported probabilities are upper bounds")?;
+            }
+            if done.cancelled {
+                writeln!(
+                    out,
+                    "CANCELLED: deadline hit — results above are the partial \
+                     progressive answer"
+                )?;
             }
             if let Some(path) = report {
                 match &done.report {

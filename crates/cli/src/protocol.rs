@@ -57,6 +57,11 @@ pub struct QuerySpec {
     /// Ask for a per-query [`RunReport`] in the `done` line.
     #[serde(default)]
     pub report: bool,
+    /// Per-query deadline in milliseconds: the server cancels the query at
+    /// the next coordinator round boundary, streams the partial answer, and
+    /// stamps the `done` line `cancelled`.
+    #[serde(default)]
+    pub deadline_ms: Option<u64>,
 }
 
 /// One maintenance operation.
@@ -97,8 +102,13 @@ pub struct ResultEntry {
     pub seq: u64,
     /// Attribute values.
     pub values: Vec<f64>,
-    /// Exact global skyline probability.
+    /// Exact global skyline probability — unless `bound` is set, in which
+    /// case it is only a bound of that kind.
     pub probability: f64,
+    /// `Some("upper")` on degraded queries: a site was quarantined, so the
+    /// probability is an upper bound, not exact. `None` on exact answers.
+    #[serde(default)]
+    pub bound: Option<String>,
 }
 
 /// End-of-query summary.
@@ -120,6 +130,10 @@ pub struct DoneSummary {
     /// True when a site was quarantined and probabilities are upper bounds.
     #[serde(default)]
     pub degraded: bool,
+    /// True when the query hit its deadline and was cancelled at a round
+    /// boundary; the streamed results are the partial progressive answer.
+    #[serde(default)]
+    pub cancelled: bool,
     /// The per-query schema-6 run report, when requested.
     #[serde(default)]
     pub report: Option<RunReport>,
@@ -147,6 +161,7 @@ mod tests {
                 subspace: Some(vec![0, 2]),
                 limit: Some(5),
                 report: true,
+                deadline_ms: Some(200),
             }),
             ..Request::default()
         };
@@ -158,6 +173,7 @@ mod tests {
         assert_eq!(spec.subspace, Some(vec![0, 2]));
         assert_eq!(spec.limit, Some(5));
         assert!(spec.report);
+        assert_eq!(spec.deadline_ms, Some(200));
         assert!(!back.shutdown);
     }
 
@@ -173,6 +189,21 @@ mod tests {
         assert_eq!(spec.algorithm, None);
         assert_eq!(spec.q, None);
         assert!(!spec.report);
+        assert_eq!(spec.deadline_ms, None);
+    }
+
+    #[test]
+    fn bound_marker_round_trips_and_defaults_absent() {
+        // Pre-marker result lines (no `bound` key) deserialize to None.
+        let legacy = r#"{"site":0,"seq":1,"values":[0.5],"probability":0.7}"#;
+        let back: ResultEntry = serde_json::from_str(legacy).unwrap();
+        assert_eq!(back.bound, None);
+
+        let degraded = ResultEntry { bound: Some("upper".into()), ..back };
+        let line = serde_json::to_string(&degraded).unwrap();
+        assert!(line.contains(r#""bound":"upper""#), "{line}");
+        let back: ResultEntry = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.bound.as_deref(), Some("upper"));
     }
 
     #[test]
@@ -186,6 +217,7 @@ mod tests {
                 tuples_transmitted: 0,
                 iterations: 0,
                 degraded: false,
+                cancelled: false,
                 report: None,
             }),
             ..Response::default()

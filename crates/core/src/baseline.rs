@@ -71,6 +71,7 @@ pub fn run(
         traffic: meter.snapshot().since(&start_traffic),
         stats: RunStats::default(),
         degraded: false,
+        cancelled: false,
         sites: Vec::new(),
     })
 }

@@ -13,8 +13,8 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 
 use dsud_net::{
-    tcp, BandwidthMeter, ChannelLink, HealthSnapshot, Link, LinkConfig, LinkError, LinkHealth,
-    LocalLink, Message, MeterSnapshot, RetryLink, TupleMsg,
+    tcp, BandwidthMeter, ChannelLink, ChaosLink, FaultPlan, HealthSnapshot, Link, LinkConfig,
+    LinkError, LinkHealth, LocalLink, Message, MeterSnapshot, RetryLink, TupleMsg,
 };
 use dsud_obs::Recorder;
 use dsud_uncertain::{SkylineEntry, UncertainTuple};
@@ -101,6 +101,13 @@ pub struct QueryOutcome {
     /// contribute their `(1 − P(t'))` survival factors.
     #[serde(default)]
     pub degraded: bool,
+    /// Whether the run was cut short by its per-query deadline
+    /// ([`QueryConfig::deadline_ms`]). A cancelled outcome is a valid
+    /// *partial* progressive result: every entry in `skyline` carries its
+    /// exact probability, but tuples the coordinator never reached are
+    /// missing. Cancelled outcomes are never cached by the session layer.
+    #[serde(default)]
+    pub cancelled: bool,
     /// Per-site health records. Empty for outcomes serialized before the
     /// field existed.
     #[serde(default)]
@@ -259,6 +266,65 @@ impl Cluster {
         transport: Transport,
         link_config: LinkConfig,
     ) -> Result<Self, Error> {
+        Self::assemble(dims, sites, options, recorder, transport, link_config, None)
+    }
+
+    /// [`Cluster::with_transport_config`] with a deterministic fault
+    /// injector: every site link gets a [`FaultPlan`] derived from `seed`
+    /// and its site index, spliced *under* the retry layer so the stack is
+    /// `RetryLink(ChaosLink(transport))`. The same seed reproduces the
+    /// identical fault schedule on every transport, which is what lets the
+    /// chaos harness ([`crate::chaos`]) compare a faulted run against a
+    /// clean one bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Cluster::with_transport_config`].
+    pub fn with_transport_chaos(
+        dims: usize,
+        sites: Vec<Vec<UncertainTuple>>,
+        options: SiteOptions,
+        recorder: Recorder,
+        transport: Transport,
+        link_config: LinkConfig,
+        seed: u64,
+    ) -> Result<Self, Error> {
+        Self::assemble(dims, sites, options, recorder, transport, link_config, Some(seed))
+    }
+
+    /// Wraps one transport link in the (optional) chaos layer and the
+    /// mandatory retry layer, surfacing the retry layer's health handle.
+    fn finish_link<L: Link + 'static>(
+        base: L,
+        chaos: Option<FaultPlan>,
+        link_config: LinkConfig,
+        recorder: &Recorder,
+    ) -> (Arc<LinkHealth>, Box<dyn Link>) {
+        match chaos {
+            Some(plan) => {
+                let retry = RetryLink::with_recorder(
+                    ChaosLink::new(base, plan),
+                    link_config,
+                    recorder.clone(),
+                );
+                (retry.health(), Box::new(retry))
+            }
+            None => {
+                let retry = RetryLink::with_recorder(base, link_config, recorder.clone());
+                (retry.health(), Box::new(retry))
+            }
+        }
+    }
+
+    fn assemble(
+        dims: usize,
+        sites: Vec<Vec<UncertainTuple>>,
+        options: SiteOptions,
+        recorder: Recorder,
+        transport: Transport,
+        link_config: LinkConfig,
+        chaos_seed: Option<u64>,
+    ) -> Result<Self, Error> {
         if sites.is_empty() {
             return Err(Error::NoSites);
         }
@@ -272,25 +338,20 @@ impl Cluster {
         for (i, site) in built.into_iter().enumerate() {
             let site = site?;
             let site_failed = |source: LinkError| Error::SiteFailed { site: i as u32, source };
-            match transport {
-                Transport::Inline => {
-                    let retry = RetryLink::with_recorder(
-                        LocalLink::new(site, meter.clone()),
-                        link_config,
-                        recorder.clone(),
-                    );
-                    health.push(retry.health());
-                    links.push(Box::new(retry));
-                }
-                Transport::Threaded => {
-                    let retry = RetryLink::with_recorder(
-                        ChannelLink::spawn_with(site, meter.clone(), link_config),
-                        link_config,
-                        recorder.clone(),
-                    );
-                    health.push(retry.health());
-                    links.push(Box::new(retry));
-                }
+            let plan = chaos_seed.map(|seed| FaultPlan::seeded(seed, i as u32));
+            let (h, link) = match transport {
+                Transport::Inline => Self::finish_link(
+                    LocalLink::new(site, meter.clone()),
+                    plan,
+                    link_config,
+                    &recorder,
+                ),
+                Transport::Threaded => Self::finish_link(
+                    ChannelLink::spawn_with(site, meter.clone(), link_config),
+                    plan,
+                    link_config,
+                    &recorder,
+                ),
                 Transport::Tcp => {
                     let server =
                         tcp::spawn_site(site).map_err(|e| site_failed(LinkError::from(e)))?;
@@ -298,11 +359,11 @@ impl Cluster {
                         tcp::TcpLink::connect_with(server.addr(), meter.clone(), link_config)
                             .map_err(|e| site_failed(LinkError::from(e)))?;
                     servers.push(server);
-                    let retry = RetryLink::with_recorder(link, link_config, recorder.clone());
-                    health.push(retry.health());
-                    links.push(Box::new(retry));
+                    Self::finish_link(link, plan, link_config, &recorder)
                 }
-            }
+            };
+            health.push(h);
+            links.push(link);
         }
         drop(build_span);
         Ok(Cluster { dims, links, health, meter, total_tuples, servers })
@@ -396,13 +457,23 @@ impl Cluster {
 
     /// Decomposes the cluster into the parts a [`crate::SessionServer`]
     /// re-assembles around shared, query-multiplexed links:
-    /// `(dims, total_tuples, links, meter, site_servers)`. The servers must
+    /// `(dims, total_tuples, links, health, meter, site_servers)`. The
+    /// health handles stay paired with `links` by index so the session
+    /// layer's heartbeat can keep per-site miss counts. The servers must
     /// outlive the links for the same drop-order reason [`Cluster`] itself
     /// declares `links` first.
+    #[allow(clippy::type_complexity)]
     pub(crate) fn into_parts(
         self,
-    ) -> (usize, usize, Vec<Box<dyn Link>>, BandwidthMeter, Vec<tcp::SiteServer>) {
-        (self.dims, self.total_tuples, self.links, self.meter, self.servers)
+    ) -> (
+        usize,
+        usize,
+        Vec<Box<dyn Link>>,
+        Vec<Arc<LinkHealth>>,
+        BandwidthMeter,
+        Vec<tcp::SiteServer>,
+    ) {
+        (self.dims, self.total_tuples, self.links, self.health, self.meter, self.servers)
     }
 
     /// Runs the DSUD algorithm (Section 5.1).
@@ -425,6 +496,7 @@ impl Cluster {
             config.batch,
             config.pipeline,
             config.wire,
+            config.deadline_ms,
         )
     }
 
@@ -447,6 +519,7 @@ impl Cluster {
             config.batch,
             config.pipeline,
             config.wire,
+            config.deadline_ms,
         )
     }
 }
@@ -576,15 +649,18 @@ mod tests {
             traffic: MeterSnapshot::default(),
             stats: RunStats::default(),
             degraded: true,
-            sites: vec![SiteStatus { site: 0, quarantined: None }],
+            cancelled: true,
+            sites: vec![SiteStatus { site: 0, quarantined: None, state: None }],
         };
         let json = serde_json::to_string(&outcome).unwrap();
-        // `degraded` and `sites` are the struct's trailing fields; cutting
-        // them out reconstructs the schema-before JSON exactly.
+        // `degraded`, `cancelled`, and `sites` are the struct's trailing
+        // fields; cutting them out reconstructs the schema-before JSON
+        // exactly.
         let (prefix, _) = json.split_once(",\"degraded\"").expect("fields serialize in order");
         let legacy = format!("{prefix}}}");
         let back: QueryOutcome = serde_json::from_str(&legacy).unwrap();
         assert!(!back.degraded);
+        assert!(!back.cancelled);
         assert!(back.sites.is_empty());
     }
 }

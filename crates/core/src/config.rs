@@ -315,6 +315,14 @@ pub struct QueryConfig {
     /// see [`WireFormat`].
     #[serde(default)]
     pub wire: WireFormat,
+    /// Per-query wall-clock deadline in milliseconds. When the deadline
+    /// elapses mid-run the coordinator cancels cleanly at the next round
+    /// boundary: the partial progressive outcome is returned with its
+    /// `cancelled` flag set, links and session state are released
+    /// normally, and nothing is cached. `None` (the default, and absent
+    /// in configs serialized before the field existed) means no deadline.
+    #[serde(default)]
+    pub deadline_ms: Option<u64>,
 }
 
 impl QueryConfig {
@@ -337,6 +345,7 @@ impl QueryConfig {
             batch: BatchSize::default(),
             pipeline: PipelineDepth::default(),
             wire: WireFormat::default(),
+            deadline_ms: None,
         })
     }
 
@@ -361,6 +370,14 @@ impl QueryConfig {
     /// Selects the wire layout for bulk-data frames.
     pub fn wire_format(mut self, wire: WireFormat) -> Self {
         self.wire = wire;
+        self
+    }
+
+    /// Sets a per-query wall-clock deadline in milliseconds; the query is
+    /// cancelled cleanly (partial progressive outcome, stamped
+    /// `cancelled`) when it elapses.
+    pub fn deadline(mut self, ms: u64) -> Self {
+        self.deadline_ms = Some(ms);
         self
     }
 
@@ -562,6 +579,20 @@ mod tests {
         assert_eq!(opts.wire, WireFormat::Legacy);
         let cfg = QueryConfig::new(0.3).unwrap().wire_format(WireFormat::Columnar);
         assert_eq!(cfg.wire, WireFormat::Columnar);
+    }
+
+    #[test]
+    fn configs_without_a_deadline_field_deserialize_unbounded() {
+        // A config serialized before per-query deadlines existed must keep
+        // running without one.
+        let json = r#"{"q":0.3,"mask":null,"bound":"Paper","limit":null,"synopsis":null}"#;
+        let cfg: QueryConfig = serde_json::from_str(json).unwrap();
+        assert_eq!(cfg.deadline_ms, None);
+        let cfg = QueryConfig::new(0.3).unwrap().deadline(250);
+        assert_eq!(cfg.deadline_ms, Some(250));
+        let round: QueryConfig =
+            serde_json::from_str(&serde_json::to_string(&cfg).unwrap()).unwrap();
+        assert_eq!(round.deadline_ms, Some(250));
     }
 
     #[test]

@@ -43,6 +43,43 @@ impl std::fmt::Display for QuarantineReason {
     }
 }
 
+/// Lifecycle state of one site in the quarantine → probation → recovered
+/// loop.
+///
+/// A one-shot query only ever walks the first edge (healthy sites are
+/// [`SiteState::Active`], failed ones end [`SiteState::Quarantined`]); the
+/// long-lived session server drives the full cycle from its heartbeat
+/// schedule: a quarantined site whose probe answers again is explicitly
+/// reconnected and moved to [`SiteState::Probation`], resynced from the op
+/// log, and promoted back to [`SiteState::Active`] once enough consecutive
+/// probes succeed on the fresh evidence window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SiteState {
+    /// Serving normally.
+    Active,
+    /// Reconnected after a quarantine: included in queries again, but
+    /// still proving itself before the quarantine is forgotten.
+    Probation {
+        /// Op-log epoch at which the site rejoined the conversation.
+        epoch: u64,
+    },
+    /// The coordinator has stopped talking to the site.
+    Quarantined {
+        /// Why the coordinator stopped talking to the site.
+        reason: QuarantineReason,
+        /// Op-log epoch at which the quarantine began — a later resync
+        /// replays every update from this epoch on.
+        epoch: u64,
+    },
+}
+
+impl SiteState {
+    /// Whether the coordinator should still talk to the site.
+    pub fn is_active(&self) -> bool {
+        !matches!(self, SiteState::Quarantined { .. })
+    }
+}
+
 /// Post-run health record of one site.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SiteStatus {
@@ -51,6 +88,10 @@ pub struct SiteStatus {
     /// `None` while the site served the whole query; the quarantine cause
     /// once the coordinator stopped talking to it.
     pub quarantined: Option<QuarantineReason>,
+    /// Full lifecycle state, stamped by trackers that know it. Absent
+    /// (`None`) in records written before the recovery lifecycle existed.
+    #[serde(default)]
+    pub state: Option<SiteState>,
 }
 
 impl SiteStatus {
@@ -60,43 +101,104 @@ impl SiteStatus {
     }
 }
 
-/// Per-query failure ledger shared by the DSUD and e-DSUD coordinators.
+/// Failure ledger shared by the DSUD and e-DSUD coordinators — and, held
+/// long-lived behind the session server, the lifecycle state machine the
+/// heartbeat schedule drives.
 #[derive(Debug)]
 pub(crate) struct FailureTracker {
     policy: FailurePolicy,
-    quarantined: Vec<Option<QuarantineReason>>,
+    states: Vec<SiteState>,
+    /// Consecutive successful probes per site, counted only on probation.
+    probe_streak: Vec<u64>,
+    /// Current op-log epoch, stamped into quarantine/probation records.
+    epoch: u64,
     recorder: Recorder,
 }
 
 impl FailureTracker {
     pub(crate) fn new(sites: usize, policy: FailurePolicy, recorder: Recorder) -> Self {
-        FailureTracker { policy, quarantined: vec![None; sites], recorder }
+        FailureTracker {
+            policy,
+            states: vec![SiteState::Active; sites],
+            probe_streak: vec![0; sites],
+            epoch: 0,
+            recorder,
+        }
     }
 
     /// Whether the coordinator should still talk to `site`.
     pub(crate) fn is_active(&self, site: usize) -> bool {
-        self.quarantined.get(site).is_none_or(|q| q.is_none())
+        self.states.get(site).is_none_or(SiteState::is_active)
     }
 
-    /// Whether any site has been quarantined.
+    /// Whether any site is currently quarantined.
     pub(crate) fn degraded(&self) -> bool {
-        self.quarantined.iter().any(Option::is_some)
+        self.states.iter().any(|s| !s.is_active())
+    }
+
+    /// The lifecycle state of one site.
+    pub(crate) fn state(&self, site: usize) -> &SiteState {
+        &self.states[site]
+    }
+
+    /// Advances the op-log epoch stamped into later transitions.
+    pub(crate) fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
     }
 
     /// The per-site records for the query outcome.
     pub(crate) fn statuses(&self) -> Vec<SiteStatus> {
-        self.quarantined
+        self.states
             .iter()
             .enumerate()
-            .map(|(i, q)| SiteStatus { site: i as u32, quarantined: q.clone() })
+            .map(|(i, s)| SiteStatus {
+                site: i as u32,
+                quarantined: match s {
+                    SiteState::Quarantined { reason, .. } => Some(reason.clone()),
+                    _ => None,
+                },
+                state: Some(s.clone()),
+            })
             .collect()
     }
 
-    fn quarantine(&mut self, site: usize, reason: QuarantineReason) {
-        if self.quarantined[site].is_none() {
-            self.quarantined[site] = Some(reason);
+    pub(crate) fn quarantine(&mut self, site: usize, reason: QuarantineReason) {
+        if self.states[site].is_active() {
+            self.states[site] = SiteState::Quarantined { reason, epoch: self.epoch };
+            self.probe_streak[site] = 0;
             self.recorder.incr(Counter::QuarantinedSites);
         }
+    }
+
+    /// A quarantined site answered a probe again: move it to probation and
+    /// return the epoch its quarantine began at (where the resync replay
+    /// must start). `None` when the site was not quarantined.
+    pub(crate) fn begin_probation(&mut self, site: usize) -> Option<u64> {
+        match &self.states[site] {
+            SiteState::Quarantined { epoch, .. } => {
+                let since = *epoch;
+                self.states[site] = SiteState::Probation { epoch: self.epoch };
+                self.probe_streak[site] = 0;
+                Some(since)
+            }
+            _ => None,
+        }
+    }
+
+    /// A successful probe of a probation site. Returns `true` when the
+    /// streak reaches `needed` and the site is promoted back to
+    /// [`SiteState::Active`] (the rejoin). Active sites stay active;
+    /// quarantined sites are not counted here.
+    pub(crate) fn probation_success(&mut self, site: usize, needed: u64) -> bool {
+        if let SiteState::Probation { .. } = self.states[site] {
+            self.probe_streak[site] += 1;
+            if self.probe_streak[site] >= needed {
+                self.states[site] = SiteState::Active;
+                self.probe_streak[site] = 0;
+                return true;
+            }
+        }
+        false
     }
 
     /// Handles a transport failure from `site`: strict mode aborts, degrade
@@ -258,13 +360,73 @@ mod tests {
 
     #[test]
     fn statuses_serialize_round_trip() {
+        let reason = QuarantineReason::Transport(LinkError::Io("boom".into()));
         let status = SiteStatus {
             site: 4,
-            quarantined: Some(QuarantineReason::Transport(LinkError::Io("boom".into()))),
+            quarantined: Some(reason.clone()),
+            state: Some(SiteState::Quarantined { reason, epoch: 7 }),
         };
         let json = serde_json::to_string(&status).unwrap();
         let back: SiteStatus = serde_json::from_str(&json).unwrap();
         assert_eq!(back, status);
         assert!(!back.healthy());
+        // Records written before the lifecycle existed still deserialize:
+        // the state field defaults to None.
+        let legacy: SiteStatus =
+            serde_json::from_str(r#"{"site": 2, "quarantined": null}"#).unwrap();
+        assert!(legacy.healthy());
+        assert_eq!(legacy.state, None);
+    }
+
+    #[test]
+    fn lifecycle_walks_quarantine_probation_active() {
+        let recorder = Recorder::enabled();
+        let mut tracker = FailureTracker::new(2, FailurePolicy::Degrade, recorder.clone());
+        tracker.set_epoch(5);
+        tracker.transport_failure(1, LinkError::Timeout).unwrap();
+        assert_eq!(
+            tracker.state(1),
+            &SiteState::Quarantined {
+                reason: QuarantineReason::Transport(LinkError::Timeout),
+                epoch: 5
+            }
+        );
+        assert!(!tracker.is_active(1));
+
+        // Updates applied while the site is out advance the epoch; the
+        // probation record carries the rejoin epoch, and begin_probation
+        // hands back the quarantine epoch where the replay must start.
+        tracker.set_epoch(9);
+        assert_eq!(tracker.begin_probation(1), Some(5));
+        assert_eq!(tracker.state(1), &SiteState::Probation { epoch: 9 });
+        assert!(tracker.is_active(1), "probation sites serve queries again");
+        assert!(!tracker.degraded(), "probation is not a degraded state");
+
+        // Two of three required probes: still on probation.
+        assert!(!tracker.probation_success(1, 3));
+        assert!(!tracker.probation_success(1, 3));
+        assert!(tracker.probation_success(1, 3), "third consecutive probe promotes");
+        assert_eq!(tracker.state(1), &SiteState::Active);
+
+        // begin_probation on a non-quarantined site is a no-op.
+        assert_eq!(tracker.begin_probation(1), None);
+        assert_eq!(tracker.begin_probation(0), None);
+        // Only the one quarantine was counted.
+        assert_eq!(recorder.counter(Counter::QuarantinedSites), 1);
+    }
+
+    #[test]
+    fn probation_site_can_be_requarantined() {
+        let mut tracker = FailureTracker::new(1, FailurePolicy::Degrade, Recorder::disabled());
+        tracker.transport_failure(0, LinkError::Disconnected).unwrap();
+        tracker.begin_probation(0);
+        assert!(!tracker.probation_success(0, 2));
+        // A fresh failure during probation throws the site back out and
+        // resets the streak.
+        tracker.transport_failure(0, LinkError::Timeout).unwrap();
+        assert!(matches!(tracker.state(0), SiteState::Quarantined { .. }));
+        tracker.begin_probation(0);
+        assert!(!tracker.probation_success(0, 2), "the old streak must not carry over");
+        assert!(tracker.probation_success(0, 2));
     }
 }

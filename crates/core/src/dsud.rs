@@ -94,6 +94,7 @@ pub fn run(
         BatchSize::default(),
         PipelineDepth::default(),
         WireFormat::default(),
+        None,
     )
 }
 
@@ -107,6 +108,13 @@ pub fn run(
 /// broadcast and refill — and the query completes over the survivors with
 /// [`QueryOutcome::degraded`] set (see [`crate::degrade`] for what that
 /// does to the reported probabilities).
+///
+/// A `deadline_ms` of `Some(ms)` cancels the run at the first round
+/// boundary after `ms` milliseconds of wall-clock time: the partial
+/// progressive outcome gathered so far is returned with
+/// [`QueryOutcome::cancelled`] set, every in-flight frame already drained
+/// (cancellation only happens between rounds, never mid-scatter), and
+/// [`Counter::Cancelled`] bumped.
 ///
 /// With an overlapped [`PipelineDepth`] the round's refill request is put
 /// on the wire *before* the survival scatter and completed after the fold
@@ -133,12 +141,15 @@ pub fn run_with_policy(
     batch: BatchSize,
     pipeline: PipelineDepth,
     wire: WireFormat,
+    deadline_ms: Option<u64>,
 ) -> Result<QueryOutcome, Error> {
     if !(q > 0.0 && q <= 1.0) {
         return Err(Error::InvalidThreshold(q));
     }
     let start_traffic = meter.snapshot();
     let started = Instant::now();
+    let deadline = deadline_ms.map(std::time::Duration::from_millis);
+    let mut cancelled = false;
     let rec = meter.recorder().clone();
     let query_span = rec.span("query:dsud");
     let overlap = pipeline.overlapped();
@@ -165,6 +176,14 @@ pub fn run_with_policy(
     // Corollary 1: once the head's local probability falls below `q`,
     // nothing fetched or unfetched can still qualify.
     'rounds: while queue.peek().is_some_and(|h| h.0.local_prob >= q) {
+        // Deadline checks sit on round boundaries only, so a cancelled run
+        // never leaves a frame in flight: links and session state are
+        // released exactly as a completed run releases them.
+        if deadline.is_some_and(|d| started.elapsed() >= d) {
+            cancelled = true;
+            rec.incr(Counter::Cancelled);
+            break 'rounds;
+        }
         let round_span = rec.span("round");
         rec.incr(Counter::Rounds);
         let budget = batch.budget(queue.len());
@@ -336,6 +355,7 @@ pub fn run_with_policy(
         traffic: meter.snapshot().since(&start_traffic),
         stats,
         degraded: tracker.degraded(),
+        cancelled,
         sites: tracker.statuses(),
     })
 }

@@ -138,6 +138,7 @@ pub fn run(
         BatchSize::default(),
         PipelineDepth::default(),
         WireFormat::default(),
+        None,
     )
 }
 
@@ -174,12 +175,15 @@ pub fn run_with_synopses(
     batch: BatchSize,
     pipeline: PipelineDepth,
     wire: WireFormat,
+    deadline_ms: Option<u64>,
 ) -> Result<QueryOutcome, Error> {
     if !(q > 0.0 && q <= 1.0) {
         return Err(Error::InvalidThreshold(q));
     }
     let start_traffic = meter.snapshot();
     let started = Instant::now();
+    let deadline = deadline_ms.map(std::time::Duration::from_millis);
+    let mut cancelled = false;
     let rec = meter.recorder().clone();
     let query_span = rec.span("query:edsud");
     let overlap = pipeline.overlapped();
@@ -223,6 +227,13 @@ pub fn run_with_synopses(
     }
 
     'rounds: loop {
+        // Deadline checks sit on round boundaries only, so a cancelled run
+        // never leaves a frame in flight (see `dsud::run_with_policy`).
+        if deadline.is_some_and(|d| started.elapsed() >= d) {
+            cancelled = true;
+            rec.incr(Counter::Cancelled);
+            break 'rounds;
+        }
         let round_span = rec.span("round");
         rec.incr(Counter::Rounds);
         let budget = batch.budget(queue.len());
@@ -619,6 +630,7 @@ pub fn run_with_synopses(
         traffic: meter.snapshot().since(&start_traffic),
         stats,
         degraded: tracker.degraded(),
+        cancelled,
         sites: tracker.statuses(),
     })
 }

@@ -56,6 +56,7 @@
 
 pub mod baseline;
 mod batch;
+pub mod chaos;
 mod cluster;
 mod config;
 pub mod degrade;
@@ -75,16 +76,16 @@ pub use config::{
     BatchSize, BoundMode, FailurePolicy, PipelineDepth, QueryConfig, SiteOptions, UpdatePolicy,
     WireFormat,
 };
-pub use degrade::{QuarantineReason, SiteStatus};
+pub use degrade::{QuarantineReason, SiteState, SiteStatus};
 pub use error::Error;
 pub use progress::{ProgressEvent, ProgressLog};
-pub use session::{SessionOptions, SessionOutcome, SessionServer, SessionStats};
+pub use session::{HeartbeatSummary, SessionOptions, SessionOutcome, SessionServer, SessionStats};
 pub use site::LocalSite;
 
 // Re-export the workspace API surface so `dsud_core` works as a facade.
 pub use dsud_net::{
-    BandwidthMeter, HealthSnapshot, LatencyModel, Link, LinkConfig, LinkError, MeterSnapshot,
-    RetryLink, Ticket,
+    BandwidthMeter, FaultKind, FaultPlan, FaultWindow, HealthSnapshot, LatencyModel, Link,
+    LinkConfig, LinkError, MeterSnapshot, RetryLink, Ticket,
 };
 pub use dsud_obs::{
     Counter, CounterSnapshot, PhaseTotal, ProgressSample, Recorder, RunReport, SpanRecord,

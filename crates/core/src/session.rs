@@ -32,24 +32,62 @@
 //! carries the per-query meter snapshot (identical to a one-shot run),
 //! while [`SessionServer::meter`] aggregates the actual tagged frames
 //! across all queries, id headers included.
+//!
+//! # Health, quarantine, and rejoin
+//!
+//! The daemon outlives transient site failures, so quarantine cannot stay
+//! the one-way door it is for a one-shot [`Cluster`] run. The session
+//! layer runs the full recovery lifecycle:
+//!
+//! * **Heartbeat** — [`SessionServer::heartbeat`] probes every site with a
+//!   nonce-carrying [`dsud_net::Message::HealthProbe`] and matches the
+//!   echoed [`dsud_net::Message::HealthAck`]. The schedule is
+//!   deterministic: a sweep runs automatically after every
+//!   [`SessionOptions::heartbeat_every`] served queries (query-count
+//!   scheduled, never timer-driven, so runs replay exactly), or manually.
+//!   A miss bumps [`dsud_obs::Counter::HeartbeatMisses`]; once a site's
+//!   consecutive misses reach [`SessionOptions::miss_threshold`] it is
+//!   quarantined ([`crate::SiteState::Quarantined`] stamped with the op-log
+//!   epoch, so the server knows exactly which updates the site missed).
+//! * **Probation and rejoin** — a quarantined site that answers a probe is
+//!   explicitly reconnected (resetting the link's since-reconnect health
+//!   window so probation decisions use fresh evidence), resynced (below),
+//!   and moved to [`crate::SiteState::Probation`]; after
+//!   [`SessionOptions::probation_probes`] further consecutive successful
+//!   probes it rejoins as Active ([`dsud_obs::Counter::Rejoins`]).
+//! * **Resync** — [`SessionServer::apply_update`] appends every update to
+//!   a bounded, epoch-numbered op log; updates homed at a quarantined site
+//!   are *deferred* (logged but not injected). At rejoin the server
+//!   replays the site's missed ops through the existing
+//!   [`Maintainer::apply_local_only`] path
+//!   ([`dsud_obs::Counter::ResyncOps`] per op), after which queries are
+//!   bit-identical to a never-failed run — pinned by
+//!   `tests/recovery_determinism.rs`. If the log was truncated past the
+//!   site's quarantine epoch, the replay can no longer be proven complete
+//!   and the server falls back to a full [`Maintainer::bootstrap`], which
+//!   rebuilds and re-replicates the global skyline wholesale (see
+//!   OPERATIONS.md for sizing [`SessionOptions::op_log_capacity`]).
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
+use std::sync::Arc;
+
 use dsud_net::server::{share, MuxLink, SharedLink};
-use dsud_net::{tcp, BandwidthMeter, Link, Message, MeterSnapshot, TupleMsg};
+use dsud_net::{tcp, BandwidthMeter, Link, LinkHealth, Message, MeterSnapshot, TupleMsg};
 use dsud_obs::{Counter, Recorder, RunReport};
 
-use crate::update::UpdateOp;
+use crate::degrade::FailureTracker;
+use crate::update::{Maintainer, UpdateOp};
 use crate::{
-    dsud, edsud, BoundMode, Cluster, Error, FailurePolicy, ProgressLog, QueryConfig, QueryOutcome,
-    RunStats,
+    dsud, edsud, BoundMode, Cluster, Error, FailurePolicy, ProgressLog, QuarantineReason,
+    QueryConfig, QueryOutcome, RunStats, SiteState, SiteStatus,
 };
 
-/// Session-server knobs: concurrency and caching.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Session-server knobs: concurrency, caching, and the recovery lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SessionOptions {
     /// Maximum queries running concurrently; admitted FIFO beyond that.
     /// Must be at least 1.
@@ -57,11 +95,40 @@ pub struct SessionOptions {
     /// Result-cache capacity in entries (FIFO eviction); 0 disables the
     /// cache entirely.
     pub cache_capacity: usize,
+    /// Run a heartbeat sweep automatically after every this-many served
+    /// queries (query-count scheduled, so runs are deterministic and
+    /// replayable); 0 (the default) disables the automatic schedule —
+    /// [`SessionServer::heartbeat`] can still be driven manually.
+    pub heartbeat_every: u64,
+    /// Consecutive missed exchanges (probes or query rounds, as tracked by
+    /// the retry layer) before a site is quarantined by the heartbeat.
+    pub miss_threshold: u64,
+    /// Consecutive successful probes a probation site must answer before
+    /// it rejoins as Active.
+    pub probation_probes: u64,
+    /// Bounded op-log capacity in entries. The log must cover every update
+    /// deferred during an outage for the replay path to restore the site
+    /// exactly; once truncated past a site's quarantine epoch, its rejoin
+    /// takes the full-bootstrap path instead (see the module docs).
+    pub op_log_capacity: usize,
+    /// Probability threshold for the post-truncation
+    /// [`Maintainer::bootstrap`] replica rebuild. Session queries carry
+    /// their own thresholds; this one only shapes the recovery-time
+    /// replicated skyline.
+    pub bootstrap_q: f64,
 }
 
 impl Default for SessionOptions {
     fn default() -> Self {
-        SessionOptions { max_concurrent: 8, cache_capacity: 64 }
+        SessionOptions {
+            max_concurrent: 8,
+            cache_capacity: 64,
+            heartbeat_every: 0,
+            miss_threshold: 3,
+            probation_probes: 2,
+            op_log_capacity: 1024,
+            bootstrap_q: 0.5,
+        }
     }
 }
 
@@ -80,6 +147,36 @@ pub struct SessionStats {
     pub cache_entries: usize,
     /// Highest number of queries that ran concurrently.
     pub peak_concurrent: usize,
+    /// Heartbeat probes that went unanswered.
+    pub heartbeat_misses: u64,
+    /// Sites quarantined by heartbeat sweeps (cumulative: a site that
+    /// flaps twice counts twice).
+    pub quarantines: u64,
+    /// Sites promoted back to Active after completing probation.
+    pub rejoins: u64,
+    /// Deferred updates replayed to rejoining sites.
+    pub resync_ops: u64,
+    /// Queries cut short by their per-query deadline.
+    pub cancelled: u64,
+}
+
+/// What one heartbeat sweep observed and did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HeartbeatSummary {
+    /// Sites probed (every site, regardless of lifecycle state).
+    pub probed: u64,
+    /// Probes answered with the matching nonce.
+    pub acks: u64,
+    /// Probes that failed or answered with the wrong frame.
+    pub misses: u64,
+    /// Sites newly quarantined by this sweep.
+    pub quarantined: Vec<u32>,
+    /// Quarantined sites that answered and entered probation (resynced).
+    pub probation: Vec<u32>,
+    /// Probation sites promoted back to Active by this sweep.
+    pub rejoined: Vec<u32>,
+    /// Deferred updates replayed during this sweep's resyncs.
+    pub resync_ops: u64,
 }
 
 /// Result of one query answered by a [`SessionServer`].
@@ -233,6 +330,54 @@ impl ResultCache {
     }
 }
 
+/// Bounded, epoch-numbered history of accepted updates. Epochs are
+/// 1-based and strictly increasing; the log retains the most recent
+/// `capacity` entries. A site quarantined at epoch `E` has seen every
+/// update with epoch `<= E`, so its rejoin replays exactly the retained
+/// entries homed at it with epoch `> E` — provided the log still covers
+/// that range ([`OpLog::covers`]).
+#[derive(Debug, Default)]
+struct OpLog {
+    ops: VecDeque<(u64, UpdateOp)>,
+    next_epoch: u64,
+    capacity: usize,
+}
+
+impl OpLog {
+    fn new(capacity: usize) -> Self {
+        OpLog { ops: VecDeque::new(), next_epoch: 1, capacity }
+    }
+
+    /// Appends one op and returns its epoch, evicting the oldest entries
+    /// beyond capacity.
+    fn push(&mut self, op: UpdateOp) -> u64 {
+        let epoch = self.next_epoch;
+        self.next_epoch += 1;
+        if self.capacity > 0 {
+            self.ops.push_back((epoch, op));
+            while self.ops.len() > self.capacity {
+                self.ops.pop_front();
+            }
+        }
+        epoch
+    }
+
+    /// Whether every op with epoch `> since` is still retained.
+    fn covers(&self, since: u64) -> bool {
+        let first_retained = self.ops.front().map_or(self.next_epoch, |(e, _)| *e);
+        first_retained <= since + 1
+    }
+
+    /// Retained ops homed at `site` with epoch `> since`, oldest first.
+    fn missed_for(&self, site: u32, since: u64) -> Vec<UpdateOp> {
+        self.ops
+            .iter()
+            .filter(|(e, op)| *e > since && op.site() == site)
+            .map(|(_, op)| op.clone())
+            .collect()
+    }
+}
+
 /// Which coordinator a session query runs.
 #[derive(Debug, Clone, Copy)]
 enum Algo {
@@ -264,13 +409,27 @@ pub struct SessionServer {
     /// Server-wide aggregate meter (the cluster's): sees the tagged frames
     /// of every query, id headers included.
     meter: BandwidthMeter,
+    /// Per-site retry-layer health, index-paired with `shared`. The
+    /// heartbeat reads consecutive-miss counts from here; an explicit
+    /// reconnect at probation start resets the since-reconnect window.
+    health: Vec<Arc<LinkHealth>>,
+    /// Site lifecycle (Active / Probation / Quarantined) across queries.
+    lifecycle: Mutex<FailureTracker>,
+    op_log: Mutex<OpLog>,
+    options: SessionOptions,
     admission: Admission,
     cache: Mutex<ResultCache>,
     next_query: AtomicU64,
+    heartbeat_nonce: AtomicU64,
     queries_served: AtomicU64,
     cache_hits: AtomicU64,
     cache_invalidated: AtomicU64,
     updates_applied: AtomicU64,
+    heartbeat_misses: AtomicU64,
+    quarantines: AtomicU64,
+    rejoins: AtomicU64,
+    resync_ops: AtomicU64,
+    cancelled: AtomicU64,
     _servers: Vec<tcp::SiteServer>,
 }
 
@@ -288,19 +447,36 @@ impl SessionServer {
     /// Takes ownership of a constructed cluster and re-assembles it around
     /// shared, query-multiplexed links.
     pub fn new(cluster: Cluster, options: SessionOptions) -> Self {
-        let (dims, total_tuples, links, meter, servers) = cluster.into_parts();
+        let (dims, total_tuples, links, health, meter, servers) = cluster.into_parts();
+        let sites = links.len();
+        // The lifecycle tracker always degrades (quarantines) rather than
+        // failing: a daemon-level health decision must never abort the
+        // daemon. Per-query failure policies are unaffected — each run
+        // still builds its own tracker.
+        let lifecycle =
+            FailureTracker::new(sites, FailurePolicy::Degrade, meter.recorder().clone());
         SessionServer {
             dims,
             total_tuples,
             shared: links.into_iter().map(share).collect(),
             meter,
+            health,
+            lifecycle: Mutex::new(lifecycle),
+            op_log: Mutex::new(OpLog::new(options.op_log_capacity)),
+            options,
             admission: Admission::new(options.max_concurrent),
             cache: Mutex::new(ResultCache::new(options.cache_capacity)),
             next_query: AtomicU64::new(1),
+            heartbeat_nonce: AtomicU64::new(1),
             queries_served: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_invalidated: AtomicU64::new(0),
             updates_applied: AtomicU64::new(0),
+            heartbeat_misses: AtomicU64::new(0),
+            quarantines: AtomicU64::new(0),
+            rejoins: AtomicU64::new(0),
+            resync_ops: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
             _servers: servers,
         }
     }
@@ -335,7 +511,23 @@ impl SessionServer {
             updates_applied: self.updates_applied.load(Ordering::Relaxed),
             cache_entries: self.cache.lock().unwrap_or_else(PoisonError::into_inner).len(),
             peak_concurrent: self.admission.peak(),
+            heartbeat_misses: self.heartbeat_misses.load(Ordering::Relaxed),
+            quarantines: self.quarantines.load(Ordering::Relaxed),
+            rejoins: self.rejoins.load(Ordering::Relaxed),
+            resync_ops: self.resync_ops.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
         }
+    }
+
+    /// Current lifecycle state of every site, in site order.
+    pub fn site_states(&self) -> Vec<SiteState> {
+        let lifecycle = self.lifecycle.lock().unwrap_or_else(PoisonError::into_inner);
+        (0..self.shared.len()).map(|i| lifecycle.state(i).clone()).collect()
+    }
+
+    /// Per-site health records in the same shape query outcomes carry.
+    pub fn site_statuses(&self) -> Vec<SiteStatus> {
+        self.lifecycle.lock().unwrap_or_else(PoisonError::into_inner).statuses()
     }
 
     /// Runs one DSUD query through the session layer.
@@ -393,7 +585,7 @@ impl SessionServer {
 
         if let Some(cached) = self.cache.lock().unwrap_or_else(PoisonError::into_inner).get(&key) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
-            self.queries_served.fetch_add(1, Ordering::Relaxed);
+            self.note_served();
             recorder.incr(Counter::CacheHits);
             let mut progress = ProgressLog::new();
             for e in &cached.skyline {
@@ -406,6 +598,7 @@ impl SessionServer {
                 traffic: MeterSnapshot::default(),
                 stats: RunStats::default(),
                 degraded: false,
+                cancelled: false,
                 sites: Vec::new(),
             };
             let report = finish_report(&recorder, algo, query_id);
@@ -441,6 +634,7 @@ impl SessionServer {
                 config.batch,
                 config.pipeline,
                 config.wire,
+                config.deadline_ms,
             ),
             Algo::Edsud => edsud::run_with_synopses(
                 &mut links,
@@ -454,6 +648,7 @@ impl SessionServer {
                 config.batch,
                 config.pipeline,
                 config.wire,
+                config.deadline_ms,
             ),
         };
         // Clear the sites' parked cursor state for this query id whether
@@ -462,12 +657,24 @@ impl SessionServer {
         // links still meter it into the server aggregate).
         drop(links);
         self.release_sites(query_id);
-        let outcome = result?;
+        let mut outcome = result?;
+        // A query answered while any site sits in session-level quarantine
+        // may not reflect updates deferred for that site: stamp it
+        // degraded so clients treat it as the not-fully-converged answer
+        // it is. Probation sites are already resynced, so they don't
+        // taint the answer.
+        if self.lifecycle.lock().unwrap_or_else(PoisonError::into_inner).degraded() {
+            outcome.degraded = true;
+        }
 
-        self.queries_served.fetch_add(1, Ordering::Relaxed);
+        self.note_served();
+        if outcome.cancelled {
+            self.cancelled.fetch_add(1, Ordering::Relaxed);
+        }
         // A degraded answer carries upper bounds, not the answer an
-        // intact repeat would produce — never serve it from cache.
-        if !outcome.degraded {
+        // intact repeat would produce, and a cancelled answer is a
+        // partial one — never serve either from cache.
+        if !outcome.degraded && !outcome.cancelled {
             self.cache.lock().unwrap_or_else(PoisonError::into_inner).insert(key, outcome.clone());
         }
         let report = finish_report(&recorder, algo, query_id);
@@ -488,6 +695,12 @@ impl SessionServer {
     /// with a running query's rounds, and every query admitted after it
     /// sees both the new tree state and an empty cache.
     ///
+    /// Every accepted update is appended to the bounded, epoch-numbered op
+    /// log first. If the home site is quarantined the injection is
+    /// *deferred*: the op stays in the log and is replayed when the site
+    /// rejoins (see the module docs), so a flapping site never turns an
+    /// update into an error.
+    ///
     /// # Errors
     ///
     /// Returns [`Error::SiteFailed`] if the home site's link fails, or
@@ -500,22 +713,197 @@ impl SessionServer {
         self.admission.acquire(self.admission.max);
         let _all = AdmissionGuard { admission: &self.admission, width: self.admission.max };
 
-        let inject = match op {
-            UpdateOp::Insert(t) => Message::InjectInsert(TupleMsg::new(t, 0.0)),
-            UpdateOp::Delete(t) => Message::InjectDelete(TupleMsg::new(t, 0.0)),
+        // Log first: the epoch stamps this update's place in history, and
+        // quarantine transitions record the epoch their site last saw.
+        let epoch = self.op_log.lock().unwrap_or_else(PoisonError::into_inner).push(op.clone());
+        let deferred = {
+            let mut lifecycle = self.lifecycle.lock().unwrap_or_else(PoisonError::into_inner);
+            lifecycle.set_epoch(epoch);
+            !lifecycle.state(home).is_active()
         };
-        // Same semantics as `Maintainer::apply_local_only`: the site's
-        // tree changes; the maintenance notification (if any) is the
-        // metered reply.
-        self.shared[home]
-            .lock()
-            .call(inject)
-            .map_err(|e| Error::SiteFailed { site: home as u32, source: e })?;
 
+        if !deferred {
+            let inject = match op {
+                UpdateOp::Insert(t) => Message::InjectInsert(TupleMsg::new(t, 0.0)),
+                UpdateOp::Delete(t) => Message::InjectDelete(TupleMsg::new(t, 0.0)),
+            };
+            // Same semantics as `Maintainer::apply_local_only`: the site's
+            // tree changes; the maintenance notification (if any) is the
+            // metered reply.
+            self.shared[home]
+                .lock()
+                .call(inject)
+                .map_err(|e| Error::SiteFailed { site: home as u32, source: e })?;
+            self.updates_applied.fetch_add(1, Ordering::Relaxed);
+        }
+
+        // Invalidate on deferral too: the accepted update is now part of
+        // the server's history even though the tree change is pending.
         let dropped = self.cache.lock().unwrap_or_else(PoisonError::into_inner).clear();
         self.cache_invalidated.fetch_add(dropped, Ordering::Relaxed);
-        self.updates_applied.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Probes every site once and advances the recovery lifecycle (see the
+    /// module docs). Runs automatically every
+    /// [`SessionOptions::heartbeat_every`] served queries; calling it
+    /// directly is equivalent and safe at any time — probes are control
+    /// frames the sites answer without touching query state, and they are
+    /// metered only on the server aggregate, never a query's own meter.
+    pub fn heartbeat(&self) -> HeartbeatSummary {
+        let rec = self.meter.recorder().clone();
+        let mut summary = HeartbeatSummary::default();
+        for i in 0..self.shared.len() {
+            summary.probed += 1;
+            let nonce = self.heartbeat_nonce.fetch_add(1, Ordering::Relaxed);
+            let reply = self.shared[i].lock().call(Message::HealthProbe { nonce });
+            match reply {
+                Ok(Message::HealthAck { nonce: echoed }) if echoed == nonce => {
+                    summary.acks += 1;
+                    self.probe_succeeded(i, &mut summary);
+                }
+                Ok(_) => {
+                    summary.misses += 1;
+                    self.heartbeat_misses.fetch_add(1, Ordering::Relaxed);
+                    rec.incr(Counter::HeartbeatMisses);
+                    self.probe_missed(
+                        i,
+                        QuarantineReason::Protocol(
+                            "health probe answered with the wrong frame".into(),
+                        ),
+                        &mut summary,
+                    );
+                }
+                Err(e) => {
+                    summary.misses += 1;
+                    self.heartbeat_misses.fetch_add(1, Ordering::Relaxed);
+                    rec.incr(Counter::HeartbeatMisses);
+                    self.probe_missed(i, QuarantineReason::Transport(e), &mut summary);
+                }
+            }
+        }
+        summary
+    }
+
+    /// One site answered its probe: advance Quarantined → Probation (with
+    /// an explicit reconnect and a resync) or Probation → Active.
+    fn probe_succeeded(&self, site: usize, summary: &mut HeartbeatSummary) {
+        let state =
+            self.lifecycle.lock().unwrap_or_else(PoisonError::into_inner).state(site).clone();
+        match state {
+            SiteState::Quarantined { .. } => {
+                // The site is reachable again. Reconnect explicitly so the
+                // retry layer's since-reconnect window restarts — probation
+                // must be judged on fresh evidence, not the failure burst
+                // that caused the quarantine.
+                let _ = self.shared[site].lock().reconnect();
+                let since = self
+                    .lifecycle
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .begin_probation(site);
+                if let Some(since) = since {
+                    summary.resync_ops += self.resync(site as u32, since);
+                    summary.probation.push(site as u32);
+                }
+            }
+            SiteState::Probation { .. } => {
+                let promoted = self
+                    .lifecycle
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .probation_success(site, self.options.probation_probes);
+                if promoted {
+                    self.rejoins.fetch_add(1, Ordering::Relaxed);
+                    self.meter.recorder().incr(Counter::Rejoins);
+                    summary.rejoined.push(site as u32);
+                }
+            }
+            SiteState::Active => {}
+        }
+    }
+
+    /// One site missed its probe: quarantine it once the retry layer's
+    /// consecutive-miss count reaches the threshold. A probation site that
+    /// misses goes straight back to quarantine — its probe streak must not
+    /// carry over.
+    fn probe_missed(&self, site: usize, reason: QuarantineReason, summary: &mut HeartbeatSummary) {
+        if self.health[site].consecutive_misses() < self.options.miss_threshold {
+            return;
+        }
+        let mut lifecycle = self.lifecycle.lock().unwrap_or_else(PoisonError::into_inner);
+        if lifecycle.state(site).is_active() {
+            lifecycle.quarantine(site, reason);
+            self.quarantines.fetch_add(1, Ordering::Relaxed);
+            summary.quarantined.push(site as u32);
+        }
+    }
+
+    /// Replays the updates `site` missed since its quarantine epoch
+    /// through the existing maintenance path, or — if the op log no longer
+    /// covers that range — takes the full [`Maintainer::bootstrap`] path.
+    /// Returns the number of ops replayed.
+    fn resync(&self, site: u32, since: u64) -> u64 {
+        let rec = self.meter.recorder().clone();
+        let (covered, missed) = {
+            let log = self.op_log.lock().unwrap_or_else(PoisonError::into_inner);
+            (log.covers(since), log.missed_for(site, since))
+        };
+        // Resync frames ride a fresh query id: tagged like any query's, so
+        // they interleave safely with concurrent queries on the shared
+        // links. The meter is a throwaway — resync traffic is server
+        // bookkeeping and already counted by the aggregate meter.
+        let query_id = self.next_query.fetch_add(1, Ordering::Relaxed);
+        let resync_meter = BandwidthMeter::new();
+        let mut links: Vec<Box<dyn Link>> = self
+            .shared
+            .iter()
+            .map(|s| {
+                Box::new(MuxLink::new(query_id, SharedLink::clone(s), resync_meter.clone()))
+                    as Box<dyn Link>
+            })
+            .collect();
+        let mut replayed = 0u64;
+        for op in &missed {
+            if Maintainer::apply_local_only(&mut links, op).is_ok() {
+                replayed += 1;
+                rec.incr(Counter::ResyncOps);
+            }
+        }
+        if !covered {
+            // The log was truncated past the quarantine epoch: the replay
+            // above covered only what is still retained, and completeness
+            // can no longer be proven from the log. Rebuild and
+            // re-replicate the global skyline wholesale; errors leave the
+            // site in probation, where the next heartbeat retries.
+            if let Ok(mask) = crate::SubspaceMask::full(self.dims) {
+                let _ = Maintainer::bootstrap(
+                    &mut links,
+                    &resync_meter,
+                    self.options.bootstrap_q,
+                    mask,
+                    BoundMode::default(),
+                );
+            }
+        }
+        drop(links);
+        self.release_sites(query_id);
+        self.resync_ops.fetch_add(replayed, Ordering::Relaxed);
+        // The rejoining site's tree just changed: cached answers predate
+        // the replay.
+        let dropped = self.cache.lock().unwrap_or_else(PoisonError::into_inner).clear();
+        self.cache_invalidated.fetch_add(dropped, Ordering::Relaxed);
+        replayed
+    }
+
+    /// Counts one served query and runs the deterministic heartbeat
+    /// schedule: a sweep after every `heartbeat_every` served queries.
+    fn note_served(&self) {
+        let served = self.queries_served.fetch_add(1, Ordering::Relaxed) + 1;
+        let every = self.options.heartbeat_every;
+        if every > 0 && served % every == 0 {
+            self.heartbeat();
+        }
     }
 
     fn release_sites(&self, query_id: u64) {
@@ -588,6 +976,7 @@ mod tests {
             traffic: MeterSnapshot::default(),
             stats: RunStats::default(),
             degraded: false,
+            cancelled: false,
             sites: Vec::new(),
         };
         cache.insert(key(1), outcome.clone());

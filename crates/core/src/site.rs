@@ -496,6 +496,10 @@ impl Service for LocalSite {
                     None => Message::Ack, // empty site: nothing to summarize
                 }
             }
+            // Liveness probe from the session server's heartbeat: echo the
+            // nonce so the coordinator can match the ack to its probe. No
+            // query state is touched — a probe mid-query is invisible.
+            Message::HealthProbe { nonce } => Message::HealthAck { nonce },
             // Site-originated messages arriving at a site are protocol
             // errors by construction; answer inertly rather than panic so a
             // buggy coordinator cannot take down a site thread.
@@ -508,6 +512,7 @@ impl Service for LocalSite {
             | Message::RegionReply(_)
             | Message::RegionReplyC(_)
             | Message::Synopsis(_)
+            | Message::HealthAck { .. }
             | Message::DecodeError
             | Message::Ack => Message::Ack,
         }

@@ -76,7 +76,7 @@ pub use server::{
     share, spawn_query_server, ClientControl, ClientHandler, MuxLink, QueryServer, SharedLink,
 };
 pub use transport::{
-    broadcast, scatter, ChannelLink, FaultMode, FaultyLink, Link, LinkConfig, LinkError, LocalLink,
-    Service, Ticket,
+    broadcast, scatter, ChannelLink, ChaosLink, FaultKind, FaultMode, FaultPlan, FaultWindow,
+    FaultyLink, Link, LinkConfig, LinkError, LocalLink, Service, Ticket,
 };
 pub use wire::{BatchView, TupleBlock};

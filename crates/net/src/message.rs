@@ -280,6 +280,19 @@ pub enum Message {
     ReplicaSyncC(crate::TupleBlock),
     /// `site → H`: [`Message::RegionReply`] in the columnar wire layout.
     RegionReplyC(crate::TupleBlock),
+    /// `H → site` (health layer): heartbeat probe carrying an opaque
+    /// nonce. A live site echoes the nonce back in a
+    /// [`Message::HealthAck`]; a probe whose link errors out (after the
+    /// retry budget) counts as a heartbeat miss against the site.
+    HealthProbe {
+        /// Opaque correlation nonce, echoed by the ack.
+        nonce: u64,
+    },
+    /// `site → H`: reply to a [`Message::HealthProbe`], echoing its nonce.
+    HealthAck {
+        /// The probe's nonce, echoed verbatim.
+        nonce: u64,
+    },
 }
 
 /// Traffic classes used by the [`crate::BandwidthMeter`].
@@ -328,6 +341,7 @@ impl Message {
             // A tagged frame is the inner message plus a free header.
             Message::Tagged { inner, .. } => inner.class(),
             Message::Release => TrafficClass::Control,
+            Message::HealthProbe { .. } | Message::HealthAck { .. } => TrafficClass::Control,
         }
     }
 
@@ -482,6 +496,14 @@ impl Message {
             Message::RegionReplyC(block) => {
                 crate::wire::encode_block(crate::wire::TAG_REGION_REPLY_C, block, buf);
             }
+            Message::HealthProbe { nonce } => {
+                buf.put_u8(27);
+                buf.put_u64(*nonce);
+            }
+            Message::HealthAck { nonce } => {
+                buf.put_u8(28);
+                buf.put_u64(*nonce);
+            }
         }
     }
 
@@ -520,6 +542,7 @@ impl Message {
             Message::SurvivalBatchReplyC { survivals, .. } => {
                 crate::wire::survivals_encoded_len(survivals.len()) - 1
             }
+            Message::HealthProbe { .. } | Message::HealthAck { .. } => 8,
         }
     }
 
@@ -656,6 +679,18 @@ impl Message {
                 Message::Tagged { query_id, inner }
             }
             22 => Message::Release,
+            27 => {
+                if buf.remaining() < 8 {
+                    return None;
+                }
+                Message::HealthProbe { nonce: buf.get_u64() }
+            }
+            28 => {
+                if buf.remaining() < 8 {
+                    return None;
+                }
+                Message::HealthAck { nonce: buf.get_u64() }
+            }
             _ => return None,
         };
         if buf.has_remaining() {
@@ -722,12 +757,15 @@ mod tests {
                     sample_tuple_msg(),
                 ]))),
             },
+            Message::HealthProbe { nonce: 0xfeed_beef },
+            Message::HealthAck { nonce: 0xfeed_beef },
+            Message::Tagged { query_id: 3, inner: Box::new(Message::HealthProbe { nonce: 12 }) },
         ]
     }
 
     /// Golden wire contract: `encoded_len` is the exact frame length for
     /// every variant — the pipelined transports pre-reserve outstanding
-    /// frames from it — and the sample set covers every wire tag `0..=26`.
+    /// frames from it — and the sample set covers every wire tag `0..=28`.
     /// Adding a message variant without extending `all_messages` (and
     /// without a matching `encoded_len` arm) fails here, not in a
     /// transport at 2 a.m.
@@ -751,7 +789,7 @@ mod tests {
         }
         tags.sort_unstable();
         tags.dedup();
-        assert_eq!(tags, (0u8..=26).collect::<Vec<_>>(), "every wire tag 0..=26 represented");
+        assert_eq!(tags, (0u8..=28).collect::<Vec<_>>(), "every wire tag 0..=28 represented");
     }
 
     /// The columnar frames are re-encodings, not new semantics: each
@@ -853,6 +891,61 @@ mod tests {
             assert!(
                 Message::decode_slice(frame).is_none(),
                 "corpus entry {i} must reject: {frame:?}"
+            );
+        }
+    }
+
+    /// Malformed *compositions*: tagged health probes and columnar frames
+    /// inside a session wrapper, mutated at every layer. Every entry must
+    /// decode to `None` (the daemon answers [`Message::DecodeError`] and
+    /// keeps serving), never panic.
+    #[test]
+    fn malformed_tagged_compositions_decode_to_none() {
+        let probe =
+            Message::Tagged { query_id: 5, inner: Box::new(Message::HealthProbe { nonce: 77 }) }
+                .encode();
+        let sync = Message::Tagged {
+            query_id: 5,
+            inner: Box::new(Message::ReplicaSyncC(crate::TupleBlock::from_msgs(&vec![
+                sample_tuple_msg();
+                4
+            ]))),
+        }
+        .encode();
+        assert!(Message::decode_slice(&probe).is_some());
+        assert!(Message::decode_slice(&sync).is_some());
+
+        let mut corpus: Vec<Vec<u8>> = Vec::new();
+        // Tagged{HealthProbe}: truncated at every boundary — mid-id,
+        // after the id, mid-nonce — plus a trailing byte.
+        for cut in [1, 5, 9, 10, probe.len() - 1] {
+            corpus.push(probe[..cut].to_vec());
+        }
+        let mut long = probe.to_vec();
+        long.push(0);
+        corpus.push(long);
+        // Bare probe/ack truncations.
+        corpus.push(vec![27]);
+        corpus.push(vec![27, 1, 2, 3]);
+        corpus.push(vec![28]);
+        corpus.push(vec![28, 1, 2, 3, 4, 5, 6]);
+        // Truncated ReplicaSyncC inside a session wrapper: cut inside the
+        // columnar header and inside the column payload.
+        for cut in [10, 12, sync.len() - 1, sync.len() - 9] {
+            corpus.push(sync[..cut].to_vec());
+        }
+        // Corrupt the columnar magic through the wrapper.
+        let mut bad_magic = sync.to_vec();
+        bad_magic[10] ^= 0xff;
+        corpus.push(bad_magic);
+        // Inflate the inner row count through the wrapper.
+        let mut bad_rows = sync.to_vec();
+        bad_rows[13..17].copy_from_slice(&1000u32.to_le_bytes());
+        corpus.push(bad_rows);
+        for (i, frame) in corpus.iter().enumerate() {
+            assert!(
+                Message::decode_slice(frame).is_none(),
+                "composition corpus entry {i} must reject: {frame:?}"
             );
         }
     }

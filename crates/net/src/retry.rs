@@ -29,6 +29,13 @@ use crate::{Link, LinkConfig, LinkError, Message, Ticket};
 /// The coordinator holds a clone while the link itself lives inside the
 /// boxed transport stack, so per-site failure accounting stays readable
 /// after the query ends.
+/// Counters are kept on two horizons: *cumulative* totals over the link's
+/// whole life, and a *window* since the last explicit
+/// [`Link::reconnect`] — probation decisions after a rejoin must weigh
+/// fresh evidence, not the failure burst that caused the quarantine.
+/// [`LinkHealth::consecutive_misses`] counts completed requests that
+/// failed end-to-end (budget exhausted) with no intervening success; one
+/// successful reply resets it.
 #[derive(Debug, Default)]
 pub struct LinkHealth {
     attempts: AtomicU64,
@@ -36,6 +43,13 @@ pub struct LinkHealth {
     timeouts: AtomicU64,
     disconnects: AtomicU64,
     malformed: AtomicU64,
+    window_attempts: AtomicU64,
+    window_retries: AtomicU64,
+    window_timeouts: AtomicU64,
+    window_disconnects: AtomicU64,
+    window_malformed: AtomicU64,
+    consecutive_misses: AtomicU64,
+    reconnects: AtomicU64,
 }
 
 /// Point-in-time copy of a [`LinkHealth`].
@@ -51,6 +65,21 @@ pub struct HealthSnapshot {
     pub disconnects: u64,
     /// Attempts that failed with [`LinkError::Malformed`].
     pub malformed: u64,
+    /// [`HealthSnapshot::attempts`] since the last explicit reconnect.
+    pub window_attempts: u64,
+    /// [`HealthSnapshot::retries`] since the last explicit reconnect.
+    pub window_retries: u64,
+    /// [`HealthSnapshot::timeouts`] since the last explicit reconnect.
+    pub window_timeouts: u64,
+    /// [`HealthSnapshot::disconnects`] since the last explicit reconnect.
+    pub window_disconnects: u64,
+    /// [`HealthSnapshot::malformed`] since the last explicit reconnect.
+    pub window_malformed: u64,
+    /// Completed requests that failed end-to-end since the last
+    /// successful reply.
+    pub consecutive_misses: u64,
+    /// Explicit reconnects (window resets) over the link's life.
+    pub reconnects: u64,
 }
 
 impl LinkHealth {
@@ -62,16 +91,62 @@ impl LinkHealth {
             timeouts: self.timeouts.load(Ordering::Relaxed),
             disconnects: self.disconnects.load(Ordering::Relaxed),
             malformed: self.malformed.load(Ordering::Relaxed),
+            window_attempts: self.window_attempts.load(Ordering::Relaxed),
+            window_retries: self.window_retries.load(Ordering::Relaxed),
+            window_timeouts: self.window_timeouts.load(Ordering::Relaxed),
+            window_disconnects: self.window_disconnects.load(Ordering::Relaxed),
+            window_malformed: self.window_malformed.load(Ordering::Relaxed),
+            consecutive_misses: self.consecutive_misses.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
         }
     }
 
+    /// Completed requests that failed end-to-end with no success since.
+    pub fn consecutive_misses(&self) -> u64 {
+        self.consecutive_misses.load(Ordering::Relaxed)
+    }
+
+    fn note_attempt(&self) {
+        self.attempts.fetch_add(1, Ordering::Relaxed);
+        self.window_attempts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+        self.window_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
     fn note_failure(&self, error: &LinkError) {
-        match error {
-            LinkError::Timeout => self.timeouts.fetch_add(1, Ordering::Relaxed),
-            LinkError::Disconnected => self.disconnects.fetch_add(1, Ordering::Relaxed),
-            LinkError::Malformed => self.malformed.fetch_add(1, Ordering::Relaxed),
-            LinkError::Io(_) => self.disconnects.fetch_add(1, Ordering::Relaxed),
+        let (total, window) = match error {
+            LinkError::Timeout => (&self.timeouts, &self.window_timeouts),
+            LinkError::Disconnected | LinkError::Io(_) => {
+                (&self.disconnects, &self.window_disconnects)
+            }
+            LinkError::Malformed => (&self.malformed, &self.window_malformed),
         };
+        total.fetch_add(1, Ordering::Relaxed);
+        window.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request completed with a reply: the miss streak is over.
+    fn note_success(&self) {
+        self.consecutive_misses.store(0, Ordering::Relaxed);
+    }
+
+    /// A request failed end-to-end (retry budget exhausted).
+    fn note_miss(&self) {
+        self.consecutive_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Starts a fresh evidence window at an explicit reconnect; the
+    /// cumulative counters keep their history.
+    fn reset_window(&self) {
+        self.window_attempts.store(0, Ordering::Relaxed);
+        self.window_retries.store(0, Ordering::Relaxed);
+        self.window_timeouts.store(0, Ordering::Relaxed);
+        self.window_disconnects.store(0, Ordering::Relaxed);
+        self.window_malformed.store(0, Ordering::Relaxed);
+        self.reconnects.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -159,7 +234,7 @@ impl<L: Link> RetryLink<L> {
     fn retry_after(&mut self, msg: Message, first_error: LinkError) -> Result<Message, LinkError> {
         let mut last_error = first_error;
         for attempt in 1..=self.config.retry_budget {
-            self.health.retries.fetch_add(1, Ordering::Relaxed);
+            self.health.note_retry();
             self.recorder.incr(Counter::LinkRetries);
             let pause = self.config.backoff_step(attempt);
             if !pause.is_zero() {
@@ -169,7 +244,7 @@ impl<L: Link> RetryLink<L> {
             // which surfaces the transport's own (possibly more specific)
             // error.
             let _ = self.inner.reconnect();
-            self.health.attempts.fetch_add(1, Ordering::Relaxed);
+            self.health.note_attempt();
             match self.inner.call(msg.clone()) {
                 Ok(reply) => return Ok(reply),
                 Err(e) => {
@@ -184,7 +259,7 @@ impl<L: Link> RetryLink<L> {
 
 impl<L: Link> Link for RetryLink<L> {
     fn send(&mut self, msg: Message) -> Result<Ticket, LinkError> {
-        self.health.attempts.fetch_add(1, Ordering::Relaxed);
+        self.health.note_attempt();
         let state = match self.inner.send(msg.clone()) {
             Ok(inner_ticket) => Ok(inner_ticket),
             Err(e) => {
@@ -221,7 +296,7 @@ impl<L: Link> Link for RetryLink<L> {
                 // request may execute twice at the site, the same hazard any
                 // retry of a timed-out request has.
                 let _ = self.inner.reconnect();
-                self.health.attempts.fetch_add(1, Ordering::Relaxed);
+                self.health.note_attempt();
                 match self.inner.call(entry.msg.clone()) {
                     Ok(reply) => Ok(reply),
                     Err(e) => {
@@ -243,6 +318,10 @@ impl<L: Link> Link for RetryLink<L> {
             // from a coherent (possibly freshly reconnected) wire.
             self.broken = false;
         }
+        match result {
+            Ok(_) => self.health.note_success(),
+            Err(_) => self.health.note_miss(),
+        }
         result
     }
 
@@ -250,6 +329,9 @@ impl<L: Link> Link for RetryLink<L> {
         self.pending.clear();
         self.tickets.reset();
         self.broken = false;
+        // An explicit reconnect opens a fresh evidence window: probation
+        // judges the rejoined link on what happens from here on.
+        self.health.reset_window();
         self.inner.reconnect()
     }
 }
@@ -383,6 +465,53 @@ mod tests {
         assert!(link.call(Message::RequestNext).is_ok());
         assert_eq!(recorder.counter(Counter::LinkRetries), 1);
         assert_eq!(recorder.counter(Counter::LinkTimeouts), 1);
+    }
+
+    #[test]
+    fn window_counters_reset_on_reconnect_but_cumulative_persist() {
+        // A failure burst exhausts the budget, then an explicit reconnect
+        // opens a fresh window: probation evidence starts from zero while
+        // the cumulative history is preserved.
+        let inner = LocalLink::new(echo_service(), BandwidthMeter::new());
+        let faulty = FaultyLink::new(inner, FaultMode::Stall(3), 0);
+        let mut link = RetryLink::new(faulty, config(1));
+        assert_eq!(link.call(Message::RequestNext), Err(LinkError::Timeout));
+        let burst = link.health().snapshot();
+        assert_eq!(burst.attempts, 2); // first try + 1 retry
+        assert_eq!(burst.timeouts, 2);
+        assert_eq!(burst.window_attempts, 2);
+        assert_eq!(burst.window_timeouts, 2);
+        assert_eq!(burst.consecutive_misses, 1);
+        assert_eq!(burst.reconnects, 0);
+
+        link.reconnect().expect("reconnect succeeds");
+        let fresh = link.health().snapshot();
+        assert_eq!(fresh.attempts, 2, "cumulative history survives the reconnect");
+        assert_eq!(fresh.timeouts, 2);
+        assert_eq!(fresh.window_attempts, 0, "the window starts over");
+        assert_eq!(fresh.window_timeouts, 0);
+        assert_eq!(fresh.reconnects, 1);
+        // The stall has one faulted call left; it fails once more, then the
+        // link is healthy — the success ends the miss streak while the
+        // window records exactly the post-reconnect evidence.
+        assert_eq!(link.call(Message::RequestNext), Ok(Message::Upload(None)));
+        let after = link.health().snapshot();
+        assert_eq!(after.window_attempts, 2); // failed try + successful retry
+        assert_eq!(after.window_timeouts, 1);
+        assert_eq!(after.consecutive_misses, 0, "a reply resets the miss streak");
+        assert_eq!(after.attempts, 4);
+        assert_eq!(after.timeouts, 3);
+    }
+
+    #[test]
+    fn consecutive_misses_accumulate_per_failed_request() {
+        let inner = LocalLink::new(echo_service(), BandwidthMeter::new());
+        let faulty = FaultyLink::new(inner, FaultMode::Disconnect, 0);
+        let mut link = RetryLink::new(faulty, config(0));
+        for expect in 1..=3u64 {
+            assert_eq!(link.call(Message::RequestNext), Err(LinkError::Disconnected));
+            assert_eq!(link.health().consecutive_misses(), expect);
+        }
     }
 
     #[test]

@@ -698,6 +698,190 @@ impl<L: Link> Link for FaultyLink<L> {
     }
 }
 
+/// What a [`FaultPlan`] window injects.
+///
+/// The generalization of [`FaultMode`] the chaos harness schedules: each
+/// kind is *answer-invariant* — a swallowed attempt never reaches the
+/// service, and a slow attempt only adds latency — so a run that rides the
+/// faults out (via retries) or quarantines and later resyncs the site must
+/// still converge to the exact never-failed answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The attempt is swallowed as [`LinkError::Timeout`] — a stalled site
+    /// or a crashed one, depending on the window length vs the retry
+    /// budget.
+    Timeout,
+    /// The attempt is swallowed as [`LinkError::Disconnected`] — the
+    /// connection drops.
+    Disconnect,
+    /// The request frame arrives corrupted: the site answers
+    /// `DecodeError`, which the transport surfaces as
+    /// [`LinkError::Malformed`] without executing the request.
+    Malformed,
+    /// The attempt goes through after a deterministic pause of this many
+    /// milliseconds — a slow link, never a wrong answer.
+    Slow(u64),
+}
+
+/// One contiguous fault window of a [`FaultPlan`]: attempts
+/// `start ..= start + len - 1` (1-based per-link attempt ordinals) are hit
+/// with `kind`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultWindow {
+    /// First faulted attempt ordinal (1-based).
+    pub start: u64,
+    /// Number of consecutive faulted attempts.
+    pub len: u64,
+    /// What the window injects.
+    pub kind: FaultKind,
+}
+
+impl FaultWindow {
+    fn covers(&self, call: u64) -> bool {
+        call >= self.start && call - self.start < self.len
+    }
+}
+
+/// A deterministic per-link fault schedule, keyed on the attempt ordinal.
+///
+/// Like [`FaultyLink`], whether an attempt faults is a pure function of
+/// the per-link attempt counter — never the wall clock — so the same plan
+/// replays the same fault transcript on every transport (inline, threaded,
+/// TCP) and every pool size. Retries advance the counter, which is how a
+/// finite window "heals": a window longer than the retry budget crashes
+/// the site into quarantine, a shorter one is ridden out invisibly.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    windows: Vec<FaultWindow>,
+}
+
+/// `splitmix64`: the standard 64-bit mixing step used to derive fault
+/// schedules from a seed. Small, well-distributed, dependency-free.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// A plan with no faults at all.
+    pub fn quiet() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a fault window (builder style). Overlapping windows resolve to
+    /// the earliest-added match.
+    pub fn window(mut self, start: u64, len: u64, kind: FaultKind) -> Self {
+        self.windows.push(FaultWindow { start, len, kind });
+        self
+    }
+
+    /// Derives site `site`'s schedule from a shared `seed`.
+    ///
+    /// Roughly a quarter of the sites stay quiet; the rest get one or two
+    /// short windows of a seed-chosen kind starting a few attempts in. The
+    /// derivation is a pure function of `(seed, site)`, so one u64
+    /// reproduces the whole cluster's chaos on any machine.
+    pub fn seeded(seed: u64, site: u32) -> Self {
+        let mut state = seed ^ (u64::from(site) + 1).wrapping_mul(0xA24B_AED4_963E_E407);
+        let shape = splitmix64(&mut state);
+        if shape % 4 == 0 {
+            return FaultPlan::quiet();
+        }
+        let count = 1 + (shape >> 8) % 2;
+        let mut plan = FaultPlan::quiet();
+        let mut cursor = 2 + splitmix64(&mut state) % 24;
+        for _ in 0..count {
+            let len = 1 + splitmix64(&mut state) % 4;
+            let kind = match splitmix64(&mut state) % 8 {
+                0..=2 => FaultKind::Timeout,
+                3 | 4 => FaultKind::Disconnect,
+                5 => FaultKind::Malformed,
+                _ => FaultKind::Slow(1 + splitmix64(&mut state) % 3),
+            };
+            plan = plan.window(cursor, len, kind);
+            cursor += len + 4 + splitmix64(&mut state) % 16;
+        }
+        plan
+    }
+
+    /// Whether any window ever faults.
+    pub fn is_quiet(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The scheduled windows, in insertion order.
+    pub fn windows(&self) -> &[FaultWindow] {
+        &self.windows
+    }
+
+    /// The fault (if any) scheduled for 1-based attempt ordinal `call`.
+    pub fn fault_at(&self, call: u64) -> Option<FaultKind> {
+        self.windows.iter().find(|w| w.covers(call)).map(|w| w.kind)
+    }
+}
+
+/// Fault-injecting wrapper driven by a [`FaultPlan`] — the chaos harness's
+/// generalization of [`FaultyLink`].
+///
+/// Sits *under* a [`RetryLink`](crate::RetryLink) in the stack
+/// (`RetryLink<ChaosLink<transport>>`): the retry layer's attempts advance
+/// the plan's ordinal clock, so short windows are absorbed by the budget
+/// and long ones surface as quarantines — deterministically, on every
+/// transport and pool size.
+#[derive(Debug)]
+pub struct ChaosLink<L> {
+    inner: L,
+    plan: FaultPlan,
+    calls: u64,
+}
+
+impl<L: Link> ChaosLink<L> {
+    /// Wraps `inner` under the given schedule.
+    pub fn new(inner: L, plan: FaultPlan) -> Self {
+        ChaosLink { inner, plan, calls: 0 }
+    }
+
+    /// Attempts made so far (the plan's ordinal clock).
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+
+    /// The schedule this link replays.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+}
+
+impl<L: Link> Link for ChaosLink<L> {
+    fn send(&mut self, msg: Message) -> Result<Ticket, LinkError> {
+        self.calls += 1;
+        match self.plan.fault_at(self.calls) {
+            // Swallowed attempts never reach the service: its state and the
+            // metering stay exactly what a healthy run would leave, which
+            // is what makes post-recovery bit-identity possible.
+            Some(FaultKind::Timeout) => Err(LinkError::Timeout),
+            Some(FaultKind::Disconnect) => Err(LinkError::Disconnected),
+            Some(FaultKind::Malformed) => Err(LinkError::Malformed),
+            Some(FaultKind::Slow(ms)) => {
+                std::thread::sleep(Duration::from_millis(ms));
+                self.inner.send(msg)
+            }
+            None => self.inner.send(msg),
+        }
+    }
+
+    fn complete(&mut self, ticket: Ticket) -> Result<Message, LinkError> {
+        self.inner.complete(ticket)
+    }
+
+    fn reconnect(&mut self) -> Result<(), LinkError> {
+        self.inner.reconnect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -923,6 +1107,58 @@ mod tests {
         assert_eq!(link.call(Message::RequestNext), Err(LinkError::Timeout));
         // Attempt n+1 goes through with the service state untouched.
         assert_eq!(link.call(Message::RequestNext), Ok(Message::Upload(None)));
+    }
+
+    #[test]
+    fn seeded_fault_plans_are_deterministic_and_vary_by_site() {
+        for site in 0..16u32 {
+            assert_eq!(
+                FaultPlan::seeded(42, site),
+                FaultPlan::seeded(42, site),
+                "same (seed, site) must derive the same plan"
+            );
+        }
+        // Across a spread of sites the seed must produce both quiet and
+        // faulted schedules, and at least two distinct faulted ones.
+        let plans: Vec<FaultPlan> = (0..16).map(|s| FaultPlan::seeded(42, s)).collect();
+        assert!(plans.iter().any(FaultPlan::is_quiet), "some site stays quiet");
+        let faulted: Vec<&FaultPlan> = plans.iter().filter(|p| !p.is_quiet()).collect();
+        assert!(faulted.len() >= 2, "some sites must fault");
+        assert!(faulted.windows(2).any(|w| w[0] != w[1]), "schedules must differ across sites");
+        // A different seed reshuffles the schedules.
+        assert!((0..16).any(|s| FaultPlan::seeded(42, s) != FaultPlan::seeded(43, s)));
+    }
+
+    #[test]
+    fn chaos_link_faults_on_schedule_and_heals() {
+        let meter = BandwidthMeter::new();
+        let plan = FaultPlan::quiet()
+            .window(2, 2, FaultKind::Timeout)
+            .window(5, 1, FaultKind::Disconnect)
+            .window(7, 1, FaultKind::Malformed);
+        let mut link = ChaosLink::new(LocalLink::new(echo_service(), meter.clone()), plan);
+        assert_eq!(link.call(Message::RequestNext), Ok(Message::Upload(None))); // 1
+        assert_eq!(link.call(Message::RequestNext), Err(LinkError::Timeout)); // 2
+        assert_eq!(link.call(Message::RequestNext), Err(LinkError::Timeout)); // 3
+        assert_eq!(link.call(Message::RequestNext), Ok(Message::Upload(None))); // 4
+        assert_eq!(link.call(Message::RequestNext), Err(LinkError::Disconnected)); // 5
+        assert_eq!(link.call(Message::RequestNext), Ok(Message::Upload(None))); // 6
+        assert_eq!(link.call(Message::RequestNext), Err(LinkError::Malformed)); // 7
+        assert_eq!(link.call(Message::RequestNext), Ok(Message::Upload(None))); // 8
+                                                                                // Swallowed attempts never reached the service or the meter.
+        assert_eq!(meter.snapshot().control.messages, 4);
+        assert_eq!(link.calls(), 8);
+    }
+
+    #[test]
+    fn slow_windows_never_change_the_answer() {
+        let plan = FaultPlan::quiet().window(1, 3, FaultKind::Slow(1));
+        let meter = BandwidthMeter::new();
+        let mut link = ChaosLink::new(LocalLink::new(echo_service(), meter.clone()), plan);
+        for _ in 0..4 {
+            assert_eq!(link.call(Message::RequestNext), Ok(Message::Upload(None)));
+        }
+        assert_eq!(meter.snapshot().control.messages, 4);
     }
 
     #[test]

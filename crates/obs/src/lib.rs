@@ -55,7 +55,11 @@ use serde::{Deserialize, Serialize};
 ///   `bytes_saved`, and `decode_ns` to the counter snapshot plus the
 ///   run's `wire` configuration stamp. Schema ≤ 6 files still
 ///   deserialize (counters default to 0, `wire` to `None`).
-pub const SCHEMA_VERSION: u32 = 7;
+/// * 8 — adds the recovery-lifecycle counters `rejoins`, `resync_ops`,
+///   and `heartbeat_misses` plus the per-query-deadline counter
+///   `cancelled` to the counter snapshot. Schema ≤ 7 files still
+///   deserialize (counters default to 0).
+pub const SCHEMA_VERSION: u32 = 8;
 
 /// Typed counters of the paper's cost model.
 ///
@@ -137,9 +141,21 @@ pub enum Counter {
     /// off-thread transports (channel / TCP). Inline transports hand the
     /// reply over as a value, so they contribute 0.
     DecodeNs,
+    /// Quarantined sites that completed probation and rejoined the
+    /// cluster as `Active` (fed by the session server's heartbeat loop).
+    Rejoins,
+    /// Update operations replayed to a rejoining site from the session
+    /// server's op log (one per deferred `UpdateOp`).
+    ResyncOps,
+    /// Heartbeat probes that failed to draw a `HealthAck` from their
+    /// site before the link's retry budget ran out.
+    HeartbeatMisses,
+    /// Queries cancelled by their `--deadline` before termination; the
+    /// partial progressive outcome is stamped `cancelled`.
+    Cancelled,
 }
 
-const COUNTER_COUNT: usize = 24;
+const COUNTER_COUNT: usize = 28;
 
 impl Counter {
     fn index(self) -> usize {
@@ -264,6 +280,19 @@ pub struct CounterSnapshot {
     /// Final value of [`Counter::DecodeNs`]. Absent (0) before schema 7.
     #[serde(default)]
     pub decode_ns: u64,
+    /// Final value of [`Counter::Rejoins`]. Absent (0) before schema 8.
+    #[serde(default)]
+    pub rejoins: u64,
+    /// Final value of [`Counter::ResyncOps`]. Absent (0) before schema 8.
+    #[serde(default)]
+    pub resync_ops: u64,
+    /// Final value of [`Counter::HeartbeatMisses`]. Absent (0) before
+    /// schema 8.
+    #[serde(default)]
+    pub heartbeat_misses: u64,
+    /// Final value of [`Counter::Cancelled`]. Absent (0) before schema 8.
+    #[serde(default)]
+    pub cancelled: u64,
 }
 
 impl CounterSnapshot {
@@ -293,6 +322,10 @@ impl CounterSnapshot {
             columnar_frames: c[Counter::ColumnarFrames.index()],
             bytes_saved: c[Counter::BytesSaved.index()],
             decode_ns: c[Counter::DecodeNs.index()],
+            rejoins: c[Counter::Rejoins.index()],
+            resync_ops: c[Counter::ResyncOps.index()],
+            heartbeat_misses: c[Counter::HeartbeatMisses.index()],
+            cancelled: c[Counter::Cancelled.index()],
         }
     }
 
@@ -323,6 +356,10 @@ impl CounterSnapshot {
             Counter::ColumnarFrames => self.columnar_frames,
             Counter::BytesSaved => self.bytes_saved,
             Counter::DecodeNs => self.decode_ns,
+            Counter::Rejoins => self.rejoins,
+            Counter::ResyncOps => self.resync_ops,
+            Counter::HeartbeatMisses => self.heartbeat_misses,
+            Counter::Cancelled => self.cancelled,
         }
     }
 }
@@ -862,6 +899,61 @@ mod tests {
         assert_eq!(report.counters.decode_ns, 0);
         assert_eq!(report.counters.get(Counter::ColumnarFrames), 0);
         assert_eq!(report.query_id, Some(3));
+    }
+
+    #[test]
+    fn schema_seven_reports_deserialize_with_zero_recovery_counters() {
+        // A schema-7 file predates the recovery-lifecycle counters; they
+        // must fill in as zero rather than failing the parse.
+        let json = r#"{
+            "schema_version": 7,
+            "algorithm": "edsud",
+            "wall_ms": 1.0,
+            "counters": {
+                "bytes_sent": 9, "messages": 4, "tuples_shipped": 2,
+                "feedback_broadcasts": 1, "rounds": 1, "expunged": 0,
+                "pruned_at_sites": 0, "prtree_nodes_visited": 0,
+                "prtree_pruned_subtrees": 0, "local_skyline_size": 0,
+                "progressive_results": 1, "link_retries": 0,
+                "link_timeouts": 0, "quarantined_sites": 0,
+                "batched_rounds": 2, "multi_probe_node_visits": 40,
+                "pipeline_depth": 2, "overlapped_rounds": 1,
+                "refill_overlap_us": 300, "cache_hits": 1,
+                "admission_wait_us": 50, "columnar_frames": 3,
+                "bytes_saved": 128, "decode_ns": 900
+            },
+            "spans": [],
+            "phases": [],
+            "transport": "tcp",
+            "threads": 4,
+            "batch_size": "auto",
+            "pipeline": "auto",
+            "query_id": 3,
+            "wire": "columnar",
+            "progressive": []
+        }"#;
+        let report: RunReport = serde_json::from_str(json).unwrap();
+        assert_eq!(report.counters.columnar_frames, 3);
+        assert_eq!(report.counters.rejoins, 0);
+        assert_eq!(report.counters.resync_ops, 0);
+        assert_eq!(report.counters.heartbeat_misses, 0);
+        assert_eq!(report.counters.cancelled, 0);
+        assert_eq!(report.counters.get(Counter::Rejoins), 0);
+        assert_eq!(report.wire.as_deref(), Some("columnar"));
+    }
+
+    #[test]
+    fn recovery_counters_flow_into_the_snapshot() {
+        let rec = Recorder::enabled();
+        rec.incr(Counter::Rejoins);
+        rec.add(Counter::ResyncOps, 5);
+        rec.add(Counter::HeartbeatMisses, 3);
+        rec.incr(Counter::Cancelled);
+        let report = rec.report("edsud").unwrap();
+        assert_eq!(report.counters.rejoins, 1);
+        assert_eq!(report.counters.resync_ops, 5);
+        assert_eq!(report.counters.heartbeat_misses, 3);
+        assert_eq!(report.counters.cancelled, 1);
     }
 
     #[test]

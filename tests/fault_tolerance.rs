@@ -16,8 +16,9 @@ use dsud_core::{
     WireFormat,
 };
 use dsud_core::{
-    BandwidthMeter, Counter, FailurePolicy, Link, LinkConfig, LinkError, QuarantineReason,
-    QueryOutcome, Recorder, RetryLink, Transport,
+    BandwidthMeter, Cluster, Counter, FailurePolicy, FaultKind, FaultPlan, Link, LinkConfig,
+    LinkError, QuarantineReason, QueryConfig, QueryOutcome, Recorder, RetryLink, SessionOptions,
+    SessionServer, Transport,
 };
 use dsud_data::WorkloadSpec;
 use dsud_net::{tcp, ChannelLink, FaultMode, FaultyLink, LocalLink, Message, Service};
@@ -116,6 +117,7 @@ fn strict_drop_is_site_failed_on_every_transport() {
             BatchSize::Fixed(1),
             PipelineDepth::Fixed(1),
             WireFormat::Legacy,
+            None,
         );
         match err {
             Err(Error::SiteFailed { site: 1, source: LinkError::Timeout }) => {}
@@ -142,6 +144,7 @@ fn strict_disconnect_is_site_failed_on_every_transport() {
             BatchSize::Fixed(1),
             PipelineDepth::Fixed(1),
             WireFormat::Legacy,
+            None,
         );
         match err {
             Err(Error::SiteFailed { site: 2, source: LinkError::Disconnected }) => {}
@@ -171,6 +174,7 @@ fn degrade_quarantines_the_failed_site_and_completes() {
                 BatchSize::Fixed(1),
                 PipelineDepth::Fixed(1),
                 WireFormat::Legacy,
+                None,
             )
             .unwrap_or_else(|e| panic!("{transport:?}/{fault:?}: degrade mode failed: {e}"));
             assert!(outcome.degraded, "{transport:?}/{fault:?}: outcome not marked degraded");
@@ -210,6 +214,7 @@ fn stall_within_budget_recovers_the_exact_healthy_answer() {
             BatchSize::Fixed(1),
             PipelineDepth::Fixed(1),
             WireFormat::Legacy,
+            None,
         )
         .unwrap();
 
@@ -230,6 +235,7 @@ fn stall_within_budget_recovers_the_exact_healthy_answer() {
             BatchSize::Fixed(1),
             PipelineDepth::Fixed(1),
             WireFormat::Legacy,
+            None,
         )
         .unwrap_or_else(|e| panic!("{transport:?}: stall within budget failed: {e}"));
 
@@ -267,6 +273,7 @@ fn strict_wrong_reply_is_a_protocol_violation_naming_the_site() {
         BatchSize::Fixed(1),
         PipelineDepth::Fixed(1),
         WireFormat::Legacy,
+        None,
     );
     assert!(matches!(err, Err(Error::ProtocolViolation { site: 1, .. })), "got {err:?}");
 }
@@ -288,6 +295,7 @@ fn degrade_wrong_reply_quarantines_with_a_protocol_reason() {
         BatchSize::Fixed(1),
         PipelineDepth::Fixed(1),
         WireFormat::Legacy,
+        None,
     )
     .unwrap();
     assert!(outcome.degraded);
@@ -313,6 +321,7 @@ fn fault_on_first_contact_is_caught() {
         BatchSize::Fixed(1),
         PipelineDepth::Fixed(1),
         WireFormat::Legacy,
+        None,
     );
     assert!(matches!(err, Err(Error::ProtocolViolation { site: 0, .. })), "got {err:?}");
 }
@@ -335,6 +344,7 @@ fn healthy_budget_large_enough_means_success() {
         BatchSize::Fixed(1),
         PipelineDepth::Fixed(1),
         WireFormat::Legacy,
+        None,
     )
     .unwrap();
     assert!(!outcome.skyline.is_empty());
@@ -359,6 +369,7 @@ fn corrupted_survival_values_are_rejected() {
         BatchSize::Fixed(1),
         PipelineDepth::Fixed(1),
         WireFormat::Legacy,
+        None,
     );
     assert!(
         matches!(
@@ -445,6 +456,7 @@ fn killing_a_site_mid_query_is_site_failed_under_strict() {
             BatchSize::Fixed(1),
             PipelineDepth::Fixed(1),
             WireFormat::Legacy,
+            None,
         );
         match err {
             Err(Error::SiteFailed { site: 1, .. }) => {}
@@ -468,6 +480,7 @@ fn killing_a_site_mid_query_degrades_and_names_it() {
             BatchSize::Fixed(1),
             PipelineDepth::Fixed(1),
             WireFormat::Legacy,
+            None,
         )
         .unwrap_or_else(|e| panic!("{transport:?}: degrade mode failed: {e}"));
         assert!(outcome.degraded, "{transport:?}: outcome not marked degraded");
@@ -503,6 +516,7 @@ fn retry_accounting_is_identical_across_pool_sizes_and_transports() {
             BatchSize::Fixed(1),
             PipelineDepth::Fixed(1),
             WireFormat::Legacy,
+            None,
         )
         .unwrap();
         threadpool::set_pool_size(0);
@@ -522,5 +536,88 @@ fn retry_accounting_is_identical_across_pool_sizes_and_transports() {
     for transport in [Transport::Threaded, Transport::Tcp] {
         assert_eq!(run_once(1, transport), reference, "{transport:?} diverged");
         assert_eq!(run_once(8, transport), reference, "{transport:?} at pool 8 diverged");
+    }
+}
+
+// --- a site killed mid-served-query ---------------------------------------
+
+/// The session-layer version of the mid-query kill: a seeded fault plan
+/// kills a site while the `dsud serve` session machinery is executing a
+/// query. Under `FailurePolicy::Degrade` the victim query is stamped
+/// `degraded` and names its quarantined site, and — once the fault
+/// windows drain — the *same served query* comes back bit-identical to a
+/// deployment that never faulted. Sequential and fully deterministic:
+/// each query advances the per-link attempt ordinals, so which query dies
+/// is a pure function of the seed.
+#[test]
+fn site_killed_mid_served_query_degrades_then_recovers_exactly() {
+    // First seed whose plans beat the retry budget outright: a hard-fault
+    // window at least `retry_budget + 1` attempts long swallows one whole
+    // request, so its owning query sees the site fail mid-flight.
+    let attempts = u64::from(LinkConfig::default().retry_budget) + 1;
+    let seed = (1..256)
+        .find(|&seed| {
+            (0..SITES as u32).any(|site| {
+                FaultPlan::seeded(seed, site)
+                    .windows()
+                    .iter()
+                    .any(|w| w.len >= attempts && !matches!(w.kind, FaultKind::Slow(_)))
+            })
+        })
+        .expect("some seed in 1..256 produces a long hard-fault window");
+
+    let reference = {
+        let server = SessionServer::new(
+            Cluster::local(DIMS, site_data()).expect("cluster builds"),
+            SessionOptions::default(),
+        );
+        let cfg = QueryConfig::new(0.3).expect("valid threshold");
+        skyline_fingerprint(&server.run_edsud(&cfg, false).expect("reference runs").outcome)
+    };
+
+    for transport in ALL_TRANSPORTS {
+        let cluster = Cluster::with_transport_chaos(
+            DIMS,
+            site_data(),
+            SiteOptions::default(),
+            Recorder::enabled(),
+            transport,
+            LinkConfig::default(),
+            seed,
+        )
+        .expect("cluster builds");
+        // Cache off so the repeated query always exercises the links.
+        let server = SessionServer::new(
+            cluster,
+            SessionOptions { cache_capacity: 0, ..SessionOptions::default() },
+        );
+        let cfg =
+            QueryConfig::new(0.3).expect("valid threshold").failure_policy(FailurePolicy::Degrade);
+
+        let mut saw_degraded = false;
+        let mut recovered = false;
+        for _ in 0..64 {
+            let outcome = server.run_edsud(&cfg, false).expect("degrade never errors").outcome;
+            if outcome.degraded {
+                saw_degraded = true;
+                assert!(
+                    outcome.sites.iter().any(|s| s.quarantined.is_some()),
+                    "{transport:?}: degraded outcome must name its quarantined site"
+                );
+                assert!(!outcome.skyline.is_empty(), "{transport:?}: degraded skyline empty");
+            } else {
+                assert_eq!(
+                    skyline_fingerprint(&outcome),
+                    reference,
+                    "{transport:?}: non-degraded served answer diverged from clean reference"
+                );
+                if saw_degraded {
+                    recovered = true;
+                    break;
+                }
+            }
+        }
+        assert!(saw_degraded, "{transport:?}: the seeded kill never claimed a victim query");
+        assert!(recovered, "{transport:?}: served queries never recovered the exact answer");
     }
 }

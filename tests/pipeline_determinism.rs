@@ -227,6 +227,7 @@ fn overlapped_refills_cut_round_latency() {
             BatchSize::Fixed(1),
             pipeline,
             wire_from_env(),
+            None,
         )
         .expect("query runs");
         (outcome, started.elapsed())

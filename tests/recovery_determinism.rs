@@ -1,0 +1,351 @@
+//! The recovery contract behind the chaos harness: a site that fails under
+//! a seeded [`FaultPlan`], gets quarantined by heartbeats, reconnects,
+//! resyncs the updates it missed, and rejoins must leave the deployment
+//! answering queries **bit-identically** to one that never failed —
+//! skyline ids, probability bits, and progress order.
+//!
+//! The fault schedule is a pure function of `(seed, site)` keyed on
+//! per-link attempt ordinals, never the wall clock, so the same seed
+//! replays the same quarantine/rejoin transcript on every transport
+//! (inline, threaded, TCP), every wire format (`DSUD_WIRE`), and every
+//! pool size (`DSUD_THREADS`) — which is exactly what lets this test
+//! assert equality instead of mere plausibility.
+
+use dsud_core::update::UpdateOp;
+use dsud_core::{
+    Cluster, FailurePolicy, FaultKind, FaultPlan, LinkConfig, QueryConfig, QueryOutcome, Recorder,
+    SessionOptions, SessionServer, SiteState, Transport, UncertainTuple, WireFormat,
+};
+use dsud_data::WorkloadSpec;
+use dsud_uncertain::{Probability, TupleId};
+
+const N: usize = 800;
+const DIMS: usize = 3;
+const SITES: usize = 5;
+
+/// Wire layout under test: `DSUD_WIRE=columnar|legacy` (legacy default),
+/// same convention as the other determinism suites.
+fn wire_from_env() -> WireFormat {
+    std::env::var("DSUD_WIRE").ok().and_then(|v| v.parse().ok()).unwrap_or_default()
+}
+
+fn sites() -> Vec<Vec<UncertainTuple>> {
+    WorkloadSpec::new(N, DIMS).seed(29).generate_partitioned(SITES).expect("workload generates")
+}
+
+/// What recovery must restore exactly: the skyline (ids, bit-exact
+/// probabilities, report order) and the progress sequence. Traffic is
+/// excluded on purpose — the faulted run legitimately resent frames.
+fn fingerprint(outcome: &QueryOutcome) -> (Vec<(TupleId, u64)>, Vec<(TupleId, u64)>) {
+    (
+        outcome.skyline.iter().map(|e| (e.tuple.id(), e.probability.to_bits())).collect(),
+        outcome.progress.events().iter().map(|e| (e.id, e.probability.to_bits())).collect(),
+    )
+}
+
+/// Picks the first seed whose derived plans can defeat the default retry
+/// budget: some site gets a hard-fault window (timeout / disconnect /
+/// malformed) at least `retry_budget + 1` attempts long, so a heartbeat
+/// probe walking the ordinals one by one is guaranteed to burn its whole
+/// budget inside the window and quarantine the site. Pure function of the
+/// scan range — every matrix combination picks the same seed.
+fn quarantining_seed() -> u64 {
+    let attempts = u64::from(LinkConfig::default().retry_budget) + 1;
+    (1..256)
+        .find(|&seed| {
+            (0..SITES as u32).any(|site| {
+                FaultPlan::seeded(seed, site)
+                    .windows()
+                    .iter()
+                    .any(|w| w.len >= attempts && !matches!(w.kind, FaultKind::Slow(_)))
+            })
+        })
+        .expect("some seed in 1..256 produces a long hard-fault window")
+}
+
+/// Sweeps needed to walk every link's attempt ordinal past its last fault
+/// window: each heartbeat advances every site by at least one attempt.
+fn sweeps_to_drain(seed: u64) -> u64 {
+    let last_end = (0..SITES as u32)
+        .flat_map(|site| FaultPlan::seeded(seed, site).windows().to_vec())
+        .map(|w| w.start + w.len)
+        .max()
+        .unwrap_or(0);
+    last_end + 8
+}
+
+fn query_mix() -> Vec<(QueryConfig, bool)> {
+    [0.25, 0.3, 0.35, 0.4]
+        .iter()
+        .enumerate()
+        .map(|(i, &q)| {
+            let cfg = QueryConfig::new(q)
+                .expect("valid threshold")
+                .failure_policy(FailurePolicy::Degrade)
+                .wire_format(wire_from_env());
+            (cfg, i % 2 == 0)
+        })
+        .collect()
+}
+
+fn serve(server: &SessionServer, cfg: &QueryConfig, edsud: bool) -> QueryOutcome {
+    let answer = if edsud { server.run_edsud(cfg, false) } else { server.run_dsud(cfg, false) }
+        .expect("session query completes");
+    answer.outcome
+}
+
+/// A dominating, high-probability spike homed at `site` — it must appear
+/// in every post-insert skyline, which is how the test proves a deferred
+/// update really reached the rejoining site.
+fn spike(site: u32, seq: u64) -> UncertainTuple {
+    UncertainTuple::new(
+        TupleId::new(site, 1_000_000 + seq),
+        vec![1e-4; DIMS],
+        Probability::new(0.99).expect("valid probability"),
+    )
+    .expect("spike builds")
+}
+
+/// The full lifecycle on one transport: quarantine → deferred updates →
+/// reconnect + resync → rejoin → bit-identical answers.
+fn recovery_is_bit_identical_on(transport: Transport) {
+    let seed = quarantining_seed();
+
+    // Reference: the same data and updates with no faults, ever.
+    let reference = SessionServer::new(
+        Cluster::local(DIMS, sites()).expect("cluster builds"),
+        SessionOptions::default(),
+    );
+
+    let chaos_cluster = Cluster::with_transport_chaos(
+        DIMS,
+        sites(),
+        Default::default(),
+        Recorder::default(),
+        transport,
+        LinkConfig::default(),
+        seed,
+    )
+    .expect("chaos cluster builds");
+    // Manual heartbeats (heartbeat_every: 0) keep the probe schedule in
+    // the test's hands; hair-trigger thresholds make one failed probe a
+    // quarantine and one clean probe a rejoin.
+    let server = SessionServer::new(
+        chaos_cluster,
+        SessionOptions { miss_threshold: 1, probation_probes: 1, ..SessionOptions::default() },
+    );
+
+    // --- Phase 1: heartbeat until the seeded faults quarantine a site ----
+    let mut quarantined: Vec<u32> = Vec::new();
+    for _ in 0..sweeps_to_drain(seed) {
+        let summary = server.heartbeat();
+        quarantined.extend(summary.quarantined.iter().copied());
+        if !quarantined.is_empty() {
+            break;
+        }
+    }
+    assert!(
+        !quarantined.is_empty(),
+        "{transport}: seed {seed} must quarantine at least one site \
+         (the seed scan guarantees a window longer than the retry budget)"
+    );
+    let victim = quarantined[0];
+    assert!(
+        matches!(server.site_states()[victim as usize], SiteState::Quarantined { .. }),
+        "{transport}: site {victim} must report Quarantined"
+    );
+
+    // --- Phase 2: updates while the victim is down --------------------
+    // One homed at the quarantined site (must be deferred and replayed at
+    // rejoin) and one at a healthy site (applies immediately). The
+    // reference applies both right away.
+    let deferred_spike = spike(victim, 0);
+    let live_home = (0..SITES as u32).find(|s| *s != victim).expect("more than one site");
+    let live_spike = spike(live_home, 1);
+    for op in [UpdateOp::Insert(deferred_spike.clone()), UpdateOp::Insert(live_spike.clone())] {
+        reference.apply_update(&op).expect("reference update applies");
+        server.apply_update(&op).expect("chaos-server update is accepted");
+    }
+
+    // A query served during the quarantine may not see the deferred update
+    // — the session layer must say so.
+    let (cfg, edsud) = &query_mix()[0];
+    let mid_outage = serve(&server, cfg, *edsud);
+    assert!(
+        mid_outage.degraded,
+        "{transport}: an answer produced during session quarantine must be stamped degraded"
+    );
+
+    // --- Phase 3: heal — drain every fault window, rejoin everything ----
+    // No early exit: a site that never got quarantined may still have an
+    // undrained window ahead, and a phase-4 query must not walk into it.
+    // Every sweep advances every link's ordinal by at least one, so this
+    // bound provably walks past the last scheduled fault.
+    for _ in 0..sweeps_to_drain(seed) {
+        server.heartbeat();
+    }
+    assert!(
+        server.site_states().iter().all(|s| matches!(s, SiteState::Active)),
+        "{transport}: every site must be Active after the fault windows drain, got {:?}",
+        server.site_states()
+    );
+    let stats = server.stats();
+    assert!(stats.quarantines >= 1, "{transport}: lifecycle must record the quarantine");
+    assert!(stats.rejoins >= 1, "{transport}: the victim must rejoin");
+    assert!(
+        stats.resync_ops >= 1,
+        "{transport}: the update deferred for site {victim} must be replayed at rejoin"
+    );
+    assert!(stats.heartbeat_misses >= 1, "{transport}: the probes that failed are counted");
+
+    // --- Phase 4: recovered answers are bit-identical to never-failed ---
+    for (i, (cfg, edsud)) in query_mix().iter().enumerate() {
+        let want = serve(&reference, cfg, *edsud);
+        let got = serve(&server, cfg, *edsud);
+        assert!(!got.degraded, "{transport} query {i}: recovered answers are exact, not degraded");
+        assert!(!got.cancelled, "{transport} query {i}: no deadline was set");
+        assert_eq!(
+            fingerprint(&got),
+            fingerprint(&want),
+            "{transport} query {i}: post-recovery answer diverged from the never-failed run"
+        );
+        assert!(
+            got.skyline.iter().any(|e| e.tuple.id() == deferred_spike.id()),
+            "{transport} query {i}: the update deferred during the outage must be in the answer"
+        );
+        assert!(
+            got.skyline.iter().any(|e| e.tuple.id() == live_spike.id()),
+            "{transport} query {i}: the live update must be in the answer"
+        );
+    }
+}
+
+#[test]
+fn recovery_is_bit_identical_inline() {
+    recovery_is_bit_identical_on(Transport::Inline);
+}
+
+#[test]
+fn recovery_is_bit_identical_threaded() {
+    recovery_is_bit_identical_on(Transport::Threaded);
+}
+
+#[test]
+fn recovery_is_bit_identical_tcp() {
+    recovery_is_bit_identical_on(Transport::Tcp);
+}
+
+/// A deadline of zero cancels at the first round boundary: the outcome is
+/// stamped, counted, and never cached — and the same query without a
+/// deadline still computes the full exact answer afterwards.
+#[test]
+fn deadline_cancels_cleanly_and_is_never_cached() {
+    let server = SessionServer::new(
+        Cluster::local(DIMS, sites()).expect("cluster builds"),
+        SessionOptions::default(),
+    );
+    let base = QueryConfig::new(0.3).expect("valid threshold").wire_format(wire_from_env());
+
+    let cancelled = server.run_edsud(&base.clone().deadline(0), false).expect("query completes");
+    assert!(cancelled.outcome.cancelled, "a zero deadline cancels at the first round boundary");
+    assert_eq!(server.stats().cancelled, 1);
+
+    // The partial answer must not have been cached: the same key without a
+    // deadline recomputes and yields the full exact answer.
+    let full = server.run_edsud(&base, false).expect("query completes");
+    assert!(!full.cache_hit, "a cancelled outcome must never enter the cache");
+    assert!(!full.outcome.cancelled);
+    let reference =
+        Cluster::local(DIMS, sites()).expect("cluster builds").run_edsud(&base).expect("runs");
+    assert_eq!(fingerprint(&full.outcome), fingerprint(&reference));
+}
+
+/// The op log is bounded: quarantine a site, push more updates than the
+/// log retains, and the rejoin falls back to the bootstrap path. Deferred
+/// ops evicted from the log are gone — they were never injected into any
+/// tree, and no bootstrap can resurrect them (this is exactly why
+/// OPERATIONS.md says to size `op_log_capacity` above the worst outage's
+/// update volume). What the lifecycle *does* guarantee: the retained tail
+/// replays, every site rejoins, and answers match a reference that saw
+/// the same surviving updates.
+#[test]
+fn truncated_op_log_rejoin_still_converges() {
+    let seed = quarantining_seed();
+    let reference = SessionServer::new(
+        Cluster::local(DIMS, sites()).expect("cluster builds"),
+        SessionOptions::default(),
+    );
+    let chaos_cluster = Cluster::with_transport_chaos(
+        DIMS,
+        sites(),
+        Default::default(),
+        Recorder::default(),
+        Transport::Inline,
+        LinkConfig::default(),
+        seed,
+    )
+    .expect("chaos cluster builds");
+    let server = SessionServer::new(
+        chaos_cluster,
+        SessionOptions {
+            miss_threshold: 1,
+            probation_probes: 1,
+            // Small enough that the outage's updates overflow it.
+            op_log_capacity: 2,
+            ..SessionOptions::default()
+        },
+    );
+
+    let mut quarantined: Vec<u32> = Vec::new();
+    for _ in 0..sweeps_to_drain(seed) {
+        quarantined.extend(server.heartbeat().quarantined.iter().copied());
+        if !quarantined.is_empty() {
+            break;
+        }
+    }
+    let victim = *quarantined.first().expect("the seeded plan quarantines a site");
+
+    // Four spikes homed at the victim, all deferred: capacity 2 retains
+    // only the last two, so the replay is provably incomplete and the
+    // rejoin must take the bootstrap path. The reference applies only the
+    // two updates that survive the truncation.
+    for seq in 0..4u64 {
+        let op = UpdateOp::Insert(spike(victim, seq));
+        if seq >= 2 {
+            reference.apply_update(&op).expect("reference update applies");
+        }
+        server.apply_update(&op).expect("chaos-server update is accepted");
+    }
+
+    for _ in 0..sweeps_to_drain(seed) {
+        server.heartbeat();
+    }
+    assert!(
+        server.site_states().iter().all(|s| matches!(s, SiteState::Active)),
+        "all sites must rejoin, got {:?}",
+        server.site_states()
+    );
+    assert!(server.stats().resync_ops >= 2, "the retained tail must replay");
+
+    let (cfg, edsud) = &query_mix()[1];
+    let want = serve(&reference, cfg, *edsud);
+    let got = serve(&server, cfg, *edsud);
+    assert!(!got.degraded);
+    assert_eq!(
+        fingerprint(&got),
+        fingerprint(&want),
+        "post-bootstrap answers must match a run that saw the surviving updates"
+    );
+    for seq in 2..4u64 {
+        assert!(
+            got.skyline.iter().any(|e| e.tuple.id() == spike(victim, seq).id()),
+            "retained spike {seq} must be replayed at rejoin"
+        );
+    }
+    for seq in 0..2u64 {
+        assert!(
+            !got.skyline.iter().any(|e| e.tuple.id() == spike(victim, seq).id()),
+            "evicted spike {seq} is lost — the documented truncation semantics"
+        );
+    }
+}

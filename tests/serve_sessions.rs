@@ -17,8 +17,8 @@ use std::sync::Arc;
 
 use dsud_core::update::UpdateOp;
 use dsud_core::{
-    Cluster, QueryConfig, QueryOutcome, Recorder, SessionOptions, SessionServer, SiteOptions,
-    Transport, UncertainTuple, WireFormat,
+    Cluster, FailurePolicy, FaultKind, FaultPlan, LinkConfig, QueryConfig, QueryOutcome, Recorder,
+    SessionOptions, SessionServer, SiteOptions, SiteState, Transport, UncertainTuple, WireFormat,
 };
 
 /// Wire layout under test: `DSUD_WIRE=columnar|legacy` (legacy default),
@@ -84,7 +84,10 @@ fn session_server(transport: Transport, max_concurrent: usize, cache: usize) -> 
         transport,
     )
     .expect("cluster builds");
-    SessionServer::new(cluster, SessionOptions { max_concurrent, cache_capacity: cache })
+    SessionServer::new(
+        cluster,
+        SessionOptions { max_concurrent, cache_capacity: cache, ..SessionOptions::default() },
+    )
 }
 
 /// 8 queries admitted concurrently (the full admission width) against one
@@ -253,6 +256,159 @@ fn update_between_queries_invalidates_the_cache() {
     let stats = server.stats();
     assert_eq!(stats.updates_applied, 2);
     assert!(stats.cache_invalidated >= 2, "both updates dropped a cached answer");
+}
+
+/// Answer-only identity for the faulted-site test: skyline and progress,
+/// bit for bit, but not traffic — a retried request legitimately resends
+/// frames without changing the answer.
+fn answer_fingerprint(outcome: &QueryOutcome) -> (Vec<(TupleId, u64)>, Vec<(TupleId, u64)>) {
+    let skyline: Vec<(TupleId, u64)> =
+        outcome.skyline.iter().map(|e| (e.tuple.id(), e.probability.to_bits())).collect();
+    let progress: Vec<(TupleId, u64)> =
+        outcome.progress.events().iter().map(|e| (e.id, e.probability.to_bits())).collect();
+    (skyline, progress)
+}
+
+/// First seed whose derived fault plans can kill a site outright: some
+/// site gets a hard-fault window at least `retry_budget + 1` attempts
+/// long, so one request burns its whole retry budget inside the window
+/// and the owning query sees the site fail. Pure in the scan range, so
+/// every transport picks the same seed.
+fn killing_seed() -> u64 {
+    let attempts = u64::from(LinkConfig::default().retry_budget) + 1;
+    (1..256)
+        .find(|&seed| {
+            (0..SITES as u32).any(|site| {
+                FaultPlan::seeded(seed, site)
+                    .windows()
+                    .iter()
+                    .any(|w| w.len >= attempts && !matches!(w.kind, FaultKind::Slow(_)))
+            })
+        })
+        .expect("some seed in 1..256 produces a long hard-fault window")
+}
+
+/// A site killed while the server is mid-way through serving a concurrent
+/// wave of queries: the query whose request dies inside the fault window
+/// comes back stamped `degraded`, every other outcome is bit-identical to
+/// the clean reference, and nothing panics, hangs, or silently lies.
+/// Afterwards heartbeats walk the site back to Active and the deployment
+/// serves exact answers again.
+#[test]
+fn site_killed_mid_served_query_degrades_victim_without_poisoning_neighbours() {
+    let seed = killing_seed();
+    let references: Vec<_> = MIX.iter().map(|&(q, edsud)| one_shot(q, edsud)).collect();
+
+    for transport in [Transport::Inline, Transport::Threaded, Transport::Tcp] {
+        let cluster = Cluster::with_transport_chaos(
+            DIMS,
+            sites(),
+            SiteOptions::default(),
+            Recorder::default(),
+            transport,
+            LinkConfig::default(),
+            seed,
+        )
+        .expect("cluster builds");
+        // Cache off: a pre-fault exact answer must not shadow later waves.
+        let server = Arc::new(SessionServer::new(
+            cluster,
+            SessionOptions {
+                max_concurrent: MIX.len(),
+                cache_capacity: 0,
+                ..SessionOptions::default()
+            },
+        ));
+
+        // Two concurrent waves: enough link attempts to walk every site's
+        // ordinal stream through its seeded windows.
+        let mut degraded = 0usize;
+        for wave in 0..2 {
+            let outcomes: Vec<QueryOutcome> = std::thread::scope(|s| {
+                let handles: Vec<_> = MIX
+                    .iter()
+                    .map(|&(q, edsud)| {
+                        let server = Arc::clone(&server);
+                        s.spawn(move || {
+                            let config = QueryConfig::new(q)
+                                .expect("valid threshold")
+                                .failure_policy(FailurePolicy::Degrade)
+                                .wire_format(wire_from_env());
+                            let answer = if edsud {
+                                server.run_edsud(&config, false)
+                            } else {
+                                server.run_dsud(&config, false)
+                            }
+                            .expect("a killed site degrades, it never errors under Degrade");
+                            answer.outcome
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("query thread joins")).collect()
+            });
+
+            for (i, outcome) in outcomes.iter().enumerate() {
+                let (q, edsud) = MIX[i];
+                if outcome.degraded {
+                    // The victim: a named quarantine and a usable partial
+                    // answer, never an empty or corrupt one.
+                    degraded += 1;
+                    assert!(
+                        outcome.sites.iter().any(|s| s.quarantined.is_some()),
+                        "{transport} wave {wave} q={q} edsud={edsud}: degraded outcome \
+                         must name a quarantined site"
+                    );
+                    assert!(
+                        !outcome.skyline.is_empty(),
+                        "{transport} wave {wave} q={q} edsud={edsud}: degraded skyline empty"
+                    );
+                } else {
+                    assert_eq!(
+                        answer_fingerprint(outcome),
+                        answer_fingerprint(&references[i]),
+                        "{transport} wave {wave} q={q} edsud={edsud}: non-degraded outcome \
+                         diverged from the clean reference"
+                    );
+                }
+            }
+        }
+        assert!(degraded >= 1, "{transport}: the seeded kill never claimed a victim");
+
+        // Drain the remaining fault windows with heartbeats (each sweep
+        // advances every link by at least one attempt), then verify the
+        // deployment is whole again: all sites Active, answers exact.
+        let last_end = (0..SITES as u32)
+            .flat_map(|site| FaultPlan::seeded(seed, site).windows().to_vec())
+            .map(|w| w.start + w.len)
+            .max()
+            .unwrap_or(0);
+        for _ in 0..last_end + 8 {
+            server.heartbeat();
+        }
+        assert!(
+            server.site_states().iter().all(|s| matches!(s, SiteState::Active)),
+            "{transport}: sites not all Active after draining the fault plan: {:?}",
+            server.site_states()
+        );
+        for (i, &(q, edsud)) in MIX.iter().enumerate() {
+            let config = QueryConfig::new(q)
+                .expect("valid threshold")
+                .failure_policy(FailurePolicy::Degrade)
+                .wire_format(wire_from_env());
+            let answer = if edsud {
+                server.run_edsud(&config, false)
+            } else {
+                server.run_dsud(&config, false)
+            }
+            .expect("healed query runs");
+            assert!(!answer.outcome.degraded, "{transport} q={q} edsud={edsud}: still degraded");
+            assert_eq!(
+                answer_fingerprint(&answer.outcome),
+                answer_fingerprint(&references[i]),
+                "{transport} q={q} edsud={edsud}: healed answer diverged"
+            );
+        }
+    }
 }
 
 /// A width-1 admission gate fully serializes concurrent queries without

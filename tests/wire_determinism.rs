@@ -191,8 +191,10 @@ fn served_sessions_answer_identically_under_both_wire_layouts() {
     let cluster =
         Cluster::with_transport(DIMS, data, options, Recorder::default(), Transport::Threaded)
             .expect("cluster builds");
-    let server =
-        SessionServer::new(cluster, SessionOptions { max_concurrent: 4, cache_capacity: 0 });
+    let server = SessionServer::new(
+        cluster,
+        SessionOptions { max_concurrent: 4, cache_capacity: 0, ..SessionOptions::default() },
+    );
 
     for (q, edsud) in [(0.2, false), (0.3, true), (0.4, false), (0.5, true)] {
         let expected = one_shot(q, edsud);
