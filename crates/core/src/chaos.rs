@@ -208,7 +208,10 @@ pub fn soak(
     // window longer than the retry budget is guaranteed to swallow a whole
     // probe), bounded by the last scheduled fault. Seeds whose plans never
     // defeat the retry budget simply drain here and soak fault-free —
-    // `last_fault_attempt` makes the bound pure in the seed.
+    // `last_fault_attempt` makes the bound pure in the seed. Stopping at
+    // the first quarantine deliberately leaves other sites' windows
+    // pending: the soak below absorbs them as degraded outcomes (queries)
+    // or quarantine-and-defer (updates), never as errors.
     let last_fault = last_fault_attempt(opts.seed, site_count);
     for _ in 0..last_fault {
         if !server.site_states().iter().all(|s| matches!(s, SiteState::Active)) {
@@ -223,8 +226,14 @@ pub fn soak(
     for i in 0..opts.queries {
         if opts.update_every > 0 && i > 0 && i % opts.update_every == 0 {
             let op = update_at(updates_applied, opts.seed, site_count, dims);
-            // The reference applies immediately; the chaos server may
-            // defer it behind a quarantine and replay it at rejoin.
+            // The reference applies immediately. The chaos server may
+            // defer the op behind a quarantine — or, when the inject
+            // itself defeats the retry budget on a still-Active home site
+            // (a seeded window the pre-soak probes never reached), it
+            // quarantines the site and defers just the same. Either way
+            // the op replays at rejoin and apply_update reports success,
+            // so a fault here degrades later outcomes instead of aborting
+            // the soak.
             reference.apply_update(&op)?;
             server.apply_update(&op)?;
             updates_applied += 1;

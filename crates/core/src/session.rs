@@ -57,7 +57,11 @@
 //!   probes it rejoins as Active ([`dsud_obs::Counter::Rejoins`]).
 //! * **Resync** — [`SessionServer::apply_update`] appends every update to
 //!   a bounded, epoch-numbered op log; updates homed at a quarantined site
-//!   are *deferred* (logged but not injected). At rejoin the server
+//!   are *deferred* (logged but not injected), and an inject that defeats
+//!   the retry budget quarantines the home site and defers the same way —
+//!   stamped one epoch before the op, so the replay covers it (injects
+//!   are idempotent at the site, making re-delivery safe even when only
+//!   the reply was lost). At rejoin the server
 //!   replays the site's missed ops through the existing
 //!   [`Maintainer::apply_local_only`] path
 //!   ([`dsud_obs::Counter::ResyncOps`] per op), after which queries are
@@ -583,7 +587,15 @@ impl SessionServer {
             failure: config.failure,
         };
 
-        if let Some(cached) = self.cache.lock().unwrap_or_else(PoisonError::into_inner).get(&key) {
+        // Copy the cached answer out in its own statement so the cache
+        // guard drops here: note_served() below can run a whole heartbeat
+        // sweep, and a probe that moves a quarantined site into probation
+        // resyncs it — which re-locks the cache to invalidate it. Holding
+        // the guard across that path would self-deadlock (and even a
+        // fault-free sweep would block every concurrent query behind the
+        // cache lock for the duration of the probes).
+        let cached = self.cache.lock().unwrap_or_else(PoisonError::into_inner).get(&key);
+        if let Some(cached) = cached {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
             self.note_served();
             recorder.incr(Counter::CacheHits);
@@ -699,12 +711,17 @@ impl SessionServer {
     /// log first. If the home site is quarantined the injection is
     /// *deferred*: the op stays in the log and is replayed when the site
     /// rejoins (see the module docs), so a flapping site never turns an
-    /// update into an error.
+    /// update into an error. An inject that defeats the whole retry budget
+    /// on a still-Active home site is handled the same way: the site is
+    /// quarantined on the spot (stamped one epoch before this op, so the
+    /// rejoin resync replays it) and the update reports success as a
+    /// deferral — by then the op is already part of the server's history,
+    /// and injects are idempotent at the site, so a request that executed
+    /// with only its reply lost is safe to re-deliver.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::SiteFailed`] if the home site's link fails, or
-    /// [`Error::InvalidArgument`] for an out-of-range home site.
+    /// Returns [`Error::InvalidArgument`] for an out-of-range home site.
     pub fn apply_update(&self, op: &UpdateOp) -> Result<(), Error> {
         let home = op.site() as usize;
         if home >= self.shared.len() {
@@ -730,15 +747,38 @@ impl SessionServer {
             // Same semantics as `Maintainer::apply_local_only`: the site's
             // tree changes; the maintenance notification (if any) is the
             // metered reply.
-            self.shared[home]
-                .lock()
-                .call(inject)
-                .map_err(|e| Error::SiteFailed { site: home as u32, source: e })?;
-            self.updates_applied.fetch_add(1, Ordering::Relaxed);
+            match self.shared[home].lock().call(inject) {
+                Ok(_) => {
+                    self.updates_applied.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) => {
+                    // The whole retry budget failed. The op already sits in
+                    // the log at `epoch`, so an error return would strand
+                    // it: any later quarantine stamps an epoch >= `epoch`
+                    // and the rejoin replay (epochs strictly after the
+                    // stamp) would skip this op forever. Instead quarantine
+                    // the home site now, stamped one epoch back, so its
+                    // resync starts at `epoch - 1` and re-delivers exactly
+                    // this op — safe even if the inject executed at the
+                    // site with only the reply lost, because injects are
+                    // idempotent (duplicate inserts and missing deletes
+                    // ack as no-ops).
+                    let mut lifecycle =
+                        self.lifecycle.lock().unwrap_or_else(PoisonError::into_inner);
+                    lifecycle.set_epoch(epoch - 1);
+                    lifecycle.quarantine(home, QuarantineReason::Transport(e));
+                    lifecycle.set_epoch(epoch);
+                    drop(lifecycle);
+                    self.quarantines.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
 
-        // Invalidate on deferral too: the accepted update is now part of
-        // the server's history even though the tree change is pending.
+        // Invalidate on deferral and inject failure too: the accepted
+        // update is now part of the server's history even though the tree
+        // change is pending — and a failed inject may still have executed
+        // at the site with the reply lost, so cached answers cannot be
+        // trusted either way.
         let dropped = self.cache.lock().unwrap_or_else(PoisonError::into_inner).clear();
         self.cache_invalidated.fetch_add(dropped, Ordering::Relaxed);
         Ok(())

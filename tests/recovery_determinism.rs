@@ -349,3 +349,226 @@ fn truncated_op_log_rejoin_still_converges() {
         );
     }
 }
+
+/// Seed + victim whose plan is exactly one hard window at least as long
+/// as the full attempt budget (initial try + retries). Heartbeats advance
+/// a healthy link's ordinal one attempt per sweep, so the test can walk
+/// the victim to the window's edge and guarantee the *next* call burns
+/// its whole retry budget inside it.
+fn inject_defeating_seed() -> (u64, u32, u64) {
+    let attempts = u64::from(LinkConfig::default().retry_budget) + 1;
+    for seed in 1..4096u64 {
+        for site in 0..SITES as u32 {
+            let windows = FaultPlan::seeded(seed, site).windows().to_vec();
+            if windows.len() == 1
+                && windows[0].len >= attempts
+                && !matches!(windows[0].kind, FaultKind::Slow(_))
+            {
+                return (seed, site, windows[0].start);
+            }
+        }
+    }
+    panic!("no seed in 1..4096 derives a single hard window longer than the retry budget");
+}
+
+/// An update whose inject defeats the whole retry budget on a
+/// still-Active home site must not strand the op: `apply_update` reports
+/// a deferral (not an error), quarantines the site stamped one epoch
+/// *before* the op, and the rejoin resync re-delivers exactly that op —
+/// so post-recovery answers are bit-identical to a reference that applied
+/// it directly. An error return would leave the op in the log below any
+/// later quarantine stamp, silently excluded from every replay.
+#[test]
+fn failed_inject_defers_quarantines_and_replays_at_rejoin() {
+    let (seed, victim, window_start) = inject_defeating_seed();
+
+    let reference = SessionServer::new(
+        Cluster::local(DIMS, sites()).expect("cluster builds"),
+        SessionOptions::default(),
+    );
+    let chaos_cluster = Cluster::with_transport_chaos(
+        DIMS,
+        sites(),
+        Default::default(),
+        Recorder::default(),
+        Transport::Inline,
+        LinkConfig::default(),
+        seed,
+    )
+    .expect("chaos cluster builds");
+    let server = SessionServer::new(
+        chaos_cluster,
+        SessionOptions { miss_threshold: 1, probation_probes: 1, ..SessionOptions::default() },
+    );
+
+    // Walk the victim's attempt ordinal to the window's edge: every
+    // pre-window probe succeeds and advances the link by exactly one
+    // attempt, so the inject below starts at `window_start` and fails
+    // every attempt of its budget.
+    for _ in 1..window_start {
+        server.heartbeat();
+    }
+    assert!(
+        matches!(server.site_states()[victim as usize], SiteState::Active),
+        "victim must still be Active at the window's edge (its only window lies ahead)"
+    );
+
+    let stranded = spike(victim, 7);
+    let op = UpdateOp::Insert(stranded.clone());
+    reference.apply_update(&op).expect("reference update applies");
+    server.apply_update(&op).expect("a failed inject must defer the op, not error");
+    assert!(
+        matches!(server.site_states()[victim as usize], SiteState::Quarantined { .. }),
+        "the failed inject must quarantine the home site on the spot"
+    );
+    let stats = server.stats();
+    assert_eq!(stats.updates_applied, 0, "the op was deferred, never counted as applied");
+    assert!(stats.quarantines >= 1, "the inject-failure quarantine must be counted");
+
+    // Heal: drain the fault window, rejoin, and replay the stranded op.
+    for _ in 0..sweeps_to_drain(seed) {
+        server.heartbeat();
+    }
+    assert!(
+        server.site_states().iter().all(|s| matches!(s, SiteState::Active)),
+        "every site must rejoin after the window drains, got {:?}",
+        server.site_states()
+    );
+    assert!(
+        server.stats().resync_ops >= 1,
+        "the op whose inject failed must be replayed at rejoin \
+         (the quarantine is stamped one epoch before it)"
+    );
+
+    for (i, (cfg, edsud)) in query_mix().iter().enumerate() {
+        let want = serve(&reference, cfg, *edsud);
+        let got = serve(&server, cfg, *edsud);
+        assert!(!got.degraded, "query {i}: recovered answers are exact");
+        assert_eq!(
+            fingerprint(&got),
+            fingerprint(&want),
+            "query {i}: post-recovery answer diverged from a run that applied the op directly"
+        );
+        assert!(
+            got.skyline.iter().any(|e| e.tuple.id() == stranded.id()),
+            "query {i}: the op stranded by the failed inject must be in the answer"
+        );
+    }
+}
+
+/// Candidate `(seed, victim)` pairs for the cache-hit deadlock scenario:
+/// the victim has a single hard window that defeats the retry budget,
+/// starting at least `min_start` attempts in (so a small cached query can
+/// complete underneath it), and every other site's windows are survivable
+/// (short enough for retries, or merely slow), so the cached query is not
+/// degraded by a bystander.
+fn cache_hit_scenario_seeds(min_start: u64, want: usize) -> Vec<(u64, u32)> {
+    let budget = u64::from(LinkConfig::default().retry_budget);
+    let survivable =
+        |w: &dsud_core::FaultWindow| w.len <= budget || matches!(w.kind, FaultKind::Slow(_));
+    let mut out = Vec::new();
+    for seed in 1..65536u64 {
+        for victim in 0..SITES as u32 {
+            let windows = FaultPlan::seeded(seed, victim).windows().to_vec();
+            let victim_ok = windows.len() == 1
+                && windows[0].len > budget
+                && windows[0].start >= min_start
+                && !matches!(windows[0].kind, FaultKind::Slow(_));
+            let others_ok = (0..SITES as u32)
+                .filter(|s| *s != victim)
+                .all(|s| FaultPlan::seeded(seed, s).windows().iter().all(survivable));
+            if victim_ok && others_ok {
+                out.push((seed, victim));
+                if out.len() == want {
+                    return out;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// One run of the cache-hit recovery scenario; `true` when the seed
+/// played out: a clean query was cached, heartbeat sweeps triggered by
+/// *cache-hit* serves quarantined the victim and later moved it to
+/// probation (the resync path), and the cluster walked back to Active.
+fn cache_hit_recovery_scenario(seed: u64, victim: u32) -> bool {
+    let chaos_cluster = Cluster::with_transport_chaos(
+        DIMS,
+        sites(),
+        Default::default(),
+        Recorder::default(),
+        Transport::Inline,
+        LinkConfig::default(),
+        seed,
+    )
+    .expect("chaos cluster builds");
+    // heartbeat_every: 1 is the chaos soak's configuration — every served
+    // query, cache hits included, runs a full sweep.
+    let server = SessionServer::new(
+        chaos_cluster,
+        SessionOptions {
+            heartbeat_every: 1,
+            miss_threshold: 1,
+            probation_probes: 1,
+            ..SessionOptions::default()
+        },
+    );
+    // A progressive top-k query keeps the per-link call count small, so
+    // it finishes (and is cached) before the victim's fault window opens.
+    let cfg = QueryConfig::new(0.3)
+        .expect("valid threshold")
+        .limit(3)
+        .failure_policy(FailurePolicy::Degrade)
+        .wire_format(wire_from_env());
+    let first = server.run_dsud(&cfg, false).expect("first query completes");
+    if first.outcome.degraded {
+        // The query walked into a window after all: not cacheable, the
+        // scenario cannot start — try the next candidate seed.
+        return false;
+    }
+
+    // Every serve from here hits the cache (nothing invalidates it until
+    // the resync itself), so each one's heartbeat sweep runs off the
+    // cache-hit path — the exact path that used to hold the cache lock
+    // through probe/resync and self-deadlock on the resync's cache clear.
+    let mut probation_under_cache_hit = false;
+    for _ in 0..sweeps_to_drain(seed) + 8 {
+        let before = server.site_states();
+        let out = server.run_dsud(&cfg, false).expect("serve completes");
+        let after = server.site_states();
+        let probation_began = matches!(before[victim as usize], SiteState::Quarantined { .. })
+            && !matches!(after[victim as usize], SiteState::Quarantined { .. });
+        if out.cache_hit && probation_began {
+            probation_under_cache_hit = true;
+        }
+        if probation_under_cache_hit && after.iter().all(|s| matches!(s, SiteState::Active)) {
+            assert!(server.stats().rejoins >= 1, "seed {seed}: the victim must rejoin");
+            assert!(server.stats().cache_hits >= 1, "seed {seed}: the driver serves from cache");
+            return true;
+        }
+    }
+    false
+}
+
+/// REVIEW regression: a heartbeat sweep scheduled by a *cache-hit* serve
+/// must be able to resync a recovering site. The cache-hit path used to
+/// hold the result-cache lock through `note_served()`, so the resync's
+/// own cache invalidation re-locked the same mutex on the same thread
+/// and hung the daemon. With the guard dropped before the sweep, the
+/// full quarantine → probation(resync) → rejoin cycle completes while
+/// every driving query is served from cache.
+#[test]
+fn cache_hit_heartbeat_resync_does_not_deadlock() {
+    let candidates = cache_hit_scenario_seeds(12, 12);
+    assert!(!candidates.is_empty(), "the seed scan must yield candidate fault plans");
+    for (seed, victim) in &candidates {
+        if cache_hit_recovery_scenario(*seed, *victim) {
+            return;
+        }
+    }
+    panic!(
+        "no candidate seed completed the cache-hit recovery scenario \
+         (candidates tried: {candidates:?})"
+    );
+}
