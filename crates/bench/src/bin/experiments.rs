@@ -308,6 +308,9 @@ fn reports() {
         report.batch_size = Some(config.batch.name());
         report.pipeline = Some(config.pipeline.name());
         report.wire = Some(config.wire.as_str().to_string());
+        report.topology = Some(dsud_core::Topology::Flat.to_string());
+        report.agg_depth = Some(cluster.plan().depth());
+        report.root_fanout = Some(cluster.plan().root_fanout());
         let path = PathBuf::from(format!("BENCH_{name}.json"));
         let json = serde_json::to_string_pretty(&report).expect("reports serialize");
         fs::write(&path, json).expect("can write run report");
@@ -761,6 +764,109 @@ fn wire() {
     dump_json("wire_kernel", &kernel_rows);
 }
 
+/// Tree-of-coordinators topology: root-link frames, bytes, and
+/// wall-clock for flat vs tree:4 vs tree:8 at m ∈ {16, 64, 256}, every
+/// hop served through a 2 ms `DelayedService`
+/// (`DSUD_PIPELINE_DELAY_MS` overrides). The skyline is asserted
+/// bit-identical at every fanout — aggregators merge frames, never fold
+/// survival products — and at m = 64 both trees must cut root-link
+/// frames by at least 2x, which is the whole point of the layer.
+fn topology() {
+    use std::time::{Duration, Instant};
+
+    use dsud_core::{Cluster, LinkConfig, QueryConfig, Recorder, SiteOptions, Topology, Transport};
+
+    let delay_ms = std::env::var("DSUD_PIPELINE_DELAY_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(2);
+    let delay = Duration::from_millis(delay_ms);
+    // The table sweeps to m = 256 threaded sites with a per-hop pause, so
+    // it runs at a reduced cardinality regardless of DSUD_SCALE_N.
+    let n = scale_n().min(8_000);
+    println!("\n== Topology: root fan-out flat vs tree, {delay_ms} ms/hop, N={n}, q=0.3 ==");
+
+    #[derive(Serialize)]
+    struct Row {
+        m: usize,
+        topology: String,
+        root_links: usize,
+        depth: u32,
+        messages: u64,
+        bytes: u64,
+        wall_ms: f64,
+        answers: usize,
+    }
+    let mut rows = Vec::new();
+    println!(
+        "{:<6} {:<8} {:>10} {:>6} {:>10} {:>14} {:>10} {:>9}",
+        "m", "topology", "root links", "depth", "messages", "bytes", "wall(ms)", "answers"
+    );
+    for m in [16usize, 64, 256] {
+        let spec = ExpSpec { m, n, ..ExpSpec::table3_defaults() };
+        let mut reference: Option<(Vec<(u64, u64)>, u64)> = None;
+        for topo in [Topology::Flat, Topology::Tree(4), Topology::Tree(8)] {
+            let mut cluster = Cluster::with_topology_delayed(
+                spec.d,
+                spec.generate(0),
+                SiteOptions::default(),
+                Recorder::default(),
+                Transport::Threaded,
+                LinkConfig::default(),
+                topo,
+                delay,
+            )
+            .expect("experiment clusters are valid");
+            let config = QueryConfig::new(spec.q).expect("experiment thresholds are valid");
+            let started = Instant::now();
+            let outcome = cluster.run_dsud(&config).expect("experiment queries succeed");
+            let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+            let answer: Vec<(u64, u64)> = outcome
+                .skyline
+                .iter()
+                .map(|e| (e.tuple.id().seq, e.probability.to_bits()))
+                .collect();
+            let total = outcome.traffic.total();
+            match &reference {
+                None => reference = Some((answer, total.messages)),
+                Some((flat_answer, flat_messages)) => {
+                    assert_eq!(&answer, flat_answer, "m={m}: topology {topo} changed the answer");
+                    if m == 64 {
+                        assert!(
+                            total.messages * 2 <= *flat_messages,
+                            "m=64: {topo} shipped {} root-link frames vs {} flat (need 2x cut)",
+                            total.messages,
+                            flat_messages
+                        );
+                    }
+                }
+            }
+            println!(
+                "{:<6} {:<8} {:>10} {:>6} {:>10} {:>14} {:>10.1} {:>9}",
+                m,
+                topo.to_string(),
+                cluster.plan().root_fanout(),
+                cluster.plan().depth(),
+                total.messages,
+                total.bytes,
+                wall_ms,
+                outcome.skyline.len()
+            );
+            rows.push(Row {
+                m,
+                topology: topo.to_string(),
+                root_links: cluster.plan().root_fanout(),
+                depth: cluster.plan().depth(),
+                messages: total.messages,
+                bytes: total.bytes,
+                wall_ms,
+                answers: outcome.skyline.len(),
+            });
+        }
+    }
+    dump_json("topology", &rows);
+}
+
 /// Eqs. 6–8: estimated vs measured skyline cardinality and the
 /// N_back > N_local comparison that motivates feedback selection.
 fn estimate_experiment() {
@@ -986,6 +1092,9 @@ fn main() {
     }
     if want("wire") {
         wire();
+    }
+    if want("topology") {
+        topology();
     }
     if want("chaos") {
         chaos();

@@ -1,7 +1,7 @@
 use std::collections::HashMap;
 use std::path::PathBuf;
 
-use dsud_core::{BatchSize, FailurePolicy, PipelineDepth, Transport, WireFormat};
+use dsud_core::{BatchSize, FailurePolicy, PipelineDepth, Topology, Transport, WireFormat};
 
 use crate::CliError;
 
@@ -99,6 +99,12 @@ pub enum Command {
         /// row-oriented encoding. Answers, progress order, and tuple
         /// counts are bit-identical; only bytes and decode time differ.
         wire: WireFormat,
+        /// Coordinator fan-out: `flat` (default) gives the root one link
+        /// per site; `tree:<F>` interposes regional aggregators of fan-out
+        /// F >= 2 that merge child frames before forwarding; `auto` picks
+        /// F = ceil(sqrt(m)). Answers are bit-identical at every setting;
+        /// only root-link frame and byte counts change.
+        topology: Topology,
     },
     /// Run the long-lived session daemon: sites stay resident and many
     /// concurrent clients multiplex queries onto them.
@@ -139,6 +145,11 @@ pub enum Command {
         /// outlasts the log, the site takes a full bootstrap instead and
         /// any evicted deferred ops are lost.
         op_log: usize,
+        /// Coordinator fan-out applied to every query (same semantics as
+        /// `query`; chosen by the operator, not per client). Heartbeats
+        /// probe one link per aggregator subtree, and a lost aggregator
+        /// quarantines its whole subtree as a unit.
+        topology: Topology,
     },
     /// Send one request to a running `dsud serve` daemon.
     Client {
@@ -209,12 +220,14 @@ USAGE:
                 [--subspace 0,2,...] [--limit <K>] [--seed <S>] [--report <FILE>]
                 [--transport inline|threaded|tcp] [--failure strict|degrade]
                 [--batch <K>|auto] [--pipeline <W>|auto] [--wire columnar|legacy]
+                [--topology flat|tree:<F>|auto]
   dsud vertical --input <FILE> [--q <Q>]
   dsud stream   --input <FILE> [--q <Q>] [--window <W>] [--every <K>]
   dsud estimate [--n <N>] [--dims <D>] [--sites <M>]
   dsud serve    --input <FILE> [--sites <M>] [--seed <S>] [--port <P>]
                 [--transport inline|threaded|tcp] [--failure strict|degrade]
                 [--batch <K>|auto] [--pipeline <W>|auto] [--wire columnar|legacy]
+                [--topology flat|tree:<F>|auto]
                 [--max-concurrent <N>] [--cache <N>]
                 [--heartbeat <N>] [--op-log <N>]
   dsud client   --addr <HOST:PORT> [--algorithm dsud|edsud] [--q <Q>]
@@ -235,6 +248,14 @@ Flag notes:
   --wire       columnar (default) packs bulk frames as fixed-width column
                sections decoded in place; legacy keeps the row encoding.
                Bit-identical answers either way.
+  --topology   flat links the root to every site; tree:<F> interposes
+               aggregators of fan-out F>=2 that merge frames (tree:1 is
+               rejected — it merges nothing); auto picks F=ceil(sqrt(m)).
+               Answers stay bit-identical at every setting and compose
+               with --batch/--pipeline/--wire unchanged (aggregate frames
+               carry the chosen wire layout inside them). With --failure
+               degrade, a dead aggregator quarantines its whole subtree,
+               stamped as upper bounds like any lost site.
   --deadline   (client) per-query budget in ms; the server cancels at the
                next round boundary and streams the partial answer, marked
                CANCELLED. Nothing cancelled or degraded enters the cache.
@@ -336,6 +357,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 batch: batch_flag(get("batch"))?,
                 pipeline: pipeline_flag(get("pipeline"))?,
                 wire: wire_flag(get("wire"))?,
+                topology: topology_flag(get("topology"))?,
             })
         }
         "serve" => {
@@ -362,6 +384,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 cache: parse_num("cache", 64)?,
                 heartbeat: parse_num("heartbeat", 0)? as u64,
                 op_log: parse_num("op-log", 1024)?,
+                topology: topology_flag(get("topology"))?,
             })
         }
         "client" => {
@@ -488,6 +511,20 @@ fn wire_flag(v: Option<&str>) -> Result<WireFormat, CliError> {
     }
 }
 
+/// Parses `--topology` (defaults to `flat`). Nonsensical fan-outs fail
+/// here, before any data is loaded: `tree:1` would merge nothing and
+/// `tree:0` would fan out to nobody, so both are usage errors.
+fn topology_flag(v: Option<&str>) -> Result<Topology, CliError> {
+    match v {
+        Some(v) => v.parse::<Topology>().map_err(|_| {
+            CliError::Usage(format!(
+                "--topology expects flat|tree:<fanout>=2|auto (tree:1 merges nothing), got '{v}'"
+            ))
+        }),
+        None => Ok(Topology::Flat),
+    }
+}
+
 /// Parses `--subspace 0,2,...` into dimension indices.
 fn subspace_flag(v: Option<&str>) -> Result<Option<Vec<usize>>, CliError> {
     match v {
@@ -583,6 +620,7 @@ mod tests {
             batch,
             pipeline,
             wire,
+            topology,
             ..
         } = parse(&argv("query --input d.jsonl")).unwrap()
         else {
@@ -596,6 +634,37 @@ mod tests {
         assert_eq!(batch, BatchSize::Fixed(1));
         assert_eq!(pipeline, PipelineDepth::Fixed(1));
         assert_eq!(wire, WireFormat::Columnar);
+        assert_eq!(topology, Topology::Flat);
+    }
+
+    #[test]
+    fn parses_topologies_and_rejects_mergeless_trees() {
+        for (flag, expected) in [
+            ("flat", Topology::Flat),
+            ("tree:2", Topology::Tree(2)),
+            ("tree:8", Topology::Tree(8)),
+            ("auto", Topology::Auto),
+        ] {
+            let Command::Query { topology, .. } =
+                parse(&argv(&format!("query --input d.jsonl --topology {flag}"))).unwrap()
+            else {
+                panic!()
+            };
+            assert_eq!(topology, expected, "{flag}");
+        }
+        let Command::Serve { topology, .. } =
+            parse(&argv("serve --input d.jsonl --topology tree:4")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(topology, Topology::Tree(4));
+
+        // A fan-out below 2 merges nothing: rejected before data loads,
+        // on both the one-shot and the served path.
+        for bad in ["tree:1", "tree:0", "tree:", "star"] {
+            assert!(parse(&argv(&format!("query --input d.jsonl --topology {bad}"))).is_err());
+            assert!(parse(&argv(&format!("serve --input d.jsonl --topology {bad}"))).is_err());
+        }
     }
 
     #[test]

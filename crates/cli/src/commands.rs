@@ -8,9 +8,9 @@ use rand::SeedableRng;
 
 use dsud_core::update::UpdateOp;
 use dsud_core::{
-    baseline, BandwidthMeter, BatchSize, Cluster, FailurePolicy, PipelineDepth, QueryConfig,
-    QueryOutcome, Recorder, SessionOptions, SessionServer, SiteOptions, SubspaceMask, Transport,
-    WireFormat,
+    baseline, BandwidthMeter, BatchSize, Cluster, FailurePolicy, LinkConfig, PipelineDepth,
+    QueryConfig, QueryOutcome, Recorder, SessionOptions, SessionServer, SiteOptions, SubspaceMask,
+    Topology, Transport, WireFormat,
 };
 use dsud_data::nyse::NyseSpec;
 use dsud_data::{partition_uniform, ProbabilityLaw, SpatialDistribution, WorkloadSpec};
@@ -52,6 +52,7 @@ pub fn run<W: Write>(cmd: &Command, out: &mut W) -> Result<(), CliError> {
             batch,
             pipeline,
             wire,
+            topology,
         } => query(
             input,
             *sites,
@@ -66,6 +67,7 @@ pub fn run<W: Write>(cmd: &Command, out: &mut W) -> Result<(), CliError> {
             *batch,
             *pipeline,
             *wire,
+            *topology,
             out,
         ),
         Command::Vertical { input, q } => vertical(input, *q, out),
@@ -84,6 +86,7 @@ pub fn run<W: Write>(cmd: &Command, out: &mut W) -> Result<(), CliError> {
             cache,
             heartbeat,
             op_log,
+            topology,
         } => serve(
             input,
             *sites,
@@ -98,6 +101,7 @@ pub fn run<W: Write>(cmd: &Command, out: &mut W) -> Result<(), CliError> {
             *cache,
             *heartbeat,
             *op_log,
+            *topology,
             out,
         ),
         Command::Client {
@@ -222,6 +226,7 @@ fn query<W: Write>(
     batch: BatchSize,
     pipeline: PipelineDepth,
     wire: WireFormat,
+    topology: Topology,
     out: &mut W,
 ) -> Result<(), CliError> {
     let tuples = read_tuples(input)?;
@@ -258,28 +263,32 @@ fn query<W: Write>(
         Algorithm::Baseline => Transport::Inline,
         _ => transport,
     };
+    // `(depth, root links)` of the assembled fan-out plan, stamped into
+    // the report; the centralized baseline has no plan at all.
+    let mut fan_shape: Option<(u32, usize)> = None;
     let outcome: QueryOutcome = match algorithm {
         Algorithm::Baseline => {
             let meter = BandwidthMeter::with_recorder(recorder.clone());
             let mask = config.resolve_mask(dims)?;
             baseline::run(&partitioned, dims, q, mask, &meter)?
         }
-        Algorithm::Dsud => Cluster::with_transport(
-            dims,
-            partitioned,
-            SiteOptions { wire, ..SiteOptions::default() },
-            recorder.clone(),
-            used_transport,
-        )?
-        .run_dsud(&config)?,
-        Algorithm::Edsud => Cluster::with_transport(
-            dims,
-            partitioned,
-            SiteOptions { wire, ..SiteOptions::default() },
-            recorder.clone(),
-            used_transport,
-        )?
-        .run_edsud(&config)?,
+        Algorithm::Dsud | Algorithm::Edsud => {
+            let mut cluster = Cluster::with_topology(
+                dims,
+                partitioned,
+                SiteOptions { wire, ..SiteOptions::default() },
+                recorder.clone(),
+                used_transport,
+                LinkConfig::default(),
+                topology,
+                None,
+            )?;
+            fan_shape = Some((cluster.plan().depth(), cluster.plan().root_fanout()));
+            match algorithm {
+                Algorithm::Dsud => cluster.run_dsud(&config)?,
+                _ => cluster.run_edsud(&config)?,
+            }
+        }
     };
 
     if let Some(path) = report {
@@ -289,6 +298,11 @@ fn query<W: Write>(
         run_report.batch_size = Some(batch.name());
         run_report.pipeline = Some(pipeline.name());
         run_report.wire = Some(wire.as_str().to_string());
+        if let Some((depth, root_fanout)) = fan_shape {
+            run_report.topology = Some(topology.to_string());
+            run_report.agg_depth = Some(depth);
+            run_report.root_fanout = Some(root_fanout);
+        }
         let json = serde_json::to_string_pretty(&run_report)
             .map_err(|e| CliError::Library(format!("cannot serialize run report: {e}")))?;
         fs::write(path, json)?;
@@ -424,6 +438,7 @@ struct ServeHandler {
     batch: BatchSize,
     pipeline: PipelineDepth,
     wire: WireFormat,
+    topology: Topology,
 }
 
 impl ServeHandler {
@@ -458,6 +473,9 @@ impl ServeHandler {
             report.batch_size = Some(self.batch.name());
             report.pipeline = Some(self.pipeline.name());
             report.wire = Some(self.wire.as_str().to_string());
+            report.topology = Some(self.topology.to_string());
+            report.agg_depth = Some(self.session.plan().depth());
+            report.root_fanout = Some(self.session.plan().root_fanout());
         }
         Ok(outcome)
     }
@@ -568,6 +586,7 @@ fn serve<W: Write>(
     cache: usize,
     heartbeat: u64,
     op_log: usize,
+    topology: Topology,
     out: &mut W,
 ) -> Result<(), CliError> {
     let tuples = read_tuples(input)?;
@@ -577,12 +596,15 @@ fn serve<W: Write>(
     let mut rng = StdRng::seed_from_u64(seed);
     let partitioned = partition_uniform(rows, sites, &mut rng)?;
 
-    let cluster = Cluster::with_transport(
+    let cluster = Cluster::with_topology(
         dims,
         partitioned,
         SiteOptions { wire, ..SiteOptions::default() },
         Recorder::disabled(),
         transport,
+        LinkConfig::default(),
+        topology,
+        None,
     )?;
     let session = Arc::new(SessionServer::new(
         cluster,
@@ -602,14 +624,17 @@ fn serve<W: Write>(
         batch,
         pipeline,
         wire,
+        topology,
     })?;
     writeln!(
         out,
         "dsud serve listening on {} ({} sites, {} tuples, transport {transport}, \
-         max-concurrent {max_concurrent}, cache {cache}, heartbeat {heartbeat}, op-log {op_log})",
+         topology {topology} ({} root links), max-concurrent {max_concurrent}, cache {cache}, \
+         heartbeat {heartbeat}, op-log {op_log})",
         server.addr(),
         session.site_count(),
         session.total_tuples(),
+        session.plan().root_fanout(),
     )?;
     out.flush()?;
     server.wait()?;
@@ -808,6 +833,7 @@ mod tests {
                 BatchSize::Fixed(4),
                 PipelineDepth::Auto,
                 WireFormat::Columnar,
+                Topology::Tree(2),
                 &mut out,
             )
             .unwrap();
@@ -824,6 +850,13 @@ mod tests {
             assert_eq!(report.pipeline.as_deref(), Some("auto"));
             assert_eq!(report.counters.pipeline_depth, 2, "auto resolves to the double buffer");
             assert!(report.counters.overlapped_rounds > 0);
+            assert_eq!(report.topology.as_deref(), Some("tree:2"));
+            assert_eq!(report.agg_depth, Some(1), "4 sites at fan-out 2 need one layer");
+            assert_eq!(report.root_fanout, Some(2));
+            assert!(
+                report.counters.agg_merged_frames > 0,
+                "a tree run merges at least the start broadcast"
+            );
             assert!(!report.phases.is_empty(), "per-phase totals are aggregated");
             fs::remove_file(&path).unwrap();
         }

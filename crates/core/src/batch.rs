@@ -24,11 +24,11 @@
 //! accumulation loop — so the reported probabilities are `f64`
 //! bit-identical as well.
 
-use dsud_net::{Link, LinkError, Message, Ticket, TupleBlock, TupleMsg};
+use dsud_net::{Fanout, LinkError, Message, OpTicket, TupleBlock, TupleMsg};
 use dsud_obs::{Counter, Recorder};
 
 use crate::degrade::FailureTracker;
-use crate::{Error, RunStats, WireFormat};
+use crate::{Error, RunStats, SiteOrder, WireFormat};
 
 /// Ledger for one batched round: the drawn candidates, how much of the
 /// batch each site has already seen, and the survival factors collected
@@ -42,6 +42,8 @@ pub(crate) struct BatchRound {
     /// `survivals[x][j]` is site `x`'s survival factor for candidate `j`,
     /// `None` while undelivered, for the home site, or for a lost site.
     survivals: Vec<Vec<Option<f64>>>,
+    /// The shared ascending fold order (see [`SiteOrder`]).
+    order: SiteOrder,
     /// Wire layout for the coalesced feedback frames. Purely a transport
     /// choice: both layouts deliver the same tuples in the same order.
     wire: WireFormat,
@@ -53,6 +55,7 @@ impl BatchRound {
             cands: Vec::with_capacity(budget),
             sent_upto: vec![0; sites],
             survivals: vec![Vec::new(); sites],
+            order: SiteOrder::new(sites),
             wire,
         }
     }
@@ -129,7 +132,7 @@ impl BatchRound {
     /// preserves the unbatched feedback-before-refill event order.
     pub(crate) fn deliver(
         &mut self,
-        links: &mut [Box<dyn Link>],
+        fan: &mut Fanout<'_>,
         x: usize,
         tracker: &mut FailureTracker,
         stats: &mut RunStats,
@@ -141,7 +144,7 @@ impl BatchRound {
             return Ok(());
         }
         let frame = self.batch_frame(msgs);
-        let reply = links[x].call(frame);
+        let reply = fan.call(x, frame);
         self.absorb_reply(x, &idxs, reply, tracker, stats, rec)
     }
 
@@ -155,31 +158,31 @@ impl BatchRound {
     /// identical to the sequential one.
     pub(crate) fn deliver_send(
         &mut self,
-        links: &mut [Box<dyn Link>],
+        fan: &mut Fanout<'_>,
         x: usize,
         tracker: &FailureTracker,
-    ) -> Option<(Result<Ticket, LinkError>, Vec<usize>)> {
+    ) -> Option<(Result<OpTicket, LinkError>, Vec<usize>)> {
         let (msgs, idxs) = self.pending_for(x);
         self.sent_upto[x] = self.cands.len();
         if msgs.is_empty() || !tracker.is_active(x) {
             return None;
         }
         let frame = self.batch_frame(msgs);
-        Some((links[x].send(frame), idxs))
+        Some((fan.send(x, frame), idxs))
     }
 
     /// Closes the round: every site with a non-empty pending sub-batch
     /// receives it as one frame, fanned out in a single parallel wave.
     pub(crate) fn deliver_all(
         &mut self,
-        links: &mut [Box<dyn Link>],
+        fan: &mut Fanout<'_>,
         tracker: &mut FailureTracker,
         stats: &mut RunStats,
         rec: &Recorder,
     ) -> Result<(), Error> {
         let mut requests = Vec::new();
-        let mut idxs_by_site: Vec<Vec<usize>> = vec![Vec::new(); links.len()];
-        for x in 0..links.len() {
+        let mut idxs_by_site: Vec<Vec<usize>> = vec![Vec::new(); self.order.len()];
+        for x in self.order.iter() {
             let (msgs, idxs) = self.pending_for(x);
             self.sent_upto[x] = self.cands.len();
             if msgs.is_empty() || !tracker.is_active(x) {
@@ -188,7 +191,7 @@ impl BatchRound {
             idxs_by_site[x] = idxs;
             requests.push((x, self.batch_frame(msgs)));
         }
-        for (x, reply) in dsud_net::scatter(links, requests) {
+        for (x, reply) in self.order.verify(fan.scatter(requests)) {
             let idxs = std::mem::take(&mut idxs_by_site[x]);
             self.absorb_reply(x, &idxs, reply, tracker, stats, rec)?;
         }
@@ -196,17 +199,13 @@ impl BatchRound {
     }
 
     /// Exact global probability of candidate `j` (Lemma 1): its local
-    /// probability times the survival factors in ascending site order —
-    /// the same multiplication order as the unbatched loop, hence
-    /// bit-identical.
+    /// probability times the survival factors in the shared
+    /// [`SiteOrder`] ascending fold — the same multiplication order as the
+    /// unbatched loop, hence bit-identical.
     pub(crate) fn global_probability(&self, j: usize) -> f64 {
-        let mut global = self.cands[j].local_prob;
-        for site in &self.survivals {
-            if let Some(&Some(s)) = site.get(j) {
-                global *= s;
-            }
-        }
-        global
+        self.order.fold_survival(self.cands[j].local_prob, |x| {
+            self.survivals[x].get(j).copied().flatten()
+        })
     }
 }
 
@@ -214,7 +213,7 @@ impl BatchRound {
 mod tests {
     use super::*;
     use crate::FailurePolicy;
-    use dsud_net::{BandwidthMeter, LocalLink};
+    use dsud_net::{BandwidthMeter, Link, LocalLink};
 
     fn msg(site: u32, seq: u64, local_prob: f64) -> TupleMsg {
         TupleMsg {
@@ -251,6 +250,7 @@ mod tests {
     fn round_flushes_excluding_home_and_multiplies_in_site_order() {
         let meter = BandwidthMeter::new();
         let mut links = echo_links(&meter, 3);
+        let mut fan = Fanout::flat(&mut links);
         let rec = Recorder::disabled();
         let mut tracker = FailureTracker::new(3, FailurePolicy::Strict, rec.clone());
         let mut stats = RunStats::default();
@@ -259,9 +259,9 @@ mod tests {
         round.push(msg(0, 0, 0.9));
         // Flushing site 0 before its refill sends nothing: the only drawn
         // candidate is site 0's own.
-        round.deliver(&mut links, 0, &mut tracker, &mut stats, &rec).unwrap();
+        round.deliver(&mut fan, 0, &mut tracker, &mut stats, &rec).unwrap();
         round.push(msg(1, 0, 0.5));
-        round.deliver_all(&mut links, &mut tracker, &mut stats, &rec).unwrap();
+        round.deliver_all(&mut fan, &mut tracker, &mut stats, &rec).unwrap();
 
         // Site 0 saw only candidate 1; sites 1 and 2 saw their pending
         // sub-batches in one frame each (site 1 excludes its own tuple).
@@ -286,6 +286,7 @@ mod tests {
         let run = |wire: WireFormat| {
             let meter = BandwidthMeter::new();
             let mut links = echo_links(&meter, 3);
+            let mut fan = Fanout::flat(&mut links);
             let rec = Recorder::disabled();
             let mut tracker = FailureTracker::new(3, FailurePolicy::Strict, rec.clone());
             let mut stats = RunStats::default();
@@ -296,8 +297,8 @@ mod tests {
             for j in 0..24 {
                 round.push(msg(j % 3, j as u64, 0.05 + 0.03 * j as f64));
             }
-            round.deliver(&mut links, 2, &mut tracker, &mut stats, &rec).unwrap();
-            round.deliver_all(&mut links, &mut tracker, &mut stats, &rec).unwrap();
+            round.deliver(&mut fan, 2, &mut tracker, &mut stats, &rec).unwrap();
+            round.deliver_all(&mut fan, &mut tracker, &mut stats, &rec).unwrap();
             let probs: Vec<f64> = (0..24).map(|j| round.global_probability(j)).collect();
             (probs, stats.pruned_at_sites, meter.snapshot())
         };
@@ -319,6 +320,7 @@ mod tests {
     fn redundant_deliveries_send_nothing() {
         let meter = BandwidthMeter::new();
         let mut links = echo_links(&meter, 2);
+        let mut fan = Fanout::flat(&mut links);
         let rec = Recorder::disabled();
         let mut tracker = FailureTracker::new(2, FailurePolicy::Strict, rec.clone());
         let mut stats = RunStats::default();
@@ -326,10 +328,10 @@ mod tests {
         let mut round = BatchRound::new(2, 4, WireFormat::Legacy);
         assert!(round.is_empty());
         round.push(msg(0, 0, 0.8));
-        round.deliver(&mut links, 1, &mut tracker, &mut stats, &rec).unwrap();
+        round.deliver(&mut fan, 1, &mut tracker, &mut stats, &rec).unwrap();
         // Already flushed: a second flush and the closing wave are no-ops.
-        round.deliver(&mut links, 1, &mut tracker, &mut stats, &rec).unwrap();
-        round.deliver_all(&mut links, &mut tracker, &mut stats, &rec).unwrap();
+        round.deliver(&mut fan, 1, &mut tracker, &mut stats, &rec).unwrap();
+        round.deliver_all(&mut fan, &mut tracker, &mut stats, &rec).unwrap();
         assert_eq!(meter.snapshot().feedback.messages, 1);
     }
 }

@@ -13,14 +13,15 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 
 use dsud_net::{
-    tcp, BandwidthMeter, ChannelLink, ChaosLink, FaultPlan, HealthSnapshot, Link, LinkConfig,
-    LinkError, LinkHealth, LocalLink, Message, MeterSnapshot, RetryLink, TupleMsg,
+    tcp, Aggregator, BandwidthMeter, ChannelLink, ChaosLink, DelayedService, FanNode, FanPlan,
+    Fanout, FaultPlan, HealthSnapshot, Link, LinkConfig, LinkError, LinkHealth, LocalLink, Message,
+    MeterSnapshot, RetryLink, Service, TupleMsg,
 };
 use dsud_obs::Recorder;
 use dsud_uncertain::{SkylineEntry, UncertainTuple};
 
 use crate::degrade::SiteStatus;
-use crate::{dsud, edsud, Error, LocalSite, ProgressLog, QueryConfig, SiteOptions};
+use crate::{dsud, edsud, Error, LocalSite, ProgressLog, QueryConfig, SiteOptions, Topology};
 
 /// Which transport carries coordinator–site traffic.
 ///
@@ -132,10 +133,17 @@ pub struct Cluster {
     dims: usize,
     /// Declared before `servers` so the links drop first: a `TcpLink` must
     /// disconnect before its site server is asked to stop accepting.
+    /// Under a flat topology one link per site; under a tree topology one
+    /// link per root aggregator group (see `plan`).
     links: Vec<Box<dyn Link>>,
     health: Vec<Arc<LinkHealth>>,
     meter: BandwidthMeter,
     total_tuples: usize,
+    /// The fan-out shape the coordinator routes through. The shared meter
+    /// (and hence every outcome's `traffic`) observes only the root's own
+    /// links, so under a tree topology it measures exactly the merged
+    /// root-link traffic the topology exists to shrink.
+    plan: FanPlan,
     servers: Vec<tcp::SiteServer>,
 }
 
@@ -143,7 +151,8 @@ impl std::fmt::Debug for Cluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Cluster")
             .field("dims", &self.dims)
-            .field("sites", &self.links.len())
+            .field("sites", &self.plan.sites())
+            .field("root_fanout", &self.plan.root_fanout())
             .field("total_tuples", &self.total_tuples)
             .finish_non_exhaustive()
     }
@@ -266,7 +275,91 @@ impl Cluster {
         transport: Transport,
         link_config: LinkConfig,
     ) -> Result<Self, Error> {
-        Self::assemble(dims, sites, options, recorder, transport, link_config, None)
+        Self::assemble(
+            dims,
+            sites,
+            options,
+            recorder,
+            transport,
+            link_config,
+            None,
+            Topology::Flat,
+            None,
+        )
+    }
+
+    /// [`Cluster::with_transport_config`] routed through an explicit
+    /// [`Topology`]. Under a tree topology the sites sit behind a layer (or
+    /// layers) of [`Aggregator`] services — hosted on the same transport as
+    /// the sites — and the coordinator holds one physical link per *root
+    /// group* instead of one per site. Results are bit-identical to the
+    /// flat topology at every fanout (aggregators merge frames, never fold
+    /// survival products); only root-link frame and byte counts shrink.
+    ///
+    /// A `chaos_seed` of `Some(seed)` splices a deterministic
+    /// [`ChaosLink`] under each *root* link's retry layer, keyed by the
+    /// first member site of that link's group — so the same seed replays
+    /// the identical fault schedule on every transport, and a faulted
+    /// aggregator link degrades exactly its subtree.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Cluster::with_transport_config`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_topology(
+        dims: usize,
+        sites: Vec<Vec<UncertainTuple>>,
+        options: SiteOptions,
+        recorder: Recorder,
+        transport: Transport,
+        link_config: LinkConfig,
+        topology: Topology,
+        chaos_seed: Option<u64>,
+    ) -> Result<Self, Error> {
+        Self::assemble(
+            dims,
+            sites,
+            options,
+            recorder,
+            transport,
+            link_config,
+            chaos_seed,
+            topology,
+            None,
+        )
+    }
+
+    /// [`Cluster::with_topology`] with every hop — root links, aggregator
+    /// links, site links — served through a [`DelayedService`] pausing
+    /// `delay` per request: the bench harness's stand-in for a real
+    /// network RTT, which makes root fan-out visible in wall-clock as
+    /// well as in the meter's frame counts.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Cluster::with_transport_config`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_topology_delayed(
+        dims: usize,
+        sites: Vec<Vec<UncertainTuple>>,
+        options: SiteOptions,
+        recorder: Recorder,
+        transport: Transport,
+        link_config: LinkConfig,
+        topology: Topology,
+        delay: std::time::Duration,
+    ) -> Result<Self, Error> {
+        Self::assemble(
+            dims,
+            sites,
+            options,
+            recorder,
+            transport,
+            link_config,
+            None,
+            topology,
+            Some(delay),
+        )
     }
 
     /// [`Cluster::with_transport_config`] with a deterministic fault
@@ -289,7 +382,17 @@ impl Cluster {
         link_config: LinkConfig,
         seed: u64,
     ) -> Result<Self, Error> {
-        Self::assemble(dims, sites, options, recorder, transport, link_config, Some(seed))
+        Self::assemble(
+            dims,
+            sites,
+            options,
+            recorder,
+            transport,
+            link_config,
+            Some(seed),
+            Topology::Flat,
+            None,
+        )
     }
 
     /// Wraps one transport link in the (optional) chaos layer and the
@@ -316,6 +419,120 @@ impl Cluster {
         }
     }
 
+    /// Hosts one service (a site or an aggregator) on the given transport
+    /// and returns the raw, unwrapped link to it, pausing `delay` per
+    /// request when one is set (the bench harness's stand-in for a real
+    /// network RTT). Which meter the link reports to decides what the
+    /// paper's bandwidth measure sees: root links use the cluster meter,
+    /// everything below uses a throwaway.
+    fn spawn_service<S: Service + 'static>(
+        svc: S,
+        transport: Transport,
+        meter: &BandwidthMeter,
+        link_config: LinkConfig,
+        servers: &mut Vec<tcp::SiteServer>,
+        err_site: u32,
+        delay: Option<std::time::Duration>,
+    ) -> Result<Box<dyn Link>, Error> {
+        match delay {
+            Some(d) => Self::spawn_raw(
+                DelayedService::new(svc, d),
+                transport,
+                meter,
+                link_config,
+                servers,
+                err_site,
+            ),
+            None => Self::spawn_raw(svc, transport, meter, link_config, servers, err_site),
+        }
+    }
+
+    fn spawn_raw<S: Service + 'static>(
+        svc: S,
+        transport: Transport,
+        meter: &BandwidthMeter,
+        link_config: LinkConfig,
+        servers: &mut Vec<tcp::SiteServer>,
+        err_site: u32,
+    ) -> Result<Box<dyn Link>, Error> {
+        let failed = |source: LinkError| Error::SiteFailed { site: err_site, source };
+        Ok(match transport {
+            Transport::Inline => Box::new(LocalLink::new(svc, meter.clone())),
+            Transport::Threaded => {
+                Box::new(ChannelLink::spawn_with(svc, meter.clone(), link_config))
+            }
+            Transport::Tcp => {
+                let server = tcp::spawn_site(svc).map_err(|e| failed(LinkError::from(e)))?;
+                let link = tcp::TcpLink::connect_with(server.addr(), meter.clone(), link_config)
+                    .map_err(|e| failed(LinkError::from(e)))?;
+                servers.push(server);
+                Box::new(link)
+            }
+        })
+    }
+
+    /// Builds the service tree under one fan-plan node and returns the raw
+    /// link to it (a site link for a leaf, an [`Aggregator`] link for a
+    /// node). Everything below the root reports to `child_meter` and gets
+    /// a plain retry layer — no chaos, no health handle: subtree failures
+    /// surface through the root link's own operations.
+    #[allow(clippy::too_many_arguments)]
+    fn build_subtree(
+        node: &FanNode,
+        built: &mut [Option<LocalSite>],
+        transport: Transport,
+        child_meter: &BandwidthMeter,
+        link_config: LinkConfig,
+        servers: &mut Vec<tcp::SiteServer>,
+        delay: Option<std::time::Duration>,
+    ) -> Result<Box<dyn Link>, Error> {
+        match node {
+            FanNode::Leaf(site) => {
+                let svc = built[*site as usize].take().expect("each site is wired once");
+                let raw = Self::spawn_service(
+                    svc,
+                    transport,
+                    child_meter,
+                    link_config,
+                    servers,
+                    *site,
+                    delay,
+                )?;
+                Ok(Box::new(RetryLink::new(raw, link_config)))
+            }
+            FanNode::Node(children) => {
+                let mut agg = Aggregator::new();
+                for child in children {
+                    let link = Self::build_subtree(
+                        child,
+                        built,
+                        transport,
+                        child_meter,
+                        link_config,
+                        servers,
+                        delay,
+                    )?;
+                    match child {
+                        FanNode::Leaf(site) => agg.push_leaf(*site, link),
+                        FanNode::Node(_) => agg.push_group(child.members(), link),
+                    }
+                }
+                let err_site = node.members().first().copied().unwrap_or(0);
+                let raw = Self::spawn_service(
+                    agg,
+                    transport,
+                    child_meter,
+                    link_config,
+                    servers,
+                    err_site,
+                    delay,
+                )?;
+                Ok(Box::new(RetryLink::new(raw, link_config)))
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn assemble(
         dims: usize,
         sites: Vec<Vec<UncertainTuple>>,
@@ -324,6 +541,8 @@ impl Cluster {
         transport: Transport,
         link_config: LinkConfig,
         chaos_seed: Option<u64>,
+        topology: Topology,
+        delay: Option<std::time::Duration>,
     ) -> Result<Self, Error> {
         if sites.is_empty() {
             return Err(Error::NoSites);
@@ -331,42 +550,92 @@ impl Cluster {
         let build_span = recorder.span("cluster:build");
         let meter = BandwidthMeter::with_recorder(recorder.clone());
         let total_tuples = sites.iter().map(Vec::len).sum();
+        let plan = topology.plan(sites.len());
         let built = Self::build_sites(dims, sites, options, &recorder);
-        let mut links: Vec<Box<dyn Link>> = Vec::with_capacity(built.len());
-        let mut health: Vec<Arc<LinkHealth>> = Vec::with_capacity(built.len());
+        let mut links: Vec<Box<dyn Link>> = Vec::with_capacity(plan.root_fanout());
+        let mut health: Vec<Arc<LinkHealth>> = Vec::with_capacity(plan.root_fanout());
         let mut servers: Vec<tcp::SiteServer> = Vec::new();
-        for (i, site) in built.into_iter().enumerate() {
-            let site = site?;
-            let site_failed = |source: LinkError| Error::SiteFailed { site: i as u32, source };
-            let plan = chaos_seed.map(|seed| FaultPlan::seeded(seed, i as u32));
-            let (h, link) = match transport {
-                Transport::Inline => Self::finish_link(
-                    LocalLink::new(site, meter.clone()),
-                    plan,
+
+        if plan.is_flat() {
+            for (i, site) in built.into_iter().enumerate() {
+                let site = site?;
+                let fault = chaos_seed.map(|seed| FaultPlan::seeded(seed, i as u32));
+                let raw = Self::spawn_service(
+                    site,
+                    transport,
+                    &meter,
                     link_config,
-                    &recorder,
-                ),
-                Transport::Threaded => Self::finish_link(
-                    ChannelLink::spawn_with(site, meter.clone(), link_config),
-                    plan,
-                    link_config,
-                    &recorder,
-                ),
-                Transport::Tcp => {
-                    let server =
-                        tcp::spawn_site(site).map_err(|e| site_failed(LinkError::from(e)))?;
-                    let link =
-                        tcp::TcpLink::connect_with(server.addr(), meter.clone(), link_config)
-                            .map_err(|e| site_failed(LinkError::from(e)))?;
-                    servers.push(server);
-                    Self::finish_link(link, plan, link_config, &recorder)
-                }
-            };
-            health.push(h);
-            links.push(link);
+                    &mut servers,
+                    i as u32,
+                    delay,
+                )?;
+                let (h, link) = Self::finish_link(raw, fault, link_config, &recorder);
+                health.push(h);
+                links.push(link);
+            }
+        } else {
+            // Tree topology: sites and intermediate aggregators hang off a
+            // throwaway meter, so the cluster meter sees exactly the
+            // merged frames crossing the root's own links. One root link
+            // per group, chaos keyed by the group's first member site so a
+            // seeded plan replays identically at every topology.
+            let mut built: Vec<Option<LocalSite>> =
+                built.into_iter().map(|s| s.map(Some)).collect::<Result<_, _>>()?;
+            let child_meter = BandwidthMeter::new();
+            for root in plan.roots() {
+                let members = root.members();
+                let first = members.first().copied().unwrap_or(0);
+                let fault = chaos_seed.map(|seed| FaultPlan::seeded(seed, first));
+                let raw: Box<dyn Link> = match root {
+                    // A root-level leaf (ragged tail group) talks to the
+                    // coordinator directly, like a flat site.
+                    FanNode::Leaf(site) => {
+                        let svc = built[*site as usize].take().expect("each site is wired once");
+                        Self::spawn_service(
+                            svc,
+                            transport,
+                            &meter,
+                            link_config,
+                            &mut servers,
+                            *site,
+                            delay,
+                        )?
+                    }
+                    FanNode::Node(children) => {
+                        let mut agg = Aggregator::new();
+                        for child in children {
+                            let link = Self::build_subtree(
+                                child,
+                                &mut built,
+                                transport,
+                                &child_meter,
+                                link_config,
+                                &mut servers,
+                                delay,
+                            )?;
+                            match child {
+                                FanNode::Leaf(site) => agg.push_leaf(*site, link),
+                                FanNode::Node(_) => agg.push_group(child.members(), link),
+                            }
+                        }
+                        Self::spawn_service(
+                            agg,
+                            transport,
+                            &meter,
+                            link_config,
+                            &mut servers,
+                            first,
+                            delay,
+                        )?
+                    }
+                };
+                let (h, link) = Self::finish_link(raw, fault, link_config, &recorder);
+                health.push(h);
+                links.push(link);
+            }
         }
         drop(build_span);
-        Ok(Cluster { dims, links, health, meter, total_tuples, servers })
+        Ok(Cluster { dims, links, health, meter, total_tuples, plan, servers })
     }
 
     /// Constructs every [`LocalSite`] (each a PR-tree bulk load), one
@@ -412,9 +681,16 @@ impl Cluster {
         Self::with_transport(dims, sites, options, recorder, transport)
     }
 
-    /// Number of local sites `m`.
+    /// Number of local sites `m` (virtual sites, not physical links:
+    /// under a tree topology the coordinator holds fewer links than
+    /// sites).
     pub fn site_count(&self) -> usize {
-        self.links.len()
+        self.plan.sites()
+    }
+
+    /// The fan-out plan the coordinator routes through.
+    pub fn plan(&self) -> &FanPlan {
+        &self.plan
     }
 
     /// Dimensionality of the data space.
@@ -438,7 +714,10 @@ impl Cluster {
         self.meter.recorder()
     }
 
-    /// Mutable access to the site links (used by the update driver).
+    /// Mutable access to the physical links (used by the update driver).
+    /// Under a flat topology these are the per-site links; under a tree
+    /// topology they address root aggregator groups — per-site routing
+    /// must go through a [`Fanout`] or [`dsud_net::SiteRoute`].
     pub fn links_mut(&mut self) -> &mut [Box<dyn Link>] {
         &mut self.links
     }
@@ -457,11 +736,11 @@ impl Cluster {
 
     /// Decomposes the cluster into the parts a [`crate::SessionServer`]
     /// re-assembles around shared, query-multiplexed links:
-    /// `(dims, total_tuples, links, health, meter, site_servers)`. The
-    /// health handles stay paired with `links` by index so the session
-    /// layer's heartbeat can keep per-site miss counts. The servers must
-    /// outlive the links for the same drop-order reason [`Cluster`] itself
-    /// declares `links` first.
+    /// `(dims, total_tuples, links, health, meter, plan, site_servers)`.
+    /// The health handles stay paired with `links` by index (one per
+    /// physical link) so the session layer's heartbeat can keep per-link
+    /// miss counts. The servers must outlive the links for the same
+    /// drop-order reason [`Cluster`] itself declares `links` first.
     #[allow(clippy::type_complexity)]
     pub(crate) fn into_parts(
         self,
@@ -471,9 +750,10 @@ impl Cluster {
         Vec<Box<dyn Link>>,
         Vec<Arc<LinkHealth>>,
         BandwidthMeter,
+        FanPlan,
         Vec<tcp::SiteServer>,
     ) {
-        (self.dims, self.total_tuples, self.links, self.health, self.meter, self.servers)
+        (self.dims, self.total_tuples, self.links, self.health, self.meter, self.plan, self.servers)
     }
 
     /// Runs the DSUD algorithm (Section 5.1).
@@ -486,8 +766,10 @@ impl Cluster {
     /// when a site stays unreachable after retries.
     pub fn run_dsud(&mut self, config: &QueryConfig) -> Result<QueryOutcome, Error> {
         let mask = config.resolve_mask(self.dims)?;
-        dsud::run_with_policy(
-            &mut self.links,
+        let rec = self.meter.recorder().clone();
+        let mut fan = Fanout::tree(&mut self.links, &self.plan, rec);
+        dsud::run_on(
+            &mut fan,
             &self.meter,
             config.q,
             mask,
@@ -507,8 +789,10 @@ impl Cluster {
     /// Same as [`Cluster::run_dsud`].
     pub fn run_edsud(&mut self, config: &QueryConfig) -> Result<QueryOutcome, Error> {
         let mask = config.resolve_mask(self.dims)?;
-        edsud::run_with_synopses(
-            &mut self.links,
+        let rec = self.meter.recorder().clone();
+        let mut fan = Fanout::tree(&mut self.links, &self.plan, rec);
+        edsud::run_on(
+            &mut fan,
             &self.meter,
             config.q,
             mask,

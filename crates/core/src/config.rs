@@ -217,6 +217,87 @@ impl std::str::FromStr for PipelineDepth {
     }
 }
 
+/// How the coordinator's links reach the sites — directly (flat) or
+/// through a layer of regional aggregators (tree) that merge frames on the
+/// way up and fan broadcasts out on the way down.
+///
+/// The topology is a pure transport optimization: aggregators are stateless
+/// scatter-gather proxies that never fold survival products, so the root
+/// folds replies in the same ascending site order as a flat run and the
+/// answer is bit-identical at every fanout. Only the number of frames (and
+/// bytes) crossing the root's own links changes — from `O(m)` per round to
+/// `O(root fanout)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Topology {
+    /// One direct link per site, the original deployment shape. The
+    /// default so pre-topology configs keep their exact link layout.
+    Flat,
+    /// Group sites under aggregators `F ≥ 2` children at a time, stacking
+    /// layers until the root talks to at most `F` links (`O(log_F m)`
+    /// depth). Degenerates to flat when the cluster has `≤ F` sites.
+    Tree(u32),
+    /// Let the coordinator pick: one aggregator layer of `⌈√m⌉`-site
+    /// groups, cutting root fan-out to `O(√m)` with a single extra hop.
+    Auto,
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology::Flat
+    }
+}
+
+impl Topology {
+    /// Stable lowercase name (`"flat"`, `"tree:4"`, `"auto"`), as accepted
+    /// by the [`std::str::FromStr`] impl.
+    pub fn name(&self) -> String {
+        match self {
+            Topology::Flat => "flat".to_string(),
+            Topology::Tree(f) => format!("tree:{f}"),
+            Topology::Auto => "auto".to_string(),
+        }
+    }
+
+    /// Resolves the fan-out plan for an `m`-site cluster.
+    pub fn plan(&self, sites: usize) -> dsud_net::FanPlan {
+        match self {
+            Topology::Flat => dsud_net::FanPlan::flat(sites),
+            Topology::Tree(f) => dsud_net::FanPlan::tree(sites, *f as usize),
+            Topology::Auto => dsud_net::FanPlan::sqrt_auto(sites),
+        }
+    }
+}
+
+impl std::fmt::Display for Topology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+impl std::str::FromStr for Topology {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s == "flat" {
+            return Ok(Topology::Flat);
+        }
+        if s == "auto" {
+            return Ok(Topology::Auto);
+        }
+        if let Some(rest) = s.strip_prefix("tree:") {
+            return match rest.parse::<u32>() {
+                // A fanout of 0 or 1 merges nothing: every "group" would
+                // hold one site and the tree would be flat with extra hops.
+                Ok(f) if f >= 2 => Ok(Topology::Tree(f)),
+                _ => Err(Error::InvalidArgument(
+                    "unknown topology (expected flat|tree:<fanout>=2|auto)",
+                )),
+            };
+        }
+        Err(Error::InvalidArgument("unknown topology (expected flat|tree:<fanout>=2|auto)"))
+    }
+}
+
 /// Which wire layout the coordinator uses for bulk-data frames (batched
 /// feedback, batched survival replies, replica synchronization).
 ///
@@ -593,6 +674,35 @@ mod tests {
         let round: QueryConfig =
             serde_json::from_str(&serde_json::to_string(&cfg).unwrap()).unwrap();
         assert_eq!(round.deadline_ms, Some(250));
+    }
+
+    #[test]
+    fn topology_round_trips_through_names() {
+        for (name, topo) in [
+            ("flat", Topology::Flat),
+            ("tree:2", Topology::Tree(2)),
+            ("tree:8", Topology::Tree(8)),
+            ("auto", Topology::Auto),
+        ] {
+            let parsed: Topology = name.parse().expect("known topology");
+            assert_eq!(parsed, topo);
+            assert_eq!(topo.name(), name);
+            assert_eq!(topo.to_string(), name);
+        }
+        for bad in ["tree:0", "tree:1", "tree:", "tree:-3", "star", "tree:two"] {
+            assert!(matches!(bad.parse::<Topology>(), Err(Error::InvalidArgument(_))), "{bad}");
+        }
+    }
+
+    #[test]
+    fn topology_plans_resolve_shapes() {
+        assert!(Topology::Flat.plan(64).is_flat());
+        assert!(Topology::Tree(4).plan(3).is_flat()); // m <= fanout: nothing to merge
+        let plan = Topology::Tree(4).plan(8);
+        assert_eq!((plan.sites(), plan.depth(), plan.root_fanout()), (8, 1, 2));
+        let plan = Topology::Auto.plan(64);
+        assert_eq!((plan.sites(), plan.depth(), plan.root_fanout()), (64, 1, 8));
+        assert_eq!(Topology::default(), Topology::Flat);
     }
 
     #[test]

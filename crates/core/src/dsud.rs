@@ -25,7 +25,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::time::Instant;
 
-use dsud_net::{BandwidthMeter, Link, Message, TupleMsg};
+use dsud_net::{BandwidthMeter, Fanout, Link, Message, TupleMsg};
 use dsud_obs::Counter;
 use dsud_uncertain::{SkylineEntry, SubspaceMask};
 
@@ -33,7 +33,8 @@ use crate::batch::BatchRound;
 use crate::degrade::FailureTracker;
 use crate::pipeline::InflightRefill;
 use crate::{
-    BatchSize, Error, FailurePolicy, PipelineDepth, ProgressLog, QueryOutcome, RunStats, WireFormat,
+    BatchSize, Error, FailurePolicy, PipelineDepth, ProgressLog, QueryOutcome, RunStats, SiteOrder,
+    WireFormat,
 };
 
 /// A candidate in the server's priority queue `L`, ordered so that a
@@ -143,6 +144,29 @@ pub fn run_with_policy(
     wire: WireFormat,
     deadline_ms: Option<u64>,
 ) -> Result<QueryOutcome, Error> {
+    let mut fan = Fanout::flat(links);
+    run_on(&mut fan, meter, q, mask, limit, policy, batch, pipeline, wire, deadline_ms)
+}
+
+/// [`run_with_policy`] over an arbitrary [`Fanout`] — the actual
+/// coordinator. A flat fan-out reproduces the per-link traffic of the
+/// pre-topology coordinator byte for byte; a tree fan-out routes the same
+/// per-site message sequences through aggregator links, and because the
+/// fan-out returns replies in ascending site order either way, the
+/// survival folds (and hence the answer) are bit-identical.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_on(
+    fan: &mut Fanout<'_>,
+    meter: &BandwidthMeter,
+    q: f64,
+    mask: SubspaceMask,
+    limit: Option<usize>,
+    policy: FailurePolicy,
+    batch: BatchSize,
+    pipeline: PipelineDepth,
+    wire: WireFormat,
+    deadline_ms: Option<u64>,
+) -> Result<QueryOutcome, Error> {
     if !(q > 0.0 && q <= 1.0) {
         return Err(Error::InvalidThreshold(q));
     }
@@ -154,19 +178,20 @@ pub fn run_with_policy(
     let query_span = rec.span("query:dsud");
     let overlap = pipeline.overlapped();
     rec.add(Counter::PipelineDepth, pipeline.window() as u64);
-    let mut tracker = FailureTracker::new(links.len(), policy, rec.clone());
+    let order = SiteOrder::new(fan.len());
+    let mut tracker = FailureTracker::new(order.len(), policy, rec.clone());
     let mut stats = RunStats::default();
     let mut progress = ProgressLog::new();
     let mut skyline: Vec<SkylineEntry> = Vec::new();
 
     // To-Server phase, first iteration: every site extracts its local
     // skyline and sends its best representative. The broadcast fans the
-    // extraction across sites (replies stay in link order, so the queue is
-    // identical to a sequential poll).
-    let mut queue: BinaryHeap<QueueEntry> = BinaryHeap::with_capacity(links.len());
+    // extraction across sites (replies stay in ascending site order, so
+    // the queue is identical to a sequential poll).
+    let mut queue: BinaryHeap<QueueEntry> = BinaryHeap::with_capacity(order.len());
     {
         let _span = rec.span("to-server:start");
-        for (x, reply) in dsud_net::broadcast(links, |_| true, &Message::Start { q, mask }) {
+        for (x, reply) in order.verify(fan.broadcast(|_| true, &Message::Start { q, mask })) {
             if let Some(t) = tracker.upload(x, reply)? {
                 queue.push(QueueEntry(t));
             }
@@ -207,7 +232,7 @@ pub fn run_with_policy(
             let may_finish = limit.is_some_and(|k| skyline.len() + 1 >= k);
             let refill = (overlap && !may_finish && tracker.is_active(home)).then(|| {
                 rec.incr(Counter::OverlappedRounds);
-                (InflightRefill::send(links, home), rec.span("overlap"))
+                (InflightRefill::send(fan, home), rec.span("overlap"))
             });
 
             // Server-Delivery phase: assemble the exact global
@@ -221,7 +246,7 @@ pub fn run_with_policy(
                 let _span = rec.span("server-delivery");
                 let active = |x: usize| x != home && tracker.is_active(x);
                 for (x, reply) in
-                    dsud_net::broadcast(links, active, &Message::Feedback(cand.clone()))
+                    order.verify(fan.broadcast(active, &Message::Feedback(cand.clone())))
                 {
                     if let Some((survival, pruned)) = tracker.survival(x, reply)? {
                         global *= survival;
@@ -246,7 +271,7 @@ pub fn run_with_policy(
             // it was quarantined mid-round — its slot simply stays empty).
             let _span = rec.span("to-server");
             if let Some((slot, overlap_span)) = refill {
-                let reply = slot.complete(links, &rec);
+                let reply = slot.complete(fan, &rec);
                 drop(overlap_span);
                 // A mid-scatter quarantine means the sequential schedule
                 // would have skipped this refill: discard the reply so the
@@ -257,7 +282,7 @@ pub fn run_with_policy(
                     }
                 }
             } else if tracker.is_active(home) {
-                let reply = links[home].call(Message::RequestNext);
+                let reply = fan.call(home, Message::RequestNext);
                 if let Some(next) = tracker.upload(home, reply)? {
                     queue.push(QueueEntry(next));
                 }
@@ -270,7 +295,7 @@ pub fn run_with_policy(
         // flushes a site's pending feedback right before its refill, so
         // every site observes the unbatched event order (see
         // [`crate::batch`]).
-        let mut round = BatchRound::new(links.len(), budget, wire);
+        let mut round = BatchRound::new(order.len(), budget, wire);
         {
             let _span = rec.span("to-server");
             let mut overlap_span = None;
@@ -286,8 +311,8 @@ pub fn run_with_policy(
                     // ride `home`'s link back to back (FIFO preserves the
                     // flush-before-refill site order); the site serves
                     // both over one coordinator wait instead of two.
-                    let fed = round.deliver_send(links, home, &tracker);
-                    let refill = tracker.is_active(home).then(|| InflightRefill::send(links, home));
+                    let fed = round.deliver_send(fan, home, &tracker);
+                    let refill = tracker.is_active(home).then(|| InflightRefill::send(fan, home));
                     if fed.is_some() && refill.is_some() && overlap_span.is_none() {
                         rec.incr(Counter::OverlappedRounds);
                         overlap_span = Some(rec.span("overlap"));
@@ -295,8 +320,8 @@ pub fn run_with_policy(
                     // Drain both tickets before interpreting either reply,
                     // so an error path leaves no outstanding frames.
                     let fed_reply =
-                        fed.map(|(t, idxs)| (t.and_then(|t| links[home].complete(t)), idxs));
-                    let refill_reply = refill.map(|slot| slot.complete(links, &rec));
+                        fed.map(|(t, idxs)| (t.and_then(|t| fan.complete(home, t)), idxs));
+                    let refill_reply = refill.map(|slot| slot.complete(fan, &rec));
                     if let Some((reply, idxs)) = fed_reply {
                         round.absorb_reply(home, &idxs, reply, &mut tracker, &mut stats, &rec)?;
                     }
@@ -310,9 +335,9 @@ pub fn run_with_policy(
                         }
                     }
                 } else {
-                    round.deliver(links, home, &mut tracker, &mut stats, &rec)?;
+                    round.deliver(fan, home, &mut tracker, &mut stats, &rec)?;
                     if tracker.is_active(home) {
-                        let reply = links[home].call(Message::RequestNext);
+                        let reply = fan.call(home, Message::RequestNext);
                         if let Some(next) = tracker.upload(home, reply)? {
                             queue.push(QueueEntry(next));
                         }
@@ -329,7 +354,7 @@ pub fn run_with_policy(
         // all in flight at once.
         {
             let _span = rec.span("server-delivery");
-            round.deliver_all(links, &mut tracker, &mut stats, &rec)?;
+            round.deliver_all(fan, &mut tracker, &mut stats, &rec)?;
         }
 
         for j in 0..round.len() {

@@ -27,7 +27,7 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
-use dsud_net::{BandwidthMeter, Link, Message, TupleMsg};
+use dsud_net::{BandwidthMeter, Fanout, Link, Message, TupleMsg};
 use dsud_obs::Counter;
 use dsud_uncertain::{dominates_in, SkylineEntry, SubspaceMask};
 
@@ -37,7 +37,7 @@ use crate::pipeline::InflightRefill;
 use crate::synopsis::SynopsisBound;
 use crate::{
     BatchSize, BoundMode, Error, FailurePolicy, PipelineDepth, ProgressLog, QueryOutcome, RunStats,
-    WireFormat,
+    SiteOrder, WireFormat,
 };
 
 /// A queued candidate with its per-site broadcast discounts.
@@ -177,6 +177,43 @@ pub fn run_with_synopses(
     wire: WireFormat,
     deadline_ms: Option<u64>,
 ) -> Result<QueryOutcome, Error> {
+    let mut fan = Fanout::flat(links);
+    run_on(
+        &mut fan,
+        meter,
+        q,
+        mask,
+        mode,
+        limit,
+        synopsis_resolution,
+        policy,
+        batch,
+        pipeline,
+        wire,
+        deadline_ms,
+    )
+}
+
+/// [`run_with_synopses`] over an arbitrary [`Fanout`] — the actual
+/// coordinator. As in [`crate::dsud`], a flat fan-out reproduces the
+/// pre-topology per-link traffic byte for byte, and a tree fan-out routes
+/// the same per-site sequences through aggregator links with replies in
+/// the same ascending site order, so the answer is bit-identical.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_on(
+    fan: &mut Fanout<'_>,
+    meter: &BandwidthMeter,
+    q: f64,
+    mask: SubspaceMask,
+    mode: BoundMode,
+    limit: Option<usize>,
+    synopsis_resolution: Option<u16>,
+    policy: FailurePolicy,
+    batch: BatchSize,
+    pipeline: PipelineDepth,
+    wire: WireFormat,
+    deadline_ms: Option<u64>,
+) -> Result<QueryOutcome, Error> {
     if !(q > 0.0 && q <= 1.0) {
         return Err(Error::InvalidThreshold(q));
     }
@@ -188,16 +225,17 @@ pub fn run_with_synopses(
     let query_span = rec.span("query:edsud");
     let overlap = pipeline.overlapped();
     rec.add(Counter::PipelineDepth, pipeline.window() as u64);
-    let mut tracker = FailureTracker::new(links.len(), policy, rec.clone());
+    let order = SiteOrder::new(fan.len());
+    let mut tracker = FailureTracker::new(order.len(), policy, rec.clone());
     let mut stats = RunStats::default();
     let mut progress = ProgressLog::new();
     let mut skyline: Vec<SkylineEntry> = Vec::new();
     let mut history: Vec<TupleMsg> = Vec::new();
 
-    let mut queue: Vec<Candidate> = Vec::with_capacity(links.len());
+    let mut queue: Vec<Candidate> = Vec::with_capacity(order.len());
     {
         let _span = rec.span("to-server:start");
-        for (x, reply) in dsud_net::broadcast(links, |_| true, &Message::Start { q, mask }) {
+        for (x, reply) in order.verify(fan.broadcast(|_| true, &Message::Start { q, mask })) {
             if let Some(t) = tracker.upload(x, reply)? {
                 queue.push(Candidate::new(t, &history, mask));
             }
@@ -211,7 +249,7 @@ pub fn run_with_synopses(
         let _span = rec.span("synopsis");
         let active = |x: usize| tracker.is_active(x);
         for (x, reply) in
-            dsud_net::broadcast(links, active, &Message::SynopsisRequest { resolution })
+            order.verify(fan.broadcast(active, &Message::SynopsisRequest { resolution }))
         {
             match reply {
                 Ok(Message::Synopsis(syn)) => {
@@ -246,7 +284,7 @@ pub fn run_with_synopses(
             // request to it (see `crate::batch` for why that keeps the
             // run bit-identical). The broadcasts themselves are deferred
             // into one coalesced frame per site.
-            let mut round = BatchRound::new(links.len(), budget, wire);
+            let mut round = BatchRound::new(order.len(), budget, wire);
             let mut finished = false;
             // One expunge span per round, opened lazily at the first
             // expunge and spanning the interleaved draws — a span per draw
@@ -272,10 +310,10 @@ pub fn run_with_synopses(
                                 .iter()
                                 .map(|&idx| {
                                     let home = queue[idx].msg.id.site.0 as usize;
-                                    let fed = round.deliver_send(links, home, &tracker);
+                                    let fed = round.deliver_send(fan, home, &tracker);
                                     let refill = tracker
                                         .is_active(home)
-                                        .then(|| InflightRefill::send(links, home));
+                                        .then(|| InflightRefill::send(fan, home));
                                     (home, fed, refill)
                                 })
                                 .collect();
@@ -292,10 +330,9 @@ pub fn run_with_synopses(
                                 .into_iter()
                                 .map(|(home, fed, refill)| {
                                     let fed_reply = fed.map(|(t, idxs)| {
-                                        (t.and_then(|t| links[home].complete(t)), idxs)
+                                        (t.and_then(|t| fan.complete(home, t)), idxs)
                                     });
-                                    let refill_reply =
-                                        refill.map(|slot| slot.complete(links, &rec));
+                                    let refill_reply = refill.map(|slot| slot.complete(fan, &rec));
                                     (home, fed_reply, refill_reply)
                                 })
                                 .collect();
@@ -334,11 +371,11 @@ pub fn run_with_synopses(
                                     stats.iterations += 1;
                                     rec.incr(Counter::Expunged);
                                     let home = gone.msg.id.site.0 as usize;
-                                    round.deliver(links, home, &mut tracker, &mut stats, &rec)?;
+                                    round.deliver(fan, home, &mut tracker, &mut stats, &rec)?;
                                     if !tracker.is_active(home) {
                                         continue;
                                     }
-                                    let reply = links[home].call(Message::RequestNext);
+                                    let reply = fan.call(home, Message::RequestNext);
                                     if let Some(next) = tracker.upload(home, reply)? {
                                         queue.push(Candidate::new(next, &history, mask));
                                         replaced_any = true;
@@ -382,16 +419,16 @@ pub fn run_with_synopses(
                         // Pipelined draw: flush and refill ride `home`'s
                         // link back to back; one coordinator wait serves
                         // both (see the DSUD batched draw).
-                        let fed = round.deliver_send(links, home, &tracker);
+                        let fed = round.deliver_send(fan, home, &tracker);
                         let refill =
-                            tracker.is_active(home).then(|| InflightRefill::send(links, home));
+                            tracker.is_active(home).then(|| InflightRefill::send(fan, home));
                         if fed.is_some() && refill.is_some() && !round_overlapped {
                             round_overlapped = true;
                             rec.incr(Counter::OverlappedRounds);
                         }
                         let fed_reply =
-                            fed.map(|(t, idxs)| (t.and_then(|t| links[home].complete(t)), idxs));
-                        let refill_reply = refill.map(|slot| slot.complete(links, &rec));
+                            fed.map(|(t, idxs)| (t.and_then(|t| fan.complete(home, t)), idxs));
+                        let refill_reply = refill.map(|slot| slot.complete(fan, &rec));
                         if let Some((reply, idxs)) = fed_reply {
                             round.absorb_reply(
                                 home,
@@ -410,9 +447,9 @@ pub fn run_with_synopses(
                             }
                         }
                     } else {
-                        round.deliver(links, home, &mut tracker, &mut stats, &rec)?;
+                        round.deliver(fan, home, &mut tracker, &mut stats, &rec)?;
                         if tracker.is_active(home) {
-                            let reply = links[home].call(Message::RequestNext);
+                            let reply = fan.call(home, Message::RequestNext);
                             if let Some(next) = tracker.upload(home, reply)? {
                                 queue.push(Candidate::new(next, &history, mask));
                             }
@@ -430,7 +467,7 @@ pub fn run_with_synopses(
             }
             {
                 let _span = rec.span("server-delivery");
-                round.deliver_all(links, &mut tracker, &mut stats, &rec)?;
+                round.deliver_all(fan, &mut tracker, &mut stats, &rec)?;
             }
             for j in 0..round.len() {
                 let global = round.global_probability(j);
@@ -477,7 +514,7 @@ pub fn run_with_synopses(
                         .iter()
                         .map(|&idx| {
                             let home = queue[idx].msg.id.site.0 as usize;
-                            tracker.is_active(home).then(|| InflightRefill::send(links, home))
+                            tracker.is_active(home).then(|| InflightRefill::send(fan, home))
                         })
                         .collect();
                     let in_flight = slots.iter().flatten().count();
@@ -488,10 +525,8 @@ pub fn run_with_synopses(
                     let overlap_span = (in_flight > 0).then(|| rec.span("overlap"));
                     // Drain every ticket before interpreting any reply, so
                     // an error path leaves no outstanding frames.
-                    let replies: Vec<Option<Result<Message, dsud_net::LinkError>>> = slots
-                        .into_iter()
-                        .map(|slot| slot.map(|s| s.complete(links, &rec)))
-                        .collect();
+                    let replies: Vec<Option<Result<Message, dsud_net::LinkError>>> =
+                        slots.into_iter().map(|slot| slot.map(|s| s.complete(fan, &rec))).collect();
                     drop(overlap_span);
                     for (&idx, reply) in jobs.iter().zip(replies) {
                         let gone = queue.swap_remove(idx);
@@ -517,7 +552,7 @@ pub fn run_with_synopses(
                             if !tracker.is_active(home) {
                                 continue;
                             }
-                            let reply = links[home].call(Message::RequestNext);
+                            let reply = fan.call(home, Message::RequestNext);
                             if let Some(next) = tracker.upload(home, reply)? {
                                 queue.push(Candidate::new(next, &history, mask));
                                 replaced_any = true;
@@ -558,7 +593,7 @@ pub fn run_with_synopses(
                 round_overlapped = true;
                 rec.incr(Counter::OverlappedRounds);
             }
-            (InflightRefill::send(links, home), rec.span("overlap"))
+            (InflightRefill::send(fan, home), rec.span("overlap"))
         });
 
         // Concurrent fan-out: every other site computes its survival
@@ -570,7 +605,7 @@ pub fn run_with_synopses(
             // lost, making a degraded answer an upper bound.
             let active = |x: usize| x != home && tracker.is_active(x);
             for (x, reply) in
-                dsud_net::broadcast(links, active, &Message::Feedback(cand.msg.clone()))
+                order.verify(fan.broadcast(active, &Message::Feedback(cand.msg.clone())))
             {
                 if let Some((survival, pruned)) = tracker.survival(x, reply)? {
                     global *= survival;
@@ -601,7 +636,7 @@ pub fn run_with_synopses(
         {
             let _span = rec.span("to-server");
             if let Some((slot, overlap_span)) = refill {
-                let reply = slot.complete(links, &rec);
+                let reply = slot.complete(fan, &rec);
                 drop(overlap_span);
                 // A mid-scatter quarantine means the sequential schedule
                 // would have skipped this refill: discard the reply.
@@ -611,7 +646,7 @@ pub fn run_with_synopses(
                     }
                 }
             } else if tracker.is_active(home) {
-                let reply = links[home].call(Message::RequestNext);
+                let reply = fan.call(home, Message::RequestNext);
                 if let Some(next) = tracker.upload(home, reply)? {
                     queue.push(Candidate::new(next, &history, mask));
                 }

@@ -68,19 +68,21 @@ mod pipeline;
 mod progress;
 pub mod session;
 mod site;
+mod site_order;
 pub mod synopsis;
 pub mod update;
 
 pub use cluster::{Cluster, QueryOutcome, RunStats, Transport};
 pub use config::{
-    BatchSize, BoundMode, FailurePolicy, PipelineDepth, QueryConfig, SiteOptions, UpdatePolicy,
-    WireFormat,
+    BatchSize, BoundMode, FailurePolicy, PipelineDepth, QueryConfig, SiteOptions, Topology,
+    UpdatePolicy, WireFormat,
 };
 pub use degrade::{QuarantineReason, SiteState, SiteStatus};
 pub use error::Error;
 pub use progress::{ProgressEvent, ProgressLog};
 pub use session::{HeartbeatSummary, SessionOptions, SessionOutcome, SessionServer, SessionStats};
 pub use site::LocalSite;
+pub use site_order::SiteOrder;
 
 // Re-export the workspace API surface so `dsud_core` works as a facade.
 pub use dsud_net::{

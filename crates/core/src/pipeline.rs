@@ -15,39 +15,38 @@
 //! were sent. That is what keeps pipelined runs bit-identical to
 //! `--pipeline 1`: per-link message order, fold order, and every piece of
 //! server-side state evolve exactly as in the sequential schedule; only
-//! the wire time overlaps.
+//! the wire time overlaps. Refills ride a [`Fanout`], so under a tree
+//! topology the outstanding request shares the home group's aggregator
+//! link with the sibling broadcasts that overlap it — the fanout's
+//! per-link FIFO keeps each op paired with its own reply.
 
 use std::time::Instant;
 
-use dsud_net::{Link, LinkError, Message, Ticket};
+use dsud_net::{Fanout, LinkError, Message, OpTicket};
 use dsud_obs::{Counter, Recorder};
 
 /// One `RequestNext` put on the wire ahead of the work it overlaps.
 pub(crate) struct InflightRefill {
     site: usize,
-    sent: Result<Ticket, LinkError>,
+    sent: Result<OpTicket, LinkError>,
     issued: Instant,
 }
 
 impl InflightRefill {
-    /// Puts `RequestNext` on `site`'s link. A send-side failure is held in
-    /// the slot and becomes the completion result.
-    pub(crate) fn send(links: &mut [Box<dyn Link>], site: usize) -> Self {
-        InflightRefill {
-            site,
-            sent: links[site].send(Message::RequestNext),
-            issued: Instant::now(),
-        }
+    /// Puts `RequestNext` on `site`'s route. A send-side failure is held
+    /// in the slot and becomes the completion result.
+    pub(crate) fn send(fan: &mut Fanout<'_>, site: usize) -> Self {
+        InflightRefill { site, sent: fan.send(site, Message::RequestNext), issued: Instant::now() }
     }
 
     /// Redeems the ticket, charging the elapsed flight time to
     /// [`Counter::RefillOverlapUs`].
     pub(crate) fn complete(
         self,
-        links: &mut [Box<dyn Link>],
+        fan: &mut Fanout<'_>,
         rec: &Recorder,
     ) -> Result<Message, LinkError> {
         rec.add(Counter::RefillOverlapUs, self.issued.elapsed().as_micros() as u64);
-        self.sent.and_then(|ticket| links[self.site].complete(ticket))
+        self.sent.and_then(|ticket| fan.complete(self.site, ticket))
     }
 }

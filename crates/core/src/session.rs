@@ -80,7 +80,10 @@ use std::time::{Duration, Instant};
 use std::sync::Arc;
 
 use dsud_net::server::{share, MuxLink, SharedLink};
-use dsud_net::{tcp, BandwidthMeter, Link, LinkHealth, Message, MeterSnapshot, TupleMsg};
+use dsud_net::{
+    tcp, BandwidthMeter, FanPlan, Fanout, Link, LinkError, LinkHealth, Message, MeterSnapshot,
+    SiteRoute, TupleMsg,
+};
 use dsud_obs::{Counter, Recorder, RunReport};
 
 use crate::degrade::FailureTracker;
@@ -167,7 +170,10 @@ pub struct SessionStats {
 /// What one heartbeat sweep observed and did.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HeartbeatSummary {
-    /// Sites probed (every site, regardless of lifecycle state).
+    /// Health probes sent: one per physical root link, regardless of
+    /// lifecycle state (in a flat topology that is one per site; behind an
+    /// aggregator one probe covers the whole subtree, which the aggregator
+    /// answers for itself).
     pub probed: u64,
     /// Probes answered with the matching nonce.
     pub acks: u64,
@@ -407,13 +413,26 @@ impl Algo {
 pub struct SessionServer {
     dims: usize,
     total_tuples: usize,
+    /// The cluster's fan-out topology. `shared`, `health`, `groups`, and
+    /// `grouped` are index-paired with the plan's root links: one per site
+    /// in a flat deployment, one per aggregator subtree otherwise.
+    plan: FanPlan,
+    /// Member sites behind each root link, ascending (a single-element
+    /// group is a directly-linked site).
+    groups: Vec<Vec<u32>>,
+    /// Site → index of the root link that reaches it.
+    group_of: Vec<usize>,
+    /// Whether each root link terminates at an aggregator (so per-site
+    /// frames must ride [`dsud_net::Message::AggScatter`]) rather than at
+    /// the site itself.
+    grouped: Vec<bool>,
     /// Declared before `_servers` so the links drop first — same wind-down
     /// order [`Cluster`] itself maintains for its TCP transport.
     shared: Vec<SharedLink>,
     /// Server-wide aggregate meter (the cluster's): sees the tagged frames
     /// of every query, id headers included.
     meter: BandwidthMeter,
-    /// Per-site retry-layer health, index-paired with `shared`. The
+    /// Per-root-link retry-layer health, index-paired with `shared`. The
     /// heartbeat reads consecutive-miss counts from here; an explicit
     /// reconnect at probation start resets the since-reconnect window.
     health: Vec<Arc<LinkHealth>>,
@@ -441,7 +460,8 @@ impl std::fmt::Debug for SessionServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SessionServer")
             .field("dims", &self.dims)
-            .field("sites", &self.shared.len())
+            .field("sites", &self.plan.sites())
+            .field("root_fanout", &self.shared.len())
             .field("total_tuples", &self.total_tuples)
             .finish_non_exhaustive()
     }
@@ -451,17 +471,32 @@ impl SessionServer {
     /// Takes ownership of a constructed cluster and re-assembles it around
     /// shared, query-multiplexed links.
     pub fn new(cluster: Cluster, options: SessionOptions) -> Self {
-        let (dims, total_tuples, links, health, meter, servers) = cluster.into_parts();
-        let sites = links.len();
+        let (dims, total_tuples, links, health, meter, plan, servers) = cluster.into_parts();
         // The lifecycle tracker always degrades (quarantines) rather than
         // failing: a daemon-level health decision must never abort the
         // daemon. Per-query failure policies are unaffected — each run
-        // still builds its own tracker.
+        // still builds its own tracker. It tracks *sites*, even though the
+        // daemon probes *links*: a missed group link quarantines every
+        // member site behind it, so a lost aggregator degrades its whole
+        // subtree as a unit.
         let lifecycle =
-            FailureTracker::new(sites, FailurePolicy::Degrade, meter.recorder().clone());
+            FailureTracker::new(plan.sites(), FailurePolicy::Degrade, meter.recorder().clone());
+        let groups = plan.groups();
+        let mut group_of = vec![0usize; plan.sites()];
+        for (g, members) in groups.iter().enumerate() {
+            for &s in members {
+                group_of[s as usize] = g;
+            }
+        }
+        let grouped: Vec<bool> =
+            plan.roots().iter().map(|r| !matches!(r, dsud_net::FanNode::Leaf(_))).collect();
         SessionServer {
             dims,
             total_tuples,
+            plan,
+            groups,
+            group_of,
+            grouped,
             shared: links.into_iter().map(share).collect(),
             meter,
             health,
@@ -490,9 +525,15 @@ impl SessionServer {
         self.dims
     }
 
-    /// Number of resident sites `m`.
+    /// Number of resident sites `m` (leaf sites, regardless of how many
+    /// root links the topology plan collapses them behind).
     pub fn site_count(&self) -> usize {
-        self.shared.len()
+        self.plan.sites()
+    }
+
+    /// The fan-out topology the resident deployment was assembled with.
+    pub fn plan(&self) -> &FanPlan {
+        &self.plan
     }
 
     /// Total tuples across all sites at construction time.
@@ -526,7 +567,7 @@ impl SessionServer {
     /// Current lifecycle state of every site, in site order.
     pub fn site_states(&self) -> Vec<SiteState> {
         let lifecycle = self.lifecycle.lock().unwrap_or_else(PoisonError::into_inner);
-        (0..self.shared.len()).map(|i| lifecycle.state(i).clone()).collect()
+        (0..self.plan.sites()).map(|i| lifecycle.state(i).clone()).collect()
     }
 
     /// Per-site health records in the same shape query outcomes carry.
@@ -626,6 +667,9 @@ impl SessionServer {
         // Fresh per-query meter: this query's traffic snapshot starts at
         // zero exactly like a one-shot run's, so `outcome.traffic` is
         // bit-identical to the same query executed on a fresh cluster.
+        // One MuxLink per *physical* root link; the coordinator's Fanout
+        // re-derives the per-site view from the plan, so a tree-topology
+        // session query merges frames exactly like a one-shot tree run.
         let query_meter = BandwidthMeter::with_recorder(recorder.clone());
         let mut links: Vec<Box<dyn Link>> = self
             .shared
@@ -635,33 +679,36 @@ impl SessionServer {
                     as Box<dyn Link>
             })
             .collect();
-        let result = match algo {
-            Algo::Dsud => dsud::run_with_policy(
-                &mut links,
-                &query_meter,
-                config.q,
-                mask,
-                config.limit,
-                config.failure,
-                config.batch,
-                config.pipeline,
-                config.wire,
-                config.deadline_ms,
-            ),
-            Algo::Edsud => edsud::run_with_synopses(
-                &mut links,
-                &query_meter,
-                config.q,
-                mask,
-                config.bound,
-                config.limit,
-                config.synopsis,
-                config.failure,
-                config.batch,
-                config.pipeline,
-                config.wire,
-                config.deadline_ms,
-            ),
+        let result = {
+            let mut fan = Fanout::tree(&mut links, &self.plan, recorder.clone());
+            match algo {
+                Algo::Dsud => dsud::run_on(
+                    &mut fan,
+                    &query_meter,
+                    config.q,
+                    mask,
+                    config.limit,
+                    config.failure,
+                    config.batch,
+                    config.pipeline,
+                    config.wire,
+                    config.deadline_ms,
+                ),
+                Algo::Edsud => edsud::run_on(
+                    &mut fan,
+                    &query_meter,
+                    config.q,
+                    mask,
+                    config.bound,
+                    config.limit,
+                    config.synopsis,
+                    config.failure,
+                    config.batch,
+                    config.pipeline,
+                    config.wire,
+                    config.deadline_ms,
+                ),
+            }
         };
         // Clear the sites' parked cursor state for this query id whether
         // the run succeeded or not; the release is server bookkeeping, not
@@ -724,7 +771,7 @@ impl SessionServer {
     /// Returns [`Error::InvalidArgument`] for an out-of-range home site.
     pub fn apply_update(&self, op: &UpdateOp) -> Result<(), Error> {
         let home = op.site() as usize;
-        if home >= self.shared.len() {
+        if home >= self.plan.sites() {
             return Err(Error::InvalidArgument("update names a site outside the cluster"));
         }
         self.admission.acquire(self.admission.max);
@@ -746,8 +793,29 @@ impl SessionServer {
             };
             // Same semantics as `Maintainer::apply_local_only`: the site's
             // tree changes; the maintenance notification (if any) is the
-            // metered reply.
-            match self.shared[home].lock().call(inject) {
+            // metered reply. Behind an aggregator the inject rides a
+            // single-part scatter addressed to the home site, and the
+            // one-entry reply set is unwrapped back to the site's own
+            // answer — flat deployments keep the plain frame byte for
+            // byte.
+            let g = self.group_of[home];
+            let reply = if self.grouped[g] {
+                match self.shared[g]
+                    .lock()
+                    .call(Message::AggScatter { parts: vec![(op.site(), inject)] })
+                {
+                    Ok(Message::AggReplies { replies })
+                        if replies.len() == 1 && replies[0].0 == op.site() =>
+                    {
+                        replies.into_iter().next().expect("len checked").1.into_result()
+                    }
+                    Ok(_) => Err(LinkError::Malformed),
+                    Err(e) => Err(e),
+                }
+            } else {
+                self.shared[g].lock().call(inject)
+            };
+            match reply {
                 Ok(_) => {
                     self.updates_applied.fetch_add(1, Ordering::Relaxed);
                 }
@@ -800,34 +868,47 @@ impl SessionServer {
             match reply {
                 Ok(Message::HealthAck { nonce: echoed }) if echoed == nonce => {
                     summary.acks += 1;
-                    self.probe_succeeded(i, &mut summary);
+                    for &site in &self.groups[i] {
+                        self.probe_succeeded(site as usize, i, &mut summary);
+                    }
                 }
                 Ok(_) => {
                     summary.misses += 1;
                     self.heartbeat_misses.fetch_add(1, Ordering::Relaxed);
                     rec.incr(Counter::HeartbeatMisses);
-                    self.probe_missed(
-                        i,
-                        QuarantineReason::Protocol(
-                            "health probe answered with the wrong frame".into(),
-                        ),
-                        &mut summary,
-                    );
+                    for &site in &self.groups[i] {
+                        self.probe_missed(
+                            site as usize,
+                            i,
+                            QuarantineReason::Protocol(
+                                "health probe answered with the wrong frame".into(),
+                            ),
+                            &mut summary,
+                        );
+                    }
                 }
                 Err(e) => {
                     summary.misses += 1;
                     self.heartbeat_misses.fetch_add(1, Ordering::Relaxed);
                     rec.incr(Counter::HeartbeatMisses);
-                    self.probe_missed(i, QuarantineReason::Transport(e), &mut summary);
+                    for &site in &self.groups[i] {
+                        self.probe_missed(
+                            site as usize,
+                            i,
+                            QuarantineReason::Transport(e.clone()),
+                            &mut summary,
+                        );
+                    }
                 }
             }
         }
         summary
     }
 
-    /// One site answered its probe: advance Quarantined → Probation (with
-    /// an explicit reconnect and a resync) or Probation → Active.
-    fn probe_succeeded(&self, site: usize, summary: &mut HeartbeatSummary) {
+    /// One site (or the aggregator fronting it) answered its probe:
+    /// advance Quarantined → Probation (with an explicit reconnect and a
+    /// resync) or Probation → Active.
+    fn probe_succeeded(&self, site: usize, link: usize, summary: &mut HeartbeatSummary) {
         let state =
             self.lifecycle.lock().unwrap_or_else(PoisonError::into_inner).state(site).clone();
         match state {
@@ -836,7 +917,7 @@ impl SessionServer {
                 // retry layer's since-reconnect window restarts — probation
                 // must be judged on fresh evidence, not the failure burst
                 // that caused the quarantine.
-                let _ = self.shared[site].lock().reconnect();
+                let _ = self.shared[link].lock().reconnect();
                 let since = self
                     .lifecycle
                     .lock()
@@ -863,12 +944,18 @@ impl SessionServer {
         }
     }
 
-    /// One site missed its probe: quarantine it once the retry layer's
-    /// consecutive-miss count reaches the threshold. A probation site that
-    /// misses goes straight back to quarantine — its probe streak must not
-    /// carry over.
-    fn probe_missed(&self, site: usize, reason: QuarantineReason, summary: &mut HeartbeatSummary) {
-        if self.health[site].consecutive_misses() < self.options.miss_threshold {
+    /// One site missed its probe (directly or because its whole group link
+    /// did): quarantine it once the retry layer's consecutive-miss count on
+    /// that link reaches the threshold. A probation site that misses goes
+    /// straight back to quarantine — its probe streak must not carry over.
+    fn probe_missed(
+        &self,
+        site: usize,
+        link: usize,
+        reason: QuarantineReason,
+        summary: &mut HeartbeatSummary,
+    ) {
+        if self.health[link].consecutive_misses() < self.options.miss_threshold {
             return;
         }
         let mut lifecycle = self.lifecycle.lock().unwrap_or_else(PoisonError::into_inner);
@@ -892,15 +979,25 @@ impl SessionServer {
         // Resync frames ride a fresh query id: tagged like any query's, so
         // they interleave safely with concurrent queries on the shared
         // links. The meter is a throwaway — resync traffic is server
-        // bookkeeping and already counted by the aggregate meter.
+        // bookkeeping and already counted by the aggregate meter. The
+        // maintenance path indexes links by site, so behind an aggregator
+        // each site gets a [`SiteRoute`] view of its group link and the
+        // `Maintainer` stays topology-blind.
         let query_id = self.next_query.fetch_add(1, Ordering::Relaxed);
         let resync_meter = BandwidthMeter::new();
-        let mut links: Vec<Box<dyn Link>> = self
-            .shared
-            .iter()
+        let mut links: Vec<Box<dyn Link>> = (0..self.plan.sites())
             .map(|s| {
-                Box::new(MuxLink::new(query_id, SharedLink::clone(s), resync_meter.clone()))
-                    as Box<dyn Link>
+                let g = self.group_of[s];
+                let mux = MuxLink::new(
+                    query_id,
+                    SharedLink::clone(&self.shared[g]),
+                    resync_meter.clone(),
+                );
+                if self.grouped[g] {
+                    Box::new(SiteRoute::new(s as u32, mux)) as Box<dyn Link>
+                } else {
+                    Box::new(mux) as Box<dyn Link>
+                }
             })
             .collect();
         let mut replayed = 0u64;

@@ -500,6 +500,12 @@ impl Service for LocalSite {
             // nonce so the coordinator can match the ack to its probe. No
             // query state is touched — a probe mid-query is invisible.
             Message::HealthProbe { nonce } => Message::HealthAck { nonce },
+            // Aggregate container frames terminate at aggregators, never at
+            // leaf sites; like the site-originated messages below they are
+            // protocol errors by construction, answered inertly.
+            Message::AggBroadcast { .. }
+            | Message::AggScatter { .. }
+            | Message::AggReplies { .. } => Message::Ack,
             // Site-originated messages arriving at a site are protocol
             // errors by construction; answer inertly rather than panic so a
             // buggy coordinator cannot take down a site thread.

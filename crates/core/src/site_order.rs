@@ -1,0 +1,121 @@
+//! The one ascending-site fold order shared by every coordinator.
+//!
+//! Lemma 1 assembles a candidate's exact global probability as a product
+//! of per-site survival factors. `f64` multiplication is not associative,
+//! so *which order* the factors are multiplied in is part of the answer:
+//! two coordinators that fold the same factors in different orders can
+//! report probabilities differing in the last bit. Every fold in this
+//! crate — the unbatched accumulation loop, the batched survival matrix,
+//! the e-DSUD bound refresh, and the tree-topology merge at the root —
+//! therefore multiplies in **ascending site order**, and this module is
+//! the single place that order is defined and checked.
+//!
+//! [`SiteOrder::verify`] wraps a reply stream (from
+//! [`dsud_net::Fanout::broadcast`] / [`dsud_net::Fanout::scatter`], flat or
+//! tree) and debug-asserts the pairs really arrive in fold order, so a
+//! transport or aggregator that reordered replies fails loudly in tests
+//! instead of silently perturbing probabilities.
+
+/// The ascending-site iteration order for an `m`-site cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiteOrder {
+    sites: usize,
+}
+
+impl SiteOrder {
+    /// The fold order for `sites` sites.
+    pub fn new(sites: usize) -> Self {
+        SiteOrder { sites }
+    }
+
+    /// Number of sites in the order.
+    pub fn len(&self) -> usize {
+        self.sites
+    }
+
+    /// Whether the cluster has no sites.
+    pub fn is_empty(&self) -> bool {
+        self.sites == 0
+    }
+
+    /// Every site index in fold order. This is the iteration every
+    /// coordinator must use when visiting per-site state (survival
+    /// matrices, scatter request assembly, status sweeps).
+    pub fn iter(&self) -> std::ops::Range<usize> {
+        0..self.sites
+    }
+
+    /// Checks that a reply stream is in fold order (strictly ascending
+    /// site indices, all in range) and passes it through. The check is a
+    /// debug assertion: release runs pay nothing, test runs catch a
+    /// transport or aggregator that reordered replies before the
+    /// misordered fold can perturb a probability.
+    pub fn verify<T>(&self, replies: Vec<(usize, T)>) -> Vec<(usize, T)> {
+        debug_assert!(
+            replies.windows(2).all(|w| w[0].0 < w[1].0)
+                && replies.last().is_none_or(|(x, _)| *x < self.sites),
+            "replies must arrive in ascending site order within {} sites",
+            self.sites
+        );
+        replies
+    }
+
+    /// Left-fold of survival factors in fold order (the Lemma 1 product
+    /// grouping): `init × f(s_0) × f(s_1) × …` ascending. `factor`
+    /// returns `None` for sites contributing nothing (the candidate's
+    /// home site, quarantined sites, undelivered slots).
+    pub fn fold_survival(&self, init: f64, mut factor: impl FnMut(usize) -> Option<f64>) -> f64 {
+        let mut global = init;
+        for x in self.iter() {
+            if let Some(s) = factor(x) {
+                global *= s;
+            }
+        }
+        global
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iterates_every_site_ascending() {
+        let order = SiteOrder::new(5);
+        assert_eq!(order.len(), 5);
+        assert!(!order.is_empty());
+        assert!(SiteOrder::new(0).is_empty());
+        assert_eq!(order.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn verify_passes_ordered_replies_through() {
+        let order = SiteOrder::new(4);
+        let replies = vec![(0, "a"), (2, "b"), (3, "c")];
+        assert_eq!(order.verify(replies.clone()), replies);
+        assert_eq!(order.verify(Vec::<(usize, ())>::new()), vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending site order")]
+    #[cfg(debug_assertions)]
+    fn verify_rejects_reordered_replies() {
+        SiteOrder::new(4).verify(vec![(2, ()), (1, ())]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending site order")]
+    #[cfg(debug_assertions)]
+    fn verify_rejects_out_of_range_sites() {
+        SiteOrder::new(2).verify(vec![(0, ()), (5, ())]);
+    }
+
+    #[test]
+    fn fold_groups_left_to_right_ascending() {
+        // The grouping matters: ((init × s0) × s2) with s1 skipped.
+        let factors = [Some(0.3), None, Some(0.7)];
+        let order = SiteOrder::new(3);
+        let folded = order.fold_survival(0.9, |x| factors[x]);
+        assert_eq!(folded.to_bits(), ((0.9_f64 * 0.3) * 0.7).to_bits());
+    }
+}

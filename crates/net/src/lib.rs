@@ -59,6 +59,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fanout;
 mod latency;
 mod message;
 mod meter;
@@ -68,8 +69,9 @@ pub mod tcp;
 mod transport;
 pub mod wire;
 
+pub use fanout::{Aggregator, FanNode, FanPlan, Fanout, OpTicket, SiteRoute};
 pub use latency::{DelayedService, LatencyModel};
-pub use message::{Message, SynopsisMsg, TrafficClass, TupleMsg};
+pub use message::{AggReply, Message, SynopsisMsg, TrafficClass, TupleMsg};
 pub use meter::{BandwidthMeter, Counters, MeterSnapshot};
 pub use retry::{HealthSnapshot, LinkHealth, RetryLink};
 pub use server::{

@@ -8,6 +8,101 @@ use serde::{Deserialize, Serialize};
 
 use dsud_uncertain::{Probability, SubspaceMask, TupleId, UncertainTuple};
 
+use crate::LinkError;
+
+/// One per-site outcome inside a [`Message::AggReplies`] frame: either the
+/// member site's own reply or the child-link error that stands in for it.
+/// An error entry lets the root quarantine exactly the failed site while
+/// its siblings' replies in the same frame stay usable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AggReply {
+    /// The member site answered; this is its reply verbatim.
+    Ok(Box<Message>),
+    /// The aggregator's link to this member failed; the error is forwarded
+    /// in reply position exactly as a flat coordinator would observe it.
+    Err(LinkError),
+}
+
+impl AggReply {
+    /// Converts into the `Result` shape coordinator code folds over.
+    pub fn into_result(self) -> Result<Message, LinkError> {
+        match self {
+            AggReply::Ok(msg) => Ok(*msg),
+            AggReply::Err(e) => Err(e),
+        }
+    }
+
+    /// Builds an entry from a link-level outcome.
+    pub fn from_result(r: Result<Message, LinkError>) -> Self {
+        match r {
+            Ok(msg) => AggReply::Ok(Box::new(msg)),
+            Err(e) => AggReply::Err(e),
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        match self {
+            AggReply::Ok(msg) => 1 + 4 + msg.encoded_len(),
+            AggReply::Err(LinkError::Io(detail)) => 1 + 4 + detail.len(),
+            AggReply::Err(_) => 1,
+        }
+    }
+
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            AggReply::Ok(msg) => {
+                buf.put_u8(0);
+                buf.put_u32(msg.encoded_len() as u32);
+                msg.encode_body(buf);
+            }
+            AggReply::Err(LinkError::Timeout) => buf.put_u8(1),
+            AggReply::Err(LinkError::Disconnected) => buf.put_u8(2),
+            AggReply::Err(LinkError::Malformed) => buf.put_u8(3),
+            AggReply::Err(LinkError::Io(detail)) => {
+                buf.put_u8(4);
+                buf.put_u32(detail.len() as u32);
+                buf.put_slice(detail.as_bytes());
+            }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        if buf.remaining() < 1 {
+            return None;
+        }
+        match buf.get_u8() {
+            0 => {
+                if buf.remaining() < 4 {
+                    return None;
+                }
+                let len = buf.get_u32() as usize;
+                if buf.remaining() < len {
+                    return None;
+                }
+                let msg = Message::decode_slice(&buf[..len])?;
+                *buf = &buf[len..];
+                Some(AggReply::Ok(Box::new(msg)))
+            }
+            1 => Some(AggReply::Err(LinkError::Timeout)),
+            2 => Some(AggReply::Err(LinkError::Disconnected)),
+            3 => Some(AggReply::Err(LinkError::Malformed)),
+            4 => {
+                if buf.remaining() < 4 {
+                    return None;
+                }
+                let len = buf.get_u32() as usize;
+                if buf.remaining() < len {
+                    return None;
+                }
+                let detail = std::str::from_utf8(&buf[..len]).ok()?.to_string();
+                *buf = &buf[len..];
+                Some(AggReply::Err(LinkError::Io(detail)))
+            }
+            _ => None,
+        }
+    }
+}
+
 /// A tuple on the wire: the paper's quaternion
 /// `⟨i, j, P(t_ij), P_sky(t_ij, D_i)⟩` plus the attribute values (needed by
 /// remote dominance checks).
@@ -293,6 +388,39 @@ pub enum Message {
         /// The probe's nonce, echoed verbatim.
         nonce: u64,
     },
+    /// `H → aggregator` (tree topology): deliver `inner` to every listed
+    /// member site — one frame on the root link where a flat coordinator
+    /// would send `sites.len()` copies. The aggregator fans the inner
+    /// message out to its children (re-wrapping for nested aggregators)
+    /// and answers with one [`Message::AggReplies`] in ascending site
+    /// order. The tuple count is charged *once* — the merge is exactly
+    /// what the tree topology saves on the root link. The inner message
+    /// may be any downward frame, including the columnar bulk twins, so
+    /// aggregate frames compose with every wire format.
+    AggBroadcast {
+        /// Member sites the inner message is for, ascending.
+        sites: Vec<u32>,
+        /// The request each listed site receives.
+        inner: Box<Message>,
+    },
+    /// `H → aggregator` (tree topology): per-site payloads coalesced into
+    /// one frame — the scatter twin of [`Message::AggBroadcast`], used for
+    /// batched survival scatters and targeted refills. Parts are ascending
+    /// by site; the aggregator routes each part to its child (nesting for
+    /// deeper trees) and answers with one [`Message::AggReplies`].
+    AggScatter {
+        /// `(site, request)` parts, ascending by site.
+        parts: Vec<(u32, Message)>,
+    },
+    /// `aggregator → H` (tree topology): the merged per-site replies of an
+    /// [`Message::AggBroadcast`] or [`Message::AggScatter`], ascending by
+    /// site. Child-link failures travel as [`AggReply::Err`] entries, so
+    /// the root observes exactly the per-site outcomes a flat coordinator
+    /// would — quarantine and strict-abort decisions are unchanged.
+    AggReplies {
+        /// `(site, outcome)` entries, ascending by site.
+        replies: Vec<(u32, AggReply)>,
+    },
 }
 
 /// Traffic classes used by the [`crate::BandwidthMeter`].
@@ -342,6 +470,22 @@ impl Message {
             Message::Tagged { inner, .. } => inner.class(),
             Message::Release => TrafficClass::Control,
             Message::HealthProbe { .. } | Message::HealthAck { .. } => TrafficClass::Control,
+            // Aggregate containers are classified by their payload: a
+            // merged broadcast is still feedback, a merged reply frame is
+            // whatever its first delivered reply is. Mixed-class scatters
+            // take the first part's class — the meter's per-class split is
+            // diagnostic, the totals stay exact.
+            Message::AggBroadcast { inner, .. } => inner.class(),
+            Message::AggScatter { parts } => {
+                parts.first().map_or(TrafficClass::Control, |(_, m)| m.class())
+            }
+            Message::AggReplies { replies } => replies
+                .iter()
+                .find_map(|(_, r)| match r {
+                    AggReply::Ok(m) => Some(m.class()),
+                    AggReply::Err(_) => None,
+                })
+                .unwrap_or(TrafficClass::Reply),
         }
     }
 
@@ -365,6 +509,19 @@ impl Message {
             // Injected updates are simulation scaffolding, not traffic.
             Message::InjectInsert(_) | Message::InjectDelete(_) => 0,
             Message::Tagged { inner, .. } => inner.tuple_count(),
+            // A merged broadcast ships its payload ONCE regardless of how
+            // many member sites it addresses — the root-link saving the
+            // tree topology exists for. Scatter parts and merged replies
+            // each carry their own payloads and sum.
+            Message::AggBroadcast { inner, .. } => inner.tuple_count(),
+            Message::AggScatter { parts } => parts.iter().map(|(_, m)| m.tuple_count()).sum(),
+            Message::AggReplies { replies } => replies
+                .iter()
+                .map(|(_, r)| match r {
+                    AggReply::Ok(m) => m.tuple_count(),
+                    AggReply::Err(_) => 0,
+                })
+                .sum(),
             _ => 0,
         }
     }
@@ -504,6 +661,32 @@ impl Message {
                 buf.put_u8(28);
                 buf.put_u64(*nonce);
             }
+            Message::AggBroadcast { sites, inner } => {
+                buf.put_u8(29);
+                buf.put_u32(sites.len() as u32);
+                for &s in sites {
+                    buf.put_u32(s);
+                }
+                // The inner message is the rest of the frame, like Tagged.
+                inner.encode_body(buf);
+            }
+            Message::AggScatter { parts } => {
+                buf.put_u8(30);
+                buf.put_u32(parts.len() as u32);
+                for (site, msg) in parts {
+                    buf.put_u32(*site);
+                    buf.put_u32(msg.encoded_len() as u32);
+                    msg.encode_body(buf);
+                }
+            }
+            Message::AggReplies { replies } => {
+                buf.put_u8(31);
+                buf.put_u32(replies.len() as u32);
+                for (site, reply) in replies {
+                    buf.put_u32(*site);
+                    reply.encode(buf);
+                }
+            }
         }
     }
 
@@ -543,6 +726,13 @@ impl Message {
                 crate::wire::survivals_encoded_len(survivals.len()) - 1
             }
             Message::HealthProbe { .. } | Message::HealthAck { .. } => 8,
+            Message::AggBroadcast { sites, inner } => 4 + 4 * sites.len() + inner.encoded_len(),
+            Message::AggScatter { parts } => {
+                4 + parts.iter().map(|(_, m)| 4 + 4 + m.encoded_len()).sum::<usize>()
+            }
+            Message::AggReplies { replies } => {
+                4 + replies.iter().map(|(_, r)| 4 + r.encoded_len()).sum::<usize>()
+            }
         }
     }
 
@@ -691,6 +881,58 @@ impl Message {
                 }
                 Message::HealthAck { nonce: buf.get_u64() }
             }
+            29 => {
+                if buf.remaining() < 4 {
+                    return None;
+                }
+                let n = buf.get_u32() as usize;
+                if buf.remaining() < 4 * n {
+                    return None;
+                }
+                let sites = (0..n).map(|_| buf.get_u32()).collect();
+                // The inner message is the rest of the frame; the recursive
+                // decode enforces its own exact-length contract.
+                let inner = Box::new(Self::decode_slice(buf)?);
+                buf = &[];
+                Message::AggBroadcast { sites, inner }
+            }
+            30 => {
+                if buf.remaining() < 4 {
+                    return None;
+                }
+                let n = buf.get_u32() as usize;
+                let mut parts = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    if buf.remaining() < 8 {
+                        return None;
+                    }
+                    let site = buf.get_u32();
+                    let len = buf.get_u32() as usize;
+                    if buf.remaining() < len {
+                        return None;
+                    }
+                    let msg = Self::decode_slice(&buf[..len])?;
+                    buf = &buf[len..];
+                    parts.push((site, msg));
+                }
+                Message::AggScatter { parts }
+            }
+            31 => {
+                if buf.remaining() < 4 {
+                    return None;
+                }
+                let n = buf.get_u32() as usize;
+                let mut replies = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    if buf.remaining() < 4 {
+                        return None;
+                    }
+                    let site = buf.get_u32();
+                    let reply = AggReply::decode(&mut buf)?;
+                    replies.push((site, reply));
+                }
+                Message::AggReplies { replies }
+            }
             _ => return None,
         };
         if buf.has_remaining() {
@@ -760,12 +1002,46 @@ mod tests {
             Message::HealthProbe { nonce: 0xfeed_beef },
             Message::HealthAck { nonce: 0xfeed_beef },
             Message::Tagged { query_id: 3, inner: Box::new(Message::HealthProbe { nonce: 12 }) },
+            Message::AggBroadcast {
+                sites: vec![4, 5, 6, 7],
+                inner: Box::new(Message::Feedback(sample_tuple_msg())),
+            },
+            // Columnar wire twin inside an aggregate container: the tree
+            // topology's bulk frames are the same containers around the
+            // same columnar payloads.
+            Message::AggBroadcast {
+                sites: vec![0, 1],
+                inner: Box::new(Message::FeedbackBatchC(crate::TupleBlock::from_msgs(&vec![
+                    sample_tuple_msg();
+                    3
+                ]))),
+            },
+            Message::AggScatter {
+                parts: vec![
+                    (2, Message::RequestNext),
+                    (3, Message::FeedbackBatch(vec![sample_tuple_msg(); 2])),
+                ],
+            },
+            Message::AggReplies {
+                replies: vec![
+                    (2, AggReply::Ok(Box::new(Message::Upload(Some(sample_tuple_msg()))))),
+                    (3, AggReply::Err(LinkError::Timeout)),
+                    (4, AggReply::Err(LinkError::Io("connection reset".into()))),
+                ],
+            },
+            Message::Tagged {
+                query_id: 11,
+                inner: Box::new(Message::AggBroadcast {
+                    sites: vec![0, 1, 2],
+                    inner: Box::new(Message::RequestNext),
+                }),
+            },
         ]
     }
 
     /// Golden wire contract: `encoded_len` is the exact frame length for
     /// every variant — the pipelined transports pre-reserve outstanding
-    /// frames from it — and the sample set covers every wire tag `0..=28`.
+    /// frames from it — and the sample set covers every wire tag `0..=31`.
     /// Adding a message variant without extending `all_messages` (and
     /// without a matching `encoded_len` arm) fails here, not in a
     /// transport at 2 a.m.
@@ -780,6 +1056,9 @@ mod tests {
             Message::SurvivalBatchReplyC { survivals: Vec::new(), pruned: 0 },
             Message::ReplicaSyncC(crate::TupleBlock::default()),
             Message::RegionReplyC(crate::TupleBlock::default()),
+            Message::AggBroadcast { sites: Vec::new(), inner: Box::new(Message::Ack) },
+            Message::AggScatter { parts: Vec::new() },
+            Message::AggReplies { replies: Vec::new() },
         ];
         let mut tags = Vec::new();
         for msg in all_messages().into_iter().chain(empties) {
@@ -789,7 +1068,7 @@ mod tests {
         }
         tags.sort_unstable();
         tags.dedup();
-        assert_eq!(tags, (0u8..=28).collect::<Vec<_>>(), "every wire tag 0..=28 represented");
+        assert_eq!(tags, (0u8..=31).collect::<Vec<_>>(), "every wire tag 0..=31 represented");
     }
 
     /// The columnar frames are re-encodings, not new semantics: each
@@ -1039,6 +1318,131 @@ mod tests {
         assert_eq!(Message::Ack.class(), TrafficClass::Control);
         assert_eq!(Message::NotifyInsert(sample_tuple_msg()).class(), TrafficClass::Maintenance);
         assert_eq!(Message::InjectInsert(sample_tuple_msg()).class(), TrafficClass::Scaffold);
+    }
+
+    /// Aggregate containers charge the paper's bandwidth unit by what they
+    /// actually ship on the root link: a merged broadcast counts its
+    /// payload once no matter how many member sites it addresses, while
+    /// scatter parts and merged replies sum their own payloads.
+    #[test]
+    fn aggregate_frames_charge_merged_costs() {
+        let feedback = Message::Feedback(sample_tuple_msg());
+        let merged = Message::AggBroadcast {
+            sites: vec![0, 1, 2, 3, 4, 5, 6, 7],
+            inner: Box::new(feedback.clone()),
+        };
+        assert_eq!(merged.tuple_count(), 1, "payload charged once, not per member");
+        assert_eq!(merged.class(), TrafficClass::Feedback);
+        // The merged frame is far smaller than eight copies of the inner.
+        assert!(merged.encoded_len() < 8 * feedback.encoded_len());
+
+        let scatter = Message::AggScatter {
+            parts: vec![
+                (0, Message::FeedbackBatch(vec![sample_tuple_msg(); 3])),
+                (5, Message::FeedbackBatch(vec![sample_tuple_msg(); 2])),
+            ],
+        };
+        assert_eq!(scatter.tuple_count(), 5);
+        assert_eq!(scatter.class(), TrafficClass::Feedback);
+
+        let replies = Message::AggReplies {
+            replies: vec![
+                (0, AggReply::Ok(Box::new(Message::Upload(Some(sample_tuple_msg()))))),
+                (1, AggReply::Err(LinkError::Disconnected)),
+                (2, AggReply::Ok(Box::new(Message::Upload(None)))),
+            ],
+        };
+        assert_eq!(replies.tuple_count(), 1);
+        assert_eq!(replies.class(), TrafficClass::Upload);
+        // Containers opt out of the columnar bytes-saved accounting; the
+        // inner frames' savings are a root-link concern the topology
+        // experiment measures directly.
+        assert_eq!(merged.legacy_encoded_len(), None);
+        assert_eq!(scatter.legacy_encoded_len(), None);
+
+        // Round-trip through the AggReply <-> Result conversions.
+        let ok = AggReply::from_result(Ok(Message::Ack));
+        assert_eq!(ok.into_result(), Ok(Message::Ack));
+        let err = AggReply::from_result(Err(LinkError::Timeout));
+        assert_eq!(err.into_result(), Err(LinkError::Timeout));
+    }
+
+    /// Malformed aggregate frames: truncations at every section boundary,
+    /// inflated counts and lengths, bad error tags, trailing bytes. Every
+    /// entry must decode to `None`, never panic — the daemon answers
+    /// [`Message::DecodeError`] and keeps serving.
+    #[test]
+    fn malformed_aggregate_frames_decode_to_none() {
+        let bcast = Message::AggBroadcast {
+            sites: vec![0, 1, 2],
+            inner: Box::new(Message::Feedback(sample_tuple_msg())),
+        }
+        .encode();
+        let scatter = Message::AggScatter {
+            parts: vec![(0, Message::RequestNext), (1, Message::Feedback(sample_tuple_msg()))],
+        }
+        .encode();
+        let replies = Message::AggReplies {
+            replies: vec![
+                (0, AggReply::Ok(Box::new(Message::Upload(None)))),
+                (1, AggReply::Err(LinkError::Io("boom".into()))),
+            ],
+        }
+        .encode();
+        assert!(Message::decode_slice(&bcast).is_some());
+        assert!(Message::decode_slice(&scatter).is_some());
+        assert!(Message::decode_slice(&replies).is_some());
+
+        let mut corpus: Vec<Vec<u8>> = Vec::new();
+        // Bare tags and truncated counts.
+        for tag in [29u8, 30, 31] {
+            corpus.push(vec![tag]);
+            corpus.push(vec![tag, 0, 0]);
+        }
+        // AggBroadcast: truncated site list, missing inner, trailing byte,
+        // inflated site count.
+        for cut in [5, 8, 17, bcast.len() - 1] {
+            corpus.push(bcast[..cut].to_vec());
+        }
+        let mut long = bcast.to_vec();
+        long.push(0);
+        corpus.push(long);
+        let mut inflated = bcast.to_vec();
+        inflated[1..5].copy_from_slice(&1000u32.to_be_bytes());
+        corpus.push(inflated);
+        // AggScatter: cut mid part header, mid part payload, inflated part
+        // length (overruns the frame), deflated part length (leaves
+        // trailing bytes in the part slice).
+        for cut in [6, 12, scatter.len() - 1] {
+            corpus.push(scatter[..cut].to_vec());
+        }
+        for len in [1000u32, 0] {
+            let mut bad = scatter.to_vec();
+            bad[9..13].copy_from_slice(&len.to_be_bytes());
+            corpus.push(bad);
+        }
+        // AggReplies: cut mid entry, bad outcome tag, inflated ok length,
+        // invalid utf-8 in an Io detail.
+        for cut in [6, 10, replies.len() - 1] {
+            corpus.push(replies[..cut].to_vec());
+        }
+        // Layout: [tag][count u32][site u32][reply tag u8][ok len u32]...
+        let mut bad_tag = replies.to_vec();
+        bad_tag[9] = 9;
+        corpus.push(bad_tag);
+        let mut bad_len = replies.to_vec();
+        bad_len[10..14].copy_from_slice(&1000u32.to_be_bytes());
+        corpus.push(bad_len);
+        let mut bad_utf8 = replies.to_vec();
+        let io_detail_at = replies.len() - 4; // "boom" is the last payload
+        bad_utf8[io_detail_at] = 0xff;
+        corpus.push(bad_utf8);
+        for (i, frame) in corpus.iter().enumerate() {
+            assert!(
+                Message::decode_slice(frame).is_none(),
+                "aggregate corpus entry {i} must reject: {frame:?}"
+            );
+        }
     }
 
     #[test]

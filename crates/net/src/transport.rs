@@ -262,6 +262,24 @@ pub trait Link: Send {
     }
 }
 
+impl<L: Link + ?Sized> Link for Box<L> {
+    fn send(&mut self, msg: Message) -> Result<Ticket, LinkError> {
+        (**self).send(msg)
+    }
+
+    fn complete(&mut self, ticket: Ticket) -> Result<Message, LinkError> {
+        (**self).complete(ticket)
+    }
+
+    fn call(&mut self, msg: Message) -> Result<Message, LinkError> {
+        (**self).call(msg)
+    }
+
+    fn reconnect(&mut self) -> Result<(), LinkError> {
+        (**self).reconnect()
+    }
+}
+
 /// Puts `msg` in flight on every link selected by `include`, then collects
 /// the replies in link order.
 ///

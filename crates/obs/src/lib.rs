@@ -59,7 +59,11 @@ use serde::{Deserialize, Serialize};
 ///   and `heartbeat_misses` plus the per-query-deadline counter
 ///   `cancelled` to the counter snapshot. Schema ≤ 7 files still
 ///   deserialize (counters default to 0).
-pub const SCHEMA_VERSION: u32 = 8;
+/// * 9 — adds the topology counters `agg_merged_frames` and
+///   `agg_fold_ops` to the counter snapshot plus the run's `topology`,
+///   `agg_depth`, and `root_fanout` configuration stamps. Schema ≤ 8
+///   files still deserialize (counters default to 0, stamps to `None`).
+pub const SCHEMA_VERSION: u32 = 9;
 
 /// Typed counters of the paper's cost model.
 ///
@@ -153,9 +157,16 @@ pub enum Counter {
     /// Queries cancelled by their `--deadline` before termination; the
     /// partial progressive outcome is stamped `cancelled`.
     Cancelled,
+    /// Logical per-site deliveries the root link did *not* carry because a
+    /// tree topology merged them into aggregate frames (per merged frame:
+    /// member count minus one). Zero in a flat run.
+    AggMergedFrames,
+    /// Per-site replies the root folded out of merged `AggReplies` frames.
+    /// Zero in a flat run.
+    AggFoldOps,
 }
 
-const COUNTER_COUNT: usize = 28;
+const COUNTER_COUNT: usize = 30;
 
 impl Counter {
     fn index(self) -> usize {
@@ -293,6 +304,13 @@ pub struct CounterSnapshot {
     /// Final value of [`Counter::Cancelled`]. Absent (0) before schema 8.
     #[serde(default)]
     pub cancelled: u64,
+    /// Final value of [`Counter::AggMergedFrames`]. Absent (0) before
+    /// schema 9.
+    #[serde(default)]
+    pub agg_merged_frames: u64,
+    /// Final value of [`Counter::AggFoldOps`]. Absent (0) before schema 9.
+    #[serde(default)]
+    pub agg_fold_ops: u64,
 }
 
 impl CounterSnapshot {
@@ -326,6 +344,8 @@ impl CounterSnapshot {
             resync_ops: c[Counter::ResyncOps.index()],
             heartbeat_misses: c[Counter::HeartbeatMisses.index()],
             cancelled: c[Counter::Cancelled.index()],
+            agg_merged_frames: c[Counter::AggMergedFrames.index()],
+            agg_fold_ops: c[Counter::AggFoldOps.index()],
         }
     }
 
@@ -360,6 +380,8 @@ impl CounterSnapshot {
             Counter::ResyncOps => self.resync_ops,
             Counter::HeartbeatMisses => self.heartbeat_misses,
             Counter::Cancelled => self.cancelled,
+            Counter::AggMergedFrames => self.agg_merged_frames,
+            Counter::AggFoldOps => self.agg_fold_ops,
         }
     }
 }
@@ -410,6 +432,19 @@ pub struct RunReport {
     /// caller that knows it; `None` otherwise. Absent before schema 7.
     #[serde(default)]
     pub wire: Option<String>,
+    /// Topology the run fanned out through (`"flat"`, `"tree:4"`,
+    /// `"auto"`), stamped by the caller that knows it; `None` otherwise.
+    /// Absent before schema 9.
+    #[serde(default)]
+    pub topology: Option<String>,
+    /// Aggregation layers between the root and the sites (0 = flat),
+    /// stamped by the caller that knows it. Absent before schema 9.
+    #[serde(default)]
+    pub agg_depth: Option<u32>,
+    /// Physical links the root held, stamped by the caller that knows it.
+    /// Equals the site count in a flat run. Absent before schema 9.
+    #[serde(default)]
+    pub root_fanout: Option<usize>,
     /// Progressive answer trace, in report order (timestamps are
     /// monotonically non-decreasing).
     pub progressive: Vec<ProgressSample>,
@@ -559,6 +594,9 @@ impl Recorder {
             pipeline: None,
             query_id: None,
             wire: None,
+            topology: None,
+            agg_depth: None,
+            root_fanout: None,
         })
     }
 }
@@ -940,6 +978,62 @@ mod tests {
         assert_eq!(report.counters.cancelled, 0);
         assert_eq!(report.counters.get(Counter::Rejoins), 0);
         assert_eq!(report.wire.as_deref(), Some("columnar"));
+    }
+
+    #[test]
+    fn schema_eight_reports_deserialize_with_zero_topology_counters() {
+        // A schema-8 file predates the topology counters and the
+        // `topology` / `agg_depth` / `root_fanout` stamps; they must fill
+        // in as zero / `None` rather than failing the parse.
+        let json = r#"{
+            "schema_version": 8,
+            "algorithm": "dsud",
+            "wall_ms": 1.0,
+            "counters": {
+                "bytes_sent": 9, "messages": 4, "tuples_shipped": 2,
+                "feedback_broadcasts": 1, "rounds": 1, "expunged": 0,
+                "pruned_at_sites": 0, "prtree_nodes_visited": 0,
+                "prtree_pruned_subtrees": 0, "local_skyline_size": 0,
+                "progressive_results": 1, "link_retries": 0,
+                "link_timeouts": 0, "quarantined_sites": 0,
+                "batched_rounds": 2, "multi_probe_node_visits": 40,
+                "pipeline_depth": 2, "overlapped_rounds": 1,
+                "refill_overlap_us": 300, "cache_hits": 1,
+                "admission_wait_us": 50, "columnar_frames": 3,
+                "bytes_saved": 128, "decode_ns": 900,
+                "rejoins": 1, "resync_ops": 5, "heartbeat_misses": 3,
+                "cancelled": 0
+            },
+            "spans": [],
+            "phases": [],
+            "transport": "tcp",
+            "threads": 4,
+            "batch_size": "auto",
+            "pipeline": "auto",
+            "query_id": 3,
+            "wire": "columnar",
+            "progressive": []
+        }"#;
+        let report: RunReport = serde_json::from_str(json).unwrap();
+        assert_eq!(report.counters.rejoins, 1);
+        assert_eq!(report.counters.agg_merged_frames, 0);
+        assert_eq!(report.counters.agg_fold_ops, 0);
+        assert_eq!(report.counters.get(Counter::AggMergedFrames), 0);
+        assert_eq!(report.topology, None);
+        assert_eq!(report.agg_depth, None);
+        assert_eq!(report.root_fanout, None);
+    }
+
+    #[test]
+    fn topology_counters_flow_into_the_snapshot() {
+        let rec = Recorder::enabled();
+        rec.add(Counter::AggMergedFrames, 48);
+        rec.add(Counter::AggFoldOps, 64);
+        let report = rec.report("dsud").unwrap();
+        assert_eq!(report.counters.agg_merged_frames, 48);
+        assert_eq!(report.counters.agg_fold_ops, 64);
+        assert_eq!(report.counters.get(Counter::AggFoldOps), 64);
+        assert_eq!(report.topology, None, "stamped by the caller, not the recorder");
     }
 
     #[test]
