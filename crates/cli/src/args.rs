@@ -1,7 +1,9 @@
 use std::collections::HashMap;
 use std::path::PathBuf;
 
-use dsud_core::{BatchSize, FailurePolicy, PipelineDepth, Topology, Transport, WireFormat};
+use dsud_core::{
+    BatchSize, FailurePolicy, PipelineDepth, PlanMode, Topology, Transport, WireFormat,
+};
 
 use crate::CliError;
 
@@ -105,6 +107,12 @@ pub enum Command {
         /// F = ceil(sqrt(m)). Answers are bit-identical at every setting;
         /// only root-link frame and byte counts change.
         topology: Topology,
+        /// Round planning: `sketch` (default) gathers one mergeable sketch
+        /// per site before the first round and sizes `--batch auto` rounds
+        /// from the observed distribution; `static` keeps the fixed queue
+        /// clamp. Bit-identical answers either way; only round shape (and
+        /// hence frame counts) changes.
+        plan: PlanMode,
     },
     /// Run the long-lived session daemon: sites stay resident and many
     /// concurrent clients multiplex queries onto them.
@@ -150,6 +158,9 @@ pub enum Command {
         /// probe one link per aggregator subtree, and a lost aggregator
         /// quarantines its whole subtree as a unit.
         topology: Topology,
+        /// Round planning applied to every query (same semantics as
+        /// `query`; chosen by the operator, not per client).
+        plan: PlanMode,
     },
     /// Send one request to a running `dsud serve` daemon.
     Client {
@@ -220,14 +231,14 @@ USAGE:
                 [--subspace 0,2,...] [--limit <K>] [--seed <S>] [--report <FILE>]
                 [--transport inline|threaded|tcp] [--failure strict|degrade]
                 [--batch <K>|auto] [--pipeline <W>|auto] [--wire columnar|legacy]
-                [--topology flat|tree:<F>|auto]
+                [--topology flat|tree:<F>|auto] [--plan sketch|static]
   dsud vertical --input <FILE> [--q <Q>]
   dsud stream   --input <FILE> [--q <Q>] [--window <W>] [--every <K>]
   dsud estimate [--n <N>] [--dims <D>] [--sites <M>]
   dsud serve    --input <FILE> [--sites <M>] [--seed <S>] [--port <P>]
                 [--transport inline|threaded|tcp] [--failure strict|degrade]
                 [--batch <K>|auto] [--pipeline <W>|auto] [--wire columnar|legacy]
-                [--topology flat|tree:<F>|auto]
+                [--topology flat|tree:<F>|auto] [--plan sketch|static]
                 [--max-concurrent <N>] [--cache <N>]
                 [--heartbeat <N>] [--op-log <N>]
   dsud client   --addr <HOST:PORT> [--algorithm dsud|edsud] [--q <Q>]
@@ -256,6 +267,12 @@ Flag notes:
                carry the chosen wire layout inside them). With --failure
                degrade, a dead aggregator quarantines its whole subtree,
                stamped as upper bounds like any lost site.
+  --plan       sketch (default) gathers one compact mergeable sketch per
+               site before the first round and sizes --batch auto rounds
+               from the observed probability distribution; static keeps
+               the fixed clamp. Only pays off with --batch auto; answers
+               stay bit-identical either way, and a site that cannot ship
+               a sketch silently falls back to the static schedule.
   --deadline   (client) per-query budget in ms; the server cancels at the
                next round boundary and streams the partial answer, marked
                CANCELLED. Nothing cancelled or degraded enters the cache.
@@ -358,6 +375,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 pipeline: pipeline_flag(get("pipeline"))?,
                 wire: wire_flag(get("wire"))?,
                 topology: topology_flag(get("topology"))?,
+                plan: plan_flag(get("plan"))?,
             })
         }
         "serve" => {
@@ -385,6 +403,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 heartbeat: parse_num("heartbeat", 0)? as u64,
                 op_log: parse_num("op-log", 1024)?,
                 topology: topology_flag(get("topology"))?,
+                plan: plan_flag(get("plan"))?,
             })
         }
         "client" => {
@@ -511,6 +530,18 @@ fn wire_flag(v: Option<&str>) -> Result<WireFormat, CliError> {
     }
 }
 
+/// Parses `--plan` (defaults to `sketch`: the CLI always prefers the
+/// adaptive round planner; the library default stays `static` for
+/// frame-count-pinned compatibility tests).
+fn plan_flag(v: Option<&str>) -> Result<PlanMode, CliError> {
+    match v {
+        Some(v) => v
+            .parse::<PlanMode>()
+            .map_err(|_| CliError::Usage(format!("--plan expects sketch|static, got '{v}'"))),
+        None => Ok(PlanMode::Sketch),
+    }
+}
+
 /// Parses `--topology` (defaults to `flat`). Nonsensical fan-outs fail
 /// here, before any data is loaded: `tree:1` would merge nothing and
 /// `tree:0` would fan out to nobody, so both are usage errors.
@@ -621,6 +652,7 @@ mod tests {
             pipeline,
             wire,
             topology,
+            plan,
             ..
         } = parse(&argv("query --input d.jsonl")).unwrap()
         else {
@@ -635,6 +667,7 @@ mod tests {
         assert_eq!(pipeline, PipelineDepth::Fixed(1));
         assert_eq!(wire, WireFormat::Columnar);
         assert_eq!(topology, Topology::Flat);
+        assert_eq!(plan, PlanMode::Sketch);
     }
 
     #[test]
@@ -685,6 +718,25 @@ mod tests {
         };
         assert_eq!(wire, WireFormat::Legacy);
         assert!(parse(&argv("query --input d.jsonl --wire carrier-pigeon")).is_err());
+    }
+
+    #[test]
+    fn parses_plan_modes() {
+        for (flag, expected) in [("sketch", PlanMode::Sketch), ("static", PlanMode::Static)] {
+            let Command::Query { plan, .. } =
+                parse(&argv(&format!("query --input d.jsonl --plan {flag}"))).unwrap()
+            else {
+                panic!()
+            };
+            assert_eq!(plan, expected);
+        }
+        let Command::Serve { plan, .. } =
+            parse(&argv("serve --input d.jsonl --plan static")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(plan, PlanMode::Static);
+        assert!(parse(&argv("query --input d.jsonl --plan crystal-ball")).is_err());
     }
 
     #[test]

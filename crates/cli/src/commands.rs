@@ -9,8 +9,8 @@ use rand::SeedableRng;
 use dsud_core::update::UpdateOp;
 use dsud_core::{
     baseline, BandwidthMeter, BatchSize, Cluster, FailurePolicy, LinkConfig, PipelineDepth,
-    QueryConfig, QueryOutcome, Recorder, SessionOptions, SessionServer, SiteOptions, SubspaceMask,
-    Topology, Transport, WireFormat,
+    PlanMode, PlanSummary, QueryConfig, QueryOutcome, Recorder, RunReport, SessionOptions,
+    SessionServer, SiteOptions, SubspaceMask, Topology, Transport, WireFormat,
 };
 use dsud_data::nyse::NyseSpec;
 use dsud_data::{partition_uniform, ProbabilityLaw, SpatialDistribution, WorkloadSpec};
@@ -53,6 +53,7 @@ pub fn run<W: Write>(cmd: &Command, out: &mut W) -> Result<(), CliError> {
             pipeline,
             wire,
             topology,
+            plan,
         } => query(
             input,
             *sites,
@@ -68,6 +69,7 @@ pub fn run<W: Write>(cmd: &Command, out: &mut W) -> Result<(), CliError> {
             *pipeline,
             *wire,
             *topology,
+            *plan,
             out,
         ),
         Command::Vertical { input, q } => vertical(input, *q, out),
@@ -87,6 +89,7 @@ pub fn run<W: Write>(cmd: &Command, out: &mut W) -> Result<(), CliError> {
             heartbeat,
             op_log,
             topology,
+            plan,
         } => serve(
             input,
             *sites,
@@ -102,6 +105,7 @@ pub fn run<W: Write>(cmd: &Command, out: &mut W) -> Result<(), CliError> {
             *heartbeat,
             *op_log,
             *topology,
+            *plan,
             out,
         ),
         Command::Client {
@@ -227,6 +231,7 @@ fn query<W: Write>(
     pipeline: PipelineDepth,
     wire: WireFormat,
     topology: Topology,
+    plan: PlanMode,
     out: &mut W,
 ) -> Result<(), CliError> {
     let tuples = read_tuples(input)?;
@@ -240,7 +245,8 @@ fn query<W: Write>(
         .failure_policy(failure)
         .batch_size(batch)
         .pipeline_depth(pipeline)
-        .wire_format(wire);
+        .wire_format(wire)
+        .plan_mode(plan);
     if let Some(dims_spec) = subspace {
         config = config.subspace(SubspaceMask::from_dims(dims_spec)?);
     }
@@ -258,10 +264,15 @@ fn query<W: Write>(
     };
 
     // The centralized baseline has no sites to transport between: it
-    // always runs in process, whatever --transport says.
+    // always runs in process, whatever --transport says — and with no
+    // rounds to plan, no plan phase either.
     let used_transport = match algorithm {
         Algorithm::Baseline => Transport::Inline,
         _ => transport,
+    };
+    let used_plan = match algorithm {
+        Algorithm::Baseline => PlanMode::Static,
+        _ => plan,
     };
     // `(depth, root links)` of the assembled fan-out plan, stamped into
     // the report; the centralized baseline has no plan at all.
@@ -303,6 +314,7 @@ fn query<W: Write>(
             run_report.agg_depth = Some(depth);
             run_report.root_fanout = Some(root_fanout);
         }
+        stamp_plan(&mut run_report, used_plan, outcome.plan.as_ref());
         let json = serde_json::to_string_pretty(&run_report)
             .map_err(|e| CliError::Library(format!("cannot serialize run report: {e}")))?;
         fs::write(path, json)?;
@@ -359,6 +371,19 @@ fn query<W: Write>(
         )?;
     }
     Ok(())
+}
+
+/// Stamps a run report's plan-phase fields: the mode that ran, and — when
+/// a sketch gather actually happened — its cost (`sketch_bytes`,
+/// `plan_us`) and decision (`planned_batch`, absent when the gather
+/// degraded back to the static schedule).
+fn stamp_plan(report: &mut RunReport, plan: PlanMode, summary: Option<&PlanSummary>) {
+    report.plan = Some(plan.to_string());
+    if let Some(s) = summary {
+        report.sketch_bytes = Some(s.sketch_bytes);
+        report.plan_us = Some(s.plan_us);
+        report.planned_batch = s.planned_batch;
+    }
 }
 
 fn vertical<W: Write>(input: &std::path::Path, q: f64, out: &mut W) -> Result<(), CliError> {
@@ -439,6 +464,7 @@ struct ServeHandler {
     pipeline: PipelineDepth,
     wire: WireFormat,
     topology: Topology,
+    plan: PlanMode,
 }
 
 impl ServeHandler {
@@ -447,7 +473,8 @@ impl ServeHandler {
             .failure_policy(self.failure)
             .batch_size(self.batch)
             .pipeline_depth(self.pipeline)
-            .wire_format(self.wire);
+            .wire_format(self.wire)
+            .plan_mode(self.plan);
         if let Some(dims) = &spec.subspace {
             config = config.subspace(SubspaceMask::from_dims(dims)?);
         }
@@ -476,6 +503,7 @@ impl ServeHandler {
             report.topology = Some(self.topology.to_string());
             report.agg_depth = Some(self.session.plan().depth());
             report.root_fanout = Some(self.session.plan().root_fanout());
+            stamp_plan(report, self.plan, outcome.outcome.plan.as_ref());
         }
         Ok(outcome)
     }
@@ -587,6 +615,7 @@ fn serve<W: Write>(
     heartbeat: u64,
     op_log: usize,
     topology: Topology,
+    plan: PlanMode,
     out: &mut W,
 ) -> Result<(), CliError> {
     let tuples = read_tuples(input)?;
@@ -625,6 +654,7 @@ fn serve<W: Write>(
         pipeline,
         wire,
         topology,
+        plan,
     })?;
     writeln!(
         out,
@@ -834,6 +864,7 @@ mod tests {
                 PipelineDepth::Auto,
                 WireFormat::Columnar,
                 Topology::Tree(2),
+                PlanMode::Sketch,
                 &mut out,
             )
             .unwrap();
@@ -856,6 +887,17 @@ mod tests {
             assert!(
                 report.counters.agg_merged_frames > 0,
                 "a tree run merges at least the start broadcast"
+            );
+            assert_eq!(report.plan.as_deref(), Some("sketch"));
+            assert!(report.sketch_bytes.unwrap() > 0, "sketch frames were received and charged");
+            assert!(report.plan_us.is_some());
+            assert!(
+                report.planned_batch.unwrap() >= dsud_core::planner::PLAN_BATCH_MIN,
+                "the planner never caps below the static auto clamp"
+            );
+            assert_eq!(
+                report.counters.sketch_merges, 1,
+                "a 2-link tree root folds one sketch beyond the first"
             );
             assert!(!report.phases.is_empty(), "per-phase totals are aggregated");
             fs::remove_file(&path).unwrap();

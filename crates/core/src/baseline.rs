@@ -73,6 +73,7 @@ pub fn run(
         degraded: false,
         cancelled: false,
         sites: Vec::new(),
+        plan: None,
     })
 }
 

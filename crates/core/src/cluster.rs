@@ -113,6 +113,11 @@ pub struct QueryOutcome {
     /// field existed.
     #[serde(default)]
     pub sites: Vec<SiteStatus>,
+    /// What the plan phase observed and decided ([`crate::PlanMode::Sketch`]
+    /// runs only). `None` for static runs and for outcomes serialized
+    /// before the plan phase existed.
+    #[serde(default)]
+    pub plan: Option<crate::PlanSummary>,
 }
 
 impl QueryOutcome {
@@ -779,6 +784,7 @@ impl Cluster {
             config.pipeline,
             config.wire,
             config.deadline_ms,
+            config.plan,
         )
     }
 
@@ -804,6 +810,7 @@ impl Cluster {
             config.pipeline,
             config.wire,
             config.deadline_ms,
+            config.plan,
         )
     }
 }
@@ -935,6 +942,7 @@ mod tests {
             degraded: true,
             cancelled: true,
             sites: vec![SiteStatus { site: 0, quarantined: None, state: None }],
+            plan: None,
         };
         let json = serde_json::to_string(&outcome).unwrap();
         // `degraded`, `cancelled`, and `sites` are the struct's trailing

@@ -354,6 +354,61 @@ impl std::str::FromStr for WireFormat {
     }
 }
 
+/// How the coordinator sizes its rounds (batch budgets, refill shape).
+///
+/// Planning is a pure scheduling optimization: it only adjusts how many
+/// candidates ride each Server-Delivery round when the batch size is
+/// [`BatchSize::Auto`], never which tuples qualify. Results,
+/// probabilities, progress order, and `RunStats` are bit-identical under
+/// either mode — only frame counts (and the one-off plan-phase frames)
+/// differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum PlanMode {
+    /// No plan phase: `--batch auto` uses the fixed queue-clamp heuristic.
+    /// The default so configs and frame counts serialized before the plan
+    /// phase existed stay valid.
+    #[default]
+    Static,
+    /// Gather one mergeable sketch per site before the first round and
+    /// size `--batch auto` budgets from the observed skyline-probability
+    /// distribution instead of the Eq. 6 estimator.
+    Sketch,
+}
+
+impl PlanMode {
+    /// Stable lowercase name, as accepted by the [`std::str::FromStr`]
+    /// impl.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            PlanMode::Static => "static",
+            PlanMode::Sketch => "sketch",
+        }
+    }
+
+    /// Whether a plan phase (sketch gather) runs before the first round.
+    pub fn sketch(&self) -> bool {
+        matches!(self, PlanMode::Sketch)
+    }
+}
+
+impl std::fmt::Display for PlanMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for PlanMode {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "static" => Ok(PlanMode::Static),
+            "sketch" => Ok(PlanMode::Sketch),
+            _ => Err(Error::InvalidArgument("unknown plan mode (expected sketch|static)")),
+        }
+    }
+}
+
 /// Configuration of one distributed skyline query.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct QueryConfig {
@@ -404,6 +459,13 @@ pub struct QueryConfig {
     /// in configs serialized before the field existed) means no deadline.
     #[serde(default)]
     pub deadline_ms: Option<u64>,
+    /// Round-planning mode. Defaults to [`PlanMode::Static`] (no plan
+    /// phase, the schedule every pre-planner frame count was measured
+    /// against); absent in configs serialized before the field existed,
+    /// hence the serde default. Planning never changes the answer — see
+    /// [`PlanMode`].
+    #[serde(default)]
+    pub plan: PlanMode,
 }
 
 impl QueryConfig {
@@ -427,6 +489,7 @@ impl QueryConfig {
             pipeline: PipelineDepth::default(),
             wire: WireFormat::default(),
             deadline_ms: None,
+            plan: PlanMode::default(),
         })
     }
 
@@ -451,6 +514,12 @@ impl QueryConfig {
     /// Selects the wire layout for bulk-data frames.
     pub fn wire_format(mut self, wire: WireFormat) -> Self {
         self.wire = wire;
+        self
+    }
+
+    /// Selects the round-planning mode.
+    pub fn plan_mode(mut self, plan: PlanMode) -> Self {
+        self.plan = plan;
         self
     }
 
@@ -660,6 +729,33 @@ mod tests {
         assert_eq!(opts.wire, WireFormat::Legacy);
         let cfg = QueryConfig::new(0.3).unwrap().wire_format(WireFormat::Columnar);
         assert_eq!(cfg.wire, WireFormat::Columnar);
+    }
+
+    #[test]
+    fn plan_mode_round_trips_through_names() {
+        for (name, plan) in [("static", PlanMode::Static), ("sketch", PlanMode::Sketch)] {
+            let parsed: PlanMode = name.parse().expect("known plan mode");
+            assert_eq!(parsed, plan);
+            assert_eq!(plan.as_str(), name);
+            assert_eq!(plan.to_string(), name);
+        }
+        assert!(matches!("adaptive".parse::<PlanMode>(), Err(Error::InvalidArgument(_))));
+        assert!(PlanMode::Sketch.sketch());
+        assert!(!PlanMode::Static.sketch());
+    }
+
+    #[test]
+    fn configs_without_a_plan_field_deserialize_static() {
+        // A config serialized before the plan phase existed must keep the
+        // static auto-batch schedule (and its frame counts).
+        let json = r#"{"q":0.3,"mask":null,"bound":"Paper","limit":null,"synopsis":null}"#;
+        let cfg: QueryConfig = serde_json::from_str(json).unwrap();
+        assert_eq!(cfg.plan, PlanMode::Static);
+        let cfg = QueryConfig::new(0.3).unwrap().plan_mode(PlanMode::Sketch);
+        assert_eq!(cfg.plan, PlanMode::Sketch);
+        let round: QueryConfig =
+            serde_json::from_str(&serde_json::to_string(&cfg).unwrap()).unwrap();
+        assert_eq!(round.plan, PlanMode::Sketch);
     }
 
     #[test]

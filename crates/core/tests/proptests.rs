@@ -3,6 +3,7 @@
 
 use proptest::prelude::*;
 
+use dsud_core::estimate::expected_skyline_count;
 use dsud_core::{probabilistic_skyline, Cluster, QueryConfig, SubspaceMask};
 use dsud_core::{Probability, TupleId, UncertainDb, UncertainTuple};
 
@@ -95,5 +96,67 @@ proptest! {
         let outcome = cluster.run_edsud(&QueryConfig::new(0.3).unwrap()).unwrap();
         let worst = (n * m) as u64;
         prop_assert!(outcome.tuples_transmitted() <= worst);
+    }
+}
+
+/// Independent reimplementation of the Eq. 6 per-world kernel
+/// `ln^{d−1}(n) / d!` for cross-checking `estimate`.
+fn kernel_reference(d: usize, k: f64) -> f64 {
+    if k < 1.0 {
+        return 0.0;
+    }
+    let fact: f64 = (1..=d).map(|i| i as f64).product();
+    if d == 1 {
+        1.0
+    } else {
+        k.ln().powi((d - 1) as i32) / fact
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Eq. 6 is monotone in N: more tuples can only grow the expected
+    /// skyline (weakly — in 1-d it saturates at one tuple per world).
+    /// This deliberately straddles the estimator's internal switch from
+    /// exact enumeration to the Gaussian tail.
+    #[test]
+    fn expected_skyline_count_is_monotone_in_n(d in 1usize..=6, n in 1usize..4_000) {
+        let lo = expected_skyline_count(d, n);
+        let hi = expected_skyline_count(d, n + 1);
+        prop_assert!(
+            hi >= lo - 1e-12,
+            "H({}, {}) = {} fell below H({}, {}) = {}", d, n + 1, hi, d, n, lo
+        );
+    }
+
+    /// At small N the estimator must agree with brute force: enumerate all
+    /// 2^N materialized worlds (each equally likely once the uniform
+    /// existence probabilities are marginalized) and average the kernel.
+    #[test]
+    fn expected_skyline_count_matches_exhaustive_enumeration(
+        d in 1usize..=6,
+        n in 1usize..=12,
+    ) {
+        let worlds = 1u32 << n;
+        let mut exact = 0.0;
+        for mask in 0..worlds {
+            exact += kernel_reference(d, f64::from(mask.count_ones()));
+        }
+        exact /= f64::from(worlds);
+        let got = expected_skyline_count(d, n);
+        prop_assert!(
+            (got - exact).abs() <= 1e-12 * exact.max(1.0),
+            "H({}, {}) = {}, exhaustive enumeration {}", d, n, got, exact
+        );
+    }
+
+    /// 1-d edge of the kernel: every non-empty world contributes exactly
+    /// one skyline tuple, so H(1, N) is the non-empty-world mass.
+    #[test]
+    fn one_dimensional_expectation_is_the_non_empty_world_mass(n in 1usize..=64) {
+        let h = expected_skyline_count(1, n);
+        let want = 1.0 - 0.5f64.powi(n as i32);
+        prop_assert!((h - want).abs() < 1e-12, "H(1, {}) = {}, want {}", n, h, want);
     }
 }

@@ -421,6 +421,19 @@ pub enum Message {
         /// `(site, outcome)` entries, ascending by site.
         replies: Vec<(u32, AggReply)>,
     },
+    /// `H → site` (plan phase): ask for the site's current mergeable
+    /// synopsis. Sites answer with one [`Message::Sketch`]; a tree
+    /// aggregator fans the request to its children, merges their replies
+    /// associatively, and answers one combined sketch — the only reply
+    /// kind the tree may legally combine, because sketch merge (bucket
+    /// adds, register maxima) is order-free where survival-product folds
+    /// are not.
+    SketchRequest,
+    /// `site → H` / `aggregator → H` (plan phase): one compact
+    /// [`dsud_sketch::SiteSketch`] frame summarizing the local (or, from
+    /// an aggregator, subtree-merged) skyline-probability distribution.
+    /// Pure scheduling input: it never influences which tuples qualify.
+    Sketch(Box<dsud_sketch::SiteSketch>),
 }
 
 /// Traffic classes used by the [`crate::BandwidthMeter`].
@@ -486,6 +499,9 @@ impl Message {
                     AggReply::Err(_) => None,
                 })
                 .unwrap_or(TrafficClass::Reply),
+            // Plan-phase frames are control traffic with zero tuple weight:
+            // the paper's bandwidth unit must not move when planning is on.
+            Message::SketchRequest | Message::Sketch(_) => TrafficClass::Control,
         }
     }
 
@@ -687,6 +703,11 @@ impl Message {
                     reply.encode(buf);
                 }
             }
+            Message::SketchRequest => buf.put_u8(32),
+            Message::Sketch(sketch) => {
+                buf.put_u8(33);
+                sketch.encode(buf);
+            }
         }
     }
 
@@ -733,6 +754,8 @@ impl Message {
             Message::AggReplies { replies } => {
                 4 + replies.iter().map(|(_, r)| 4 + r.encoded_len()).sum::<usize>()
             }
+            Message::SketchRequest => 0,
+            Message::Sketch(_) => dsud_sketch::SiteSketch::encoded_len(),
         }
     }
 
@@ -933,6 +956,13 @@ impl Message {
                 }
                 Message::AggReplies { replies }
             }
+            32 => Message::SketchRequest,
+            33 => {
+                // The sketch payload carries its own magic/version header
+                // and a fixed exact length; the trailing has_remaining
+                // check below rejects any over-long frame.
+                Message::Sketch(Box::new(dsud_sketch::SiteSketch::decode(&mut buf)?))
+            }
             _ => return None,
         };
         if buf.has_remaining() {
@@ -946,6 +976,15 @@ impl Message {
 mod tests {
     use super::*;
     use dsud_uncertain::Probability;
+
+    fn sample_sketch() -> dsud_sketch::SiteSketch {
+        let mut s = dsud_sketch::SiteSketch::default();
+        for i in 0..24u64 {
+            s.record(1_000 + i, f64::from(i as u32 % 10) / 10.0 + 0.05);
+        }
+        s.forget(0.15);
+        s
+    }
 
     fn sample_tuple_msg() -> TupleMsg {
         let t = UncertainTuple::new(
@@ -1036,12 +1075,28 @@ mod tests {
                     inner: Box::new(Message::RequestNext),
                 }),
             },
+            Message::SketchRequest,
+            Message::Sketch(Box::new(sample_sketch())),
+            // Plan-phase frames compose with the session mux and the tree
+            // containers exactly like every other frame kind.
+            Message::Tagged { query_id: 13, inner: Box::new(Message::SketchRequest) },
+            Message::Tagged {
+                query_id: 13,
+                inner: Box::new(Message::Sketch(Box::new(sample_sketch()))),
+            },
+            Message::AggBroadcast { sites: vec![0, 1, 2], inner: Box::new(Message::SketchRequest) },
+            Message::AggReplies {
+                replies: vec![
+                    (0, AggReply::Ok(Box::new(Message::Sketch(Box::new(sample_sketch()))))),
+                    (1, AggReply::Err(LinkError::Timeout)),
+                ],
+            },
         ]
     }
 
     /// Golden wire contract: `encoded_len` is the exact frame length for
     /// every variant — the pipelined transports pre-reserve outstanding
-    /// frames from it — and the sample set covers every wire tag `0..=31`.
+    /// frames from it — and the sample set covers every wire tag `0..=33`.
     /// Adding a message variant without extending `all_messages` (and
     /// without a matching `encoded_len` arm) fails here, not in a
     /// transport at 2 a.m.
@@ -1068,7 +1123,7 @@ mod tests {
         }
         tags.sort_unstable();
         tags.dedup();
-        assert_eq!(tags, (0u8..=31).collect::<Vec<_>>(), "every wire tag 0..=31 represented");
+        assert_eq!(tags, (0u8..=33).collect::<Vec<_>>(), "every wire tag 0..=33 represented");
     }
 
     /// The columnar frames are re-encodings, not new semantics: each
@@ -1227,6 +1282,111 @@ mod tests {
                 "composition corpus entry {i} must reject: {frame:?}"
             );
         }
+    }
+
+    /// Golden bytes for the plan-phase tags: the request is a bare tag 32,
+    /// and the sketch frame opens `33, magic, version, tuples, deletes`
+    /// before its three fixed-width sections. Pinning the prefix (and the
+    /// exact frame length) keeps the layout stable the way the columnar
+    /// headers are.
+    #[test]
+    fn sketch_frames_have_golden_wire_bytes() {
+        assert_eq!(&Message::SketchRequest.encode()[..], &[32]);
+
+        let mut empty =
+            Message::Sketch(Box::new(dsud_sketch::SiteSketch::default())).encode().to_vec();
+        assert_eq!(empty.len(), 1 + dsud_sketch::SiteSketch::encoded_len());
+        // tag, magic 0x5AD5 big-endian, version 1, tuples=0, deletes=0.
+        assert_eq!(
+            &empty[..20],
+            &[33, 0x5A, 0xD5, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]
+        );
+        // Every remaining section byte of an empty sketch is zero.
+        assert!(empty[20..].iter().all(|&b| b == 0));
+        // A recorded observation moves payload bytes, never the header.
+        let mut one = dsud_sketch::SiteSketch::default();
+        one.record(7, 0.5);
+        empty = Message::Sketch(Box::new(one)).encode().to_vec();
+        assert_eq!(&empty[..4], &[33, 0x5A, 0xD5, 1]);
+    }
+
+    /// Plan-phase frame corpus: truncations at every section boundary,
+    /// corrupted magic/version, trailing bytes — bare, `Tagged`-wrapped,
+    /// and inside an aggregate reply container. A malformed sketch must
+    /// decode to `None` (the planner then degrades to static planning),
+    /// never panic or misalign a section cursor.
+    #[test]
+    fn malformed_sketch_frames_decode_to_none() {
+        let frame = Message::Sketch(Box::new(sample_sketch())).encode();
+        assert!(Message::decode_slice(&frame).is_some());
+        let len = frame.len();
+
+        let mut corpus: Vec<Vec<u8>> = Vec::new();
+        // Truncations inside the magic, version, and counters, then at the
+        // quantile/HLL/count-min section boundaries, then one byte short.
+        for cut in [1, 2, 3, 4, 11, 19, 20 + 512, 20 + 512 + 64, len - 1] {
+            corpus.push(frame[..cut].to_vec());
+        }
+        // Trailing byte after a complete sketch.
+        let mut long = frame.to_vec();
+        long.push(0);
+        corpus.push(long);
+        // Corrupted magic and unknown version.
+        for at in [1, 3] {
+            let mut bad = frame.to_vec();
+            bad[at] ^= 0xff;
+            corpus.push(bad);
+        }
+        // The same failures through the session wrapper: every offset
+        // shifts by the 9-byte Tagged header, the contract holds.
+        let tagged = Message::Tagged {
+            query_id: 6,
+            inner: Box::new(Message::Sketch(Box::new(sample_sketch()))),
+        }
+        .encode();
+        assert!(Message::decode_slice(&tagged).is_some());
+        for cut in [9, 10, 12, tagged.len() - 1] {
+            corpus.push(tagged[..cut].to_vec());
+        }
+        let mut bad_wrapped = tagged.to_vec();
+        bad_wrapped[10] ^= 0xff; // magic under the wrapper
+        corpus.push(bad_wrapped);
+        // And inside an aggregate reply container, as a tree aggregator
+        // would ship it: a corrupt or truncated sketch reply rejects the
+        // whole frame instead of sliding the reply cursor.
+        let agg = Message::AggReplies {
+            replies: vec![(0, AggReply::Ok(Box::new(Message::Sketch(Box::new(sample_sketch())))))],
+        }
+        .encode();
+        assert!(Message::decode_slice(&agg).is_some());
+        corpus.push(agg[..agg.len() - 1].to_vec());
+        let magic_at = agg
+            .windows(3)
+            .position(|w| w == [33, 0x5A, 0xD5])
+            .expect("the embedded sketch header is somewhere in the container");
+        let mut bad_agg = agg.to_vec();
+        bad_agg[magic_at + 1] ^= 0xff;
+        corpus.push(bad_agg);
+
+        for (i, frame) in corpus.iter().enumerate() {
+            assert!(
+                Message::decode_slice(frame).is_none(),
+                "sketch corpus entry {i} must reject ({} bytes)",
+                frame.len()
+            );
+        }
+    }
+
+    /// Plan-phase frames are control traffic with zero tuple weight — the
+    /// paper's bandwidth unit may not move when planning turns on.
+    #[test]
+    fn sketch_frames_are_zero_tuple_control_traffic() {
+        let sketch = Message::Sketch(Box::new(sample_sketch()));
+        assert_eq!(Message::SketchRequest.class(), TrafficClass::Control);
+        assert_eq!(sketch.class(), TrafficClass::Control);
+        assert_eq!(Message::SketchRequest.tuple_count(), 0);
+        assert_eq!(sketch.tuple_count(), 0);
+        assert_eq!(sketch.legacy_encoded_len(), None, "no columnar twin to credit");
     }
 
     #[test]

@@ -63,7 +63,11 @@ use serde::{Deserialize, Serialize};
 ///   `agg_fold_ops` to the counter snapshot plus the run's `topology`,
 ///   `agg_depth`, and `root_fanout` configuration stamps. Schema ≤ 8
 ///   files still deserialize (counters default to 0, stamps to `None`).
-pub const SCHEMA_VERSION: u32 = 9;
+/// * 10 — adds the plan-phase counter `sketch_merges` to the counter
+///   snapshot plus the run's `plan`, `sketch_bytes`, `plan_us`, and
+///   `planned_batch` stamps. Schema ≤ 9 files still deserialize (the
+///   counter defaults to 0, the stamps to `None`).
+pub const SCHEMA_VERSION: u32 = 10;
 
 /// Typed counters of the paper's cost model.
 ///
@@ -164,9 +168,14 @@ pub enum Counter {
     /// Per-site replies the root folded out of merged `AggReplies` frames.
     /// Zero in a flat run.
     AggFoldOps,
+    /// Plan-phase sketch merges performed at the root (one per additional
+    /// sketch folded into the merged synopsis; tree aggregators merge
+    /// their subtrees in-flight and are not separately counted). Zero
+    /// with `--plan static`.
+    SketchMerges,
 }
 
-const COUNTER_COUNT: usize = 30;
+const COUNTER_COUNT: usize = 31;
 
 impl Counter {
     fn index(self) -> usize {
@@ -311,6 +320,10 @@ pub struct CounterSnapshot {
     /// Final value of [`Counter::AggFoldOps`]. Absent (0) before schema 9.
     #[serde(default)]
     pub agg_fold_ops: u64,
+    /// Final value of [`Counter::SketchMerges`]. Absent (0) before
+    /// schema 10.
+    #[serde(default)]
+    pub sketch_merges: u64,
 }
 
 impl CounterSnapshot {
@@ -346,6 +359,7 @@ impl CounterSnapshot {
             cancelled: c[Counter::Cancelled.index()],
             agg_merged_frames: c[Counter::AggMergedFrames.index()],
             agg_fold_ops: c[Counter::AggFoldOps.index()],
+            sketch_merges: c[Counter::SketchMerges.index()],
         }
     }
 
@@ -382,6 +396,7 @@ impl CounterSnapshot {
             Counter::Cancelled => self.cancelled,
             Counter::AggMergedFrames => self.agg_merged_frames,
             Counter::AggFoldOps => self.agg_fold_ops,
+            Counter::SketchMerges => self.sketch_merges,
         }
     }
 }
@@ -445,6 +460,24 @@ pub struct RunReport {
     /// Equals the site count in a flat run. Absent before schema 9.
     #[serde(default)]
     pub root_fanout: Option<usize>,
+    /// Plan mode the run used (`"static"`, `"sketch"`), stamped by the
+    /// caller that knows it; `None` otherwise. Absent before schema 10.
+    #[serde(default)]
+    pub plan: Option<String>,
+    /// Total sketch-frame bytes the plan phase shipped over the root
+    /// links, stamped by the caller that knows it. Absent before
+    /// schema 10.
+    #[serde(default)]
+    pub sketch_bytes: Option<u64>,
+    /// Microseconds the plan phase spent gathering and merging sketches,
+    /// stamped by the caller that knows it. Absent before schema 10.
+    #[serde(default)]
+    pub plan_us: Option<u64>,
+    /// Effective `--batch auto` candidate budget the planner settled on,
+    /// stamped by the caller that knows it; `None` in static runs. Absent
+    /// before schema 10.
+    #[serde(default)]
+    pub planned_batch: Option<usize>,
     /// Progressive answer trace, in report order (timestamps are
     /// monotonically non-decreasing).
     pub progressive: Vec<ProgressSample>,
@@ -597,6 +630,10 @@ impl Recorder {
             topology: None,
             agg_depth: None,
             root_fanout: None,
+            plan: None,
+            sketch_bytes: None,
+            plan_us: None,
+            planned_batch: None,
         })
     }
 }
@@ -1022,6 +1059,64 @@ mod tests {
         assert_eq!(report.topology, None);
         assert_eq!(report.agg_depth, None);
         assert_eq!(report.root_fanout, None);
+    }
+
+    #[test]
+    fn schema_nine_reports_deserialize_with_zero_plan_counters() {
+        // A schema-9 file predates the plan-phase counter and the `plan` /
+        // `sketch_bytes` / `plan_us` / `planned_batch` stamps; they must
+        // fill in as zero / `None` rather than failing the parse.
+        let json = r#"{
+            "schema_version": 9,
+            "algorithm": "dsud",
+            "wall_ms": 1.0,
+            "counters": {
+                "bytes_sent": 9, "messages": 4, "tuples_shipped": 2,
+                "feedback_broadcasts": 1, "rounds": 1, "expunged": 0,
+                "pruned_at_sites": 0, "prtree_nodes_visited": 0,
+                "prtree_pruned_subtrees": 0, "local_skyline_size": 0,
+                "progressive_results": 1, "link_retries": 0,
+                "link_timeouts": 0, "quarantined_sites": 0,
+                "batched_rounds": 2, "multi_probe_node_visits": 40,
+                "pipeline_depth": 2, "overlapped_rounds": 1,
+                "refill_overlap_us": 300, "cache_hits": 1,
+                "admission_wait_us": 50, "columnar_frames": 3,
+                "bytes_saved": 128, "decode_ns": 900,
+                "rejoins": 1, "resync_ops": 5, "heartbeat_misses": 3,
+                "cancelled": 0, "agg_merged_frames": 48, "agg_fold_ops": 64
+            },
+            "spans": [],
+            "phases": [],
+            "transport": "tcp",
+            "threads": 4,
+            "batch_size": "auto",
+            "pipeline": "auto",
+            "query_id": 3,
+            "wire": "columnar",
+            "topology": "tree:4",
+            "agg_depth": 1,
+            "root_fanout": 2,
+            "progressive": []
+        }"#;
+        let report: RunReport = serde_json::from_str(json).unwrap();
+        assert_eq!(report.counters.agg_merged_frames, 48);
+        assert_eq!(report.counters.sketch_merges, 0);
+        assert_eq!(report.counters.get(Counter::SketchMerges), 0);
+        assert_eq!(report.plan, None);
+        assert_eq!(report.sketch_bytes, None);
+        assert_eq!(report.plan_us, None);
+        assert_eq!(report.planned_batch, None);
+    }
+
+    #[test]
+    fn plan_counters_flow_into_the_snapshot() {
+        let rec = Recorder::enabled();
+        rec.add(Counter::SketchMerges, 8);
+        let report = rec.report("dsud").unwrap();
+        assert_eq!(report.counters.sketch_merges, 8);
+        assert_eq!(report.counters.get(Counter::SketchMerges), 8);
+        assert_eq!(report.plan, None, "stamped by the caller, not the recorder");
+        assert_eq!(report.planned_batch, None);
     }
 
     #[test]

@@ -1,0 +1,227 @@
+//! The planning contract: `--plan sketch` is a pure *scheduling*
+//! optimization. Against the static schedule it must preserve the skyline
+//! (ids, bit-exact probabilities, report order), the progressive result
+//! sequence, and the run statistics — the plan phase only resizes
+//! `--batch auto` rounds, and the batching contract
+//! (`tests/batching_determinism.rs`) proves round size never changes the
+//! answer. On a flat topology sketch frames are zero-tuple control
+//! traffic, so even `tuples_transmitted()` must match exactly; on trees
+//! the round schedule changes which frames aggregators can merge, so
+//! re-shipped tuple counts may legitimately move while answers hold.
+//!
+//! Pinned across the full execution matrix: transports × wire layouts ×
+//! topologies × pool sizes, for both DSUD and e-DSUD, with explicit batch
+//! sizes (where planning must be inert) and `--batch auto` (where it
+//! actually steers). The suite also pins the plan phase's *cost ceiling*:
+//! at most one sketch frame per site per query, and fewer (not more)
+//! candidate-round frames whenever the planner deepens auto rounds.
+
+use dsud_core::{
+    BatchSize, Cluster, LinkConfig, PipelineDepth, PlanMode, QueryConfig, QueryOutcome, Recorder,
+    SiteOptions, Topology, Transport, UncertainTuple, WireFormat,
+};
+use dsud_data::WorkloadSpec;
+use dsud_uncertain::TupleId;
+
+const N: usize = 1_200;
+const DIMS: usize = 3;
+/// Nine sites keep every tree fanout in the matrix non-degenerate (same
+/// shape as the topology suite) while giving the planner a real backlog:
+/// the static auto clamp sees at most nine queued candidates per round,
+/// so a sketch plan that widens rounds past it is observable in frames.
+const SITES: usize = 9;
+const Q: f64 = 0.3;
+
+/// Wire layout under test: `DSUD_WIRE=columnar|legacy` (legacy default),
+/// same convention as the other determinism suites.
+fn wire_from_env() -> WireFormat {
+    std::env::var("DSUD_WIRE").ok().and_then(|v| v.parse().ok()).unwrap_or_default()
+}
+
+fn sites(wire: WireFormat) -> (Vec<Vec<UncertainTuple>>, SiteOptions) {
+    let data = WorkloadSpec::new(N, DIMS)
+        .seed(42)
+        .generate_partitioned(SITES)
+        .expect("workload generates");
+    (data, SiteOptions { wire, ..SiteOptions::default() })
+}
+
+/// Everything planning must preserve everywhere: the skyline and the
+/// progressive result sequence, bit-exact.
+fn fingerprint(outcome: &QueryOutcome) -> (Vec<(TupleId, u64)>, Vec<(TupleId, u64)>) {
+    (
+        outcome.skyline.iter().map(|e| (e.tuple.id(), e.probability.to_bits())).collect(),
+        outcome.progress.events().iter().map(|e| (e.id, e.probability.to_bits())).collect(),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run(
+    plan: PlanMode,
+    batch: BatchSize,
+    topology: Topology,
+    wire: WireFormat,
+    transport: Transport,
+    pool: usize,
+    edsud: bool,
+) -> QueryOutcome {
+    threadpool::set_pool_size(pool);
+    let (data, options) = sites(wire);
+    let mut cluster = Cluster::with_topology(
+        DIMS,
+        data,
+        options,
+        Recorder::default(),
+        transport,
+        LinkConfig::default(),
+        topology,
+        None,
+    )
+    .expect("cluster builds");
+    let config = QueryConfig::new(Q)
+        .expect("valid threshold")
+        .batch_size(batch)
+        .pipeline_depth(PipelineDepth::Auto)
+        .wire_format(wire)
+        .plan_mode(plan);
+    let outcome = if edsud { cluster.run_edsud(&config) } else { cluster.run_dsud(&config) };
+    threadpool::set_pool_size(0);
+    outcome.expect("query runs")
+}
+
+#[test]
+fn dsud_sketch_plan_is_bit_identical_across_the_execution_matrix() {
+    let wire = wire_from_env();
+    for batch in [BatchSize::Auto, BatchSize::Fixed(1), BatchSize::Fixed(4)] {
+        for topology in [Topology::Flat, Topology::Auto] {
+            // Tuple bandwidth is topology-dependent (aggregators re-ship
+            // tuples), so the static reference is taken per topology; the
+            // planning contract is plan-vs-static at a fixed shape.
+            let reference =
+                run(PlanMode::Static, batch, topology, wire, Transport::Inline, 1, false);
+            assert!(!reference.skyline.is_empty(), "workload must produce a non-trivial skyline");
+            let want = fingerprint(&reference);
+            for (transport, pools) in [
+                (Transport::Inline, &[1usize, 8][..]),
+                (Transport::Threaded, &[8][..]),
+                (Transport::Tcp, &[8][..]),
+            ] {
+                for &pool in pools {
+                    let at = format!("batch {batch} {topology} {transport} pool {pool}");
+                    let outcome =
+                        run(PlanMode::Sketch, batch, topology, wire, transport, pool, false);
+                    assert_eq!(fingerprint(&outcome), want, "{at}");
+                    assert_eq!(outcome.stats, reference.stats, "{at}");
+                    if matches!(topology, Topology::Flat) {
+                        // Sketch frames carry zero tuples, so on a flat
+                        // fabric the paper's bandwidth measure is exact.
+                        assert_eq!(
+                            outcome.tuples_transmitted(),
+                            reference.tuples_transmitted(),
+                            "{at}"
+                        );
+                    }
+                    let plan = outcome.plan.as_ref().expect("sketch runs carry a summary");
+                    // Cost ceiling: one sketch frame per site per query —
+                    // a tree root legitimately sees fewer (its aggregators
+                    // pre-merge) but never more.
+                    assert!(
+                        plan.frames as usize <= SITES,
+                        "{at}: {} sketch frames for {SITES} sites",
+                        plan.frames
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn edsud_sketch_plan_is_bit_identical_on_every_transport() {
+    let wire = wire_from_env();
+    for batch in [BatchSize::Auto, BatchSize::Fixed(4)] {
+        for topology in [Topology::Flat, Topology::Auto] {
+            let reference =
+                run(PlanMode::Static, batch, topology, wire, Transport::Inline, 1, true);
+            assert!(!reference.skyline.is_empty());
+            let want = fingerprint(&reference);
+            for transport in [Transport::Inline, Transport::Threaded, Transport::Tcp] {
+                let at = format!("batch {batch} {topology} {transport}");
+                let outcome = run(PlanMode::Sketch, batch, topology, wire, transport, 8, true);
+                assert_eq!(fingerprint(&outcome), want, "{at}");
+                assert_eq!(outcome.stats, reference.stats, "{at}");
+                if matches!(topology, Topology::Flat) {
+                    assert_eq!(
+                        outcome.tuples_transmitted(),
+                        reference.tuples_transmitted(),
+                        "{at}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A static run must stay byte-for-byte what it was before the planner
+/// existed: no plan summary, no sketch frames, no counter movement.
+#[test]
+fn static_plan_ships_no_sketch_traffic() {
+    let wire = wire_from_env();
+    for edsud in [false, true] {
+        let outcome = run(
+            PlanMode::Static,
+            BatchSize::Auto,
+            Topology::Flat,
+            wire,
+            Transport::Inline,
+            1,
+            edsud,
+        );
+        assert!(outcome.plan.is_none(), "static runs carry no plan summary");
+    }
+}
+
+/// The whole point of the planner: with `--batch auto` on a deep backlog,
+/// the sketched cap widens rounds past the static clamp, so the *frame*
+/// count on the meter must drop even after paying for the plan phase —
+/// while the answer fingerprint (tuples included) holds still.
+#[test]
+fn sketch_plan_cuts_auto_round_frames_on_both_wire_layouts() {
+    for wire in [WireFormat::Legacy, WireFormat::Columnar] {
+        for edsud in [false, true] {
+            let algo = if edsud { "edsud" } else { "dsud" };
+            let stat = run(
+                PlanMode::Static,
+                BatchSize::Auto,
+                Topology::Flat,
+                wire,
+                Transport::Inline,
+                1,
+                edsud,
+            );
+            let plan = run(
+                PlanMode::Sketch,
+                BatchSize::Auto,
+                Topology::Flat,
+                wire,
+                Transport::Inline,
+                1,
+                edsud,
+            );
+            assert_eq!(fingerprint(&plan), fingerprint(&stat), "{algo} {wire}");
+            assert_eq!(plan.tuples_transmitted(), stat.tuples_transmitted(), "{algo} {wire}");
+            let summary = plan.plan.as_ref().expect("sketch run carries a summary");
+            assert!(
+                summary.planned_batch.is_some(),
+                "{algo} {wire}: a healthy gather must produce a cap"
+            );
+            let static_msgs = stat.traffic.total().messages;
+            let plan_msgs = plan.traffic.total().messages;
+            assert!(
+                plan_msgs < static_msgs,
+                "{algo} {wire}: sketch plan shipped {plan_msgs} frames vs {static_msgs} \
+                 static — deeper rounds must cut the count, plan phase included"
+            );
+        }
+    }
+}
